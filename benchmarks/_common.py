@@ -1,0 +1,73 @@
+"""Shared machinery for the figure-reproduction benchmarks.
+
+Every benchmark module reproduces one table or figure from the paper's
+evaluation: it computes the same rows/series, writes them to
+``benchmarks/results/<name>.txt``, prints them, and asserts the
+*qualitative shape* the paper reports (who wins, what dominates, where
+the crossovers are).  Absolute values differ — the substrate is a
+simulator, not the authors' Xeon — and EXPERIMENTS.md records both sides.
+
+Heavy runs are cached per pytest session so the pytest-benchmark timing
+tests and the shape assertions share one set of simulations.
+"""
+
+from __future__ import annotations
+
+import functools
+import pathlib
+
+from repro.core.modes import ALL_RECORDING_SETUPS, record_benchmark
+from repro.hypervisor.machine import MachineSpec
+from repro.replay import CheckpointingOptions, CheckpointingReplayer
+from repro.rnr.recorder import RecordingRun
+from repro.workloads import ALL_PROFILES, build_workload
+
+#: Instruction budget for full-size benchmark runs.
+BUDGET = 3_000_000
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+BENCHMARK_NAMES = tuple(profile.name for profile in ALL_PROFILES)
+
+
+@functools.lru_cache(maxsize=8)
+def workload(name: str) -> MachineSpec:
+    """The full-size spec for one paper benchmark."""
+    profile = next(p for p in ALL_PROFILES if p.name == name)
+    return build_workload(profile)
+
+
+@functools.lru_cache(maxsize=32)
+def recording(name: str, setup_name: str = "Rec") -> RecordingRun:
+    """One benchmark recorded under one named setup, cached."""
+    setup = next(s for s in ALL_RECORDING_SETUPS if s.name == setup_name)
+    return record_benchmark(workload(name), setup, max_instructions=BUDGET)
+
+
+@functools.lru_cache(maxsize=32)
+def checkpointing_replay(name: str, period_s: float | None):
+    """One benchmark's CR run at one checkpoint period, cached."""
+    run = recording(name, "Rec")
+    replayer = CheckpointingReplayer(
+        workload(name), run.log, CheckpointingOptions(period_s=period_s),
+    )
+    return replayer.run_to_end()
+
+
+def emit(table_name: str, lines: list[str]):
+    """Print a result table and persist it for EXPERIMENTS.md."""
+    text = "\n".join(lines)
+    print(f"\n{text}")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{table_name}.txt").write_text(text + "\n")
+
+
+def format_row(label: str, values: dict[str, float],
+               fmt: str = "{:>9.2f}") -> str:
+    cells = "".join(fmt.format(value) for value in values.values())
+    return f"{label:<12}{cells}"
+
+
+def format_header(columns: list[str], width: int = 9) -> str:
+    cells = "".join(f"{column:>{width}}" for column in columns)
+    return f"{'':<12}{cells}"

@@ -1,0 +1,169 @@
+"""Ablations called out by DESIGN.md (beyond the paper's own figures).
+
+* Filters off -> the §4.2 "basic design" alarm flood, quantified.
+* Checkpoint-period sweep beyond the paper's three points.
+* The inline software shadow stack (§2.3's >100%-overhead strawman)
+  versus RnR-Safe's recording cost, on identical work.
+* RAS capacity sweep: smaller hardware RAS -> more underflow traffic for
+  the CR to absorb, zero change in detection power.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines import run_instrumented_shadow_stack
+from repro.core.modes import NO_REC, record_benchmark
+from repro.replay import CheckpointingOptions, CheckpointingReplayer
+from repro.rnr.recorder import Recorder, RecorderOptions
+from repro.workloads import APACHE, build_workload
+
+from benchmarks._common import BUDGET, emit, recording, workload
+
+
+class TestFilterAblation:
+    @pytest.fixture(scope="class")
+    def alarm_counts(self):
+        spec = workload("apache")
+        counts = {}
+        for label, backras, whitelist in (
+            ("none", False, False),
+            ("whitelist", False, True),
+            ("both", True, True),
+        ):
+            options = RecorderOptions(
+                backras=backras, whitelist=whitelist, evict_records=False,
+                max_instructions=BUDGET, digest=False,
+            )
+            run = Recorder(spec, options).run()
+            kernel_alarms = sum(
+                1 for alarm in run.alarms
+                if alarm.pc < spec.kernel.layout.user_code_base
+            )
+            counts[label] = kernel_alarms
+        return counts
+
+    def test_report(self, alarm_counts):
+        lines = ["Ablation: RAS filters on apache (kernel alarms/run)"]
+        for label, count in alarm_counts.items():
+            lines.append(f"  filters={label:<10} {count:>6}")
+        emit("ablation_filters", lines)
+
+    def test_each_filter_strictly_helps(self, alarm_counts):
+        assert (alarm_counts["none"] > alarm_counts["whitelist"]
+                >= alarm_counts["both"])
+
+    def test_basic_design_is_several_times_worse(self, alarm_counts):
+        """With both hardware filters the alarm stream shrinks severalfold;
+        the residual ("both") is dominated by underflow alarms that the
+        CR's evict matching then dismisses without any alarm replayer."""
+        assert alarm_counts["none"] >= 4 * max(1, alarm_counts["both"])
+
+
+class TestCheckpointPeriodSweep:
+    PERIODS = (None, 8.0, 4.0, 2.0, 1.0, 0.5, 0.2, 0.1)
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        run = recording("mysql", "Rec")
+        spec = workload("mysql")
+        rows = {}
+        for period in self.PERIODS:
+            replayer = CheckpointingReplayer(
+                spec, run.log, CheckpointingOptions(period_s=period),
+            )
+            result = replayer.run_to_end()
+            label = "none" if period is None else f"{period}s"
+            rows[label] = {
+                "cycles": result.replay.metrics.total_cycles,
+                "checkpoints": len(result.store),
+                "storage_words": result.store.storage_words,
+            }
+        return rows
+
+    def test_report(self, sweep):
+        lines = ["Ablation: checkpoint period sweep (mysql)",
+                 f"{'period':<8}{'cycles':>12}{'count':>8}{'storage':>10}"]
+        for label, row in sweep.items():
+            lines.append(f"{label:<8}{row['cycles']:>12}"
+                         f"{row['checkpoints']:>8}"
+                         f"{row['storage_words']:>10}")
+        emit("ablation_checkpoint_sweep", lines)
+
+    def test_cost_monotone_in_frequency(self, sweep):
+        ordered = [sweep[label]["cycles"] for label in
+                   ("none", "8.0s", "2.0s", "0.5s", "0.1s")]
+        assert ordered == sorted(ordered)
+
+    def test_storage_grows_with_frequency(self, sweep):
+        assert (sweep["0.1s"]["storage_words"]
+                >= sweep["2.0s"]["storage_words"])
+
+
+class TestInlineShadowStackAblation:
+    def test_report_and_shape(self):
+        spec = workload("apache")
+        native = record_benchmark(spec, NO_REC, max_instructions=BUDGET)
+        rec = recording("apache", "Rec")
+        inline = run_instrumented_shadow_stack(
+            spec, max_instructions=BUDGET, kernel_only=False,
+        )
+        native_cycles = native.metrics.total_cycles
+        rows = {
+            "native": 1.0,
+            "RnR-Safe Rec": rec.metrics.total_cycles / native_cycles,
+            "inline shadow stack": (inline.metrics.total_cycles
+                                    / native_cycles),
+        }
+        lines = ["Ablation: precise inline checking vs RnR-Safe (apache)"]
+        for label, value in rows.items():
+            lines.append(f"  {label:<22}{value:>8.2f}x native")
+        emit("ablation_inline_shadow_stack", lines)
+        # The trade the paper is making, in one inequality:
+        assert rows["RnR-Safe Rec"] < rows["inline shadow stack"] / 2
+
+
+class TestRasCapacityAblation:
+    @pytest.fixture(scope="class")
+    def capacity_sweep(self):
+        rows = {}
+        for entries in (16, 32, 48, 64):
+            config = dataclasses.replace(
+                build_workload(APACHE).config, ras_entries=entries,
+            )
+            spec = build_workload(APACHE, config=config)
+            run = Recorder(
+                spec, RecorderOptions(max_instructions=BUDGET),
+            ).run()
+            result = CheckpointingReplayer(
+                spec, run.log, CheckpointingOptions(),
+            ).run_to_end()
+            rows[entries] = {
+                "evicts": len(run.evicts),
+                "dismissed": result.dismissed_underflows,
+                "pending": len(result.pending_alarms),
+            }
+        return rows
+
+    def test_report(self, capacity_sweep):
+        lines = ["Ablation: RAS capacity (apache)",
+                 f"{'entries':<8}{'evicts':>8}{'dismissed':>10}"
+                 f"{'pending':>9}"]
+        for entries, row in capacity_sweep.items():
+            lines.append(f"{entries:<8}{row['evicts']:>8}"
+                         f"{row['dismissed']:>10}{row['pending']:>9}")
+        lines.append("smaller RAS -> more evict/underflow traffic, all "
+                     "absorbed by the CR; detection power unchanged")
+        emit("ablation_ras_capacity", lines)
+
+    def test_smaller_ras_means_more_evictions(self, capacity_sweep):
+        assert (capacity_sweep[16]["evicts"]
+                > capacity_sweep[64]["evicts"])
+
+    def test_cr_absorbs_the_extra_traffic(self, capacity_sweep):
+        """Whatever the capacity, underflow alarms match evict records
+        and never burden the alarm replayers."""
+        for entries, row in capacity_sweep.items():
+            assert row["dismissed"] >= 0
+            # pending alarms are the benign setjmp mismatches, a handful.
+            assert row["pending"] <= 10, entries

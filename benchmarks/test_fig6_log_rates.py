@@ -1,0 +1,90 @@
+"""Figure 6: input-log generation rate and BackRAS bandwidth.
+
+(a) Input log rate in MB/s (uncompressed).  Paper: apache is the clear
+    leader (~4 MB/s) because packet contents are logged verbatim; the
+    others stay well under 1 MB/s.
+(b) Bandwidth to save/restore the RAS at context switches.  Paper: small
+    everywhere (< 1 MB/s) — "the impact of the architecture on the memory
+    system is modest".
+"""
+
+import pytest
+
+from repro.rnr.records import NetworkDmaRecord
+from repro.rnr.serialize import record_size_bytes
+
+from benchmarks._common import (
+    BENCHMARK_NAMES,
+    emit,
+    format_header,
+    recording,
+    workload,
+)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    rows = {}
+    for name in BENCHMARK_NAMES:
+        run = recording(name, "Rec")
+        config = workload(name).config
+        rows[name] = {
+            "log MB/s": run.metrics.log_rate_mb_per_s(config),
+            "RAS MB/s": run.metrics.backras_bandwidth_mb_per_s(config),
+            "log bytes": run.metrics.log_bytes,
+        }
+    return rows
+
+
+class TestFig6:
+    def test_report(self, fig6):
+        lines = ["Figure 6: input log rate (a) and BackRAS bandwidth (b)",
+                 format_header(["log MB/s", "RAS MB/s", "log bytes"],
+                               width=11)]
+        for name, row in fig6.items():
+            lines.append(
+                f"{name:<12}{row['log MB/s']:>11.4f}"
+                f"{row['RAS MB/s']:>11.4f}{row['log bytes']:>11d}"
+            )
+        lines.append("paper: apache ~4 MB/s log (highest); all RAS "
+                     "bandwidths small")
+        emit("fig6_log_rates", lines)
+
+    def test_apache_has_the_highest_log_rate(self, fig6):
+        apache = fig6["apache"]["log MB/s"]
+        for name in BENCHMARK_NAMES:
+            if name != "apache":
+                assert apache > fig6[name]["log MB/s"], name
+
+    def test_apache_log_is_mostly_packet_content(self):
+        run = recording("apache", "Rec")
+        network_bytes = sum(
+            record_size_bytes(record) for record in run.log.records()
+            if isinstance(record, NetworkDmaRecord)
+        )
+        assert network_bytes > 0.6 * run.metrics.log_bytes
+
+    def test_compute_benchmarks_log_almost_nothing(self, fig6):
+        assert fig6["radiosity"]["log bytes"] < fig6["apache"]["log bytes"] / 20
+
+    def test_backras_bandwidth_is_small(self, fig6):
+        """Paper: 'the bandwidth to save and restore the RAS at context
+        switches is very small' — an order below the apache log rate."""
+        for name, row in fig6.items():
+            assert row["RAS MB/s"] < 1.0, name
+
+    def test_log_rates_are_nonzero_for_all(self, fig6):
+        for name, row in fig6.items():
+            assert row["log bytes"] > 0, name
+
+
+class TestFig6Timing:
+    def test_log_serialization_throughput(self, benchmark):
+        """pytest-benchmark: serializing the apache log end-to-end."""
+        run = recording("apache", "Rec")
+
+        def serialize():
+            return run.log.to_bytes()
+
+        data = benchmark(serialize)
+        assert len(data) == run.metrics.log_bytes

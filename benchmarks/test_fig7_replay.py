@@ -1,0 +1,141 @@
+"""Figure 7: checkpointing-replay overhead.
+
+(a) Replay time under four checkpoint periods — none, 5 s, 1 s, 0.2 s —
+    normalized to Rec.  Paper: RepNoChk ~1.48x, RepChk1 ~1.59x on
+    average; shorter periods cost more; "checkpointing replay runs at a
+    speed roughly comparable to recording", so it can be on all the time.
+(b) Breakdown of RepChk1 over Rec.  Paper: asynchronous-interrupt
+    injection dominates (counter skid + single-stepping); Chk is visible
+    and grows with checkpoint frequency.
+"""
+
+import pytest
+
+from repro.perf.account import Category, REPLAY_BREAKDOWN
+from repro.perf.report import OverheadBreakdown
+
+from benchmarks._common import (
+    BENCHMARK_NAMES,
+    checkpointing_replay,
+    emit,
+    format_header,
+    format_row,
+    recording,
+    workload,
+)
+
+PERIODS = {"RepNoChk": None, "RepChk5": 5.0, "RepChk1": 1.0,
+           "RepChk02": 0.2}
+
+
+@pytest.fixture(scope="module")
+def fig7a():
+    table = {}
+    for name in BENCHMARK_NAMES:
+        rec_cycles = recording(name, "Rec").metrics.total_cycles
+        table[name] = {
+            label: (checkpointing_replay(name, period)
+                    .replay.metrics.total_cycles / rec_cycles)
+            for label, period in PERIODS.items()
+        }
+    return table
+
+
+@pytest.fixture(scope="module")
+def fig7b():
+    return {
+        name: OverheadBreakdown.from_account(
+            name,
+            checkpointing_replay(name, 1.0).replay.metrics.account,
+            REPLAY_BREAKDOWN,
+        )
+        for name in BENCHMARK_NAMES
+    }
+
+
+class TestFig7a:
+    def test_report(self, fig7a):
+        lines = ["Figure 7(a): checkpointing replay time "
+                 "(normalized to Rec)", format_header(list(PERIODS))]
+        for name, row in fig7a.items():
+            lines.append(format_row(name, row))
+        means = {
+            label: sum(row[label] for row in fig7a.values()) / len(fig7a)
+            for label in PERIODS
+        }
+        lines.append(format_row("mean", means))
+        lines.append("paper: RepNoChk ~1.48, RepChk1 ~1.59; denser "
+                     "checkpoints cost more")
+        emit("fig7a_replay_setups", lines)
+
+    def test_replay_is_roughly_recording_speed(self, fig7a):
+        """The deployability claim: CR can run continuously."""
+        mean = sum(row["RepChk1"] for row in fig7a.values()) / len(fig7a)
+        assert 1.2 <= mean <= 2.2
+
+    def test_replay_without_checkpoints_already_costs(self, fig7a):
+        """Paper: 'replaying without checkpointing already has significant
+        overhead over Rec' (asynchronous injection)."""
+        mean = sum(row["RepNoChk"] for row in fig7a.values()) / len(fig7a)
+        assert mean > 1.15
+
+    def test_checkpoint_frequency_ordering(self, fig7a):
+        """Denser checkpoints never get cheaper."""
+        for name, row in fig7a.items():
+            assert row["RepChk02"] >= row["RepChk1"] >= row["RepChk5"] \
+                >= row["RepNoChk"] - 1e-9, name
+
+    def test_every_replay_verified_its_digest(self):
+        for name in BENCHMARK_NAMES:
+            result = checkpointing_replay(name, 1.0)
+            assert result.replay.reached_end
+            assert result.replay.digest_checked
+
+
+class TestFig7b:
+    def test_report(self, fig7b):
+        columns = [cat.value for cat in REPLAY_BREAKDOWN]
+        lines = ["Figure 7(b): breakdown of RepChk1 overhead over Rec (%)",
+                 format_header(columns, width=11)]
+        for name, breakdown in fig7b.items():
+            row = {cat.value: breakdown.percent_of(cat)
+                   for cat in REPLAY_BREAKDOWN}
+            lines.append(format_row(name, row, fmt="{:>11.1f}"))
+        lines.append("paper: interrupt injection dominates; Chk visible")
+        emit("fig7b_replay_breakdown", lines)
+
+    def test_interrupts_dominate(self, fig7b):
+        """Paper: 'interrupt overhead dominates' because asynchronous
+        events require single-stepping to the injection point."""
+        for name, breakdown in fig7b.items():
+            assert breakdown.dominant() is Category.INTERRUPT, name
+
+    def test_checkpointing_contributes_noticeably(self, fig7b):
+        for name in ("apache", "fileio", "make", "mysql"):
+            assert fig7b[name].percent_of(Category.CHECKPOINT) > 1.0, name
+
+    def test_more_checkpoints_more_chk_cycles(self):
+        for name in ("mysql", "make"):
+            sparse = checkpointing_replay(name, 5.0)
+            dense = checkpointing_replay(name, 0.2)
+            assert (dense.replay.metrics.account.cycles(Category.CHECKPOINT)
+                    > sparse.replay.metrics.account.cycles(
+                        Category.CHECKPOINT)), name
+
+
+class TestFig7Timing:
+    def test_checkpointing_replay_throughput(self, benchmark):
+        """pytest-benchmark: CR wall time over a mid-size log."""
+        from repro.replay import CheckpointingOptions, CheckpointingReplayer
+
+        run = recording("mysql", "Rec")
+        spec = workload("mysql")
+
+        def replay_once():
+            replayer = CheckpointingReplayer(
+                spec, run.log, CheckpointingOptions(period_s=1.0),
+            )
+            return replayer.run(max_instructions=120_000)
+
+        result = benchmark(replay_once)
+        assert result.metrics.instructions > 0

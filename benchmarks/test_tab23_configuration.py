@@ -1,0 +1,48 @@
+"""Tables 2 and 3: configuration surface of the reproduction.
+
+These tables are descriptive in the paper; here they are asserted to stay
+in sync with the code that actually runs (the config dataclass and the
+five benchmark profiles), so the report can never drift from reality.
+"""
+
+
+from repro.config import DEFAULT_CONFIG
+from repro.perf.config_report import render_table2, render_table3
+from repro.workloads import ALL_PROFILES
+
+from benchmarks._common import emit
+
+
+class TestTables2And3:
+    def test_report(self):
+        lines = [render_table2(DEFAULT_CONFIG), "", render_table3()]
+        emit("tab23_configuration", lines)
+
+    def test_table2_reflects_the_live_config(self):
+        text = render_table2(DEFAULT_CONFIG)
+        assert f"{DEFAULT_CONFIG.ras_entries}-entry RAS" in text
+        assert str(DEFAULT_CONFIG.cycles_per_second) in text
+        assert str(DEFAULT_CONFIG.costs.vmexit_cycles) in text
+
+    def test_table3_lists_all_five_benchmarks(self):
+        text = render_table3()
+        for profile in ALL_PROFILES:
+            assert profile.name in text
+
+    def test_table3_reflects_event_mixes(self):
+        text = render_table3()
+        assert "network recv" in text        # apache
+        assert "disk read" in text           # fileio/make
+        assert "spawn" in text               # make
+        assert "timer reads" in text         # mysql/fileio
+
+    def test_paper_alignment_ras_size(self):
+        """The paper simulates a 48-entry RAS by default (§7.5)."""
+        assert DEFAULT_CONFIG.ras_entries == 48
+
+
+class TestTables2And3Timing:
+    def test_rendering_cost(self, benchmark):
+        text = benchmark(lambda: render_table2(DEFAULT_CONFIG)
+                         + render_table3())
+        assert text

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""RnR-Safe against the defenses of §2.3 and §9, on the same exploit.
+
+Four defenses meet the Figure 10 kernel ROP:
+
+* an inline software shadow stack (precise but >100% overhead);
+* coarse-grained "call-preceded" CFI (cheap, flags this particular chain,
+  but famously bypassable in general);
+* ASLR (breaks a blind chain, falls to one address disclosure);
+* RnR-Safe (imprecise 27%-overhead hardware + replay verification).
+
+Run:  python examples/defense_comparison.py
+"""
+
+from repro import (
+    APACHE,
+    NO_REC,
+    RADIOSITY,
+    Recorder,
+    RecorderOptions,
+    RnRSafe,
+    RnRSafeOptions,
+    build_set_root_chain,
+    build_workload,
+    deliver_rop_attack,
+    record_benchmark,
+)
+from repro.baselines import (
+    build_slid_workload,
+    chain_survives_slide,
+    classify_chain_against_cfi,
+    disclose_kernel_slide,
+    run_instrumented_shadow_stack,
+)
+
+
+def main():
+    spec, chain = deliver_rop_attack(build_workload(APACHE))
+    native = record_benchmark(spec, NO_REC, max_instructions=3_000_000)
+    native_cycles = native.metrics.total_cycles
+    print(f"victim workload: {spec.label}; native run = "
+          f"{native_cycles} cycles\n")
+
+    print("== inline software shadow stack (§2.3) ==")
+    stats = run_instrumented_shadow_stack(spec, max_instructions=3_000_000,
+                                          kernel_only=False)
+    slowdown = stats.metrics.total_cycles / native_cycles
+    print(f"   detected: {stats.detected_attack} "
+          f"({len(stats.violations)} violations)")
+    print(f"   cost: {slowdown:.2f}x native — paid on EVERY call/ret, "
+          "always\n")
+
+    print("== coarse-grained CFI (call-preceded returns) ==")
+    cfi = classify_chain_against_cfi(spec.kernel, chain)
+    print(f"   flags this chain: {cfi.detected} "
+          f"({len(cfi.rejected_targets)} non-call-preceded hops)")
+    print("   caveat: chains built purely from call-preceded gadgets "
+          "bypass the policy (Davi et al. 2014)\n")
+
+    print("== ASLR (§9) ==")
+    slid_spec, slide = build_slid_workload(RADIOSITY, seed=3)
+    blind_chain = build_set_root_chain(build_workload(RADIOSITY).kernel)
+    print(f"   kernel slide this boot: {slide} words")
+    print(f"   blind chain survives: "
+          f"{chain_survives_slide(blind_chain.stack_words, slide)}")
+    disclosed = disclose_kernel_slide(slid_spec)
+    rebuilt = build_set_root_chain(slid_spec.kernel)
+    print(f"   after one address disclosure (slide={disclosed}): the "
+          f"attacker rebuilds the chain at {rebuilt.stack_words[0]:#x} "
+          "and ROP works again\n")
+
+    print("== RnR-Safe ==")
+    report = RnRSafe(
+        spec,
+        RnRSafeOptions(recorder=RecorderOptions(max_instructions=3_000_000)),
+    ).run()
+    rec_slowdown = (report.recording.metrics.total_cycles / native_cycles)
+    print(f"   recording cost: {rec_slowdown:.2f}x native "
+          "(the paper's ~1.27x)")
+    print(f"   attacks confirmed by replay: {len(report.attacks)}; "
+          f"false positives absorbed: {len(report.false_positives)}")
+    print("   the precise check ran off the critical path, on another "
+          "machine, only when alarms fired.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Table 1 in action: ROP, JOP, and DOS detectors on one deployment.
+
+RnR-Safe's flexibility claim (§3.2) is that the framework hosts multiple
+imprecise detectors at once, each with its own replay-side analyzer.  This
+example arms all three against a workload carrying a JOP redirect and a
+kernel-spinning DOS, while the RAS-based ROP detector keeps watching.
+
+Run:  python examples/multi_detector.py
+"""
+
+from repro import (
+    MYSQL,
+    Recorder,
+    RecorderOptions,
+    build_dos_attack_program,
+    build_jop_attack_program,
+    build_workload,
+)
+from repro.cpu.exits import RopAlarmKind
+from repro.detectors import (
+    DosAnalyzer,
+    DosWatchdog,
+    JopDetector,
+    RasRopDetector,
+    verify_jop_target,
+)
+
+
+def main():
+    spec = build_workload(MYSQL)
+    spec = build_jop_attack_program(spec)
+    spec = build_dos_attack_program(spec, spin_iterations=12_000)
+    print(f"workload: {spec.label} with {len(spec.init_entries)} tasks "
+          "(two of them hostile)")
+
+    recorder = Recorder(spec, RecorderOptions(max_instructions=4_000_000))
+    for detector in (RasRopDetector(), JopDetector(), DosWatchdog()):
+        detector.configure(recorder)
+        print(f"  armed detector: {detector.name}")
+    recording = recorder.run()
+    print(f"recording: {recording.metrics.instructions} instructions, "
+          f"{len(recording.alarms) + len(recording.jop_alarms)} alarms")
+    print()
+
+    print("== JOP analyzer (function-boundary verification) ==")
+    for alarm in recording.jop_alarms:
+        verdict = verify_jop_target(spec.kernel, alarm)
+        owner = spec.kernel.function_at(alarm.actual)
+        print(f"   indirect transfer to {alarm.actual:#x}"
+              f"{f' (inside {owner})' if owner else ''}: "
+              f"{verdict.kind.value} — {verdict.explanation}")
+    print()
+
+    print("== DOS analyzer (who hogged the kernel?) ==")
+    dos_alarms = [a for a in recording.alarms
+                  if a.kind is RopAlarmKind.DOS]
+    for alarm in dos_alarms:
+        analysis = DosAnalyzer(sample_every=512).analyze(
+            spec, recording.log, alarm,
+        )
+        print(f"   scheduler starved at instruction {alarm.icount}; "
+              f"profile over the window:")
+        for function, samples in sorted(analysis.profile.items(),
+                                        key=lambda kv: -kv[1])[:4]:
+            share = samples / analysis.sampled * 100
+            print(f"      {function:<20} {share:5.1f}%")
+        print(f"   dominant: {analysis.dominant_function} "
+              f"({analysis.dominant_share:.0%}) — "
+              f"{'a kernel hog: DOS confirmed' if analysis.is_kernel_hog else 'no single hog'}")
+    print()
+
+    rop_alarms = [a for a in recording.alarms
+                  if a.kind is not RopAlarmKind.DOS]
+    print(f"== RAS ROP detector: {len(rop_alarms)} alarms "
+          "(all benign here, absorbed by the usual replay pipeline) ==")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+PEP 660 editable installs need ``bdist_wheel``; this offline environment
+lacks it, so ``pip install -e .`` falls back to this legacy path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,133 @@
+"""RnR-Safe: Record-Replay Architecture as a General Security Framework.
+
+A full-system reproduction of the HPCA 2018 paper: a simulated guest
+(ISA, CPU with RAS hardware, devices, a miniature kernel), a recording
+hypervisor that logs all nondeterminism and raises imprecise security
+alarms, and the two replayers — checkpointing and alarm — that verify
+those alarms off the critical path.
+
+Quickstart::
+
+    from repro import build_workload, APACHE, deliver_rop_attack, RnRSafe
+
+    spec, chain = deliver_rop_attack(build_workload(APACHE))
+    report = RnRSafe(spec).run()
+    print(report.summary())
+"""
+
+from repro.config import DEFAULT_CONFIG, CostModel, SimulationConfig
+from repro.core.framework import (
+    AlarmOutcome,
+    FrameworkReport,
+    RnRSafe,
+    RnRSafeOptions,
+)
+from repro.core.modes import (
+    ALL_RECORDING_SETUPS,
+    NO_REC,
+    NO_REC_PV,
+    REC,
+    REC_NO_RAS,
+    RecordingSetup,
+    record_benchmark,
+)
+from repro.attacks import (
+    GadgetScanner,
+    RopChain,
+    build_dos_attack_program,
+    build_jop_attack_program,
+    build_set_root_chain,
+    deliver_rop_attack,
+)
+from repro.detectors import (
+    DosAnalyzer,
+    DosWatchdog,
+    JopDetector,
+    RasRopDetector,
+    measure_false_alarm_suppression,
+)
+from repro.hypervisor.machine import GuestMachine, MachineSpec
+from repro.kernel import build_kernel
+from repro.replay import (
+    AlarmReplayer,
+    AlarmVerdict,
+    CheckpointingOptions,
+    CheckpointingReplayer,
+    DeterministicReplayer,
+    VerdictKind,
+)
+from repro.rnr.recorder import Recorder, RecorderOptions, RecordingRun
+from repro.workloads import (
+    ALL_PROFILES,
+    APACHE,
+    FILEIO,
+    MAKE,
+    MYSQL,
+    RADIOSITY,
+    BenchmarkProfile,
+    build_workload,
+    profile_by_name,
+)
+from repro.analysis import build_attack_report, audit_window
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "SimulationConfig",
+    "CostModel",
+    "DEFAULT_CONFIG",
+    # workloads
+    "BenchmarkProfile",
+    "ALL_PROFILES",
+    "APACHE",
+    "FILEIO",
+    "MAKE",
+    "MYSQL",
+    "RADIOSITY",
+    "build_workload",
+    "profile_by_name",
+    # machines and recording
+    "MachineSpec",
+    "GuestMachine",
+    "build_kernel",
+    "Recorder",
+    "RecorderOptions",
+    "RecordingRun",
+    "RecordingSetup",
+    "ALL_RECORDING_SETUPS",
+    "NO_REC_PV",
+    "NO_REC",
+    "REC_NO_RAS",
+    "REC",
+    "record_benchmark",
+    # replay
+    "DeterministicReplayer",
+    "CheckpointingReplayer",
+    "CheckpointingOptions",
+    "AlarmReplayer",
+    "AlarmVerdict",
+    "VerdictKind",
+    # framework
+    "RnRSafe",
+    "RnRSafeOptions",
+    "FrameworkReport",
+    "AlarmOutcome",
+    # detectors
+    "RasRopDetector",
+    "JopDetector",
+    "DosWatchdog",
+    "DosAnalyzer",
+    "measure_false_alarm_suppression",
+    # attacks
+    "GadgetScanner",
+    "RopChain",
+    "build_set_root_chain",
+    "deliver_rop_attack",
+    "build_jop_attack_program",
+    "build_dos_attack_program",
+    # analysis
+    "build_attack_report",
+    "audit_window",
+]

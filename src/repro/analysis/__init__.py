@@ -1,0 +1,32 @@
+"""Post-detection analysis: attack forensics and execution auditing.
+
+§6 of the paper walks through the three questions replay analysis answers
+about a confirmed attack — *how* was it possible, *who* mounted it, and
+*what* did the attacker do.  :mod:`repro.analysis.forensics` produces those
+answers from an alarm replayer stopped at the alarm point;
+:mod:`repro.analysis.audit` implements §3.2's execution auditing over
+checkpointed history.
+"""
+
+from repro.analysis.forensics import AttackReport, build_attack_report
+from repro.analysis.audit import AuditEvent, AuditTimeline, audit_window
+from repro.analysis.intrusion import (
+    IndicatorHit,
+    IntrusionSweep,
+    ops_table_tamper_indicator,
+    sweep_for_intrusions,
+    uid_zero_indicator,
+)
+
+__all__ = [
+    "AttackReport",
+    "build_attack_report",
+    "AuditEvent",
+    "AuditTimeline",
+    "audit_window",
+    "IndicatorHit",
+    "IntrusionSweep",
+    "sweep_for_intrusions",
+    "uid_zero_indicator",
+    "ops_table_tamper_indicator",
+]

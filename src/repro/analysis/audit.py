@@ -1,0 +1,116 @@
+"""Execution auditing (§3.2): replay a window and extract a timeline.
+
+"An execution context can be replayed to audit the code and data state" —
+the auditor replays from a checkpoint (or the start) to a target
+instruction count, collecting scheduler activity, thread lifecycle, device
+traffic, and alarms into an ordered timeline that a human or a downstream
+policy can inspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hypervisor.machine import MachineSpec
+from repro.replay.base import DeterministicReplayer
+from repro.replay.checkpoint import Checkpoint, CheckpointStore
+from repro.rnr.log import InputLog
+from repro.rnr.records import AlarmRecord, EvictRecord
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One timeline entry."""
+
+    icount: int
+    kind: str
+    detail: str
+
+
+@dataclass
+class AuditTimeline:
+    """Ordered audit events plus summary counters."""
+
+    events: list[AuditEvent] = field(default_factory=list)
+    context_switches: int = 0
+    alarms: int = 0
+    threads_created: int = 0
+    threads_destroyed: int = 0
+
+    def add(self, icount: int, kind: str, detail: str):
+        self.events.append(AuditEvent(icount=icount, kind=kind, detail=detail))
+
+    def filtered(self, kind: str) -> list[AuditEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def render(self, limit: int | None = None) -> str:
+        rows = self.events if limit is None else self.events[:limit]
+        lines = [f"{event.icount:>10}  {event.kind:<16} {event.detail}"
+                 for event in rows]
+        lines.append(
+            f"-- {self.context_switches} switches, {self.alarms} alarms, "
+            f"{self.threads_created} thread creations, "
+            f"{self.threads_destroyed} thread exits"
+        )
+        return "\n".join(lines)
+
+
+class _AuditReplayer(DeterministicReplayer):
+    def __init__(self, spec: MachineSpec, log: InputLog):
+        super().__init__(spec, log.cursor(), verify_digest=False)
+        self.timeline = AuditTimeline()
+        self.interposer.thread_created_hook = self._created
+        self.interposer.thread_destroyed_hook = self._destroyed
+        self._until: int | None = None
+
+    def on_context_switch(self, old_tid: int, new_tid: int):
+        self.timeline.context_switches += 1
+        self.timeline.add(
+            self.machine.cpu.icount, "context_switch",
+            f"thread {old_tid} -> thread {new_tid}",
+        )
+
+    def on_alarm(self, record: AlarmRecord):
+        self.timeline.alarms += 1
+        self.timeline.add(
+            record.icount, "alarm",
+            f"{record.kind.value} at pc {record.pc:#x} in thread {record.tid}",
+        )
+        if self._until is not None and record.icount >= self._until:
+            self.stop_requested = True
+            self.stop_reason = "audit_target"
+
+    def on_evict(self, record: EvictRecord):
+        self.timeline.add(
+            record.icount, "ras_evict",
+            f"thread {record.tid} evicted return {record.value:#x}",
+        )
+
+    def _created(self, tid: int):
+        self.timeline.threads_created += 1
+        self.timeline.add(self.machine.cpu.icount, "thread_create",
+                          f"thread {tid} created")
+
+    def _destroyed(self, tid: int):
+        self.timeline.threads_destroyed += 1
+        self.timeline.add(self.machine.cpu.icount, "thread_exit",
+                          f"thread {tid} exited")
+
+
+def audit_window(spec: MachineSpec, log: InputLog,
+                 until_icount: int | None = None,
+                 checkpoint: Checkpoint | None = None,
+                 store: CheckpointStore | None = None) -> AuditTimeline:
+    """Replay (part of) an execution and return its audit timeline.
+
+    ``until_icount`` bounds the window; ``checkpoint`` starts it later than
+    the beginning (offline forensics over retained history).
+    """
+    replayer = _AuditReplayer(spec, log)
+    if checkpoint is not None:
+        if store is None:
+            raise ValueError("auditing from a checkpoint requires its store")
+        replayer.restore_checkpoint(checkpoint, store)
+    replayer._until = until_icount
+    replayer.run(max_instructions=until_icount)
+    return replayer.timeline

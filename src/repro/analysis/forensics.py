@@ -1,0 +1,168 @@
+"""Attack forensics: §6's how / who / what, reconstructed from replay.
+
+The alarm replayer stops exactly at the alarm marker, so the VM state is
+frozen at the moment of the hijacked return.  From there:
+
+* **how** — the alarming return's PC resolves (via the kernel function map)
+  to the vulnerable function, and the software RAS's expected target to the
+  call site; the overwritten stack around the frame shows the overflow;
+* **who** — the current task struct, introspected from guest memory, plus
+  the receive path that carried the payload;
+* **what** — the words still staged on the stack decode (via the gadget
+  scanner's classifier) into the chain the attacker lined up, and the
+  kernel's UID cell tells whether the payload ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.disassembler import disassemble
+from repro.isa.opcodes import SP
+from repro.kernel.tasks import TaskView, current_task
+from repro.replay.alarm import AlarmReplayer
+from repro.replay.verdict import AlarmVerdict
+
+
+@dataclass(frozen=True)
+class AttackReport:
+    """Structured answers to §6's three questions."""
+
+    verdict: AlarmVerdict
+    # --- how ---
+    vulnerable_function: str | None
+    call_site_target: int | None
+    hijacked_target: int
+    hijacked_target_function: str | None
+    # --- who ---
+    task: TaskView | None
+    packets_received: int
+    # --- what ---
+    staged_chain: tuple[str, ...]
+    payload_executed: bool
+    uid_after: int
+
+    def render(self) -> str:
+        """The human-readable incident report."""
+        lines = ["=== RnR-Safe attack report ==="]
+        lines.append(f"verdict: {self.verdict.kind.value}")
+        lines.append(f"  {self.verdict.explanation}")
+        lines.append("")
+        lines.append("[how]")
+        lines.append(
+            f"  hijacked return in: {self.vulnerable_function or '<unknown>'}"
+        )
+        if self.call_site_target is not None:
+            lines.append(
+                f"  legitimate return target: {self.call_site_target:#x}"
+            )
+        lines.append(
+            f"  redirected to: {self.hijacked_target:#x}"
+            + (
+                f" (inside {self.hijacked_target_function})"
+                if self.hijacked_target_function else ""
+            )
+        )
+        lines.append(
+            "  consistent with an unchecked copy overflowing a stack buffer"
+        )
+        lines.append("")
+        lines.append("[who]")
+        if self.task is not None:
+            lines.append(
+                f"  thread {self.task.tid}, entry {self.task.entry_pc:#x}, "
+                f"stack {self.task.stack_base:#x}-{self.task.stack_top:#x}"
+            )
+        lines.append(
+            f"  network packets received before the alarm: "
+            f"{self.packets_received}"
+        )
+        lines.append("")
+        lines.append("[what]")
+        lines.append("  gadget chain staged on the stack:")
+        for entry in self.staged_chain:
+            lines.append(f"    {entry}")
+        lines.append(
+            "  payload executed: "
+            + ("YES - UID cell now "
+               f"{self.uid_after} (root granted)" if self.payload_executed
+               else "no - intercepted before the gadgets ran")
+        )
+        return "\n".join(lines)
+
+
+def build_attack_report(replayer: AlarmReplayer,
+                        verdict: AlarmVerdict,
+                        recording=None,
+                        chain_window: int = 8) -> AttackReport:
+    """Assemble the report from an AR stopped at its alarm.
+
+    The AR's machine shows the moment of hijack (stack still staged, state
+    unpolluted).  Whether the payload ultimately *executed* is a question
+    about the rest of the recorded execution, so pass the
+    :class:`~repro.rnr.recorder.RecordingRun` when available and the
+    report reads the final UID from there; otherwise it reports the
+    alarm-point state (payload not yet run).
+    """
+    machine = replayer.machine
+    kernel = replayer.kernel
+    alarm = verdict.alarm
+    layout = kernel.layout
+    task = current_task(machine.memory, layout)
+    # What is staged above the stack pointer right now: the not-yet-consumed
+    # chain words (the alarming ret already popped G1).
+    staged = []
+    sp = machine.cpu.regs[SP]
+    for offset in range(chain_window):
+        addr = sp + offset
+        if not machine.memory.is_mapped(addr):
+            break
+        word = machine.memory.read_word(addr)
+        annotation = _annotate_word(kernel, machine, word)
+        staged.append(f"[sp+{offset}] {word:#x}{annotation}")
+    final_memory = (recording.machine.memory if recording is not None
+                    else machine.memory)
+    uid_after = final_memory.read_word(layout.uid_addr)
+    return AttackReport(
+        verdict=verdict,
+        vulnerable_function=kernel.function_at(alarm.pc),
+        call_site_target=verdict.expected_target,
+        hijacked_target=alarm.actual,
+        hijacked_target_function=kernel.function_at(alarm.actual),
+        task=task,
+        packets_received=_count_network_records(replayer),
+        staged_chain=tuple(staged),
+        payload_executed=uid_after == 0,
+        uid_after=uid_after,
+    )
+
+
+def _annotate_word(kernel, machine, word: int) -> str:
+    """Describe a stack word: gadget, function pointer slot, or data."""
+    layout = kernel.layout
+    code_start = layout.kernel_code_base
+    code_end = kernel.image.end
+    if code_start <= word < code_end:
+        listing = disassemble(machine.memory.read_word(word))
+        owner = kernel.function_at(word)
+        where = f" in {owner}" if owner else ""
+        return f"  -> code{where}: {listing}"
+    ops = layout.ops_table_addr
+    if ops <= word < ops + layout.ops_table_entries:
+        slot = word - ops
+        pointer = machine.memory.read_word(word)
+        target = kernel.function_at(pointer)
+        return f"  -> ops_table[{slot}] holding &{target or hex(pointer)}"
+    return ""
+
+
+def _count_network_records(replayer: AlarmReplayer) -> int:
+    """Packets the victim had consumed up to the alarm point."""
+    from repro.rnr.records import NetworkDmaRecord
+
+    count = 0
+    log = replayer.cursor.log
+    for position in range(replayer.cursor.position):
+        if isinstance(log[position], NetworkDmaRecord):
+            count += 1
+    return count

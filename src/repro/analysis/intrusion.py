@@ -1,0 +1,138 @@
+"""Retrospective intrusion detection over retained history (§3.2).
+
+The paper's Execution Auditing benefit — and the IntroVirt use case it
+cites (§2.1): "once zero-day attacks are discovered", replay the retained
+execution and check newly-known indicators against every point in time.
+The sweep replays from the earliest retained checkpoint (or the start) and
+evaluates a set of *indicators* — predicates over guest state — at every
+checkpoint boundary plus the end, reporting the first time each indicator
+trips and therefore the window in which the compromise happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.hypervisor.machine import GuestMachine, MachineSpec
+from repro.replay.base import DeterministicReplayer
+from repro.replay.checkpoint import CheckpointStore
+from repro.rnr.log import InputLog
+
+#: An indicator inspects a (replayed) machine and says "compromised?".
+Indicator = Callable[[GuestMachine], bool]
+
+
+@dataclass(frozen=True)
+class IndicatorHit:
+    """First time an indicator tripped."""
+
+    name: str
+    #: Instruction count of the first probe where the indicator held.
+    first_seen_icount: int
+    #: Last probed instruction count where it did NOT hold (the window's
+    #: left edge; -1 when it already held at the first probe).
+    clean_until_icount: int
+
+
+@dataclass(frozen=True)
+class IntrusionSweep:
+    """Result of one retrospective sweep."""
+
+    probes: tuple[int, ...]
+    hits: tuple[IndicatorHit, ...]
+
+    @property
+    def compromised(self) -> bool:
+        return bool(self.hits)
+
+    def window_for(self, name: str) -> tuple[int, int] | None:
+        """(clean_until, first_seen) icount window for one indicator."""
+        for hit in self.hits:
+            if hit.name == name:
+                return (hit.clean_until_icount, hit.first_seen_icount)
+        return None
+
+
+def uid_zero_indicator(machine: GuestMachine) -> bool:
+    """The §6 compromise: the kernel UID cell was zeroed (root granted)."""
+    return machine.memory.read_word(machine.layout.uid_addr) == 0
+
+
+def ops_table_tamper_indicator(spec: MachineSpec) -> Indicator:
+    """Detect mutated kernel function-pointer tables (the JOP foothold).
+
+    Compares every ops-table slot against the set of legitimate kernel
+    function entries; anything else is a planted pointer.
+    """
+    legitimate = {start for start, _ in spec.kernel.functions.values()}
+
+    def indicator(machine: GuestMachine) -> bool:
+        layout = machine.layout
+        for slot in range(layout.ops_table_entries):
+            pointer = machine.memory.read_word(layout.ops_table_addr + slot)
+            if pointer not in legitimate:
+                return True
+        return False
+
+    return indicator
+
+
+def sweep_for_intrusions(
+    spec: MachineSpec,
+    log: InputLog,
+    indicators: dict[str, Indicator],
+    store: CheckpointStore | None = None,
+    probe_every: int = 50_000,
+) -> IntrusionSweep:
+    """Replay the execution, probing the indicators as time passes.
+
+    With a checkpoint store the probes land at the retained checkpoints
+    (cheap — state reconstruction only); without one, the sweep replays
+    from the start, probing every ``probe_every`` instructions.
+    """
+    probes: list[int] = []
+    first_seen: dict[str, int] = {}
+    clean_until: dict[str, int] = {name: -1 for name in indicators}
+
+    def probe(machine: GuestMachine, icount: int):
+        probes.append(icount)
+        for name, indicator in indicators.items():
+            if name in first_seen:
+                continue
+            if indicator(machine):
+                first_seen[name] = icount
+            else:
+                clean_until[name] = icount
+
+    replayer = DeterministicReplayer(spec, log.cursor(),
+                                     verify_digest=False)
+    if store is not None and len(store):
+        for checkpoint in store.all():
+            inspector = DeterministicReplayer(spec, log.cursor(),
+                                              verify_digest=False)
+            inspector.restore_checkpoint(checkpoint, store)
+            probe(inspector.machine, checkpoint.icount)
+        # Replay the tail past the last checkpoint for the final probe.
+        replayer.restore_checkpoint(store.latest(), store)
+    else:
+        target = probe_every
+        while True:
+            result = replayer.run(max_instructions=target)
+            probe(replayer.machine, replayer.machine.cpu.icount)
+            if result.reached_end or result.stop_reason != "budget":
+                break
+            replayer.stop_reason = ""
+            target += probe_every
+    if store is not None:
+        replayer.run()
+        probe(replayer.machine, replayer.machine.cpu.icount)
+    hits = tuple(
+        IndicatorHit(
+            name=name,
+            first_seen_icount=icount,
+            clean_until_icount=clean_until[name],
+        )
+        for name, icount in sorted(first_seen.items())
+    )
+    return IntrusionSweep(probes=tuple(probes), hits=hits)

@@ -1,0 +1,58 @@
+"""Attack construction: gadget scanning, ROP chains, exploit delivery.
+
+Implements the Appendix A / §6 attack end-to-end against the guest kernel:
+the scanner walks the victim binary for ``ret``-terminated instruction
+sequences, the chain builder assembles Figure 10(d)'s payload
+``[junk, G1, Addr, G2, G3]``, and the exploit module delivers it as a
+network message that the vulnerable kernel parser copies into a fixed
+stack buffer.  JOP and DOS variants cover Table 1's other rows.
+"""
+
+from repro.attacks.gadgets import Gadget, GadgetKind, GadgetScanner
+from repro.attacks.rop_chain import RopChain, build_set_root_chain
+from repro.attacks.exploit import (
+    attack_payload_words,
+    deliver_rop_attack,
+    inject_attack_packet,
+)
+from repro.attacks.jop_attack import build_jop_attack_program
+from repro.attacks.dos_attack import build_dos_attack_program
+from repro.attacks.variants import (
+    ChainVariant,
+    VariantAttack,
+    build_variant_chain,
+    deliver_variant_attack,
+)
+from repro.attacks.code_injection import (
+    InjectionAttack,
+    build_shellcode,
+    deliver_injection_attack,
+)
+from repro.attacks.user_rop import (
+    UserRopAttack,
+    deliver_user_rop_attack,
+    user_rop_profile,
+)
+
+__all__ = [
+    "Gadget",
+    "GadgetKind",
+    "GadgetScanner",
+    "RopChain",
+    "build_set_root_chain",
+    "attack_payload_words",
+    "deliver_rop_attack",
+    "inject_attack_packet",
+    "build_jop_attack_program",
+    "build_dos_attack_program",
+    "ChainVariant",
+    "VariantAttack",
+    "build_variant_chain",
+    "deliver_variant_attack",
+    "InjectionAttack",
+    "build_shellcode",
+    "deliver_injection_attack",
+    "UserRopAttack",
+    "user_rop_profile",
+    "deliver_user_rop_attack",
+]

@@ -1,0 +1,89 @@
+"""Classic code injection — and why it fails here (Appendix A).
+
+The paper's Appendix A motivates ROP by recounting how W⊕X killed code
+injection: "malware injected into memory can no longer be executed".  This
+module mounts the *old* attack against the same vulnerable syscall — write
+shellcode words into a writable buffer, then redirect the hijacked return
+into that buffer — and demonstrates the two layers that stop it:
+
+1. at load time the platform refuses to map writable+executable pages
+   (``PhysicalMemory`` enforces W⊕X), so the only writable targets are
+   non-executable;
+2. at run time the redirected fetch faults, the kernel's recovery path
+   kills the thread, and the privilege escalation never happens — which is
+   exactly why the attacker of §6 switches to reusing existing code.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.hypervisor.machine import MachineSpec
+from repro.isa import Instruction, Opcode, encode
+from repro.kernel.image import KernelImage
+
+
+@dataclass(frozen=True)
+class InjectionAttack:
+    """A code-injection payload aimed at a writable (non-executable) page."""
+
+    spec: MachineSpec
+    #: Where the shellcode lands (inside the victim's user data page).
+    shellcode_addr: int
+    #: The injected instruction words.
+    shellcode: tuple[int, ...]
+
+
+def build_shellcode(kernel: KernelImage) -> tuple[int, ...]:
+    """Machine code that would zero the UID cell if it ever executed."""
+    layout = kernel.layout
+    return (
+        encode(Instruction(op=Opcode.LI, rd=4, imm=0)),
+        encode(Instruction(op=Opcode.LI, rd=5, imm=layout.uid_addr)),
+        encode(Instruction(op=Opcode.ST, rs1=5, rs2=4, imm=0)),
+        encode(Instruction(op=Opcode.RET)),
+    )
+
+
+def deliver_injection_attack(spec: MachineSpec,
+                             at_cycle: int | None = None,
+                             victim_tid: int = 1) -> InjectionAttack:
+    """Inject shellcode-carrying traffic targeting a data page.
+
+    The payload both plants the shellcode (the message body the victim
+    copies into its buffer *is* the shellcode) and overwrites the hijacked
+    return address to point at the copy's destination — the message buffer
+    in the victim's user-data region, which is mapped RW but never X.
+    """
+    kernel = spec.kernel
+    layout = kernel.layout
+    shellcode = build_shellcode(kernel)
+    # The victim's recv path copies the packet to its message buffer; the
+    # parser then copies it onto the kernel stack.  Aim the return at the
+    # *user data* copy, the page an attacker can actually write.
+    from repro.workloads.userprog import MSGBUF_OFF
+
+    data_base, _ = layout.user_data_region(victim_tid)
+    shellcode_addr = data_base + MSGBUF_OFF
+    rng = random.Random(0x14B)
+    buffer_words = layout.vulnerable_buffer_words
+    junk = [rng.getrandbits(32) | 1 for _ in range(buffer_words)]
+    # Shellcode words double as the junk prefix's head so they land at the
+    # start of the message buffer.
+    for index, word in enumerate(shellcode):
+        junk[index] = word
+    payload = tuple(junk) + (shellcode_addr, 0)
+    if at_cycle is None:
+        at_cycle = (spec.packet_schedule[-1][0] // 2
+                    if spec.packet_schedule else 50_000)
+    schedule = list(spec.packet_schedule)
+    schedule.append((at_cycle, payload))
+    schedule.sort(key=lambda item: item[0])
+    attacked = replace(
+        spec,
+        packet_schedule=tuple(schedule),
+        label=f"{spec.label}+inject",
+    )
+    return InjectionAttack(spec=attacked, shellcode_addr=shellcode_addr,
+                           shellcode=shellcode)

@@ -1,0 +1,43 @@
+"""DOS attack (Table 1, row 3): starve the scheduler from inside the kernel.
+
+Modeled on kernel-spin vulnerabilities like CVE-2015-5364: a syscall path
+loops in the kernel with interrupts masked, so the context-switch counter
+flatlines.  The DOS detector's watchdog notices the missing switches; the
+replayer's role is to identify *which code* hogged the kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.hypervisor.machine import MachineSpec
+from repro.isa.assembler import Asm
+from repro.kernel.layout import Syscall
+
+
+def build_dos_attack_program(spec: MachineSpec,
+                             spin_iterations: int = 20_000) -> MachineSpec:
+    """Append an attacker task that hogs the kernel without yielding."""
+    base = _next_code_base(spec)
+    asm = Asm(base=base)
+    asm.begin_function("dos_attacker")
+    asm.li(1, spin_iterations)
+    asm.syscall(int(Syscall.SPIN))
+    asm.syscall(int(Syscall.EXIT))
+    asm.label("dos_spin")
+    asm.jmp("dos_spin")
+    asm.end_function()
+    image = asm.assemble()
+    return replace(
+        spec,
+        label=f"{spec.label}+dos",
+        user_images=spec.user_images + (image,),
+        init_entries=spec.init_entries + (image.addr_of("dos_attacker"),),
+    )
+
+
+def _next_code_base(spec: MachineSpec) -> int:
+    layout = spec.kernel.layout
+    if spec.user_images:
+        return max(image.end for image in spec.user_images) + 16
+    return layout.user_code_base

@@ -1,0 +1,152 @@
+"""Gadget scanner: find ``ret``-terminated code snippets in a binary image.
+
+Works the way Figure 10(a) describes: scan the executable for ``ret``
+instructions, decode the few words before each one, and classify the
+resulting snippets by their architectural effect.  The scanner sees only
+machine words — it needs no symbols, exactly like an attacker with a copy
+of the victim kernel binary.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.isa.disassembler import format_instruction
+from repro.isa.instruction import Instruction, try_decode
+from repro.isa.opcodes import Opcode
+
+
+class GadgetKind(enum.Enum):
+    """Architectural effect of a gadget (what the chain builder needs)."""
+
+    #: ``pop rX; ret`` — loads the next stack word into a register.
+    POP_REG = "pop_reg"
+    #: ``ld rD, [rS]; ret`` — dereferences a register into another.
+    LOAD_INDIRECT = "load_indirect"
+    #: ``calli rX; ret`` — calls through a register.
+    CALL_REG = "call_reg"
+    #: a bare ``ret`` — stack-lifter / chain glue.
+    RET_ONLY = "ret_only"
+
+
+@dataclass(frozen=True)
+class Gadget:
+    """One usable gadget."""
+
+    kind: GadgetKind
+    addr: int
+    instructions: tuple[Instruction, ...]
+    #: Register the gadget writes (POP_REG, LOAD_INDIRECT) or reads
+    #: (CALL_REG).
+    reg: int = -1
+    #: Source register for LOAD_INDIRECT.
+    src_reg: int = -1
+
+    def disassemble(self) -> str:
+        """Human-readable listing for forensics reports."""
+        body = "; ".join(format_instruction(i) for i in self.instructions)
+        return f"{self.addr:#x}: {body}"
+
+
+class GadgetScanner:
+    """Scans a ``read_word(addr)``-accessible image for gadgets."""
+
+    def __init__(self, read_word, start: int, end: int):
+        self._read_word = read_word
+        self.start = start
+        self.end = end
+
+    @classmethod
+    def over_image(cls, image) -> "GadgetScanner":
+        """Scan an :class:`~repro.isa.assembler.AssembledImage`."""
+        words = {addr: word for addr, word in image.items()}
+        return cls(lambda addr: words.get(addr, 0), image.base, image.end)
+
+    @classmethod
+    def over_memory(cls, memory, start: int, end: int) -> "GadgetScanner":
+        """Scan live guest memory (host reads, as VM introspection would)."""
+        return cls(memory.read_word, start, end)
+
+    def find_rets(self) -> list[int]:
+        """Addresses of every ``ret`` instruction in the range."""
+        rets = []
+        for addr in range(self.start, self.end):
+            instr = try_decode(self._read_word(addr))
+            if instr is not None and instr.op is Opcode.RET:
+                rets.append(addr)
+        return rets
+
+    def scan(self, window: int = 3) -> list[Gadget]:
+        """All classified gadgets ending at some ``ret``.
+
+        For each ``ret`` the scanner considers suffixes of up to ``window``
+        preceding instructions; every decodable suffix whose effect is
+        recognized yields a gadget (including mid-function entry points —
+        the essence of code reuse).
+        """
+        gadgets = []
+        for ret_addr in self.find_rets():
+            gadgets.append(
+                Gadget(
+                    kind=GadgetKind.RET_ONLY,
+                    addr=ret_addr,
+                    instructions=(Instruction(op=Opcode.RET),),
+                )
+            )
+            for length in range(1, window + 1):
+                start = ret_addr - length
+                if start < self.start:
+                    break
+                body = self._decode_range(start, ret_addr + 1)
+                if body is None:
+                    break
+                gadget = self._classify(start, body)
+                if gadget is not None:
+                    gadgets.append(gadget)
+        return gadgets
+
+    def _decode_range(self, start: int, end: int) -> tuple[Instruction, ...] | None:
+        instructions = []
+        for addr in range(start, end):
+            instr = try_decode(self._read_word(addr))
+            if instr is None:
+                return None
+            instructions.append(instr)
+        return tuple(instructions)
+
+    def _classify(self, addr: int, body: tuple[Instruction, ...]) -> Gadget | None:
+        if len(body) != 2:
+            return None
+        head, tail = body
+        if tail.op is not Opcode.RET:
+            return None
+        if head.op is Opcode.POP:
+            return Gadget(
+                kind=GadgetKind.POP_REG, addr=addr, instructions=body,
+                reg=head.rd,
+            )
+        if head.op is Opcode.LD and head.imm == 0:
+            return Gadget(
+                kind=GadgetKind.LOAD_INDIRECT, addr=addr, instructions=body,
+                reg=head.rd, src_reg=head.rs1,
+            )
+        if head.op is Opcode.CALLI:
+            return Gadget(
+                kind=GadgetKind.CALL_REG, addr=addr, instructions=body,
+                reg=head.rs1,
+            )
+        return None
+
+    def find(self, kind: GadgetKind, reg: int | None = None,
+             src_reg: int | None = None) -> Gadget | None:
+        """First gadget matching the requested effect, or ``None``."""
+        for gadget in self.scan():
+            if gadget.kind is not kind:
+                continue
+            if reg is not None and gadget.reg != reg:
+                continue
+            if src_reg is not None and gadget.src_reg != src_reg:
+                continue
+            return gadget
+        return None

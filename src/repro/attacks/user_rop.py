@@ -1,0 +1,89 @@
+"""User-context ROP (§1: "RnR-Safe can secure both").
+
+The kernel attack of §6 has a user-space twin: the victim application
+parses received messages with an unchecked copy into a stack buffer, and
+the attacker's message overwrites the parser's return address.  The
+payload here is the ret2func shape — return straight into the
+application's own ``admin`` routine, which flips the task's privilege
+flag.  Detection is identical in kind: the hijacked return mispredicts,
+the alarm's PC lands in user code, and the framework's auto-scoped alarm
+replayer instruments user call/rets too (the paper's "increasing levels
+of instrumentation").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.errors import AttackBuildError
+from repro.hypervisor.machine import MachineSpec
+from repro.workloads.profiles import BenchmarkProfile
+from repro.workloads.userprog import ADMIN_MAGIC, FLAG_OFF, USER_PARSE_BUFFER
+
+
+def user_rop_profile(base: BenchmarkProfile) -> BenchmarkProfile:
+    """Derive a profile whose receivers parse messages in user space."""
+    if base.recv_per_iter == 0:
+        raise AttackBuildError(
+            f"{base.name} receives no traffic; nothing to attack"
+        )
+    return replace(base, name=f"{base.name}-userparse",
+                   process_msg=False, user_parser=True)
+
+
+@dataclass(frozen=True)
+class UserRopAttack:
+    """A delivered user-context exploit."""
+
+    spec: MachineSpec
+    victim_tid: int
+    #: The hijacked return's new target: the app's admin routine.
+    target: int
+    #: Where the proof-of-escalation flag lives.
+    flag_addr: int
+
+    def escalated(self, memory) -> bool:
+        """Whether the payload flipped the victim's admin flag."""
+        return memory.read_word(self.flag_addr) == ADMIN_MAGIC
+
+
+def deliver_user_rop_attack(spec: MachineSpec, victim_tid: int = 1,
+                            at_cycle: int | None = None) -> UserRopAttack:
+    """Inject the user-parser overflow into the packet stream.
+
+    ``spec`` must have been built from :func:`user_rop_profile` (its user
+    images carry the vulnerable parser and the admin routine).
+    """
+    image = _victim_image(spec, victim_tid)
+    symbol = f"t{victim_tid}_admin"
+    if symbol not in image.symbols:
+        raise AttackBuildError(
+            "victim program has no user parser; build the spec from "
+            "user_rop_profile() first"
+        )
+    target = image.addr_of(symbol)
+    rng = random.Random(0x05E2)
+    junk = [rng.getrandbits(32) | 1 for _ in range(USER_PARSE_BUFFER)]
+    payload = tuple(junk) + (target, 0)
+    if at_cycle is None:
+        at_cycle = (spec.packet_schedule[-1][0] // 2
+                    if spec.packet_schedule else 50_000)
+    schedule = list(spec.packet_schedule)
+    schedule.append((at_cycle, payload))
+    schedule.sort(key=lambda item: item[0])
+    attacked = replace(
+        spec,
+        packet_schedule=tuple(schedule),
+        label=f"{spec.label}+userrop",
+    )
+    flag_addr = spec.kernel.layout.user_data_region(victim_tid)[0] + FLAG_OFF
+    return UserRopAttack(spec=attacked, victim_tid=victim_tid,
+                         target=target, flag_addr=flag_addr)
+
+
+def _victim_image(spec: MachineSpec, victim_tid: int):
+    index = victim_tid - 1  # boot assigns workers to slots 1..N in order
+    if not 0 <= index < len(spec.user_images):
+        raise AttackBuildError(f"no worker in task slot {victim_tid}")
+    return spec.user_images[index]

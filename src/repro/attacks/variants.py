@@ -1,0 +1,144 @@
+"""Attack variants beyond Figure 10's canonical chain.
+
+The paper leaves "collecting and analyzing multiple real-world kernel ROP
+attacks" as future work (§7.1); this module builds several structurally
+different chains against the same vulnerable syscall so the detection
+pipeline can be exercised against more than one gadget pattern:
+
+* ``CANONICAL`` — the paper's three-gadget chain (Figure 10);
+* ``RET2FUNC``  — the ret2libc-style degenerate case: overwrite the return
+  address with a whole function (``set_root``) and no gadgets at all;
+* ``DOUBLE_DISPATCH`` — a longer chain that invokes two kernel functions in
+  sequence by re-entering the dispatch gadgets;
+* ``SPRAYED`` — the canonical chain preceded by a slide of harmless
+  ``ret``-only gadgets, the ROP analogue of a NOP sled.
+
+Every variant must (and does — see tests) cause a RAS misprediction at the
+hijacked return: detection is structural, not signature-based, which is the
+framework's whole point against the §2.3 signature detectors.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, replace
+
+from repro.attacks.gadgets import GadgetKind, GadgetScanner
+from repro.attacks.rop_chain import RopChain, build_set_root_chain
+from repro.errors import AttackBuildError
+from repro.hypervisor.machine import MachineSpec
+from repro.kernel.image import KernelImage
+
+
+class ChainVariant(enum.Enum):
+    """Named attack shapes."""
+
+    CANONICAL = "canonical"
+    RET2FUNC = "ret2func"
+    DOUBLE_DISPATCH = "double_dispatch"
+    SPRAYED = "sprayed"
+
+
+def build_variant_chain(kernel: KernelImage,
+                        variant: ChainVariant) -> RopChain:
+    """Build one of the variant chains against a kernel image."""
+    if variant is ChainVariant.CANONICAL:
+        return build_set_root_chain(kernel)
+    if variant is ChainVariant.RET2FUNC:
+        return _ret2func(kernel)
+    if variant is ChainVariant.DOUBLE_DISPATCH:
+        return _double_dispatch(kernel)
+    if variant is ChainVariant.SPRAYED:
+        return _sprayed(kernel)
+    raise AttackBuildError(f"unknown variant {variant}")
+
+
+def _ret2func(kernel: KernelImage) -> RopChain:
+    """Jump straight into ``set_root``: no gadgets, maximal simplicity.
+
+    The victim's hijacked return lands on a function entry; ``set_root``
+    executes and its own return then pops attacker-controlled junk (a
+    zero), crashing the thread — after the damage is done.
+    """
+    target = kernel.addr("set_root")
+    scanner = GadgetScanner.over_image(kernel.image)
+    ret_only = scanner.find(GadgetKind.RET_ONLY)
+    if ret_only is None:
+        raise AttackBuildError("no ret instruction in the kernel image")
+    return RopChain(
+        gadgets=(ret_only,),
+        stack_words=(target,),
+        description="ret2func: return directly into set_root (no gadgets)",
+    )
+
+
+def _double_dispatch(kernel: KernelImage) -> RopChain:
+    """Invoke two ops-table functions back to back.
+
+    After the first ``calli r2`` returns, ``kdispatch2``'s own ``ret``
+    pops the next chain word, re-entering G1 — chains compose exactly as
+    Appendix A describes.
+    """
+    base = build_set_root_chain(kernel)
+    layout = kernel.layout
+    first_slot = layout.ops_table_addr + layout.ops_table_entries - 1
+    second_slot = layout.ops_table_addr + 1  # op_stat
+    g1, _, g2, g3 = base.stack_words
+    return RopChain(
+        gadgets=base.gadgets,
+        stack_words=(g1, first_slot, g2, g3,
+                     g1, second_slot, g2, g3),
+        description=(
+            "double dispatch: set_root, then op_stat, by re-entering the "
+            "pop/load/call gadget triple"
+        ),
+    )
+
+
+def _sprayed(kernel: KernelImage, slide_length: int = 6) -> RopChain:
+    """The canonical chain behind a ret-slide of bare ``ret`` gadgets."""
+    base = build_set_root_chain(kernel)
+    scanner = GadgetScanner.over_image(kernel.image)
+    rets = scanner.find_rets()
+    if len(rets) < 2:
+        raise AttackBuildError("not enough ret gadgets for a slide")
+    rng = random.Random(0x51DE)
+    slide = tuple(rng.choice(rets) for _ in range(slide_length))
+    return RopChain(
+        gadgets=base.gadgets,
+        stack_words=slide + base.stack_words,
+        description=f"{slide_length}-entry ret-slide + canonical chain",
+    )
+
+
+@dataclass(frozen=True)
+class VariantAttack:
+    """A variant chain delivered into a workload's traffic."""
+
+    variant: ChainVariant
+    chain: RopChain
+    spec: MachineSpec
+
+
+def deliver_variant_attack(spec: MachineSpec, variant: ChainVariant,
+                           at_cycle: int | None = None) -> VariantAttack:
+    """Inject a variant chain the same way the canonical exploit travels."""
+    from repro.attacks.exploit import attack_payload_words
+
+    chain = build_variant_chain(spec.kernel, variant)
+    payload = attack_payload_words(spec.kernel, chain=chain)
+    if at_cycle is None:
+        if spec.packet_schedule:
+            at_cycle = spec.packet_schedule[-1][0] // 2
+        else:
+            at_cycle = 50_000
+    schedule = list(spec.packet_schedule)
+    schedule.append((at_cycle, payload))
+    schedule.sort(key=lambda item: item[0])
+    attacked = replace(
+        spec,
+        packet_schedule=tuple(schedule),
+        label=f"{spec.label}+{variant.value}",
+    )
+    return VariantAttack(variant=variant, chain=chain, spec=attacked)

@@ -1,0 +1,37 @@
+"""Comparison baselines from the paper's related-work discussion (§2.3, §9).
+
+* :mod:`repro.baselines.shadow_stack` — precise hardware shadow stacks
+  (SmashGuard/SRAS style): no false positives, but intrusive hardware and
+  spill/fill exits; and the instrumentation-based software variant whose
+  >100% overhead motivates offloading checks to replay;
+* :mod:`repro.baselines.coarse_cfi` — relaxed CFI ("call-preceded target")
+  checks that are cheap but bypassable;
+* :mod:`repro.baselines.aslr` — address-space layout randomization, which a
+  disclosure-equipped attacker circumvents while RnR-Safe still detects.
+"""
+
+from repro.baselines.shadow_stack import (
+    HardwareShadowStackModel,
+    ShadowStackStats,
+    run_instrumented_shadow_stack,
+)
+from repro.baselines.coarse_cfi import (
+    CoarseCfiPolicy,
+    classify_chain_against_cfi,
+)
+from repro.baselines.aslr import (
+    build_slid_workload,
+    chain_survives_slide,
+    disclose_kernel_slide,
+)
+
+__all__ = [
+    "HardwareShadowStackModel",
+    "ShadowStackStats",
+    "run_instrumented_shadow_stack",
+    "CoarseCfiPolicy",
+    "classify_chain_against_cfi",
+    "build_slid_workload",
+    "chain_survives_slide",
+    "disclose_kernel_slide",
+]

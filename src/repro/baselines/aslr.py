@@ -1,0 +1,68 @@
+"""ASLR baseline (§9): randomize the kernel base, then break it.
+
+ASLR complicates ROP by moving gadget addresses: a chain built against the
+unslid image points at the wrong words and the exploit crashes instead of
+escalating.  But §9's conclusion is that disclosure attacks re-enable ROP:
+once the attacker learns the slide, the rebuilt chain works — and RnR-Safe
+detects it either way, because any hijacked return still mispredicts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+from repro.config import DEFAULT_CONFIG, SimulationConfig
+from repro.errors import AttackBuildError
+from repro.hypervisor.machine import MachineSpec
+from repro.kernel.layout import DEFAULT_LAYOUT, KernelLayout
+from repro.workloads.profiles import BenchmarkProfile
+from repro.workloads.suite import build_workload
+
+#: Kernel-base slide granularity in words (page-aligned slides).
+SLIDE_GRANULE = 256
+#: Number of distinct slide slots (entropy of this toy ASLR).
+SLIDE_SLOTS = 8
+
+
+def slide_for_seed(seed: int) -> int:
+    """The randomized slide chosen at 'boot' for a given seed."""
+    return random.Random(seed ^ 0xA51A).randrange(SLIDE_SLOTS) * SLIDE_GRANULE
+
+
+def slid_layout(slide: int,
+                base_layout: KernelLayout = DEFAULT_LAYOUT) -> KernelLayout:
+    """A layout with the kernel text moved up by ``slide`` words."""
+    new_base = base_layout.kernel_code_base + slide
+    if new_base + 2048 > base_layout.kdata_base:
+        raise AttackBuildError(f"slide {slide} pushes the kernel into data")
+    return replace(base_layout, kernel_code_base=new_base)
+
+
+def build_slid_workload(profile: BenchmarkProfile, seed: int,
+                        config: SimulationConfig = DEFAULT_CONFIG
+                        ) -> tuple[MachineSpec, int]:
+    """Build a workload whose kernel was loaded at a randomized base."""
+    slide = slide_for_seed(seed)
+    layout = slid_layout(slide)
+    spec = build_workload(profile, config=config, layout=layout, seed=seed)
+    return spec, slide
+
+
+def disclose_kernel_slide(spec: MachineSpec) -> int:
+    """An 'address disclosure' primitive: leak the slide from the victim.
+
+    Stands in for the paper's §9 disclosure attacks (timing side channels,
+    leaked pointers): the attacker learns where the kernel really sits.
+    """
+    return spec.kernel.layout.kernel_code_base - DEFAULT_LAYOUT.kernel_code_base
+
+
+def chain_survives_slide(chain_words: tuple[int, ...], slide: int,
+                         base_layout: KernelLayout = DEFAULT_LAYOUT) -> bool:
+    """Whether a chain built pre-slide still points at valid kernel text.
+
+    With page-granularity slides any nonzero slide moves every gadget, so a
+    blind chain survives only the identity slide.
+    """
+    return slide == 0

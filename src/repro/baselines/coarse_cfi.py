@@ -1,0 +1,69 @@
+"""Coarse-grained CFI baseline (§2.3, §9).
+
+Relaxed CFI avoids a shadow stack by accepting any return target that is
+"call-preceded" (the word before it decodes to a call).  That check is
+cheap — and famously bypassable: chains built exclusively from
+call-preceded gadgets slip through (Davi et al., "Stitching the Gadgets").
+This module classifies ROP chains against the policy so the benches can
+show which attacks coarse CFI would have caught and which it misses while
+RnR-Safe still confirms them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.rop_chain import RopChain
+from repro.isa.instruction import try_decode
+from repro.isa.opcodes import Opcode
+from repro.kernel.image import KernelImage
+
+
+@dataclass(frozen=True)
+class CoarseCfiPolicy:
+    """The call-preceded-return policy over one kernel image."""
+
+    kernel: KernelImage
+
+    def _word_at(self, addr: int) -> int:
+        offset = addr - self.kernel.image.base
+        if 0 <= offset < len(self.kernel.image.words):
+            return self.kernel.image.words[offset]
+        return 0
+
+    def is_call_preceded(self, target: int) -> bool:
+        """Whether a return to ``target`` satisfies the relaxed policy."""
+        instr = try_decode(self._word_at(target - 1))
+        return instr is not None and instr.op in (Opcode.CALL, Opcode.CALLI)
+
+    def allows_return_to(self, target: int) -> bool:
+        return self.is_call_preceded(target)
+
+
+@dataclass(frozen=True)
+class CfiChainVerdict:
+    """Which chain elements the coarse policy rejects."""
+
+    chain: RopChain
+    rejected_targets: tuple[int, ...]
+
+    @property
+    def detected(self) -> bool:
+        """Coarse CFI flags the chain if any hop violates the policy."""
+        return bool(self.rejected_targets)
+
+
+def classify_chain_against_cfi(kernel: KernelImage,
+                               chain: RopChain) -> CfiChainVerdict:
+    """Evaluate every code hop in a chain against the relaxed policy.
+
+    Only words that are actually jump targets (gadget entry points) are
+    policy-checked; data words like the ops-table address are skipped.
+    """
+    policy = CoarseCfiPolicy(kernel)
+    gadget_addrs = {gadget.addr for gadget in chain.gadgets}
+    rejected = tuple(
+        word for word in chain.stack_words
+        if word in gadget_addrs and not policy.allows_return_to(word)
+    )
+    return CfiChainVerdict(chain=chain, rejected_targets=rejected)

@@ -1,0 +1,146 @@
+"""Shadow-stack baselines (§2.2, §2.3).
+
+Two comparison points against RnR-Safe's detector:
+
+1. :class:`HardwareShadowStackModel` — a SmashGuard/SRAS-style precise
+   hardware shadow stack.  Detection is exact (no false positives or
+   negatives), but the hardware must spill/fill to memory on overflow and
+   save/restore on context switches, and those operations need privileged
+   instructions — the very attack surface §2.2 warns about.  The model
+   charges those costs so the bench can compare against RnR-Safe's 27%.
+
+2. :func:`run_instrumented_shadow_stack` — an inline software shadow stack
+   maintained by trapping every call/ret (standing in for binary
+   instrumentation, §2.3 "overheads of over 100%"); it shows why the paper
+   moves the precise check *off* the critical path and into the alarm
+   replayer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.exits import ExitControls, VmExit, VmExitReason
+from repro.hypervisor.machine import GuestMachine, MachineSpec
+from repro.perf.account import Category
+from repro.perf.report import RunMetrics
+
+
+@dataclass
+class ShadowStackStats:
+    """What a shadow-stack run observed."""
+
+    metrics: RunMetrics
+    calls: int = 0
+    rets: int = 0
+    violations: list[tuple[int, int, int]] = field(default_factory=list)
+    spills: int = 0
+    fills: int = 0
+
+    @property
+    def detected_attack(self) -> bool:
+        return bool(self.violations)
+
+
+@dataclass(frozen=True)
+class HardwareShadowStackModel:
+    """Cost model of a precise hardware shadow stack.
+
+    The stack itself is invisible (no per-call cost beyond the hardware),
+    but crossing the on-chip capacity forces a spill or fill exit, and each
+    context switch must swap the on-chip portion.
+    """
+
+    on_chip_entries: int = 32
+    spill_exit_cycles: int = 1000
+    context_switch_cycles: int = 400
+
+    def estimate_overhead_cycles(self, calls: int, rets: int,
+                                 max_depth: int, switches: int) -> int:
+        """Overhead for one run's call/ret/switch profile."""
+        spills = max(0, max_depth - self.on_chip_entries)
+        # Each excursion past the on-chip window pays a spill and a fill.
+        return (2 * spills * self.spill_exit_cycles
+                + switches * self.context_switch_cycles)
+
+
+def run_instrumented_shadow_stack(spec: MachineSpec,
+                                  max_instructions: int = 2_000_000,
+                                  kernel_only: bool = True) -> ShadowStackStats:
+    """Run the workload under an inline, trap-per-call/ret shadow stack.
+
+    This is the §2.3 software baseline: precise, but every call and return
+    exits to the monitor.  The guest runs natively otherwise (no recording).
+    """
+    controls = ExitControls(
+        trap_rdtsc=False,
+        trap_rdrand=False,
+        trap_call_ret=True,
+        trap_call_ret_user=not kernel_only,
+    )
+    machine = GuestMachine(spec, controls, with_world=True)
+    costs = spec.config.costs
+    stats = ShadowStackStats(metrics=RunMetrics(
+        label=f"{spec.label}+shadowstack",
+        instructions=0,
+        guest_cycles=0,
+        account=machine.account,
+    ))
+    shadow: list[int] = []
+    cpu = machine.cpu
+    intc = machine.intc
+    world = machine.world
+    machine.timer.start(0)
+    from repro.hypervisor.emulation import emulate_pio_in, emulate_pio_out
+    while not machine.stopped and cpu.icount < max_instructions:
+        if world.next_due is not None and machine.now >= world.next_due:
+            world.run_due(machine.now)
+        if intc.has_pending and cpu.int_enabled and not cpu.halted:
+            machine.charge(Category.DEVICE,
+                           costs.vmexit_cycles + costs.device_emulation_cycles)
+            machine.disk_dev.flush_dma()
+            machine.nic.flush_dma()
+            cpu.raise_interrupt(intc.take())
+        exit_event = cpu.step()
+        if exit_event is None:
+            continue
+        reason = exit_event.reason
+        if reason is VmExitReason.CALL_TRAP:
+            shadow.append(exit_event.return_addr)
+            stats.calls += 1
+            machine.charge(Category.AR_TRAP, costs.vmexit_cycles)
+        elif reason is VmExitReason.RET_TRAP:
+            stats.rets += 1
+            machine.charge(Category.AR_TRAP, costs.vmexit_cycles)
+            expected = shadow.pop() if shadow else None
+            if expected is not None and expected != exit_event.actual:
+                stats.violations.append(
+                    (exit_event.pc, expected, exit_event.actual)
+                )
+        elif reason is VmExitReason.PIO_IN:
+            cpu.regs[exit_event.rd] = emulate_pio_in(machine, exit_event)
+            machine.charge(Category.DEVICE,
+                           costs.vmexit_cycles + costs.device_emulation_cycles)
+        elif reason is VmExitReason.PIO_OUT:
+            if emulate_pio_out(machine, exit_event):
+                machine.stop("shutdown")
+            machine.charge(Category.DEVICE,
+                           costs.vmexit_cycles + costs.device_emulation_cycles)
+        elif reason is VmExitReason.MMIO_READ:
+            cpu.regs[exit_event.rd] = machine.mmio.read(exit_event.addr)
+            machine.charge(Category.DEVICE,
+                           costs.vmexit_cycles + costs.device_emulation_cycles)
+        elif reason is VmExitReason.MMIO_WRITE:
+            machine.mmio.write(exit_event.addr, exit_event.value)
+            machine.charge(Category.DEVICE,
+                           costs.vmexit_cycles + costs.device_emulation_cycles)
+        elif reason in (VmExitReason.HLT, VmExitReason.TRIPLE_FAULT):
+            machine.stop(reason.value)
+    machine.timer.stop()
+    stats.metrics = RunMetrics(
+        label=f"{spec.label}+shadowstack",
+        instructions=cpu.icount,
+        guest_cycles=cpu.icount,
+        account=machine.account,
+    )
+    return stats

@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the deployment's moving parts:
+
+* ``record``  — run one benchmark under the Rec setup (optionally carrying
+  an attack) and save the session (manifest + input log) to a file;
+* ``replay``  — load a session on "another machine" and run the
+  checkpointing replayer over it, verifying the state digest;
+* ``hunt``    — the full Figure 1 pipeline in one shot, with verdicts;
+* ``gadgets`` — scan the kernel image like an attacker would;
+* ``bench``   — print one of the regenerated figure tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.rnr.session import SessionManifest, load_session, save_session
+from repro.workloads import ALL_PROFILES
+
+_BENCHMARKS = [profile.name for profile in ALL_PROFILES]
+
+
+def _cmd_record(args) -> int:
+    from repro.rnr.recorder import Recorder, RecorderOptions
+
+    manifest = SessionManifest(
+        benchmark=args.benchmark,
+        seed=args.seed,
+        attack=args.attack,
+        max_instructions=args.budget,
+    )
+    spec = manifest.build_spec()
+    run = Recorder(spec, RecorderOptions(max_instructions=args.budget)).run()
+    metrics = run.metrics
+    print(f"recorded {spec.label}: {metrics.instructions} instructions, "
+          f"{len(run.log)} records ({metrics.log_bytes} bytes), "
+          f"{metrics.alarms} alarms, stop={run.stop_reason}")
+    if args.out:
+        save_session(args.out, manifest, run.log)
+        print(f"session saved to {args.out}")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.replay import CheckpointingOptions, CheckpointingReplayer
+
+    manifest, log = load_session(args.session)
+    spec = manifest.build_spec()
+    replayer = CheckpointingReplayer(
+        spec, log, CheckpointingOptions(period_s=args.checkpoint_period),
+    )
+    result = replayer.run_to_end()
+    replay = result.replay
+    print(f"replayed {spec.label}: {replay.metrics.instructions} "
+          f"instructions, digest verified={replay.digest_checked}, "
+          f"{len(result.store)} checkpoints, "
+          f"{result.alarms_seen} alarms seen "
+          f"({result.dismissed_underflows} dismissed, "
+          f"{len(result.pending_alarms)} pending)")
+    return 0 if replay.reached_end else 1
+
+
+def _cmd_hunt(args) -> int:
+    from repro.core.framework import RnRSafe, RnRSafeOptions
+    from repro.rnr.recorder import RecorderOptions
+
+    manifest = SessionManifest(
+        benchmark=args.benchmark, seed=args.seed, attack=args.attack,
+        max_instructions=args.budget,
+    )
+    spec = manifest.build_spec()
+    options = RnRSafeOptions(
+        recorder=RecorderOptions(max_instructions=args.budget,
+                                 stall_on_alarm=args.stall),
+    )
+    report = RnRSafe(spec, options).run()
+    print(report.summary())
+    for outcome in report.outcomes:
+        print(f"  {outcome.alarm.kind.value} @ pc={outcome.alarm.pc:#x}: "
+              f"{outcome.verdict.kind.value} — "
+              f"{outcome.verdict.explanation}")
+    return 0 if not report.inconclusive else 1
+
+
+def _cmd_gadgets(args) -> int:
+    from repro.attacks import GadgetScanner
+    from repro.workloads.suite import kernel_for_layout
+
+    kernel = kernel_for_layout()
+    scanner = GadgetScanner.over_image(kernel.image)
+    gadgets = scanner.scan()
+    print(f"{len(scanner.find_rets())} rets, {len(gadgets)} gadgets in the "
+          f"kernel image ({len(kernel.image.words)} words)")
+    for gadget in gadgets:
+        if args.kind and gadget.kind.value != args.kind:
+            continue
+        owner = kernel.function_at(gadget.addr)
+        print(f"  [{gadget.kind.value:<13}] {gadget.disassemble()}"
+              + (f"   ({owner})" if owner else ""))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    import pathlib
+
+    results = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+    target = results / f"{args.table}.txt"
+    if not target.exists():
+        available = sorted(p.stem for p in results.glob("*.txt")) \
+            if results.exists() else []
+        print(f"no saved table {args.table!r}; run `pytest benchmarks/` "
+              f"first. available: {available}", file=sys.stderr)
+        return 1
+    print(target.read_text(), end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RnR-Safe: record, replay, and verify security alarms.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser("record", help="record one benchmark")
+    record.add_argument("benchmark", choices=_BENCHMARKS)
+    record.add_argument("--seed", type=int, default=2018)
+    record.add_argument("--attack", choices=["rop", "jop", "dos"])
+    record.add_argument("--budget", type=int, default=3_000_000)
+    record.add_argument("--out", help="session file to write")
+    record.set_defaults(func=_cmd_record)
+
+    replay = sub.add_parser("replay", help="checkpoint-replay a session")
+    replay.add_argument("session", help="session file from `record --out`")
+    replay.add_argument("--checkpoint-period", type=float, default=1.0)
+    replay.set_defaults(func=_cmd_replay)
+
+    hunt = sub.add_parser("hunt", help="full pipeline with verdicts")
+    hunt.add_argument("benchmark", choices=_BENCHMARKS)
+    hunt.add_argument("--seed", type=int, default=2018)
+    hunt.add_argument("--attack", choices=["rop", "jop", "dos"],
+                      default="rop")
+    hunt.add_argument("--budget", type=int, default=3_000_000)
+    hunt.add_argument("--stall", action="store_true",
+                      help="stall the recorded VM at the first alarm")
+    hunt.set_defaults(func=_cmd_hunt)
+
+    gadgets = sub.add_parser("gadgets", help="scan the kernel for gadgets")
+    gadgets.add_argument("--kind", choices=["pop_reg", "load_indirect",
+                                            "call_reg", "ret_only"])
+    gadgets.set_defaults(func=_cmd_gadgets)
+
+    bench = sub.add_parser("bench", help="print a regenerated figure table")
+    bench.add_argument("table", help="e.g. fig5a_recording_setups")
+    bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

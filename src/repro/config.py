@@ -1,0 +1,117 @@
+"""Global simulation configuration.
+
+A single :class:`SimulationConfig` instance parameterizes every layer of the
+stack: the RAS geometry of the simulated processor, the paging geometry of
+physical memory, the cycle-cost model used for performance accounting, and
+the simulated-time scale that maps cycles to "guest seconds".
+
+The cost constants follow the paper's own unit costs:
+
+* a hypervisor transition (VM exit + entry) takes about 1,000 cycles (§7.3);
+* dumping or restoring the RAS microcode adds about 200 cycles each (§4.3);
+* asynchronous-interrupt injection during replay single-steps the processor,
+  paying a VM exit per step (§7.3).
+
+Real time in the paper is wall-clock on a 3.1 GHz Xeon.  The simulation
+instead defines ``cycles_per_second``: the number of simulated cycles that
+constitute one guest second.  Checkpoint periods, event rates, and log-rate
+figures are all expressed against this scale, so the system is internally
+consistent while remaining fast enough to run millions of instructions in
+pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs charged by the performance model.
+
+    These are architectural unit costs, not measured quantities; measured
+    overheads in the benchmarks emerge from event *counts* multiplied by
+    these unit costs.
+    """
+
+    #: Cycles for one guest->hypervisor->guest round trip (paper: ~1,000).
+    vmexit_cycles: int = 1000
+    #: Extra cycles of microcode to dump the RAS to the BackRAS (paper: ~200).
+    ras_save_cycles: int = 200
+    #: Extra cycles of microcode to load a BackRAS entry into the RAS.
+    ras_restore_cycles: int = 200
+    #: Cycles to append one byte to the input log (copy out of the guest,
+    #: serialize, and stage for DMA to the replay machine).
+    log_write_cycles_per_byte: float = 1.5
+    #: Cycles to copy one page when a copy-on-write fault fires.
+    page_copy_cycles: int = 600
+    #: Cycles of bookkeeping to open a checkpoint (dump processor state,
+    #: walk the dirty set, mark pages copy-on-write).
+    checkpoint_base_cycles: int = 20_000
+    #: Per-dirty-page cycles added to ``checkpoint_base_cycles``.
+    checkpoint_page_cycles: int = 150
+    #: Single-step cycles paid per instruction while homing in on an
+    #: asynchronous injection point during replay (one VM exit per step).
+    single_step_cycles: int = 1000
+    #: Modeled skid of the replay performance counter: the replayer stops
+    #: this many instructions before the injection point and single-steps
+    #: the rest (paper §7.3).
+    replay_counter_skid: int = 11
+    #: Cycles the alarm replayer's hypervisor handler spends per trapped
+    #: call/return (software-RAS maintenance), on top of the VM exit.
+    ar_handler_cycles: int = 800
+    #: Cycles per guest instruction executed natively (base CPI).
+    guest_cpi: int = 1
+    #: Cycles charged to emulate one device I/O operation in the hypervisor,
+    #: on top of the VM-exit cost (device emulation work).
+    device_emulation_cycles: int = 400
+    #: Fraction of device-emulation work avoided by paravirtual drivers.
+    #: PV drivers batch requests and skip device-register emulation, so a
+    #: PV setup pays fewer, cheaper exits.
+    pv_exit_discount: float = 0.85
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Top-level knobs for a simulated RnR-Safe deployment."""
+
+    #: Return Address Stack capacity (paper simulates a 48-entry RAS).
+    ras_entries: int = 48
+    #: Page size in 64-bit words.
+    page_size: int = 256
+    #: Disk block size in 64-bit words.
+    disk_block_size: int = 256
+    #: Simulated cycles per guest second.  All "per second" rates and
+    #: checkpoint periods use this scale.  Chosen so that a benchmark run
+    #: spans a few guest seconds — enough for the paper's checkpoint-period
+    #: sweep (5 s / 1 s / 0.2 s) to produce meaningfully different counts —
+    #: while staying fast enough to simulate in pure Python.
+    cycles_per_second: int = 250_000
+    #: Capacity of the target whitelist (paper: the three context-switch
+    #: completion targets).
+    tar_whitelist_entries: int = 4
+    #: Capacity of the hardware JOP function-boundary table (most common
+    #: functions only; the replayer checks the rest).
+    jop_table_entries: int = 32
+    #: Default checkpoint period, in guest seconds (RepChk1).
+    checkpoint_period_s: float = 1.0
+    #: Seed for every nondeterministic host-world schedule.
+    seed: int = 2018
+    #: Cycle-cost model.
+    costs: CostModel = field(default_factory=CostModel)
+
+    def with_costs(self, **overrides) -> "SimulationConfig":
+        """Return a copy of this config with selected cost fields replaced."""
+        return replace(self, costs=replace(self.costs, **overrides))
+
+    def seconds(self, cycles: int) -> float:
+        """Convert a cycle count to guest seconds under this config."""
+        return cycles / self.cycles_per_second
+
+    def cycles(self, seconds: float) -> int:
+        """Convert guest seconds to a cycle count under this config."""
+        return int(seconds * self.cycles_per_second)
+
+
+#: Shared default configuration (Table 2 analogue for the simulation).
+DEFAULT_CONFIG = SimulationConfig()

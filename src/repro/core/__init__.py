@@ -1,0 +1,55 @@
+"""The RnR-Safe framework core.
+
+:mod:`repro.core.modes` defines the paper's execution setups (NoRecPV,
+NoRec, RecNoRAS, Rec and the replay variants); :mod:`repro.core.framework`
+wires recording, the checkpointing replayer, and alarm replayers into the
+full Figure 1 deployment; :mod:`repro.core.detector` is the plugin surface
+for new first-line detectors and replay analyzers (Table 1).
+"""
+
+from repro.core.modes import (
+    ALL_RECORDING_SETUPS,
+    REC,
+    REC_NO_RAS,
+    NO_REC,
+    NO_REC_PV,
+    RecordingSetup,
+    record_benchmark,
+)
+from repro.core.framework import (
+    AlarmOutcome,
+    FrameworkReport,
+    RnRSafe,
+    RnRSafeOptions,
+)
+from repro.core.detector import Detector, ReplayAnalyzer
+from repro.core.response import ResponseWindow, checkpoints_needed
+from repro.core.parallel import ParallelResolution, resolve_alarms_parallel
+from repro.core.pipeline import (
+    PipelineResult,
+    couple_pipeline,
+    timelines_from_runs,
+)
+
+__all__ = [
+    "RecordingSetup",
+    "ALL_RECORDING_SETUPS",
+    "NO_REC_PV",
+    "NO_REC",
+    "REC_NO_RAS",
+    "REC",
+    "record_benchmark",
+    "RnRSafe",
+    "RnRSafeOptions",
+    "FrameworkReport",
+    "AlarmOutcome",
+    "Detector",
+    "ReplayAnalyzer",
+    "ResponseWindow",
+    "checkpoints_needed",
+    "ParallelResolution",
+    "resolve_alarms_parallel",
+    "PipelineResult",
+    "couple_pipeline",
+    "timelines_from_runs",
+]

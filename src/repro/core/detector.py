@@ -1,0 +1,50 @@
+"""Plugin surface for first-line detectors and replay analyzers (Table 1).
+
+RnR-Safe's flexibility claim (§3.2) is that defenders add new detectors on
+the recorded VM and new analyzers on the replay side without touching the
+framework.  A :class:`Detector` configures the recording side (exit
+controls, hardware tables, watchdogs); a :class:`ReplayAnalyzer` resolves
+the alarms that detector emits.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.replay.verdict import AlarmVerdict
+from repro.rnr.records import AlarmRecord
+
+
+@runtime_checkable
+class Detector(Protocol):
+    """First-line detection on the recorded VM.
+
+    Implementations may be imprecise — false positives are the replayers'
+    problem — but must never miss an attack (no false negatives, §3.1).
+    """
+
+    name: str
+
+    def configure(self, recorder) -> None:
+        """Arm the detector on a :class:`~repro.rnr.recorder.Recorder`.
+
+        Typically sets exit controls and programs VMCS tables (whitelists,
+        the JOP function table) or registers a watchdog.
+        """
+        ...
+
+    def owns_alarm(self, alarm: AlarmRecord) -> bool:
+        """Whether this detector raised the given alarm."""
+        ...
+
+
+@runtime_checkable
+class ReplayAnalyzer(Protocol):
+    """Alarm resolution on the replay side."""
+
+    name: str
+
+    def analyze(self, spec, log, alarm: AlarmRecord, checkpoint,
+                store) -> AlarmVerdict:
+        """Resolve one alarm, typically by replaying from ``checkpoint``."""
+        ...

@@ -1,0 +1,203 @@
+"""The RnR-Safe framework: Figure 1, end to end.
+
+``RnRSafe.run()`` executes the complete deployment: monitored recording on
+the recorded VM, always-on checkpointing replay consuming the log, and
+need-based alarm replayers launched from the checkpoint preceding each
+unresolved alarm.  Inconclusive verdicts escalate to earlier checkpoints
+and finally to a from-the-start replay — the paper's "re-run multiple
+times ... or starting at different checkpoints".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.response import ResponseWindow
+from repro.hypervisor.machine import MachineSpec
+from repro.replay.alarm import AlarmReplayer, AlarmReplayOptions
+from repro.replay.checkpointing import (
+    CheckpointingOptions,
+    CheckpointingReplayer,
+    CheckpointingResult,
+)
+from repro.replay.verdict import AlarmVerdict, VerdictKind
+from repro.rnr.recorder import Recorder, RecorderOptions, RecordingRun
+from repro.rnr.records import AlarmRecord
+
+
+@dataclass(frozen=True)
+class RnRSafeOptions:
+    """Framework-wide configuration."""
+
+    recorder: RecorderOptions = field(
+        default_factory=lambda: RecorderOptions()
+    )
+    checkpointing: CheckpointingOptions = field(
+        default_factory=CheckpointingOptions
+    )
+    alarm_replay: AlarmReplayOptions = field(
+        default_factory=AlarmReplayOptions
+    )
+    #: Re-run inconclusive ARs from earlier checkpoints, then from scratch.
+    escalate_inconclusive: bool = True
+    #: Cap on AR re-runs per alarm (including the from-start attempt).
+    max_attempts: int = 4
+
+
+@dataclass
+class AlarmOutcome:
+    """Final resolution of one alarm, with the attempt history."""
+
+    alarm: AlarmRecord
+    verdict: AlarmVerdict
+    attempts: tuple[AlarmVerdict, ...]
+    response: ResponseWindow | None = None
+
+    @property
+    def is_attack(self) -> bool:
+        return self.verdict.kind is VerdictKind.ROP_CONFIRMED
+
+
+@dataclass
+class FrameworkReport:
+    """Everything one RnR-Safe deployment run produced."""
+
+    spec: MachineSpec
+    recording: RecordingRun
+    checkpointing: CheckpointingResult
+    outcomes: list[AlarmOutcome]
+
+    @property
+    def attacks(self) -> list[AlarmOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.is_attack]
+
+    @property
+    def false_positives(self) -> list[AlarmOutcome]:
+        return [
+            outcome for outcome in self.outcomes
+            if outcome.verdict.kind is VerdictKind.FALSE_POSITIVE
+        ]
+
+    @property
+    def inconclusive(self) -> list[AlarmOutcome]:
+        return [
+            outcome for outcome in self.outcomes
+            if outcome.verdict.kind is VerdictKind.INCONCLUSIVE
+        ]
+
+    def summary(self) -> str:
+        """One-paragraph narrative of the run."""
+        cr = self.checkpointing
+        lines = [
+            f"workload {self.spec.label}: recorded "
+            f"{self.recording.metrics.instructions} instructions, "
+            f"{len(self.recording.log)} log records "
+            f"({self.recording.log.total_bytes} bytes)",
+            f"checkpointing replayer: {len(cr.store)} checkpoints, "
+            f"{cr.alarms_seen} alarms seen, "
+            f"{cr.dismissed_underflows} underflows dismissed via evict "
+            f"records, {len(cr.pending_alarms)} sent to alarm replayers",
+            f"alarm replayers: {len(self.attacks)} attacks confirmed, "
+            f"{len(self.false_positives)} false positives, "
+            f"{len(self.inconclusive)} unresolved",
+        ]
+        return "\n".join(lines)
+
+
+class RnRSafe:
+    """The full Figure 1 deployment over one machine spec."""
+
+    def __init__(self, spec: MachineSpec,
+                 options: RnRSafeOptions | None = None):
+        self.spec = spec
+        self.options = options if options is not None else RnRSafeOptions()
+        self.detectors: list = []
+
+    def add_detector(self, detector) -> "RnRSafe":
+        """Attach an additional first-line detector (Table 1)."""
+        self.detectors.append(detector)
+        return self
+
+    def run(self) -> FrameworkReport:
+        """Record, checkpoint-replay, and resolve every alarm."""
+        recorder = Recorder(self.spec, self.options.recorder)
+        for detector in self.detectors:
+            detector.configure(recorder)
+        recording = recorder.run()
+        replayer = CheckpointingReplayer(
+            self.spec, recording.log, self.options.checkpointing,
+        )
+        checkpointing = replayer.run_to_end()
+        outcomes = [
+            self._resolve(alarm, recording, checkpointing)
+            for alarm in checkpointing.pending_alarms
+        ]
+        return FrameworkReport(
+            spec=self.spec,
+            recording=recording,
+            checkpointing=checkpointing,
+            outcomes=outcomes,
+        )
+
+    # ------------------------------------------------------------------
+    # alarm resolution with escalation
+    # ------------------------------------------------------------------
+
+    def _resolve(self, alarm: AlarmRecord, recording: RecordingRun,
+                 checkpointing: CheckpointingResult) -> AlarmOutcome:
+        store = checkpointing.store
+        latest = store.latest_before(alarm.icount)
+        # Escalation plan: the latest checkpoint, then one earlier (cheap
+        # second chance), then a from-the-start replay with complete
+        # history — the authoritative last resort.
+        plan: list = [latest]
+        if latest is not None:
+            earlier = store.predecessor(latest)
+            if earlier is not None:
+                plan.append(earlier)
+            plan.append(None)
+        attempts: list[AlarmVerdict] = []
+        for checkpoint in plan[: self.options.max_attempts]:
+            replayer = AlarmReplayer(
+                self.spec, recording.log, alarm,
+                checkpoint=checkpoint,
+                store=store if checkpoint is not None else None,
+                options=self.options.alarm_replay,
+            )
+            verdict = replayer.analyze()
+            attempts.append(verdict)
+            if verdict.kind is not VerdictKind.INCONCLUSIVE:
+                break
+            if not self.options.escalate_inconclusive:
+                break
+        final = attempts[-1]
+        response = self._response_window(alarm, final, recording,
+                                         checkpointing, store)
+        return AlarmOutcome(
+            alarm=alarm,
+            verdict=final,
+            attempts=tuple(attempts),
+            response=response,
+        )
+
+    def _response_window(self, alarm: AlarmRecord, verdict: AlarmVerdict,
+                         recording: RecordingRun,
+                         checkpointing: CheckpointingResult,
+                         store) -> ResponseWindow | None:
+        recorded_at = recording.alarm_cycles.get(alarm.icount)
+        cr_at = checkpointing.alarm_cycles.get(alarm.icount)
+        if recorded_at is None or cr_at is None:
+            return None
+        alarm_position = checkpointing.alarm_positions.get(
+            alarm.icount, recording.log and len(recording.log)
+        )
+        checkpoint = store.latest_before(alarm.icount)
+        start_position = checkpoint.log_position if checkpoint else 0
+        log_bytes = recording.log.bytes_between(start_position, alarm_position)
+        return ResponseWindow(
+            recorded_at_cycles=recorded_at,
+            cr_reached_at_cycles=cr_at,
+            analysis_cycles=verdict.analysis_cycles,
+            log_bytes_in_window=log_bytes,
+            checkpoints_retained=len(store),
+        )

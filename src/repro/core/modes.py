@@ -1,0 +1,79 @@
+"""Named execution setups matching the paper's evaluation (§8.1, §8.3).
+
+Recording-side setups (Figure 5a):
+
+======== ======== ===================== ==========================
+name     logging  RAS machinery         I/O model
+======== ======== ===================== ==========================
+NoRecPV  off      off                   paravirtual drivers
+NoRec    off      off                   hypervisor-mediated
+RecNoRAS on       off                   hypervisor-mediated
+Rec      on       full (BackRAS,        hypervisor-mediated
+                  whitelists, evicts)
+======== ======== ===================== ==========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.hypervisor.machine import MachineSpec
+from repro.rnr.recorder import Recorder, RecorderOptions, RecordingRun
+
+
+@dataclass(frozen=True)
+class RecordingSetup:
+    """A named recording-side configuration."""
+
+    name: str
+    options: RecorderOptions
+
+    def with_budget(self, max_instructions: int) -> "RecordingSetup":
+        return RecordingSetup(
+            name=self.name,
+            options=replace(self.options, max_instructions=max_instructions),
+        )
+
+
+NO_REC_PV = RecordingSetup(
+    name="NoRecPV",
+    options=RecorderOptions(
+        log_enabled=False, alarms=False, backras=False, whitelist=False,
+        evict_records=False, paravirtual=True,
+    ),
+)
+
+NO_REC = RecordingSetup(
+    name="NoRec",
+    options=RecorderOptions(
+        log_enabled=False, alarms=False, backras=False, whitelist=False,
+        evict_records=False, paravirtual=False,
+    ),
+)
+
+REC_NO_RAS = RecordingSetup(
+    name="RecNoRAS",
+    options=RecorderOptions(
+        log_enabled=True, alarms=False, backras=False, whitelist=False,
+        evict_records=False, paravirtual=False,
+    ),
+)
+
+REC = RecordingSetup(
+    name="Rec",
+    options=RecorderOptions(
+        log_enabled=True, alarms=True, backras=True, whitelist=True,
+        evict_records=True, paravirtual=False,
+    ),
+)
+
+ALL_RECORDING_SETUPS = (NO_REC_PV, NO_REC, REC_NO_RAS, REC)
+
+
+def record_benchmark(spec: MachineSpec, setup: RecordingSetup,
+                     max_instructions: int | None = None) -> RecordingRun:
+    """Run one benchmark under one recording setup."""
+    options = setup.options
+    if max_instructions is not None:
+        options = replace(options, max_instructions=max_instructions)
+    return Recorder(spec, options).run()

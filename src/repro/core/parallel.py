@@ -1,0 +1,75 @@
+"""Concurrent alarm replayers.
+
+§5.2: "our design allows running multiple ARs concurrently, to analyze the
+same or different ROP alarms in parallel."  Each AR owns a private machine
+rebuilt from the immutable :class:`~repro.hypervisor.machine.MachineSpec`
+and reads the shared log and checkpoint store without mutating them, so
+replayers are embarrassingly parallel; this module runs a batch of them on
+a thread pool and aggregates the verdicts.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.hypervisor.machine import MachineSpec
+from repro.replay.alarm import AlarmReplayer, AlarmReplayOptions
+from repro.replay.checkpoint import CheckpointStore
+from repro.replay.verdict import AlarmVerdict, VerdictKind
+from repro.rnr.log import InputLog
+from repro.rnr.records import AlarmRecord
+
+
+@dataclass(frozen=True)
+class ParallelResolution:
+    """Aggregated verdicts from one parallel AR batch."""
+
+    verdicts: tuple[AlarmVerdict, ...]
+
+    @property
+    def attacks(self) -> tuple[AlarmVerdict, ...]:
+        return tuple(v for v in self.verdicts
+                     if v.kind is VerdictKind.ROP_CONFIRMED)
+
+    @property
+    def false_positives(self) -> tuple[AlarmVerdict, ...]:
+        return tuple(v for v in self.verdicts
+                     if v.kind is VerdictKind.FALSE_POSITIVE)
+
+    @property
+    def inconclusive(self) -> tuple[AlarmVerdict, ...]:
+        return tuple(v for v in self.verdicts
+                     if v.kind is VerdictKind.INCONCLUSIVE)
+
+
+def resolve_alarms_parallel(
+    spec: MachineSpec,
+    log: InputLog,
+    alarms: list[AlarmRecord],
+    store: CheckpointStore | None = None,
+    options: AlarmReplayOptions | None = None,
+    max_workers: int = 4,
+) -> ParallelResolution:
+    """Launch one AR per alarm on a thread pool and collect verdicts.
+
+    Each AR starts from the latest checkpoint preceding its alarm when a
+    store is supplied, otherwise from the beginning of the log.  Verdict
+    order matches the input alarm order.
+    """
+    def analyze(alarm: AlarmRecord) -> AlarmVerdict:
+        checkpoint = (store.latest_before(alarm.icount)
+                      if store is not None else None)
+        replayer = AlarmReplayer(
+            spec, log, alarm,
+            checkpoint=checkpoint,
+            store=store if checkpoint is not None else None,
+            options=options if options is not None else AlarmReplayOptions(),
+        )
+        return replayer.analyze()
+
+    if not alarms:
+        return ParallelResolution(verdicts=())
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        verdicts = tuple(pool.map(analyze, alarms))
+    return ParallelResolution(verdicts=verdicts)

@@ -1,0 +1,133 @@
+"""Record/replay pipeline coupling: lag and back-pressure (§8.3.1).
+
+"While checkpointing replay is a bit slower, it can easily catch up with
+recording because even busy machines are rarely 100% utilized ... If the
+replay gets significantly behind, we can use back pressure to temporarily
+slow down recorded execution."
+
+This module couples a recording timeline and a CR timeline into one
+deployment simulation.  Both runs are simulated sequentially (the
+simulator is single-threaded), but their *cycle timelines* are replayed
+against each other: the CR consumes log positions no faster than the
+recorder produced them, the guest's idle fraction gives the CR slack to
+catch up, and when the lag exceeds a bound the recorder is throttled —
+the back-pressure knob — until the CR recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SimulationConfig
+
+
+@dataclass(frozen=True)
+class PipelinePoint:
+    """One log position's timing in the coupled pipeline."""
+
+    log_position: int
+    produced_at: int
+    consumed_at: int
+
+    @property
+    def lag_cycles(self) -> int:
+        return max(0, self.consumed_at - self.produced_at)
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Outcome of the coupled record/CR simulation."""
+
+    points: tuple[PipelinePoint, ...]
+    #: Extra cycles recording was stalled by back-pressure.
+    backpressure_cycles: int
+    #: Largest lag observed.
+    max_lag_cycles: int
+    #: Lag at the final log position (0 = the CR fully caught up).
+    final_lag_cycles: int
+
+    def max_lag_seconds(self, config: SimulationConfig) -> float:
+        return config.seconds(self.max_lag_cycles)
+
+    @property
+    def throttled(self) -> bool:
+        return self.backpressure_cycles > 0
+
+
+def couple_pipeline(
+    production_cycles: list[int],
+    consumption_cycles: list[int],
+    utilization: float = 0.85,
+    backpressure_lag_cycles: int | None = None,
+) -> PipelineResult:
+    """Couple per-log-position timelines of a recorder and a CR.
+
+    ``production_cycles[i]`` / ``consumption_cycles[i]`` are the cycle
+    counts at which record i was produced and (standalone) consumed.
+    ``utilization`` models the recorded machine's business: the recorder
+    only advances during busy time, so the CR gains ``1 - utilization`` of
+    every wall-clock interval for free — the paper's "rarely 100%
+    utilized" slack.  When ``backpressure_lag_cycles`` is set and the lag
+    exceeds it, the recorder stalls until the CR drains back under the
+    bound, and the stall is accounted.
+    """
+    if len(production_cycles) != len(consumption_cycles):
+        raise ValueError("timelines must cover the same log positions")
+    if not 0.0 < utilization <= 1.0:
+        raise ValueError(f"utilization must be in (0, 1], got {utilization}")
+    points: list[PipelinePoint] = []
+    backpressure = 0
+    max_lag = 0
+    produced_shift = 0  # accumulated back-pressure stalls
+    previous_production = 0
+    previous_consumption = 0
+    consumed_at = 0
+    for position, (produced, consumed) in enumerate(
+            zip(production_cycles, consumption_cycles)):
+        # Wall-clock at which this record exists (recording stretched by
+        # idle time and by any back-pressure stalls so far).
+        produced_wall = int(produced / utilization) + produced_shift
+        # The CR needs its own delta of work, but cannot start consuming a
+        # record before it exists.
+        consumption_delta = consumed - previous_consumption
+        consumed_at = max(consumed_at, produced_wall) + consumption_delta
+        lag = max(0, consumed_at - produced_wall)
+        if backpressure_lag_cycles is not None and \
+                lag > backpressure_lag_cycles:
+            stall = lag - backpressure_lag_cycles
+            produced_shift += stall
+            backpressure += stall
+            produced_wall += stall
+            lag = backpressure_lag_cycles
+        max_lag = max(max_lag, lag)
+        points.append(PipelinePoint(
+            log_position=position,
+            produced_at=produced_wall,
+            consumed_at=consumed_at,
+        ))
+        previous_production = produced
+        previous_consumption = consumed
+    final_lag = points[-1].lag_cycles if points else 0
+    return PipelineResult(
+        points=tuple(points),
+        backpressure_cycles=backpressure,
+        max_lag_cycles=max_lag,
+        final_lag_cycles=final_lag,
+    )
+
+
+def timelines_from_runs(recording, checkpointing) -> tuple[list[int], list[int]]:
+    """Extract per-alarm timelines from a recording and a CR result.
+
+    Uses the alarm timestamps both sides already track (every alarm is a
+    shared log landmark); for alarm-free runs, falls back to the end-of-run
+    totals as a single landmark.
+    """
+    shared = sorted(
+        set(recording.alarm_cycles) & set(checkpointing.alarm_cycles)
+    )
+    production = [recording.alarm_cycles[icount] for icount in shared]
+    consumption = [checkpointing.alarm_cycles[icount] for icount in shared]
+    production.append(recording.metrics.total_cycles)
+    consumption.append(checkpointing.replay.metrics.total_cycles)
+    return production, consumption

@@ -1,0 +1,69 @@
+"""Attack response window measurement (§8.4).
+
+The window between the recorded VM logging an alarm and the alarm replayer
+confirming it depends on how far the checkpointing replayer lags the
+recorder and how much log the AR must replay from its checkpoint.  The
+simulator runs the phases sequentially, so the window is *reconstructed*
+from per-phase timestamps under the paper's deployment assumption that
+recording and checkpointing replay start together and run concurrently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SimulationConfig
+
+
+@dataclass(frozen=True)
+class ResponseWindow:
+    """Detection latency and associated state for one confirmed alarm."""
+
+    #: Cycle at which the recorder logged the alarm.
+    recorded_at_cycles: int
+    #: Cycle at which the (concurrent) CR consumed the alarm marker.
+    cr_reached_at_cycles: int
+    #: Cycles the alarm replayer spent from its checkpoint to the verdict.
+    analysis_cycles: int
+    #: Log bytes between the AR's starting checkpoint and the alarm.
+    log_bytes_in_window: int
+    #: Checkpoints retained at that moment.
+    checkpoints_retained: int
+
+    @property
+    def lag_cycles(self) -> int:
+        """How far the CR trailed the recorder at the alarm."""
+        return max(0, self.cr_reached_at_cycles - self.recorded_at_cycles)
+
+    @property
+    def window_cycles(self) -> int:
+        """Total alarm-to-verdict latency."""
+        return self.lag_cycles + self.analysis_cycles
+
+    def window_seconds(self, config: SimulationConfig) -> float:
+        """The §8.4 headline number: "on average a few seconds"."""
+        return config.seconds(self.window_cycles)
+
+    def summary(self, config: SimulationConfig) -> str:
+        return (
+            f"window {self.window_seconds(config):.2f}s "
+            f"(CR lag {config.seconds(self.lag_cycles):.2f}s + "
+            f"analysis {config.seconds(self.analysis_cycles):.2f}s), "
+            f"{self.log_bytes_in_window} log bytes, "
+            f"{self.checkpoints_retained} checkpoints retained"
+        )
+
+
+def checkpoints_needed(window_seconds: float, period_seconds: float,
+                       history_seconds: float = 0.0) -> int:
+    """The paper's retention rule (§8.4).
+
+    Enough checkpoints to cover the response window plus two (so the right
+    checkpoint is never prematurely overwritten), plus one per second of
+    requested pre-attack history.
+    """
+    from math import ceil
+
+    base = ceil(window_seconds / max(period_seconds, 1e-9)) + 2
+    history = ceil(history_seconds / max(period_seconds, 1e-9))
+    return base + history

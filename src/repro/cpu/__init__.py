@@ -1,0 +1,36 @@
+"""Simulated processor: execution engine, RAS hardware, VM-exit machinery.
+
+This package models the paper's proposed hardware:
+
+* a fixed-capacity Return Address Stack with eviction and underflow events
+  (:mod:`repro.cpu.ras`);
+* the Ret/Tar whitelists and the Whitelisted flag for the kernel's
+  non-procedural return (§4.4);
+* microcoded BackRAS dump/restore hooks driven by the hypervisor (§4.3);
+* configurable exit controls (which events cause VM exits), the simulated
+  analogue of Intel VT-x VMCS execution controls (§5.1).
+"""
+
+from repro.cpu.exits import (
+    ExitControls,
+    RopAlarmKind,
+    VmExit,
+    VmExitReason,
+)
+from repro.cpu.ras import RasSnapshot, ReturnAddressStack
+from repro.cpu.state import CpuState, FLAGS_FIELDS
+from repro.cpu.core import Cpu, IRQ_VECTOR_REG, SYSCALL_NUM_REG
+
+__all__ = [
+    "ExitControls",
+    "RopAlarmKind",
+    "VmExit",
+    "VmExitReason",
+    "RasSnapshot",
+    "ReturnAddressStack",
+    "CpuState",
+    "FLAGS_FIELDS",
+    "Cpu",
+    "IRQ_VECTOR_REG",
+    "SYSCALL_NUM_REG",
+]

@@ -1,0 +1,637 @@
+"""The CPU execution engine.
+
+Executes one guest instruction per :meth:`Cpu.step`, returning a
+:class:`~repro.cpu.exits.VmExit` whenever an armed exit control fires.  The
+engine is uniprocessor (as in the paper's evaluation), so the only
+nondeterminism is what the hypervisor injects: interrupt timing and the
+results of rdtsc/rdrand/PIO/MMIO.
+
+Architectural conventions (fixed by the hardware):
+
+* ``r14`` (``sp``) is the stack pointer used by push/pop/call/ret and by
+  trap frames; stacks grow downward;
+* ``r10`` receives the interrupt vector (on IRQ delivery) or fault code
+  (on fault delivery) when the kernel handler starts;
+* ``r11`` receives the syscall number on ``syscall`` entry;
+* interrupt/fault delivery pushes a flags word then the resume PC;
+  ``iret`` pops them in reverse order.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.config import SimulationConfig
+from repro.cpu.exits import ExitControls, RopAlarmKind, VmExit, VmExitReason
+from repro.cpu.ras import ReturnAddressStack
+from repro.cpu.state import CpuState, unpack_flags
+from repro.errors import DecodeError
+from repro.isa.instruction import Instruction, decode
+from repro.isa.opcodes import SP, Opcode
+from repro.memory.paging import AccessViolation
+from repro.memory.physical import PhysicalMemory
+
+#: Register that carries the vector/fault code into kernel handlers.
+IRQ_VECTOR_REG = 10
+#: Register that carries the syscall number into the syscall handler.
+SYSCALL_NUM_REG = 11
+
+_WORD_MASK = 0xFFFF_FFFF_FFFF_FFFF
+
+#: Process-wide decode cache.  Word -> instruction is a pure function, so
+#: the cache is shared by every CPU instance and never invalidated.
+_DECODE_CACHE: dict[int, Instruction] = {}
+
+
+class FaultKind(enum.IntEnum):
+    """Architectural fault codes delivered in ``r10``."""
+
+    ACCESS = 1
+    PRIVILEGE = 2
+    DECODE = 3
+    DIV_ZERO = 4
+
+
+class _GuestFault(Exception):
+    """Internal signal: the current instruction faulted."""
+
+    def __init__(self, kind: FaultKind, detail: str = ""):
+        self.kind = kind
+        self.detail = detail
+        super().__init__(detail)
+
+
+class Cpu:
+    """One simulated processor core attached to guest physical memory."""
+
+    def __init__(self, memory: PhysicalMemory, config: SimulationConfig,
+                 controls: ExitControls | None = None):
+        self.memory = memory
+        self.config = config
+        self.controls = controls if controls is not None else ExitControls()
+        self.regs: list[int] = [0] * 16
+        self.pc = 0
+        self.zero = False
+        self.negative = False
+        self.user = False
+        self.int_enabled = False
+        self.icount = 0
+        self.halted = False
+        self.ras = ReturnAddressStack(config.ras_entries)
+        #: PC of the kernel's one non-procedural return (RetWhitelist, §4.4).
+        self.ret_whitelist: int | None = None
+        #: Legal targets of the whitelisted return (TarWhitelist, §4.4).
+        self.tar_whitelist: frozenset[int] = frozenset()
+        #: Hardware JOP function-boundary table: tuple of (begin, end).
+        self.jop_table: tuple[tuple[int, int], ...] = ()
+        #: Hardware entry vectors (programmed at boot from the kernel image).
+        self.vec_syscall = 0
+        self.vec_irq = 0
+        self.vec_fault = 0
+        self._skip_breakpoint_at: int | None = None
+        self._fault_streak = 0
+        self._last_fault_icount = -10**9
+        self._dispatch = self._build_dispatch()
+
+    # ------------------------------------------------------------------
+    # state capture / restore
+    # ------------------------------------------------------------------
+
+    def capture_state(self) -> CpuState:
+        """Snapshot all architectural register state (checkpointing)."""
+        return CpuState(
+            regs=tuple(self.regs),
+            pc=self.pc,
+            zero=self.zero,
+            negative=self.negative,
+            user=self.user,
+            int_enabled=self.int_enabled,
+            icount=self.icount,
+            halted=self.halted,
+        )
+
+    def restore_state(self, state: CpuState):
+        """Load architectural register state (checkpoint restore)."""
+        self.regs = list(state.regs)
+        self.pc = state.pc
+        self.zero = state.zero
+        self.negative = state.negative
+        self.user = state.user
+        self.int_enabled = state.int_enabled
+        self.icount = state.icount
+        self.halted = state.halted
+        self._skip_breakpoint_at = None
+        self._fault_streak = 0
+
+    # ------------------------------------------------------------------
+    # hypervisor-facing controls
+    # ------------------------------------------------------------------
+
+    def skip_breakpoint_once(self):
+        """Let the next step execute the instruction under the breakpoint."""
+        self._skip_breakpoint_at = self.pc
+
+    def raise_interrupt(self, vector: int) -> VmExit | None:
+        """Deliver an external interrupt now (hypervisor injection).
+
+        The caller must ensure ``int_enabled`` (or accept delivery anyway,
+        which the hypervisor never does).  Pushes a flags word and the
+        resume PC on the current stack, enters kernel mode with interrupts
+        masked, and vectors to the IRQ entry.  Returns a VM exit only if
+        frame pushes fault badly enough to triple-fault.
+        """
+        flags = self.capture_state().pack_flags()
+        try:
+            self._push_word(flags)
+            self._push_word(self.pc)
+        except _GuestFault as fault:
+            return self._deliver_fault(fault, self.pc)
+        self.user = False
+        self.int_enabled = False
+        self.regs[IRQ_VECTOR_REG] = vector
+        self.pc = self.vec_irq
+        self.halted = False
+        return None
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def step(self) -> VmExit | None:
+        """Execute one instruction; return a VM exit if one fired."""
+        pc0 = self.pc
+        if self.controls.breakpoints and pc0 in self.controls.breakpoints \
+                and self._skip_breakpoint_at != pc0:
+            return VmExit(VmExitReason.BREAKPOINT, pc=pc0, next_pc=pc0)
+        self._skip_breakpoint_at = None
+        try:
+            word = self.memory.fetch(pc0, self.user)
+        except AccessViolation as violation:
+            return self._deliver_fault(
+                _GuestFault(FaultKind.ACCESS, str(violation)), pc0
+            )
+        instr = _DECODE_CACHE.get(word)
+        if instr is None:
+            try:
+                instr = decode(word)
+            except DecodeError as exc:
+                return self._deliver_fault(
+                    _GuestFault(FaultKind.DECODE, str(exc)), pc0
+                )
+            _DECODE_CACHE[word] = instr
+        self.icount += 1
+        try:
+            return self._dispatch[instr.op](instr)
+        except _GuestFault as fault:
+            return self._deliver_fault(fault, pc0)
+        except AccessViolation as violation:
+            return self._deliver_fault(
+                _GuestFault(FaultKind.ACCESS, str(violation)), pc0
+            )
+
+    # ------------------------------------------------------------------
+    # fault plumbing
+    # ------------------------------------------------------------------
+
+    def _deliver_fault(self, fault: _GuestFault, pc0: int) -> VmExit | None:
+        """Vector the guest to its fault handler, or triple-fault out."""
+        if self.icount - self._last_fault_icount < 16:
+            self._fault_streak += 1
+        else:
+            self._fault_streak = 1
+        self._last_fault_icount = self.icount
+        if self._fault_streak > 4 or not self.vec_fault:
+            return VmExit(
+                VmExitReason.TRIPLE_FAULT,
+                pc=pc0,
+                next_pc=pc0,
+                value=int(fault.kind),
+                detail=fault.detail,
+            )
+        flags = self.capture_state().pack_flags()
+        try:
+            self._push_word(flags)
+            self._push_word(pc0)
+        except (AccessViolation, _GuestFault):
+            return VmExit(
+                VmExitReason.TRIPLE_FAULT,
+                pc=pc0,
+                next_pc=pc0,
+                value=int(fault.kind),
+                detail=f"stack unusable during fault delivery: {fault.detail}",
+            )
+        self.user = False
+        self.int_enabled = False
+        self.regs[IRQ_VECTOR_REG] = int(fault.kind)
+        self.pc = self.vec_fault
+        return None
+
+    # ------------------------------------------------------------------
+    # stack helpers
+    # ------------------------------------------------------------------
+
+    def _push_word(self, value: int):
+        sp = (self.regs[SP] - 1) & _WORD_MASK
+        self.memory.store(sp, value, self.user)
+        self.regs[SP] = sp
+
+    def _pop_word(self) -> int:
+        sp = self.regs[SP]
+        value = self.memory.load(sp, self.user)
+        self.regs[SP] = (sp + 1) & _WORD_MASK
+        return value
+
+    def _set_flags(self, lhs: int, rhs: int):
+        self.zero = lhs == rhs
+        self.negative = _signed(lhs) < _signed(rhs)
+
+    # ------------------------------------------------------------------
+    # instruction handlers
+    # ------------------------------------------------------------------
+
+    def _build_dispatch(self):
+        return {
+            Opcode.NOP: self._op_nop,
+            Opcode.HLT: self._op_hlt,
+            Opcode.LI: self._op_li,
+            Opcode.MOV: self._op_mov,
+            Opcode.ADD: self._op_add,
+            Opcode.SUB: self._op_sub,
+            Opcode.MUL: self._op_mul,
+            Opcode.DIV: self._op_div,
+            Opcode.AND: self._op_and,
+            Opcode.OR: self._op_or,
+            Opcode.XOR: self._op_xor,
+            Opcode.SHL: self._op_shl,
+            Opcode.SHR: self._op_shr,
+            Opcode.ADDI: self._op_addi,
+            Opcode.CMP: self._op_cmp,
+            Opcode.CMPI: self._op_cmpi,
+            Opcode.LD: self._op_ld,
+            Opcode.ST: self._op_st,
+            Opcode.PUSH: self._op_push,
+            Opcode.POP: self._op_pop,
+            Opcode.CALL: self._op_call,
+            Opcode.CALLI: self._op_calli,
+            Opcode.RET: self._op_ret,
+            Opcode.JMP: self._op_jmp,
+            Opcode.JMPI: self._op_jmpi,
+            Opcode.JZ: self._op_jz,
+            Opcode.JNZ: self._op_jnz,
+            Opcode.JLT: self._op_jlt,
+            Opcode.JGE: self._op_jge,
+            Opcode.SYSCALL: self._op_syscall,
+            Opcode.SYSRET: self._op_sysret,
+            Opcode.IRET: self._op_iret,
+            Opcode.INT3: self._op_int3,
+            Opcode.RDTSC: self._op_rdtsc,
+            Opcode.RDRAND: self._op_rdrand,
+            Opcode.IN: self._op_in,
+            Opcode.OUT: self._op_out,
+            Opcode.CLI: self._op_cli,
+            Opcode.STI: self._op_sti,
+        }
+
+    def _require_kernel(self, what: str):
+        if self.user:
+            raise _GuestFault(FaultKind.PRIVILEGE, f"{what} in user mode")
+
+    def _op_nop(self, instr):
+        self.pc += 1
+        return None
+
+    def _op_hlt(self, instr):
+        self._require_kernel("hlt")
+        pc0 = self.pc
+        self.pc += 1
+        self.halted = True
+        return VmExit(VmExitReason.HLT, pc=pc0, next_pc=self.pc)
+
+    def _op_li(self, instr):
+        self.regs[instr.rd] = instr.imm & _WORD_MASK
+        self.pc += 1
+        return None
+
+    def _op_mov(self, instr):
+        self.regs[instr.rd] = self.regs[instr.rs1]
+        self.pc += 1
+        return None
+
+    def _op_add(self, instr):
+        self.regs[instr.rd] = (
+            self.regs[instr.rs1] + self.regs[instr.rs2]
+        ) & _WORD_MASK
+        self.pc += 1
+        return None
+
+    def _op_sub(self, instr):
+        self.regs[instr.rd] = (
+            self.regs[instr.rs1] - self.regs[instr.rs2]
+        ) & _WORD_MASK
+        self.pc += 1
+        return None
+
+    def _op_mul(self, instr):
+        self.regs[instr.rd] = (
+            self.regs[instr.rs1] * self.regs[instr.rs2]
+        ) & _WORD_MASK
+        self.pc += 1
+        return None
+
+    def _op_div(self, instr):
+        divisor = self.regs[instr.rs2]
+        if divisor == 0:
+            raise _GuestFault(FaultKind.DIV_ZERO, "divide by zero")
+        self.regs[instr.rd] = self.regs[instr.rs1] // divisor
+        self.pc += 1
+        return None
+
+    def _op_and(self, instr):
+        self.regs[instr.rd] = self.regs[instr.rs1] & self.regs[instr.rs2]
+        self.pc += 1
+        return None
+
+    def _op_or(self, instr):
+        self.regs[instr.rd] = self.regs[instr.rs1] | self.regs[instr.rs2]
+        self.pc += 1
+        return None
+
+    def _op_xor(self, instr):
+        self.regs[instr.rd] = self.regs[instr.rs1] ^ self.regs[instr.rs2]
+        self.pc += 1
+        return None
+
+    def _op_shl(self, instr):
+        shift = self.regs[instr.rs2] & 63
+        self.regs[instr.rd] = (self.regs[instr.rs1] << shift) & _WORD_MASK
+        self.pc += 1
+        return None
+
+    def _op_shr(self, instr):
+        shift = self.regs[instr.rs2] & 63
+        self.regs[instr.rd] = self.regs[instr.rs1] >> shift
+        self.pc += 1
+        return None
+
+    def _op_addi(self, instr):
+        self.regs[instr.rd] = (self.regs[instr.rs1] + instr.imm) & _WORD_MASK
+        self.pc += 1
+        return None
+
+    def _op_cmp(self, instr):
+        self._set_flags(self.regs[instr.rs1], self.regs[instr.rs2])
+        self.pc += 1
+        return None
+
+    def _op_cmpi(self, instr):
+        self._set_flags(self.regs[instr.rs1], instr.imm & _WORD_MASK)
+        self.pc += 1
+        return None
+
+    def _op_ld(self, instr):
+        addr = (self.regs[instr.rs1] + instr.imm) & _WORD_MASK
+        if self.controls.trap_mmio and self.memory.is_mmio(addr):
+            pc0 = self.pc
+            self.pc += 1
+            return VmExit(
+                VmExitReason.MMIO_READ, pc=pc0, next_pc=self.pc,
+                rd=instr.rd, addr=addr,
+            )
+        self.regs[instr.rd] = self.memory.load(addr, self.user)
+        self.pc += 1
+        return None
+
+    def _op_st(self, instr):
+        addr = (self.regs[instr.rs1] + instr.imm) & _WORD_MASK
+        value = self.regs[instr.rs2]
+        if self.controls.trap_mmio and self.memory.is_mmio(addr):
+            pc0 = self.pc
+            self.pc += 1
+            return VmExit(
+                VmExitReason.MMIO_WRITE, pc=pc0, next_pc=self.pc,
+                addr=addr, value=value,
+            )
+        self.memory.store(addr, value, self.user)
+        self.pc += 1
+        return None
+
+    def _op_push(self, instr):
+        self._push_word(self.regs[instr.rs1])
+        self.pc += 1
+        return None
+
+    def _op_pop(self, instr):
+        self.regs[instr.rd] = self._pop_word()
+        self.pc += 1
+        return None
+
+    # ---------------- control transfer ----------------
+
+    def _op_call(self, instr):
+        return self._do_call(instr.imm & _WORD_MASK, indirect=False)
+
+    def _op_calli(self, instr):
+        target = self.regs[instr.rs1]
+        jop_exit = self._jop_check(target)
+        call_exit = self._do_call(target, indirect=True)
+        return jop_exit or call_exit
+
+    def _do_call(self, target: int, indirect: bool) -> VmExit | None:
+        pc0 = self.pc
+        return_addr = pc0 + 1
+        self._push_word(return_addr)
+        evicted = self.ras.push(return_addr)
+        self.pc = target
+        if evicted is not None and self.controls.ras_evict_exits:
+            return VmExit(
+                VmExitReason.RAS_EVICT, pc=pc0, next_pc=target,
+                evicted=evicted,
+            )
+        if self._call_ret_trapped():
+            return VmExit(
+                VmExitReason.CALL_TRAP, pc=pc0, next_pc=target,
+                target=target, return_addr=return_addr,
+            )
+        return None
+
+    def _call_ret_trapped(self) -> bool:
+        """Whether the alarm replayer's call/ret trap applies right now."""
+        if not self.controls.trap_call_ret:
+            return False
+        return not self.user or self.controls.trap_call_ret_user
+
+    def _op_ret(self, instr):
+        pc0 = self.pc
+        whitelisted = self.ret_whitelist == pc0
+        predicted: int | None = None
+        underflow = False
+        if not whitelisted:
+            if self.ras.empty:
+                underflow = True
+            else:
+                predicted = self.ras.pop()
+        target = self._pop_word()
+        self.pc = target
+        if self._call_ret_trapped():
+            return VmExit(
+                VmExitReason.RET_TRAP, pc=pc0, next_pc=target,
+                target=target, actual=target, predicted=predicted,
+            )
+        if not self.controls.ras_alarm_exits:
+            return None
+        if whitelisted:
+            if target not in self.tar_whitelist:
+                return VmExit(
+                    VmExitReason.ROP_ALARM, pc=pc0, next_pc=target,
+                    actual=target, predicted=None,
+                    alarm_kind=RopAlarmKind.WHITELIST_TARGET,
+                )
+            return None
+        if underflow:
+            return VmExit(
+                VmExitReason.ROP_ALARM, pc=pc0, next_pc=target,
+                actual=target, predicted=None,
+                alarm_kind=RopAlarmKind.UNDERFLOW,
+            )
+        if predicted != target:
+            return VmExit(
+                VmExitReason.ROP_ALARM, pc=pc0, next_pc=target,
+                actual=target, predicted=predicted,
+                alarm_kind=RopAlarmKind.MISMATCH,
+            )
+        return None
+
+    def _op_jmp(self, instr):
+        self.pc = instr.imm & _WORD_MASK
+        return None
+
+    def _op_jmpi(self, instr):
+        target = self.regs[instr.rs1]
+        jop_exit = self._jop_check(target)
+        self.pc = target
+        return jop_exit
+
+    def _jop_check(self, target: int) -> VmExit | None:
+        """Hardware JOP legality check on indirect transfers (Table 1)."""
+        if not self.controls.jop_check or not self.jop_table:
+            return None
+        pc0 = self.pc
+        for begin, end in self.jop_table:
+            if target == begin:
+                return None
+            if begin <= pc0 < end and begin <= target < end:
+                return None
+        return VmExit(
+            VmExitReason.JOP_ALARM, pc=pc0, next_pc=target, target=target,
+        )
+
+    def _branch(self, take: bool, target: int):
+        self.pc = target & _WORD_MASK if take else self.pc + 1
+
+    def _op_jz(self, instr):
+        self._branch(self.zero, instr.imm)
+        return None
+
+    def _op_jnz(self, instr):
+        self._branch(not self.zero, instr.imm)
+        return None
+
+    def _op_jlt(self, instr):
+        self._branch(self.negative, instr.imm)
+        return None
+
+    def _op_jge(self, instr):
+        self._branch(not self.negative, instr.imm)
+        return None
+
+    # ---------------- privilege transitions ----------------
+
+    def _op_syscall(self, instr):
+        if not self.user:
+            raise _GuestFault(FaultKind.PRIVILEGE, "syscall from kernel mode")
+        self._push_word(self.pc + 1)
+        self.user = False
+        self.regs[SYSCALL_NUM_REG] = instr.imm & _WORD_MASK
+        self.pc = self.vec_syscall
+        return None
+
+    def _op_sysret(self, instr):
+        self._require_kernel("sysret")
+        target = self._pop_word()
+        self.user = True
+        self.pc = target
+        return None
+
+    def _op_iret(self, instr):
+        self._require_kernel("iret")
+        resume_pc = self._pop_word()
+        flags = unpack_flags(self._pop_word())
+        self.pc = resume_pc
+        self.zero = flags["zero"]
+        self.negative = flags["negative"]
+        self.user = flags["user"]
+        self.int_enabled = flags["int_enabled"]
+        return None
+
+    def _op_int3(self, instr):
+        pc0 = self.pc
+        self.pc += 1
+        return VmExit(VmExitReason.DEBUG, pc=pc0, next_pc=self.pc)
+
+    # ---------------- nondeterministic instructions ----------------
+
+    def _op_rdtsc(self, instr):
+        pc0 = self.pc
+        self.pc += 1
+        if self.controls.trap_rdtsc:
+            return VmExit(
+                VmExitReason.RDTSC, pc=pc0, next_pc=self.pc, rd=instr.rd,
+            )
+        # Untrapped rdtsc (native runs): a deterministic pseudo-TSC.
+        self.regs[instr.rd] = self.icount
+        return None
+
+    def _op_rdrand(self, instr):
+        pc0 = self.pc
+        self.pc += 1
+        if self.controls.trap_rdrand:
+            return VmExit(
+                VmExitReason.RDRAND, pc=pc0, next_pc=self.pc, rd=instr.rd,
+            )
+        self.regs[instr.rd] = (self.icount * 2654435761) & _WORD_MASK
+        return None
+
+    def _op_in(self, instr):
+        self._require_kernel("in")
+        pc0 = self.pc
+        self.pc += 1
+        return VmExit(
+            VmExitReason.PIO_IN, pc=pc0, next_pc=self.pc,
+            rd=instr.rd, port=instr.imm,
+        )
+
+    def _op_out(self, instr):
+        self._require_kernel("out")
+        pc0 = self.pc
+        self.pc += 1
+        return VmExit(
+            VmExitReason.PIO_OUT, pc=pc0, next_pc=self.pc,
+            port=instr.imm, value=self.regs[instr.rs1],
+        )
+
+    def _op_cli(self, instr):
+        self._require_kernel("cli")
+        self.int_enabled = False
+        self.pc += 1
+        return None
+
+    def _op_sti(self, instr):
+        self._require_kernel("sti")
+        self.int_enabled = True
+        self.pc += 1
+        return None
+
+
+def _signed(value: int) -> int:
+    """Interpret a 64-bit word as signed."""
+    return value - 2**64 if value >= 2**63 else value

@@ -1,0 +1,133 @@
+"""VM exits and exit controls — the hardware/hypervisor interface.
+
+A :class:`VmExit` is the hardware's report that guest execution stopped and
+control transferred to the hypervisor, mirroring Intel VT-x semantics the
+paper builds on.  :class:`ExitControls` is the hardware-side configuration of
+*which* events exit — the simulated analogue of VMCS execution controls plus
+the paper's new controls:
+
+* ``ras_alarm_exits`` — RAS mispredictions trigger ROP-alarm exits
+  (on in the recorded VM, **off** on the replay platform, §4.6.1);
+* ``ras_evict_exits`` — about-to-evict RAS entries exit so the hypervisor
+  can log Evict records (§4.5);
+* ``trap_call_ret`` — every call/return exits, used by the alarm replayer to
+  model its software RAS (§4.6.2);
+* ``breakpoints`` — instruction-address traps, used to interpose on the
+  guest kernel's context switch and thread lifecycle (§5.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class VmExitReason(enum.Enum):
+    """Why the guest exited to the hypervisor."""
+
+    RDTSC = "rdtsc"
+    RDRAND = "rdrand"
+    PIO_IN = "pio_in"
+    PIO_OUT = "pio_out"
+    MMIO_READ = "mmio_read"
+    MMIO_WRITE = "mmio_write"
+    HLT = "hlt"
+    BREAKPOINT = "breakpoint"
+    DEBUG = "debug"
+    ROP_ALARM = "rop_alarm"
+    RAS_EVICT = "ras_evict"
+    CALL_TRAP = "call_trap"
+    RET_TRAP = "ret_trap"
+    JOP_ALARM = "jop_alarm"
+    TRIPLE_FAULT = "triple_fault"
+
+
+class RopAlarmKind(enum.Enum):
+    """Alarm subtype.
+
+    The first three are the RAS-misprediction taxonomy of §4.1; JOP and DOS
+    extend the same alarm channel for Table 1's other framework uses.
+    """
+
+    #: RAS top disagreed with the actual return target.
+    MISMATCH = "mismatch"
+    #: Return executed with an empty RAS (deep nesting evicted the entry).
+    UNDERFLOW = "underflow"
+    #: A whitelisted non-procedural return went to a non-whitelisted target.
+    WHITELIST_TARGET = "whitelist_target"
+    #: Stray indirect branch/call target (Table 1, JOP row).
+    JOP = "jop"
+    #: Context-switch starvation (Table 1, DOS row).
+    DOS = "dos"
+
+
+#: The generic name: this enum covers all detector alarm channels.
+AlarmKind = RopAlarmKind
+
+
+@dataclass(frozen=True, slots=True)
+class VmExit:
+    """One VM exit with its reason-specific payload.
+
+    ``pc`` is the address of the instruction that caused the exit;
+    ``next_pc`` is where the guest will resume.  The remaining fields are
+    populated per reason (e.g. ``port``/``value`` for PIO, ``predicted`` /
+    ``actual`` for ROP alarms, ``evicted`` for RAS evictions).
+    """
+
+    reason: VmExitReason
+    pc: int
+    next_pc: int
+    rd: int = 0
+    addr: int = 0
+    port: int = 0
+    value: int = 0
+    target: int = 0
+    return_addr: int = 0
+    predicted: int | None = None
+    actual: int = 0
+    evicted: int = 0
+    alarm_kind: RopAlarmKind | None = None
+    detail: str = ""
+
+
+@dataclass
+class ExitControls:
+    """Hardware-side switches selecting which events cause VM exits."""
+
+    #: Trap rdtsc (read time-stamp counter) — synchronous nondeterminism.
+    trap_rdtsc: bool = True
+    #: Trap rdrand — synchronous nondeterminism.
+    trap_rdrand: bool = True
+    #: Trap loads/stores that hit MMIO windows.  (Port-mapped I/O always
+    #: exits: the platform is hypervisor-mediated, §2.1, so IN/OUT have no
+    #: non-trapping mode.)
+    trap_mmio: bool = True
+    #: RAS mispredictions raise ROP-alarm exits (recorded VM only).
+    ras_alarm_exits: bool = False
+    #: About-to-evict RAS entries raise exits for Evict logging.
+    ras_evict_exits: bool = False
+    #: The RAS hardware is engaged at all (native runs without the feature
+    #: still have a RAS for prediction, but RnR-Safe's bookkeeping is what
+    #: this flag represents; turning it off models the RecNoRAS setup).
+    ras_bookkeeping: bool = True
+    #: Exit on every kernel-mode call and return (alarm replayer, §4.6.2).
+    trap_call_ret: bool = False
+    #: Extend call/ret trapping to user mode (deeper AR instrumentation for
+    #: alarms raised in user code — the paper's "increasing levels of
+    #: instrumentation").
+    trap_call_ret_user: bool = False
+    #: Hardware JOP check on indirect calls/jumps (Table 1, row 2).
+    jop_check: bool = False
+    #: Instruction-address breakpoints (context-switch interposition).
+    breakpoints: set[int] = field(default_factory=set)
+
+    def copy(self) -> "ExitControls":
+        """Deep-enough copy (breakpoint set duplicated)."""
+        duplicate = ExitControls(**{
+            key: value
+            for key, value in self.__dict__.items()
+            if key != "breakpoints"
+        })
+        duplicate.breakpoints = set(self.breakpoints)
+        return duplicate

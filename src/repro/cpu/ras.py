@@ -1,0 +1,88 @@
+"""The hardware Return Address Stack (RAS) model.
+
+A fixed-capacity LIFO of predicted return targets (§2.4).  ``call`` pushes
+the fall-through address; ``ret`` pops the prediction.  Three behaviours
+matter to RnR-Safe and are modelled faithfully:
+
+* **eviction** — pushing into a full RAS silently drops the *oldest* entry
+  in a conventional processor; RnR-Safe's hardware instead reports the
+  about-to-be-evicted entry so the hypervisor can log an Evict record (§4.5);
+* **underflow** — popping an empty RAS yields no prediction, which the
+  conventional RAS counts as a misprediction;
+* **dump/restore** — microcode saves and reloads the whole RAS around
+  context switches into the per-thread BackRAS (§4.3).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+#: An immutable copy of RAS contents, oldest entry first.
+RasSnapshot = tuple[int, ...]
+
+
+class ReturnAddressStack:
+    """Fixed-capacity return-address stack.
+
+    Entries are stored oldest-first; ``entries[-1]`` is the top of stack
+    (the next prediction).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ReproError(f"RAS capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        """Whether the next push will evict."""
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        """Whether the next pop will underflow."""
+        return not self._entries
+
+    def peek(self) -> int | None:
+        """Current top-of-stack prediction without popping."""
+        return self._entries[-1] if self._entries else None
+
+    def push(self, return_addr: int) -> int | None:
+        """Push a predicted return target.
+
+        Returns the evicted (oldest) entry when the RAS was full, else
+        ``None``.  The caller — the CPU core — turns a non-``None`` result
+        into a RAS-evict VM exit when that exit control is armed.
+        """
+        evicted = None
+        if len(self._entries) >= self.capacity:
+            evicted = self._entries.pop(0)
+        self._entries.append(return_addr)
+        return evicted
+
+    def pop(self) -> int | None:
+        """Pop the prediction, or ``None`` on underflow."""
+        if not self._entries:
+            return None
+        return self._entries.pop()
+
+    def save(self) -> RasSnapshot:
+        """Microcode dump of the full RAS (context switch / checkpoint)."""
+        return tuple(self._entries)
+
+    def restore(self, snapshot: RasSnapshot):
+        """Microcode reload of a previously dumped RAS."""
+        if len(snapshot) > self.capacity:
+            raise ReproError(
+                f"snapshot of {len(snapshot)} entries exceeds capacity "
+                f"{self.capacity}"
+            )
+        self._entries = list(snapshot)
+
+    def clear(self):
+        """Empty the RAS (boot, or BackRAS entry for a brand-new thread)."""
+        self._entries = []

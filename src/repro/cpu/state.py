@@ -1,0 +1,51 @@
+"""Architectural CPU state capture for checkpoints and introspection.
+
+A checkpoint stores "a page with the processor state (PC, stack pointer, and
+the rest of the registers)" (§4.6.1).  :class:`CpuState` is that page's
+contents.  The RAS is deliberately *not* part of it: at checkpoint time the
+hardware has just dumped the RAS into the BackRAS, and the checkpoint stores
+the whole BackRAS separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import REG_COUNT
+
+#: Bit layout of the flags word pushed on interrupt delivery and restored
+#: by ``iret``: (name, bit).
+FLAGS_FIELDS = (("zero", 0), ("negative", 1), ("user", 2), ("int_enabled", 3))
+
+
+@dataclass(frozen=True, slots=True)
+class CpuState:
+    """Immutable snapshot of all architectural register state."""
+
+    regs: tuple[int, ...]
+    pc: int
+    zero: bool
+    negative: bool
+    user: bool
+    int_enabled: bool
+    icount: int
+    halted: bool
+
+    def __post_init__(self):
+        if len(self.regs) != REG_COUNT:
+            raise ValueError(
+                f"expected {REG_COUNT} registers, got {len(self.regs)}"
+            )
+
+    def pack_flags(self) -> int:
+        """Encode the flag bits as the architectural flags word."""
+        word = 0
+        for name, bit in FLAGS_FIELDS:
+            if getattr(self, name):
+                word |= 1 << bit
+        return word
+
+
+def unpack_flags(word: int) -> dict[str, bool]:
+    """Decode a flags word into named booleans."""
+    return {name: bool(word >> bit & 1) for name, bit in FLAGS_FIELDS}

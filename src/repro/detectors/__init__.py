@@ -1,0 +1,34 @@
+"""First-line detectors and their replay-side analyzers (Table 1).
+
+* :mod:`repro.detectors.rop` — the RAS-based ROP detector with its
+  hardware filters (BackRAS, whitelists, evict records) and the Figure 8
+  suppression measurement;
+* :mod:`repro.detectors.jop` — the function-boundary table for
+  jump-oriented programming;
+* :mod:`repro.detectors.dos` — the context-switch watchdog and the
+  replay-side "who hogged the kernel" analyzer.
+"""
+
+from repro.detectors.rop import (
+    FalseAlarmBreakdown,
+    RasRopDetector,
+    measure_false_alarm_suppression,
+)
+from repro.detectors.jop import (
+    JopDetector,
+    select_common_functions,
+    verify_jop_target,
+)
+from repro.detectors.dos import DosAnalysis, DosAnalyzer, DosWatchdog
+
+__all__ = [
+    "RasRopDetector",
+    "FalseAlarmBreakdown",
+    "measure_false_alarm_suppression",
+    "JopDetector",
+    "select_common_functions",
+    "verify_jop_target",
+    "DosWatchdog",
+    "DosAnalyzer",
+    "DosAnalysis",
+]

@@ -1,0 +1,172 @@
+"""DOS detector (Table 1, row 3): context-switch watchdog + replay profiler.
+
+The trigger is kernel scheduler inactivity: a counter that increments on
+every context switch (the guest kernel maintains one in its globals; the
+hypervisor reads it by introspection).  If the counter barely moves over a
+watchdog window, an alarm is raised.  The replay side then identifies *why*
+switching stopped by sampling PCs over the pre-alarm window and reporting
+the function that dominated execution.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.cpu.exits import RopAlarmKind
+from repro.hypervisor.machine import GuestMachine, MachineSpec
+from repro.replay.base import DeterministicReplayer
+from repro.replay.checkpoint import Checkpoint, CheckpointStore
+from repro.rnr.log import InputLog
+from repro.rnr.records import AlarmRecord
+
+
+@dataclass
+class DosWatchdog:
+    """Recorder-side watchdog driven by a recurring host-timer event.
+
+    A VM-exit-polled check would go blind during exactly the incident it
+    hunts (a kernel spin produces no exits), so the watchdog schedules
+    itself on the host world's clock, like the paper's hypervisor timer.
+    The check is rate-based: the context-switch counter must keep pace
+    with ``min_switches`` per window, scaled by however long the interval
+    since the previous inspection actually was.
+    """
+
+    name: str = "dos-watchdog"
+    #: Window length in cycles between counter inspections.
+    window_cycles: int = 150_000
+    #: Minimum context switches expected per window at the normal rate.
+    min_switches: int = 2
+    #: Grace period: ignore early windows (boot has no switching).
+    warmup_cycles: int = 100_000
+    _last_check: int = 0
+    _last_count: int = 0
+    _fired: bool = False
+
+    def configure(self, recorder) -> None:
+        self._recorder = recorder
+        self._arm(recorder.machine)
+
+    def _arm(self, machine: GuestMachine):
+        machine.world.schedule(
+            machine.now + self.window_cycles,
+            lambda: self._tick(machine),
+        )
+
+    def _tick(self, machine: GuestMachine):
+        alarm = self.check(machine)
+        if alarm is not None:
+            self._recorder._log_watchdog_alarm(alarm)
+        if not machine.stopped:
+            self._arm(machine)
+
+    def owns_alarm(self, alarm: AlarmRecord) -> bool:
+        return alarm.kind is RopAlarmKind.DOS
+
+    def check(self, machine: GuestMachine) -> AlarmRecord | None:
+        """Inspect the guest's context-switch counter (introspection)."""
+        now = machine.now
+        count = machine.memory.read_word(machine.layout.ctxsw_count_addr)
+        if now < self.warmup_cycles or self._fired:
+            self._last_check = now
+            self._last_count = count
+            return None
+        elapsed = now - self._last_check
+        expected = self.min_switches * elapsed / self.window_cycles
+        starved = (count - self._last_count) < max(1, expected / 2)
+        self._last_check = now
+        self._last_count = count
+        if not starved:
+            return None
+        self._fired = True  # one alarm per incident; replay characterizes it
+        return AlarmRecord(
+            icount=machine.cpu.icount,
+            kind=RopAlarmKind.DOS,
+            pc=machine.cpu.pc,
+            predicted=None,
+            actual=count,
+            tid=-1,
+        )
+
+
+@dataclass(frozen=True)
+class DosAnalysis:
+    """Replay-side verdict: what hogged the machine."""
+
+    alarm: AlarmRecord
+    #: Function name -> PC samples observed in the pre-alarm window.
+    profile: dict[str, int]
+    dominant_function: str
+    dominant_share: float
+    sampled: int
+
+    @property
+    def is_kernel_hog(self) -> bool:
+        """Whether kernel code dominated the starvation window.
+
+        A spinning syscall shows up as one kernel call chain (e.g.
+        ``sys_spin`` plus its ``kwork`` helpers) absorbing most samples;
+        benign low-switching windows are dominated by user compute.
+        """
+        if self.dominant_function == "<user>":
+            return False
+        kernel_samples = sum(
+            count for name, count in self.profile.items()
+            if name != "<user>"
+        )
+        total = max(1, self.sampled)
+        return self.dominant_share > 0.35 and kernel_samples / total > 0.6
+
+
+class DosAnalyzer:
+    """Replays up to the alarm, sampling PCs to find the dominant code."""
+
+    name = "dos-profiler"
+
+    def __init__(self, sample_every: int = 64):
+        self.sample_every = sample_every
+
+    def analyze(self, spec: MachineSpec, log: InputLog, alarm: AlarmRecord,
+                checkpoint: Checkpoint | None = None,
+                store: CheckpointStore | None = None) -> DosAnalysis:
+        replayer = _SamplingReplayer(spec, log)
+        if checkpoint is not None and store is not None:
+            replayer.restore_checkpoint(checkpoint, store)
+        samples: Counter[str] = Counter()
+        total = 0
+        cpu = replayer.machine.cpu
+        kernel = spec.kernel
+        while cpu.icount < alarm.icount:
+            budget = min(cpu.icount + self.sample_every, alarm.icount)
+            replayer.run(max_instructions=budget)
+            replayer.stop_reason = ""
+            function = kernel.function_at(cpu.pc)
+            if function is None:
+                function = "<user>" if cpu.user else "<kernel-unknown>"
+            samples[function] += 1
+            total += 1
+            if replayer.reached_alarm(alarm):
+                break
+        dominant, count = samples.most_common(1)[0] if samples else ("<none>", 0)
+        return DosAnalysis(
+            alarm=alarm,
+            profile=dict(samples),
+            dominant_function=dominant,
+            dominant_share=count / total if total else 0.0,
+            sampled=total,
+        )
+
+
+class _SamplingReplayer(DeterministicReplayer):
+    """Resumable replay used by the profiler (run in small chunks)."""
+
+    def __init__(self, spec: MachineSpec, log: InputLog):
+        super().__init__(spec, log.cursor(), verify_digest=False)
+        self._alarms_seen: set[int] = set()
+
+    def on_alarm(self, record: AlarmRecord):
+        self._alarms_seen.add(record.icount)
+
+    def reached_alarm(self, alarm: AlarmRecord) -> bool:
+        return alarm.icount in self._alarms_seen

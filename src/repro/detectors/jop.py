@@ -1,0 +1,122 @@
+"""JOP detector (Table 1, row 2): hardware function-boundary table.
+
+The hardware table holds begin/end addresses of the *most common* kernel
+functions; an indirect call or jump is legal if it targets a table
+function's entry or stays within the current function.  Targets the table
+cannot vouch for raise an alarm, and the replay side checks them against
+the complete function map (see
+:meth:`repro.replay.alarm.AlarmReplayer._classify_jop`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel.image import KernelImage
+from repro.rnr.recorder import Recorder
+from repro.rnr.records import AlarmRecord
+
+#: Functions that indirect dispatch hits constantly; they must be in the
+#: hardware table or benign execution would alarm on every syscall.
+_HOT_FUNCTION_PREFIXES = ("sys_", "schedule", "kdispatch", "kload",
+                          "op_noop", "irq_entry", "syscall_entry")
+
+
+def select_common_functions(kernel: KernelImage,
+                            capacity: int) -> dict[str, tuple[int, int]]:
+    """Pick the table contents: hot dispatch targets first, then the rest.
+
+    Deliberately leaves the least common functions out when capacity runs
+    short — those are exactly the targets the replayer verifies.
+    """
+    functions = kernel.functions
+    hot = {
+        name: bounds for name, bounds in functions.items()
+        if name.startswith(_HOT_FUNCTION_PREFIXES)
+    }
+    selected = dict(list(hot.items())[:capacity])
+    for name, bounds in functions.items():
+        if len(selected) >= capacity:
+            break
+        selected.setdefault(name, bounds)
+    return selected
+
+
+def verify_jop_target(kernel: KernelImage, alarm: AlarmRecord,
+                      from_checkpoint: int | None = None):
+    """Replay-side verification of a stray indirect transfer (Table 1).
+
+    The hardware table only vouches for the most common functions; this
+    check consults the *complete* function map: a target that begins any
+    function, or stays within the function containing the branch, is a
+    false positive — anything else is a confirmed hijack.
+    """
+    from repro.replay.verdict import AlarmVerdict, BenignCause, VerdictKind
+
+    target = alarm.actual
+    for name, (start, end) in kernel.functions.items():
+        if target == start:
+            return AlarmVerdict(
+                kind=VerdictKind.FALSE_POSITIVE,
+                alarm=alarm,
+                explanation=(
+                    f"indirect transfer targets the entry of {name}, a "
+                    "legitimate (less common) function"
+                ),
+                benign_cause=BenignCause.UNCOMMON_FUNCTION,
+                observed_target=target,
+                tid=alarm.tid,
+                from_checkpoint=from_checkpoint,
+            )
+        if start <= alarm.pc < end and start <= target < end:
+            return AlarmVerdict(
+                kind=VerdictKind.FALSE_POSITIVE,
+                alarm=alarm,
+                explanation=f"intra-function indirect branch in {name}",
+                benign_cause=BenignCause.UNCOMMON_FUNCTION,
+                observed_target=target,
+                tid=alarm.tid,
+                from_checkpoint=from_checkpoint,
+            )
+    return AlarmVerdict(
+        kind=VerdictKind.ROP_CONFIRMED,
+        alarm=alarm,
+        explanation=(
+            "indirect transfer to an address that begins no function: "
+            "jump-oriented control-flow hijack"
+        ),
+        observed_target=target,
+        tid=alarm.tid,
+        from_checkpoint=from_checkpoint,
+    )
+
+
+@dataclass
+class JopDetector:
+    """Arms the hardware JOP check on a recorder."""
+
+    name: str = "jop-table"
+    #: Optional explicit table; defaults to :func:`select_common_functions`.
+    table: dict[str, tuple[int, int]] | None = None
+    #: Functions to exclude even if common (test hook for exercising the
+    #: replay-verification path on benign targets).
+    exclude: frozenset[str] = field(default_factory=frozenset)
+
+    def configure(self, recorder: Recorder) -> None:
+        from dataclasses import replace
+
+        recorder.options = replace(recorder.options, jop_check=True)
+        recorder.machine.vmcs.controls.jop_check = True
+        kernel = recorder.spec.kernel
+        capacity = recorder.spec.config.jop_table_entries
+        table = self.table
+        if table is None:
+            table = select_common_functions(kernel, capacity + len(self.exclude))
+        ranges = [
+            bounds for name, bounds in table.items()
+            if name not in self.exclude
+        ]
+        recorder.machine.vmcs.set_jop_table(ranges[:capacity])
+
+    def owns_alarm(self, alarm: AlarmRecord) -> bool:
+        return alarm.kind.value == "jop"

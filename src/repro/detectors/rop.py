@@ -1,0 +1,122 @@
+"""The RAS-based ROP detector and the Figure 8 suppression measurement.
+
+The detector itself is the recorder's RAS machinery; this module gives it
+a Table 1-style identity and, more importantly, implements the ablation
+behind Figure 8: how many kernel false alarms each hardware filter
+(whitelist, BackRAS) suppresses, and how few reach the replayers.
+
+Suppression is measured the only honest way — by differencing runs with
+filters progressively enabled:
+
+* no filters  → the §4.2 "basic design" alarm flood;
+* + whitelist → non-procedural-return alarms disappear;
+* + BackRAS   → cross-thread pollution alarms disappear;
+
+what remains (underflows and imperfect nesting) is the FalseAlarm bar that
+the replayers absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.hypervisor.machine import MachineSpec
+from repro.rnr.recorder import Recorder, RecorderOptions
+from repro.rnr.records import AlarmRecord
+
+
+@dataclass(frozen=True)
+class RasRopDetector:
+    """Table 1, row 1: RAS misprediction as the alarm trigger."""
+
+    name: str = "ras-rop"
+    backras: bool = True
+    whitelist: bool = True
+    evict_records: bool = True
+
+    def configure(self, recorder: Recorder) -> None:
+        """Arm on a recorder (the recorder owns the actual machinery)."""
+        recorder.options = replace(
+            recorder.options,
+            alarms=True,
+            backras=self.backras,
+            whitelist=self.whitelist,
+            evict_records=self.evict_records,
+        )
+
+    def owns_alarm(self, alarm: AlarmRecord) -> bool:
+        return alarm.kind.value in ("mismatch", "underflow",
+                                    "whitelist_target")
+
+
+@dataclass(frozen=True)
+class FalseAlarmBreakdown:
+    """One Figure 8 bar: kernel false alarms per million instructions."""
+
+    benchmark: str
+    instructions: int
+    #: Alarms with no filters at all (the basic design of §4.2).
+    unfiltered: int
+    #: Alarms remaining with only the whitelist enabled.
+    with_whitelist: int
+    #: Alarms remaining with whitelist + BackRAS (reported to replayers).
+    with_all_filters: int
+
+    @property
+    def suppressed_by_whitelist(self) -> int:
+        return max(0, self.unfiltered - self.with_whitelist)
+
+    @property
+    def suppressed_by_backras(self) -> int:
+        return max(0, self.with_whitelist - self.with_all_filters)
+
+    @property
+    def passed_to_replayers(self) -> int:
+        return self.with_all_filters
+
+    def per_million(self, count: int) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return count * 1e6 / self.instructions
+
+    def rows(self) -> dict[str, float]:
+        """The figure's three series, in events per million instructions."""
+        return {
+            "Whitelist": self.per_million(self.suppressed_by_whitelist),
+            "BackRAS": self.per_million(self.suppressed_by_backras),
+            "FalseAlarm": self.per_million(self.passed_to_replayers),
+        }
+
+
+def _kernel_alarm_count(spec: MachineSpec, options: RecorderOptions) -> tuple[int, int]:
+    """Run one recording and count alarms raised by kernel-mode returns."""
+    run = Recorder(spec, options).run()
+    user_base = spec.kernel.layout.user_code_base
+    kernel_alarms = sum(1 for alarm in run.alarms if alarm.pc < user_base)
+    return kernel_alarms, run.metrics.instructions
+
+
+def measure_false_alarm_suppression(
+    spec: MachineSpec, max_instructions: int = 2_000_000,
+) -> FalseAlarmBreakdown:
+    """Produce one benchmark's Figure 8 bar by filter differencing."""
+    base = RecorderOptions(
+        log_enabled=True, alarms=True, evict_records=False,
+        max_instructions=max_instructions, digest=False,
+    )
+    unfiltered, _ = _kernel_alarm_count(
+        spec, replace(base, backras=False, whitelist=False),
+    )
+    whitelist_only, _ = _kernel_alarm_count(
+        spec, replace(base, backras=False, whitelist=True),
+    )
+    filtered, instructions = _kernel_alarm_count(
+        spec, replace(base, backras=True, whitelist=True),
+    )
+    return FalseAlarmBreakdown(
+        benchmark=spec.label,
+        instructions=instructions,
+        unfiltered=unfiltered,
+        with_whitelist=whitelist_only,
+        with_all_filters=filtered,
+    )

@@ -1,0 +1,72 @@
+"""Virtual devices and the nondeterministic host world.
+
+During recording these models are the source of every nondeterministic
+event: timer interrupts, disk completions, network packet arrivals, TSC
+reads.  The :class:`~repro.devices.world.HostWorld` draws all of them from
+one seeded RNG, so a *recorded* execution is reproducible for testing, while
+remaining opaque to the replayers (which see only the input log, exactly as
+the paper requires).
+
+Device I/O follows the paper's hypervisor-mediated model (§2.1): every
+device-register access VM-exits and is emulated by the hypervisor, which is
+what makes recording possible without device cooperation.
+"""
+
+from repro.devices.bus import (
+    IRQ_DISK,
+    IRQ_NIC,
+    IRQ_TIMER,
+    NIC_MMIO_BASE,
+    NIC_MMIO_SIZE,
+    NIC_REG_RX_ADDR,
+    NIC_REG_RX_LEN,
+    NIC_REG_RX_PENDING,
+    NIC_REG_RX_RING,
+    PORT_CONSOLE,
+    PORT_DISK_ADDR,
+    PORT_DISK_BLOCK,
+    PORT_DISK_CMD,
+    PORT_DISK_STATUS,
+    PORT_SHUTDOWN,
+    DISK_CMD_READ,
+    DISK_CMD_WRITE,
+    DISK_STATUS_BUSY,
+    DISK_STATUS_READY,
+)
+from repro.devices.interrupts import InterruptController
+from repro.devices.world import HostWorld, WorldEvent
+from repro.devices.disk import DiskDevice, VirtualDisk
+from repro.devices.nic import NetworkDevice, Packet
+from repro.devices.timer import TimerDevice
+from repro.devices.console import ConsoleDevice
+
+__all__ = [
+    "IRQ_TIMER",
+    "IRQ_DISK",
+    "IRQ_NIC",
+    "PORT_CONSOLE",
+    "PORT_SHUTDOWN",
+    "PORT_DISK_CMD",
+    "PORT_DISK_BLOCK",
+    "PORT_DISK_ADDR",
+    "PORT_DISK_STATUS",
+    "DISK_CMD_READ",
+    "DISK_CMD_WRITE",
+    "DISK_STATUS_BUSY",
+    "DISK_STATUS_READY",
+    "NIC_MMIO_BASE",
+    "NIC_MMIO_SIZE",
+    "NIC_REG_RX_PENDING",
+    "NIC_REG_RX_LEN",
+    "NIC_REG_RX_ADDR",
+    "NIC_REG_RX_RING",
+    "InterruptController",
+    "HostWorld",
+    "WorldEvent",
+    "DiskDevice",
+    "VirtualDisk",
+    "NetworkDevice",
+    "Packet",
+    "TimerDevice",
+    "ConsoleDevice",
+]

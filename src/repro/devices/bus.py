@@ -1,0 +1,59 @@
+"""Platform wiring constants: IRQ vectors, PIO ports, MMIO windows.
+
+These constants are the contract between the guest kernel's drivers
+(assembled guest code) and the hypervisor's device emulation.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# interrupt vectors
+# ---------------------------------------------------------------------------
+
+IRQ_TIMER = 1
+IRQ_DISK = 2
+IRQ_NIC = 3
+
+# ---------------------------------------------------------------------------
+# port-mapped I/O
+# ---------------------------------------------------------------------------
+
+#: Console output: OUT writes one character code.
+PORT_CONSOLE = 0
+#: Shutdown: OUT to this port powers off the VM (clean workload end).
+PORT_SHUTDOWN = 1
+#: Disk command register.
+PORT_DISK_CMD = 8
+#: Disk block-number register.
+PORT_DISK_BLOCK = 9
+#: Disk DMA target address register.
+PORT_DISK_ADDR = 10
+#: Disk status register (IN).
+PORT_DISK_STATUS = 11
+#: Disk parameter/config register (OUT; real drivers program several of
+#: these per request, which is most of their per-op exit traffic).
+PORT_DISK_PARAM = 12
+
+DISK_CMD_READ = 1
+DISK_CMD_WRITE = 2
+
+DISK_STATUS_READY = 0
+DISK_STATUS_BUSY = 1
+
+# ---------------------------------------------------------------------------
+# NIC memory-mapped I/O
+# ---------------------------------------------------------------------------
+
+#: Base guest-physical address of the NIC register window.
+NIC_MMIO_BASE = 0x0F00_0000
+NIC_MMIO_SIZE = 16
+
+#: Number of received packets not yet consumed (read).
+NIC_REG_RX_PENDING = 0
+#: Length in words of the packet at the head of the RX queue (read).
+NIC_REG_RX_LEN = 1
+#: Ring-buffer offset of the head packet's payload (read); reading this
+#: register also *consumes* the head packet.
+NIC_REG_RX_ADDR = 2
+#: Guest-physical base of the RX DMA ring (written by the driver at boot).
+NIC_REG_RX_RING = 3

@@ -1,0 +1,27 @@
+"""Console output device.
+
+A pure sink: OUT to the console port appends one character code.  The
+device has no guest-visible state, so replay needs nothing from the log —
+the exits themselves still cost time, which the performance model charges.
+"""
+
+from __future__ import annotations
+
+
+class ConsoleDevice:
+    """Collects guest console output for tests and forensics reports."""
+
+    def __init__(self):
+        self._chars: list[int] = []
+
+    def pio_write(self, value: int):
+        """Handle an OUT to the console port."""
+        self._chars.append(value & 0xFF)
+
+    @property
+    def text(self) -> str:
+        """Everything printed so far, decoded as Latin-1."""
+        return "".join(chr(code) for code in self._chars)
+
+    def clear(self):
+        self._chars.clear()

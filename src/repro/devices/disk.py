@@ -1,0 +1,205 @@
+"""Virtual disk: block store plus a PIO/DMA disk controller.
+
+The guest driver programs the controller through PIO ports (block number,
+DMA address, command) and receives a completion interrupt.  Read data moves
+by DMA into guest memory *at interrupt-delivery time*, so recording can pin
+the memory change to an exact instruction count and replay can reproduce it
+(the content itself is **not** logged — the replayer owns a deterministic
+replica of the virtual disk, which is why checkpoints must include modified
+disk blocks, §4.6.1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.devices.bus import (
+    DISK_CMD_READ,
+    DISK_CMD_WRITE,
+    DISK_STATUS_BUSY,
+    DISK_STATUS_READY,
+    IRQ_DISK,
+)
+from repro.devices.interrupts import InterruptController
+from repro.devices.world import HostWorld
+from repro.errors import DeviceError
+from repro.memory.physical import PhysicalMemory
+
+
+class VirtualDisk:
+    """Deterministic block store.
+
+    Unwritten blocks are lazily synthesized from ``content_seed``, so the
+    recorder's disk and every replayer's replica agree on all contents
+    without shipping data through the log.  Written blocks are tracked for
+    incremental checkpointing.
+    """
+
+    def __init__(self, block_size: int, content_seed: int):
+        self.block_size = block_size
+        self.content_seed = content_seed
+        self._blocks: dict[int, list[int]] = {}
+        self._dirty: set[int] = set()
+
+    def _synthesize(self, block: int) -> list[int]:
+        rng = random.Random((self.content_seed << 32) ^ block)
+        return [rng.getrandbits(64) for _ in range(self.block_size)]
+
+    def read_block(self, block: int) -> list[int]:
+        """Read one block (synthesizing pristine content on first touch)."""
+        data = self._blocks.get(block)
+        if data is None:
+            data = self._synthesize(block)
+            self._blocks[block] = data
+        return list(data)
+
+    def write_block(self, block: int, words: Iterable[int]):
+        """Overwrite one block."""
+        data = list(words)
+        if len(data) != self.block_size:
+            raise DeviceError(
+                f"block write of {len(data)} words, expected {self.block_size}"
+            )
+        self._blocks[block] = data
+        self._dirty.add(block)
+
+    def dirty_blocks(self) -> frozenset[int]:
+        """Blocks written since the last :meth:`clear_dirty`."""
+        return frozenset(self._dirty)
+
+    def clear_dirty(self):
+        self._dirty.clear()
+
+    def snapshot_blocks(self, blocks: Iterable[int]) -> dict[int, tuple[int, ...]]:
+        """Copy the given blocks for a checkpoint."""
+        return {block: tuple(self.read_block(block)) for block in blocks}
+
+    def restore_blocks(self, snapshot: dict[int, tuple[int, ...]]):
+        """Restore blocks captured by :meth:`snapshot_blocks`."""
+        for block, words in snapshot.items():
+            self._blocks[block] = list(words)
+            self._dirty.add(block)
+
+
+@dataclass(frozen=True)
+class _PendingDma:
+    """A completed read whose data lands at interrupt delivery."""
+
+    block: int
+    addr: int
+
+
+class DiskDevice:
+    """PIO-programmed disk controller with DMA and completion interrupts."""
+
+    #: Completion latency range in cycles (drawn per request).
+    LATENCY_LOW = 2_000
+    LATENCY_HIGH = 8_000
+
+    def __init__(self, disk: VirtualDisk, memory: PhysicalMemory,
+                 intc: InterruptController, world: HostWorld | None):
+        self.disk = disk
+        self.memory = memory
+        self.intc = intc
+        self.world = world
+        self._reg_block = 0
+        self._reg_addr = 0
+        self._reg_param = 0
+        self._outstanding = 0
+        self._pending_dma: list[_PendingDma] = []
+        #: Statistics for the benchmarks.
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # PIO interface (called by the hypervisor's device emulation)
+    # ------------------------------------------------------------------
+
+    def pio_write(self, port_role: str, value: int, now_cycles: int):
+        """Handle an OUT to one of the disk's ports.
+
+        ``port_role`` is one of ``"cmd"``, ``"block"``, ``"addr"`` — the
+        hypervisor resolves port numbers before calling.
+        """
+        if port_role == "param":
+            self._reg_param = value
+        elif port_role == "block":
+            self._reg_block = value
+        elif port_role == "addr":
+            self._reg_addr = value
+        elif port_role == "cmd":
+            self._command(value, now_cycles)
+        else:
+            raise DeviceError(f"unknown disk port role {port_role!r}")
+
+    def pio_read_status(self) -> int:
+        """Handle an IN from the status port."""
+        return DISK_STATUS_BUSY if self._outstanding else DISK_STATUS_READY
+
+    def _command(self, command: int, now_cycles: int):
+        if command == DISK_CMD_READ:
+            self.reads += 1
+            request = _PendingDma(block=self._reg_block, addr=self._reg_addr)
+            if self.world is not None:
+                # Recording: completion fires on the world's clock.
+                self._outstanding += 1
+                due = now_cycles + self.world.latency(
+                    self.LATENCY_LOW, self.LATENCY_HIGH
+                )
+                self.world.schedule(due, lambda: self._complete_read(request))
+            # Replaying: the DMA landing and its interrupt come from the
+            # input log; the command itself only needs counting.
+        elif command == DISK_CMD_WRITE:
+            self.writes += 1
+            # Writes move data out of guest memory synchronously — this is
+            # deterministic guest state, so the replayers run it too and
+            # their replica disks evolve identically.
+            words = self.memory.read_block(self._reg_addr, self.disk.block_size)
+            self.disk.write_block(self._reg_block, words)
+            if self.world is not None:
+                self._outstanding += 1
+                due = now_cycles + self.world.latency(
+                    self.LATENCY_LOW, self.LATENCY_HIGH
+                )
+                self.world.schedule(due, self._complete_write)
+        else:
+            raise DeviceError(f"unknown disk command {command}")
+
+    # ------------------------------------------------------------------
+    # completions
+    # ------------------------------------------------------------------
+
+    def _complete_read(self, request: _PendingDma):
+        self._pending_dma.append(request)
+        self._outstanding -= 1
+        self.intc.raise_irq(IRQ_DISK)
+
+    def _complete_write(self):
+        self._outstanding -= 1
+        self.intc.raise_irq(IRQ_DISK)
+
+    def capture_regs(self) -> tuple[int, int, int]:
+        """Snapshot controller registers (checkpoints must include them:
+        an OUT sequence may straddle a checkpoint boundary)."""
+        return (self._reg_block, self._reg_addr, self._reg_param)
+
+    def restore_regs(self, regs: tuple[int, int, int]):
+        """Restore controller registers captured by :meth:`capture_regs`."""
+        self._reg_block, self._reg_addr, self._reg_param = regs
+
+    def flush_dma(self) -> list[tuple[int, int]]:
+        """Land all completed reads into guest memory.
+
+        Called by the machine immediately before delivering ``IRQ_DISK`` so
+        that the memory change happens at the recorded instruction count.
+        Returns ``(block, addr)`` pairs for the recorder's log.
+        """
+        landed = []
+        for request in self._pending_dma:
+            words = self.disk.read_block(request.block)
+            self.memory.write_block(request.addr, words)
+            landed.append((request.block, request.addr))
+        self._pending_dma.clear()
+        return landed

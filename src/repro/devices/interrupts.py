@@ -1,0 +1,48 @@
+"""Interrupt controller: queues device IRQs until the CPU can take them.
+
+Devices raise vectors here; the machine loop delivers them at instruction
+boundaries when the guest has interrupts enabled.  During recording the
+hypervisor logs the exact instruction count of each delivery so replay can
+re-inject at the same point (§7.3, asynchronous events).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class InterruptController:
+    """A FIFO of pending interrupt vectors with simple coalescing.
+
+    Like a real IOAPIC line, a vector that is already pending is not queued
+    twice; the device's next state change re-raises it.
+    """
+
+    def __init__(self):
+        self._pending: deque[int] = deque()
+        self._pending_set: set[int] = set()
+        #: Total interrupts raised (statistics).
+        self.raised_count = 0
+
+    def raise_irq(self, vector: int):
+        """Assert an interrupt line."""
+        self.raised_count += 1
+        if vector not in self._pending_set:
+            self._pending.append(vector)
+            self._pending_set.add(vector)
+
+    @property
+    def has_pending(self) -> bool:
+        """Whether any vector is waiting for delivery."""
+        return bool(self._pending)
+
+    def take(self) -> int:
+        """Pop the next vector to deliver."""
+        vector = self._pending.popleft()
+        self._pending_set.discard(vector)
+        return vector
+
+    def clear(self):
+        """Drop all pending interrupts (machine reset / checkpoint load)."""
+        self._pending.clear()
+        self._pending_set.clear()

@@ -1,0 +1,49 @@
+"""Programmable interval timer.
+
+Drives the guest kernel's scheduler: each tick raises ``IRQ_TIMER``, whose
+handler may context-switch.  Tick spacing carries small host-side jitter —
+the interrupts are asynchronous nondeterministic events that the recorder
+must log and the replayers must re-inject at exact instruction counts.
+"""
+
+from __future__ import annotations
+
+from repro.devices.bus import IRQ_TIMER
+from repro.devices.interrupts import InterruptController
+from repro.devices.world import HostWorld
+
+
+class TimerDevice:
+    """Periodic tick source with jitter, active only while recording."""
+
+    def __init__(self, world: HostWorld, intc: InterruptController,
+                 period_cycles: int, jitter_cycles: int = 0):
+        self.world = world
+        self.intc = intc
+        self.period_cycles = period_cycles
+        self.jitter_cycles = jitter_cycles
+        self.ticks = 0
+        self._stopped = False
+
+    def start(self, now_cycles: int):
+        """Arm the first tick."""
+        self._schedule_next(now_cycles)
+
+    def stop(self):
+        """Stop raising further ticks (machine shutdown)."""
+        self._stopped = True
+
+    def _schedule_next(self, now_cycles: int):
+        jitter = (
+            self.world.latency(0, self.jitter_cycles)
+            if self.jitter_cycles else 0
+        )
+        due = now_cycles + self.period_cycles + jitter
+        self.world.schedule(due, lambda: self._tick(due))
+
+    def _tick(self, now_cycles: int):
+        if self._stopped:
+            return
+        self.ticks += 1
+        self.intc.raise_irq(IRQ_TIMER)
+        self._schedule_next(now_cycles)

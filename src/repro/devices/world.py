@@ -1,0 +1,90 @@
+"""The nondeterministic host world.
+
+Everything the recorded VM cannot predict comes from here: the wall-clock
+TSC, hardware randomness, device latencies, and the arrival schedule of
+external work (network packets).  A single seeded :class:`random.Random`
+drives all of it, which makes whole-system tests reproducible while leaving
+the guest genuinely unable to predict the values — exactly the situation
+RnR recording is built for.
+
+The world also owns the global event queue.  Devices schedule future events
+("this disk read completes at cycle T", "a packet arrives at cycle T"), and
+the machine loop fires them as simulated time passes.  The replayers never
+construct a world: their events come from the input log.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.config import SimulationConfig
+
+
+@dataclass(order=True)
+class WorldEvent:
+    """One scheduled future event, ordered by due cycle."""
+
+    due_cycle: int
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class HostWorld:
+    """Seeded source of all recording-side nondeterminism."""
+
+    def __init__(self, config: SimulationConfig, seed: int | None = None):
+        self.config = config
+        self.rng = random.Random(config.seed if seed is None else seed)
+        self._queue: list[WorldEvent] = []
+        self._sequence = itertools.count()
+        self._tsc_offset = self.rng.randrange(1 << 30)
+        #: Cached due time of the earliest event (micro-optimization for the
+        #: machine loop, which polls every instruction).
+        self.next_due: int | None = None
+
+    # ------------------------------------------------------------------
+    # nondeterministic values
+    # ------------------------------------------------------------------
+
+    def tsc(self, now_cycles: int) -> int:
+        """Read the wall-clock time-stamp counter.
+
+        Monotonic in simulated time but with unpredictable drift, modelling
+        the host clock the guest cannot foresee.
+        """
+        self._tsc_offset += self.rng.randrange(0, 64)
+        return now_cycles + self._tsc_offset
+
+    def random_word(self) -> int:
+        """One rdrand result."""
+        return self.rng.getrandbits(64)
+
+    def latency(self, low_cycles: int, high_cycles: int) -> int:
+        """A device-latency draw in ``[low, high]`` cycles."""
+        return self.rng.randint(low_cycles, high_cycles)
+
+    # ------------------------------------------------------------------
+    # event queue
+    # ------------------------------------------------------------------
+
+    def schedule(self, due_cycle: int, action: Callable[[], None]):
+        """Run ``action`` once simulated time reaches ``due_cycle``."""
+        event = WorldEvent(due_cycle, next(self._sequence), action)
+        heapq.heappush(self._queue, event)
+        if self.next_due is None or due_cycle < self.next_due:
+            self.next_due = due_cycle
+
+    def run_due(self, now_cycles: int):
+        """Fire every event whose due time has passed."""
+        while self._queue and self._queue[0].due_cycle <= now_cycles:
+            heapq.heappop(self._queue).action()
+        self.next_due = self._queue[0].due_cycle if self._queue else None
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events not yet fired."""
+        return len(self._queue)

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the RnR-Safe simulation.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.  Guest-visible
+architectural events (faults, VM exits) are *not* exceptions — they are
+modelled as data (see :mod:`repro.cpu.faults`).  Exceptions here signal misuse
+of the library or corruption of simulator state.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AssemblerError(ReproError):
+    """Raised when guest assembly cannot be translated into machine words."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class DecodeError(ReproError):
+    """Raised when a machine word does not decode to a valid instruction."""
+
+
+class MemoryError_(ReproError):
+    """Raised on invalid physical-memory configuration or host-side misuse.
+
+    Guest-visible access violations are architectural faults, not exceptions;
+    this class covers host errors such as registering overlapping MMIO
+    regions.  Named with a trailing underscore to avoid shadowing the
+    builtin ``MemoryError``.
+    """
+
+
+class DeviceError(ReproError):
+    """Raised on invalid device configuration or programming."""
+
+
+class KernelBuildError(ReproError):
+    """Raised when the guest kernel image cannot be constructed."""
+
+
+class HypervisorError(ReproError):
+    """Raised on invalid hypervisor configuration or an unhandled VM exit."""
+
+
+class LogError(ReproError):
+    """Raised on input-log corruption or out-of-order consumption."""
+
+
+class ReplayDivergenceError(ReproError):
+    """Raised when a replayed execution diverges from the recorded one.
+
+    Divergence indicates either log corruption or a nondeterministic source
+    that escaped recording; both are fatal for RnR-Safe, which relies on
+    deterministic replay for alarm analysis.
+    """
+
+    def __init__(self, message: str, icount: int | None = None):
+        self.icount = icount
+        if icount is not None:
+            message = f"at instruction {icount}: {message}"
+        super().__init__(message)
+
+
+class CheckpointError(ReproError):
+    """Raised on invalid checkpoint construction, restore, or recycling."""
+
+
+class AttackBuildError(ReproError):
+    """Raised when an attack payload cannot be constructed.
+
+    Typically means the gadget scanner could not find the required gadgets
+    in the supplied binary image.
+    """
+
+
+class WorkloadError(ReproError):
+    """Raised on invalid workload profile parameters."""

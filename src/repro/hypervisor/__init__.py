@@ -1,0 +1,24 @@
+"""The hypervisor layer: VMCS programming, device emulation, interposition.
+
+Follows the paper's Intel VT terminology (§5): the :class:`Vmcs` is the
+structure through which the hypervisor configures the virtualization
+hardware — exit controls, the BackRASptr, and the two whitelist tables.
+:class:`ContextSwitchInterposer` implements §5.2: trapping the guest
+kernel's single SP-pivot instruction, introspecting the next thread's task
+struct, and maintaining/recycling the per-thread BackRAS.
+"""
+
+from repro.hypervisor.vmcs import Vmcs
+from repro.hypervisor.machine import GuestMachine, MachineSpec
+from repro.hypervisor.interpose import BackRasStore, ContextSwitchInterposer
+from repro.hypervisor.emulation import emulate_pio_out, emulate_pio_in
+
+__all__ = [
+    "Vmcs",
+    "GuestMachine",
+    "MachineSpec",
+    "BackRasStore",
+    "ContextSwitchInterposer",
+    "emulate_pio_out",
+    "emulate_pio_in",
+]

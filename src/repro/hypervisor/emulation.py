@@ -1,0 +1,55 @@
+"""Deterministic device emulation shared by the recorder and the replayers.
+
+Writes (OUT, MMIO stores) have deterministic effects on replica device
+state, so the recorder and every replayer run the *same* emulation code
+here.  Reads are different: the recorder consults the live devices and logs
+the result; replayers inject logged values and never call the read side.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.exits import VmExit
+from repro.devices.bus import (
+    PORT_CONSOLE,
+    PORT_DISK_ADDR,
+    PORT_DISK_BLOCK,
+    PORT_DISK_CMD,
+    PORT_DISK_PARAM,
+    PORT_DISK_STATUS,
+    PORT_SHUTDOWN,
+)
+from repro.errors import DeviceError
+
+
+def emulate_pio_out(machine, exit_event: VmExit) -> bool:
+    """Apply an OUT to the right device replica.
+
+    Returns ``True`` if the guest requested shutdown.
+    """
+    port = exit_event.port
+    value = exit_event.value
+    if port == PORT_CONSOLE:
+        machine.console.pio_write(value)
+        return False
+    if port == PORT_SHUTDOWN:
+        return True
+    if port == PORT_DISK_CMD:
+        machine.disk_dev.pio_write("cmd", value, machine.now)
+        return False
+    if port == PORT_DISK_BLOCK:
+        machine.disk_dev.pio_write("block", value, machine.now)
+        return False
+    if port == PORT_DISK_ADDR:
+        machine.disk_dev.pio_write("addr", value, machine.now)
+        return False
+    if port == PORT_DISK_PARAM:
+        machine.disk_dev.pio_write("param", value, machine.now)
+        return False
+    raise DeviceError(f"OUT to unwired port {port}")
+
+
+def emulate_pio_in(machine, exit_event: VmExit) -> int:
+    """Read a device register (recording side only)."""
+    if exit_event.port == PORT_DISK_STATUS:
+        return machine.disk_dev.pio_read_status()
+    raise DeviceError(f"IN from unwired port {exit_event.port}")

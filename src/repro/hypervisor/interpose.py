@@ -1,0 +1,159 @@
+"""Context-switch interposition and BackRAS maintenance (§5.2).
+
+The hypervisor breakpoints three guest-kernel instructions:
+
+* ``__switch_sp`` — the single instruction where the stack pointer moves to
+  the next thread.  At this exit the hardware dumps the RAS into the
+  outgoing thread's BackRAS; the hypervisor introspects the new stack
+  pointer (in a guest register, read from the VMCS), resolves it to a task
+  struct, retargets BackRASptr, and the VMEnter microcode loads the
+  incoming thread's BackRAS into the RAS.
+* ``__task_create_commit`` / ``__task_exit_commit`` — thread lifecycle
+  commit points, used to allocate and recycle BackRAS entries so that
+  reused thread IDs never inherit stale return addresses (§5.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.ras import RasSnapshot
+from repro.errors import HypervisorError
+from repro.hypervisor.vmcs import Vmcs
+from repro.kernel.image import KernelImage
+from repro.kernel.tasks import find_task_by_sp
+from repro.memory.physical import PhysicalMemory
+
+#: The guest register that holds the next thread's stack pointer at the
+#: ``__switch_sp`` instruction (fixed by the kernel builder's codegen).
+SWITCH_SP_REG = 4
+#: The guest register that holds the thread ID at the lifecycle commits.
+LIFECYCLE_TID_REG = 1
+
+
+@dataclass
+class BackRasStore:
+    """The in-hypervisor map of thread ID to saved RAS (the BackRAS array).
+
+    Stored "in a memory area inaccessible to the guest machine ... as a hash
+    table mapping a thread's ID to its BackRAS entry" (§5.2.1).
+    """
+
+    entries: dict[int, RasSnapshot] = field(default_factory=dict)
+    saves: int = 0
+    restores: int = 0
+    words_moved: int = 0
+
+    def save(self, tid: int, snapshot: RasSnapshot):
+        self.entries[tid] = snapshot
+        self.saves += 1
+        self.words_moved += len(snapshot) + 1  # entries + count word
+
+    def load(self, tid: int) -> RasSnapshot:
+        snapshot = self.entries.get(tid, ())
+        self.restores += 1
+        self.words_moved += len(snapshot) + 1
+        return snapshot
+
+    def allocate(self, tid: int):
+        """Fresh, empty entry for a new thread."""
+        self.entries[tid] = ()
+
+    def recycle(self, tid: int):
+        """Drop a dead thread's entry so a reused ID starts clean."""
+        self.entries.pop(tid, None)
+
+    def snapshot(self) -> dict[int, RasSnapshot]:
+        """Copy for inclusion in a checkpoint."""
+        return dict(self.entries)
+
+    @property
+    def bytes_moved(self) -> int:
+        """Save/restore traffic in bytes (Figure 6b)."""
+        return self.words_moved * 8
+
+
+class ContextSwitchInterposer:
+    """Handles the three breakpoint exits and tracks the current thread."""
+
+    def __init__(self, kernel: KernelImage, vmcs: Vmcs,
+                 memory: PhysicalMemory, manage_backras: bool):
+        self.kernel = kernel
+        self.vmcs = vmcs
+        self.memory = memory
+        self.manage_backras = manage_backras
+        self.backras = BackRasStore()
+        #: Optional observers for thread lifecycle commits (the alarm
+        #: replayer resets its software RAS through these).
+        self.thread_created_hook = None
+        self.thread_destroyed_hook = None
+        #: Thread the hypervisor believes is running (-1 before tasking).
+        self.current_tid = -1
+        self.context_switches = 0
+        self._switch_pc = kernel.switch_sp_pc
+        self._create_pc = kernel.task_create_pc
+        self._exit_pc = kernel.task_exit_pc
+
+    def breakpoints(self) -> set[int]:
+        """The breakpoint set to program into the exit controls."""
+        return {self._switch_pc, self._create_pc, self._exit_pc}
+
+    def handles(self, pc: int) -> bool:
+        return pc in (self._switch_pc, self._create_pc, self._exit_pc)
+
+    def on_breakpoint(self, pc: int) -> tuple[int, int]:
+        """Handle one breakpoint exit.
+
+        Returns ``(old_tid, new_tid)`` — equal when no switch occurred —
+        and arranges resumption past the trapped instruction.
+        """
+        old_tid = self.current_tid
+        if pc == self._switch_pc:
+            new_tid = self._on_switch()
+        elif pc == self._create_pc:
+            self._on_create()
+            new_tid = old_tid
+        elif pc == self._exit_pc:
+            self._on_exit()
+            new_tid = old_tid
+        else:
+            raise HypervisorError(f"unexpected breakpoint at {pc:#x}")
+        self.vmcs.resume_over_breakpoint()
+        return old_tid, new_tid
+
+    def _on_switch(self) -> int:
+        new_sp = self.vmcs.guest_reg(SWITCH_SP_REG)
+        task = find_task_by_sp(self.memory, self.kernel.layout, new_sp)
+        if task is None:
+            raise HypervisorError(
+                f"context switch to SP {new_sp:#x} resolves to no task"
+            )
+        if self.manage_backras:
+            # Hardware dumps the outgoing RAS to the BackRAS entry pointed
+            # to by BackRASptr, then VMEnter loads the incoming entry.
+            if self.current_tid >= 0:
+                self.backras.save(self.current_tid, self.vmcs.dump_ras())
+            self.vmcs.load_ras(self.backras.load(task.tid))
+        self.current_tid = task.tid
+        self.context_switches += 1
+        return task.tid
+
+    def _on_create(self):
+        tid = self.vmcs.guest_reg(LIFECYCLE_TID_REG)
+        if self.manage_backras:
+            self.backras.allocate(tid)
+        if self.thread_created_hook is not None:
+            self.thread_created_hook(tid)
+
+    def _on_exit(self):
+        tid = self.vmcs.guest_reg(LIFECYCLE_TID_REG)
+        if self.manage_backras:
+            self.backras.recycle(tid)
+        if self.thread_destroyed_hook is not None:
+            self.thread_destroyed_hook(tid)
+
+    def restore_from_checkpoint(self, backras: dict[int, RasSnapshot],
+                                current_tid: int):
+        """Reset interposer state when a replayer loads a checkpoint."""
+        self.backras.entries = dict(backras)
+        self.current_tid = current_tid

@@ -1,0 +1,210 @@
+"""The guest machine: memory map, device wiring, loading, time accounting.
+
+A :class:`MachineSpec` is a pure-data description of a workload deployment:
+the kernel image, the user program images, the initial tasks, the timer
+programming, and the external packet schedule.  Because the spec is
+immutable data, the recorder and every replayer can construct *identical*
+initial machines from it — the foundation of deterministic replay (the
+paper ships a VM image to the replay machine; we rebuild from the spec).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.config import DEFAULT_CONFIG, SimulationConfig
+from repro.cpu.core import Cpu
+from repro.cpu.exits import ExitControls
+from repro.devices.bus import NIC_MMIO_BASE, NIC_MMIO_SIZE
+from repro.devices.console import ConsoleDevice
+from repro.devices.disk import DiskDevice, VirtualDisk
+from repro.devices.interrupts import InterruptController
+from repro.devices.nic import NetworkDevice, Packet
+from repro.devices.timer import TimerDevice
+from repro.devices.world import HostWorld
+from repro.errors import KernelBuildError
+from repro.hypervisor.vmcs import Vmcs
+from repro.isa.assembler import AssembledImage
+from repro.isa.opcodes import SP
+from repro.kernel.image import KernelImage
+from repro.memory.mmio import MmioRegistry
+from repro.memory.paging import PERM_EXEC, PERM_READ, PERM_USER, PERM_WRITE
+from repro.memory.physical import PhysicalMemory
+from repro.perf.account import Category, CycleAccount
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Reproducible description of one workload deployment."""
+
+    label: str
+    kernel: KernelImage
+    user_images: tuple[AssembledImage, ...]
+    init_entries: tuple[int, ...]
+    config: SimulationConfig = DEFAULT_CONFIG
+    #: Timer tick period and jitter, in cycles.
+    timer_period_cycles: int = 50_000
+    timer_jitter_cycles: int = 2_000
+    #: External packet arrivals: (due_cycle, payload words) pairs.
+    packet_schedule: tuple[tuple[int, tuple[int, ...]], ...] = ()
+    #: Seed of the virtual disk's synthesized content.
+    disk_seed: int = 7
+    #: Seed of the host world's RNG (recording-side nondeterminism).
+    world_seed: int = 2018
+
+
+class GuestMachine:
+    """One assembled guest: CPU, memory, devices, and cycle accounting."""
+
+    def __init__(self, spec: MachineSpec, controls: ExitControls,
+                 with_world: bool):
+        self.spec = spec
+        config = spec.config
+        layout = spec.kernel.layout
+        self.layout = layout
+        self.memory = PhysicalMemory(page_size=config.page_size)
+        self._map_regions()
+        self._load_images()
+        self.cpu = Cpu(self.memory, config, controls=controls)
+        self.cpu.vec_syscall = spec.kernel.syscall_entry
+        self.cpu.vec_irq = spec.kernel.irq_entry
+        self.cpu.vec_fault = spec.kernel.fault_entry
+        self.cpu.pc = spec.kernel.boot_entry
+        self.cpu.regs[SP] = layout.boot_stack_top
+        self.vmcs = Vmcs(
+            self.cpu,
+            tar_whitelist_capacity=config.tar_whitelist_entries,
+            jop_table_capacity=config.jop_table_entries,
+        )
+        self.intc = InterruptController()
+        self.world = HostWorld(config, spec.world_seed) if with_world else None
+        self.disk = VirtualDisk(config.disk_block_size, spec.disk_seed)
+        self.disk_dev = DiskDevice(self.disk, self.memory, self.intc,
+                                   self.world)
+        self.nic = NetworkDevice(self.memory, self.intc,
+                                 ring_words=layout.nic_ring_words)
+        self.console = ConsoleDevice()
+        self.mmio = MmioRegistry()
+        self.mmio.register(NIC_MMIO_BASE, NIC_MMIO_SIZE, self.nic)
+        self.timer = (
+            TimerDevice(self.world, self.intc, spec.timer_period_cycles,
+                        spec.timer_jitter_cycles)
+            if self.world is not None else None
+        )
+        if self.world is not None:
+            for due_cycle, payload in spec.packet_schedule:
+                packet = Packet(words=payload)
+                self.world.schedule(
+                    due_cycle,
+                    lambda pkt=packet: self.nic.deliver_packet(pkt),
+                )
+        self.account = CycleAccount()
+        self.overhead_cycles = 0
+        self.stopped = False
+        self.stop_reason = ""
+
+    # ------------------------------------------------------------------
+    # memory map and loading
+    # ------------------------------------------------------------------
+
+    def _map_regions(self):
+        layout = self.layout
+        memory = self.memory
+        page = memory.page_size
+        kernel_words = len(self.spec.kernel.image.words)
+        kernel_limit = layout.kernel_code_base + kernel_words
+        if kernel_limit > layout.kdata_base:
+            raise KernelBuildError(
+                f"kernel code ({kernel_words} words) overruns its region"
+            )
+        kernel_pages = -(-kernel_words // page)
+        memory.map_range(layout.kernel_code_base, kernel_pages * page,
+                         PERM_READ | PERM_EXEC)
+        # Kernel globals + task table.
+        memory.map_range(layout.kdata_base, 2 * page, PERM_READ | PERM_WRITE)
+        # NIC RX ring.
+        memory.map_range(layout.nic_ring, layout.nic_ring_words,
+                         PERM_READ | PERM_WRITE)
+        # Boot stack page.
+        memory.map_range(layout.boot_stack_top - page, page,
+                         PERM_READ | PERM_WRITE)
+        # Per-task stacks (user-accessible: tasks run on them in user mode).
+        memory.map_range(layout.stacks_base,
+                         layout.max_tasks * layout.stack_words,
+                         PERM_READ | PERM_WRITE | PERM_USER)
+        # User code window.
+        user_code_words = layout.user_data_base - layout.user_code_base
+        memory.map_range(layout.user_code_base, user_code_words,
+                         PERM_READ | PERM_EXEC | PERM_USER)
+        # User data window.
+        memory.map_range(
+            layout.user_data_base,
+            layout.max_tasks * layout.user_data_words_per_task,
+            PERM_READ | PERM_WRITE | PERM_USER,
+        )
+        memory.add_mmio_range(NIC_MMIO_BASE, NIC_MMIO_SIZE)
+
+    def _load_images(self):
+        layout = self.layout
+        for addr, word in self.spec.kernel.image.items():
+            self.memory.write_word(addr, word)
+        for image in self.spec.user_images:
+            if image.base < layout.user_code_base:
+                raise KernelBuildError(
+                    f"user image {image.base:#x} below the user code window"
+                )
+            for addr, word in image.items():
+                self.memory.write_word(addr, word)
+        # Init table: count, then entry PCs (read by the kernel at boot).
+        entries = self.spec.init_entries
+        if len(entries) > layout.init_table_entries:
+            raise KernelBuildError(
+                f"{len(entries)} initial tasks exceed the init table"
+            )
+        table = layout.init_table_addr
+        self.memory.write_word(table, len(entries))
+        for index, entry in enumerate(entries):
+            self.memory.write_word(table + 1 + index, entry)
+        self.memory.clear_dirty()
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulated cycle: guest CPI cycles plus overheads."""
+        return self.cpu.icount + self.overhead_cycles
+
+    def charge(self, category: Category, cycles: int, events: int = 1):
+        """Record overhead cycles; they advance simulated time."""
+        self.account.charge(category, cycles, events)
+        self.overhead_cycles += cycles
+
+    def stop(self, reason: str):
+        """Halt the run loop."""
+        self.stopped = True
+        self.stop_reason = reason
+
+    # ------------------------------------------------------------------
+    # state digest (replay fidelity checks)
+    # ------------------------------------------------------------------
+
+    def state_digest(self) -> int:
+        """CRC of all architectural state: registers plus mapped memory.
+
+        Recorded at the end of a recording and re-checked by replayers —
+        the strongest available evidence that replay was deterministic.
+        """
+        cpu = self.cpu
+        crc = 0
+        header = (
+            ",".join(str(reg) for reg in cpu.regs)
+            + f";{cpu.pc};{cpu.user};{cpu.int_enabled};{cpu.icount}"
+        ).encode()
+        crc = zlib.crc32(header, crc)
+        for index in sorted(self.memory.mapped_pages()):
+            words = self.memory.snapshot_pages([index])[index]
+            crc = zlib.crc32(repr(words).encode(), crc)
+        return crc

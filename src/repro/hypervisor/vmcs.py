@@ -1,0 +1,95 @@
+"""The VM Control Structure (VMCS) programming interface.
+
+The paper extends the VMCS with three new fields: the BackRASptr and the
+two whitelist tables (§5.1); microcode reads them at VMEnter to program the
+processor structures.  This class is the hypervisor's view of the simulated
+hardware: setting a field here programs the corresponding CPU structure,
+exactly like a VMEnter would.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cpu.core import Cpu
+from repro.cpu.exits import ExitControls
+from repro.errors import HypervisorError
+
+
+class Vmcs:
+    """Hypervisor-side programming interface for one virtual CPU."""
+
+    def __init__(self, cpu: Cpu, tar_whitelist_capacity: int,
+                 jop_table_capacity: int):
+        self._cpu = cpu
+        self._tar_capacity = tar_whitelist_capacity
+        self._jop_capacity = jop_table_capacity
+
+    @property
+    def controls(self) -> ExitControls:
+        """The execution controls (which events exit)."""
+        return self._cpu.controls
+
+    # ------------------------------------------------------------------
+    # guest register access (what VMExit handlers read)
+    # ------------------------------------------------------------------
+
+    def guest_reg(self, index: int) -> int:
+        """Read a guest register out of the VMCS after a VMExit."""
+        return self._cpu.regs[index]
+
+    @property
+    def guest_pc(self) -> int:
+        return self._cpu.pc
+
+    @property
+    def guest_user_mode(self) -> bool:
+        return self._cpu.user
+
+    # ------------------------------------------------------------------
+    # the paper's new fields (§5.1)
+    # ------------------------------------------------------------------
+
+    def set_ret_whitelist(self, pc: int | None):
+        """Program the single-entry RetWhitelist."""
+        self._cpu.ret_whitelist = pc
+
+    def set_tar_whitelist(self, targets: Iterable[int]):
+        """Program the TarWhitelist (capacity-checked)."""
+        targets = frozenset(targets)
+        if len(targets) > self._tar_capacity:
+            raise HypervisorError(
+                f"TarWhitelist holds {self._tar_capacity} entries, "
+                f"got {len(targets)}"
+            )
+        self._cpu.tar_whitelist = targets
+
+    def set_jop_table(self, ranges: Iterable[tuple[int, int]]):
+        """Program the hardware JOP function-boundary table."""
+        ranges = tuple(ranges)
+        if len(ranges) > self._jop_capacity:
+            raise HypervisorError(
+                f"JOP table holds {self._jop_capacity} entries, "
+                f"got {len(ranges)}"
+            )
+        self._cpu.jop_table = ranges
+
+    # ------------------------------------------------------------------
+    # RAS microcode operations (§4.3)
+    # ------------------------------------------------------------------
+
+    def dump_ras(self) -> tuple[int, ...]:
+        """Microcode dump of the RAS into the active BackRAS entry."""
+        return self._cpu.ras.save()
+
+    def load_ras(self, snapshot: tuple[int, ...]):
+        """Microcode load of a BackRAS entry into the RAS (at VMEnter)."""
+        self._cpu.ras.restore(snapshot)
+
+    def clear_ras(self):
+        """Empty the RAS (fresh thread with no BackRAS history)."""
+        self._cpu.ras.clear()
+
+    def resume_over_breakpoint(self):
+        """Arrange for the trapped instruction to execute on VMEnter."""
+        self._cpu.skip_breakpoint_once()

@@ -1,0 +1,31 @@
+"""Guest instruction-set architecture.
+
+A compact, word-addressed RISC-like ISA rich enough to express the guest
+kernel, user workloads, and ROP/JOP gadget chains.  Every instruction
+occupies exactly one 64-bit memory word and has a reversible binary
+encoding, so binary images can be scanned for gadgets (Appendix A of the
+paper) and disassembled for forensics.
+"""
+
+from repro.isa.opcodes import Opcode, REG_COUNT, SP, FP, RV, NUM_PORTS
+from repro.isa.instruction import Instruction, encode, decode, try_decode
+from repro.isa.assembler import Asm, AssembledImage, assemble_text
+from repro.isa.disassembler import disassemble, disassemble_range
+
+__all__ = [
+    "Opcode",
+    "REG_COUNT",
+    "SP",
+    "FP",
+    "RV",
+    "NUM_PORTS",
+    "Instruction",
+    "encode",
+    "decode",
+    "try_decode",
+    "Asm",
+    "AssembledImage",
+    "assemble_text",
+    "disassemble",
+    "disassemble_range",
+]

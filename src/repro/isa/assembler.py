@@ -1,0 +1,396 @@
+"""Two-pass assembler for the guest ISA.
+
+Two front ends share one back end:
+
+* :class:`Asm` — a programmatic builder used by the kernel image builder and
+  the workload generators (Python loops compose naturally with it);
+* :func:`assemble_text` — a small text syntax for tests and examples.
+
+Both produce an :class:`AssembledImage`: a base address, the machine words,
+a symbol table, and a function map ``name -> (start, end)``.  The function
+map feeds the JOP detector's function-boundary table and attack forensics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblerError
+from repro.isa.instruction import Instruction, encode
+from repro.isa.opcodes import FP, RV, SIGNATURES, SP, Opcode
+
+#: Operand that may be a literal or a (possibly offset) label reference.
+Operand = int | str
+
+
+@dataclass(frozen=True)
+class AssembledImage:
+    """The output of assembly: words to load plus metadata."""
+
+    base: int
+    words: tuple[int, ...]
+    symbols: dict[str, int]
+    functions: dict[str, tuple[int, int]]
+
+    @property
+    def end(self) -> int:
+        """First address past the image."""
+        return self.base + len(self.words)
+
+    def addr_of(self, symbol: str) -> int:
+        """Resolve a symbol to its address."""
+        if symbol not in self.symbols:
+            raise AssemblerError(f"unknown symbol {symbol!r}")
+        return self.symbols[symbol]
+
+    def items(self):
+        """Iterate ``(address, word)`` pairs for loading into memory."""
+        for offset, word in enumerate(self.words):
+            yield self.base + offset, word
+
+    def function_at(self, addr: int) -> str | None:
+        """Return the name of the function containing ``addr``, if any."""
+        for name, (start, end) in self.functions.items():
+            if start <= addr < end:
+                return name
+        return None
+
+
+@dataclass
+class _Pending:
+    """One yet-unresolved emission slot."""
+
+    kind: str  # "instr" or "word"
+    op: Opcode | None = None
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: Operand = 0
+    value: Operand = 0
+
+
+class Asm:
+    """Programmatic assembler: emit instructions, then :meth:`assemble`.
+
+    Immediate operands may be integers, label names, or ``"label+N"`` /
+    ``"label-N"`` offset expressions; labels are resolved in a second pass.
+    """
+
+    def __init__(self, base: int = 0):
+        self.base = base
+        self._items: list[_Pending] = []
+        self._symbols: dict[str, int] = {}
+        self._functions: dict[str, tuple[int, int]] = {}
+        self._open_function: tuple[str, int] | None = None
+
+    # ------------------------------------------------------------------
+    # layout
+    # ------------------------------------------------------------------
+
+    @property
+    def here(self) -> int:
+        """Address of the next emitted word."""
+        return self.base + len(self._items)
+
+    def label(self, name: str) -> int:
+        """Define ``name`` at the current address and return that address."""
+        if name in self._symbols:
+            raise AssemblerError(f"duplicate label {name!r}")
+        self._symbols[name] = self.here
+        return self.here
+
+    def begin_function(self, name: str) -> int:
+        """Open a function: defines a label and starts its address range."""
+        if self._open_function is not None:
+            raise AssemblerError(
+                f"function {self._open_function[0]!r} still open"
+            )
+        addr = self.label(name)
+        self._open_function = (name, addr)
+        return addr
+
+    def end_function(self):
+        """Close the currently open function, recording its range."""
+        if self._open_function is None:
+            raise AssemblerError("no open function")
+        name, start = self._open_function
+        self._functions[name] = (start, self.here)
+        self._open_function = None
+
+    def word(self, value: Operand):
+        """Emit one raw data word (or a label address)."""
+        self._items.append(_Pending(kind="word", value=value))
+
+    def space(self, count: int, fill: int = 0):
+        """Emit ``count`` filler words."""
+        for _ in range(count):
+            self.word(fill)
+
+    def emit(self, op: Opcode, rd: int = 0, rs1: int = 0, rs2: int = 0,
+             imm: Operand = 0):
+        """Emit one instruction; ``imm`` may be a label reference."""
+        self._items.append(
+            _Pending(kind="instr", op=op, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+        )
+
+    # ------------------------------------------------------------------
+    # instruction mnemonics
+    # ------------------------------------------------------------------
+
+    def nop(self):
+        self.emit(Opcode.NOP)
+
+    def hlt(self):
+        self.emit(Opcode.HLT)
+
+    def li(self, rd: int, imm: Operand):
+        self.emit(Opcode.LI, rd=rd, imm=imm)
+
+    def mov(self, rd: int, rs: int):
+        self.emit(Opcode.MOV, rd=rd, rs1=rs)
+
+    def add(self, rd: int, rs1: int, rs2: int):
+        self.emit(Opcode.ADD, rd=rd, rs1=rs1, rs2=rs2)
+
+    def sub(self, rd: int, rs1: int, rs2: int):
+        self.emit(Opcode.SUB, rd=rd, rs1=rs1, rs2=rs2)
+
+    def mul(self, rd: int, rs1: int, rs2: int):
+        self.emit(Opcode.MUL, rd=rd, rs1=rs1, rs2=rs2)
+
+    def div(self, rd: int, rs1: int, rs2: int):
+        self.emit(Opcode.DIV, rd=rd, rs1=rs1, rs2=rs2)
+
+    def and_(self, rd: int, rs1: int, rs2: int):
+        self.emit(Opcode.AND, rd=rd, rs1=rs1, rs2=rs2)
+
+    def or_(self, rd: int, rs1: int, rs2: int):
+        self.emit(Opcode.OR, rd=rd, rs1=rs1, rs2=rs2)
+
+    def xor(self, rd: int, rs1: int, rs2: int):
+        self.emit(Opcode.XOR, rd=rd, rs1=rs1, rs2=rs2)
+
+    def shl(self, rd: int, rs1: int, rs2: int):
+        self.emit(Opcode.SHL, rd=rd, rs1=rs1, rs2=rs2)
+
+    def shr(self, rd: int, rs1: int, rs2: int):
+        self.emit(Opcode.SHR, rd=rd, rs1=rs1, rs2=rs2)
+
+    def addi(self, rd: int, rs1: int, imm: Operand):
+        self.emit(Opcode.ADDI, rd=rd, rs1=rs1, imm=imm)
+
+    def cmp(self, rs1: int, rs2: int):
+        self.emit(Opcode.CMP, rs1=rs1, rs2=rs2)
+
+    def cmpi(self, rs1: int, imm: Operand):
+        self.emit(Opcode.CMPI, rs1=rs1, imm=imm)
+
+    def ld(self, rd: int, rs1: int, imm: Operand = 0):
+        self.emit(Opcode.LD, rd=rd, rs1=rs1, imm=imm)
+
+    def st(self, rs1: int, rs2: int, imm: Operand = 0):
+        self.emit(Opcode.ST, rs1=rs1, rs2=rs2, imm=imm)
+
+    def push(self, rs: int):
+        self.emit(Opcode.PUSH, rs1=rs)
+
+    def pop(self, rd: int):
+        self.emit(Opcode.POP, rd=rd)
+
+    def call(self, target: Operand):
+        self.emit(Opcode.CALL, imm=target)
+
+    def calli(self, rs: int):
+        self.emit(Opcode.CALLI, rs1=rs)
+
+    def ret(self):
+        self.emit(Opcode.RET)
+
+    def jmp(self, target: Operand):
+        self.emit(Opcode.JMP, imm=target)
+
+    def jmpi(self, rs: int):
+        self.emit(Opcode.JMPI, rs1=rs)
+
+    def jz(self, target: Operand):
+        self.emit(Opcode.JZ, imm=target)
+
+    def jnz(self, target: Operand):
+        self.emit(Opcode.JNZ, imm=target)
+
+    def jlt(self, target: Operand):
+        self.emit(Opcode.JLT, imm=target)
+
+    def jge(self, target: Operand):
+        self.emit(Opcode.JGE, imm=target)
+
+    def syscall(self, number: int):
+        self.emit(Opcode.SYSCALL, imm=number)
+
+    def sysret(self):
+        self.emit(Opcode.SYSRET)
+
+    def iret(self):
+        self.emit(Opcode.IRET)
+
+    def int3(self):
+        self.emit(Opcode.INT3)
+
+    def rdtsc(self, rd: int):
+        self.emit(Opcode.RDTSC, rd=rd)
+
+    def rdrand(self, rd: int):
+        self.emit(Opcode.RDRAND, rd=rd)
+
+    def inp(self, rd: int, port: int):
+        self.emit(Opcode.IN, rd=rd, imm=port)
+
+    def outp(self, port: int, rs: int):
+        self.emit(Opcode.OUT, rs1=rs, imm=port)
+
+    def cli(self):
+        self.emit(Opcode.CLI)
+
+    def sti(self):
+        self.emit(Opcode.STI)
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+
+    def assemble(self) -> AssembledImage:
+        """Resolve label references and produce the final image."""
+        if self._open_function is not None:
+            raise AssemblerError(
+                f"function {self._open_function[0]!r} never closed"
+            )
+        words = []
+        for item in self._items:
+            if item.kind == "word":
+                words.append(self._resolve(item.value) & 0xFFFF_FFFF_FFFF_FFFF)
+            else:
+                instr = Instruction(
+                    op=item.op,
+                    rd=item.rd,
+                    rs1=item.rs1,
+                    rs2=item.rs2,
+                    imm=self._resolve(item.imm),
+                )
+                words.append(encode(instr))
+        return AssembledImage(
+            base=self.base,
+            words=tuple(words),
+            symbols=dict(self._symbols),
+            functions=dict(self._functions),
+        )
+
+    def _resolve(self, operand: Operand) -> int:
+        if isinstance(operand, int):
+            return operand
+        name, offset = _split_label_expr(operand)
+        if name not in self._symbols:
+            raise AssemblerError(f"undefined label {name!r}")
+        return self._symbols[name] + offset
+
+
+def _split_label_expr(expr: str) -> tuple[str, int]:
+    """Split ``"label+N"`` / ``"label-N"`` into (label, signed offset)."""
+    for sign, sep in ((1, "+"), (-1, "-")):
+        if sep in expr:
+            name, _, tail = expr.partition(sep)
+            try:
+                return name.strip(), sign * int(tail.strip(), 0)
+            except ValueError as exc:
+                raise AssemblerError(f"bad label expression {expr!r}") from exc
+    return expr.strip(), 0
+
+
+_REG_ALIASES = {"sp": SP, "fp": FP, "rv": RV}
+
+
+def _parse_register(token: str, line: int) -> int:
+    token = token.strip().lower()
+    if token in _REG_ALIASES:
+        return _REG_ALIASES[token]
+    if token.startswith("r") and token[1:].isdigit():
+        reg = int(token[1:])
+        if 0 <= reg < 16:
+            return reg
+    raise AssemblerError(f"bad register {token!r}", line)
+
+
+def _parse_operand(token: str, line: int) -> Operand:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        pass
+    if token and (token[0].isalpha() or token[0] == "_"):
+        return token
+    raise AssemblerError(f"bad operand {token!r}", line)
+
+
+def assemble_text(source: str, base: int = 0) -> AssembledImage:
+    """Assemble the text syntax used by tests and examples.
+
+    Syntax per line: an optional ``label:`` prefix, then either a directive
+    (``.org N``, ``.word V``, ``.space N``) or a mnemonic with comma-separated
+    operands.  ``;`` and ``#`` start comments.  ``func name`` / ``endfunc``
+    delimit function ranges.
+    """
+    asm = Asm(base=base)
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        while ":" in line.split()[0] if line else False:
+            label, _, line = line.partition(":")
+            asm.label(label.strip())
+            line = line.strip()
+            if not line:
+                break
+        if not line:
+            continue
+        head, _, rest = line.partition(" ")
+        head = head.strip().lower()
+        operands = [tok for tok in rest.split(",") if tok.strip()] if rest else []
+        if head == ".org":
+            target = int(operands[0], 0) if operands else 0
+            if target < asm.here:
+                raise AssemblerError(".org cannot move backwards", lineno)
+            asm.space(target - asm.here)
+        elif head == ".word":
+            asm.word(_parse_operand(operands[0], lineno))
+        elif head == ".space":
+            asm.space(int(operands[0], 0))
+        elif head == "func":
+            asm.begin_function(rest.strip())
+        elif head == "endfunc":
+            asm.end_function()
+        else:
+            _emit_mnemonic(asm, head, operands, lineno)
+    return asm.assemble()
+
+
+def _emit_mnemonic(asm: Asm, mnemonic: str, operands: list[str], line: int):
+    name_map = {"and": "AND", "or": "OR"}
+    opname = name_map.get(mnemonic, mnemonic.upper())
+    try:
+        op = Opcode[opname]
+    except KeyError as exc:
+        raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line) from exc
+    signature = SIGNATURES[op]
+    if len(operands) != len(signature):
+        raise AssemblerError(
+            f"{mnemonic} takes {len(signature)} operands, got {len(operands)}",
+            line,
+        )
+    fields = {"rd": 0, "rs1": 0, "rs2": 0, "imm": 0}
+    slot_to_field = {"d": "rd", "a": "rs1", "b": "rs2", "i": "imm"}
+    for slot, token in zip(signature, operands):
+        field_name = slot_to_field[slot]
+        if slot == "i":
+            fields[field_name] = _parse_operand(token, line)
+        else:
+            fields[field_name] = _parse_register(token, line)
+    asm.emit(op, **fields)

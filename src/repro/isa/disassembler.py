@@ -1,0 +1,56 @@
+"""Disassembler for guest machine words.
+
+Used by attack forensics (showing the gadget chain an attacker staged on the
+stack), by the gadget scanner's reporting, and by debugging aids in tests.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction, try_decode
+from repro.isa.opcodes import FP, RV, SIGNATURES, SP
+
+_REG_NAMES = {SP: "sp", FP: "fp", RV: "rv"}
+
+
+def _reg(index: int) -> str:
+    return _REG_NAMES.get(index, f"r{index}")
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render one instruction in assembler syntax."""
+    mnemonic = instr.op.name.lower().rstrip("_")
+    parts = []
+    for slot in SIGNATURES[instr.op]:
+        if slot == "d":
+            parts.append(_reg(instr.rd))
+        elif slot == "a":
+            parts.append(_reg(instr.rs1))
+        elif slot == "b":
+            parts.append(_reg(instr.rs2))
+        else:
+            parts.append(str(instr.imm))
+    if parts:
+        return f"{mnemonic} {', '.join(parts)}"
+    return mnemonic
+
+
+def disassemble(word: int) -> str:
+    """Render one machine word, falling back to ``.word`` for data."""
+    instr = try_decode(word)
+    if instr is None:
+        return f".word {word:#x}"
+    return format_instruction(instr)
+
+
+def disassemble_range(read_word, start: int, count: int) -> list[str]:
+    """Disassemble ``count`` words starting at ``start``.
+
+    ``read_word`` is any ``addr -> int`` callable (typically
+    ``memory.read_word``), so this works on live guests and on checkpointed
+    images alike.
+    """
+    lines = []
+    for offset in range(count):
+        addr = start + offset
+        lines.append(f"{addr:#08x}:  {disassemble(read_word(addr))}")
+    return lines

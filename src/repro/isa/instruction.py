@@ -1,0 +1,108 @@
+"""Instruction representation and binary encoding.
+
+Every instruction packs into one 64-bit word::
+
+    bits 56..63   opcode byte
+    bits 52..55   rd
+    bits 48..51   rs1
+    bits 44..47   rs2
+    bits 32..43   must be zero (decode validity check)
+    bits  0..31   imm, two's-complement signed 32-bit
+
+The reversible encoding matters for two reasons.  First, the gadget scanner
+(Appendix A) works the way a real attacker does: it walks the raw words of
+the victim binary looking for ``ret`` instructions and decodes the words
+before them.  Second, checkpoints store memory as plain integers, so code and
+data are uniformly snapshotted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DecodeError
+from repro.isa.opcodes import (
+    Opcode,
+    REG_COUNT,
+    SIGNATURES,
+    is_valid_opcode_byte,
+)
+
+_IMM_MIN = -(2**31)
+_IMM_MAX = 2**31 - 1
+_ZERO_FIELD_MASK = 0xFFF_0000_0000  # bits 32..43
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """A decoded guest instruction."""
+
+    op: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def __post_init__(self):
+        for name, reg in (("rd", self.rd), ("rs1", self.rs1), ("rs2", self.rs2)):
+            if not 0 <= reg < REG_COUNT:
+                raise DecodeError(f"{name}={reg} out of range for {self.op.name}")
+        if not _IMM_MIN <= self.imm <= _IMM_MAX:
+            raise DecodeError(f"imm={self.imm} out of 32-bit signed range")
+
+    @property
+    def signature(self) -> str:
+        """Operand signature string (see :data:`repro.isa.opcodes.SIGNATURES`)."""
+        return SIGNATURES[self.op]
+
+    def encode(self) -> int:
+        """Pack this instruction into its 64-bit machine word."""
+        return encode(self)
+
+
+def encode(instr: Instruction) -> int:
+    """Pack ``instr`` into a 64-bit machine word."""
+    word = int(instr.op) << 56
+    word |= (instr.rd & 0xF) << 52
+    word |= (instr.rs1 & 0xF) << 48
+    word |= (instr.rs2 & 0xF) << 44
+    word |= instr.imm & 0xFFFF_FFFF
+    return word
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 64-bit machine word, raising :class:`DecodeError` if invalid.
+
+    A word is a valid instruction only if its opcode byte names a real
+    opcode and the reserved bits 32..43 are zero.  Arbitrary data words
+    therefore almost never decode, which keeps gadget scanning honest.
+    """
+    if not 0 <= word < 2**64:
+        raise DecodeError(f"word {word:#x} is not a 64-bit value")
+    if word & _ZERO_FIELD_MASK:
+        raise DecodeError(f"word {word:#x} has nonzero reserved bits")
+    op_byte = (word >> 56) & 0xFF
+    if not is_valid_opcode_byte(op_byte):
+        raise DecodeError(f"word {word:#x} has invalid opcode byte {op_byte:#x}")
+    imm = word & 0xFFFF_FFFF
+    if imm >= 2**31:
+        imm -= 2**32
+    return Instruction(
+        op=Opcode(op_byte),
+        rd=(word >> 52) & 0xF,
+        rs1=(word >> 48) & 0xF,
+        rs2=(word >> 44) & 0xF,
+        imm=imm,
+    )
+
+
+def try_decode(word: int) -> Instruction | None:
+    """Decode a word, returning ``None`` instead of raising on invalid words.
+
+    This is the scanner-facing entry point: image scans probe every word and
+    most data words are not instructions.
+    """
+    try:
+        return decode(word)
+    except DecodeError:
+        return None

@@ -1,0 +1,157 @@
+"""Opcode definitions and operand signatures for the guest ISA.
+
+The ISA is deliberately small but complete for the paper's needs:
+
+* direct and indirect calls/jumps plus ``ret`` (so the RAS, ROP chains, and
+  JOP redirection all behave architecturally);
+* ``syscall``/``sysret``/``iret`` for privilege transitions;
+* ``rdtsc``/``rdrand``/``in``/``out`` as synchronous nondeterministic
+  instructions that the hypervisor traps and logs (§7.3);
+* ``cli``/``sti`` so the kernel can build critical sections;
+* ``int3`` — the one-word debug exception the paper uses to instrument
+  binaries for alarm-replay evaluation (§7.4).
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Number of architectural general-purpose registers (r0..r15).
+REG_COUNT = 16
+#: Frame-pointer register index (software convention).
+FP = 13
+#: Stack-pointer register index (used by PUSH/POP/CALL/RET hardware).
+SP = 14
+#: Return-value register index (software convention).
+RV = 15
+
+#: Size of the port-mapped I/O space used by IN/OUT.
+NUM_PORTS = 64
+
+
+class Opcode(enum.IntEnum):
+    """All guest opcodes.  Values are stable: they are the encoding bytes."""
+
+    NOP = 0x01
+    HLT = 0x02
+    LI = 0x03
+    MOV = 0x04
+    ADD = 0x05
+    SUB = 0x06
+    MUL = 0x07
+    DIV = 0x08
+    AND = 0x09
+    OR = 0x0A
+    XOR = 0x0B
+    SHL = 0x0C
+    SHR = 0x0D
+    ADDI = 0x0E
+    CMP = 0x0F
+    CMPI = 0x10
+    LD = 0x11
+    ST = 0x12
+    PUSH = 0x13
+    POP = 0x14
+    CALL = 0x15
+    CALLI = 0x16
+    RET = 0x17
+    JMP = 0x18
+    JMPI = 0x19
+    JZ = 0x1A
+    JNZ = 0x1B
+    JLT = 0x1C
+    JGE = 0x1D
+    SYSCALL = 0x1E
+    SYSRET = 0x1F
+    IRET = 0x20
+    INT3 = 0x21
+    RDTSC = 0x22
+    RDRAND = 0x23
+    IN = 0x24
+    OUT = 0x25
+    CLI = 0x26
+    STI = 0x27
+
+
+#: Operand signature per opcode.  Each letter names one operand slot:
+#:   d = destination register, a = first source register,
+#:   b = second source register, i = immediate.
+#: The assembler and disassembler are both driven by this table.
+SIGNATURES: dict[Opcode, str] = {
+    Opcode.NOP: "",
+    Opcode.HLT: "",
+    Opcode.LI: "di",
+    Opcode.MOV: "da",
+    Opcode.ADD: "dab",
+    Opcode.SUB: "dab",
+    Opcode.MUL: "dab",
+    Opcode.DIV: "dab",
+    Opcode.AND: "dab",
+    Opcode.OR: "dab",
+    Opcode.XOR: "dab",
+    Opcode.SHL: "dab",
+    Opcode.SHR: "dab",
+    Opcode.ADDI: "dai",
+    Opcode.CMP: "ab",
+    Opcode.CMPI: "ai",
+    Opcode.LD: "dai",
+    Opcode.ST: "abi",
+    Opcode.PUSH: "a",
+    Opcode.POP: "d",
+    Opcode.CALL: "i",
+    Opcode.CALLI: "a",
+    Opcode.RET: "",
+    Opcode.JMP: "i",
+    Opcode.JMPI: "a",
+    Opcode.JZ: "i",
+    Opcode.JNZ: "i",
+    Opcode.JLT: "i",
+    Opcode.JGE: "i",
+    Opcode.SYSCALL: "i",
+    Opcode.SYSRET: "",
+    Opcode.IRET: "",
+    Opcode.INT3: "",
+    Opcode.RDTSC: "d",
+    Opcode.RDRAND: "d",
+    Opcode.IN: "di",
+    Opcode.OUT: "ai",
+    Opcode.CLI: "",
+    Opcode.STI: "",
+}
+
+#: Opcodes that transfer control (used by static analysis and generators).
+CONTROL_FLOW = frozenset(
+    {
+        Opcode.CALL,
+        Opcode.CALLI,
+        Opcode.RET,
+        Opcode.JMP,
+        Opcode.JMPI,
+        Opcode.JZ,
+        Opcode.JNZ,
+        Opcode.JLT,
+        Opcode.JGE,
+        Opcode.SYSCALL,
+        Opcode.SYSRET,
+        Opcode.IRET,
+        Opcode.HLT,
+    }
+)
+
+#: Opcodes with nondeterministic results that must be recorded (§7.3).
+NONDETERMINISTIC = frozenset(
+    {Opcode.RDTSC, Opcode.RDRAND, Opcode.IN, Opcode.OUT}
+)
+
+#: Privileged opcodes: executing these in user mode raises a fault.
+PRIVILEGED = frozenset(
+    {Opcode.IRET, Opcode.IN, Opcode.OUT, Opcode.CLI, Opcode.STI, Opcode.HLT,
+     Opcode.SYSRET}
+)
+
+_VALID_OPCODE_BYTES = frozenset(int(op) for op in Opcode)
+
+
+def is_valid_opcode_byte(byte: int) -> bool:
+    """Return whether ``byte`` is the encoding byte of some opcode."""
+    return byte in _VALID_OPCODE_BYTES

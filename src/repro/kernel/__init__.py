@@ -1,0 +1,43 @@
+"""The miniature guest kernel, written in the guest ISA.
+
+The kernel is what makes the paper's four false-positive sources real
+executed behaviour rather than injected flags:
+
+* a preemptive round-robin **scheduler** whose context switch pivots the
+  stack pointer in a single instruction (the hypervisor's breakpoint target,
+  §5.2.1) and completes through a **non-procedural return** to one of three
+  well-defined landing sites (§4.4);
+* **threads** with in-guest-memory task structs that the hypervisor
+  introspects by stack pointer, plus create/exit paths for BackRAS
+  recycling (§5.2.2);
+* **syscalls** and interrupt handlers with realistic call trees, including
+  a recursive network-ring copy whose depth under load causes genuine RAS
+  underflows (apache's residual false alarms, §8.2);
+* a deliberately **vulnerable syscall** (unbounded string copy into a
+  kernel stack buffer) — the paper's Figure 10 attack surface — and the
+  function-pointer dispatch table targeted by the JOP variant.
+"""
+
+from repro.kernel.layout import (
+    KernelLayout,
+    Syscall,
+    TaskField,
+    TaskState,
+    DEFAULT_LAYOUT,
+)
+from repro.kernel.image import KernelImage
+from repro.kernel.builder import build_kernel
+from repro.kernel.tasks import TaskView, read_task, find_task_by_sp
+
+__all__ = [
+    "KernelLayout",
+    "Syscall",
+    "TaskField",
+    "TaskState",
+    "DEFAULT_LAYOUT",
+    "KernelImage",
+    "build_kernel",
+    "TaskView",
+    "read_task",
+    "find_task_by_sp",
+]

@@ -1,0 +1,805 @@
+"""Emits the guest kernel as guest ISA code.
+
+Register conventions inside the kernel (the builder "is" the compiler):
+
+* ``r1``-``r3``: arguments; ``r15`` (rv): return value;
+* ``r4``-``r9``: scratch, clobbered freely;
+* ``r10``: IRQ vector / fault code (hardware); ``r11``: syscall number
+  (hardware);
+* syscall entry preserves ``r0``-``r13`` around the handler so user state
+  survives; IRQ entry additionally preserves ``r15``.
+
+The context-switch core follows §4.4's Linux description: ``schedule``
+*stores* the resume address on the outgoing stack (no matching call, hence
+no RAS entry), pivots SP in one instruction (``__switch_sp``, the
+hypervisor's breakpoint), and completes with one non-procedural return
+(``__ctxsw_ret``) whose only legal targets are ``__ret_fork``,
+``__kthread_entry`` and ``__resume_resched``.
+"""
+
+from __future__ import annotations
+
+from repro.devices.bus import (
+    DISK_CMD_READ,
+    DISK_CMD_WRITE,
+    IRQ_DISK,
+    PORT_DISK_PARAM,
+    IRQ_NIC,
+    IRQ_TIMER,
+    NIC_MMIO_BASE,
+    NIC_REG_RX_ADDR,
+    NIC_REG_RX_LEN,
+    NIC_REG_RX_PENDING,
+    NIC_REG_RX_RING,
+    PORT_CONSOLE,
+    PORT_DISK_ADDR,
+    PORT_DISK_BLOCK,
+    PORT_DISK_CMD,
+    PORT_DISK_STATUS,
+    PORT_SHUTDOWN,
+)
+from repro.isa.assembler import Asm
+from repro.isa.opcodes import RV, SP
+from repro.kernel.image import KernelImage
+from repro.kernel.layout import (
+    DEFAULT_LAYOUT,
+    KernelLayout,
+    Syscall,
+    TaskField,
+    TaskState,
+)
+
+#: Registers preserved across a syscall (user context minus sp and rv).
+_SYSCALL_SAVED = tuple(range(14))
+#: Registers preserved across an interrupt (everything but sp).
+_IRQ_SAVED = tuple(range(14)) + (15,)
+
+def build_kernel(layout: KernelLayout = DEFAULT_LAYOUT) -> KernelImage:
+    """Assemble the complete guest kernel."""
+    asm = Asm(base=layout.kernel_code_base)
+    handlers = _syscall_handler_names()
+    _emit_boot(asm, layout, handlers)
+    _emit_scheduler(asm, layout)
+    _emit_task_lifecycle(asm, layout)
+    _emit_entries(asm, layout, handlers)
+    _emit_helpers(asm, layout)
+    _emit_syscall_handlers(asm, layout)
+    _emit_ops_functions(asm, layout)
+    image = asm.assemble()
+    return KernelImage(image=image, layout=layout,
+                       syscall_handlers=handlers)
+
+
+def _syscall_handler_names() -> tuple[str, ...]:
+    """Handler function names indexed by syscall number."""
+    return tuple(f"sys_{call.name.lower()}" for call in Syscall)
+
+
+# ---------------------------------------------------------------------------
+# boot
+# ---------------------------------------------------------------------------
+
+def _emit_boot(asm: Asm, layout: KernelLayout, handlers: tuple[str, ...]):
+    asm.begin_function("boot")
+    asm.li(SP, layout.boot_stack_top)
+    # Zero the kernel globals (but not the init table, which the loader
+    # populated) and the task table.
+    asm.li(1, layout.kdata_base)
+    asm.li(2, 8)
+    asm.call("kzero_range")
+    asm.li(1, layout.task_table)
+    asm.li(2, layout.max_tasks * layout.task_struct_words)
+    asm.call("kzero_range")
+    # Populate the syscall table.
+    for index, handler in enumerate(handlers):
+        asm.li(4, handler)
+        asm.li(5, layout.syscall_table_addr + index)
+        asm.st(5, 4, 0)
+    # Populate the ops (function-pointer) table: mostly no-ops, one stats
+    # op, and the privileged set_root op in the last slot — the ROP chain's
+    # eventual target.
+    for index in range(layout.ops_table_entries):
+        if index == 1:
+            asm.li(4, "op_stat")
+        elif index == layout.ops_table_entries - 1:
+            asm.li(4, "set_root")
+        else:
+            asm.li(4, "op_noop")
+        asm.li(5, layout.ops_table_addr + index)
+        asm.st(5, 4, 0)
+    # Initial UID: unprivileged.
+    asm.li(4, 1000)
+    asm.li(5, layout.uid_addr)
+    asm.st(5, 4, 0)
+    # Program the NIC RX ring.
+    asm.li(4, NIC_MMIO_BASE + NIC_REG_RX_RING)
+    asm.li(5, layout.nic_ring)
+    asm.st(4, 5, 0)
+    # Exercise the gadget-bearing helpers legitimately, so the attack reuses
+    # genuinely live code (Appendix A: gadgets come from the victim's own
+    # instructions).
+    asm.li(1, layout.ops_table_addr)
+    asm.call("kload2")
+    asm.call("kdispatch2")
+    # Create the idle kernel thread (slot 0).
+    asm.li(1, "idle_body")
+    asm.call("create_kthread")
+    # Create the initial user tasks listed in the init table.  Loop state
+    # lives in r0/r12/r13, which the task-creation callees never touch.
+    asm.li(0, layout.init_table_addr)
+    asm.ld(12, 0, 0)
+    asm.li(13, 0)
+    asm.label("boot_init_loop")
+    asm.cmp(13, 12)
+    asm.jz("boot_init_done")
+    asm.add(8, 0, 13)
+    asm.ld(1, 8, 1)
+    asm.call("create_user_task")
+    asm.addi(13, 13, 1)
+    asm.jmp("boot_init_loop")
+    asm.label("boot_init_done")
+    # Enter the idle task through the switch tail: load its saved SP and
+    # fall into the SP pivot, exactly like a normal context switch.
+    asm.li(2, layout.task_struct_addr(0))
+    asm.li(5, layout.current_addr)
+    asm.st(5, 2, 0)
+    asm.ld(4, 2, int(TaskField.SAVED_SP))
+    asm.jmp("__switch_sp")
+    asm.end_function()
+
+
+# ---------------------------------------------------------------------------
+# scheduler and context switch
+# ---------------------------------------------------------------------------
+
+def _emit_scheduler(asm: Asm, layout: KernelLayout):
+    """``schedule``: round-robin pick + the paper's context-switch core.
+
+    Must be called with interrupts disabled.  Clobbers r2-r9.
+    """
+    asm.begin_function("schedule")
+    asm.li(5, layout.current_addr)
+    asm.ld(3, 5, 0)                       # r3 = current task struct
+    asm.ld(6, 3, int(TaskField.TID))      # r6 = current tid
+    asm.li(7, 1)                          # r7 = k (probe distance)
+    asm.label("sched_pick_loop")
+    asm.add(8, 6, 7)
+    asm.li(9, layout.max_tasks - 1)
+    asm.and_(8, 8, 9)                     # idx = (tid + k) % max_tasks
+    asm.cmpi(8, 0)                        # slot 0 (idle) only as last resort
+    asm.jz("sched_next_k")
+    asm.li(9, 3)                          # task_struct_words == 8 -> shift 3
+    asm.shl(5, 8, 9)
+    asm.li(9, layout.task_table)
+    asm.add(5, 5, 9)                      # r5 = candidate struct
+    asm.ld(9, 5, int(TaskField.STATE))
+    asm.cmpi(9, int(TaskState.READY))
+    asm.jz("sched_found")
+    asm.label("sched_next_k")
+    asm.addi(7, 7, 1)
+    asm.cmpi(7, layout.max_tasks + 1)
+    asm.jlt("sched_pick_loop")
+    # No other runnable worker: stay on the current task if it can run,
+    # otherwise fall back to the idle thread.
+    asm.ld(9, 3, int(TaskField.STATE))
+    asm.cmpi(9, int(TaskState.READY))
+    asm.jnz("sched_pick_idle")
+    asm.mov(5, 3)
+    asm.jmp("sched_found")
+    asm.label("sched_pick_idle")
+    asm.li(5, layout.task_table)          # idle lives in slot 0
+    asm.label("sched_found")
+    asm.mov(2, 5)                         # r2 = next task struct
+    asm.cmp(2, 3)
+    asm.jz("sched_no_switch")
+    # Count the switch and charge the incoming task a slice.
+    asm.li(5, layout.ctxsw_count_addr)
+    asm.ld(4, 5, 0)
+    asm.addi(4, 4, 1)
+    asm.st(5, 4, 0)
+    asm.ld(4, 2, int(TaskField.SLICES))
+    asm.addi(4, 4, 1)
+    asm.st(2, 4, int(TaskField.SLICES))
+    # Store (not call-push!) the resume address on the outgoing stack: the
+    # later pop of this word is the non-procedural return's target.
+    asm.li(5, "__resume_resched")
+    asm.push(5)
+    asm.st(3, SP, int(TaskField.SAVED_SP))
+    asm.ld(4, 2, int(TaskField.SAVED_SP))
+    # The single instruction where SP changes threads (§5.2.1): the
+    # hypervisor breakpoints this PC; at the exit, microcode dumps the RAS
+    # to the outgoing BackRAS and the hypervisor retargets BackRASptr.
+    asm.label("__switch_sp")
+    asm.mov(SP, 4)
+    asm.li(5, layout.current_addr)
+    asm.st(5, 2, 0)
+    # The non-procedural return (§4.4): RetWhitelist entry.  Its target is
+    # one of three well-defined landing sites.
+    asm.label("__ctxsw_ret")
+    asm.ret()
+    asm.label("__resume_resched")
+    asm.ret()                             # normal return from schedule
+    asm.label("sched_no_switch")
+    asm.ret()
+    asm.end_function()
+    # Landing site for freshly forked user tasks: stack holds [entry_pc].
+    asm.begin_function("__ret_fork")
+    asm.sti()
+    asm.sysret()
+    asm.end_function()
+    # Landing site for fresh kernel threads: stack holds [body_pc].
+    asm.begin_function("__kthread_entry")
+    asm.pop(4)
+    asm.calli(4)
+    asm.call("task_exit_current")
+    asm.label("kthread_unreachable")
+    asm.jmp("kthread_unreachable")
+    asm.end_function()
+    # The idle thread: enables interrupts and spins.
+    asm.begin_function("idle_body")
+    asm.sti()
+    asm.label("idle_loop")
+    asm.nop()
+    asm.nop()
+    asm.nop()
+    asm.jmp("idle_loop")
+    asm.end_function()
+
+
+# ---------------------------------------------------------------------------
+# task lifecycle
+# ---------------------------------------------------------------------------
+
+def _emit_task_lifecycle(asm: Asm, layout: KernelLayout):
+    stack_shift = layout.stack_words.bit_length() - 1
+    assert 1 << stack_shift == layout.stack_words, "stack_words power of two"
+
+    # create_task(r1=entry, r2=bootstrap) -> rv = tid or -1
+    asm.begin_function("create_task")
+    asm.li(5, 0)
+    asm.label("ct_scan")
+    asm.cmpi(5, layout.max_tasks)
+    asm.jz("ct_fail")
+    asm.li(9, 3)
+    asm.shl(6, 5, 9)
+    asm.li(9, layout.task_table)
+    asm.add(6, 6, 9)                       # r6 = candidate struct
+    asm.ld(7, 6, int(TaskField.STATE))
+    asm.cmpi(7, int(TaskState.FREE))
+    asm.jz("ct_found")
+    asm.addi(5, 5, 1)
+    asm.jmp("ct_scan")
+    asm.label("ct_found")
+    asm.st(6, 5, int(TaskField.TID))
+    asm.li(7, int(TaskState.READY))
+    asm.st(6, 7, int(TaskField.STATE))
+    asm.li(9, stack_shift)
+    asm.shl(8, 5, 9)
+    asm.li(9, layout.stacks_base)
+    asm.add(8, 8, 9)                       # r8 = stack base
+    asm.st(6, 8, int(TaskField.STACK_BASE))
+    asm.li(9, layout.stack_words)
+    asm.add(9, 8, 9)                       # r9 = stack top
+    asm.st(6, 9, int(TaskField.STACK_TOP))
+    asm.st(6, 1, int(TaskField.ENTRY_PC))
+    asm.li(7, 0)
+    asm.st(6, 7, int(TaskField.WAIT_VECTOR))
+    asm.st(6, 7, int(TaskField.SLICES))
+    # Seed the stack: [bootstrap, entry] with SP at bootstrap, so the
+    # non-procedural return lands on the bootstrap, which consumes entry.
+    asm.st(9, 1, -1)                       # mem[top-1] = entry
+    asm.st(9, 2, -2)                       # mem[top-2] = bootstrap
+    asm.addi(7, 9, -2)
+    asm.st(6, 7, int(TaskField.SAVED_SP))
+    asm.mov(1, 5)
+    # BackRAS allocation trap: r1 holds the new tid here (§5.2.2).
+    asm.label("__task_create_commit")
+    asm.nop()
+    asm.mov(RV, 5)
+    asm.ret()
+    asm.label("ct_fail")
+    asm.li(RV, -1)
+    asm.ret()
+    asm.end_function()
+
+    asm.begin_function("create_user_task")
+    asm.li(2, "__ret_fork")
+    asm.call("create_task")
+    asm.ret()
+    asm.end_function()
+
+    asm.begin_function("create_kthread")
+    asm.li(2, "__kthread_entry")
+    asm.call("create_task")
+    asm.ret()
+    asm.end_function()
+
+    # task_exit_current(): free the slot, maybe power off, schedule away.
+    asm.begin_function("task_exit_current")
+    asm.li(5, layout.current_addr)
+    asm.ld(3, 5, 0)
+    asm.li(4, int(TaskState.FREE))
+    asm.st(3, 4, int(TaskField.STATE))
+    asm.ld(1, 3, int(TaskField.TID))
+    # BackRAS recycling trap: r1 holds the dying tid here (§5.2.2).
+    asm.label("__task_exit_commit")
+    asm.nop()
+    # Power off when no non-idle task remains.
+    asm.li(5, 1)
+    asm.label("te_scan")
+    asm.cmpi(5, layout.max_tasks)
+    asm.jz("te_all_free")
+    asm.li(9, 3)
+    asm.shl(6, 5, 9)
+    asm.li(9, layout.task_table)
+    asm.add(6, 6, 9)
+    asm.ld(7, 6, int(TaskField.STATE))
+    asm.cmpi(7, int(TaskState.FREE))
+    asm.jnz("te_live")
+    asm.addi(5, 5, 1)
+    asm.jmp("te_scan")
+    asm.label("te_all_free")
+    asm.li(4, 1)
+    asm.outp(PORT_SHUTDOWN, 4)
+    asm.label("te_live")
+    asm.call("schedule")                   # never returns: we are not READY
+    asm.label("te_unreachable")
+    asm.jmp("te_unreachable")
+    asm.end_function()
+
+    # block_on(r1=vector): mark current blocked and yield until woken.
+    asm.begin_function("block_on")
+    asm.li(5, layout.current_addr)
+    asm.ld(3, 5, 0)
+    asm.li(4, int(TaskState.BLOCKED))
+    asm.st(3, 4, int(TaskField.STATE))
+    asm.st(3, 1, int(TaskField.WAIT_VECTOR))
+    asm.call("schedule")
+    asm.li(5, layout.current_addr)
+    asm.ld(3, 5, 0)
+    asm.li(4, 0)
+    asm.st(3, 4, int(TaskField.WAIT_VECTOR))
+    asm.ret()
+    asm.end_function()
+
+    # wake_waiters(r1=vector): ready every task blocked on the vector.
+    asm.begin_function("wake_waiters")
+    asm.li(5, 0)
+    asm.label("ww_scan")
+    asm.cmpi(5, layout.max_tasks)
+    asm.jz("ww_done")
+    asm.li(9, 3)
+    asm.shl(6, 5, 9)
+    asm.li(9, layout.task_table)
+    asm.add(6, 6, 9)
+    asm.ld(7, 6, int(TaskField.STATE))
+    asm.cmpi(7, int(TaskState.BLOCKED))
+    asm.jnz("ww_next")
+    asm.ld(7, 6, int(TaskField.WAIT_VECTOR))
+    asm.cmp(7, 1)
+    asm.jnz("ww_next")
+    asm.li(7, int(TaskState.READY))
+    asm.st(6, 7, int(TaskField.STATE))
+    asm.label("ww_next")
+    asm.addi(5, 5, 1)
+    asm.jmp("ww_scan")
+    asm.label("ww_done")
+    asm.ret()
+    asm.end_function()
+
+
+# ---------------------------------------------------------------------------
+# syscall / IRQ / fault entries
+# ---------------------------------------------------------------------------
+
+def _emit_entries(asm: Asm, layout: KernelLayout, handlers: tuple[str, ...]):
+    asm.begin_function("syscall_entry")
+    asm.cli()
+    for reg in _SYSCALL_SAVED:
+        asm.push(reg)
+    asm.cmpi(11, len(handlers))
+    asm.jlt("sc_dispatch")
+    asm.li(RV, -1)
+    asm.jmp("sc_out")
+    asm.label("sc_dispatch")
+    asm.li(4, layout.syscall_table_addr)
+    asm.add(4, 4, 11)
+    asm.ld(4, 4, 0)
+    asm.calli(4)
+    # Post-dispatch kernel path (accounting, signal checks, ...): real
+    # syscalls execute long call chains; this is what makes alarm replay
+    # expensive relative to recording (Figure 9).
+    asm.li(1, 6)
+    asm.call("kwork")
+    asm.label("sc_out")
+    for reg in reversed(_SYSCALL_SAVED):
+        asm.pop(reg)
+    asm.sti()
+    asm.sysret()
+    asm.end_function()
+
+    asm.begin_function("irq_entry")
+    for reg in _IRQ_SAVED:
+        asm.push(reg)
+    asm.cmpi(10, IRQ_TIMER)
+    asm.jnz("irq_not_timer")
+    asm.li(4, layout.ticks_addr)
+    asm.ld(5, 4, 0)
+    asm.addi(5, 5, 1)
+    asm.st(4, 5, 0)
+    # Spuriously wake NIC waiters each tick: NIC interrupts coalesce, so a
+    # waiter that lost a wakeup race would otherwise starve at the tail of
+    # the packet schedule (receivers recheck and re-block harmlessly).
+    asm.li(1, IRQ_NIC)
+    asm.call("wake_waiters")
+    asm.call("schedule")
+    asm.jmp("irq_out")
+    asm.label("irq_not_timer")
+    # Device interrupts only mark waiters runnable; the switch itself
+    # happens at the next preemption point, as in mainstream kernels.
+    asm.cmpi(10, IRQ_DISK)
+    asm.jnz("irq_not_disk")
+    asm.li(1, IRQ_DISK)
+    asm.call("wake_waiters")
+    asm.call("schedule")
+    asm.jmp("irq_out")
+    asm.label("irq_not_disk")
+    asm.cmpi(10, IRQ_NIC)
+    asm.jnz("irq_out")
+    asm.li(1, IRQ_NIC)
+    asm.call("wake_waiters")
+    asm.label("irq_out")
+    for reg in reversed(_IRQ_SAVED):
+        asm.pop(reg)
+    asm.iret()
+    asm.end_function()
+
+    # Kernel bug recovery (§4.1, imperfect nesting source): a recoverable
+    # fault terminates the offending thread; a fault in the idle thread or
+    # before tasking is up is fatal.
+    asm.begin_function("fault_entry")
+    asm.li(5, layout.current_addr)
+    asm.ld(3, 5, 0)
+    asm.cmpi(3, 0)
+    asm.jz("fault_fatal")
+    asm.ld(4, 3, int(TaskField.TID))
+    asm.cmpi(4, 0)
+    asm.jz("fault_fatal")
+    asm.call("task_exit_current")
+    asm.label("fault_fatal")
+    asm.hlt()
+    asm.label("fault_spin")
+    asm.jmp("fault_spin")
+    asm.end_function()
+
+
+# ---------------------------------------------------------------------------
+# shared helpers (including the gadget-bearing ones)
+# ---------------------------------------------------------------------------
+
+def _emit_helpers(asm: Asm, layout: KernelLayout):
+    # kzero_range(r1=addr, r2=len): zero words.  Its epilogue restores a
+    # saved register — the classic `pop r1; ret` sequence the ROP chain
+    # reuses as gadget G1.
+    asm.begin_function("kzero_range")
+    asm.push(1)
+    asm.li(4, 0)
+    asm.label("kz_loop")
+    asm.cmpi(2, 0)
+    asm.jz("kz_done")
+    asm.st(1, 4, 0)
+    asm.addi(1, 1, 1)
+    asm.addi(2, 2, -1)
+    asm.jmp("kz_loop")
+    asm.label("kz_done")
+    asm.label("__gadget_pop_r1")
+    asm.pop(1)
+    asm.ret()
+    asm.end_function()
+
+    # kload2(r1=ptr): r2 = *ptr.  Used by the dispatch path; doubles as
+    # gadget G2 (`ld r2, [r1]; ret`).
+    asm.begin_function("kload2")
+    asm.ld(2, 1, 0)
+    asm.ret()
+    asm.end_function()
+
+    # kdispatch2: call the function pointer in r2.  Doubles as gadget G3
+    # (`calli r2; ret`).
+    asm.begin_function("kdispatch2")
+    asm.calli(2)
+    asm.ret()
+    asm.end_function()
+
+    # kwork(r1=depth): recursive no-op work, modelling kernel path depth.
+    asm.begin_function("kwork")
+    asm.cmpi(1, 0)
+    asm.jz("kwork_done")
+    asm.addi(1, 1, -1)
+    asm.call("kwork")
+    asm.label("kwork_done")
+    asm.ret()
+    asm.end_function()
+
+    # kstrcpy(r1=dest, r2=src) -> rv=len: copy words until a zero word.
+    # No bounds check — Figure 10(c)'s strcpy.
+    asm.begin_function("kstrcpy")
+    asm.li(RV, 0)
+    asm.label("kc_loop")
+    asm.ld(4, 2, 0)
+    asm.st(1, 4, 0)
+    asm.cmpi(4, 0)
+    asm.jz("kc_done")
+    asm.addi(1, 1, 1)
+    asm.addi(2, 2, 1)
+    asm.addi(RV, RV, 1)
+    asm.jmp("kc_loop")
+    asm.label("kc_done")
+    asm.ret()
+    asm.end_function()
+
+    # ring_copy(r1=dest, r2=src, r3=len): recursive chunked copy out of the
+    # NIC ring.  Depth = ceil(len/chunk); big packets overflow the RAS —
+    # the source of apache's residual underflow false alarms (§8.2).
+    chunk = layout.ring_copy_chunk
+    asm.begin_function("ring_copy")
+    asm.cmpi(3, 0)
+    asm.jz("rc_done")
+    asm.li(4, chunk)
+    asm.cmp(3, 4)
+    asm.jlt("rc_small")
+    asm.mov(5, 4)
+    asm.jmp("rc_copy")
+    asm.label("rc_small")
+    asm.mov(5, 3)
+    asm.label("rc_copy")
+    asm.li(6, 0)
+    asm.label("rc_loop")
+    asm.cmp(6, 5)
+    asm.jz("rc_advance")
+    asm.add(7, 2, 6)
+    asm.ld(8, 7, 0)
+    asm.add(7, 1, 6)
+    asm.st(7, 8, 0)
+    asm.addi(6, 6, 1)
+    asm.jmp("rc_loop")
+    asm.label("rc_advance")
+    asm.add(1, 1, 5)
+    asm.add(2, 2, 5)
+    asm.sub(3, 3, 5)
+    asm.call("ring_copy")
+    asm.label("rc_done")
+    asm.ret()
+    asm.end_function()
+
+
+# ---------------------------------------------------------------------------
+# syscall handlers
+# ---------------------------------------------------------------------------
+
+def _emit_syscall_handlers(asm: Asm, layout: KernelLayout):
+    # sys_yield()
+    asm.begin_function("sys_yield")
+    asm.call("schedule")
+    asm.li(RV, 0)
+    asm.ret()
+    asm.end_function()
+
+    # sys_exit(): terminate the calling task.
+    asm.begin_function("sys_exit")
+    asm.call("task_exit_current")
+    asm.ret()                              # unreachable
+    asm.end_function()
+
+    # sys_gettime() -> rv = TSC (with the clock-subsystem call depth of a
+    # real gettimeofday path).
+    asm.begin_function("sys_gettime")
+    asm.li(1, 4)
+    asm.call("kwork")
+    asm.rdtsc(RV)
+    asm.ret()
+    asm.end_function()
+
+    # sys_read_block(r1=block, r2=dest): serialized disk read.
+    asm.begin_function("sys_read_block")
+    asm.label("rb_acquire")
+    asm.inp(4, PORT_DISK_STATUS)
+    asm.cmpi(4, 0)
+    asm.jz("rb_go")
+    asm.push(1)
+    asm.push(2)
+    asm.call("schedule")
+    asm.pop(2)
+    asm.pop(1)
+    asm.jmp("rb_acquire")
+    asm.label("rb_go")
+    # Program the request: transfer parameters first (real drivers touch
+    # several controller registers per request), then block/address/command.
+    for param in range(6):
+        asm.li(4, param)
+        asm.outp(PORT_DISK_PARAM, 4)
+    asm.outp(PORT_DISK_BLOCK, 1)
+    asm.outp(PORT_DISK_ADDR, 2)
+    asm.li(4, DISK_CMD_READ)
+    asm.outp(PORT_DISK_CMD, 4)
+    asm.li(1, IRQ_DISK)
+    asm.call("block_on")
+    asm.inp(4, PORT_DISK_STATUS)           # logged status read
+    asm.li(1, 4)
+    asm.call("kwork")                      # post-I/O kernel path depth
+    asm.li(RV, 0)
+    asm.ret()
+    asm.end_function()
+
+    # sys_write_block(r1=block, r2=src): serialized disk write.
+    asm.begin_function("sys_write_block")
+    asm.label("wb_acquire")
+    asm.inp(4, PORT_DISK_STATUS)
+    asm.cmpi(4, 0)
+    asm.jz("wb_go")
+    asm.push(1)
+    asm.push(2)
+    asm.call("schedule")
+    asm.pop(2)
+    asm.pop(1)
+    asm.jmp("wb_acquire")
+    asm.label("wb_go")
+    for param in range(6):
+        asm.li(4, param)
+        asm.outp(PORT_DISK_PARAM, 4)
+    asm.outp(PORT_DISK_BLOCK, 1)
+    asm.outp(PORT_DISK_ADDR, 2)
+    asm.li(4, DISK_CMD_WRITE)
+    asm.outp(PORT_DISK_CMD, 4)
+    asm.li(1, IRQ_DISK)
+    asm.call("block_on")
+    asm.inp(4, PORT_DISK_STATUS)
+    asm.li(RV, 0)
+    asm.ret()
+    asm.end_function()
+
+    # sys_recv(r1=dest) -> rv = packet length; blocks until a packet lands.
+    asm.begin_function("sys_recv")
+    asm.label("rv_wait")
+    asm.li(4, NIC_MMIO_BASE + NIC_REG_RX_PENDING)
+    asm.ld(5, 4, 0)                        # MMIO read, logged
+    asm.cmpi(5, 0)
+    asm.jnz("rv_have")
+    asm.push(1)
+    asm.li(1, IRQ_NIC)
+    asm.call("block_on")
+    asm.pop(1)
+    asm.jmp("rv_wait")
+    asm.label("rv_have")
+    asm.li(4, NIC_MMIO_BASE + NIC_REG_RX_LEN)
+    asm.ld(3, 4, 0)                        # r3 = length
+    asm.li(4, NIC_MMIO_BASE + NIC_REG_RX_ADDR)
+    asm.ld(2, 4, 0)                        # r2 = ring address (consumes)
+    asm.push(3)
+    asm.call("ring_copy")                  # driver copy, recursion depth ~len/8
+    asm.pop(RV)
+    asm.ret()
+    asm.end_function()
+
+    # sys_print(r1=char).
+    asm.begin_function("sys_print")
+    asm.outp(PORT_CONSOLE, 1)
+    asm.li(RV, 0)
+    asm.ret()
+    asm.end_function()
+
+    # sys_spawn(r1=entry_pc) -> rv = tid.
+    asm.begin_function("sys_spawn")
+    asm.call("create_user_task")
+    asm.ret()
+    asm.end_function()
+
+    # sys_gettid() -> rv.
+    asm.begin_function("sys_gettid")
+    asm.li(5, layout.current_addr)
+    asm.ld(3, 5, 0)
+    asm.ld(RV, 3, int(TaskField.TID))
+    asm.ret()
+    asm.end_function()
+
+    # sys_process_msg(r1=src buffer): the vulnerable path (Figure 10).
+    asm.begin_function("sys_process_msg")
+    asm.mov(2, 1)
+    asm.call("msg_handle")
+    asm.li(RV, 0)
+    asm.ret()
+    asm.end_function()
+
+    # msg_handle(r2=src): copies the message into a fixed kernel-stack
+    # buffer with no bounds check, then "parses" it.
+    buffer = layout.vulnerable_buffer_words
+    asm.begin_function("msg_handle")
+    asm.addi(SP, SP, -buffer)
+    asm.mov(1, SP)
+    asm.call("kstrcpy")
+    asm.mov(1, SP)
+    asm.li(2, buffer)
+    asm.call("msg_checksum")
+    asm.addi(SP, SP, buffer)
+    asm.ret()                              # the hijacked return
+    asm.end_function()
+
+    # msg_checksum(r1=addr, r2=len) -> rv: word sum (the "parse" work).
+    asm.begin_function("msg_checksum")
+    asm.li(RV, 0)
+    asm.label("mc_loop")
+    asm.cmpi(2, 0)
+    asm.jz("mc_done")
+    asm.ld(4, 1, 0)
+    asm.add(RV, RV, 4)
+    asm.addi(1, 1, 1)
+    asm.addi(2, 2, -1)
+    asm.jmp("mc_loop")
+    asm.label("mc_done")
+    asm.ret()
+    asm.end_function()
+
+    # sys_set_handler(r1=index, r2=fn): unchecked function-pointer install —
+    # the JOP attack surface.
+    asm.begin_function("sys_set_handler")
+    asm.li(4, layout.ops_table_entries - 1)
+    asm.and_(1, 1, 4)
+    asm.li(4, layout.ops_table_addr)
+    asm.add(4, 4, 1)
+    asm.st(4, 2, 0)
+    asm.li(RV, 0)
+    asm.ret()
+    asm.end_function()
+
+    # sys_invoke_handler(r1=index): indirect dispatch through the ops table.
+    asm.begin_function("sys_invoke_handler")
+    asm.li(4, layout.ops_table_entries - 1)
+    asm.and_(1, 1, 4)
+    asm.li(4, layout.ops_table_addr)
+    asm.add(4, 4, 1)
+    asm.mov(1, 4)
+    asm.call("kload2")                     # r2 = ops_table[index]
+    asm.call("kdispatch2")                 # calli r2
+    asm.li(RV, 0)
+    asm.ret()
+    asm.end_function()
+
+    # sys_spin(r1=iterations): hog the kernel without yielding (DOS).
+    asm.begin_function("sys_spin")
+    asm.label("spin_loop")
+    asm.cmpi(1, 0)
+    asm.jz("spin_done")
+    asm.push(1)
+    asm.li(1, 3)
+    asm.call("kwork")
+    asm.pop(1)
+    asm.addi(1, 1, -1)
+    asm.jmp("spin_loop")
+    asm.label("spin_done")
+    asm.li(RV, 0)
+    asm.ret()
+    asm.end_function()
+
+
+# ---------------------------------------------------------------------------
+# ops-table functions
+# ---------------------------------------------------------------------------
+
+def _emit_ops_functions(asm: Asm, layout: KernelLayout):
+    asm.begin_function("op_noop")
+    asm.ret()
+    asm.end_function()
+
+    asm.begin_function("op_stat")
+    asm.li(5, layout.ticks_addr)
+    asm.ld(RV, 5, 0)
+    asm.ret()
+    asm.end_function()
+
+    # The privilege-escalation target: sets UID to root.
+    asm.begin_function("set_root")
+    asm.li(4, 0)
+    asm.li(5, layout.uid_addr)
+    asm.st(5, 4, 0)
+    asm.ret()
+    asm.end_function()

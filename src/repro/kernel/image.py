@@ -1,0 +1,93 @@
+"""The built kernel image and its hypervisor-facing metadata.
+
+Besides the machine words, a :class:`KernelImage` exposes the addresses the
+hypervisor must know (§5.1-5.2): the SP-pivot instruction to breakpoint, the
+non-procedural return and its three legal targets for the whitelists, the
+thread create/exit commit points for BackRAS recycling, and the function map
+used by the JOP detector and forensics.  All of it is derived from the
+binary image's symbol table — the paper obtains the same information "by
+analyzing the binary image of the guest kernel" (§4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.assembler import AssembledImage
+from repro.kernel.layout import KernelLayout
+
+
+@dataclass(frozen=True)
+class KernelImage:
+    """A fully assembled guest kernel plus derived metadata."""
+
+    image: AssembledImage
+    layout: KernelLayout
+    #: Names of syscall handler functions in dispatch order.
+    syscall_handlers: tuple[str, ...]
+
+    # ------------------------------------------------------------------
+    # symbol shorthands
+    # ------------------------------------------------------------------
+
+    def addr(self, symbol: str) -> int:
+        """Resolve a kernel symbol."""
+        return self.image.addr_of(symbol)
+
+    @property
+    def boot_entry(self) -> int:
+        return self.addr("boot")
+
+    @property
+    def syscall_entry(self) -> int:
+        return self.addr("syscall_entry")
+
+    @property
+    def irq_entry(self) -> int:
+        return self.addr("irq_entry")
+
+    @property
+    def fault_entry(self) -> int:
+        return self.addr("fault_entry")
+
+    @property
+    def switch_sp_pc(self) -> int:
+        """PC of the single instruction that pivots the stack pointer.
+
+        The hypervisor breakpoints this address to interpose on context
+        switches (§5.2.1).
+        """
+        return self.addr("__switch_sp")
+
+    @property
+    def ctxsw_ret_pc(self) -> int:
+        """PC of the kernel's non-procedural return (RetWhitelist entry)."""
+        return self.addr("__ctxsw_ret")
+
+    @property
+    def whitelist_targets(self) -> frozenset[int]:
+        """The three legal targets of the non-procedural return (§4.4)."""
+        return frozenset({
+            self.addr("__ret_fork"),
+            self.addr("__kthread_entry"),
+            self.addr("__resume_resched"),
+        })
+
+    @property
+    def task_create_pc(self) -> int:
+        """Commit point of thread creation (BackRAS allocation trap)."""
+        return self.addr("__task_create_commit")
+
+    @property
+    def task_exit_pc(self) -> int:
+        """Commit point of thread destruction (BackRAS recycling trap)."""
+        return self.addr("__task_exit_commit")
+
+    @property
+    def functions(self) -> dict[str, tuple[int, int]]:
+        """Kernel function map: name -> (start, end)."""
+        return self.image.functions
+
+    def function_at(self, pc: int) -> str | None:
+        """Symbolize a kernel PC for forensics."""
+        return self.image.function_at(pc)

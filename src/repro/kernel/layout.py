@@ -1,0 +1,138 @@
+"""Guest memory layout, task-struct format, and syscall numbers.
+
+Everything here is a contract between three parties: the kernel builder
+(which emits code against these addresses), the machine loader (which maps
+the regions with the right permissions), and the hypervisor (which
+introspects task structs and programs whitelists from the symbols).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TaskState(enum.IntEnum):
+    """Task-struct ``state`` field values."""
+
+    FREE = 0
+    READY = 1
+    BLOCKED = 2
+
+
+class TaskField(enum.IntEnum):
+    """Word offsets of fields within a task struct."""
+
+    TID = 0
+    STATE = 1
+    SAVED_SP = 2
+    STACK_BASE = 3
+    STACK_TOP = 4
+    ENTRY_PC = 5
+    WAIT_VECTOR = 6
+    SLICES = 7
+
+
+class Syscall(enum.IntEnum):
+    """Syscall numbers dispatched through the in-memory syscall table."""
+
+    YIELD = 0
+    EXIT = 1
+    GETTIME = 2
+    READ_BLOCK = 3
+    WRITE_BLOCK = 4
+    RECV = 5
+    PRINT = 6
+    SPAWN = 7
+    GETTID = 8
+    PROCESS_MSG = 9
+    SET_HANDLER = 10
+    INVOKE_HANDLER = 11
+    SPIN = 12
+
+
+@dataclass(frozen=True)
+class KernelLayout:
+    """Word addresses of every region the kernel and hypervisor agree on."""
+
+    # code and data regions
+    kernel_code_base: int = 0x1000
+    kdata_base: int = 0x4000
+    task_table: int = 0x4100
+    boot_stack_top: int = 0x4300
+    stacks_base: int = 0x5000
+    stack_words: int = 512
+    nic_ring: int = 0x6000
+    nic_ring_words: int = 16384
+    user_code_base: int = 0x20000
+    user_data_base: int = 0x30000
+    user_data_words_per_task: int = 1024
+
+    # capacities
+    max_tasks: int = 8
+    task_struct_words: int = 8
+
+    # kernel global variables (offsets from kdata_base)
+    off_current: int = 0
+    off_ticks: int = 1
+    off_uid: int = 3
+    off_ctxsw_count: int = 4
+    off_ops_table: int = 8
+    ops_table_entries: int = 8
+    off_init_table: int = 16  # word 0: count, then entry PCs
+    init_table_entries: int = 8
+    off_syscall_table: int = 32
+    syscall_table_entries: int = 32
+
+    #: Kernel-stack buffer size of the vulnerable syscall (Figure 10 uses a
+    #: 128-byte buffer; ours is 128 words).
+    vulnerable_buffer_words: int = 128
+    #: Chunk size of the recursive network-ring copy; recursion depth is
+    #: ``ceil(packet_len / chunk)``, which exceeds the RAS under big packets.
+    ring_copy_chunk: int = 8
+
+    @property
+    def current_addr(self) -> int:
+        return self.kdata_base + self.off_current
+
+    @property
+    def ticks_addr(self) -> int:
+        return self.kdata_base + self.off_ticks
+
+    @property
+    def uid_addr(self) -> int:
+        return self.kdata_base + self.off_uid
+
+    @property
+    def ctxsw_count_addr(self) -> int:
+        return self.kdata_base + self.off_ctxsw_count
+
+    @property
+    def ops_table_addr(self) -> int:
+        return self.kdata_base + self.off_ops_table
+
+    @property
+    def init_table_addr(self) -> int:
+        return self.kdata_base + self.off_init_table
+
+    @property
+    def syscall_table_addr(self) -> int:
+        return self.kdata_base + self.off_syscall_table
+
+    def task_struct_addr(self, tid: int) -> int:
+        """Guest address of task ``tid``'s struct."""
+        return self.task_table + tid * self.task_struct_words
+
+    def stack_region(self, tid: int) -> tuple[int, int]:
+        """(base, top) of task ``tid``'s stack; the stack grows down from top."""
+        base = self.stacks_base + tid * self.stack_words
+        return base, base + self.stack_words
+
+    def user_data_region(self, tid: int) -> tuple[int, int]:
+        """(base, end) of task ``tid``'s private user data area."""
+        base = self.user_data_base + tid * self.user_data_words_per_task
+        return base, base + self.user_data_words_per_task
+
+
+#: The layout used everywhere unless a test overrides it.
+DEFAULT_LAYOUT = KernelLayout()

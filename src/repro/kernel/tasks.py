@@ -1,0 +1,78 @@
+"""Host-side task-struct introspection.
+
+The hypervisor interposes on the guest's context switch by trapping the
+single SP-pivot instruction; at that point it must map the *new* stack
+pointer to a thread ID by walking the guest's task table — exactly the
+introspection the paper performs on Linux's ``task_struct`` (§5.2.1).
+These helpers read guest memory; they never modify it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.layout import KernelLayout, TaskField, TaskState
+from repro.memory.physical import PhysicalMemory
+
+
+@dataclass(frozen=True)
+class TaskView:
+    """A read-only decoded task struct."""
+
+    tid: int
+    state: TaskState
+    saved_sp: int
+    stack_base: int
+    stack_top: int
+    entry_pc: int
+    wait_vector: int
+    slices: int
+
+    @property
+    def alive(self) -> bool:
+        return self.state is not TaskState.FREE
+
+
+def read_task(memory: PhysicalMemory, layout: KernelLayout,
+              tid: int) -> TaskView:
+    """Decode task ``tid``'s struct from guest memory."""
+    base = layout.task_struct_addr(tid)
+    raw = memory.read_block(base, layout.task_struct_words)
+    return TaskView(
+        tid=raw[TaskField.TID],
+        state=TaskState(raw[TaskField.STATE]),
+        saved_sp=raw[TaskField.SAVED_SP],
+        stack_base=raw[TaskField.STACK_BASE],
+        stack_top=raw[TaskField.STACK_TOP],
+        entry_pc=raw[TaskField.ENTRY_PC],
+        wait_vector=raw[TaskField.WAIT_VECTOR],
+        slices=raw[TaskField.SLICES],
+    )
+
+
+def find_task_by_sp(memory: PhysicalMemory, layout: KernelLayout,
+                    sp: int) -> TaskView | None:
+    """Find the task whose stack region contains ``sp``.
+
+    This is how the hypervisor identifies the next thread at a context
+    switch: it reads the register holding the new stack pointer from the
+    VMCS and resolves it against the guest's task table.
+    """
+    for tid in range(layout.max_tasks):
+        task = read_task(memory, layout, tid)
+        if not task.alive:
+            continue
+        if task.stack_base <= sp <= task.stack_top:
+            return task
+    return None
+
+
+def current_task(memory: PhysicalMemory, layout: KernelLayout) -> TaskView | None:
+    """Read the task the guest kernel considers current."""
+    struct_addr = memory.read_word(layout.current_addr)
+    if struct_addr == 0:
+        return None
+    tid = (struct_addr - layout.task_table) // layout.task_struct_words
+    if not 0 <= tid < layout.max_tasks:
+        return None
+    return read_task(memory, layout, tid)

@@ -1,0 +1,35 @@
+"""Guest physical memory: sparse paging, permissions, MMIO, dirty tracking.
+
+The recorded VM's memory is word-addressed and organized in pages.  Pages
+carry read/write/execute/user permission bits and the module enforces the
+W⊕X invariant the paper assumes as its baseline defence (a page may be
+writable or executable, never both).  Dirty-page tracking feeds the
+checkpointing replayer's incremental copy-on-write checkpoints.
+"""
+
+from repro.memory.paging import (
+    PERM_EXEC,
+    PERM_NONE,
+    PERM_READ,
+    PERM_USER,
+    PERM_WRITE,
+    AccessKind,
+    AccessViolation,
+    describe_perms,
+)
+from repro.memory.physical import PhysicalMemory
+from repro.memory.mmio import MmioRegion, MmioRegistry
+
+__all__ = [
+    "PERM_NONE",
+    "PERM_READ",
+    "PERM_WRITE",
+    "PERM_EXEC",
+    "PERM_USER",
+    "AccessKind",
+    "AccessViolation",
+    "describe_perms",
+    "PhysicalMemory",
+    "MmioRegion",
+    "MmioRegistry",
+]

@@ -1,0 +1,58 @@
+"""MMIO dispatch: mapping device register windows to device models.
+
+The CPU never reads MMIO from RAM; it reports the access to the hypervisor,
+which resolves the target device here and emulates the access.  During
+recording the returned value is written to the input log; during replay the
+logged value is injected instead of consulting the device at all (§7.3).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.errors import DeviceError
+
+
+class MmioRegion(Protocol):
+    """Interface a device exposes for its MMIO register window."""
+
+    def mmio_read(self, offset: int) -> int:
+        """Read the register at ``offset`` within the device window."""
+        ...
+
+    def mmio_write(self, offset: int, value: int) -> None:
+        """Write the register at ``offset`` within the device window."""
+        ...
+
+
+class MmioRegistry:
+    """Maps guest physical addresses to device register windows."""
+
+    def __init__(self):
+        self._regions: list[tuple[int, int, MmioRegion]] = []
+
+    def register(self, start: int, length: int, device: MmioRegion):
+        """Attach ``device`` to the window ``[start, start+length)``."""
+        for existing_start, existing_end, _ in self._regions:
+            if start < existing_end and existing_start < start + length:
+                raise DeviceError(
+                    f"MMIO window {start:#x}+{length} overlaps an existing one"
+                )
+        self._regions.append((start, start + length, device))
+
+    def resolve(self, addr: int) -> tuple[MmioRegion, int]:
+        """Return ``(device, offset)`` for ``addr``."""
+        for start, end, device in self._regions:
+            if start <= addr < end:
+                return device, addr - start
+        raise DeviceError(f"no device behind MMIO address {addr:#x}")
+
+    def read(self, addr: int) -> int:
+        """Emulate an MMIO read."""
+        device, offset = self.resolve(addr)
+        return device.mmio_read(offset)
+
+    def write(self, addr: int, value: int):
+        """Emulate an MMIO write."""
+        device, offset = self.resolve(addr)
+        device.mmio_write(offset, value)

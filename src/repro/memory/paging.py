@@ -1,0 +1,74 @@
+"""Page permissions and architectural access violations.
+
+Permissions are per-page bit flags.  ``PERM_USER`` marks a page accessible
+from user mode; kernel pages (task structs, kernel stacks, kernel code) omit
+it, which is what lets the hypervisor keep the BackRAS and whitelists "out of
+the kernel's reach" — they live outside guest memory entirely — while the
+guest kernel keeps its own data away from user code.
+"""
+
+from __future__ import annotations
+
+import enum
+
+PERM_NONE = 0
+PERM_READ = 1
+PERM_WRITE = 2
+PERM_EXEC = 4
+PERM_USER = 8
+
+#: Convenience combinations.
+PERM_RW = PERM_READ | PERM_WRITE
+PERM_RX = PERM_READ | PERM_EXEC
+
+
+class AccessKind(enum.Enum):
+    """What the guest was doing when it touched memory."""
+
+    READ = "read"
+    WRITE = "write"
+    FETCH = "fetch"
+
+
+class AccessViolation(Exception):
+    """Architectural memory fault raised on a disallowed guest access.
+
+    This is *guest-visible* state, not a library error: the CPU catches it
+    and turns it into a guest fault (which the kernel's recovery path or the
+    hypervisor then handles).
+    """
+
+    def __init__(self, addr: int, kind: AccessKind, perms: int, user: bool):
+        self.addr = addr
+        self.kind = kind
+        self.perms = perms
+        self.user = user
+        mode = "user" if user else "kernel"
+        super().__init__(
+            f"{kind.value} of {addr:#x} denied in {mode} mode "
+            f"(page perms {describe_perms(perms)})"
+        )
+
+
+def describe_perms(perms: int) -> str:
+    """Render permission bits as an ``rwxu`` string."""
+    return "".join(
+        letter if perms & bit else "-"
+        for letter, bit in (
+            ("r", PERM_READ),
+            ("w", PERM_WRITE),
+            ("x", PERM_EXEC),
+            ("u", PERM_USER),
+        )
+    )
+
+
+def check_access(perms: int, kind: AccessKind, user: bool) -> bool:
+    """Return whether an access of ``kind`` in the given mode is allowed."""
+    if user and not perms & PERM_USER:
+        return False
+    if kind is AccessKind.READ:
+        return bool(perms & PERM_READ)
+    if kind is AccessKind.WRITE:
+        return bool(perms & PERM_WRITE)
+    return bool(perms & PERM_EXEC)

@@ -1,0 +1,217 @@
+"""Sparse, paged guest physical memory with dirty tracking and snapshots.
+
+Guest accesses (:meth:`PhysicalMemory.load`, :meth:`store`, :meth:`fetch`)
+enforce per-page permissions and the W⊕X invariant.  Host accesses
+(:meth:`read_word`, :meth:`write_word`) bypass permissions — they model the
+hypervisor and DMA engines, which operate on physical memory directly.
+
+Dirty-page tracking is the substrate for incremental checkpoints: the
+checkpointing replayer snapshots exactly the pages dirtied since the previous
+checkpoint and keeps pointers for the rest (paper §4.6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import MemoryError_
+from repro.memory.paging import (
+    PERM_EXEC,
+    PERM_WRITE,
+    AccessKind,
+    AccessViolation,
+    check_access,
+)
+
+_WORD_MASK = 0xFFFF_FFFF_FFFF_FFFF
+
+
+class PhysicalMemory:
+    """Word-addressed guest physical memory.
+
+    Pages materialize lazily (zero-filled) when first mapped.  Unmapped
+    addresses fault on guest access and raise :class:`MemoryError_` on host
+    access, since a host touching unmapped memory is a simulator bug.
+    """
+
+    def __init__(self, page_size: int = 256, enforce_wx: bool = True):
+        if page_size <= 0:
+            raise MemoryError_(f"page_size must be positive, got {page_size}")
+        self.page_size = page_size
+        self.enforce_wx = enforce_wx
+        self._pages: dict[int, list[int]] = {}
+        self._perms: dict[int, int] = {}
+        self._dirty: set[int] = set()
+        self._mmio_ranges: list[tuple[int, int]] = []
+        #: Callables invoked with the written address after any write.
+        self.write_observers: list[Callable[[int], None]] = []
+
+    # ------------------------------------------------------------------
+    # mapping and permissions
+    # ------------------------------------------------------------------
+
+    def map_range(self, start: int, length: int, perms: int):
+        """Map ``length`` words starting at ``start`` with ``perms``."""
+        if length <= 0:
+            raise MemoryError_("cannot map an empty range")
+        first = start // self.page_size
+        last = (start + length - 1) // self.page_size
+        for index in range(first, last + 1):
+            self.set_page_perms(index, perms)
+
+    def set_page_perms(self, page_index: int, perms: int):
+        """Set a page's permissions, enforcing W⊕X and materializing it."""
+        if self.enforce_wx and perms & PERM_WRITE and perms & PERM_EXEC:
+            raise MemoryError_(
+                f"page {page_index}: W and X together violate W⊕X"
+            )
+        self._perms[page_index] = perms
+        if page_index not in self._pages:
+            self._pages[page_index] = [0] * self.page_size
+
+    def page_perms(self, page_index: int) -> int:
+        """Return a page's permission bits (0 when unmapped)."""
+        return self._perms.get(page_index, 0)
+
+    def is_mapped(self, addr: int) -> bool:
+        """Return whether ``addr`` falls in a mapped page."""
+        return addr // self.page_size in self._perms
+
+    # ------------------------------------------------------------------
+    # MMIO
+    # ------------------------------------------------------------------
+
+    def add_mmio_range(self, start: int, length: int):
+        """Mark an address range as memory-mapped I/O.
+
+        Guest loads/stores that hit an MMIO range are *not* served from RAM;
+        the CPU reports them to the hypervisor, which emulates the device
+        (and records the result during recording).
+        """
+        for existing_start, existing_end in self._mmio_ranges:
+            if start < existing_end and existing_start < start + length:
+                raise MemoryError_("overlapping MMIO ranges")
+        self._mmio_ranges.append((start, start + length))
+
+    def is_mmio(self, addr: int) -> bool:
+        """Return whether ``addr`` is in a registered MMIO range."""
+        for start, end in self._mmio_ranges:
+            if start <= addr < end:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # guest accesses (permission-checked)
+    # ------------------------------------------------------------------
+
+    def load(self, addr: int, user: bool) -> int:
+        """Permission-checked guest read."""
+        page = self._guest_page(addr, AccessKind.READ, user)
+        return page[addr % self.page_size]
+
+    def store(self, addr: int, value: int, user: bool):
+        """Permission-checked guest write."""
+        page_index = addr // self.page_size
+        perms = self._perms.get(page_index, 0)
+        if not check_access(perms, AccessKind.WRITE, user):
+            raise AccessViolation(addr, AccessKind.WRITE, perms, user)
+        self._pages[page_index][addr % self.page_size] = value & _WORD_MASK
+        self._dirty.add(page_index)
+        for observer in self.write_observers:
+            observer(addr)
+
+    def fetch(self, addr: int, user: bool) -> int:
+        """Permission-checked instruction fetch."""
+        page = self._guest_page(addr, AccessKind.FETCH, user)
+        return page[addr % self.page_size]
+
+    def _guest_page(self, addr: int, kind: AccessKind, user: bool) -> list[int]:
+        page_index = addr // self.page_size
+        perms = self._perms.get(page_index, 0)
+        if not check_access(perms, kind, user):
+            raise AccessViolation(addr, kind, perms, user)
+        return self._pages[page_index]
+
+    # ------------------------------------------------------------------
+    # host accesses (hypervisor / DMA; no permission checks)
+    # ------------------------------------------------------------------
+
+    def read_word(self, addr: int) -> int:
+        """Host read of one word."""
+        page = self._pages.get(addr // self.page_size)
+        if page is None:
+            raise MemoryError_(f"host read of unmapped address {addr:#x}")
+        return page[addr % self.page_size]
+
+    def write_word(self, addr: int, value: int):
+        """Host write of one word (DMA, log injection, exploit staging)."""
+        page_index = addr // self.page_size
+        page = self._pages.get(page_index)
+        if page is None:
+            raise MemoryError_(f"host write of unmapped address {addr:#x}")
+        page[addr % self.page_size] = value & _WORD_MASK
+        self._dirty.add(page_index)
+        for observer in self.write_observers:
+            observer(addr)
+
+    def read_block(self, addr: int, count: int) -> list[int]:
+        """Host read of ``count`` consecutive words."""
+        return [self.read_word(addr + i) for i in range(count)]
+
+    def write_block(self, addr: int, values: Iterable[int]):
+        """Host write of consecutive words starting at ``addr``."""
+        for offset, value in enumerate(values):
+            self.write_word(addr + offset, value)
+
+    # ------------------------------------------------------------------
+    # dirty tracking and snapshots
+    # ------------------------------------------------------------------
+
+    def dirty_pages(self) -> frozenset[int]:
+        """Pages written since the last :meth:`clear_dirty`."""
+        return frozenset(self._dirty)
+
+    def clear_dirty(self):
+        """Reset the dirty set (called when a checkpoint closes)."""
+        self._dirty.clear()
+
+    def mapped_pages(self) -> frozenset[int]:
+        """All mapped page indices."""
+        return frozenset(self._perms)
+
+    def snapshot_pages(self, indices: Iterable[int]) -> dict[int, tuple[int, ...]]:
+        """Copy the contents of the given pages (for checkpoints)."""
+        snapshot = {}
+        for index in indices:
+            page = self._pages.get(index)
+            if page is None:
+                raise MemoryError_(f"snapshot of unmapped page {index}")
+            snapshot[index] = tuple(page)
+        return snapshot
+
+    def restore_pages(self, snapshot: dict[int, tuple[int, ...]]):
+        """Restore page contents captured by :meth:`snapshot_pages`."""
+        for index, words in snapshot.items():
+            if index not in self._pages:
+                self._pages[index] = [0] * self.page_size
+            self._pages[index][:] = list(words)
+            self._dirty.add(index)
+        changed = set(snapshot)
+        for observer in self.write_observers:
+            for index in changed:
+                observer(index * self.page_size)
+
+    def snapshot_full(self) -> dict[int, tuple[int, ...]]:
+        """Copy every mapped page (used by the first, full checkpoint)."""
+        return self.snapshot_pages(self._pages.keys())
+
+    def perms_snapshot(self) -> dict[int, int]:
+        """Copy the permission map (restored together with page contents)."""
+        return dict(self._perms)
+
+    def restore_perms(self, perms: dict[int, int]):
+        """Restore a permission map captured by :meth:`perms_snapshot`."""
+        self._perms = dict(perms)
+        for index in perms:
+            if index not in self._pages:
+                self._pages[index] = [0] * self.page_size

@@ -1,0 +1,25 @@
+"""Performance model: cycle accounting and overhead breakdowns.
+
+The paper measures wall-clock overheads on real hardware; this reproduction
+instead *derives* overheads from event counts multiplied by the paper's own
+unit costs (1,000-cycle VM exits, 200-cycle RAS dumps, per-step replay
+costs).  Every simulated run produces a :class:`CycleAccount` whose
+categories map one-to-one onto the paper's breakdown figures (5b and 7b).
+"""
+
+from repro.perf.account import Category, CycleAccount
+from repro.perf.report import (
+    BreakdownRow,
+    OverheadBreakdown,
+    RunMetrics,
+    normalized_time,
+)
+
+__all__ = [
+    "Category",
+    "CycleAccount",
+    "RunMetrics",
+    "BreakdownRow",
+    "OverheadBreakdown",
+    "normalized_time",
+]

@@ -1,0 +1,96 @@
+"""Cycle accounting by overhead category.
+
+``Category`` values mirror the paper's breakdown buckets.  Figure 5(b)
+decomposes recording overhead into rdtsc / pio-mmio / interrupt / network /
+RAS; Figure 7(b) uses the same buckets plus Chk for checkpointing replay.
+Recording charges *logging* costs into these buckets; replay charges
+*injection* costs into the same buckets, so both breakdown figures read one
+account type.
+
+``DEVICE`` holds baseline hypervisor-mediated I/O emulation costs that are
+present even without recording (the NoRec setups pay them too); it is
+excluded from both breakdowns, which plot only the *extra* work.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+
+
+class Category(enum.Enum):
+    """Where overhead cycles went."""
+
+    #: Baseline device-emulation exits (PIO/MMIO/interrupt delivery),
+    #: present in every hypervisor-mediated setup including NoRec.
+    DEVICE = "device"
+    #: rdtsc/rdrand: recording traps + log writes, or replay injection.
+    RDTSC = "rdtsc"
+    #: PIO and MMIO read results: logging or injection.
+    PIO_MMIO = "pio_mmio"
+    #: Interrupt injection points: logging, or replay-side counter-skid
+    #: single-stepping (the dominant replay cost, §8.3.1).
+    INTERRUPT = "interrupt"
+    #: Network packet contents: logging or injection.
+    NETWORK = "network"
+    #: RAS save/restore at context switches (BackRAS microcode plus the
+    #: context-switch interposition exits).
+    RAS = "ras"
+    #: Alarm and evict record handling.
+    ALARM = "alarm"
+    #: Checkpointing: state dump plus copy-on-write page copies (Chk).
+    CHECKPOINT = "checkpoint"
+    #: Alarm replayer: call/ret trapping.
+    AR_TRAP = "ar_trap"
+    #: Idle cycles while the guest waits for external events.
+    IDLE = "idle"
+
+
+#: Categories plotted by Figure 5(b): recording overhead over NoRec.
+RECORDING_BREAKDOWN = (
+    Category.RDTSC,
+    Category.PIO_MMIO,
+    Category.INTERRUPT,
+    Category.NETWORK,
+    Category.RAS,
+)
+
+#: Categories plotted by Figure 7(b): checkpointing replay over Rec.
+REPLAY_BREAKDOWN = RECORDING_BREAKDOWN + (Category.CHECKPOINT,)
+
+
+class CycleAccount:
+    """Accumulates overhead cycles by category for one run."""
+
+    def __init__(self):
+        self._cycles: dict[Category, int] = defaultdict(int)
+        self._events: dict[Category, int] = defaultdict(int)
+
+    def charge(self, category: Category, cycles: int, events: int = 1):
+        """Add ``cycles`` of overhead in ``category``."""
+        self._cycles[category] += cycles
+        self._events[category] += events
+
+    def cycles(self, category: Category) -> int:
+        """Overhead cycles accumulated in one category."""
+        return self._cycles[category]
+
+    def events(self, category: Category) -> int:
+        """Number of charge events in one category."""
+        return self._events[category]
+
+    @property
+    def total_overhead(self) -> int:
+        """All overhead cycles (added to guest instruction cycles)."""
+        return sum(self._cycles.values())
+
+    def by_category(self) -> dict[Category, int]:
+        """A copy of the per-category cycle totals (non-zero entries)."""
+        return {cat: cyc for cat, cyc in self._cycles.items() if cyc}
+
+    def merge(self, other: "CycleAccount"):
+        """Fold another account into this one (multi-phase runs)."""
+        for category, cycles in other._cycles.items():
+            self._cycles[category] += cycles
+        for category, events in other._events.items():
+            self._events[category] += events

@@ -1,0 +1,59 @@
+"""Tables 2 and 3: the configuration surface, rendered.
+
+The paper's Tables 2 and 3 document the evaluation machine and benchmark
+parameters.  These renderers produce the simulation's analogues so every
+benchmark report can state exactly what was run.
+"""
+
+from __future__ import annotations
+
+from repro.config import SimulationConfig
+from repro.workloads.profiles import ALL_PROFILES, BenchmarkProfile
+
+
+def render_table2(config: SimulationConfig) -> str:
+    """The simulated system configuration (Table 2 analogue)."""
+    costs = config.costs
+    lines = [
+        "Table 2 (simulation analogue): system configuration",
+        f"  guest CPU: uniprocessor, {config.ras_entries}-entry RAS, "
+        f"CPI {costs.guest_cpi}",
+        f"  time scale: {config.cycles_per_second} cycles per guest second",
+        f"  memory: {config.page_size}-word pages, W^X enforced",
+        f"  disk: {config.disk_block_size}-word blocks, PIO + DMA",
+        f"  VM exit: {costs.vmexit_cycles} cycles; RAS dump/restore "
+        f"{costs.ras_save_cycles}+{costs.ras_restore_cycles} cycles",
+        f"  replay injection: {costs.replay_counter_skid}-step counter "
+        f"skid at {costs.single_step_cycles} cycles/step",
+        f"  whitelists: Ret x1, Tar x{config.tar_whitelist_entries}; "
+        f"JOP table x{config.jop_table_entries}",
+    ]
+    return "\n".join(lines)
+
+
+def _describe(profile: BenchmarkProfile) -> str:
+    traits = [f"{profile.tasks} tasks", f"{profile.iterations} iters"]
+    if profile.rdtsc_per_iter:
+        traits.append(f"{profile.rdtsc_per_iter} timer reads/iter")
+    if profile.disk_read_every:
+        traits.append(f"disk read /{profile.disk_read_every} iters")
+    if profile.disk_write_every:
+        traits.append(f"disk write /{profile.disk_write_every} iters")
+    if profile.recv_per_iter:
+        traits.append(
+            f"network recv ({profile.packet_len_low}-"
+            f"{profile.packet_len_high}w packets)"
+        )
+    if profile.spawn_every:
+        traits.append(f"spawn /{profile.spawn_every} iters")
+    if profile.setjmp_every:
+        traits.append(f"setjmp /{profile.setjmp_every} iters")
+    return ", ".join(traits)
+
+
+def render_table3() -> str:
+    """The benchmark parameters (Table 3 analogue)."""
+    lines = ["Table 3 (simulation analogue): benchmarks executed"]
+    for profile in ALL_PROFILES:
+        lines.append(f"  {profile.name:<10} {_describe(profile)}")
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Run metrics and overhead-breakdown reporting.
+
+These are the data structures the benchmark harness prints: normalized
+execution times (Figures 5a, 7a, 9), overhead breakdowns (5b, 7b), and
+rates (6a, 6b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SimulationConfig
+from repro.perf.account import Category, CycleAccount
+
+
+@dataclass
+class RunMetrics:
+    """Everything measured about one simulated run."""
+
+    label: str
+    instructions: int
+    guest_cycles: int
+    account: CycleAccount
+    log_bytes: int = 0
+    backras_bytes: int = 0
+    alarms: int = 0
+    evicts: int = 0
+    context_switches: int = 0
+    checkpoints: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> int:
+        """Guest cycles plus every overhead cycle: the run's wall clock."""
+        return self.guest_cycles + self.account.total_overhead
+
+    def seconds(self, config: SimulationConfig) -> float:
+        """Simulated wall-clock duration."""
+        return config.seconds(self.total_cycles)
+
+    def log_rate_mb_per_s(self, config: SimulationConfig) -> float:
+        """Input-log generation rate (Figure 6a)."""
+        duration = self.seconds(config)
+        if duration == 0:
+            return 0.0
+        return self.log_bytes / 1e6 / duration
+
+    def backras_bandwidth_mb_per_s(self, config: SimulationConfig) -> float:
+        """RAS save/restore bandwidth (Figure 6b)."""
+        duration = self.seconds(config)
+        if duration == 0:
+            return 0.0
+        return self.backras_bytes / 1e6 / duration
+
+    def alarms_per_million(self) -> float:
+        """Alarm rate per million instructions (Figure 8 units)."""
+        if self.instructions == 0:
+            return 0.0
+        return self.alarms * 1e6 / self.instructions
+
+
+def normalized_time(run: RunMetrics, baseline: RunMetrics) -> float:
+    """Execution time of ``run`` normalized to ``baseline`` (Figure 5a/7a)."""
+    if baseline.total_cycles == 0:
+        return 0.0
+    return run.total_cycles / baseline.total_cycles
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    """One category's share of an overhead delta."""
+
+    category: Category
+    cycles: int
+    percent: float
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """Decomposition of (run - baseline) overhead into categories.
+
+    Used for Figures 5(b) and 7(b): the categories are the run's *extra*
+    work, so their cycle sum approximates ``run.total - baseline.total``.
+    """
+
+    label: str
+    rows: tuple[BreakdownRow, ...]
+
+    @classmethod
+    def from_account(cls, label: str, account: CycleAccount,
+                     categories) -> "OverheadBreakdown":
+        cycles = {cat: account.cycles(cat) for cat in categories}
+        total = sum(cycles.values())
+        rows = tuple(
+            BreakdownRow(
+                category=cat,
+                cycles=cyc,
+                percent=(100.0 * cyc / total) if total else 0.0,
+            )
+            for cat, cyc in cycles.items()
+        )
+        return cls(label=label, rows=rows)
+
+    def percent_of(self, category: Category) -> float:
+        """Share of one category within this breakdown."""
+        for row in self.rows:
+            if row.category is category:
+                return row.percent
+        return 0.0
+
+    def dominant(self) -> Category:
+        """The category with the largest share."""
+        best = max(self.rows, key=lambda row: row.cycles)
+        return best.category

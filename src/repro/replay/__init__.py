@@ -1,0 +1,35 @@
+"""Replay: the deterministic engine, checkpointing replayer, alarm replayer.
+
+The replaying machine rebuilds an identical guest from the
+:class:`~repro.hypervisor.machine.MachineSpec`, then consumes the input log:
+synchronous records are injected at the matching VM exits, asynchronous
+records are applied at their exact instruction counts.  On top of that
+engine sit the paper's two replayers (§4.6): the always-on
+:class:`CheckpointingReplayer` and the on-demand :class:`AlarmReplayer`.
+"""
+
+from repro.replay.base import DeterministicReplayer, ReplayResult
+from repro.replay.checkpoint import Checkpoint, CheckpointStore
+from repro.replay.checkpointing import (
+    CheckpointingOptions,
+    CheckpointingReplayer,
+    CheckpointingResult,
+)
+from repro.replay.verdict import AlarmVerdict, BenignCause, VerdictKind
+from repro.replay.alarm import AlarmReplayer, AlarmReplayOptions, TrapScope
+
+__all__ = [
+    "DeterministicReplayer",
+    "ReplayResult",
+    "Checkpoint",
+    "CheckpointStore",
+    "CheckpointingReplayer",
+    "CheckpointingOptions",
+    "CheckpointingResult",
+    "AlarmReplayer",
+    "AlarmReplayOptions",
+    "TrapScope",
+    "AlarmVerdict",
+    "BenignCause",
+    "VerdictKind",
+]

@@ -1,0 +1,307 @@
+"""The Alarm Replayer (AR, §4.6.2).
+
+Launched from the checkpoint preceding an alarm, the AR traps every call
+and return (a new exit control standing in for the paper's binary
+instrumentation) and models an *unbounded* software RAS per thread —
+seeded from the checkpoint's BackRAS, switched at context-switch traps,
+whitelist-aware, and able to repair itself across setjmp/longjmp.  At the
+alarm marker it decides: the mismatch is either explained by a benign
+cause (false positive) or it can only be a ROP (attack confirmed).
+
+If the checkpoint's bounded BackRAS had already lost the history needed to
+judge the alarm, the verdict is INCONCLUSIVE and the framework re-runs the
+AR from an earlier checkpoint ("starting at different checkpoints, to
+fully characterize the attack").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cpu.exits import ExitControls, RopAlarmKind, VmExit
+from repro.errors import ReplayDivergenceError
+from repro.hypervisor.machine import MachineSpec
+from repro.replay.base import DeterministicReplayer
+from repro.replay.checkpoint import Checkpoint, CheckpointStore
+from repro.replay.verdict import AlarmVerdict, BenignCause, VerdictKind
+from repro.rnr.log import InputLog
+from repro.rnr.records import AlarmRecord
+
+
+class TrapScope(enum.Enum):
+    """Which call/rets the AR instruments."""
+
+    #: Kernel only — the cheap mode used for kernel ROP hunting (Figure 9's
+    #: slowdown tracks kernel call/ret counts).
+    KERNEL = "kernel"
+    #: Kernel and user — the deeper instrumentation level, needed to judge
+    #: alarms raised by user-mode returns (setjmp/longjmp).
+    ALL = "all"
+    #: Choose from the alarm's PC.
+    AUTO = "auto"
+
+
+@dataclass(frozen=True)
+class AlarmReplayOptions:
+    """AR configuration."""
+
+    scope: TrapScope = TrapScope.AUTO
+    max_instructions: int | None = None
+
+
+class _RetLabel(enum.Enum):
+    MATCH = "match"
+    IMPERFECT = "imperfect"
+    TRUNCATED = "truncated"
+    SUSPECT = "suspect"
+    WHITELIST_OK = "whitelist_ok"
+    WHITELIST_VIOLATION = "whitelist_violation"
+
+
+@dataclass(frozen=True)
+class _RetEvent:
+    label: _RetLabel
+    expected: int | None
+    actual: int
+    tid: int
+
+
+class AlarmReplayer(DeterministicReplayer):
+    """Replays up to one alarm marker and classifies it."""
+
+    def __init__(self, spec: MachineSpec, log: InputLog, alarm: AlarmRecord,
+                 checkpoint: Checkpoint | None = None,
+                 store: CheckpointStore | None = None,
+                 options: AlarmReplayOptions | None = None):
+        self.options = options if options is not None else AlarmReplayOptions()
+        self.alarm = alarm
+        self.kernel = spec.kernel
+        scope = self._resolve_scope(spec)
+        controls = ExitControls(
+            trap_call_ret=True,
+            trap_call_ret_user=(scope is TrapScope.ALL),
+        )
+        super().__init__(spec, log.cursor(), controls=controls,
+                         manage_backras=True, verify_digest=False)
+        self.scope = scope
+        self.interposer.thread_created_hook = self._on_thread_created
+        self.interposer.thread_destroyed_hook = self._on_thread_destroyed
+        self._soft_ras: dict[int, list[int]] = {}
+        self._truncated: dict[int, bool] = {}
+        self._ret_events: dict[int, _RetEvent] = {}
+        self._from_checkpoint = None
+        self.verdict: AlarmVerdict | None = None
+        self._imperfect_repairs = 0
+        if checkpoint is not None:
+            if store is None:
+                raise ReplayDivergenceError(
+                    "restoring a checkpoint requires its store"
+                )
+            self._restore(checkpoint, store)
+
+    def _resolve_scope(self, spec: MachineSpec) -> TrapScope:
+        if self.options.scope is not TrapScope.AUTO:
+            return self.options.scope
+        user_base = spec.kernel.layout.user_code_base
+        return TrapScope.ALL if self.alarm.pc >= user_base else TrapScope.KERNEL
+
+    # ------------------------------------------------------------------
+    # checkpoint restore
+    # ------------------------------------------------------------------
+
+    def _restore(self, checkpoint: Checkpoint, store: CheckpointStore):
+        self.restore_checkpoint(checkpoint, store)
+        # Seed the software RAS from the checkpointed BackRAS (§4.6.2).
+        # These stacks are bounded hardware dumps: anything deeper than
+        # their bottom is unknowable from this checkpoint.
+        for tid, snapshot in checkpoint.backras.items():
+            self._soft_ras[tid] = list(snapshot)
+            self._truncated[tid] = True
+        self._from_checkpoint = checkpoint.checkpoint_id
+
+    # ------------------------------------------------------------------
+    # thread lifecycle (fresh threads have complete, untruncated history)
+    # ------------------------------------------------------------------
+
+    def _on_thread_created(self, tid: int):
+        self._soft_ras[tid] = []
+        self._truncated[tid] = False
+
+    def _on_thread_destroyed(self, tid: int):
+        self._soft_ras.pop(tid, None)
+        self._truncated.pop(tid, None)
+
+    # ------------------------------------------------------------------
+    # call/ret trapping: the software RAS
+    # ------------------------------------------------------------------
+
+    def _stack(self) -> list[int]:
+        tid = self.interposer.current_tid
+        return self._soft_ras.setdefault(tid, [])
+
+    def on_call_trap(self, exit_event: VmExit):
+        self._stack().append(exit_event.return_addr)
+
+    def on_ret_trap(self, exit_event: VmExit):
+        tid = self.interposer.current_tid
+        icount = self.machine.cpu.icount
+        target = exit_event.actual
+        if exit_event.pc == self.kernel.ctxsw_ret_pc:
+            # The non-procedural return: never pops the software RAS.
+            if target in self.kernel.whitelist_targets:
+                label = _RetLabel.WHITELIST_OK
+            else:
+                label = _RetLabel.WHITELIST_VIOLATION
+            self._ret_events[icount] = _RetEvent(
+                label=label, expected=None, actual=target, tid=tid,
+            )
+            return
+        stack = self._stack()
+        if stack and stack[-1] == target:
+            stack.pop()
+            event = _RetEvent(_RetLabel.MATCH, target, target, tid)
+        elif target in stack:
+            # Imperfect nesting (setjmp/longjmp, §4.5): the target exists
+            # deeper in the stack; unwind the orphaned frames to repair.
+            expected = stack[-1]
+            while stack and stack[-1] != target:
+                stack.pop()
+            if stack:
+                stack.pop()
+            self._imperfect_repairs += 1
+            event = _RetEvent(_RetLabel.IMPERFECT, expected, target, tid)
+        elif not stack and self._truncated.get(tid, False):
+            event = _RetEvent(_RetLabel.TRUNCATED, None, target, tid)
+        else:
+            expected = stack[-1] if stack else None
+            if stack:
+                stack.pop()
+            event = _RetEvent(_RetLabel.SUSPECT, expected, target, tid)
+        self._ret_events[icount] = event
+
+    # ------------------------------------------------------------------
+    # alarm resolution
+    # ------------------------------------------------------------------
+
+    def on_alarm(self, record: AlarmRecord):
+        if record.icount != self.alarm.icount:
+            return  # a different alarm in the window; its own AR judges it
+        self.verdict = self._classify(record)
+        self.stop_requested = True
+        self.stop_reason = "alarm_resolved"
+
+    def analyze(self) -> AlarmVerdict:
+        """Replay to the alarm marker and return the verdict."""
+        start_cycles = self.machine.now
+        self.run(max_instructions=self.options.max_instructions)
+        if self.verdict is None:
+            self.verdict = AlarmVerdict(
+                kind=VerdictKind.INCONCLUSIVE,
+                alarm=self.alarm,
+                explanation=(
+                    "replay ended before reaching the alarm marker "
+                    f"({self.stop_reason})"
+                ),
+                tid=self.alarm.tid,
+                from_checkpoint=self._from_checkpoint,
+            )
+        analysis_cycles = self.machine.now - start_cycles
+        self.verdict = _with_cycles(self.verdict, analysis_cycles)
+        return self.verdict
+
+    def _classify(self, record: AlarmRecord) -> AlarmVerdict:
+        if record.kind is RopAlarmKind.JOP:
+            return self._classify_jop(record)
+        event = self._ret_events.get(record.icount)
+        if event is None:
+            return AlarmVerdict(
+                kind=VerdictKind.INCONCLUSIVE,
+                alarm=record,
+                explanation=(
+                    "no instrumented return at the alarm point (trap scope "
+                    f"{self.scope.value})"
+                ),
+                tid=record.tid,
+                from_checkpoint=self._from_checkpoint,
+            )
+        if event.label is _RetLabel.MATCH:
+            return self._false_positive(
+                record, event, BenignCause.DEEP_NESTING,
+                "software RAS agrees with the actual target; the hardware "
+                "RAS merely ran out of entries",
+            )
+        if event.label is _RetLabel.IMPERFECT:
+            return self._false_positive(
+                record, event, BenignCause.IMPERFECT_NESTING,
+                "target found deeper in the call history: unwound "
+                "setjmp/longjmp-style imperfect nesting",
+            )
+        if event.label is _RetLabel.WHITELIST_OK:
+            return self._false_positive(
+                record, event, BenignCause.NON_PROCEDURAL,
+                "non-procedural return to a legal landing site",
+            )
+        if event.label is _RetLabel.TRUNCATED:
+            return AlarmVerdict(
+                kind=VerdictKind.INCONCLUSIVE,
+                alarm=record,
+                explanation=(
+                    "the checkpoint's BackRAS no longer holds the frames "
+                    "needed to judge this return; retry from an earlier "
+                    "checkpoint"
+                ),
+                observed_target=event.actual,
+                tid=event.tid,
+                from_checkpoint=self._from_checkpoint,
+            )
+        if event.label is _RetLabel.WHITELIST_VIOLATION:
+            return AlarmVerdict(
+                kind=VerdictKind.ROP_CONFIRMED,
+                alarm=record,
+                explanation=(
+                    "the kernel's non-procedural return was redirected to "
+                    "an illegal target"
+                ),
+                observed_target=event.actual,
+                tid=event.tid,
+                from_checkpoint=self._from_checkpoint,
+            )
+        return AlarmVerdict(
+            kind=VerdictKind.ROP_CONFIRMED,
+            alarm=record,
+            explanation=(
+                "return target disagrees with the software RAS and is not "
+                "explained by any benign cause: control-flow hijack"
+            ),
+            expected_target=event.expected,
+            observed_target=event.actual,
+            tid=event.tid,
+            from_checkpoint=self._from_checkpoint,
+        )
+
+    def _classify_jop(self, record: AlarmRecord) -> AlarmVerdict:
+        from repro.detectors.jop import verify_jop_target
+
+        return verify_jop_target(self.kernel, record,
+                                 from_checkpoint=self._from_checkpoint)
+
+    def _false_positive(self, record: AlarmRecord, event: _RetEvent,
+                        cause: BenignCause, explanation: str) -> AlarmVerdict:
+        return AlarmVerdict(
+            kind=VerdictKind.FALSE_POSITIVE,
+            alarm=record,
+            explanation=explanation,
+            benign_cause=cause,
+            expected_target=event.expected,
+            observed_target=event.actual,
+            tid=event.tid,
+            from_checkpoint=self._from_checkpoint,
+        )
+
+
+def _with_cycles(verdict: AlarmVerdict, cycles: int) -> AlarmVerdict:
+    from dataclasses import replace
+
+    return replace(verdict, analysis_cycles=cycles)
+

@@ -1,0 +1,331 @@
+"""The deterministic replay engine shared by both replayers.
+
+Consumption discipline: the log is strictly ordered, so the front record is
+always the next event.  Before each step the engine checks whether the
+front record is asynchronous and due at the current instruction count; if
+so it applies it (landing DMA, injecting the interrupt, interpreting a
+marker).  Synchronous VM exits consume the front record directly, with type
+and operand checks — any disagreement raises
+:class:`~repro.errors.ReplayDivergenceError`, because a diverged replay is
+useless for alarm analysis.
+
+Cost model (§7.3): each asynchronous injection pays the performance-counter
+skid — the replayer stops early and single-steps to the exact instruction,
+one VM exit per step — which is why interrupts dominate replay overhead in
+Figure 7(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.exits import ExitControls, VmExit, VmExitReason
+from repro.errors import HypervisorError, ReplayDivergenceError
+from repro.hypervisor.emulation import emulate_pio_out
+from repro.hypervisor.interpose import ContextSwitchInterposer
+from repro.hypervisor.machine import GuestMachine, MachineSpec
+from repro.perf.account import Category
+from repro.perf.report import RunMetrics
+from repro.rnr.log import LogCursor
+from repro.rnr.records import (
+    AlarmRecord,
+    DiskDmaRecord,
+    EndRecord,
+    EvictRecord,
+    InterruptRecord,
+    MmioReadRecord,
+    NetworkDmaRecord,
+    PioInRecord,
+    RdrandRecord,
+    RdtscRecord,
+    is_async_record,
+)
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one replay run."""
+
+    metrics: RunMetrics
+    reached_end: bool
+    digest_checked: bool
+    stop_reason: str
+
+
+class DeterministicReplayer:
+    """Replays a recorded log on a freshly rebuilt machine.
+
+    Subclasses override the ``on_*`` hooks: the checkpointing replayer adds
+    periodic checkpoints and evict/alarm bookkeeping; the alarm replayer
+    adds call/ret trapping and the software RAS.
+    """
+
+    def __init__(self, spec: MachineSpec, cursor: LogCursor,
+                 controls: ExitControls | None = None,
+                 manage_backras: bool = True,
+                 verify_digest: bool = True):
+        self.spec = spec
+        self.cursor = cursor
+        controls = controls if controls is not None else ExitControls()
+        # The replay platform never raises its own alarms (§4.6.1).
+        controls.ras_alarm_exits = False
+        controls.ras_evict_exits = False
+        self.machine = GuestMachine(spec, controls, with_world=False)
+        self.interposer = ContextSwitchInterposer(
+            kernel=spec.kernel,
+            vmcs=self.machine.vmcs,
+            memory=self.machine.memory,
+            manage_backras=manage_backras,
+        )
+        if manage_backras:
+            self.machine.vmcs.controls.breakpoints |= (
+                self.interposer.breakpoints()
+            )
+        self.verify_digest = verify_digest
+        self._costs = spec.config.costs
+        self._reached_end = False
+        self._digest_checked = False
+        #: Set by subclasses to stop the run early.
+        self.stop_requested = False
+        self.stop_reason = ""
+
+    # ------------------------------------------------------------------
+    # checkpoint restore (shared by AR, auditors, profilers)
+    # ------------------------------------------------------------------
+
+    def restore_checkpoint(self, checkpoint, store):
+        """Load a CR checkpoint into this replayer's fresh machine.
+
+        Reconstructs the full page/block overlay through the checkpoint
+        chain, restores processor and disk-controller state, reseats the
+        interposer's BackRAS view, reloads the hardware RAS from the
+        current thread's BackRAS entry, and positions the log cursor at
+        the checkpoint's InputLogPtr.
+        """
+        machine = self.machine
+        machine.memory.restore_pages(store.reconstruct_pages(checkpoint))
+        machine.disk.restore_blocks(store.reconstruct_blocks(checkpoint))
+        machine.disk_dev.restore_regs(checkpoint.disk_regs)
+        machine.cpu.restore_state(checkpoint.cpu_state)
+        self.interposer.restore_from_checkpoint(
+            dict(checkpoint.backras), checkpoint.current_tid,
+        )
+        machine.vmcs.load_ras(
+            checkpoint.backras.get(checkpoint.current_tid, ())
+        )
+        self.cursor.position = checkpoint.log_position
+
+    # ------------------------------------------------------------------
+    # hooks for subclasses
+    # ------------------------------------------------------------------
+
+    def on_evict(self, record: EvictRecord):
+        """An Evict marker was consumed (§4.5)."""
+
+    def on_alarm(self, record: AlarmRecord):
+        """An alarm marker was consumed."""
+
+    def on_context_switch(self, old_tid: int, new_tid: int):
+        """The guest switched threads (after BackRAS maintenance)."""
+
+    def on_exit_boundary(self, exit_event: VmExit):
+        """A VM exit was fully handled (checkpoint opportunity, §4.6.1)."""
+
+    def on_call_trap(self, exit_event: VmExit):
+        """A call executed under trap_call_ret (alarm replayer only)."""
+
+    def on_ret_trap(self, exit_event: VmExit):
+        """A return executed under trap_call_ret (alarm replayer only)."""
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_instructions: int | None = None) -> ReplayResult:
+        cpu = self.machine.cpu
+        while not self.stop_requested:
+            if max_instructions is not None and cpu.icount >= max_instructions:
+                self.stop_reason = self.stop_reason or "budget"
+                break
+            record = self.cursor.peek()
+            if record is None:
+                self.stop_reason = self.stop_reason or "log_exhausted"
+                break
+            if is_async_record(record):
+                if record.icount < cpu.icount:
+                    raise ReplayDivergenceError(
+                        f"ran past {type(record).__name__} due at "
+                        f"{record.icount}", icount=cpu.icount,
+                    )
+                if record.icount == cpu.icount:
+                    self.cursor.pop()
+                    self._apply_async(record)
+                    if self._reached_end:
+                        self.stop_reason = self.stop_reason or "end"
+                        break
+                    continue
+            if cpu.halted:
+                raise ReplayDivergenceError(
+                    "guest halted but the next log record is not due",
+                    icount=cpu.icount,
+                )
+            exit_event = cpu.step()
+            if exit_event is not None:
+                self._handle_exit(exit_event)
+                self.on_exit_boundary(exit_event)
+        return self._build_result()
+
+    # ------------------------------------------------------------------
+    # asynchronous records
+    # ------------------------------------------------------------------
+
+    def _apply_async(self, record):
+        machine = self.machine
+        costs = self._costs
+        if isinstance(record, InterruptRecord):
+            # Locating the injection point: counter skid + single-stepping.
+            machine.charge(
+                Category.INTERRUPT,
+                costs.vmexit_cycles
+                + costs.replay_counter_skid * costs.single_step_cycles,
+            )
+            fatal = machine.cpu.raise_interrupt(record.vector)
+            if fatal is not None:
+                raise ReplayDivergenceError(
+                    f"interrupt injection triple-faulted: {fatal.detail}",
+                    icount=machine.cpu.icount,
+                )
+        elif isinstance(record, DiskDmaRecord):
+            # Content regenerated from the replica disk, not the log.
+            words = machine.disk.read_block(record.block)
+            machine.memory.write_block(record.addr, words)
+            machine.charge(Category.DEVICE, costs.device_emulation_cycles)
+        elif isinstance(record, NetworkDmaRecord):
+            machine.memory.write_block(record.addr, record.words)
+            machine.charge(
+                Category.NETWORK,
+                int(len(record.words) * 8 * 0.25),
+            )
+        elif isinstance(record, EvictRecord):
+            self.on_evict(record)
+        elif isinstance(record, AlarmRecord):
+            self.on_alarm(record)
+        elif isinstance(record, EndRecord):
+            self._finish(record)
+        else:
+            raise HypervisorError(
+                f"unhandled async record {type(record).__name__}"
+            )
+
+    def _finish(self, record: EndRecord):
+        self._reached_end = True
+        if self.verify_digest and record.digest:
+            digest = self.machine.state_digest()
+            self._digest_checked = True
+            if digest != record.digest:
+                raise ReplayDivergenceError(
+                    f"final state digest {digest:#x} != recorded "
+                    f"{record.digest:#x}",
+                    icount=self.machine.cpu.icount,
+                )
+
+    # ------------------------------------------------------------------
+    # synchronous exits
+    # ------------------------------------------------------------------
+
+    def _handle_exit(self, exit_event: VmExit):
+        machine = self.machine
+        cpu = machine.cpu
+        costs = self._costs
+        reason = exit_event.reason
+        if reason is VmExitReason.RDTSC:
+            record = self.cursor.expect(RdtscRecord)
+            cpu.regs[exit_event.rd] = record.value
+            machine.charge(Category.RDTSC, costs.vmexit_cycles + 30)
+        elif reason is VmExitReason.RDRAND:
+            record = self.cursor.expect(RdrandRecord)
+            cpu.regs[exit_event.rd] = record.value
+            machine.charge(Category.RDTSC, costs.vmexit_cycles + 30)
+        elif reason is VmExitReason.PIO_IN:
+            record = self.cursor.expect(PioInRecord)
+            if record.port != exit_event.port:
+                raise ReplayDivergenceError(
+                    f"IN from port {exit_event.port} but the log has port "
+                    f"{record.port}", icount=cpu.icount,
+                )
+            cpu.regs[exit_event.rd] = record.value
+            # Base exit cost matches the recording side (DEVICE); the small
+            # extra is the injection bookkeeping, so Figure 7(b)'s deltas
+            # line up category-by-category.
+            machine.charge(Category.DEVICE, self._base_device_cost())
+            machine.charge(Category.PIO_MMIO, 50)
+        elif reason is VmExitReason.PIO_OUT:
+            shutdown = emulate_pio_out(machine, exit_event)
+            machine.charge(Category.DEVICE, self._base_device_cost())
+            if shutdown:
+                machine.stop("shutdown")
+        elif reason is VmExitReason.MMIO_READ:
+            record = self.cursor.expect(MmioReadRecord)
+            if record.addr != exit_event.addr:
+                raise ReplayDivergenceError(
+                    f"MMIO read of {exit_event.addr:#x} but the log has "
+                    f"{record.addr:#x}", icount=cpu.icount,
+                )
+            cpu.regs[exit_event.rd] = record.value
+            machine.charge(Category.DEVICE, self._base_device_cost())
+            machine.charge(Category.PIO_MMIO, 50)
+        elif reason is VmExitReason.MMIO_WRITE:
+            machine.mmio.write(exit_event.addr, exit_event.value)
+            machine.charge(Category.DEVICE, self._base_device_cost())
+        elif reason is VmExitReason.BREAKPOINT:
+            old_tid, new_tid = self.interposer.on_breakpoint(exit_event.pc)
+            machine.charge(
+                Category.RAS,
+                costs.vmexit_cycles + costs.ras_save_cycles
+                + costs.ras_restore_cycles,
+            )
+            if old_tid != new_tid:
+                self.on_context_switch(old_tid, new_tid)
+        elif reason is VmExitReason.CALL_TRAP:
+            machine.charge(Category.AR_TRAP,
+                           costs.vmexit_cycles + costs.ar_handler_cycles)
+            self.on_call_trap(exit_event)
+        elif reason is VmExitReason.RET_TRAP:
+            machine.charge(Category.AR_TRAP,
+                           costs.vmexit_cycles + costs.ar_handler_cycles)
+            self.on_ret_trap(exit_event)
+        elif reason is VmExitReason.HLT:
+            machine.stop("halt")
+        elif reason is VmExitReason.TRIPLE_FAULT:
+            machine.stop(f"triple_fault: {exit_event.detail}")
+        elif reason is VmExitReason.DEBUG:
+            machine.charge(Category.DEVICE, costs.vmexit_cycles)
+        else:
+            raise HypervisorError(
+                f"replayer cannot handle VM exit {reason.value}"
+            )
+
+    def _base_device_cost(self) -> int:
+        costs = self._costs
+        return costs.vmexit_cycles + costs.device_emulation_cycles
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def _build_result(self) -> ReplayResult:
+        machine = self.machine
+        metrics = RunMetrics(
+            label=self.spec.label,
+            instructions=machine.cpu.icount,
+            guest_cycles=machine.cpu.icount,
+            account=machine.account,
+            backras_bytes=self.interposer.backras.bytes_moved,
+            context_switches=self.interposer.context_switches,
+        )
+        return ReplayResult(
+            metrics=metrics,
+            reached_end=self._reached_end,
+            digest_checked=self._digest_checked,
+            stop_reason=self.stop_reason or machine.stop_reason,
+        )

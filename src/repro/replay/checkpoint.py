@@ -1,0 +1,196 @@
+"""Checkpoints and the checkpoint store (§4.6.1, Figure 4).
+
+A checkpoint holds (1) the VM state — processor registers plus the memory
+pages and disk blocks modified since the previous checkpoint, with earlier
+state reachable through the parent chain; (2) the ``InputLogPtr`` (a log
+cursor position); and (3) the BackRAS at checkpoint time.
+
+Checkpoints are *incremental*: reconstructing full state at checkpoint C
+overlays the chain C, parent(C), ... back to the initial machine (which is
+rebuildable from the :class:`~repro.hypervisor.machine.MachineSpec`).
+Recycling drops the oldest checkpoint by merging its exclusive pages into
+its successor — the moral equivalent of the paper's "only recycle a page if
+it is not pointed to by a later checkpoint".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.ras import RasSnapshot
+from repro.cpu.state import CpuState
+from repro.errors import CheckpointError
+
+
+@dataclass
+class Checkpoint:
+    """One incremental checkpoint."""
+
+    checkpoint_id: int
+    icount: int
+    cycles: int
+    cpu_state: CpuState
+    #: Pages dirtied since the previous checkpoint: index -> contents.
+    pages: dict[int, tuple[int, ...]]
+    #: Disk blocks dirtied since the previous checkpoint.
+    disk_blocks: dict[int, tuple[int, ...]]
+    #: The full BackRAS at checkpoint time (§4.6.2 seeds the AR's software
+    #: RAS from this).
+    backras: dict[int, RasSnapshot]
+    #: Thread running at checkpoint time.
+    current_tid: int
+    #: InputLogPtr: position of the next log record to consume.
+    log_position: int
+    parent_id: int | None = None
+    #: Disk controller registers (an OUT sequence may straddle the
+    #: checkpoint; the replica must resume mid-programming).
+    disk_regs: tuple[int, int, int] = (0, 0, 0)
+
+    @property
+    def storage_words(self) -> int:
+        """Words of state exclusively held by this checkpoint."""
+        page_words = sum(len(words) for words in self.pages.values())
+        block_words = sum(len(words) for words in self.disk_blocks.values())
+        ras_words = sum(len(snapshot) + 1 for snapshot in self.backras.values())
+        return page_words + block_words + ras_words
+
+
+class CheckpointStore:
+    """Ordered collection of checkpoints with chain reconstruction."""
+
+    def __init__(self):
+        self._checkpoints: list[Checkpoint] = []
+        self._by_id: dict[int, Checkpoint] = {}
+        self._next_id = 1
+        #: Checkpoints dropped by recycling (statistics for §8.4).
+        self.recycled = 0
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    def add(self, icount: int, cycles: int, cpu_state: CpuState,
+            pages: dict[int, tuple[int, ...]],
+            disk_blocks: dict[int, tuple[int, ...]],
+            backras: dict[int, RasSnapshot],
+            current_tid: int, log_position: int,
+            disk_regs: tuple[int, int, int] = (0, 0, 0)) -> Checkpoint:
+        """Append a new checkpoint chained to the previous one."""
+        parent_id = (
+            self._checkpoints[-1].checkpoint_id if self._checkpoints else None
+        )
+        checkpoint = Checkpoint(
+            checkpoint_id=self._next_id,
+            icount=icount,
+            cycles=cycles,
+            cpu_state=cpu_state,
+            pages=dict(pages),
+            disk_blocks=dict(disk_blocks),
+            backras=dict(backras),
+            current_tid=current_tid,
+            log_position=log_position,
+            parent_id=parent_id,
+            disk_regs=disk_regs,
+        )
+        self._next_id += 1
+        self._checkpoints.append(checkpoint)
+        self._by_id[checkpoint.checkpoint_id] = checkpoint
+        return checkpoint
+
+    def all(self) -> tuple[Checkpoint, ...]:
+        """All retained checkpoints, oldest first."""
+        return tuple(self._checkpoints)
+
+    def latest(self) -> Checkpoint | None:
+        """The most recent checkpoint."""
+        return self._checkpoints[-1] if self._checkpoints else None
+
+    def latest_before(self, icount: int) -> Checkpoint | None:
+        """The newest checkpoint at or before instruction ``icount``.
+
+        This is the checkpoint an alarm replayer starts from ("typically the
+        latest" preceding the alarm).
+        """
+        best = None
+        for checkpoint in self._checkpoints:
+            if checkpoint.icount <= icount:
+                best = checkpoint
+            else:
+                break
+        return best
+
+    def predecessor(self, checkpoint: Checkpoint) -> Checkpoint | None:
+        """The checkpoint preceding ``checkpoint`` (for AR escalation)."""
+        if checkpoint.parent_id is None:
+            return None
+        return self._by_id.get(checkpoint.parent_id)
+
+    # ------------------------------------------------------------------
+    # reconstruction
+    # ------------------------------------------------------------------
+
+    def _chain(self, checkpoint: Checkpoint) -> list[Checkpoint]:
+        chain = []
+        current: Checkpoint | None = checkpoint
+        while current is not None:
+            chain.append(current)
+            if current.parent_id is None:
+                break
+            parent = self._by_id.get(current.parent_id)
+            if parent is None:
+                break  # ancestors recycled: their pages were merged forward
+            current = parent
+        return chain
+
+    def reconstruct_pages(self, checkpoint: Checkpoint) -> dict[int, tuple[int, ...]]:
+        """Full page overlay at ``checkpoint`` (newest copy of each page)."""
+        if self._by_id.get(checkpoint.checkpoint_id) is not checkpoint:
+            raise CheckpointError(
+                f"checkpoint {checkpoint.checkpoint_id} is not in this store"
+            )
+        overlay: dict[int, tuple[int, ...]] = {}
+        for entry in self._chain(checkpoint):
+            for index, words in entry.pages.items():
+                overlay.setdefault(index, words)
+        return overlay
+
+    def reconstruct_blocks(self, checkpoint: Checkpoint) -> dict[int, tuple[int, ...]]:
+        """Full disk-block overlay at ``checkpoint``."""
+        overlay: dict[int, tuple[int, ...]] = {}
+        for entry in self._chain(checkpoint):
+            for block, words in entry.disk_blocks.items():
+                overlay.setdefault(block, words)
+        return overlay
+
+    # ------------------------------------------------------------------
+    # recycling
+    # ------------------------------------------------------------------
+
+    def recycle_older_than(self, cycles: int, keep_at_least: int = 2):
+        """Drop checkpoints older than ``cycles``, merging state forward.
+
+        ``keep_at_least`` mirrors the paper's "+2" retention margin: the
+        newest checkpoints are never recycled even if old.
+        """
+        while (len(self._checkpoints) > keep_at_least
+               and self._checkpoints[0].cycles < cycles):
+            self._drop_oldest()
+
+    def _drop_oldest(self):
+        if len(self._checkpoints) < 2:
+            raise CheckpointError("cannot recycle the only checkpoint")
+        oldest = self._checkpoints.pop(0)
+        successor = self._checkpoints[0]
+        # Pages/blocks unchanged between the two still describe the
+        # successor's state: move them forward instead of freeing them.
+        for index, words in oldest.pages.items():
+            successor.pages.setdefault(index, words)
+        for block, words in oldest.disk_blocks.items():
+            successor.disk_blocks.setdefault(block, words)
+        successor.parent_id = None
+        del self._by_id[oldest.checkpoint_id]
+        self.recycled += 1
+
+    @property
+    def storage_words(self) -> int:
+        """Total words of checkpoint state retained (§8.4 statistics)."""
+        return sum(cp.storage_words for cp in self._checkpoints)

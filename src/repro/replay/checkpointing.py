@@ -1,0 +1,184 @@
+"""The Checkpointing Replayer (CR, §4.6.1).
+
+Always-on deterministic replay at roughly recording speed.  At VM-exit
+boundaries past the checkpoint period it snapshots dirty pages, dirty disk
+blocks, the processor state and the BackRAS, plus the current log cursor.
+
+The CR also performs the paper's underflow special-casing (§4.6.2): Evict
+records are stacked per thread; an underflow alarm whose missing return
+address equals the thread's most recent evicted entry is dismissed as a
+false positive without ever launching an alarm replayer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.exits import VmExit
+from repro.cpu.exits import RopAlarmKind
+from repro.hypervisor.machine import MachineSpec
+from repro.perf.account import Category
+from repro.replay.base import DeterministicReplayer, ReplayResult
+from repro.replay.checkpoint import Checkpoint, CheckpointStore
+from repro.rnr.log import InputLog, LogCursor
+from repro.rnr.records import AlarmRecord, EvictRecord
+
+
+@dataclass(frozen=True)
+class CheckpointingOptions:
+    """CR configuration."""
+
+    #: Checkpoint period in guest seconds; ``None`` replays without
+    #: checkpointing (the RepNoChk setup).
+    period_s: float | None = 1.0
+    #: Retention window in guest seconds.  ``None`` keeps everything
+    #: ("checkpoints can be stored indefinitely ... for forensics").
+    retention_s: float | None = None
+    #: Checkpoints never recycled regardless of age (the paper's "+2").
+    keep_at_least: int = 2
+    #: Verify the end-of-log state digest.
+    verify_digest: bool = True
+
+
+@dataclass
+class CheckpointingResult:
+    """Everything the CR produced."""
+
+    replay: ReplayResult
+    store: CheckpointStore
+    #: Alarms the CR could not dismiss; the framework hands these to ARs.
+    pending_alarms: list[AlarmRecord]
+    #: Underflow alarms dismissed by evict matching (§4.6.2).
+    dismissed_underflows: int
+    #: All alarms seen in the log.
+    alarms_seen: int
+    #: CR cycle and log position at each alarm (by alarm icount).
+    alarm_cycles: dict[int, int] = field(default_factory=dict)
+    alarm_positions: dict[int, int] = field(default_factory=dict)
+
+
+class CheckpointingReplayer(DeterministicReplayer):
+    """Deterministic replay with periodic incremental checkpoints."""
+
+    def __init__(self, spec: MachineSpec, log: InputLog,
+                 options: CheckpointingOptions | None = None,
+                 cursor: LogCursor | None = None):
+        self.options = options if options is not None else CheckpointingOptions()
+        super().__init__(
+            spec,
+            cursor if cursor is not None else log.cursor(),
+            manage_backras=True,
+            verify_digest=self.options.verify_digest,
+        )
+        self.log = log
+        self.store = CheckpointStore()
+        self.pending_alarms: list[AlarmRecord] = []
+        self.dismissed_underflows = 0
+        self.alarms_seen = 0
+        #: CR-side consumption timestamps and log positions per alarm
+        #: (keyed by alarm icount) — §8.4's response-window inputs.
+        self.alarm_cycles: dict[int, int] = {}
+        self.alarm_positions: dict[int, int] = {}
+        self._evict_stacks: dict[int, list[EvictRecord]] = {}
+        self._period_cycles = (
+            spec.config.cycles(self.options.period_s)
+            if self.options.period_s is not None else None
+        )
+        self._retention_cycles = (
+            spec.config.cycles(self.options.retention_s)
+            if self.options.retention_s is not None else None
+        )
+        self._last_checkpoint_cycles = 0
+
+    # ------------------------------------------------------------------
+    # replay hooks
+    # ------------------------------------------------------------------
+
+    def on_exit_boundary(self, exit_event: VmExit):
+        """Checkpoint when the period has elapsed and we are at an exit.
+
+        The paper takes checkpoints at VM-exit boundaries: the guest is
+        quiescent and the hardware has well-defined state to dump.
+        """
+        if self._period_cycles is None:
+            return
+        now = self.machine.now
+        if now - self._last_checkpoint_cycles >= self._period_cycles:
+            self.take_checkpoint()
+
+    def on_evict(self, record: EvictRecord):
+        self._evict_stacks.setdefault(record.tid, []).append(record)
+
+    def on_alarm(self, record: AlarmRecord):
+        self.alarms_seen += 1
+        self.alarm_cycles[record.icount] = self.machine.now
+        self.alarm_positions[record.icount] = self.cursor.position
+        if record.kind is RopAlarmKind.UNDERFLOW:
+            stack = self._evict_stacks.get(record.tid, [])
+            if stack and stack[-1].value == record.actual:
+                # The "missing" prediction is exactly the entry the RAS
+                # evicted earlier in this thread: benign deep nesting.
+                stack.pop()
+                self.dismissed_underflows += 1
+                return
+        self.pending_alarms.append(record)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def take_checkpoint(self) -> Checkpoint:
+        """Snapshot the VM now (§4.6.1's three components)."""
+        machine = self.machine
+        costs = self._costs
+        # Hardware dumps the RAS into the current thread's BackRAS entry so
+        # the checkpointed BackRAS is complete.
+        tid = self.interposer.current_tid
+        if tid >= 0:
+            self.interposer.backras.save(tid, machine.vmcs.dump_ras())
+        dirty_pages = machine.memory.dirty_pages()
+        dirty_blocks = machine.disk.dirty_blocks()
+        checkpoint = self.store.add(
+            icount=machine.cpu.icount,
+            cycles=machine.now,
+            cpu_state=machine.cpu.capture_state(),
+            pages=machine.memory.snapshot_pages(dirty_pages),
+            disk_blocks=machine.disk.snapshot_blocks(dirty_blocks),
+            backras=self.interposer.backras.snapshot(),
+            current_tid=tid,
+            log_position=self.cursor.position,
+            disk_regs=machine.disk_dev.capture_regs(),
+        )
+        machine.memory.clear_dirty()
+        machine.disk.clear_dirty()
+        machine.charge(
+            Category.CHECKPOINT,
+            costs.checkpoint_base_cycles
+            + len(dirty_pages)
+            * (costs.checkpoint_page_cycles + costs.page_copy_cycles),
+        )
+        self._last_checkpoint_cycles = machine.now
+        if self._retention_cycles is not None:
+            self.store.recycle_older_than(
+                machine.now - self._retention_cycles,
+                keep_at_least=self.options.keep_at_least,
+            )
+        return checkpoint
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def run_to_end(self, max_instructions: int | None = None
+                   ) -> CheckpointingResult:
+        """Replay the whole log, returning the CR-specific result."""
+        replay = self.run(max_instructions=max_instructions)
+        return CheckpointingResult(
+            replay=replay,
+            store=self.store,
+            pending_alarms=list(self.pending_alarms),
+            dismissed_underflows=self.dismissed_underflows,
+            alarms_seen=self.alarms_seen,
+            alarm_cycles=dict(self.alarm_cycles),
+            alarm_positions=dict(self.alarm_positions),
+        )

@@ -1,0 +1,65 @@
+"""Alarm-replay verdicts.
+
+The AR resolves each alarm "either to show that it is a false positive or
+to characterize the attack" (§3.1).  A third outcome, INCONCLUSIVE, arises
+when the AR started from a checkpoint whose BackRAS had already lost the
+relevant history (bounded hardware RAS); the framework then re-runs the AR
+from an earlier checkpoint — the paper's "re-run multiple times ... or
+starting at different checkpoints".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.rnr.records import AlarmRecord
+
+
+class VerdictKind(enum.Enum):
+    """What the alarm replayer concluded."""
+
+    ROP_CONFIRMED = "rop_confirmed"
+    FALSE_POSITIVE = "false_positive"
+    INCONCLUSIVE = "inconclusive"
+
+
+class BenignCause(enum.Enum):
+    """Why a false positive happened (the §4.1 taxonomy, as diagnosed)."""
+
+    #: The software RAS agreed with the actual target: a plain hardware
+    #: underflow (deep nesting).
+    DEEP_NESTING = "deep_nesting"
+    #: The target was found deeper in the software stack: setjmp/longjmp
+    #: or another imperfect nesting.
+    IMPERFECT_NESTING = "imperfect_nesting"
+    #: A whitelisted non-procedural return with a legal target.
+    NON_PROCEDURAL = "non_procedural"
+    #: A stray-looking indirect branch that actually targets a legitimate
+    #: (merely less common) function (JOP analyzer).
+    UNCOMMON_FUNCTION = "uncommon_function"
+
+
+@dataclass(frozen=True)
+class AlarmVerdict:
+    """The AR's resolution of one alarm."""
+
+    kind: VerdictKind
+    alarm: AlarmRecord
+    explanation: str
+    #: Benign cause when kind is FALSE_POSITIVE.
+    benign_cause: BenignCause | None = None
+    #: Expected return target according to the software RAS (forensics).
+    expected_target: int | None = None
+    #: Observed (hijacked) target.
+    observed_target: int | None = None
+    #: Thread the alarm fired in.
+    tid: int = -1
+    #: Checkpoint the AR started from (None = start of log).
+    from_checkpoint: int | None = None
+    #: AR replay cost in cycles (for the §8.4 response window).
+    analysis_cycles: int = 0
+
+    @property
+    def is_attack(self) -> bool:
+        return self.kind is VerdictKind.ROP_CONFIRMED

@@ -1,0 +1,49 @@
+"""Record-and-replay logging: typed records, binary serialization, the log.
+
+The input log is the only channel between the recorded VM and the
+replayers (Figure 1): synchronous nondeterministic results (rdtsc, rdrand,
+PIO/MMIO reads), asynchronous events pinned to instruction counts
+(interrupts, DMA landings, network payloads), and RnR-Safe's additions —
+alarm markers and RAS evict records.
+"""
+
+from repro.rnr.records import (
+    AlarmRecord,
+    DiskDmaRecord,
+    EndRecord,
+    EvictRecord,
+    InterruptRecord,
+    MmioReadRecord,
+    NetworkDmaRecord,
+    PioInRecord,
+    RdrandRecord,
+    RdtscRecord,
+    Record,
+    is_async_record,
+)
+from repro.rnr.log import InputLog, LogCursor
+from repro.rnr.serialize import record_size_bytes, serialize_record, parse_record
+from repro.rnr.session import SessionManifest, load_session, save_session
+
+__all__ = [
+    "Record",
+    "RdtscRecord",
+    "RdrandRecord",
+    "PioInRecord",
+    "MmioReadRecord",
+    "InterruptRecord",
+    "DiskDmaRecord",
+    "NetworkDmaRecord",
+    "AlarmRecord",
+    "EvictRecord",
+    "EndRecord",
+    "is_async_record",
+    "InputLog",
+    "LogCursor",
+    "serialize_record",
+    "parse_record",
+    "record_size_bytes",
+    "SessionManifest",
+    "save_session",
+    "load_session",
+]

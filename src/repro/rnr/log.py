@@ -1,0 +1,105 @@
+"""The input log: an ordered sequence of records plus consumption cursors.
+
+The recorder appends; replayers consume through :class:`LogCursor`, which is
+the in-memory analogue of the paper's ``InputLogPtr`` — a checkpoint stores
+a cursor position so an alarm replayer can resume consumption mid-log.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LogError
+from repro.rnr.records import Record
+from repro.rnr.serialize import record_size_bytes, serialize_record, parse_record
+
+
+class InputLog:
+    """Append-only record log with byte-accurate size accounting."""
+
+    def __init__(self):
+        self._records: list[Record] = []
+        self._sizes: list[int] = []
+        self.total_bytes = 0
+
+    def append(self, record: Record) -> int:
+        """Append one record; returns its serialized size in bytes."""
+        size = record_size_bytes(record)
+        self._records.append(record)
+        self._sizes.append(size)
+        self.total_bytes += size
+        return size
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, index: int) -> Record:
+        return self._records[index]
+
+    def records(self) -> tuple[Record, ...]:
+        """All records (for analysis and tests)."""
+        return tuple(self._records)
+
+    def cursor(self, position: int = 0) -> "LogCursor":
+        """A consumption cursor starting at ``position``."""
+        return LogCursor(self, position)
+
+    def bytes_between(self, start: int, end: int) -> int:
+        """Serialized size of records in ``[start, end)`` (§8.4 metrics)."""
+        return sum(self._sizes[start:end])
+
+    def to_bytes(self) -> bytes:
+        """Serialize the whole log (round-trip tested)."""
+        out = bytearray()
+        for record in self._records:
+            out.extend(serialize_record(record))
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "InputLog":
+        """Parse a serialized log."""
+        log = cls()
+        offset = 0
+        while offset < len(data):
+            record, offset = parse_record(data, offset)
+            log.append(record)
+        return log
+
+
+class LogCursor:
+    """A replayer's position in the log (the ``InputLogPtr``)."""
+
+    def __init__(self, log: InputLog, position: int = 0):
+        self._log = log
+        self.position = position
+
+    @property
+    def log(self) -> InputLog:
+        """The log this cursor walks (read-only use)."""
+        return self._log
+
+    def peek(self) -> Record | None:
+        """The next unconsumed record, or ``None`` at end of log."""
+        if self.position >= len(self._log):
+            return None
+        return self._log[self.position]
+
+    def pop(self) -> Record:
+        """Consume and return the next record."""
+        record = self.peek()
+        if record is None:
+            raise LogError("log cursor ran past the end of the log")
+        self.position += 1
+        return record
+
+    def expect(self, record_type: type) -> Record:
+        """Consume the next record, asserting its type (divergence check)."""
+        record = self.pop()
+        if not isinstance(record, record_type):
+            raise LogError(
+                f"log divergence: expected {record_type.__name__}, found "
+                f"{type(record).__name__} at position {self.position - 1}"
+            )
+        return record
+
+    def clone(self) -> "LogCursor":
+        """An independent cursor at the same position."""
+        return LogCursor(self._log, self.position)

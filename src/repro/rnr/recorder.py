@@ -1,0 +1,405 @@
+"""The recording hypervisor: runs the guest, logs nondeterminism, detects.
+
+One class covers the paper's four recording-side setups (§8.1) through its
+options:
+
+* ``NoRecPV``  — no logging, paravirtual I/O cost model;
+* ``NoRec``    — no logging, emulated (hypervisor-mediated) I/O;
+* ``RecNoRAS`` — full input logging, RAS machinery off;
+* ``Rec``      — full RnR-Safe recording: logging + BackRAS + whitelists +
+  alarm/evict exits.
+
+The RAS-filter switches (``backras``, ``whitelist``, ``evict_records``) are
+independently toggleable for the Figure 8 ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.exits import ExitControls, VmExit, VmExitReason
+from repro.errors import HypervisorError
+from repro.hypervisor.emulation import emulate_pio_in, emulate_pio_out
+from repro.hypervisor.interpose import ContextSwitchInterposer
+from repro.hypervisor.machine import GuestMachine, MachineSpec
+from repro.kernel.tasks import current_task
+from repro.perf.account import Category
+from repro.perf.report import RunMetrics
+from repro.rnr.log import InputLog
+from repro.rnr.records import (
+    AlarmRecord,
+    DiskDmaRecord,
+    EndRecord,
+    EvictRecord,
+    InterruptRecord,
+    MmioReadRecord,
+    NetworkDmaRecord,
+    PioInRecord,
+    RdrandRecord,
+    RdtscRecord,
+)
+
+
+@dataclass(frozen=True)
+class RecorderOptions:
+    """Recording-side configuration."""
+
+    #: Log nondeterministic inputs (off for the NoRec baselines).
+    log_enabled: bool = True
+    #: RAS alarm exits armed (the ROP detector's trigger).
+    alarms: bool = True
+    #: BackRAS save/restore at context switches (multithreading filter).
+    backras: bool = True
+    #: Ret/Tar whitelists programmed (non-procedural-return filter).
+    whitelist: bool = True
+    #: Evict-record exits armed (underflow filter support).
+    evict_records: bool = True
+    #: Hardware JOP check armed (Table 1, JOP row).
+    jop_check: bool = False
+    #: Paravirtual-driver cost model (NoRecPV).
+    paravirtual: bool = False
+    #: Stop the recorded VM at the first alarm ("depending on the risk
+    #: tolerance of the workload", §3).
+    stall_on_alarm: bool = False
+    #: Instruction budget.
+    max_instructions: int = 1_000_000
+    #: Compute and store a final state digest in the End record.
+    digest: bool = True
+
+
+@dataclass
+class RecordingRun:
+    """Everything a recording produces."""
+
+    metrics: RunMetrics
+    log: InputLog
+    machine: GuestMachine
+    alarms: list[AlarmRecord] = field(default_factory=list)
+    evicts: list[EvictRecord] = field(default_factory=list)
+    jop_alarms: list[AlarmRecord] = field(default_factory=list)
+    #: Simulated cycle at which each alarm was logged (by alarm icount).
+    alarm_cycles: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def stop_reason(self) -> str:
+        return self.machine.stop_reason
+
+
+class Recorder:
+    """Runs one recording (or baseline) session over a machine spec."""
+
+    def __init__(self, spec: MachineSpec,
+                 options: RecorderOptions | None = None):
+        self.spec = spec
+        self.options = options if options is not None else RecorderOptions()
+        self.machine = GuestMachine(spec, self._build_controls(),
+                                    with_world=True)
+        self.log = InputLog()
+        self.interposer = ContextSwitchInterposer(
+            kernel=spec.kernel,
+            vmcs=self.machine.vmcs,
+            memory=self.machine.memory,
+            manage_backras=self.options.backras,
+        )
+        self._program_vmcs()
+        self.alarms: list[AlarmRecord] = []
+        self.evicts: list[EvictRecord] = []
+        self.jop_alarms: list[AlarmRecord] = []
+        #: Simulated cycle at which each alarm was logged (keyed by the
+        #: alarm's instruction count) — used for §8.4's response window.
+        self.alarm_cycles: dict[int, int] = {}
+        #: Optional recording-side watchdogs (e.g. the DOS detector);
+        #: polled at every VM exit with the machine as argument.
+        self.watchdogs: list = []
+        self._costs = spec.config.costs
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+
+    def _build_controls(self) -> ExitControls:
+        options = self.options
+        return ExitControls(
+            trap_rdtsc=options.log_enabled,
+            trap_rdrand=options.log_enabled,
+            ras_alarm_exits=options.alarms,
+            ras_evict_exits=options.alarms and options.evict_records,
+            jop_check=options.jop_check,
+        )
+
+    def _program_vmcs(self):
+        kernel = self.spec.kernel
+        vmcs = self.machine.vmcs
+        if self.options.backras:
+            vmcs.controls.breakpoints |= self.interposer.breakpoints()
+        if self.options.whitelist:
+            vmcs.set_ret_whitelist(kernel.ctxsw_ret_pc)
+            vmcs.set_tar_whitelist(kernel.whitelist_targets)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> RecordingRun:
+        machine = self.machine
+        cpu = machine.cpu
+        world = machine.world
+        intc = machine.intc
+        options = self.options
+        max_instructions = options.max_instructions
+        machine.timer.start(0)
+        while not machine.stopped:
+            if cpu.icount >= max_instructions:
+                machine.stop("budget")
+                break
+            if world.next_due is not None and machine.now >= world.next_due:
+                world.run_due(machine.now)
+            if intc.has_pending and cpu.int_enabled and not cpu.halted:
+                self._inject_interrupt(intc.take())
+            exit_event = cpu.step()
+            if exit_event is not None:
+                self._handle_exit(exit_event)
+                for watchdog in self.watchdogs:
+                    alarm = watchdog.check(machine)
+                    if alarm is not None:
+                        self._log_watchdog_alarm(alarm)
+        machine.timer.stop()
+        if options.log_enabled:
+            digest = machine.state_digest() if options.digest else 0
+            self.log.append(EndRecord(icount=cpu.icount, digest=digest))
+        return self._build_result()
+
+    # ------------------------------------------------------------------
+    # interrupt injection (asynchronous events, §7.3)
+    # ------------------------------------------------------------------
+
+    def _inject_interrupt(self, vector: int):
+        machine = self.machine
+        cpu = machine.cpu
+        costs = self._costs
+        log_enabled = self.options.log_enabled
+        # Land any DMA pinned to this delivery point first, so replay can
+        # reproduce the memory change at the same instruction count.
+        for block, addr in machine.disk_dev.flush_dma():
+            if log_enabled:
+                size = self.log.append(
+                    DiskDmaRecord(icount=cpu.icount, block=block, addr=addr)
+                )
+                machine.charge(
+                    Category.INTERRUPT,
+                    int(size * costs.log_write_cycles_per_byte),
+                )
+        for addr, words in machine.nic.flush_dma():
+            if log_enabled:
+                size = self.log.append(
+                    NetworkDmaRecord(icount=cpu.icount, addr=addr,
+                                     words=tuple(words))
+                )
+                machine.charge(
+                    Category.NETWORK,
+                    int(size * costs.log_write_cycles_per_byte),
+                )
+        # Delivery itself is baseline hypervisor work (NoRec pays it too).
+        machine.charge(Category.DEVICE, self._device_exit_cost())
+        if log_enabled:
+            size = self.log.append(
+                InterruptRecord(icount=cpu.icount, vector=vector)
+            )
+            machine.charge(
+                Category.INTERRUPT,
+                int(size * costs.log_write_cycles_per_byte) + 400,
+            )
+        fatal = cpu.raise_interrupt(vector)
+        if fatal is not None:
+            machine.stop(f"triple_fault: {fatal.detail}")
+
+    def _device_exit_cost(self) -> int:
+        costs = self._costs
+        base = costs.vmexit_cycles + costs.device_emulation_cycles
+        if self.options.paravirtual:
+            return int(base * (1.0 - costs.pv_exit_discount))
+        return base
+
+    # ------------------------------------------------------------------
+    # VM exit dispatch
+    # ------------------------------------------------------------------
+
+    def _handle_exit(self, exit_event: VmExit):
+        machine = self.machine
+        cpu = machine.cpu
+        costs = self._costs
+        reason = exit_event.reason
+        log_enabled = self.options.log_enabled
+
+        if reason is VmExitReason.RDTSC:
+            value = machine.world.tsc(machine.now)
+            cpu.regs[exit_event.rd] = value
+            size = self.log.append(RdtscRecord(value=value))
+            machine.charge(
+                Category.RDTSC,
+                costs.vmexit_cycles
+                + int(size * costs.log_write_cycles_per_byte),
+            )
+        elif reason is VmExitReason.RDRAND:
+            value = machine.world.random_word()
+            cpu.regs[exit_event.rd] = value
+            size = self.log.append(RdrandRecord(value=value))
+            machine.charge(
+                Category.RDTSC,
+                costs.vmexit_cycles
+                + int(size * costs.log_write_cycles_per_byte),
+            )
+        elif reason is VmExitReason.PIO_IN:
+            value = emulate_pio_in(machine, exit_event)
+            cpu.regs[exit_event.rd] = value
+            machine.charge(Category.DEVICE, self._device_exit_cost())
+            if log_enabled:
+                size = self.log.append(
+                    PioInRecord(port=exit_event.port, value=value)
+                )
+                machine.charge(
+                    Category.PIO_MMIO,
+                    int(size * costs.log_write_cycles_per_byte) + 50,
+                )
+        elif reason is VmExitReason.PIO_OUT:
+            shutdown = emulate_pio_out(machine, exit_event)
+            machine.charge(Category.DEVICE, self._device_exit_cost())
+            if shutdown:
+                machine.stop("shutdown")
+        elif reason is VmExitReason.MMIO_READ:
+            value = machine.mmio.read(exit_event.addr)
+            cpu.regs[exit_event.rd] = value
+            machine.charge(Category.DEVICE, self._device_exit_cost())
+            if log_enabled:
+                size = self.log.append(
+                    MmioReadRecord(addr=exit_event.addr, value=value)
+                )
+                machine.charge(
+                    Category.PIO_MMIO,
+                    int(size * costs.log_write_cycles_per_byte) + 50,
+                )
+        elif reason is VmExitReason.MMIO_WRITE:
+            machine.mmio.write(exit_event.addr, exit_event.value)
+            machine.charge(Category.DEVICE, self._device_exit_cost())
+        elif reason is VmExitReason.BREAKPOINT:
+            self.interposer.on_breakpoint(exit_event.pc)
+            machine.charge(
+                Category.RAS,
+                costs.vmexit_cycles + costs.ras_save_cycles
+                + costs.ras_restore_cycles,
+            )
+        elif reason is VmExitReason.ROP_ALARM:
+            self._on_rop_alarm(exit_event)
+        elif reason is VmExitReason.RAS_EVICT:
+            self._on_evict(exit_event)
+        elif reason is VmExitReason.JOP_ALARM:
+            self._on_jop_alarm(exit_event)
+        elif reason is VmExitReason.HLT:
+            machine.stop("halt")
+        elif reason is VmExitReason.TRIPLE_FAULT:
+            machine.stop(f"triple_fault: {exit_event.detail}")
+        elif reason is VmExitReason.DEBUG:
+            machine.charge(Category.DEVICE, costs.vmexit_cycles)
+        else:
+            raise HypervisorError(
+                f"recorder cannot handle VM exit {reason.value}"
+            )
+
+    def _current_tid(self) -> int:
+        task = current_task(self.machine.memory, self.machine.layout)
+        return task.tid if task is not None else -1
+
+    def _on_rop_alarm(self, exit_event: VmExit):
+        machine = self.machine
+        record = AlarmRecord(
+            icount=machine.cpu.icount,
+            kind=exit_event.alarm_kind,
+            pc=exit_event.pc,
+            predicted=exit_event.predicted,
+            actual=exit_event.actual,
+            tid=self._current_tid(),
+        )
+        self.alarms.append(record)
+        self.alarm_cycles[record.icount] = machine.now
+        charge = self._costs.vmexit_cycles
+        if self.options.log_enabled:
+            size = self.log.append(record)
+            charge += int(size * self._costs.log_write_cycles_per_byte)
+        machine.charge(Category.ALARM, charge)
+        if self.options.stall_on_alarm:
+            machine.stop("alarm_stall")
+
+    def _on_evict(self, exit_event: VmExit):
+        machine = self.machine
+        record = EvictRecord(
+            icount=machine.cpu.icount,
+            tid=self._current_tid(),
+            value=exit_event.evicted,
+        )
+        self.evicts.append(record)
+        charge = self._costs.vmexit_cycles
+        if self.options.log_enabled:
+            size = self.log.append(record)
+            charge += int(size * self._costs.log_write_cycles_per_byte)
+        machine.charge(Category.ALARM, charge)
+
+    def _on_jop_alarm(self, exit_event: VmExit):
+        from repro.cpu.exits import RopAlarmKind
+
+        machine = self.machine
+        record = AlarmRecord(
+            icount=machine.cpu.icount,
+            kind=RopAlarmKind.JOP,
+            pc=exit_event.pc,
+            predicted=None,
+            actual=exit_event.target,
+            tid=self._current_tid(),
+        )
+        self.jop_alarms.append(record)
+        self.alarm_cycles[record.icount] = machine.now
+        charge = self._costs.vmexit_cycles
+        if self.options.log_enabled:
+            size = self.log.append(record)
+            charge += int(size * self._costs.log_write_cycles_per_byte)
+        machine.charge(Category.ALARM, charge)
+        if self.options.stall_on_alarm:
+            machine.stop("alarm_stall")
+
+    def _log_watchdog_alarm(self, record: AlarmRecord):
+        machine = self.machine
+        self.alarms.append(record)
+        self.alarm_cycles[record.icount] = machine.now
+        charge = self._costs.vmexit_cycles
+        if self.options.log_enabled:
+            size = self.log.append(record)
+            charge += int(size * self._costs.log_write_cycles_per_byte)
+        machine.charge(Category.ALARM, charge)
+        if self.options.stall_on_alarm:
+            machine.stop("alarm_stall")
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def _build_result(self) -> RecordingRun:
+        machine = self.machine
+        metrics = RunMetrics(
+            label=self.spec.label,
+            instructions=machine.cpu.icount,
+            guest_cycles=machine.cpu.icount,
+            account=machine.account,
+            log_bytes=self.log.total_bytes,
+            backras_bytes=self.interposer.backras.bytes_moved,
+            alarms=len(self.alarms),
+            evicts=len(self.evicts),
+            context_switches=self.interposer.context_switches,
+        )
+        return RecordingRun(
+            metrics=metrics,
+            log=self.log,
+            machine=machine,
+            alarms=self.alarms,
+            evicts=self.evicts,
+            jop_alarms=self.jop_alarms,
+            alarm_cycles=dict(self.alarm_cycles),
+        )

@@ -1,0 +1,146 @@
+"""Input-log record types.
+
+Two families (§7.3):
+
+* **Synchronous** records carry the result of a nondeterministic instruction
+  (rdtsc, rdrand, IN, MMIO read).  Replay consumes one at the matching VM
+  exit — no instruction count needed, order is enough.
+* **Asynchronous** records are pinned to an exact instruction count:
+  interrupt injections and the DMA landings that precede them.  Replay must
+  steer execution to that count before applying them.
+
+RnR-Safe adds :class:`AlarmRecord` (the alarm marker of Figure 1) and
+:class:`EvictRecord` (§4.5, for dismissing RAS-underflow false positives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.exits import RopAlarmKind
+
+
+@dataclass(frozen=True, slots=True)
+class RdtscRecord:
+    """Result of one rdtsc."""
+
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class RdrandRecord:
+    """Result of one rdrand."""
+
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class PioInRecord:
+    """Result of one IN instruction."""
+
+    port: int
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class MmioReadRecord:
+    """Result of one MMIO load."""
+
+    addr: int
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class InterruptRecord:
+    """An external interrupt delivered at instruction ``icount``."""
+
+    icount: int
+    vector: int
+
+
+@dataclass(frozen=True, slots=True)
+class DiskDmaRecord:
+    """A disk read landed in guest memory at ``icount``.
+
+    Content is *not* logged: the replayer regenerates it from its replica
+    virtual disk (which is why checkpoints include modified disk blocks).
+    """
+
+    icount: int
+    block: int
+    addr: int
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkDmaRecord:
+    """A network packet landed in the RX ring at ``icount``.
+
+    Unlike disk data, packet payloads are external input and must be logged
+    verbatim — the dominant contributor to apache's log rate (Figure 6a).
+    """
+
+    icount: int
+    addr: int
+    words: tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class EvictRecord:
+    """A RAS entry was evicted (deep nesting) in thread ``tid`` (§4.5)."""
+
+    icount: int
+    tid: int
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class AlarmRecord:
+    """The alarm marker: the detector suspected an attack at ``icount``."""
+
+    icount: int
+    kind: RopAlarmKind
+    pc: int
+    predicted: int | None
+    actual: int
+    tid: int
+
+
+@dataclass(frozen=True, slots=True)
+class EndRecord:
+    """End of the recorded execution, with an optional state digest."""
+
+    icount: int
+    digest: int = 0
+
+
+Record = (
+    RdtscRecord
+    | RdrandRecord
+    | PioInRecord
+    | MmioReadRecord
+    | InterruptRecord
+    | DiskDmaRecord
+    | NetworkDmaRecord
+    | EvictRecord
+    | AlarmRecord
+    | EndRecord
+)
+
+_ASYNC_TYPES = (
+    InterruptRecord,
+    DiskDmaRecord,
+    NetworkDmaRecord,
+    EvictRecord,
+    AlarmRecord,
+    EndRecord,
+)
+
+
+def is_async_record(record: Record) -> bool:
+    """Whether replay applies this record at a pinned instruction count.
+
+    Evict and alarm records are not *injected* (they are markers the
+    checkpointing replayer interprets), but they are ordered by instruction
+    count like the true asynchronous events.
+    """
+    return isinstance(record, _ASYNC_TYPES)

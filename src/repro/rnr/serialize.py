@@ -1,0 +1,171 @@
+"""Binary serialization of log records.
+
+The log-rate results (Figure 6a) depend on honest byte counts, so records
+are actually serialized — varint-packed, uncompressed ("We do not compress
+the data", §8.1) — and the parser round-trips them exactly.
+"""
+
+from __future__ import annotations
+
+
+from repro.cpu.exits import RopAlarmKind
+from repro.errors import LogError
+from repro.rnr.records import (
+    AlarmRecord,
+    DiskDmaRecord,
+    EndRecord,
+    EvictRecord,
+    InterruptRecord,
+    MmioReadRecord,
+    NetworkDmaRecord,
+    PioInRecord,
+    RdrandRecord,
+    RdtscRecord,
+    Record,
+)
+
+_TAGS: dict[type, int] = {
+    RdtscRecord: 1,
+    RdrandRecord: 2,
+    PioInRecord: 3,
+    MmioReadRecord: 4,
+    InterruptRecord: 5,
+    DiskDmaRecord: 6,
+    NetworkDmaRecord: 7,
+    EvictRecord: 8,
+    AlarmRecord: 9,
+    EndRecord: 10,
+}
+_TYPES = {tag: cls for cls, tag in _TAGS.items()}
+
+_ALARM_KINDS = {kind: index for index, kind in enumerate(RopAlarmKind)}
+_ALARM_KINDS_REV = {index: kind for kind, index in _ALARM_KINDS.items()}
+
+
+def _pack_varint(value: int, out: bytearray):
+    """LEB128-style unsigned varint."""
+    if value < 0:
+        raise LogError(f"cannot varint-encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _unpack_varint(data: bytes, offset: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise LogError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def _fields_of(record: Record) -> list[int]:
+    """Flatten a record into unsigned integers for varint packing."""
+    if isinstance(record, RdtscRecord):
+        return [record.value]
+    if isinstance(record, RdrandRecord):
+        return [record.value]
+    if isinstance(record, PioInRecord):
+        return [record.port, record.value]
+    if isinstance(record, MmioReadRecord):
+        return [record.addr, record.value]
+    if isinstance(record, InterruptRecord):
+        return [record.icount, record.vector]
+    if isinstance(record, DiskDmaRecord):
+        return [record.icount, record.block, record.addr]
+    if isinstance(record, NetworkDmaRecord):
+        return [record.icount, record.addr, len(record.words), *record.words]
+    if isinstance(record, EvictRecord):
+        return [record.icount, record.tid + 1, record.value]
+    if isinstance(record, AlarmRecord):
+        predicted = 0 if record.predicted is None else record.predicted + 1
+        return [
+            record.icount,
+            _ALARM_KINDS[record.kind],
+            record.pc,
+            predicted,
+            record.actual,
+            record.tid + 1,
+        ]
+    if isinstance(record, EndRecord):
+        return [record.icount, record.digest]
+    raise LogError(f"unknown record type {type(record).__name__}")
+
+
+def serialize_record(record: Record) -> bytes:
+    """Encode one record as tag byte + varint fields."""
+    out = bytearray([_TAGS[type(record)]])
+    for value in _fields_of(record):
+        _pack_varint(value, out)
+    return bytes(out)
+
+
+def record_size_bytes(record: Record) -> int:
+    """Serialized size of one record (log-rate accounting)."""
+    return len(serialize_record(record))
+
+
+def parse_record(data: bytes, offset: int = 0) -> tuple[Record, int]:
+    """Decode one record from ``data`` at ``offset``.
+
+    Returns the record and the offset just past it.
+    """
+    if offset >= len(data):
+        raise LogError("parse past end of log")
+    tag = data[offset]
+    offset += 1
+    cls = _TYPES.get(tag)
+    if cls is None:
+        raise LogError(f"unknown record tag {tag}")
+
+    def read() -> int:
+        nonlocal offset
+        value, offset = _unpack_varint(data, offset)
+        return value
+
+    if cls is RdtscRecord:
+        return RdtscRecord(value=read()), offset
+    if cls is RdrandRecord:
+        return RdrandRecord(value=read()), offset
+    if cls is PioInRecord:
+        return PioInRecord(port=read(), value=read()), offset
+    if cls is MmioReadRecord:
+        return MmioReadRecord(addr=read(), value=read()), offset
+    if cls is InterruptRecord:
+        return InterruptRecord(icount=read(), vector=read()), offset
+    if cls is DiskDmaRecord:
+        return DiskDmaRecord(icount=read(), block=read(), addr=read()), offset
+    if cls is NetworkDmaRecord:
+        icount = read()
+        addr = read()
+        count = read()
+        words = tuple(read() for _ in range(count))
+        return NetworkDmaRecord(icount=icount, addr=addr, words=words), offset
+    if cls is EvictRecord:
+        return EvictRecord(icount=read(), tid=read() - 1, value=read()), offset
+    if cls is AlarmRecord:
+        icount = read()
+        kind = _ALARM_KINDS_REV[read()]
+        pc = read()
+        predicted_raw = read()
+        predicted = None if predicted_raw == 0 else predicted_raw - 1
+        return AlarmRecord(
+            icount=icount,
+            kind=kind,
+            pc=pc,
+            predicted=predicted,
+            actual=read(),
+            tid=read() - 1,
+        ), offset
+    return EndRecord(icount=read(), digest=read()), offset

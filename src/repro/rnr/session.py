@@ -1,0 +1,103 @@
+"""Session persistence: ship a recording to a replay machine.
+
+In the paper's deployment, the input log streams from the recording
+hypervisor to the replaying VMs (Figure 1).  This module is the offline
+equivalent: a recorded session saves as a small JSON manifest (everything
+needed to rebuild the identical initial machine from the workload name,
+seed, and attack parameters) plus the serialized binary log.  A replayer
+on any machine can then reconstruct the spec and consume the log.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+
+from repro.errors import LogError
+from repro.hypervisor.machine import MachineSpec
+from repro.rnr.log import InputLog
+
+_MAGIC = "rnr-safe-session"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SessionManifest:
+    """Everything needed to rebuild the recorded machine."""
+
+    benchmark: str
+    seed: int
+    attack: str | None = None
+    max_instructions: int = 3_000_000
+
+    def to_json(self) -> dict:
+        return {
+            "magic": _MAGIC,
+            "version": _VERSION,
+            "benchmark": self.benchmark,
+            "seed": self.seed,
+            "attack": self.attack,
+            "max_instructions": self.max_instructions,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SessionManifest":
+        if data.get("magic") != _MAGIC:
+            raise LogError("not an RnR-Safe session file")
+        if data.get("version") != _VERSION:
+            raise LogError(f"unsupported session version {data.get('version')}")
+        return cls(
+            benchmark=data["benchmark"],
+            seed=data["seed"],
+            attack=data.get("attack"),
+            max_instructions=data.get("max_instructions", 3_000_000),
+        )
+
+    def build_spec(self) -> MachineSpec:
+        """Rebuild the exact machine spec this session recorded."""
+        from repro.attacks import (
+            build_dos_attack_program,
+            build_jop_attack_program,
+            deliver_rop_attack,
+        )
+        from repro.workloads import build_workload, profile_by_name
+
+        spec = build_workload(profile_by_name(self.benchmark),
+                              seed=self.seed)
+        if self.attack == "rop":
+            spec, _ = deliver_rop_attack(spec)
+        elif self.attack == "jop":
+            spec = build_jop_attack_program(spec)
+        elif self.attack == "dos":
+            spec = build_dos_attack_program(spec)
+        elif self.attack is not None:
+            raise LogError(f"unknown attack kind {self.attack!r}")
+        return spec
+
+
+def save_session(path: str | pathlib.Path, manifest: SessionManifest,
+                 log: InputLog):
+    """Write manifest + serialized log to one file."""
+    path = pathlib.Path(path)
+    header = json.dumps(manifest.to_json()).encode()
+    with path.open("wb") as handle:
+        handle.write(len(header).to_bytes(4, "big"))
+        handle.write(header)
+        handle.write(log.to_bytes())
+
+
+def load_session(path: str | pathlib.Path) -> tuple[SessionManifest, InputLog]:
+    """Read a session file back into a manifest and a parsed log."""
+    path = pathlib.Path(path)
+    data = path.read_bytes()
+    if len(data) < 4:
+        raise LogError(f"{path} is not a session file")
+    header_length = int.from_bytes(data[:4], "big")
+    if len(data) < 4 + header_length:
+        raise LogError(f"{path} is truncated")
+    manifest = SessionManifest.from_json(
+        json.loads(data[4:4 + header_length].decode())
+    )
+    log = InputLog.from_bytes(data[4 + header_length:])
+    return manifest, log

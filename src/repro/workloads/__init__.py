@@ -1,0 +1,37 @@
+"""Synthetic workloads calibrated to the paper's benchmark mix (Table 3).
+
+Each profile reproduces the event *mix* that drives the paper's figures:
+apache is network-dominated (highest log rate, driver-recursion underflows),
+fileio and mysql are rdtsc-heavy with disk traffic, make is compute plus
+compilation-style task spawning, and radiosity is almost pure user-mode
+compute.  Programs are generated as real guest ISA code, so every recorded
+event comes from executed instructions.
+"""
+
+from repro.workloads.profiles import (
+    APACHE,
+    FILEIO,
+    MAKE,
+    MYSQL,
+    RADIOSITY,
+    ALL_PROFILES,
+    BenchmarkProfile,
+    profile_by_name,
+)
+from repro.workloads.suite import build_workload, kernel_for_layout
+from repro.workloads.userprog import UserProgram, build_user_program
+
+__all__ = [
+    "BenchmarkProfile",
+    "APACHE",
+    "FILEIO",
+    "MAKE",
+    "MYSQL",
+    "RADIOSITY",
+    "ALL_PROFILES",
+    "profile_by_name",
+    "build_workload",
+    "kernel_for_layout",
+    "UserProgram",
+    "build_user_program",
+]

@@ -1,0 +1,150 @@
+"""Benchmark profiles: the event-mix knobs behind Table 3's workloads.
+
+Values are calibrated so the *shapes* of the paper's results emerge from
+simulation: apache has the highest input-log rate (network payload logging)
+and the only residual underflow false alarms (deep driver recursion);
+fileio and mysql are dominated by rdtsc recording; make and radiosity are
+computation-heavy with little recording overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Per-benchmark workload parameters."""
+
+    name: str
+    #: Worker tasks started at boot.
+    tasks: int
+    #: Main-loop iterations per worker.
+    iterations: int
+    #: User-mode rdtsc reads per iteration (application timing calls).
+    rdtsc_per_iter: int
+    #: ALU-loop length per iteration (pure compute).
+    compute_per_iter: int
+    #: User call-tree depth exercised per iteration.
+    call_depth: int
+    #: Issue a disk read every N iterations (0 = never).
+    disk_read_every: int = 0
+    #: Issue a disk write every N iterations (0 = never).
+    disk_write_every: int = 0
+    #: Network receives per iteration (blocks until a packet arrives).
+    recv_per_iter: int = 0
+    #: Feed received messages to the (vulnerable) kernel message parser.
+    process_msg: bool = False
+    #: Parse received messages in *user* code with an unchecked stack-buffer
+    #: copy — the user-context ROP surface (§1: "RnR-Safe can secure both").
+    user_parser: bool = False
+    #: Spawn a short-lived child task every N iterations (0 = never).
+    spawn_every: int = 0
+    #: Perform a setjmp/longjmp unwinding every N iterations (0 = never).
+    setjmp_every: int = 0
+    #: Voluntary yield every N iterations (0 = never).
+    yield_every: int = 4
+    #: Mean packets per guest second arriving from the outside world.
+    packet_rate_per_s: float = 0.0
+    #: Packet length range in words (terminator included).
+    packet_len_low: int = 16
+    packet_len_high: int = 64
+    #: How many packets to schedule in total (bounds the world schedule).
+    packet_budget: int = 0
+
+    def __post_init__(self):
+        if self.tasks < 1:
+            raise WorkloadError(f"{self.name}: needs at least one task")
+        if self.recv_per_iter and self.packet_budget <= 0:
+            raise WorkloadError(
+                f"{self.name}: receivers need a packet budget"
+            )
+        if self.packet_len_low < 4 or self.packet_len_high < self.packet_len_low:
+            raise WorkloadError(f"{self.name}: bad packet length range")
+
+
+#: Web server: network-dominated.  Big packets drive the recursive ring
+#: copy past the RAS capacity — the paper's only residual false alarms.
+APACHE = BenchmarkProfile(
+    name="apache",
+    tasks=2,
+    iterations=30,
+    rdtsc_per_iter=2,
+    compute_per_iter=2400,
+    call_depth=6,
+    recv_per_iter=1,
+    process_msg=True,
+    setjmp_every=16,
+    yield_every=0,
+    packet_rate_per_s=55.0,
+    packet_len_low=80,
+    packet_len_high=420,
+    packet_budget=66,
+)
+
+#: SysBench fileio: direct I/O with per-request timing — rdtsc plus disk
+#: command/DMA/interrupt traffic.
+FILEIO = BenchmarkProfile(
+    name="fileio",
+    tasks=2,
+    iterations=16,
+    rdtsc_per_iter=5,
+    compute_per_iter=2600,
+    call_depth=4,
+    disk_read_every=3,
+    disk_write_every=5,
+    yield_every=0,
+)
+
+#: Kernel compile: compute-heavy, moderate disk reads, compiler child
+#: processes spawned and reaped (exercises BackRAS recycling).
+MAKE = BenchmarkProfile(
+    name="make",
+    tasks=2,
+    iterations=20,
+    rdtsc_per_iter=2,
+    compute_per_iter=3000,
+    call_depth=10,
+    disk_read_every=4,
+    spawn_every=5,
+    yield_every=0,
+)
+
+#: SysBench OLTP: transaction timing (rdtsc-heavy), tables cached in
+#: memory so little disk traffic.
+MYSQL = BenchmarkProfile(
+    name="mysql",
+    tasks=3,
+    iterations=12,
+    rdtsc_per_iter=4,
+    compute_per_iter=2300,
+    call_depth=8,
+    setjmp_every=6,
+    yield_every=0,
+)
+
+#: SPLASH-2 radiosity: almost pure user-mode compute with deep call trees.
+RADIOSITY = BenchmarkProfile(
+    name="radiosity",
+    tasks=1,
+    iterations=25,
+    rdtsc_per_iter=0,
+    compute_per_iter=2200,
+    call_depth=16,
+    yield_every=0,
+)
+
+ALL_PROFILES = (APACHE, FILEIO, MAKE, MYSQL, RADIOSITY)
+
+_BY_NAME = {profile.name: profile for profile in ALL_PROFILES}
+
+
+def profile_by_name(name: str) -> BenchmarkProfile:
+    """Look up a paper benchmark by name."""
+    if name not in _BY_NAME:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; choose from {sorted(_BY_NAME)}"
+        )
+    return _BY_NAME[name]

@@ -1,0 +1,242 @@
+"""User-program generation: guest ISA code for one workload task.
+
+Each task's program is a main loop mixing compute, timing reads, call
+trees, file and network I/O, task spawning, and occasional setjmp/longjmp
+unwinding, as dictated by its :class:`~repro.workloads.profiles.
+BenchmarkProfile`.  Programs are real code: every rdtsc, PIO access, and
+packet consumed during recording comes from executing these instructions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.isa.assembler import Asm, AssembledImage
+from repro.isa.opcodes import SP
+from repro.kernel.layout import KernelLayout, Syscall
+from repro.workloads.profiles import BenchmarkProfile
+
+#: Data-region offsets within a task's private user-data area.
+JMPBUF_OFF = 0
+#: An application-level flag cell ("admin mode"): the user-mode ROP
+#: attack's escalation target.
+FLAG_OFF = 8
+IOBUF_OFF = 16
+MSGBUF_OFF = 300
+
+#: Stack-buffer size of the vulnerable user parser (matches the kernel
+#: parser so benign messages, whose terminator sits within the first ~100
+#: words, never overflow it).
+USER_PARSE_BUFFER = 128
+
+#: The value the user-mode payload writes into the flag cell.
+ADMIN_MAGIC = 0xAD317
+
+
+@dataclass(frozen=True)
+class UserProgram:
+    """One task's assembled program."""
+
+    image: AssembledImage
+    entry: int
+    child_entry: int | None
+
+
+def build_user_program(profile: BenchmarkProfile, layout: KernelLayout,
+                       tid: int, base: int, seed: int) -> UserProgram:
+    """Generate the program for worker ``tid`` at code address ``base``.
+
+    ``tid`` indexes the task's private data region and varies the generated
+    code slightly (as different processes would), seeded deterministically.
+    """
+    rng = random.Random((seed << 16) ^ tid)
+    data_base, _ = layout.user_data_region(tid)
+    prefix = f"t{tid}"
+    asm = Asm(base=base)
+
+    asm.begin_function(f"{prefix}_main")
+    asm.li(12, profile.iterations)
+    asm.label(f"{prefix}_loop")
+    asm.cmpi(12, 0)
+    asm.jz(f"{prefix}_exit")
+    _emit_compute(asm, rng, profile.compute_per_iter)
+    for _ in range(profile.rdtsc_per_iter):
+        asm.syscall(int(Syscall.GETTIME))
+    if profile.call_depth:
+        asm.call(f"{prefix}_f0")
+    if profile.disk_read_every:
+        _emit_every(asm, prefix, "dread", profile.disk_read_every, 12)
+        _emit_disk_op(asm, Syscall.READ_BLOCK, tid, 0, data_base + IOBUF_OFF)
+        asm.label(f"{prefix}_dread_skip")
+    if profile.disk_write_every:
+        _emit_every(asm, prefix, "dwrite", profile.disk_write_every, 12)
+        _emit_disk_op(asm, Syscall.WRITE_BLOCK, tid, 17,
+                      data_base + IOBUF_OFF)
+        asm.label(f"{prefix}_dwrite_skip")
+    for _ in range(profile.recv_per_iter):
+        asm.li(1, data_base + MSGBUF_OFF)
+        asm.syscall(int(Syscall.RECV))
+        if profile.process_msg:
+            asm.li(1, data_base + MSGBUF_OFF)
+            asm.syscall(int(Syscall.PROCESS_MSG))
+        if profile.user_parser:
+            asm.li(1, data_base + MSGBUF_OFF)
+            asm.call(f"{prefix}_parse")
+    if profile.spawn_every:
+        _emit_every(asm, prefix, "spawn", profile.spawn_every, 12)
+        asm.li(1, f"{prefix}_child")
+        asm.syscall(int(Syscall.SPAWN))
+        asm.label(f"{prefix}_spawn_skip")
+    if profile.setjmp_every:
+        _emit_every(asm, prefix, "setjmp", profile.setjmp_every, 12)
+        asm.call(f"{prefix}_outer")
+        asm.label(f"{prefix}_setjmp_skip")
+    if profile.yield_every:
+        _emit_every(asm, prefix, "yield", profile.yield_every, 12)
+        asm.syscall(int(Syscall.YIELD))
+        asm.label(f"{prefix}_yield_skip")
+    asm.addi(12, 12, -1)
+    asm.jmp(f"{prefix}_loop")
+    asm.label(f"{prefix}_exit")
+    asm.syscall(int(Syscall.EXIT))
+    asm.label(f"{prefix}_unreachable")
+    asm.jmp(f"{prefix}_unreachable")
+    asm.end_function()
+
+    _emit_call_tree(asm, rng, prefix, profile.call_depth)
+    if profile.user_parser:
+        _emit_user_parser(asm, prefix, data_base + FLAG_OFF)
+    if profile.setjmp_every:
+        _emit_setjmp_family(asm, prefix, data_base + JMPBUF_OFF)
+    child_entry = None
+    if profile.spawn_every:
+        child_entry = _emit_child(asm, rng, prefix)
+
+    image = asm.assemble()
+    return UserProgram(
+        image=image,
+        entry=image.addr_of(f"{prefix}_main"),
+        child_entry=child_entry if child_entry is None
+        else image.addr_of(f"{prefix}_child"),
+    )
+
+
+def _emit_every(asm: Asm, prefix: str, what: str, period: int, counter: int):
+    """Emit 'skip unless counter % period == 0' using div/mul/sub."""
+    asm.li(4, period)
+    asm.div(5, counter, 4)
+    asm.mul(5, 5, 4)
+    asm.sub(5, counter, 5)
+    asm.cmpi(5, 0)
+    asm.jnz(f"{prefix}_{what}_skip")
+
+
+def _emit_compute(asm: Asm, rng: random.Random, units: int):
+    """An ALU loop of roughly ``4 * units`` instructions."""
+    if units <= 0:
+        return
+    jitter = max(1, int(units * (0.9 + 0.2 * rng.random())))
+    loop = f"compute_{asm.here:x}"
+    asm.li(4, jitter)
+    asm.label(loop)
+    asm.add(5, 5, 4)
+    asm.xor(6, 5, 4)
+    asm.addi(4, 4, -1)
+    asm.cmpi(4, 0)
+    asm.jnz(loop)
+
+
+def _emit_disk_op(asm: Asm, call: Syscall, tid: int, salt: int, iobuf: int):
+    """One disk read/write of a block that varies with the loop counter."""
+    asm.li(5, 7 + salt)
+    asm.mul(4, 12, 5)
+    asm.addi(4, 4, tid + salt)
+    asm.li(5, 255)
+    asm.and_(1, 4, 5)
+    asm.li(2, iobuf)
+    asm.syscall(int(call))
+
+
+def _emit_call_tree(asm: Asm, rng: random.Random, prefix: str, depth: int):
+    """A linear chain of small functions, ``f0`` calling into ``f{d-1}``."""
+    for level in range(depth):
+        asm.begin_function(f"{prefix}_f{level}")
+        for _ in range(rng.randint(1, 3)):
+            asm.add(5, 5, 4)
+        if level + 1 < depth:
+            asm.call(f"{prefix}_f{level + 1}")
+        asm.ret()
+        asm.end_function()
+
+
+def _emit_setjmp_family(asm: Asm, prefix: str, jmpbuf: int):
+    """setjmp in ``outer``, longjmp three frames deeper (§4.1, imperfect
+    nesting): the unwound frames orphan RAS entries, so ``outer``'s own
+    return raises a benign mismatch alarm."""
+    asm.begin_function(f"{prefix}_outer")
+    asm.li(4, jmpbuf)
+    asm.st(4, SP, 0)                       # jmpbuf[0] = sp
+    asm.li(5, f"{prefix}_landing")
+    asm.st(4, 5, 1)                        # jmpbuf[1] = landing pc
+    asm.call(f"{prefix}_try1")
+    asm.label(f"{prefix}_landing")
+    asm.ret()                              # RAS top is an orphan: mismatch
+    asm.end_function()
+    for level in (1, 2):
+        asm.begin_function(f"{prefix}_try{level}")
+        asm.add(5, 5, 4)
+        asm.call(f"{prefix}_try{level + 1}")
+        asm.ret()
+        asm.end_function()
+    asm.begin_function(f"{prefix}_try3")
+    asm.li(4, jmpbuf)
+    asm.ld(SP, 4, 0)                       # longjmp: restore sp
+    asm.ld(5, 4, 1)
+    asm.jmpi(5)                            # ... and jump to the landing
+    asm.end_function()
+
+
+def _emit_user_parser(asm: Asm, prefix: str, flag_addr: int):
+    """The user-space twin of the kernel's vulnerable parser.
+
+    ``parse`` copies the message into a fixed stack buffer with no bounds
+    check; ``admin`` is the privileged application routine a hijacked
+    return can reach (it flips the task's admin flag)."""
+    asm.begin_function(f"{prefix}_parse")
+    asm.mov(2, 1)                          # src
+    asm.addi(SP, SP, -USER_PARSE_BUFFER)
+    asm.mov(1, SP)                         # dest = stack buffer
+    asm.call(f"{prefix}_copy")
+    asm.addi(SP, SP, USER_PARSE_BUFFER)
+    asm.ret()                              # the hijackable return
+    asm.end_function()
+    asm.begin_function(f"{prefix}_copy")
+    asm.label(f"{prefix}_copy_loop")
+    asm.ld(4, 2, 0)
+    asm.st(1, 4, 0)
+    asm.cmpi(4, 0)
+    asm.jz(f"{prefix}_copy_done")
+    asm.addi(1, 1, 1)
+    asm.addi(2, 2, 1)
+    asm.jmp(f"{prefix}_copy_loop")
+    asm.label(f"{prefix}_copy_done")
+    asm.ret()
+    asm.end_function()
+    asm.begin_function(f"{prefix}_admin")
+    asm.li(4, ADMIN_MAGIC)
+    asm.li(5, flag_addr)
+    asm.st(5, 4, 0)
+    asm.ret()
+    asm.end_function()
+
+
+def _emit_child(asm: Asm, rng: random.Random, prefix: str) -> str:
+    """A short-lived spawned task (a 'compiler process' under make)."""
+    asm.begin_function(f"{prefix}_child")
+    _emit_compute(asm, rng, 120)
+    asm.syscall(int(Syscall.EXIT))
+    asm.label(f"{prefix}_child_spin")
+    asm.jmp(f"{prefix}_child_spin")
+    asm.end_function()
+    return f"{prefix}_child"

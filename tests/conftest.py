@@ -1,0 +1,122 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, SimulationConfig
+from repro.cpu import Cpu, ExitControls
+from repro.isa import Asm
+from repro.memory import (
+    PERM_EXEC,
+    PERM_READ,
+    PERM_USER,
+    PERM_WRITE,
+    PhysicalMemory,
+)
+
+CODE_BASE = 0x100
+STACK_TOP = 0x2000
+DATA_BASE = 0x3000
+
+
+@pytest.fixture
+def config() -> SimulationConfig:
+    return DEFAULT_CONFIG
+
+
+def build_machine(asm: Asm, config: SimulationConfig = DEFAULT_CONFIG,
+                  controls: ExitControls | None = None,
+                  user: bool = False) -> Cpu:
+    """Assemble ``asm`` into a fresh memory and return a ready CPU.
+
+    Maps a code region at the image base, a stack below ``STACK_TOP`` and a
+    data region at ``DATA_BASE``.  The CPU starts at the image base.
+    """
+    image = asm.assemble()
+    memory = PhysicalMemory(page_size=config.page_size)
+    user_bit = PERM_USER if user else 0
+    code_pages = max(1, (len(image.words) + config.page_size - 1)
+                     // config.page_size + 1)
+    memory.map_range(image.base, code_pages * config.page_size,
+                     PERM_READ | PERM_EXEC | user_bit)
+    memory.map_range(STACK_TOP - 4 * config.page_size, 4 * config.page_size,
+                     PERM_READ | PERM_WRITE | user_bit)
+    memory.map_range(DATA_BASE, 4 * config.page_size,
+                     PERM_READ | PERM_WRITE | user_bit)
+    for addr, word in image.items():
+        memory.write_word(addr, word)
+    cpu = Cpu(memory, config, controls=controls)
+    cpu.pc = image.base
+    cpu.regs[14] = STACK_TOP
+    cpu.user = user
+    return cpu
+
+
+def run_until_exit(cpu: Cpu, limit: int = 100_000):
+    """Step until a VM exit fires; fail the test on runaway execution."""
+    for _ in range(limit):
+        exit_event = cpu.step()
+        if exit_event is not None:
+            return exit_event
+    raise AssertionError(f"no VM exit within {limit} steps (pc={cpu.pc:#x})")
+
+
+def run_collect_exits(cpu: Cpu, limit: int = 100_000, stop_reasons=("hlt",)):
+    """Run collecting every exit until one with a reason in stop_reasons."""
+    exits = []
+    for _ in range(limit):
+        exit_event = cpu.step()
+        if exit_event is None:
+            continue
+        exits.append(exit_event)
+        if exit_event.reason.value in stop_reasons:
+            return exits
+    raise AssertionError(f"did not reach {stop_reasons} within {limit} steps")
+
+
+# ---------------------------------------------------------------------------
+# whole-system fixtures (scaled-down workloads, session-cached recordings)
+# ---------------------------------------------------------------------------
+
+import dataclasses
+import functools
+
+from repro.rnr.recorder import Recorder, RecorderOptions
+from repro.workloads import profile_by_name
+from repro.workloads.suite import build_workload
+
+
+def small_profile(name: str, **overrides):
+    """A scaled-down benchmark profile for fast tests."""
+    profile = profile_by_name(name)
+    defaults = {"iterations": max(4, profile.iterations // 4)}
+    if profile.packet_budget:
+        demand = profile.tasks * defaults["iterations"] * profile.recv_per_iter
+        defaults["packet_budget"] = demand + 4
+    defaults.update(overrides)
+    return dataclasses.replace(profile, **defaults)
+
+
+def small_workload(name: str, seed: int = 2018, **overrides):
+    """A machine spec for a scaled-down benchmark."""
+    return build_workload(small_profile(name, **overrides), seed=seed)
+
+
+@functools.lru_cache(maxsize=16)
+def cached_recording(name: str, seed: int = 2018,
+                     max_instructions: int = 1_200_000):
+    """Record a scaled-down benchmark once per test session."""
+    spec = small_workload(name, seed=seed)
+    options = RecorderOptions(max_instructions=max_instructions)
+    return spec, Recorder(spec, options).run()
+
+
+@functools.lru_cache(maxsize=4)
+def cached_attack_recording(max_instructions: int = 2_500_000):
+    """Record the apache workload carrying the Figure 10 ROP exploit."""
+    from repro.attacks import deliver_rop_attack
+
+    spec, chain = deliver_rop_attack(small_workload("apache"))
+    options = RecorderOptions(max_instructions=max_instructions)
+    return spec, chain, Recorder(spec, options).run()

@@ -1,0 +1,177 @@
+"""Tests for the alarm replayer: one verdict per false-positive class."""
+
+import pytest
+
+from repro.cpu.exits import RopAlarmKind
+from repro.replay import (
+    AlarmReplayer,
+    AlarmReplayOptions,
+    CheckpointingOptions,
+    CheckpointingReplayer,
+    TrapScope,
+    VerdictKind,
+)
+from repro.replay.verdict import BenignCause
+from repro.rnr.recorder import Recorder, RecorderOptions
+
+from tests.conftest import (
+    cached_attack_recording,
+    cached_recording,
+    small_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def attack_pipeline():
+    """Attack recording plus its CR output, shared by this module."""
+    spec, chain, run = cached_attack_recording()
+    cr = CheckpointingReplayer(spec, run.log, CheckpointingOptions())
+    return spec, chain, run, cr.run_to_end()
+
+
+class TestRopConfirmation:
+    def test_hijacked_return_confirmed(self, attack_pipeline):
+        spec, chain, run, cr = attack_pipeline
+        hijack = next(a for a in cr.pending_alarms
+                      if a.actual == chain.stack_words[0])
+        checkpoint = cr.store.latest_before(hijack.icount)
+        replayer = AlarmReplayer(spec, run.log, hijack,
+                                 checkpoint=checkpoint, store=cr.store)
+        verdict = replayer.analyze()
+        assert verdict.kind is VerdictKind.ROP_CONFIRMED
+        assert verdict.observed_target == chain.stack_words[0]
+
+    def test_verdict_carries_expected_target(self, attack_pipeline):
+        spec, chain, run, cr = attack_pipeline
+        hijack = next(a for a in cr.pending_alarms
+                      if a.actual == chain.stack_words[0])
+        replayer = AlarmReplayer(spec, run.log, hijack)  # from the start
+        verdict = replayer.analyze()
+        assert verdict.kind is VerdictKind.ROP_CONFIRMED
+        assert verdict.expected_target is not None
+        assert verdict.expected_target != verdict.observed_target
+
+    def test_scope_auto_selects_kernel_for_kernel_alarm(self, attack_pipeline):
+        spec, chain, run, cr = attack_pipeline
+        hijack = next(a for a in cr.pending_alarms
+                      if a.actual == chain.stack_words[0])
+        replayer = AlarmReplayer(spec, run.log, hijack)
+        assert replayer.scope is TrapScope.KERNEL
+
+    def test_analysis_cycles_accounted(self, attack_pipeline):
+        spec, chain, run, cr = attack_pipeline
+        alarm = cr.pending_alarms[0]
+        checkpoint = cr.store.latest_before(alarm.icount)
+        replayer = AlarmReplayer(spec, run.log, alarm,
+                                 checkpoint=checkpoint, store=cr.store)
+        verdict = replayer.analyze()
+        assert verdict.analysis_cycles > 0
+
+
+class TestFalsePositives:
+    def test_setjmp_longjmp_classified_imperfect_nesting(self):
+        spec = small_workload("mysql", setjmp_every=2)
+        run = Recorder(spec, RecorderOptions(max_instructions=2_500_000)).run()
+        user_base = spec.kernel.layout.user_code_base
+        setjmp_alarms = [a for a in run.alarms if a.pc >= user_base]
+        assert setjmp_alarms
+        alarm = setjmp_alarms[0]
+        replayer = AlarmReplayer(spec, run.log, alarm)
+        assert replayer.scope is TrapScope.ALL
+        verdict = replayer.analyze()
+        assert verdict.kind is VerdictKind.FALSE_POSITIVE
+        assert verdict.benign_cause is BenignCause.IMPERFECT_NESTING
+
+    def test_benign_underflow_classified_deep_nesting(self):
+        """Run apache *without* the evict-record filter so a benign
+        underflow reaches the AR; the AR's unbounded software RAS agrees
+        with the target and clears it."""
+        spec, _ = cached_recording("apache")
+        options = RecorderOptions(evict_records=False,
+                                  max_instructions=2_500_000)
+        run = Recorder(spec, options).run()
+        underflows = [a for a in run.alarms
+                      if a.kind is RopAlarmKind.UNDERFLOW]
+        assert underflows
+        verdict = AlarmReplayer(spec, run.log, underflows[0]).analyze()
+        assert verdict.kind is VerdictKind.FALSE_POSITIVE
+        assert verdict.benign_cause is BenignCause.DEEP_NESTING
+
+
+class TestEscalation:
+    def test_truncated_checkpoint_yields_inconclusive(self, attack_pipeline):
+        spec, chain, run, cr = attack_pipeline
+        underflow_like = [a for a in cr.pending_alarms
+                          if a.kind is RopAlarmKind.UNDERFLOW]
+        if not underflow_like:
+            pytest.skip("no attack-induced underflow in this recording")
+        alarm = underflow_like[0]
+        checkpoint = cr.store.latest_before(alarm.icount)
+        replayer = AlarmReplayer(spec, run.log, alarm,
+                                 checkpoint=checkpoint, store=cr.store)
+        verdict = replayer.analyze()
+        from_start = AlarmReplayer(spec, run.log, alarm).analyze()
+        # The from-start AR is authoritative; the checkpoint AR may be
+        # inconclusive (truncated BackRAS) but must never contradict it
+        # with a *false positive* for a real attack.
+        assert from_start.kind is VerdictKind.ROP_CONFIRMED
+        assert verdict.kind in (VerdictKind.ROP_CONFIRMED,
+                                VerdictKind.INCONCLUSIVE)
+
+    def test_from_start_replay_has_full_history(self, attack_pipeline):
+        spec, chain, run, cr = attack_pipeline
+        for alarm in cr.pending_alarms:
+            verdict = AlarmReplayer(spec, run.log, alarm).analyze()
+            assert verdict.kind is not VerdictKind.INCONCLUSIVE
+
+
+class TestJopVerdicts:
+    @pytest.fixture(scope="class")
+    def jop_pipeline(self):
+        from repro.attacks import build_jop_attack_program
+        from repro.detectors import JopDetector
+
+        spec = build_jop_attack_program(small_workload("make"))
+        recorder = Recorder(
+            spec, RecorderOptions(max_instructions=3_000_000),
+        )
+        JopDetector().configure(recorder)
+        run = recorder.run()
+        return spec, run
+
+    def test_attack_target_confirmed(self, jop_pipeline):
+        spec, run = jop_pipeline
+        assert run.jop_alarms, "the planted mid-function target must alarm"
+        verdict = AlarmReplayer(spec, run.log, run.jop_alarms[0]).analyze()
+        assert verdict.kind is VerdictKind.ROP_CONFIRMED
+
+    def test_uncommon_function_cleared(self, jop_pipeline):
+        spec, run = jop_pipeline
+        from repro.cpu.exits import RopAlarmKind
+        from repro.detectors import verify_jop_target
+        from repro.rnr.records import AlarmRecord
+
+        # The benign case: an alarm whose target is a real (merely
+        # uncommon) function entry passes the full-map verification.
+        target = spec.kernel.functions["op_stat"][0]
+        alarm = AlarmRecord(
+            icount=run.jop_alarms[0].icount, kind=RopAlarmKind.JOP,
+            pc=run.jop_alarms[0].pc, predicted=None, actual=target, tid=1,
+        )
+        verdict = verify_jop_target(spec.kernel, alarm)
+        assert verdict.kind is VerdictKind.FALSE_POSITIVE
+        assert verdict.benign_cause is BenignCause.UNCOMMON_FUNCTION
+
+    def test_intra_function_target_cleared(self, jop_pipeline):
+        spec, run = jop_pipeline
+        from repro.cpu.exits import RopAlarmKind
+        from repro.detectors import verify_jop_target
+        from repro.rnr.records import AlarmRecord
+
+        start, end = spec.kernel.functions["msg_checksum"]
+        alarm = AlarmRecord(
+            icount=1, kind=RopAlarmKind.JOP,
+            pc=start, predicted=None, actual=start + 2, tid=1,
+        )
+        verdict = verify_jop_target(spec.kernel, alarm)
+        assert verdict.kind is VerdictKind.FALSE_POSITIVE

@@ -1,0 +1,198 @@
+"""Tests for forensics, auditing, and the comparison baselines."""
+
+import pytest
+
+from repro.analysis import audit_window, build_attack_report
+from repro.baselines import (
+    CoarseCfiPolicy,
+    HardwareShadowStackModel,
+    build_slid_workload,
+    chain_survives_slide,
+    classify_chain_against_cfi,
+    disclose_kernel_slide,
+    run_instrumented_shadow_stack,
+)
+from repro.attacks import build_set_root_chain
+from repro.replay import (
+    AlarmReplayer,
+    CheckpointingOptions,
+    CheckpointingReplayer,
+    VerdictKind,
+)
+from repro.workloads import RADIOSITY
+
+from tests.conftest import cached_attack_recording, cached_recording, small_workload
+
+
+@pytest.fixture(scope="module")
+def confirmed_attack():
+    spec, chain, run = cached_attack_recording()
+    cr = CheckpointingReplayer(spec, run.log,
+                               CheckpointingOptions()).run_to_end()
+    hijack = next(a for a in cr.pending_alarms
+                  if a.actual == chain.stack_words[0])
+    replayer = AlarmReplayer(spec, run.log, hijack)
+    verdict = replayer.analyze()
+    assert verdict.kind is VerdictKind.ROP_CONFIRMED
+    return spec, chain, run, replayer, verdict
+
+
+class TestForensics:
+    def test_how_names_the_vulnerable_function(self, confirmed_attack):
+        spec, chain, run, replayer, verdict = confirmed_attack
+        report = build_attack_report(replayer, verdict)
+        assert report.vulnerable_function == "msg_handle"
+
+    def test_what_recovers_the_staged_chain(self, confirmed_attack):
+        spec, chain, run, replayer, verdict = confirmed_attack
+        report = build_attack_report(replayer, verdict)
+        joined = "\n".join(report.staged_chain)
+        # The not-yet-consumed chain elements are visible above SP.
+        assert "ops_table" in joined
+        assert "kload2" in joined or "kdispatch2" in joined
+
+    def test_who_identifies_the_thread(self, confirmed_attack):
+        spec, chain, run, replayer, verdict = confirmed_attack
+        report = build_attack_report(replayer, verdict)
+        assert report.task is not None
+        assert report.packets_received > 0
+
+    def test_report_renders_all_sections(self, confirmed_attack):
+        spec, chain, run, replayer, verdict = confirmed_attack
+        text = build_attack_report(replayer, verdict).render()
+        for section in ("[how]", "[who]", "[what]"):
+            assert section in text
+
+    def test_payload_execution_detected(self, confirmed_attack):
+        spec, chain, run, replayer, verdict = confirmed_attack
+        report = build_attack_report(replayer, verdict, recording=run)
+        # This recording ran without stalling, so the payload fired.
+        assert report.payload_executed
+        assert report.uid_after == 0
+
+    def test_alarm_point_state_is_unpolluted(self, confirmed_attack):
+        """Without the final-state vantage the report shows the moment of
+        hijack: the payload has not yet run (§6: "they did not execute")."""
+        spec, chain, run, replayer, verdict = confirmed_attack
+        report = build_attack_report(replayer, verdict)
+        assert not report.payload_executed
+        assert report.uid_after == 1000
+
+
+class TestAuditing:
+    def test_timeline_captures_scheduler_activity(self):
+        spec, run = cached_recording("mysql")
+        timeline = audit_window(spec, run.log)
+        assert timeline.context_switches > 0
+        assert timeline.threads_created >= 3
+        assert timeline.filtered("context_switch")
+
+    def test_timeline_is_ordered(self):
+        spec, run = cached_recording("mysql")
+        timeline = audit_window(spec, run.log)
+        icounts = [event.icount for event in timeline.events]
+        assert icounts == sorted(icounts)
+
+    def test_bounded_window(self):
+        spec, run = cached_recording("mysql")
+        full = audit_window(spec, run.log)
+        target = full.events[len(full.events) // 2].icount
+        partial = audit_window(spec, run.log, until_icount=target)
+        assert all(event.icount <= target for event in partial.events)
+
+    def test_render(self):
+        spec, run = cached_recording("mysql")
+        text = audit_window(spec, run.log).render(limit=5)
+        assert "switches" in text
+
+    def test_audit_from_checkpoint(self):
+        spec, run = cached_recording("mysql")
+        cr = CheckpointingReplayer(spec, run.log,
+                                   CheckpointingOptions(period_s=0.5))
+        result = cr.run_to_end()
+        checkpoint = result.store.all()[0]
+        timeline = audit_window(spec, run.log, checkpoint=checkpoint,
+                                store=result.store)
+        assert all(event.icount >= checkpoint.icount
+                   for event in timeline.events)
+
+
+class TestShadowStackBaseline:
+    def test_inline_shadow_stack_detects_the_attack(self):
+        spec, chain, run = cached_attack_recording()
+        stats = run_instrumented_shadow_stack(spec,
+                                              max_instructions=2_500_000)
+        assert stats.detected_attack
+        hijacked = [actual for _, _, actual in stats.violations]
+        assert chain.stack_words[0] in hijacked
+
+    def test_inline_shadow_stack_costs_far_more_than_native(self):
+        """§2.3's point: instrumenting every call/ret adds >100% overhead,
+        which is why RnR-Safe moves the precise check to the alarm
+        replayer."""
+        from repro.core.modes import NO_REC, record_benchmark
+
+        spec, run = cached_recording("make")
+        stats = run_instrumented_shadow_stack(
+            spec, max_instructions=2_500_000, kernel_only=False,
+        )
+        native = record_benchmark(spec, NO_REC, max_instructions=2_500_000)
+        assert (stats.metrics.total_cycles
+                > 2 * native.metrics.total_cycles)
+        assert stats.calls > 100
+
+    def test_hardware_model_charges_spills(self):
+        model = HardwareShadowStackModel(on_chip_entries=32)
+        shallow = model.estimate_overhead_cycles(
+            calls=1000, rets=1000, max_depth=20, switches=10,
+        )
+        deep = model.estimate_overhead_cycles(
+            calls=1000, rets=1000, max_depth=80, switches=10,
+        )
+        assert deep > shallow
+
+
+class TestCoarseCfiBaseline:
+    def test_figure_10_chain_is_flagged(self):
+        spec, chain, run = cached_attack_recording()
+        verdict = classify_chain_against_cfi(spec.kernel, chain)
+        assert verdict.detected
+        assert chain.stack_words[0] in verdict.rejected_targets
+
+    def test_call_preceded_returns_allowed(self):
+        spec, run = cached_recording("make")
+        policy = CoarseCfiPolicy(spec.kernel)
+        # A legitimate return target: the instruction after `call kstrcpy`
+        # inside msg_handle.
+        start, end = spec.kernel.functions["msg_handle"]
+        legitimate = [addr for addr in range(start + 1, end)
+                      if policy.is_call_preceded(addr)]
+        assert legitimate, "real return sites must satisfy the policy"
+
+
+class TestAslrBaseline:
+    def test_slides_are_seed_dependent(self):
+        from repro.baselines.aslr import slide_for_seed
+
+        slides = {slide_for_seed(seed) for seed in range(40)}
+        assert len(slides) > 1
+
+    def test_blind_chain_dies_under_nonzero_slide(self):
+        spec, slide = build_slid_workload(RADIOSITY, seed=3)
+        if slide == 0:
+            pytest.skip("identity slide drawn")
+        chain = build_set_root_chain(
+            __import__("repro.workloads.suite", fromlist=["kernel_for_layout"]
+                       ).kernel_for_layout()
+        )
+        assert not chain_survives_slide(chain.stack_words, slide)
+
+    def test_disclosure_defeats_aslr(self):
+        spec, slide = build_slid_workload(RADIOSITY, seed=3)
+        disclosed = disclose_kernel_slide(spec)
+        assert disclosed == slide
+        # With the slide known, a chain built against the *slid* kernel
+        # has correct addresses again.
+        chain = build_set_root_chain(spec.kernel)
+        g1 = chain.stack_words[0]
+        assert spec.kernel.function_at(g1) is not None

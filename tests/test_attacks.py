@@ -1,0 +1,177 @@
+"""Tests for gadget scanning, chain building, and exploit delivery."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.attacks import (
+    GadgetKind,
+    GadgetScanner,
+    attack_payload_words,
+    build_dos_attack_program,
+    build_jop_attack_program,
+    build_set_root_chain,
+    deliver_rop_attack,
+)
+from repro.errors import AttackBuildError
+from repro.isa import Asm, Instruction, Opcode, encode
+from repro.kernel.layout import DEFAULT_LAYOUT
+from repro.workloads.suite import kernel_for_layout
+
+from tests.conftest import small_workload
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return kernel_for_layout(DEFAULT_LAYOUT)
+
+
+class TestGadgetScanner:
+    def test_finds_rets_in_kernel(self, kernel):
+        scanner = GadgetScanner.over_image(kernel.image)
+        rets = scanner.find_rets()
+        assert len(rets) > 10
+
+    def test_finds_the_three_canonical_gadgets(self, kernel):
+        scanner = GadgetScanner.over_image(kernel.image)
+        assert scanner.find(GadgetKind.POP_REG, reg=1) is not None
+        assert scanner.find(GadgetKind.LOAD_INDIRECT, reg=2,
+                            src_reg=1) is not None
+        assert scanner.find(GadgetKind.CALL_REG, reg=2) is not None
+
+    def test_pop_gadget_is_the_epilogue(self, kernel):
+        scanner = GadgetScanner.over_image(kernel.image)
+        gadget = scanner.find(GadgetKind.POP_REG, reg=1)
+        assert gadget.addr == kernel.addr("__gadget_pop_r1")
+
+    def test_gadgets_decode_as_claimed(self, kernel):
+        scanner = GadgetScanner.over_image(kernel.image)
+        for gadget in scanner.scan():
+            assert gadget.instructions[-1].op is Opcode.RET
+            assert "ret" in gadget.disassemble()
+
+    def test_scan_of_data_finds_nothing(self):
+        asm = Asm(base=0)
+        for value in (0xDEAD_BEEF_DEAD_BEEF, 0, 2**64 - 1):
+            asm.word(value)
+        scanner = GadgetScanner.over_image(asm.assemble())
+        assert scanner.scan() == []
+
+    def test_scan_over_live_memory(self, kernel):
+        from repro.hypervisor.machine import GuestMachine
+        from repro.cpu.exits import ExitControls
+
+        spec = small_workload("radiosity")
+        machine = GuestMachine(spec, ExitControls(), with_world=False)
+        scanner = GadgetScanner.over_memory(
+            machine.memory, kernel.image.base, kernel.image.end,
+        )
+        assert scanner.find(GadgetKind.POP_REG, reg=1) is not None
+
+    @given(regs=st.lists(st.integers(0, 15), min_size=1, max_size=3))
+    def test_synthetic_pop_gadgets_found(self, regs):
+        asm = Asm(base=0x100)
+        for reg in regs:
+            asm.pop(reg)
+            asm.ret()
+        scanner = GadgetScanner.over_image(asm.assemble())
+        for reg in regs:
+            assert scanner.find(GadgetKind.POP_REG, reg=reg) is not None
+
+
+class TestChainBuilder:
+    def test_chain_layout_matches_figure_10(self, kernel):
+        chain = build_set_root_chain(kernel)
+        g1, addr, g2, g3 = chain.stack_words
+        assert g1 == kernel.addr("__gadget_pop_r1")
+        layout = kernel.layout
+        assert addr == layout.ops_table_addr + layout.ops_table_entries - 1
+        assert g2 == kernel.addr("kload2")
+        assert g3 == kernel.addr("kdispatch2")
+
+    def test_chain_disassembles(self, kernel):
+        chain = build_set_root_chain(kernel)
+        listing = chain.disassemble()
+        assert len(listing) == 3
+        assert any("pop" in line for line in listing)
+        assert any("calli" in line for line in listing)
+
+    def test_gadgetless_image_rejected(self):
+        asm = Asm(base=DEFAULT_LAYOUT.kernel_code_base)
+        asm.nop()
+        asm.ret()
+        bare = asm.assemble()
+        scanner = GadgetScanner.over_image(bare)
+        with pytest.raises(AttackBuildError):
+            build_set_root_chain(kernel_for_layout(DEFAULT_LAYOUT),
+                                 scanner=scanner)
+
+
+class TestPayload:
+    def test_payload_shape(self, kernel):
+        payload = attack_payload_words(kernel)
+        buffer_words = kernel.layout.vulnerable_buffer_words
+        chain = build_set_root_chain(kernel)
+        assert len(payload) == buffer_words + 4 + 1
+        assert payload[buffer_words:buffer_words + 4] == chain.stack_words
+        assert payload[-1] == 0
+
+    def test_no_early_terminator(self, kernel):
+        """A zero inside the junk would stop the copy before the return
+        slot and the exploit would fizzle."""
+        payload = attack_payload_words(kernel)
+        assert 0 not in payload[:-1]
+
+    def test_injection_extends_schedule(self):
+        spec = small_workload("apache")
+        attacked, chain = deliver_rop_attack(spec)
+        assert len(attacked.packet_schedule) == len(spec.packet_schedule) + 1
+        assert attacked.label.endswith("+rop")
+        cycles = [cycle for cycle, _ in attacked.packet_schedule]
+        assert cycles == sorted(cycles)
+
+    def test_attack_grants_root_when_not_stalled(self):
+        from tests.conftest import cached_attack_recording
+
+        spec, chain, run = cached_attack_recording()
+        assert run.machine.memory.read_word(spec.kernel.layout.uid_addr) == 0
+
+    def test_attack_always_raises_alarm(self):
+        """DESIGN.md invariant 2: no false negatives, ever."""
+        from tests.conftest import cached_attack_recording
+
+        spec, chain, run = cached_attack_recording()
+        hijack_alarms = [
+            a for a in run.alarms if a.actual == chain.stack_words[0]
+        ]
+        assert hijack_alarms, "the hijacked return must raise an alarm"
+
+
+class TestOtherAttackBuilders:
+    def test_jop_attack_appends_task(self):
+        spec = small_workload("make")
+        attacked = build_jop_attack_program(spec)
+        assert len(attacked.init_entries) == len(spec.init_entries) + 1
+        assert attacked.label.endswith("+jop")
+
+    def test_jop_target_is_mid_function(self):
+        from repro.attacks.jop_attack import mid_function_target
+
+        spec = small_workload("make")
+        target = mid_function_target(spec)
+        starts = {start for start, _ in spec.kernel.functions.values()}
+        assert target not in starts
+        assert spec.kernel.function_at(target) is not None
+
+    def test_dos_attack_appends_task(self):
+        spec = small_workload("mysql")
+        attacked = build_dos_attack_program(spec)
+        assert len(attacked.init_entries) == len(spec.init_entries) + 1
+        assert attacked.label.endswith("+dos")
+
+    def test_attack_programs_fit_code_window(self):
+        spec = build_dos_attack_program(
+            build_jop_attack_program(small_workload("make"))
+        )
+        layout = spec.kernel.layout
+        for image in spec.user_images:
+            assert image.end <= layout.user_data_base

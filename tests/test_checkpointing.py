@@ -1,0 +1,225 @@
+"""Tests for the checkpoint store and the checkpointing replayer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.state import CpuState
+from repro.errors import CheckpointError
+from repro.replay import (
+    CheckpointingOptions,
+    CheckpointingReplayer,
+    CheckpointStore,
+    DeterministicReplayer,
+)
+
+from tests.conftest import cached_attack_recording, cached_recording
+
+
+def dummy_cpu_state(pc=0):
+    return CpuState(regs=tuple(range(16)), pc=pc, zero=False, negative=False,
+                    user=False, int_enabled=True, icount=pc, halted=False)
+
+
+def make_store_with(pages_list):
+    store = CheckpointStore()
+    for index, pages in enumerate(pages_list):
+        store.add(
+            icount=100 * (index + 1),
+            cycles=1000 * (index + 1),
+            cpu_state=dummy_cpu_state(pc=index),
+            pages=pages,
+            disk_blocks={},
+            backras={},
+            current_tid=0,
+            log_position=index,
+        )
+    return store
+
+
+class TestCheckpointStore:
+    def test_chain_reconstruction_overlays_newest_first(self):
+        store = make_store_with([
+            {1: (10,), 2: (20,)},
+            {2: (21,)},
+            {3: (30,)},
+        ])
+        latest = store.latest()
+        overlay = store.reconstruct_pages(latest)
+        assert overlay == {1: (10,), 2: (21,), 3: (30,)}
+
+    def test_reconstruct_intermediate(self):
+        store = make_store_with([{1: (10,)}, {1: (11,)}, {1: (12,)}])
+        middle = store.all()[1]
+        assert store.reconstruct_pages(middle) == {1: (11,)}
+
+    def test_latest_before(self):
+        store = make_store_with([{}, {}, {}])
+        assert store.latest_before(150).icount == 100
+        assert store.latest_before(5000).icount == 300
+        assert store.latest_before(50) is None
+
+    def test_predecessor_chain(self):
+        store = make_store_with([{}, {}])
+        latest = store.latest()
+        previous = store.predecessor(latest)
+        assert previous.icount == 100
+        assert store.predecessor(previous) is None
+
+    def test_recycling_merges_pages_forward(self):
+        store = make_store_with([
+            {1: (10,), 2: (20,)},
+            {2: (21,)},
+            {3: (30,)},
+        ])
+        store.recycle_older_than(cycles=1500, keep_at_least=1)
+        assert len(store) == 2
+        assert store.recycled == 1
+        latest = store.latest()
+        overlay = store.reconstruct_pages(latest)
+        # Page 1 survived the recycling by moving into its successor.
+        assert overlay == {1: (10,), 2: (21,), 3: (30,)}
+
+    def test_keep_at_least_floor(self):
+        store = make_store_with([{}, {}, {}])
+        store.recycle_older_than(cycles=10**9, keep_at_least=2)
+        assert len(store) == 2
+
+    def test_reconstruct_foreign_checkpoint_rejected(self):
+        store_a = make_store_with([{}])
+        store_b = make_store_with([{}])
+        foreign = store_b.latest()
+        with pytest.raises(CheckpointError):
+            store_a.reconstruct_pages(foreign)
+
+    def test_storage_accounting(self):
+        store = make_store_with([{1: (1, 2, 3)}, {2: (4,)}])
+        assert store.storage_words == 4
+
+    @given(
+        page_sets=st.lists(
+            st.dictionaries(st.integers(0, 5),
+                            st.tuples(st.integers(0, 99)), max_size=4),
+            min_size=1, max_size=8,
+        )
+    )
+    def test_reconstruction_equals_sequential_overlay(self, page_sets):
+        """Chain reconstruction must equal replaying the overlay forward."""
+        store = make_store_with(page_sets)
+        expected: dict = {}
+        for pages in page_sets:
+            expected.update(pages)
+        assert store.reconstruct_pages(store.latest()) == expected
+
+    @given(
+        page_sets=st.lists(
+            st.dictionaries(st.integers(0, 5),
+                            st.tuples(st.integers(0, 99)), max_size=4),
+            min_size=3, max_size=8,
+        ),
+        drop=st.integers(1, 3),
+    )
+    def test_recycling_preserves_latest_reconstruction(self, page_sets, drop):
+        store = make_store_with(page_sets)
+        before = store.reconstruct_pages(store.latest())
+        for _ in range(min(drop, len(store) - 1)):
+            store._drop_oldest()
+        after = store.reconstruct_pages(store.latest())
+        assert after == before
+
+
+class TestCheckpointingReplayer:
+    def test_cr_reaches_end_with_digest(self):
+        spec, run = cached_recording("mysql")
+        cr = CheckpointingReplayer(spec, run.log,
+                                   CheckpointingOptions(period_s=1.0))
+        result = cr.run_to_end()
+        assert result.replay.reached_end
+        assert result.replay.digest_checked
+
+    def test_checkpoints_are_periodic(self):
+        spec, run = cached_recording("mysql")
+        cr = CheckpointingReplayer(spec, run.log,
+                                   CheckpointingOptions(period_s=0.5))
+        result = cr.run_to_end()
+        cycles = [cp.cycles for cp in result.store.all()]
+        assert len(cycles) >= 2
+        gaps = [b - a for a, b in zip(cycles, cycles[1:])]
+        period = spec.config.cycles(0.5)
+        assert all(gap >= period for gap in gaps)
+
+    def test_shorter_period_means_more_checkpoints(self):
+        spec, run = cached_recording("mysql")
+        counts = {}
+        for period in (2.0, 0.5):
+            cr = CheckpointingReplayer(spec, run.log,
+                                       CheckpointingOptions(period_s=period))
+            counts[period] = len(cr.run_to_end().store)
+        assert counts[0.5] > counts[2.0]
+
+    def test_no_checkpointing_mode(self):
+        spec, run = cached_recording("mysql")
+        cr = CheckpointingReplayer(spec, run.log,
+                                   CheckpointingOptions(period_s=None))
+        result = cr.run_to_end()
+        assert len(result.store) == 0
+        assert result.replay.reached_end
+
+    def test_underflow_alarms_partitioned_by_evict_matching(self):
+        """Every underflow alarm is either dismissed against its matching
+        evict record (benign deep nesting) or forwarded to an AR — and the
+        filter is sound: attack-induced underflows have no matching evict
+        and are never swallowed."""
+        spec, chain, run = cached_attack_recording()
+        cr = CheckpointingReplayer(spec, run.log)
+        result = cr.run_to_end()
+        underflows_in_log = sum(
+            1 for record in run.log.records()
+            if getattr(record, "kind", None) is not None
+            and getattr(record.kind, "value", "") == "underflow"
+        )
+        pending_underflows = sum(
+            1 for a in result.pending_alarms if a.kind.value == "underflow"
+        )
+        assert (result.dismissed_underflows + pending_underflows
+                == underflows_in_log)
+        # The attack run must leave at least one alarm for the ARs.
+        assert result.pending_alarms
+
+    def test_retention_recycles_old_checkpoints(self):
+        spec, run = cached_recording("mysql")
+        keep_all = CheckpointingReplayer(
+            spec, run.log, CheckpointingOptions(period_s=0.3),
+        ).run_to_end()
+        windowed = CheckpointingReplayer(
+            spec, run.log,
+            CheckpointingOptions(period_s=0.3, retention_s=0.7,
+                                 keep_at_least=2),
+        ).run_to_end()
+        assert len(windowed.store) < len(keep_all.store)
+        assert windowed.store.recycled > 0
+
+    def test_checkpoint_restore_equivalence(self):
+        """DESIGN.md invariant 4: resuming from any checkpoint and replaying
+        the tail reaches the same final state as a straight replay."""
+        spec, run = cached_recording("mysql")
+        cr = CheckpointingReplayer(spec, run.log,
+                                   CheckpointingOptions(period_s=0.8))
+        result = cr.run_to_end()
+        assert len(result.store) >= 1
+        for checkpoint in result.store.all():
+            resumed = DeterministicReplayer(spec, run.log.cursor())
+            resumed.restore_checkpoint(checkpoint, result.store)
+            outcome = resumed.run()
+            assert outcome.reached_end
+            assert outcome.digest_checked
+
+    def test_checkpoint_log_positions_are_monotonic(self):
+        spec, run = cached_recording("apache")
+        result = CheckpointingReplayer(spec, run.log).run_to_end()
+        positions = [cp.log_position for cp in result.store.all()]
+        assert positions == sorted(positions)
+
+    def test_backras_included_in_checkpoints(self):
+        spec, run = cached_recording("mysql")
+        result = CheckpointingReplayer(spec, run.log).run_to_end()
+        assert any(cp.backras for cp in result.store.all())

@@ -1,0 +1,604 @@
+"""Tests for the CPU execution engine."""
+
+import pytest
+
+from repro.cpu import Cpu, ExitControls, RopAlarmKind, VmExitReason
+from repro.cpu.core import FaultKind, IRQ_VECTOR_REG, SYSCALL_NUM_REG
+from repro.isa import Asm
+from repro.isa.opcodes import SP
+
+from tests.conftest import DATA_BASE, STACK_TOP, build_machine, run_until_exit
+
+
+def step_n(cpu, count):
+    exits = []
+    for _ in range(count):
+        exit_event = cpu.step()
+        if exit_event is not None:
+            exits.append(exit_event)
+    return exits
+
+
+class TestAluAndDataMovement:
+    def test_arithmetic(self):
+        asm = Asm(base=0x100)
+        asm.li(1, 6)
+        asm.li(2, 7)
+        asm.mul(3, 1, 2)
+        asm.sub(4, 3, 1)
+        asm.hlt()
+        cpu = build_machine(asm)
+        run_until_exit(cpu)
+        assert cpu.regs[3] == 42
+        assert cpu.regs[4] == 36
+
+    def test_wraparound_masks_to_64_bits(self):
+        asm = Asm(base=0x100)
+        asm.li(1, -1)
+        asm.li(2, 1)
+        asm.add(3, 1, 2)
+        asm.hlt()
+        cpu = build_machine(asm)
+        run_until_exit(cpu)
+        assert cpu.regs[3] == 0
+
+    def test_logic_and_shifts(self):
+        asm = Asm(base=0x100)
+        asm.li(1, 0b1100)
+        asm.li(2, 0b1010)
+        asm.and_(3, 1, 2)
+        asm.or_(4, 1, 2)
+        asm.xor(5, 1, 2)
+        asm.li(6, 2)
+        asm.shl(7, 1, 6)
+        asm.shr(8, 1, 6)
+        asm.hlt()
+        cpu = build_machine(asm)
+        run_until_exit(cpu)
+        assert cpu.regs[3] == 0b1000
+        assert cpu.regs[4] == 0b1110
+        assert cpu.regs[5] == 0b0110
+        assert cpu.regs[7] == 0b110000
+        assert cpu.regs[8] == 0b11
+
+    def test_load_store(self):
+        asm = Asm(base=0x100)
+        asm.li(1, DATA_BASE)
+        asm.li(2, 99)
+        asm.st(1, 2, 5)
+        asm.ld(3, 1, 5)
+        asm.hlt()
+        cpu = build_machine(asm)
+        run_until_exit(cpu)
+        assert cpu.regs[3] == 99
+        assert cpu.memory.read_word(DATA_BASE + 5) == 99
+
+    def test_push_pop(self):
+        asm = Asm(base=0x100)
+        asm.li(1, 11)
+        asm.push(1)
+        asm.li(1, 0)
+        asm.pop(2)
+        asm.hlt()
+        cpu = build_machine(asm)
+        run_until_exit(cpu)
+        assert cpu.regs[2] == 11
+        assert cpu.regs[SP] == STACK_TOP
+
+
+class TestBranches:
+    def test_conditional_branches(self):
+        asm = Asm(base=0x100)
+        asm.li(1, 5)
+        asm.cmpi(1, 5)
+        asm.jz("equal")
+        asm.li(9, 111)
+        asm.hlt()
+        asm.label("equal")
+        asm.li(9, 222)
+        asm.cmpi(1, 10)
+        asm.jlt("less")
+        asm.hlt()
+        asm.label("less")
+        asm.li(8, 333)
+        asm.hlt()
+        cpu = build_machine(asm)
+        run_until_exit(cpu)
+        assert cpu.regs[9] == 222
+        assert cpu.regs[8] == 333
+
+    def test_jge_not_taken_when_less(self):
+        asm = Asm(base=0x100)
+        asm.li(1, 1)
+        asm.cmpi(1, 2)
+        asm.jge("skip")
+        asm.li(9, 1)
+        asm.label("skip")
+        asm.hlt()
+        cpu = build_machine(asm)
+        run_until_exit(cpu)
+        assert cpu.regs[9] == 1
+
+    def test_indirect_jump(self):
+        asm = Asm(base=0x100)
+        asm.li(1, "target")
+        asm.jmpi(1)
+        asm.hlt()
+        asm.label("target")
+        asm.li(9, 7)
+        asm.hlt()
+        cpu = build_machine(asm)
+        run_until_exit(cpu)
+        assert cpu.regs[9] == 7
+
+
+class TestCallRetAndRas:
+    def _nested_calls(self, depth):
+        asm = Asm(base=0x100)
+        asm.call("f0")
+        asm.hlt()
+        for level in range(depth):
+            asm.label(f"f{level}")
+            if level + 1 < depth:
+                asm.call(f"f{level + 1}")
+            asm.ret()
+        return asm
+
+    def test_ras_tracks_nesting(self):
+        cpu = build_machine(self._nested_calls(3))
+        run_until_exit(cpu)
+        assert cpu.ras.empty
+
+    def test_no_alarm_on_clean_execution(self):
+        controls = ExitControls(ras_alarm_exits=True)
+        cpu = build_machine(self._nested_calls(5), controls=controls)
+        exit_event = run_until_exit(cpu)
+        assert exit_event.reason is VmExitReason.HLT
+
+    def test_mismatch_alarm_on_corrupted_return_address(self):
+        asm = Asm(base=0x100)
+        asm.call("victim")
+        asm.hlt()
+        asm.label("victim")
+        # Overwrite the on-stack return address, as a buffer overflow would.
+        asm.li(1, "gadget")
+        asm.st(SP, 1, 0)
+        asm.ret()
+        asm.label("gadget")
+        asm.hlt()
+        controls = ExitControls(ras_alarm_exits=True)
+        cpu = build_machine(asm, controls=controls)
+        exit_event = run_until_exit(cpu)
+        assert exit_event.reason is VmExitReason.ROP_ALARM
+        assert exit_event.alarm_kind is RopAlarmKind.MISMATCH
+        assert exit_event.predicted != exit_event.actual
+
+    def test_underflow_alarm_when_ras_empty(self):
+        asm = Asm(base=0x100)
+        # Manufacture a return with no prior call: push a target, then ret.
+        asm.li(1, "after")
+        asm.push(1)
+        asm.ret()
+        asm.label("after")
+        asm.hlt()
+        controls = ExitControls(ras_alarm_exits=True)
+        cpu = build_machine(asm, controls=controls)
+        exit_event = run_until_exit(cpu)
+        assert exit_event.reason is VmExitReason.ROP_ALARM
+        assert exit_event.alarm_kind is RopAlarmKind.UNDERFLOW
+
+    def test_whitelisted_return_skips_pop_and_alarm(self):
+        asm = Asm(base=0x100)
+        asm.call("helper")          # leaves one RAS entry during the call
+        asm.hlt()
+        asm.label("helper")
+        asm.li(1, "landing")
+        asm.push(1)
+        asm.label("np_ret")
+        asm.ret()                   # non-procedural return
+        asm.label("landing")
+        asm.ret()                   # the real return of helper
+        image_probe = asm.assemble()
+        controls = ExitControls(ras_alarm_exits=True)
+        cpu = build_machine(asm, controls=controls)
+        cpu.ret_whitelist = image_probe.symbols["np_ret"]
+        cpu.tar_whitelist = frozenset({image_probe.symbols["landing"]})
+        exit_event = run_until_exit(cpu)
+        # The whitelisted return must not pop the RAS, so the final real
+        # return still predicts correctly and we reach HLT with no alarm.
+        assert exit_event.reason is VmExitReason.HLT
+
+    def test_whitelisted_return_to_bad_target_alarms(self):
+        asm = Asm(base=0x100)
+        asm.li(1, "elsewhere")
+        asm.push(1)
+        asm.label("np_ret")
+        asm.ret()
+        asm.label("elsewhere")
+        asm.hlt()
+        image_probe = asm.assemble()
+        controls = ExitControls(ras_alarm_exits=True)
+        cpu = build_machine(asm, controls=controls)
+        cpu.ret_whitelist = image_probe.symbols["np_ret"]
+        cpu.tar_whitelist = frozenset({0xDEAD})
+        exit_event = run_until_exit(cpu)
+        assert exit_event.reason is VmExitReason.ROP_ALARM
+        assert exit_event.alarm_kind is RopAlarmKind.WHITELIST_TARGET
+
+    def test_evict_exit_fires_when_armed(self):
+        depth = 50  # deeper than the default 48-entry RAS
+        controls = ExitControls(ras_evict_exits=True)
+        cpu = build_machine(self._nested_calls(depth), controls=controls)
+        exit_event = run_until_exit(cpu)
+        assert exit_event.reason is VmExitReason.RAS_EVICT
+        assert exit_event.evicted != 0
+
+    def test_underflow_after_eviction_without_alarms(self):
+        depth = 50
+        cpu = build_machine(self._nested_calls(depth))
+        exit_event = run_until_exit(cpu)
+        # Alarms disabled: execution completes despite the deep nesting.
+        assert exit_event.reason is VmExitReason.HLT
+
+    def test_alarms_disabled_on_replay_platform(self):
+        asm = Asm(base=0x100)
+        asm.li(1, "after")
+        asm.push(1)
+        asm.ret()
+        asm.label("after")
+        asm.hlt()
+        cpu = build_machine(asm)  # default controls: no alarm exits
+        exit_event = run_until_exit(cpu)
+        assert exit_event.reason is VmExitReason.HLT
+
+    def test_call_ret_trap_mode(self):
+        controls = ExitControls(trap_call_ret=True)
+        cpu = build_machine(self._nested_calls(2), controls=controls)
+        exits = []
+        while True:
+            exit_event = run_until_exit(cpu)
+            exits.append(exit_event.reason)
+            if exit_event.reason is VmExitReason.HLT:
+                break
+        assert exits.count(VmExitReason.CALL_TRAP) == 2
+        assert exits.count(VmExitReason.RET_TRAP) == 2
+
+
+class TestPrivilegeAndTraps:
+    def test_syscall_transfers_to_kernel(self):
+        asm = Asm(base=0x100)
+        asm.label("kernel_entry")
+        asm.jmp("handler")
+        asm.label("user_code")
+        asm.syscall(7)
+        asm.hlt()  # unreachable in user mode (privileged)
+        asm.label("handler")
+        asm.mov(1, SYSCALL_NUM_REG)
+        asm.hlt()
+        image_probe = asm.assemble()
+        cpu = build_machine(asm, user=True)
+        cpu.vec_syscall = image_probe.symbols["kernel_entry"]
+        cpu.pc = image_probe.symbols["user_code"]
+        exit_event = run_until_exit(cpu)
+        assert exit_event.reason is VmExitReason.HLT
+        assert cpu.regs[1] == 7
+        assert not cpu.user
+
+    def test_sysret_returns_to_user(self):
+        asm = Asm(base=0x100)
+        asm.label("kernel_entry")
+        asm.sysret()
+        asm.label("user_code")
+        asm.syscall(1)
+        asm.li(9, 42)
+        asm.label("spin")
+        asm.jmp("spin")
+        image_probe = asm.assemble()
+        cpu = build_machine(asm, user=True)
+        cpu.vec_syscall = image_probe.symbols["kernel_entry"]
+        cpu.pc = image_probe.symbols["user_code"]
+        step_n(cpu, 5)
+        assert cpu.user
+        assert cpu.regs[9] == 42
+
+    def test_privileged_instruction_faults_in_user_mode(self):
+        asm = Asm(base=0x100)
+        asm.label("fault_handler")
+        asm.mov(1, IRQ_VECTOR_REG)
+        asm.hlt()
+        asm.label("user_code")
+        asm.cli()
+        image_probe = asm.assemble()
+        cpu = build_machine(asm, user=True)
+        cpu.vec_fault = image_probe.symbols["fault_handler"]
+        cpu.pc = image_probe.symbols["user_code"]
+        exit_event = run_until_exit(cpu)
+        assert exit_event.reason is VmExitReason.HLT
+        assert cpu.regs[1] == int(FaultKind.PRIVILEGE)
+
+    def test_syscall_in_kernel_mode_faults(self):
+        asm = Asm(base=0x100)
+        asm.label("fault_handler")
+        asm.mov(1, IRQ_VECTOR_REG)
+        asm.hlt()
+        asm.label("entry")
+        asm.syscall(1)
+        image_probe = asm.assemble()
+        cpu = build_machine(asm)
+        cpu.vec_fault = image_probe.symbols["fault_handler"]
+        cpu.pc = image_probe.symbols["entry"]
+        exit_event = run_until_exit(cpu)
+        assert exit_event.reason is VmExitReason.HLT
+        assert cpu.regs[1] == int(FaultKind.PRIVILEGE)
+
+    def test_access_violation_vectors_to_fault_handler(self):
+        asm = Asm(base=0x100)
+        asm.label("fault_handler")
+        asm.mov(1, IRQ_VECTOR_REG)
+        asm.hlt()
+        asm.label("entry")
+        asm.li(2, 0x500000)
+        asm.ld(3, 2, 0)
+        image_probe = asm.assemble()
+        cpu = build_machine(asm)
+        cpu.vec_fault = image_probe.symbols["fault_handler"]
+        cpu.pc = image_probe.symbols["entry"]
+        exit_event = run_until_exit(cpu)
+        assert cpu.regs[1] == int(FaultKind.ACCESS)
+
+    def test_divide_by_zero_faults(self):
+        asm = Asm(base=0x100)
+        asm.label("fault_handler")
+        asm.mov(1, IRQ_VECTOR_REG)
+        asm.hlt()
+        asm.label("entry")
+        asm.li(2, 10)
+        asm.li(3, 0)
+        asm.div(4, 2, 3)
+        image_probe = asm.assemble()
+        cpu = build_machine(asm)
+        cpu.vec_fault = image_probe.symbols["fault_handler"]
+        cpu.pc = image_probe.symbols["entry"]
+        run_until_exit(cpu)
+        assert cpu.regs[1] == int(FaultKind.DIV_ZERO)
+
+    def test_triple_fault_without_handler(self):
+        asm = Asm(base=0x100)
+        asm.li(2, 0x500000)
+        asm.ld(3, 2, 0)
+        cpu = build_machine(asm)  # vec_fault unset
+        exit_event = run_until_exit(cpu)
+        assert exit_event.reason is VmExitReason.TRIPLE_FAULT
+
+    def test_triple_fault_on_fault_loop(self):
+        asm = Asm(base=0x100)
+        asm.label("fault_handler")
+        asm.li(2, 0x500000)
+        asm.ld(3, 2, 0)  # handler faults again, forever
+        asm.label("entry")
+        asm.jmp("fault_handler")
+        image_probe = asm.assemble()
+        cpu = build_machine(asm)
+        cpu.vec_fault = image_probe.symbols["fault_handler"]
+        cpu.pc = image_probe.symbols["entry"]
+        exit_event = run_until_exit(cpu)
+        assert exit_event.reason is VmExitReason.TRIPLE_FAULT
+
+
+class TestInterrupts:
+    def _interrupt_machine(self):
+        asm = Asm(base=0x100)
+        asm.label("irq_entry")
+        asm.mov(5, IRQ_VECTOR_REG)
+        asm.iret()
+        asm.label("main")
+        asm.sti()
+        asm.label("loop")
+        asm.addi(1, 1, 1)
+        asm.cmpi(1, 10)
+        asm.jnz("loop")
+        asm.hlt()
+        image_probe = asm.assemble()
+        cpu = build_machine(asm)
+        cpu.vec_irq = image_probe.symbols["irq_entry"]
+        cpu.pc = image_probe.symbols["main"]
+        return cpu
+
+    def test_interrupt_delivery_and_iret(self):
+        cpu = self._interrupt_machine()
+        step_n(cpu, 3)
+        assert cpu.int_enabled
+        saved_pc = cpu.pc
+        cpu.raise_interrupt(4)
+        assert not cpu.int_enabled
+        assert cpu.pc == cpu.vec_irq
+        run_until_exit(cpu)
+        assert cpu.regs[5] == 4
+        assert cpu.regs[1] == 10
+
+    def test_iret_restores_flags(self):
+        cpu = self._interrupt_machine()
+        step_n(cpu, 3)
+        cpu.raise_interrupt(2)
+        step_n(cpu, 2)  # handler + iret
+        assert cpu.int_enabled
+
+    def test_interrupt_wakes_halted_cpu(self):
+        asm = Asm(base=0x100)
+        asm.label("irq_entry")
+        asm.li(5, 1)
+        asm.iret()
+        asm.label("main")
+        asm.sti()
+        asm.hlt()
+        asm.li(6, 2)
+        asm.hlt()
+        image_probe = asm.assemble()
+        cpu = build_machine(asm)
+        cpu.vec_irq = image_probe.symbols["irq_entry"]
+        cpu.pc = image_probe.symbols["main"]
+        run_until_exit(cpu)
+        assert cpu.halted
+        cpu.raise_interrupt(1)
+        assert not cpu.halted
+        run_until_exit(cpu)
+        assert cpu.regs[5] == 1
+        assert cpu.regs[6] == 2
+
+
+class TestVmExitInstructions:
+    def test_rdtsc_exits_when_trapped(self):
+        asm = Asm(base=0x100)
+        asm.rdtsc(3)
+        asm.hlt()
+        cpu = build_machine(asm)
+        exit_event = run_until_exit(cpu)
+        assert exit_event.reason is VmExitReason.RDTSC
+        assert exit_event.rd == 3
+
+    def test_rdtsc_native_when_untrapped(self):
+        asm = Asm(base=0x100)
+        asm.rdtsc(3)
+        asm.hlt()
+        controls = ExitControls(trap_rdtsc=False, trap_rdrand=False)
+        cpu = build_machine(asm, controls=controls)
+        exit_event = run_until_exit(cpu)
+        assert exit_event.reason is VmExitReason.HLT
+
+    def test_pio_exits(self):
+        asm = Asm(base=0x100)
+        asm.li(1, 0xAB)
+        asm.outp(3, 1)
+        asm.inp(2, 4)
+        asm.hlt()
+        cpu = build_machine(asm)
+        out_exit = run_until_exit(cpu)
+        assert out_exit.reason is VmExitReason.PIO_OUT
+        assert out_exit.port == 3
+        assert out_exit.value == 0xAB
+        in_exit = run_until_exit(cpu)
+        assert in_exit.reason is VmExitReason.PIO_IN
+        cpu.regs[in_exit.rd] = 0x55  # hypervisor writes the result
+        run_until_exit(cpu)
+        assert cpu.regs[2] == 0x55
+
+    def test_mmio_exits(self):
+        asm = Asm(base=0x100)
+        asm.li(1, 0x40000)
+        asm.ld(2, 1, 0)
+        asm.li(3, 9)
+        asm.st(1, 3, 1)
+        asm.hlt()
+        cpu = build_machine(asm)
+        cpu.memory.add_mmio_range(0x40000, 16)
+        read_exit = run_until_exit(cpu)
+        assert read_exit.reason is VmExitReason.MMIO_READ
+        assert read_exit.addr == 0x40000
+        cpu.regs[read_exit.rd] = 77
+        write_exit = run_until_exit(cpu)
+        assert write_exit.reason is VmExitReason.MMIO_WRITE
+        assert write_exit.addr == 0x40001
+        assert write_exit.value == 9
+        run_until_exit(cpu)
+        assert cpu.regs[2] == 77
+
+    def test_int3_debug_exit(self):
+        asm = Asm(base=0x100)
+        asm.int3()
+        asm.hlt()
+        cpu = build_machine(asm)
+        exit_event = run_until_exit(cpu)
+        assert exit_event.reason is VmExitReason.DEBUG
+
+    def test_breakpoint_exit_and_skip(self):
+        asm = Asm(base=0x100)
+        asm.li(1, 5)
+        asm.li(2, 6)
+        asm.hlt()
+        cpu = build_machine(asm)
+        cpu.controls.breakpoints.add(0x101)
+        exit_event = run_until_exit(cpu)
+        assert exit_event.reason is VmExitReason.BREAKPOINT
+        assert exit_event.pc == 0x101
+        assert cpu.regs[2] == 0  # instruction not yet executed
+        cpu.skip_breakpoint_once()
+        run_until_exit(cpu)
+        assert cpu.regs[2] == 6
+
+
+class TestJopCheck:
+    def _machine_with_table(self):
+        asm = Asm(base=0x100)
+        asm.begin_function("main")
+        asm.li(1, "common")
+        asm.calli(1)
+        asm.li(1, "common+1")   # mid-function target: stray
+        asm.jmpi(1)
+        asm.hlt()
+        asm.end_function()
+        asm.begin_function("common")
+        asm.ret()
+        asm.nop()
+        asm.end_function()
+        image_probe = asm.assemble()
+        controls = ExitControls(jop_check=True)
+        cpu = build_machine(asm, controls=controls)
+        cpu.jop_table = (
+            image_probe.functions["main"],
+            image_probe.functions["common"],
+        )
+        return cpu
+
+    def test_call_to_function_begin_is_legal(self):
+        cpu = self._machine_with_table()
+        exit_event = run_until_exit(cpu)
+        # First exit is the stray jmpi alarm, not the legal calli.
+        assert exit_event.reason is VmExitReason.JOP_ALARM
+
+    def test_stray_target_reported(self):
+        cpu = self._machine_with_table()
+        exit_event = run_until_exit(cpu)
+        assert exit_event.reason is VmExitReason.JOP_ALARM
+        assert exit_event.target == exit_event.next_pc
+
+    def test_intra_function_indirect_jump_is_legal(self):
+        asm = Asm(base=0x100)
+        asm.begin_function("main")
+        asm.li(1, "inside")
+        asm.jmpi(1)
+        asm.label("inside")
+        asm.hlt()
+        asm.end_function()
+        image_probe = asm.assemble()
+        controls = ExitControls(jop_check=True)
+        cpu = build_machine(asm, controls=controls)
+        cpu.jop_table = (image_probe.functions["main"],)
+        exit_event = run_until_exit(cpu)
+        assert exit_event.reason is VmExitReason.HLT
+
+
+class TestStateCapture:
+    def test_capture_restore_round_trip(self):
+        asm = Asm(base=0x100)
+        asm.li(1, 5)
+        asm.li(2, 6)
+        asm.hlt()
+        cpu = build_machine(asm)
+        cpu.step()
+        state = cpu.capture_state()
+        cpu.step()
+        cpu.restore_state(state)
+        assert cpu.regs[1] == 5
+        assert cpu.regs[2] == 0
+        assert cpu.pc == 0x101
+        cpu.step()
+        assert cpu.regs[2] == 6
+
+    def test_icount_advances_per_instruction(self):
+        asm = Asm(base=0x100)
+        asm.nop()
+        asm.nop()
+        asm.hlt()
+        cpu = build_machine(asm)
+        run_until_exit(cpu)
+        assert cpu.icount == 3

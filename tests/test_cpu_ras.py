@@ -1,0 +1,102 @@
+"""Tests for the Return Address Stack hardware model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpu import ReturnAddressStack
+from repro.errors import ReproError
+
+
+class TestBasicOperation:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack(4)
+        ras.push(1)
+        ras.push(2)
+        assert ras.pop() == 2
+        assert ras.pop() == 1
+
+    def test_underflow_returns_none(self):
+        ras = ReturnAddressStack(4)
+        assert ras.pop() is None
+
+    def test_peek_does_not_pop(self):
+        ras = ReturnAddressStack(4)
+        ras.push(5)
+        assert ras.peek() == 5
+        assert len(ras) == 1
+
+    def test_peek_empty(self):
+        assert ReturnAddressStack(2).peek() is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ReproError):
+            ReturnAddressStack(0)
+
+
+class TestEviction:
+    def test_push_to_full_evicts_oldest(self):
+        ras = ReturnAddressStack(2)
+        assert ras.push(1) is None
+        assert ras.push(2) is None
+        assert ras.push(3) == 1
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_full_flag(self):
+        ras = ReturnAddressStack(1)
+        assert not ras.full
+        ras.push(1)
+        assert ras.full
+
+
+class TestSaveRestore:
+    def test_save_restore_round_trip(self):
+        ras = ReturnAddressStack(4)
+        ras.push(1)
+        ras.push(2)
+        snapshot = ras.save()
+        ras.clear()
+        ras.restore(snapshot)
+        assert ras.pop() == 2
+        assert ras.pop() == 1
+
+    def test_restore_oversized_snapshot_rejected(self):
+        ras = ReturnAddressStack(2)
+        with pytest.raises(ReproError):
+            ras.restore((1, 2, 3))
+
+    def test_save_is_immutable_copy(self):
+        ras = ReturnAddressStack(4)
+        ras.push(1)
+        snapshot = ras.save()
+        ras.push(2)
+        assert snapshot == (1,)
+
+
+class TestReferenceModel:
+    """The RAS must behave exactly like an unbounded stack truncated to
+    its newest ``capacity`` entries (DESIGN.md invariant 5)."""
+
+    @given(
+        capacity=st.integers(1, 8),
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("push"), st.integers(0, 1000)),
+                st.tuples(st.just("pop"), st.just(0)),
+            ),
+            max_size=60,
+        ),
+    )
+    def test_matches_truncated_unbounded_stack(self, capacity, ops):
+        ras = ReturnAddressStack(capacity)
+        reference: list[int] = []
+        for kind, value in ops:
+            if kind == "push":
+                ras.push(value)
+                reference.append(value)
+                del reference[:-capacity]
+            else:
+                expected = reference.pop() if reference else None
+                assert ras.pop() == expected
+        assert ras.save() == tuple(reference)

@@ -1,0 +1,317 @@
+"""Tests for the device models and the host world."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import DEFAULT_CONFIG
+from repro.devices import (
+    DISK_CMD_READ,
+    DISK_CMD_WRITE,
+    DISK_STATUS_BUSY,
+    DISK_STATUS_READY,
+    IRQ_DISK,
+    IRQ_NIC,
+    IRQ_TIMER,
+    ConsoleDevice,
+    DiskDevice,
+    HostWorld,
+    InterruptController,
+    NetworkDevice,
+    Packet,
+    TimerDevice,
+    VirtualDisk,
+)
+from repro.devices.bus import NIC_REG_RX_ADDR, NIC_REG_RX_LEN, NIC_REG_RX_PENDING, NIC_REG_RX_RING
+from repro.errors import DeviceError
+from repro.memory import PERM_READ, PERM_WRITE, PhysicalMemory
+
+
+def make_world(seed=1):
+    from dataclasses import replace
+
+    return HostWorld(DEFAULT_CONFIG, seed=seed)
+
+
+class TestHostWorld:
+    def test_tsc_is_monotonic(self):
+        world = make_world()
+        values = [world.tsc(cycle) for cycle in range(0, 1000, 100)]
+        assert values == sorted(values)
+        assert len(set(values)) == len(values)
+
+    def test_tsc_reproducible_per_seed(self):
+        first = [make_world(7).tsc(i) for i in range(5)]
+        second = [make_world(7).tsc(i) for i in range(5)]
+        assert first == second
+
+    def test_random_word_differs_across_seeds(self):
+        assert make_world(1).random_word() != make_world(2).random_word()
+
+    def test_event_queue_ordering(self):
+        world = make_world()
+        fired = []
+        world.schedule(30, lambda: fired.append("c"))
+        world.schedule(10, lambda: fired.append("a"))
+        world.schedule(20, lambda: fired.append("b"))
+        assert world.next_due == 10
+        world.run_due(25)
+        assert fired == ["a", "b"]
+        assert world.next_due == 30
+        world.run_due(100)
+        assert fired == ["a", "b", "c"]
+        assert world.next_due is None
+
+    def test_same_cycle_events_fire_fifo(self):
+        world = make_world()
+        fired = []
+        world.schedule(5, lambda: fired.append(1))
+        world.schedule(5, lambda: fired.append(2))
+        world.run_due(5)
+        assert fired == [1, 2]
+
+    def test_latency_bounds(self):
+        world = make_world()
+        for _ in range(50):
+            assert 10 <= world.latency(10, 20) <= 20
+
+
+class TestInterruptController:
+    def test_fifo_delivery(self):
+        intc = InterruptController()
+        intc.raise_irq(IRQ_DISK)
+        intc.raise_irq(IRQ_NIC)
+        assert intc.take() == IRQ_DISK
+        assert intc.take() == IRQ_NIC
+        assert not intc.has_pending
+
+    def test_coalescing(self):
+        intc = InterruptController()
+        intc.raise_irq(IRQ_NIC)
+        intc.raise_irq(IRQ_NIC)
+        assert intc.take() == IRQ_NIC
+        assert not intc.has_pending
+        assert intc.raised_count == 2
+
+    def test_clear(self):
+        intc = InterruptController()
+        intc.raise_irq(IRQ_TIMER)
+        intc.clear()
+        assert not intc.has_pending
+
+
+class TestTimer:
+    def test_periodic_ticks(self):
+        world = make_world()
+        intc = InterruptController()
+        timer = TimerDevice(world, intc, period_cycles=100, jitter_cycles=0)
+        timer.start(0)
+        world.run_due(350)
+        assert timer.ticks == 3
+        assert intc.has_pending
+
+    def test_stop_silences(self):
+        world = make_world()
+        intc = InterruptController()
+        timer = TimerDevice(world, intc, period_cycles=100)
+        timer.start(0)
+        world.run_due(150)
+        timer.stop()
+        world.run_due(1000)
+        assert timer.ticks == 1
+
+    def test_jitter_stays_bounded(self):
+        world = make_world()
+        intc = InterruptController()
+        timer = TimerDevice(world, intc, period_cycles=100, jitter_cycles=10)
+        timer.start(0)
+        world.run_due(10_000)
+        # With jitter <= 10% the tick count stays near the ideal rate.
+        assert 85 <= timer.ticks <= 100
+
+
+class TestVirtualDisk:
+    def test_synthesized_content_is_deterministic(self):
+        assert VirtualDisk(16, 7).read_block(3) == VirtualDisk(16, 7).read_block(3)
+
+    def test_different_seeds_differ(self):
+        assert VirtualDisk(16, 7).read_block(3) != VirtualDisk(16, 8).read_block(3)
+
+    def test_write_read_round_trip(self):
+        disk = VirtualDisk(4, 1)
+        disk.write_block(9, [1, 2, 3, 4])
+        assert disk.read_block(9) == [1, 2, 3, 4]
+
+    def test_write_size_checked(self):
+        with pytest.raises(DeviceError):
+            VirtualDisk(4, 1).write_block(0, [1, 2])
+
+    def test_dirty_tracking(self):
+        disk = VirtualDisk(4, 1)
+        disk.read_block(5)
+        assert disk.dirty_blocks() == frozenset()
+        disk.write_block(5, [0] * 4)
+        assert disk.dirty_blocks() == {5}
+        disk.clear_dirty()
+        assert disk.dirty_blocks() == frozenset()
+
+    def test_snapshot_restore(self):
+        disk = VirtualDisk(4, 1)
+        disk.write_block(2, [9, 9, 9, 9])
+        snapshot = disk.snapshot_blocks([2])
+        disk.write_block(2, [0, 0, 0, 0])
+        disk.restore_blocks(snapshot)
+        assert disk.read_block(2) == [9, 9, 9, 9]
+
+    @given(block=st.integers(0, 1000))
+    def test_replica_agreement(self, block):
+        """Recorder disk and replayer replica must agree on pristine data."""
+        assert (VirtualDisk(8, 42).read_block(block)
+                == VirtualDisk(8, 42).read_block(block))
+
+
+def make_disk_rig(with_world=True):
+    memory = PhysicalMemory(page_size=256)
+    memory.map_range(0, 1024, PERM_READ | PERM_WRITE)
+    world = make_world() if with_world else None
+    intc = InterruptController()
+    disk = VirtualDisk(DEFAULT_CONFIG.disk_block_size, 3)
+    device = DiskDevice(disk, memory, intc, world)
+    return memory, world, intc, disk, device
+
+
+class TestDiskDevice:
+    def test_read_lands_at_flush(self):
+        memory, world, intc, disk, device = make_disk_rig()
+        device.pio_write("block", 5, 0)
+        device.pio_write("addr", 256, 0)
+        device.pio_write("cmd", DISK_CMD_READ, 0)
+        assert device.pio_read_status() == DISK_STATUS_BUSY
+        world.run_due(100_000)
+        assert intc.has_pending
+        assert device.pio_read_status() == DISK_STATUS_READY
+        # Data has NOT landed yet: it lands with the interrupt.
+        assert memory.read_word(256) == 0
+        landed = device.flush_dma()
+        assert landed == [(5, 256)]
+        assert memory.read_block(256, 256) == disk.read_block(5)
+
+    def test_write_applies_synchronously(self):
+        memory, world, intc, disk, device = make_disk_rig()
+        memory.write_block(512, list(range(256)))
+        device.pio_write("block", 8, 0)
+        device.pio_write("addr", 512, 0)
+        device.pio_write("cmd", DISK_CMD_WRITE, 0)
+        assert disk.read_block(8) == list(range(256))
+        world.run_due(100_000)
+        assert intc.has_pending
+
+    def test_replay_mode_read_is_inert(self):
+        memory, world, intc, disk, device = make_disk_rig(with_world=False)
+        device.pio_write("block", 5, 0)
+        device.pio_write("addr", 256, 0)
+        device.pio_write("cmd", DISK_CMD_READ, 0)
+        assert device.pio_read_status() == DISK_STATUS_READY
+        assert not intc.has_pending
+        assert device.reads == 1
+
+    def test_replay_mode_write_updates_replica(self):
+        memory, world, intc, disk, device = make_disk_rig(with_world=False)
+        memory.write_block(512, [7] * 256)
+        device.pio_write("block", 2, 0)
+        device.pio_write("addr", 512, 0)
+        device.pio_write("cmd", DISK_CMD_WRITE, 0)
+        assert disk.read_block(2) == [7] * 256
+
+    def test_unknown_command_rejected(self):
+        _, _, _, _, device = make_disk_rig()
+        with pytest.raises(DeviceError):
+            device.pio_write("cmd", 99, 0)
+
+    def test_reg_capture_restore(self):
+        _, _, _, _, device = make_disk_rig()
+        device.pio_write("block", 3, 0)
+        device.pio_write("addr", 17, 0)
+        device.pio_write("param", 5, 0)
+        regs = device.capture_regs()
+        device.pio_write("block", 0, 0)
+        device.restore_regs(regs)
+        assert device.capture_regs() == (3, 17, 5)
+
+
+def make_nic_rig(ring_words=64):
+    memory = PhysicalMemory(page_size=256)
+    memory.map_range(0, 1024, PERM_READ | PERM_WRITE)
+    intc = InterruptController()
+    nic = NetworkDevice(memory, intc, ring_words=ring_words)
+    nic.mmio_write(NIC_REG_RX_RING, 128)
+    return memory, intc, nic
+
+
+class TestNetworkDevice:
+    def test_packet_lands_in_ring_at_flush(self):
+        memory, intc, nic = make_nic_rig()
+        nic.deliver_packet(Packet(words=(1, 2, 3)))
+        assert intc.has_pending
+        landed = nic.flush_dma()
+        assert landed == [(128, (1, 2, 3))]
+        assert memory.read_block(128, 3) == [1, 2, 3]
+
+    def test_mmio_consume_protocol(self):
+        memory, intc, nic = make_nic_rig()
+        nic.deliver_packet(Packet(words=(5, 6)))
+        nic.flush_dma()
+        assert nic.mmio_read(NIC_REG_RX_PENDING) == 1
+        assert nic.mmio_read(NIC_REG_RX_LEN) == 2
+        assert nic.mmio_read(NIC_REG_RX_ADDR) == 128
+        assert nic.mmio_read(NIC_REG_RX_PENDING) == 0
+
+    def test_ring_wraps(self):
+        memory, intc, nic = make_nic_rig(ring_words=8)
+        nic.deliver_packet(Packet(words=(1,) * 6))
+        nic.flush_dma()
+        nic.mmio_read(NIC_REG_RX_ADDR)
+        nic.deliver_packet(Packet(words=(2,) * 6))
+        nic.flush_dma()
+        assert nic.mmio_read(NIC_REG_RX_ADDR) == 128  # wrapped to the base
+
+    def test_oversized_packet_rejected(self):
+        memory, intc, nic = make_nic_rig(ring_words=4)
+        nic.deliver_packet(Packet(words=(0,) * 8))
+        with pytest.raises(DeviceError):
+            nic.flush_dma()
+
+    def test_flush_without_ring_ok_when_empty(self):
+        memory = PhysicalMemory(page_size=256)
+        memory.map_range(0, 256, PERM_READ | PERM_WRITE)
+        nic = NetworkDevice(memory, InterruptController())
+        assert nic.flush_dma() == []
+
+    def test_flush_without_ring_fails_with_traffic(self):
+        memory = PhysicalMemory(page_size=256)
+        memory.map_range(0, 256, PERM_READ | PERM_WRITE)
+        nic = NetworkDevice(memory, InterruptController())
+        nic.deliver_packet(Packet(words=(1,)))
+        with pytest.raises(DeviceError):
+            nic.flush_dma()
+
+    def test_stats(self):
+        memory, intc, nic = make_nic_rig()
+        nic.deliver_packet(Packet(words=(1, 2)))
+        nic.deliver_packet(Packet(words=(3,)))
+        nic.flush_dma()
+        assert nic.packets_received == 2
+        assert nic.words_received == 3
+
+
+class TestConsole:
+    def test_collects_text(self):
+        console = ConsoleDevice()
+        for char in b"ok":
+            console.pio_write(char)
+        assert console.text == "ok"
+
+    def test_clear(self):
+        console = ConsoleDevice()
+        console.pio_write(65)
+        console.clear()
+        assert console.text == ""

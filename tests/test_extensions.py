@@ -1,0 +1,273 @@
+"""Tests for the extension features: attack variants, parallel ARs,
+session persistence, and the CLI."""
+
+import pytest
+
+from repro.attacks import (
+    ChainVariant,
+    build_variant_chain,
+    deliver_variant_attack,
+)
+from repro.core.parallel import resolve_alarms_parallel
+from repro.replay import (
+    AlarmReplayer,
+    CheckpointingOptions,
+    CheckpointingReplayer,
+    DeterministicReplayer,
+    VerdictKind,
+)
+from repro.rnr import SessionManifest, load_session, save_session
+from repro.rnr.recorder import Recorder, RecorderOptions
+
+from tests.conftest import cached_attack_recording, cached_recording, small_workload
+
+
+class TestChainVariants:
+    @pytest.fixture(scope="class")
+    def kernel(self):
+        from repro.workloads.suite import kernel_for_layout
+
+        return kernel_for_layout()
+
+    @pytest.mark.parametrize("variant", list(ChainVariant))
+    def test_variant_builds(self, kernel, variant):
+        chain = build_variant_chain(kernel, variant)
+        assert chain.stack_words
+        assert chain.description
+
+    def test_ret2func_has_no_gadget_hops(self, kernel):
+        chain = build_variant_chain(kernel, ChainVariant.RET2FUNC)
+        assert chain.stack_words == (kernel.addr("set_root"),)
+
+    def test_double_dispatch_reenters_the_triple(self, kernel):
+        chain = build_variant_chain(kernel, ChainVariant.DOUBLE_DISPATCH)
+        assert len(chain.stack_words) == 8
+        assert chain.stack_words[0] == chain.stack_words[4]
+
+    def test_sprayed_prepends_ret_slide(self, kernel):
+        canonical = build_variant_chain(kernel, ChainVariant.CANONICAL)
+        sprayed = build_variant_chain(kernel, ChainVariant.SPRAYED)
+        assert sprayed.stack_words[-4:] == canonical.stack_words
+
+    @pytest.mark.parametrize("variant", [ChainVariant.RET2FUNC,
+                                         ChainVariant.DOUBLE_DISPATCH,
+                                         ChainVariant.SPRAYED])
+    def test_every_variant_raises_an_alarm_and_escalates(self, variant):
+        """No false negatives, for any chain shape: the hijacked return
+        always mispredicts, and the payload executes in continue mode."""
+        attack = deliver_variant_attack(small_workload("apache"), variant)
+        run = Recorder(
+            attack.spec, RecorderOptions(max_instructions=2_500_000),
+        ).run()
+        first_hop = attack.chain.stack_words[0]
+        assert any(alarm.actual == first_hop for alarm in run.alarms), \
+            variant
+        uid = run.machine.memory.read_word(
+            attack.spec.kernel.layout.uid_addr,
+        )
+        assert uid == 0, f"{variant}: payload must have escalated"
+
+    def test_variant_attack_confirmed_by_ar(self):
+        attack = deliver_variant_attack(small_workload("apache"),
+                                        ChainVariant.RET2FUNC)
+        run = Recorder(
+            attack.spec, RecorderOptions(max_instructions=2_500_000),
+        ).run()
+        hijack = next(alarm for alarm in run.alarms
+                      if alarm.actual == attack.chain.stack_words[0])
+        verdict = AlarmReplayer(attack.spec, run.log, hijack).analyze()
+        assert verdict.kind is VerdictKind.ROP_CONFIRMED
+
+
+class TestParallelAlarmReplay:
+    def test_parallel_matches_sequential(self):
+        spec, chain, run = cached_attack_recording()
+        cr = CheckpointingReplayer(spec, run.log,
+                                   CheckpointingOptions()).run_to_end()
+        parallel = resolve_alarms_parallel(
+            spec, run.log, cr.pending_alarms, store=cr.store, max_workers=3,
+        )
+        sequential = []
+        for alarm in cr.pending_alarms:
+            checkpoint = cr.store.latest_before(alarm.icount)
+            replayer = AlarmReplayer(spec, run.log, alarm,
+                                     checkpoint=checkpoint, store=cr.store)
+            sequential.append(replayer.analyze())
+        assert [v.kind for v in parallel.verdicts] == \
+            [v.kind for v in sequential]
+
+    def test_aggregation_buckets(self):
+        spec, chain, run = cached_attack_recording()
+        cr = CheckpointingReplayer(spec, run.log,
+                                   CheckpointingOptions()).run_to_end()
+        resolution = resolve_alarms_parallel(
+            spec, run.log, cr.pending_alarms, store=cr.store,
+        )
+        total = (len(resolution.attacks) + len(resolution.false_positives)
+                 + len(resolution.inconclusive))
+        assert total == len(cr.pending_alarms)
+        assert resolution.attacks  # the hijack is in there
+
+    def test_empty_batch(self):
+        spec, run = cached_recording("radiosity")
+        resolution = resolve_alarms_parallel(spec, run.log, [])
+        assert resolution.verdicts == ()
+
+
+class TestSessionPersistence:
+    def test_round_trip(self, tmp_path):
+        spec, run = cached_recording("mysql")
+        manifest = SessionManifest(benchmark="mysql", seed=2018)
+        path = tmp_path / "session.rnr"
+        save_session(path, manifest, run.log)
+        loaded_manifest, loaded_log = load_session(path)
+        assert loaded_manifest == manifest
+        assert loaded_log.records() == run.log.records()
+
+    def test_rebuilt_spec_replays_the_log(self, tmp_path):
+        """The cross-machine story: nothing but the session file is
+        needed to replay with full digest verification."""
+        from repro.workloads import profile_by_name
+        from repro.workloads.suite import build_workload
+
+        spec = build_workload(profile_by_name("radiosity"), seed=77)
+        run = Recorder(spec,
+                       RecorderOptions(max_instructions=600_000)).run()
+        path = tmp_path / "radiosity.rnr"
+        save_session(path, SessionManifest(benchmark="radiosity", seed=77),
+                     run.log)
+        manifest, log = load_session(path)
+        rebuilt = manifest.build_spec()
+        result = DeterministicReplayer(rebuilt, log.cursor()).run()
+        assert result.reached_end
+        assert result.digest_checked
+
+    def test_attack_manifests_rebuild(self):
+        for attack in ("rop", "jop", "dos"):
+            manifest = SessionManifest(benchmark="apache", seed=1,
+                                       attack=attack)
+            spec = manifest.build_spec()
+            assert attack in spec.label
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        from repro.errors import LogError
+
+        path = tmp_path / "bogus.rnr"
+        path.write_bytes(b"xx")
+        with pytest.raises(LogError):
+            load_session(path)
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        import json
+
+        from repro.errors import LogError
+
+        path = tmp_path / "other.rnr"
+        header = json.dumps({"magic": "something-else"}).encode()
+        path.write_bytes(len(header).to_bytes(4, "big") + header)
+        with pytest.raises(LogError):
+            load_session(path)
+
+
+class TestCli:
+    def test_record_replay_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        session = tmp_path / "cli.rnr"
+        assert main(["record", "radiosity", "--budget", "400000",
+                     "--out", str(session)]) == 0
+        assert main(["replay", str(session)]) == 0
+        output = capsys.readouterr().out
+        assert "digest verified=True" in output
+
+    def test_gadgets_listing(self, capsys):
+        from repro.cli import main
+
+        assert main(["gadgets", "--kind", "pop_reg"]) == 0
+        output = capsys.readouterr().out
+        assert "pop r1; ret" in output
+
+    def test_hunt_confirms_attack(self, capsys):
+        from repro.cli import main
+
+        assert main(["hunt", "apache", "--attack", "rop",
+                     "--budget", "1200000"]) == 0
+        output = capsys.readouterr().out
+        assert "rop_confirmed" in output
+
+    def test_bench_requires_saved_table(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["bench", "definitely_not_a_table"])
+        assert code == 1
+
+    def test_unknown_benchmark_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["record", "postgres"])
+
+
+class TestUserModeRop:
+    """§1's claim that RnR-Safe secures user contexts too, end to end."""
+
+    @pytest.fixture(scope="class")
+    def user_attack(self):
+        from repro.attacks import deliver_user_rop_attack, user_rop_profile
+        from repro.workloads.suite import build_workload
+        from tests.conftest import small_profile
+
+        profile = user_rop_profile(small_profile("apache"))
+        attack = deliver_user_rop_attack(build_workload(profile))
+        run = Recorder(
+            attack.spec, RecorderOptions(max_instructions=2_500_000),
+        ).run()
+        return attack, run
+
+    def test_payload_escalates_in_user_space(self, user_attack):
+        attack, run = user_attack
+        assert attack.escalated(run.machine.memory)
+
+    def test_hijack_raises_a_user_mode_alarm(self, user_attack):
+        attack, run = user_attack
+        user_base = attack.spec.kernel.layout.user_code_base
+        hijacks = [a for a in run.alarms if a.actual == attack.target]
+        assert hijacks
+        assert hijacks[0].pc >= user_base
+
+    def test_ar_auto_scopes_to_user_and_confirms(self, user_attack):
+        from repro.replay.alarm import TrapScope
+
+        attack, run = user_attack
+        hijack = next(a for a in run.alarms if a.actual == attack.target)
+        replayer = AlarmReplayer(attack.spec, run.log, hijack)
+        assert replayer.scope is TrapScope.ALL
+        verdict = replayer.analyze()
+        assert verdict.kind is VerdictKind.ROP_CONFIRMED
+
+    def test_benign_user_parsing_raises_no_alarms(self):
+        from repro.attacks import user_rop_profile
+        from repro.workloads.suite import build_workload
+        from tests.conftest import small_profile
+
+        profile = user_rop_profile(small_profile("apache",
+                                                 setjmp_every=0))
+        spec = build_workload(profile)
+        run = Recorder(spec,
+                       RecorderOptions(max_instructions=2_500_000)).run()
+        user_base = spec.kernel.layout.user_code_base
+        # Benign messages terminate inside the parse buffer: no user
+        # alarms at all (underflow alarms from the driver are kernel-side).
+        assert all(a.pc < user_base for a in run.alarms)
+
+    def test_user_attack_replays_deterministically(self, user_attack):
+        attack, run = user_attack
+        result = DeterministicReplayer(attack.spec, run.log.cursor()).run()
+        assert result.reached_end and result.digest_checked
+
+    def test_attack_requires_the_vulnerable_profile(self):
+        from repro.attacks import deliver_user_rop_attack
+        from repro.errors import AttackBuildError
+
+        with pytest.raises(AttackBuildError):
+            deliver_user_rop_attack(small_workload("apache"))

@@ -1,0 +1,137 @@
+"""End-to-end tests of the RnR-Safe framework (Figure 1)."""
+
+import pytest
+
+from repro import (
+    RecorderOptions,
+    RnRSafe,
+    RnRSafeOptions,
+    VerdictKind,
+    deliver_rop_attack,
+)
+from repro.core.response import checkpoints_needed
+from repro.replay import CheckpointingOptions
+
+from tests.conftest import small_workload
+
+
+@pytest.fixture(scope="module")
+def attack_report():
+    spec, chain = deliver_rop_attack(small_workload("apache"))
+    options = RnRSafeOptions(
+        recorder=RecorderOptions(max_instructions=2_500_000),
+    )
+    return spec, chain, RnRSafe(spec, options).run()
+
+
+@pytest.fixture(scope="module")
+def benign_report():
+    spec = small_workload("apache")
+    options = RnRSafeOptions(
+        recorder=RecorderOptions(max_instructions=2_500_000),
+    )
+    return spec, RnRSafe(spec, options).run()
+
+
+class TestAttackRun:
+    def test_attack_confirmed(self, attack_report):
+        spec, chain, report = attack_report
+        assert report.attacks, "the framework must confirm the ROP"
+
+    def test_hijack_alarm_among_confirmed(self, attack_report):
+        spec, chain, report = attack_report
+        hijack_targets = {o.verdict.observed_target for o in report.attacks}
+        assert chain.stack_words[0] in hijack_targets
+
+    def test_nothing_left_unresolved(self, attack_report):
+        spec, chain, report = attack_report
+        assert report.inconclusive == []
+
+    def test_every_outcome_has_attempts(self, attack_report):
+        spec, chain, report = attack_report
+        for outcome in report.outcomes:
+            assert outcome.attempts
+            assert outcome.attempts[-1] == outcome.verdict
+
+    def test_response_windows_populated(self, attack_report):
+        spec, chain, report = attack_report
+        for outcome in report.outcomes:
+            assert outcome.response is not None
+            assert outcome.response.window_cycles > 0
+            assert outcome.response.checkpoints_retained >= 1
+
+    def test_response_window_is_a_few_seconds(self, attack_report):
+        """§8.4: 'the time window is on average a few seconds'."""
+        spec, chain, report = attack_report
+        for outcome in report.attacks:
+            seconds = outcome.response.window_seconds(spec.config)
+            assert 0.0 < seconds < 60.0
+
+    def test_summary_renders(self, attack_report):
+        spec, chain, report = attack_report
+        text = report.summary()
+        assert "attacks confirmed" in text
+        assert spec.label in text
+
+
+class TestBenignRun:
+    def test_no_attacks_on_benign_workload(self, benign_report):
+        spec, report = benign_report
+        assert report.attacks == []
+
+    def test_false_positives_resolved_not_dropped(self, benign_report):
+        spec, report = benign_report
+        for outcome in report.outcomes:
+            assert outcome.verdict.kind is VerdictKind.FALSE_POSITIVE
+
+    def test_underflows_never_reach_ars(self, benign_report):
+        spec, report = benign_report
+        assert all(o.alarm.kind.value != "underflow"
+                   for o in report.outcomes)
+
+    def test_alarm_replayers_handle_very_few_alarms(self, benign_report):
+        """The abstract's claim: 'the alarm replayer has to handle only
+        very few false positives'."""
+        spec, report = benign_report
+        per_million = (len(report.outcomes) * 1e6
+                       / max(1, report.recording.metrics.instructions))
+        assert per_million < 100
+
+
+class TestFrameworkConfiguration:
+    def test_stall_policy_blocks_payload(self):
+        # Use a traffic mix with no benign alarms (no setjmp, packets too
+        # small for RAS underflow) so the first alarm IS the attack.
+        clean = small_workload("apache", setjmp_every=0,
+                               packet_len_high=200)
+        spec, chain = deliver_rop_attack(clean)
+        options = RnRSafeOptions(
+            recorder=RecorderOptions(max_instructions=2_500_000,
+                                     stall_on_alarm=True),
+        )
+        report = RnRSafe(spec, options).run()
+        assert report.recording.stop_reason == "alarm_stall"
+        uid = report.recording.machine.memory.read_word(
+            spec.kernel.layout.uid_addr,
+        )
+        assert uid == 1000  # payload never executed
+        assert report.attacks  # and yet the attack is still confirmed
+
+    def test_custom_checkpoint_period(self):
+        spec = small_workload("mysql")
+        options = RnRSafeOptions(
+            recorder=RecorderOptions(max_instructions=2_000_000),
+            checkpointing=CheckpointingOptions(period_s=0.25),
+        )
+        report = RnRSafe(spec, options).run()
+        assert len(report.checkpointing.store) >= 2
+
+
+class TestRetentionRule:
+    def test_checkpoints_needed_matches_paper_rule(self):
+        # Window of 3 s at 1 s checkpoints: 3 + 2 retained.
+        assert checkpoints_needed(3.0, 1.0) == 5
+        # Plus N for N seconds of pre-attack history.
+        assert checkpoints_needed(3.0, 1.0, history_seconds=4.0) == 9
+        # Fractional windows round up.
+        assert checkpoints_needed(0.5, 1.0) == 3

@@ -1,0 +1,265 @@
+"""Tests for the hypervisor layer: VMCS, interposition, machine assembly."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.cpu import Cpu, ExitControls
+from repro.cpu.state import CpuState, unpack_flags
+from repro.errors import HypervisorError, KernelBuildError
+from repro.hypervisor import (
+    BackRasStore,
+    ContextSwitchInterposer,
+    GuestMachine,
+    Vmcs,
+)
+from repro.hypervisor.interpose import LIFECYCLE_TID_REG, SWITCH_SP_REG
+from repro.kernel.layout import TaskField, TaskState
+from repro.memory import PERM_READ, PERM_WRITE, PhysicalMemory
+
+from tests.conftest import small_workload
+
+
+def make_vmcs(capacity=4, jop_capacity=8):
+    memory = PhysicalMemory(page_size=64)
+    memory.map_range(0, 64, PERM_READ | PERM_WRITE)
+    cpu = Cpu(memory, DEFAULT_CONFIG)
+    return cpu, Vmcs(cpu, tar_whitelist_capacity=capacity,
+                     jop_table_capacity=jop_capacity)
+
+
+class TestVmcs:
+    def test_whitelist_programming(self):
+        cpu, vmcs = make_vmcs()
+        vmcs.set_ret_whitelist(0x100)
+        vmcs.set_tar_whitelist({1, 2, 3})
+        assert cpu.ret_whitelist == 0x100
+        assert cpu.tar_whitelist == {1, 2, 3}
+
+    def test_tar_whitelist_capacity_enforced(self):
+        cpu, vmcs = make_vmcs(capacity=2)
+        with pytest.raises(HypervisorError):
+            vmcs.set_tar_whitelist({1, 2, 3})
+
+    def test_jop_table_capacity_enforced(self):
+        cpu, vmcs = make_vmcs(jop_capacity=1)
+        with pytest.raises(HypervisorError):
+            vmcs.set_jop_table([(0, 1), (2, 3)])
+
+    def test_ras_microcode_round_trip(self):
+        cpu, vmcs = make_vmcs()
+        cpu.ras.push(10)
+        cpu.ras.push(20)
+        snapshot = vmcs.dump_ras()
+        vmcs.clear_ras()
+        assert cpu.ras.empty
+        vmcs.load_ras(snapshot)
+        assert cpu.ras.pop() == 20
+
+    def test_guest_register_view(self):
+        cpu, vmcs = make_vmcs()
+        cpu.regs[4] = 0xABC
+        cpu.pc = 0x55
+        assert vmcs.guest_reg(4) == 0xABC
+        assert vmcs.guest_pc == 0x55
+        assert not vmcs.guest_user_mode
+
+
+class TestBackRasStore:
+    def test_save_load_round_trip(self):
+        store = BackRasStore()
+        store.save(3, (1, 2, 3))
+        assert store.load(3) == (1, 2, 3)
+
+    def test_unknown_thread_loads_empty(self):
+        store = BackRasStore()
+        assert store.load(9) == ()
+
+    def test_recycle_clears_history(self):
+        """§5.2.2: a reused thread ID must never inherit stale entries."""
+        store = BackRasStore()
+        store.save(5, (0xDEAD,))
+        store.recycle(5)
+        store.allocate(5)
+        assert store.load(5) == ()
+
+    def test_traffic_accounting(self):
+        store = BackRasStore()
+        store.save(1, (1, 2))
+        store.load(1)
+        assert store.saves == 1
+        assert store.restores == 1
+
+    def test_bytes_moved(self):
+        store = BackRasStore()
+        store.save(1, (1, 2, 3))
+        assert store.bytes_moved == (3 + 1) * 8
+
+    def test_snapshot_is_a_copy(self):
+        store = BackRasStore()
+        store.save(1, (9,))
+        snapshot = store.snapshot()
+        store.recycle(1)
+        assert snapshot == {1: (9,)}
+
+
+class TestInterposer:
+    def _build(self, manage_backras=True):
+        spec = small_workload("radiosity")
+        machine = GuestMachine(spec, ExitControls(), with_world=False)
+        interposer = ContextSwitchInterposer(
+            kernel=spec.kernel, vmcs=machine.vmcs, memory=machine.memory,
+            manage_backras=manage_backras,
+        )
+        return spec, machine, interposer
+
+    def _install_task(self, spec, machine, tid):
+        layout = spec.kernel.layout
+        base, top = layout.stack_region(tid)
+        struct = layout.task_struct_addr(tid)
+        machine.memory.write_word(struct + TaskField.TID, tid)
+        machine.memory.write_word(struct + TaskField.STATE,
+                                  int(TaskState.READY))
+        machine.memory.write_word(struct + TaskField.STACK_BASE, base)
+        machine.memory.write_word(struct + TaskField.STACK_TOP, top)
+        return top - 4
+
+    def test_breakpoint_set(self):
+        spec, machine, interposer = self._build()
+        points = interposer.breakpoints()
+        assert spec.kernel.switch_sp_pc in points
+        assert spec.kernel.task_create_pc in points
+        assert spec.kernel.task_exit_pc in points
+
+    def test_switch_swaps_backras(self):
+        spec, machine, interposer = self._build()
+        sp_a = self._install_task(spec, machine, 1)
+        sp_b = self._install_task(spec, machine, 2)
+        cpu = machine.cpu
+        # Switch to thread 1 with some RAS content.
+        cpu.regs[SWITCH_SP_REG] = sp_a
+        interposer.on_breakpoint(spec.kernel.switch_sp_pc)
+        cpu.ras.push(0x111)
+        # Switch to thread 2: thread 1's entry must be saved away.
+        cpu.regs[SWITCH_SP_REG] = sp_b
+        old, new = interposer.on_breakpoint(spec.kernel.switch_sp_pc)
+        assert (old, new) == (1, 2)
+        assert cpu.ras.empty
+        assert interposer.backras.load(1) == (0x111,)
+        # And restored when thread 1 comes back.
+        cpu.regs[SWITCH_SP_REG] = sp_a
+        interposer.on_breakpoint(spec.kernel.switch_sp_pc)
+        assert cpu.ras.peek() == 0x111
+
+    def test_lifecycle_hooks_fire(self):
+        spec, machine, interposer = self._build()
+        created, destroyed = [], []
+        interposer.thread_created_hook = created.append
+        interposer.thread_destroyed_hook = destroyed.append
+        machine.cpu.regs[LIFECYCLE_TID_REG] = 6
+        interposer.on_breakpoint(spec.kernel.task_create_pc)
+        interposer.on_breakpoint(spec.kernel.task_exit_pc)
+        assert created == [6]
+        assert destroyed == [6]
+
+    def test_unknown_breakpoint_rejected(self):
+        spec, machine, interposer = self._build()
+        with pytest.raises(HypervisorError):
+            interposer.on_breakpoint(0xFFFF)
+
+    def test_switch_to_unknown_stack_rejected(self):
+        spec, machine, interposer = self._build()
+        machine.cpu.regs[SWITCH_SP_REG] = 0x3  # nobody's stack
+        with pytest.raises(HypervisorError):
+            interposer.on_breakpoint(spec.kernel.switch_sp_pc)
+
+    def test_manage_backras_off_still_tracks_tid(self):
+        spec, machine, interposer = self._build(manage_backras=False)
+        sp_a = self._install_task(spec, machine, 1)
+        machine.cpu.ras.push(7)
+        machine.cpu.regs[SWITCH_SP_REG] = sp_a
+        interposer.on_breakpoint(spec.kernel.switch_sp_pc)
+        assert interposer.current_tid == 1
+        # RAS untouched: the feature is off (RecNoRAS semantics).
+        assert machine.cpu.ras.peek() == 7
+        assert interposer.backras.entries == {}
+
+
+class TestGuestMachine:
+    def test_construction_maps_all_regions(self):
+        spec = small_workload("mysql")
+        machine = GuestMachine(spec, ExitControls(), with_world=True)
+        layout = spec.kernel.layout
+        memory = machine.memory
+        for addr in (layout.kernel_code_base, layout.kdata_base,
+                     layout.task_table, layout.nic_ring,
+                     layout.stacks_base, layout.user_code_base,
+                     layout.user_data_base):
+            assert memory.is_mapped(addr), hex(addr)
+
+    def test_kernel_loaded_at_base(self):
+        spec = small_workload("mysql")
+        machine = GuestMachine(spec, ExitControls(), with_world=False)
+        first_word = machine.memory.read_word(spec.kernel.image.base)
+        assert first_word == spec.kernel.image.words[0]
+
+    def test_init_table_written(self):
+        spec = small_workload("mysql")
+        machine = GuestMachine(spec, ExitControls(), with_world=False)
+        table = spec.kernel.layout.init_table_addr
+        assert machine.memory.read_word(table) == len(spec.init_entries)
+        for index, entry in enumerate(spec.init_entries):
+            assert machine.memory.read_word(table + 1 + index) == entry
+
+    def test_replay_machine_has_no_world(self):
+        spec = small_workload("mysql")
+        machine = GuestMachine(spec, ExitControls(), with_world=False)
+        assert machine.world is None
+        assert machine.timer is None
+
+    def test_charge_advances_time(self):
+        from repro.perf.account import Category
+
+        spec = small_workload("radiosity")
+        machine = GuestMachine(spec, ExitControls(), with_world=False)
+        before = machine.now
+        machine.charge(Category.DEVICE, 1234)
+        assert machine.now == before + 1234
+
+    def test_state_digest_is_stable(self):
+        spec = small_workload("radiosity")
+        first = GuestMachine(spec, ExitControls(), with_world=False)
+        second = GuestMachine(spec, ExitControls(), with_world=False)
+        assert first.state_digest() == second.state_digest()
+
+    def test_state_digest_sees_memory_changes(self):
+        spec = small_workload("radiosity")
+        machine = GuestMachine(spec, ExitControls(), with_world=False)
+        baseline = machine.state_digest()
+        machine.memory.write_word(spec.kernel.layout.uid_addr, 42)
+        assert machine.state_digest() != baseline
+
+    def test_too_many_init_tasks_rejected(self):
+        import dataclasses
+
+        spec = small_workload("mysql")
+        bogus = dataclasses.replace(
+            spec, init_entries=tuple(range(spec.kernel.layout.
+                                           init_table_entries + 1)),
+        )
+        with pytest.raises(KernelBuildError):
+            GuestMachine(bogus, ExitControls(), with_world=False)
+
+
+class TestCpuState:
+    def test_flags_pack_unpack_round_trip(self):
+        state = CpuState(regs=tuple(range(16)), pc=5, zero=True,
+                         negative=False, user=True, int_enabled=True,
+                         icount=9, halted=False)
+        flags = unpack_flags(state.pack_flags())
+        assert flags == {"zero": True, "negative": False, "user": True,
+                         "int_enabled": True}
+
+    def test_wrong_register_count_rejected(self):
+        with pytest.raises(ValueError):
+            CpuState(regs=(0,) * 3, pc=0, zero=False, negative=False,
+                     user=False, int_enabled=False, icount=0, halted=False)

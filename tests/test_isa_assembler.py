@@ -1,0 +1,151 @@
+"""Tests for the programmatic and text assemblers."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import Asm, Opcode, assemble_text, decode, disassemble
+
+
+class TestAsmBuilder:
+    def test_labels_resolve_forward_and_backward(self):
+        asm = Asm(base=0x10)
+        asm.jmp("end")
+        asm.label("loop")
+        asm.jmp("loop")
+        asm.label("end")
+        asm.nop()
+        image = asm.assemble()
+        assert decode(image.words[0]).imm == image.symbols["end"]
+        assert decode(image.words[1]).imm == image.symbols["loop"]
+
+    def test_label_offset_expressions(self):
+        asm = Asm()
+        asm.label("table")
+        asm.word(1)
+        asm.word(2)
+        asm.li(0, "table+1")
+        image = asm.assemble()
+        assert decode(image.words[2]).imm == image.symbols["table"] + 1
+
+    def test_duplicate_label_rejected(self):
+        asm = Asm()
+        asm.label("x")
+        with pytest.raises(AssemblerError):
+            asm.label("x")
+
+    def test_undefined_label_rejected(self):
+        asm = Asm()
+        asm.jmp("nowhere")
+        with pytest.raises(AssemblerError):
+            asm.assemble()
+
+    def test_function_ranges_recorded(self):
+        asm = Asm(base=0x100)
+        asm.begin_function("alpha")
+        asm.nop()
+        asm.ret()
+        asm.end_function()
+        asm.begin_function("beta")
+        asm.ret()
+        asm.end_function()
+        image = asm.assemble()
+        assert image.functions["alpha"] == (0x100, 0x102)
+        assert image.functions["beta"] == (0x102, 0x103)
+        assert image.function_at(0x101) == "alpha"
+        assert image.function_at(0x102) == "beta"
+        assert image.function_at(0x105) is None
+
+    def test_unclosed_function_rejected(self):
+        asm = Asm()
+        asm.begin_function("open")
+        asm.ret()
+        with pytest.raises(AssemblerError):
+            asm.assemble()
+
+    def test_nested_function_rejected(self):
+        asm = Asm()
+        asm.begin_function("outer")
+        with pytest.raises(AssemblerError):
+            asm.begin_function("inner")
+
+    def test_space_emits_fill_words(self):
+        asm = Asm()
+        asm.space(3, fill=7)
+        assert asm.assemble().words == (7, 7, 7)
+
+    def test_here_tracks_address(self):
+        asm = Asm(base=5)
+        assert asm.here == 5
+        asm.nop()
+        assert asm.here == 6
+
+
+class TestTextAssembler:
+    def test_basic_program(self):
+        image = assemble_text(
+            """
+            start:  li r1, 42        ; comment
+                    call fn
+                    hlt
+            fn:     addi r1, r1, 8
+                    ret
+            """,
+            base=0x100,
+        )
+        assert image.symbols == {"start": 0x100, "fn": 0x103}
+        assert decode(image.words[0]).op is Opcode.LI
+
+    def test_register_aliases(self):
+        image = assemble_text("mov sp, fp")
+        instr = decode(image.words[0])
+        assert instr.rd == 14
+        assert instr.rs1 == 13
+
+    def test_directives(self):
+        image = assemble_text(
+            """
+            .word 0x1234
+            .space 2
+            .org 5
+            nop
+            """
+        )
+        assert image.words[:5] == (0x1234, 0, 0, 0, 0)
+        assert decode(image.words[5]).op is Opcode.NOP
+
+    def test_org_backwards_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble_text(".space 4\n.org 1")
+
+    def test_func_directive(self):
+        image = assemble_text(
+            """
+            func main
+                nop
+                ret
+            endfunc
+            """
+        )
+        assert image.functions["main"] == (0, 2)
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble_text("frobnicate r1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble_text("li r1")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble_text("mov r99, r0")
+
+    def test_hex_and_negative_immediates(self):
+        image = assemble_text("li r0, 0x10\nli r1, -3")
+        assert decode(image.words[0]).imm == 16
+        assert decode(image.words[1]).imm == -3
+
+    def test_disassembly_round_trips_through_text(self):
+        source = "addi r1, r2, -5"
+        image = assemble_text(source)
+        assert disassemble(image.words[0]) == "addi r1, r2, -5"

@@ -1,0 +1,84 @@
+"""Unit and property tests for instruction encoding/decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DecodeError
+from repro.isa import Instruction, Opcode, decode, encode, try_decode
+from repro.isa.opcodes import SIGNATURES
+
+
+def all_opcodes():
+    return list(Opcode)
+
+
+class TestEncodingRoundTrip:
+    @pytest.mark.parametrize("op", all_opcodes())
+    def test_zero_operand_round_trip(self, op):
+        instr = Instruction(op=op)
+        assert decode(encode(instr)) == instr
+
+    def test_full_fields_round_trip(self):
+        instr = Instruction(op=Opcode.ADDI, rd=3, rs1=7, imm=-1234)
+        assert decode(encode(instr)) == instr
+
+    def test_negative_imm_extremes(self):
+        for imm in (-(2**31), 2**31 - 1, -1, 0, 1):
+            instr = Instruction(op=Opcode.LI, rd=1, imm=imm)
+            assert decode(encode(instr)).imm == imm
+
+    @given(
+        op=st.sampled_from(all_opcodes()),
+        rd=st.integers(0, 15),
+        rs1=st.integers(0, 15),
+        rs2=st.integers(0, 15),
+        imm=st.integers(-(2**31), 2**31 - 1),
+    )
+    def test_round_trip_property(self, op, rd, rs1, rs2, imm):
+        instr = Instruction(op=op, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+        assert decode(encode(instr)) == instr
+
+
+class TestDecodeValidation:
+    def test_invalid_opcode_byte_rejected(self):
+        with pytest.raises(DecodeError):
+            decode(0xFF << 56)
+
+    def test_reserved_bits_rejected(self):
+        word = encode(Instruction(op=Opcode.NOP)) | (1 << 35)
+        with pytest.raises(DecodeError):
+            decode(word)
+
+    def test_try_decode_returns_none_for_data(self):
+        assert try_decode(0xDEAD_BEEF_0000_0001) is None
+
+    def test_try_decode_returns_instruction_for_code(self):
+        word = encode(Instruction(op=Opcode.RET))
+        assert try_decode(word) == Instruction(op=Opcode.RET)
+
+    def test_zero_word_is_not_an_instruction(self):
+        assert try_decode(0) is None
+
+    @given(word=st.integers(0, 2**64 - 1))
+    def test_try_decode_never_raises(self, word):
+        result = try_decode(word)
+        if result is not None:
+            assert encode(result) == word
+
+    def test_register_out_of_range_rejected(self):
+        with pytest.raises(DecodeError):
+            Instruction(op=Opcode.MOV, rd=16)
+
+    def test_imm_out_of_range_rejected(self):
+        with pytest.raises(DecodeError):
+            Instruction(op=Opcode.LI, rd=0, imm=2**31)
+
+
+class TestSignatures:
+    def test_every_opcode_has_a_signature(self):
+        for op in Opcode:
+            assert op in SIGNATURES
+
+    def test_signature_slots_are_known(self):
+        for signature in SIGNATURES.values():
+            assert set(signature) <= {"d", "a", "b", "i"}

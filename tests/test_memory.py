@@ -1,0 +1,207 @@
+"""Tests for physical memory: permissions, W⊕X, dirty tracking, snapshots."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DeviceError, MemoryError_
+from repro.memory import (
+    PERM_EXEC,
+    PERM_READ,
+    PERM_USER,
+    PERM_WRITE,
+    AccessViolation,
+    MmioRegistry,
+    PhysicalMemory,
+    describe_perms,
+)
+
+
+def make_memory() -> PhysicalMemory:
+    memory = PhysicalMemory(page_size=16)
+    memory.map_range(0, 16, PERM_READ | PERM_WRITE | PERM_USER)
+    memory.map_range(16, 16, PERM_READ | PERM_EXEC)
+    return memory
+
+
+class TestPermissions:
+    def test_user_read_write(self):
+        memory = make_memory()
+        memory.store(3, 99, user=True)
+        assert memory.load(3, user=True) == 99
+
+    def test_user_cannot_touch_kernel_page(self):
+        memory = make_memory()
+        with pytest.raises(AccessViolation):
+            memory.load(17, user=True)
+
+    def test_kernel_can_touch_user_page(self):
+        memory = make_memory()
+        memory.store(3, 5, user=False)
+        assert memory.load(3, user=False) == 5
+
+    def test_fetch_requires_exec(self):
+        memory = make_memory()
+        with pytest.raises(AccessViolation):
+            memory.fetch(0, user=False)
+        assert memory.fetch(17, user=False) == 0
+
+    def test_write_to_exec_page_faults(self):
+        memory = make_memory()
+        with pytest.raises(AccessViolation):
+            memory.store(17, 1, user=False)
+
+    def test_unmapped_access_faults(self):
+        memory = make_memory()
+        with pytest.raises(AccessViolation):
+            memory.load(1000, user=False)
+
+    def test_wx_rejected(self):
+        memory = PhysicalMemory(page_size=16)
+        with pytest.raises(MemoryError_):
+            memory.map_range(0, 16, PERM_WRITE | PERM_EXEC)
+
+    def test_wx_allowed_when_unenforced(self):
+        memory = PhysicalMemory(page_size=16, enforce_wx=False)
+        memory.map_range(0, 16, PERM_READ | PERM_WRITE | PERM_EXEC)
+        memory.store(0, 42, user=False)
+        assert memory.fetch(0, user=False) == 42
+
+    def test_describe_perms(self):
+        assert describe_perms(PERM_READ | PERM_EXEC) == "r-x-"
+        assert describe_perms(0) == "----"
+
+
+class TestHostAccess:
+    def test_host_bypasses_permissions(self):
+        memory = make_memory()
+        memory.write_word(17, 123)
+        assert memory.read_word(17) == 123
+
+    def test_host_unmapped_raises_library_error(self):
+        memory = make_memory()
+        with pytest.raises(MemoryError_):
+            memory.read_word(1 << 40)
+
+    def test_block_round_trip(self):
+        memory = make_memory()
+        memory.write_block(0, [1, 2, 3])
+        assert memory.read_block(0, 3) == [1, 2, 3]
+
+    def test_words_are_masked_to_64_bits(self):
+        memory = make_memory()
+        memory.write_word(0, 2**64 + 5)
+        assert memory.read_word(0) == 5
+
+
+class TestDirtyTracking:
+    def test_writes_mark_pages_dirty(self):
+        memory = make_memory()
+        memory.store(3, 1, user=False)
+        memory.write_word(17, 1)
+        assert memory.dirty_pages() == {0, 1}
+
+    def test_clear_dirty(self):
+        memory = make_memory()
+        memory.store(3, 1, user=False)
+        memory.clear_dirty()
+        assert memory.dirty_pages() == frozenset()
+
+    def test_reads_do_not_dirty(self):
+        memory = make_memory()
+        memory.clear_dirty()
+        memory.load(0, user=False)
+        assert memory.dirty_pages() == frozenset()
+
+
+class TestSnapshots:
+    def test_snapshot_restore_round_trip(self):
+        memory = make_memory()
+        memory.write_word(2, 77)
+        snapshot = memory.snapshot_pages([0])
+        memory.write_word(2, 0)
+        memory.restore_pages(snapshot)
+        assert memory.read_word(2) == 77
+
+    def test_snapshot_is_a_copy(self):
+        memory = make_memory()
+        snapshot = memory.snapshot_pages([0])
+        memory.write_word(0, 1)
+        assert snapshot[0][0] == 0
+
+    def test_snapshot_unmapped_page_rejected(self):
+        memory = make_memory()
+        with pytest.raises(MemoryError_):
+            memory.snapshot_pages([99])
+
+    def test_full_snapshot_covers_all_pages(self):
+        memory = make_memory()
+        assert set(memory.snapshot_full()) == {0, 1}
+
+    def test_perms_snapshot_round_trip(self):
+        memory = make_memory()
+        perms = memory.perms_snapshot()
+        fresh = PhysicalMemory(page_size=16)
+        fresh.restore_perms(perms)
+        assert fresh.page_perms(1) == PERM_READ | PERM_EXEC
+
+    @given(
+        writes=st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 2**64 - 1)),
+            max_size=30,
+        )
+    )
+    def test_restore_always_recovers_prior_contents(self, writes):
+        memory = make_memory()
+        for addr, value in writes:
+            memory.write_word(addr, value)
+        expected = memory.read_block(0, 16)
+        snapshot = memory.snapshot_pages([0])
+        for addr in range(16):
+            memory.write_word(addr, 0)
+        memory.restore_pages(snapshot)
+        assert memory.read_block(0, 16) == expected
+
+
+class _StubDevice:
+    def __init__(self):
+        self.writes = []
+
+    def mmio_read(self, offset):
+        return offset * 10
+
+    def mmio_write(self, offset, value):
+        self.writes.append((offset, value))
+
+
+class TestMmio:
+    def test_is_mmio(self):
+        memory = make_memory()
+        memory.add_mmio_range(0x1000, 8)
+        assert memory.is_mmio(0x1000)
+        assert memory.is_mmio(0x1007)
+        assert not memory.is_mmio(0x1008)
+
+    def test_overlapping_ranges_rejected(self):
+        memory = make_memory()
+        memory.add_mmio_range(0x1000, 8)
+        with pytest.raises(MemoryError_):
+            memory.add_mmio_range(0x1004, 8)
+
+    def test_registry_dispatch(self):
+        registry = MmioRegistry()
+        device = _StubDevice()
+        registry.register(0x1000, 8, device)
+        assert registry.read(0x1002) == 20
+        registry.write(0x1003, 9)
+        assert device.writes == [(3, 9)]
+
+    def test_registry_unmapped(self):
+        registry = MmioRegistry()
+        with pytest.raises(DeviceError):
+            registry.read(0x5000)
+
+    def test_registry_overlap_rejected(self):
+        registry = MmioRegistry()
+        registry.register(0x1000, 8, _StubDevice())
+        with pytest.raises(DeviceError):
+            registry.register(0x1007, 8, _StubDevice())

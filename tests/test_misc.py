@@ -1,0 +1,206 @@
+"""Tests for the small shared surfaces: config, errors, disassembler,
+config report, and the public package API."""
+
+import pytest
+
+import repro
+from repro.config import DEFAULT_CONFIG, CostModel, SimulationConfig
+from repro.errors import (
+    AssemblerError,
+    AttackBuildError,
+    CheckpointError,
+    DeviceError,
+    HypervisorError,
+    KernelBuildError,
+    LogError,
+    MemoryError_,
+    ReplayDivergenceError,
+    ReproError,
+    WorkloadError,
+)
+from repro.isa import (
+    Asm,
+    Instruction,
+    Opcode,
+    disassemble,
+    disassemble_range,
+    encode,
+)
+from repro.isa.disassembler import format_instruction
+from repro.perf.config_report import render_table2, render_table3
+
+
+class TestConfig:
+    def test_seconds_cycles_round_trip(self):
+        config = DEFAULT_CONFIG
+        assert config.cycles(config.seconds(500_000)) == 500_000
+
+    def test_with_costs_overrides_selected_fields(self):
+        tweaked = DEFAULT_CONFIG.with_costs(vmexit_cycles=7)
+        assert tweaked.costs.vmexit_cycles == 7
+        assert (tweaked.costs.ras_save_cycles
+                == DEFAULT_CONFIG.costs.ras_save_cycles)
+        assert DEFAULT_CONFIG.costs.vmexit_cycles == 1000  # original intact
+
+    def test_config_is_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.ras_entries = 1
+
+    def test_paper_unit_costs(self):
+        costs = CostModel()
+        assert costs.vmexit_cycles == 1000
+        assert costs.ras_save_cycles == 200
+        assert costs.ras_restore_cycles == 200
+
+
+class TestErrors:
+    def test_all_errors_derive_from_repro_error(self):
+        for cls in (AssemblerError, AttackBuildError, CheckpointError,
+                    DeviceError, HypervisorError, KernelBuildError,
+                    LogError, MemoryError_, ReplayDivergenceError,
+                    WorkloadError):
+            assert issubclass(cls, ReproError)
+
+    def test_assembler_error_carries_line(self):
+        error = AssemblerError("bad operand", line=7)
+        assert "line 7" in str(error)
+        assert error.line == 7
+
+    def test_divergence_error_carries_icount(self):
+        error = ReplayDivergenceError("mismatch", icount=42)
+        assert "instruction 42" in str(error)
+
+    def test_memory_error_does_not_shadow_builtin(self):
+        assert MemoryError_ is not MemoryError
+
+
+class TestDisassembler:
+    def test_every_opcode_renders(self):
+        for op in Opcode:
+            text = format_instruction(Instruction(op=op))
+            assert text
+            assert text.split()[0].isidentifier() or "_" not in text
+
+    def test_register_aliases_in_output(self):
+        text = format_instruction(Instruction(op=Opcode.MOV, rd=14, rs1=13))
+        assert text == "mov sp, fp"
+
+    def test_data_words_render_as_word_directive(self):
+        assert disassemble(0xDEAD_BEEF_0000_0001).startswith(".word")
+
+    def test_disassemble_range(self):
+        asm = Asm(base=0x10)
+        asm.li(1, 5)
+        asm.ret()
+        image = asm.assemble()
+        words = dict(image.items())
+        lines = disassemble_range(lambda a: words.get(a, 0), 0x10, 2)
+        assert len(lines) == 2
+        assert "li r1, 5" in lines[0]
+        assert "ret" in lines[1]
+
+    def test_encoding_is_disassembly_stable(self):
+        instr = Instruction(op=Opcode.ADDI, rd=2, rs1=3, imm=-7)
+        assert disassemble(encode(instr)) == "addi r2, r3, -7"
+
+
+class TestConfigReport:
+    def test_table2_mentions_all_key_knobs(self):
+        text = render_table2(DEFAULT_CONFIG)
+        assert "48-entry RAS" in text
+        assert "W^X" in text
+        assert "1000 cycles" in text
+
+    def test_table2_tracks_config_changes(self):
+        import dataclasses
+
+        custom = dataclasses.replace(DEFAULT_CONFIG, ras_entries=16)
+        assert "16-entry RAS" in render_table2(custom)
+
+    def test_table3_is_per_benchmark(self):
+        text = render_table3()
+        assert text.count("\n") >= 5
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_surface(self):
+        """The README's quickstart names must exist and compose."""
+        spec, chain = repro.deliver_rop_attack(
+            repro.build_workload(repro.APACHE)
+        )
+        assert spec.label == "apache+rop"
+        assert len(chain.stack_words) == 4
+        framework = repro.RnRSafe(spec)
+        assert framework.spec is spec
+
+    def test_log_cursor_public_accessor(self):
+        from repro.rnr import InputLog, RdtscRecord
+
+        log = InputLog()
+        log.append(RdtscRecord(value=1))
+        cursor = log.cursor()
+        assert cursor.log is log
+
+
+class TestDocumentation:
+    """The shipped documentation set stays present and non-trivial."""
+
+    def test_top_level_documents_exist(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+            path = root / name
+            assert path.exists(), name
+            assert len(path.read_text()) > 2000, name
+
+    def test_reference_docs_exist(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[1] / "docs"
+        for name in ("GUEST_ABI.md", "LOG_FORMAT.md"):
+            assert (root / name).exists(), name
+
+    def test_examples_are_runnable_scripts(self):
+        import pathlib
+
+        examples = pathlib.Path(__file__).resolve().parents[1] / "examples"
+        scripts = sorted(examples.glob("*.py"))
+        assert len(scripts) >= 3
+        for script in scripts:
+            text = script.read_text()
+            assert '__name__ == "__main__"' in text, script.name
+
+    def test_benchmarks_cover_every_figure_and_table(self):
+        import pathlib
+
+        benches = pathlib.Path(__file__).resolve().parents[1] / "benchmarks"
+        names = {path.stem for path in benches.glob("test_*.py")}
+        for required in ("test_fig5_recording", "test_fig6_log_rates",
+                         "test_fig7_replay", "test_fig8_false_alarms",
+                         "test_fig9_alarm_replay",
+                         "test_tab1_framework_uses",
+                         "test_tab23_configuration", "test_sec6_attack",
+                         "test_sec84_response_window"):
+            assert required in names, required
+
+
+class TestExitControlsCopy:
+    def test_copy_is_independent(self):
+        from repro.cpu import ExitControls
+
+        original = ExitControls(trap_call_ret=True)
+        original.breakpoints.add(5)
+        duplicate = original.copy()
+        duplicate.breakpoints.add(9)
+        duplicate.trap_call_ret = False
+        assert original.breakpoints == {5}
+        assert original.trap_call_ret
+        assert duplicate.breakpoints == {5, 9}

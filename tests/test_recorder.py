@@ -1,0 +1,172 @@
+"""Tests for the recording hypervisor and the four recording setups."""
+
+import pytest
+
+from repro.core.modes import (
+    ALL_RECORDING_SETUPS,
+    NO_REC,
+    NO_REC_PV,
+    REC,
+    REC_NO_RAS,
+    record_benchmark,
+)
+from repro.perf.account import Category
+from repro.rnr.records import (
+    AlarmRecord,
+    EndRecord,
+    EvictRecord,
+    InterruptRecord,
+    NetworkDmaRecord,
+    RdtscRecord,
+)
+from repro.rnr.recorder import Recorder, RecorderOptions
+
+from tests.conftest import cached_recording, small_workload
+
+
+class TestLogStructure:
+    def test_log_ends_with_end_record(self):
+        spec, run = cached_recording("mysql")
+        assert isinstance(run.log[len(run.log) - 1], EndRecord)
+
+    def test_async_records_are_icount_monotonic(self):
+        spec, run = cached_recording("apache")
+        last = -1
+        for record in run.log.records():
+            icount = getattr(record, "icount", None)
+            if icount is not None:
+                assert icount >= last
+                last = icount
+
+    def test_rdtsc_values_are_monotonic(self):
+        spec, run = cached_recording("mysql")
+        values = [r.value for r in run.log.records()
+                  if isinstance(r, RdtscRecord)]
+        assert len(values) > 5
+        assert values == sorted(values)
+
+    def test_interrupts_present(self):
+        spec, run = cached_recording("fileio")
+        vectors = {r.vector for r in run.log.records()
+                   if isinstance(r, InterruptRecord)}
+        assert 1 in vectors  # timer
+        assert 2 in vectors  # disk
+
+    def test_network_content_logged_verbatim(self):
+        spec, run = cached_recording("apache")
+        payloads = [r.words for r in run.log.records()
+                    if isinstance(r, NetworkDmaRecord)]
+        assert payloads
+        scheduled = {payload for _, payload in spec.packet_schedule}
+        for payload in payloads:
+            assert payload in scheduled
+
+    def test_end_record_carries_digest(self):
+        spec, run = cached_recording("mysql")
+        end = run.log[len(run.log) - 1]
+        assert end.digest != 0
+
+    def test_log_serialization_round_trip(self):
+        spec, run = cached_recording("mysql")
+        from repro.rnr.log import InputLog
+
+        parsed = InputLog.from_bytes(run.log.to_bytes())
+        assert parsed.records() == run.log.records()
+
+
+class TestSetups:
+    def test_norec_produces_no_log(self):
+        spec = small_workload("radiosity")
+        run = record_benchmark(spec, NO_REC, max_instructions=1_000_000)
+        assert len(run.log) == 0
+        assert run.metrics.log_bytes == 0
+
+    def test_rec_is_slower_than_norec(self):
+        spec = small_workload("mysql")
+        norec = record_benchmark(spec, NO_REC, max_instructions=2_000_000)
+        rec = record_benchmark(spec, REC, max_instructions=2_000_000)
+        assert rec.metrics.total_cycles > norec.metrics.total_cycles
+
+    def test_pv_is_faster_than_emulated(self):
+        spec = small_workload("fileio")
+        pv = record_benchmark(spec, NO_REC_PV, max_instructions=2_000_000)
+        emulated = record_benchmark(spec, NO_REC, max_instructions=2_000_000)
+        assert pv.metrics.total_cycles < emulated.metrics.total_cycles
+
+    def test_recnoras_skips_ras_costs(self):
+        spec = small_workload("mysql")
+        noras = record_benchmark(spec, REC_NO_RAS, max_instructions=2_000_000)
+        rec = record_benchmark(spec, REC, max_instructions=2_000_000)
+        assert noras.metrics.account.cycles(Category.RAS) == 0
+        assert rec.metrics.account.cycles(Category.RAS) > 0
+
+    def test_recnoras_raises_no_alarms(self):
+        spec = small_workload("apache")
+        run = record_benchmark(spec, REC_NO_RAS, max_instructions=2_000_000)
+        assert run.alarms == []
+        assert run.evicts == []
+
+    @pytest.mark.parametrize("setup", ALL_RECORDING_SETUPS,
+                             ids=lambda s: s.name)
+    def test_every_setup_completes(self, setup):
+        spec = small_workload("make")
+        run = record_benchmark(spec, setup, max_instructions=2_000_000)
+        assert run.stop_reason in ("shutdown", "budget")
+
+
+class TestRecorderInvariants:
+    def test_every_filter_config_replays_deterministically(self):
+        """Filters change exits and timing, but each configuration's own
+        recording must still replay exactly (alarms/evicts are markers,
+        not state changes)."""
+        from repro.replay.base import DeterministicReplayer
+
+        spec = small_workload("apache")
+        for backras, whitelist in ((True, True), (False, True),
+                                   (False, False)):
+            options = RecorderOptions(
+                backras=backras, whitelist=whitelist,
+                max_instructions=2_000_000, digest=True,
+            )
+            run = Recorder(spec, options).run()
+            result = DeterministicReplayer(spec, run.log.cursor()).run()
+            assert result.reached_end and result.digest_checked
+
+    def test_stall_on_alarm_stops_before_payload(self):
+        from tests.conftest import cached_attack_recording
+        spec, chain, _ = cached_attack_recording()
+        options = RecorderOptions(stall_on_alarm=True,
+                                  max_instructions=3_000_000)
+        run = Recorder(spec, options).run()
+        assert run.stop_reason == "alarm_stall"
+        # set_root never ran: the UID cell is untouched.
+        assert run.machine.memory.read_word(spec.kernel.layout.uid_addr) == 1000
+
+    def test_alarm_cycles_recorded(self):
+        from tests.conftest import cached_attack_recording
+        spec, chain, run = cached_attack_recording()
+        for alarm in run.alarms:
+            assert alarm.icount in run.alarm_cycles
+
+    def test_evict_records_precede_matching_underflows(self):
+        spec, run = cached_recording("apache")
+        evict_icounts = [r.icount for r in run.log.records()
+                         if isinstance(r, EvictRecord)]
+        underflow_icounts = [
+            r.icount for r in run.log.records()
+            if isinstance(r, AlarmRecord) and r.kind.value == "underflow"
+        ]
+        if underflow_icounts:
+            assert evict_icounts
+            assert min(evict_icounts) < min(underflow_icounts)
+
+    def test_budget_stop_still_writes_end_record(self):
+        spec = small_workload("radiosity")
+        run = Recorder(spec, RecorderOptions(max_instructions=20_000)).run()
+        assert run.stop_reason == "budget"
+        assert isinstance(run.log[len(run.log) - 1], EndRecord)
+
+    def test_metrics_report_backras_traffic(self):
+        spec, run = cached_recording("mysql")
+        assert run.metrics.backras_bytes > 0
+        assert run.metrics.context_switches > 0

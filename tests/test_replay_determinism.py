@@ -1,0 +1,158 @@
+"""The central invariant: replay reproduces the recording exactly."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReplayDivergenceError
+from repro.replay.base import DeterministicReplayer
+from repro.rnr.log import InputLog
+from repro.rnr.records import EndRecord, InterruptRecord, RdtscRecord
+from repro.rnr.recorder import Recorder, RecorderOptions
+from repro.workloads import profile_by_name
+from repro.workloads.suite import build_workload
+
+from tests.conftest import cached_attack_recording, cached_recording, small_workload
+
+
+BENCHMARKS = ("apache", "fileio", "make", "mysql", "radiosity")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_replay_matches_digest(self, name):
+        spec, run = cached_recording(name)
+        result = DeterministicReplayer(spec, run.log.cursor()).run()
+        assert result.reached_end
+        assert result.digest_checked
+
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_replay_matches_instruction_count(self, name):
+        spec, run = cached_recording(name)
+        replayer = DeterministicReplayer(spec, run.log.cursor())
+        replayer.run()
+        assert replayer.machine.cpu.icount == run.metrics.instructions
+
+    def test_attack_run_replays_exactly(self):
+        spec, chain, run = cached_attack_recording()
+        result = DeterministicReplayer(spec, run.log.cursor()).run()
+        assert result.reached_end
+        assert result.digest_checked
+
+    def test_replay_reproduces_register_state(self):
+        spec, run = cached_recording("mysql")
+        replayer = DeterministicReplayer(spec, run.log.cursor(),
+                                         verify_digest=False)
+        replayer.run()
+        assert replayer.machine.cpu.regs == run.machine.cpu.regs
+        assert replayer.machine.cpu.pc == run.machine.cpu.pc
+
+    def test_replay_reproduces_console_output(self):
+        spec, run = cached_recording("mysql")
+        replayer = DeterministicReplayer(spec, run.log.cursor(),
+                                         verify_digest=False)
+        replayer.run()
+        assert replayer.machine.console.text == run.machine.console.text
+
+    def test_replay_reproduces_disk_state(self):
+        spec, run = cached_recording("fileio")
+        replayer = DeterministicReplayer(spec, run.log.cursor(),
+                                         verify_digest=False)
+        replayer.run()
+        for block in run.machine.disk.dirty_blocks():
+            assert (replayer.machine.disk.read_block(block)
+                    == run.machine.disk.read_block(block))
+
+    @settings(deadline=None, max_examples=6)
+    @given(seed=st.integers(0, 2**16))
+    def test_determinism_for_arbitrary_seeds(self, seed):
+        """Any seeded workload records and replays to the same digest."""
+        profile = dataclasses.replace(
+            profile_by_name("mysql"), iterations=3, tasks=2,
+            compute_per_iter=300,
+        )
+        spec = build_workload(profile, seed=seed)
+        run = Recorder(spec, RecorderOptions(max_instructions=400_000)).run()
+        result = DeterministicReplayer(spec, run.log.cursor()).run()
+        assert result.reached_end
+        assert result.digest_checked
+
+
+class TestDivergenceDetection:
+    def _tampered(self, run, mutate):
+        log = InputLog()
+        for record in run.log.records():
+            log.append(mutate(record))
+        return log
+
+    def test_tampered_network_payload_detected(self):
+        """Flipping one payload word changes guest memory, so replay ends
+        with a digest mismatch at the latest (or diverges earlier if the
+        change alters control flow)."""
+        from repro.rnr.records import NetworkDmaRecord
+
+        spec, run = cached_recording("apache")
+        tampered_one = [False]
+
+        def mutate(record):
+            if isinstance(record, NetworkDmaRecord) and not tampered_one[0]:
+                tampered_one[0] = True
+                words = (record.words[0] ^ 0x5A5A,) + record.words[1:]
+                return NetworkDmaRecord(icount=record.icount,
+                                        addr=record.addr, words=words)
+            return record
+
+        tampered = self._tampered(run, mutate)
+        assert tampered_one is not None
+        with pytest.raises(ReplayDivergenceError):
+            DeterministicReplayer(spec, tampered.cursor()).run()
+
+    def test_shifted_interrupt_detected(self):
+        spec, run = cached_recording("fileio")
+        shifted_one = [False]
+
+        def mutate(record):
+            if isinstance(record, InterruptRecord) and not shifted_one[0]:
+                shifted_one[0] = True
+                return InterruptRecord(icount=record.icount + 40_000_000,
+                                       vector=record.vector)
+            return record
+
+        tampered = self._tampered(run, mutate)
+        with pytest.raises(ReplayDivergenceError):
+            DeterministicReplayer(spec, tampered.cursor()).run()
+
+    def test_wrong_digest_detected(self):
+        spec, run = cached_recording("mysql")
+
+        def mutate(record):
+            if isinstance(record, EndRecord):
+                return EndRecord(icount=record.icount,
+                                 digest=record.digest ^ 1)
+            return record
+
+        tampered = self._tampered(run, mutate)
+        with pytest.raises(ReplayDivergenceError):
+            DeterministicReplayer(spec, tampered.cursor()).run()
+
+    def test_wrong_spec_diverges(self):
+        """Replaying a log on the wrong workload must fail loudly."""
+        spec_a, run = cached_recording("mysql")
+        spec_b = small_workload("mysql", seed=999)
+        with pytest.raises(ReplayDivergenceError):
+            replayer = DeterministicReplayer(spec_b, run.log.cursor())
+            replayer.run()
+
+    def test_truncated_log_reports_exhaustion(self):
+        spec, run = cached_recording("mysql")
+        log = InputLog()
+        for record in run.log.records()[: len(run.log) // 2]:
+            log.append(record)
+        replayer = DeterministicReplayer(spec, log.cursor())
+        try:
+            result = replayer.run()
+        except ReplayDivergenceError:
+            return  # acceptable: truncation surfaced as divergence
+        assert not result.reached_end
+        assert result.stop_reason == "log_exhausted"

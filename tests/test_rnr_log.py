@@ -1,0 +1,159 @@
+"""Tests for log records, binary serialization, and cursors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpu.exits import RopAlarmKind
+from repro.errors import LogError
+from repro.rnr import (
+    AlarmRecord,
+    DiskDmaRecord,
+    EndRecord,
+    EvictRecord,
+    InputLog,
+    InterruptRecord,
+    MmioReadRecord,
+    NetworkDmaRecord,
+    PioInRecord,
+    RdrandRecord,
+    RdtscRecord,
+    is_async_record,
+    parse_record,
+    record_size_bytes,
+    serialize_record,
+)
+
+SAMPLE_RECORDS = [
+    RdtscRecord(value=12345),
+    RdrandRecord(value=2**63),
+    PioInRecord(port=11, value=1),
+    MmioReadRecord(addr=0x0F00_0000, value=42),
+    InterruptRecord(icount=999, vector=3),
+    DiskDmaRecord(icount=1000, block=17, addr=0x3000),
+    NetworkDmaRecord(icount=1001, addr=0x6000, words=(1, 2, 3)),
+    EvictRecord(icount=1002, tid=2, value=0x1234),
+    EvictRecord(icount=1003, tid=-1, value=5),
+    AlarmRecord(icount=1004, kind=RopAlarmKind.MISMATCH, pc=0x11F7,
+                predicted=0x1100, actual=0x1162, tid=1),
+    AlarmRecord(icount=1005, kind=RopAlarmKind.UNDERFLOW, pc=0x118C,
+                predicted=None, actual=0x118C, tid=-1),
+    AlarmRecord(icount=1006, kind=RopAlarmKind.JOP, pc=0x1111,
+                predicted=None, actual=0x2222, tid=0),
+    EndRecord(icount=5000, digest=0xDEADBEEF),
+]
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("record", SAMPLE_RECORDS,
+                             ids=lambda r: type(r).__name__ + str(id(r) % 97))
+    def test_round_trip(self, record):
+        data = serialize_record(record)
+        parsed, offset = parse_record(data)
+        assert parsed == record
+        assert offset == len(data)
+
+    def test_size_matches_serialization(self):
+        for record in SAMPLE_RECORDS:
+            assert record_size_bytes(record) == len(serialize_record(record))
+
+    def test_network_payload_dominates_size(self):
+        small = NetworkDmaRecord(icount=1, addr=2, words=(1,))
+        big = NetworkDmaRecord(icount=1, addr=2, words=tuple(range(1, 301)))
+        assert record_size_bytes(big) > 100 * record_size_bytes(small) / 10
+
+    def test_parse_garbage_rejected(self):
+        with pytest.raises(LogError):
+            parse_record(b"\xff\x01\x02")
+
+    def test_parse_truncated_rejected(self):
+        data = serialize_record(NetworkDmaRecord(icount=1, addr=2,
+                                                 words=(9, 9, 9)))
+        with pytest.raises(LogError):
+            parse_record(data[:-2])
+
+    @given(
+        icount=st.integers(0, 2**40),
+        addr=st.integers(0, 2**32),
+        words=st.lists(st.integers(0, 2**64 - 1), max_size=20),
+    )
+    def test_network_record_round_trip_property(self, icount, addr, words):
+        record = NetworkDmaRecord(icount=icount, addr=addr,
+                                  words=tuple(words))
+        parsed, _ = parse_record(serialize_record(record))
+        assert parsed == record
+
+    @given(value=st.integers(0, 2**64 - 1))
+    def test_rdtsc_round_trip_property(self, value):
+        parsed, _ = parse_record(serialize_record(RdtscRecord(value=value)))
+        assert parsed == RdtscRecord(value=value)
+
+
+class TestAsyncClassification:
+    def test_sync_records(self):
+        for record in (RdtscRecord(1), RdrandRecord(1),
+                       PioInRecord(1, 2), MmioReadRecord(1, 2)):
+            assert not is_async_record(record)
+
+    def test_async_records(self):
+        for record in SAMPLE_RECORDS[4:]:
+            assert is_async_record(record)
+
+
+class TestInputLog:
+    def test_append_and_size(self):
+        log = InputLog()
+        size = log.append(RdtscRecord(value=5))
+        assert size > 0
+        assert log.total_bytes == size
+        assert len(log) == 1
+
+    def test_whole_log_round_trip(self):
+        log = InputLog()
+        for record in SAMPLE_RECORDS:
+            log.append(record)
+        parsed = InputLog.from_bytes(log.to_bytes())
+        assert parsed.records() == log.records()
+        assert parsed.total_bytes == log.total_bytes
+
+    def test_bytes_between(self):
+        log = InputLog()
+        sizes = [log.append(record) for record in SAMPLE_RECORDS]
+        assert log.bytes_between(0, len(log)) == sum(sizes)
+        assert log.bytes_between(2, 4) == sizes[2] + sizes[3]
+        assert log.bytes_between(3, 3) == 0
+
+
+class TestCursor:
+    def _log(self):
+        log = InputLog()
+        log.append(RdtscRecord(value=1))
+        log.append(InterruptRecord(icount=2, vector=3))
+        return log
+
+    def test_peek_pop(self):
+        cursor = self._log().cursor()
+        assert cursor.peek() == RdtscRecord(value=1)
+        assert cursor.pop() == RdtscRecord(value=1)
+        assert cursor.pop() == InterruptRecord(icount=2, vector=3)
+        assert cursor.peek() is None
+
+    def test_pop_past_end_raises(self):
+        cursor = self._log().cursor(position=2)
+        with pytest.raises(LogError):
+            cursor.pop()
+
+    def test_expect_type_mismatch(self):
+        cursor = self._log().cursor()
+        with pytest.raises(LogError):
+            cursor.expect(InterruptRecord)
+
+    def test_clone_is_independent(self):
+        cursor = self._log().cursor()
+        clone = cursor.clone()
+        cursor.pop()
+        assert clone.position == 0
+        assert cursor.position == 1
+
+    def test_cursor_from_position(self):
+        cursor = self._log().cursor(position=1)
+        assert isinstance(cursor.peek(), InterruptRecord)

@@ -1,0 +1,164 @@
+"""Tests for workload generation and the performance model."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.errors import WorkloadError
+from repro.perf.account import (
+    Category,
+    CycleAccount,
+    RECORDING_BREAKDOWN,
+    REPLAY_BREAKDOWN,
+)
+from repro.perf.report import (
+    OverheadBreakdown,
+    RunMetrics,
+    normalized_time,
+)
+from repro.workloads import (
+    ALL_PROFILES,
+    APACHE,
+    BenchmarkProfile,
+    build_workload,
+    profile_by_name,
+)
+from repro.workloads.userprog import build_user_program
+from repro.kernel.layout import DEFAULT_LAYOUT
+
+from tests.conftest import small_workload
+
+
+class TestProfiles:
+    def test_all_five_paper_benchmarks_exist(self):
+        names = {profile.name for profile in ALL_PROFILES}
+        assert names == {"apache", "fileio", "make", "mysql", "radiosity"}
+
+    def test_lookup_by_name(self):
+        assert profile_by_name("apache") is APACHE
+        with pytest.raises(WorkloadError):
+            profile_by_name("postgres")
+
+    def test_invalid_profiles_rejected(self):
+        with pytest.raises(WorkloadError):
+            BenchmarkProfile(name="x", tasks=0, iterations=1,
+                             rdtsc_per_iter=0, compute_per_iter=1,
+                             call_depth=1)
+        with pytest.raises(WorkloadError):
+            BenchmarkProfile(name="x", tasks=1, iterations=1,
+                             rdtsc_per_iter=0, compute_per_iter=1,
+                             call_depth=1, recv_per_iter=1)
+
+    def test_event_mixes_match_the_paper(self):
+        """Table 3 shapes: apache is the only network consumer; fileio and
+        make touch disk; radiosity is compute-only."""
+        apache = profile_by_name("apache")
+        assert apache.recv_per_iter > 0 and apache.packet_budget > 0
+        assert profile_by_name("fileio").disk_read_every > 0
+        assert profile_by_name("make").spawn_every > 0
+        radiosity = profile_by_name("radiosity")
+        assert radiosity.recv_per_iter == 0
+        assert radiosity.disk_read_every == 0
+        mysql = profile_by_name("mysql")
+        assert mysql.rdtsc_per_iter >= apache.rdtsc_per_iter
+
+
+class TestProgramGeneration:
+    def test_program_is_reproducible(self):
+        first = build_user_program(APACHE, DEFAULT_LAYOUT, 1, 0x20000, 7)
+        second = build_user_program(APACHE, DEFAULT_LAYOUT, 1, 0x20000, 7)
+        assert first.image.words == second.image.words
+
+    def test_programs_vary_by_tid(self):
+        a = build_user_program(APACHE, DEFAULT_LAYOUT, 1, 0x20000, 7)
+        b = build_user_program(APACHE, DEFAULT_LAYOUT, 2, 0x20000, 7)
+        assert a.image.words != b.image.words
+
+    def test_spec_is_reproducible(self):
+        spec_a = small_workload("mysql", seed=5)
+        spec_b = small_workload("mysql", seed=5)
+        assert spec_a.packet_schedule == spec_b.packet_schedule
+        assert [i.words for i in spec_a.user_images] == \
+               [i.words for i in spec_b.user_images]
+
+    def test_benign_payloads_terminate_early(self):
+        spec = small_workload("apache")
+        buffer = spec.kernel.layout.vulnerable_buffer_words
+        for _, payload in spec.packet_schedule:
+            # Every benign message has a zero well inside the parse buffer.
+            assert 0 in payload[:buffer - 8]
+
+    def test_too_many_tasks_rejected(self):
+        profile = dataclasses.replace(profile_by_name("mysql"), tasks=9)
+        with pytest.raises(WorkloadError):
+            build_workload(profile)
+
+    def test_packet_schedule_is_sorted(self):
+        spec = small_workload("apache")
+        cycles = [cycle for cycle, _ in spec.packet_schedule]
+        assert cycles == sorted(cycles)
+
+
+class TestCycleAccount:
+    def test_charge_and_totals(self):
+        account = CycleAccount()
+        account.charge(Category.RDTSC, 100)
+        account.charge(Category.RDTSC, 50, events=2)
+        account.charge(Category.RAS, 10)
+        assert account.cycles(Category.RDTSC) == 150
+        assert account.events(Category.RDTSC) == 3
+        assert account.total_overhead == 160
+        assert account.by_category() == {Category.RDTSC: 150,
+                                         Category.RAS: 10}
+
+    def test_merge(self):
+        first = CycleAccount()
+        first.charge(Category.DEVICE, 5)
+        second = CycleAccount()
+        second.charge(Category.DEVICE, 7)
+        first.merge(second)
+        assert first.cycles(Category.DEVICE) == 12
+
+    def test_breakdown_category_sets(self):
+        assert Category.CHECKPOINT not in RECORDING_BREAKDOWN
+        assert Category.CHECKPOINT in REPLAY_BREAKDOWN
+        assert Category.DEVICE not in RECORDING_BREAKDOWN
+
+
+class TestRunMetrics:
+    def _metrics(self, cycles=1000, overhead=0):
+        account = CycleAccount()
+        if overhead:
+            account.charge(Category.RDTSC, overhead)
+        return RunMetrics(label="x", instructions=cycles,
+                          guest_cycles=cycles, account=account,
+                          log_bytes=500_000)
+
+    def test_total_cycles(self):
+        assert self._metrics(1000, 200).total_cycles == 1200
+
+    def test_normalized_time(self):
+        base = self._metrics(1000)
+        run = self._metrics(1000, 270)
+        assert normalized_time(run, base) == pytest.approx(1.27)
+
+    def test_log_rate(self):
+        metrics = self._metrics(DEFAULT_CONFIG.cycles_per_second)
+        assert metrics.log_rate_mb_per_s(DEFAULT_CONFIG) == pytest.approx(0.5)
+
+    def test_alarms_per_million(self):
+        metrics = self._metrics(2_000_000)
+        metrics.alarms = 4
+        assert metrics.alarms_per_million() == pytest.approx(2.0)
+
+    def test_breakdown_percentages(self):
+        account = CycleAccount()
+        account.charge(Category.RDTSC, 750)
+        account.charge(Category.RAS, 250)
+        breakdown = OverheadBreakdown.from_account(
+            "x", account, RECORDING_BREAKDOWN,
+        )
+        assert breakdown.percent_of(Category.RDTSC) == pytest.approx(75.0)
+        assert breakdown.dominant() is Category.RDTSC
+        assert breakdown.percent_of(Category.NETWORK) == 0.0
