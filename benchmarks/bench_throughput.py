@@ -1,0 +1,176 @@
+"""Simulator throughput harness: instructions/second for the three hot loops.
+
+Every figure in this reproduction bottoms out in one of three loops —
+recording (Fig 5), checkpointing replay (Fig 7), and alarm replay (Fig 9) —
+so this harness times all three over the workload suite and emits
+``BENCH_throughput.json``.  The numbers are *host* wall-clock throughput of
+the simulator itself (how fast the Python interpreter pushes guest
+instructions), not simulated guest time; they are the perf trajectory every
+future PR is measured against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py              # full run
+    PYTHONPATH=src python benchmarks/bench_throughput.py --smoke      # CI smoke
+    PYTHONPATH=src python benchmarks/bench_throughput.py \
+        --benchmarks apache mysql --budget 500000 --out my.json
+
+See ``docs/PERFORMANCE.md`` for how to read the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.core.parallel import resolve_alarms_parallel
+from repro.replay.alarm import AlarmReplayer
+from repro.replay.checkpointing import (
+    CheckpointingOptions,
+    CheckpointingReplayer,
+)
+from repro.rnr.recorder import Recorder, RecorderOptions
+from repro.errors import WorkloadError
+from repro.workloads import ALL_PROFILES, build_workload, profile_by_name
+
+DEFAULT_BUDGET = 1_000_000
+SMOKE_BUDGET = 150_000
+
+#: Where the results land unless --out overrides it (repo root).
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+
+def _timed(fn):
+    """Run ``fn`` and return (result, elapsed_seconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _phase(instructions: int, seconds: float) -> dict:
+    return {
+        "instructions": instructions,
+        "seconds": round(seconds, 4),
+        "ips": round(instructions / seconds) if seconds > 0 else None,
+    }
+
+
+def bench_workload(name: str, budget: int, ar_backend: str | None) -> dict:
+    """Time record, CR replay, and AR replay for one paper benchmark."""
+    spec = build_workload(profile_by_name(name))
+    result: dict = {}
+
+    recorder = Recorder(spec, RecorderOptions(max_instructions=budget))
+    run, seconds = _timed(recorder.run)
+    result["record"] = _phase(run.metrics.instructions, seconds)
+
+    replayer = CheckpointingReplayer(spec, run.log, CheckpointingOptions())
+    cr, seconds = _timed(replayer.run_to_end)
+    result["cr_replay"] = _phase(cr.replay.metrics.instructions, seconds)
+
+    # Alarm replay: launch an AR from the latest checkpoint preceding the
+    # first unresolved alarm (the common Figure 9 path).  Workloads without
+    # residual alarms report null.
+    if cr.pending_alarms:
+        alarm = cr.pending_alarms[0]
+        checkpoint = cr.store.latest_before(alarm.icount)
+        ar = AlarmReplayer(
+            spec, run.log, alarm,
+            checkpoint=checkpoint,
+            store=cr.store if checkpoint is not None else None,
+        )
+        start_icount = ar.machine.cpu.icount
+        _, seconds = _timed(ar.analyze)
+        result["ar_replay"] = _phase(
+            ar.machine.cpu.icount - start_icount, seconds,
+        )
+
+        resolution, seconds = _timed(
+            lambda: resolve_alarms_parallel(
+                spec, run.log, cr.pending_alarms, store=cr.store,
+                backend=ar_backend,
+            )
+        )
+        result["ar_parallel"] = {
+            "alarms": len(cr.pending_alarms),
+            "backend": ar_backend or "thread",
+            "seconds": round(seconds, 4),
+            "verdicts": [v.kind.value for v in resolution.verdicts],
+        }
+    else:
+        result["ar_replay"] = None
+        result["ar_parallel"] = None
+    return result
+
+
+def _geomean(values: list[float]) -> float | None:
+    values = [v for v in values if v]
+    if not values:
+        return None
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--budget", type=int, default=DEFAULT_BUDGET,
+                        help="recording instruction budget per workload")
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        help="workload subset (default: the full suite)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help="output JSON path")
+    parser.add_argument("--ar-backend", choices=("thread", "process"),
+                        default=None,
+                        help="parallel-AR backend (default: config default)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI run: one workload, small budget")
+    args = parser.parse_args(argv)
+
+    names = args.benchmarks or [p.name for p in ALL_PROFILES]
+    try:
+        for name in names:
+            profile_by_name(name)
+    except WorkloadError as exc:
+        parser.error(str(exc))
+    budget = args.budget
+    if args.smoke:
+        names = names[:1]
+        budget = min(budget, SMOKE_BUDGET)
+
+    report: dict = {
+        "budget": budget,
+        "benchmarks": {},
+    }
+    for name in names:
+        print(f"[bench_throughput] {name} (budget {budget}) ...",
+              flush=True)
+        entry = bench_workload(name, budget, args.ar_backend)
+        report["benchmarks"][name] = entry
+        for phase in ("record", "cr_replay", "ar_replay"):
+            stats = entry.get(phase)
+            if stats:
+                print(f"    {phase:<10} {stats['ips']:>10,} instr/s "
+                      f"({stats['instructions']:,} instr in "
+                      f"{stats['seconds']:.2f}s)", flush=True)
+
+    report["aggregate"] = {
+        "record_ips_geomean": _geomean(
+            [e["record"]["ips"] for e in report["benchmarks"].values()]),
+        "cr_replay_ips_geomean": _geomean(
+            [e["cr_replay"]["ips"] for e in report["benchmarks"].values()]),
+        "ar_replay_ips_geomean": _geomean(
+            [e["ar_replay"]["ips"]
+             for e in report["benchmarks"].values() if e["ar_replay"]]),
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_throughput] wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

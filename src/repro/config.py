@@ -97,6 +97,11 @@ class SimulationConfig:
     checkpoint_period_s: float = 1.0
     #: Seed for every nondeterministic host-world schedule.
     seed: int = 2018
+    #: Default backend for parallel alarm replay: ``"thread"`` (GIL-bound
+    #: pool, cheap startup) or ``"process"`` (one OS process per worker —
+    #: real multi-core replay, iReplayer-style).  Either backend yields
+    #: identical, input-ordered verdicts; see ``repro.core.parallel``.
+    ar_backend: str = "thread"
     #: Cycle-cost model.
     costs: CostModel = field(default_factory=CostModel)
 

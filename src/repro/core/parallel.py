@@ -4,21 +4,48 @@
 same or different ROP alarms in parallel."  Each AR owns a private machine
 rebuilt from the immutable :class:`~repro.hypervisor.machine.MachineSpec`
 and reads the shared log and checkpoint store without mutating them, so
-replayers are embarrassingly parallel; this module runs a batch of them on
-a thread pool and aggregates the verdicts.
+replayers are embarrassingly parallel; this module runs a batch of them and
+aggregates the verdicts.
+
+Two backends are available (selectable per call or via
+``SimulationConfig.ar_backend``):
+
+* ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`.  Cheap
+  to start but GIL-bound: ARs interleave on one core, so wall-clock gains
+  come only from whatever little the interpreter releases the GIL for.
+* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`, the
+  iReplayer-style multiplier: ARs really run on separate cores.  The input
+  log crosses the process boundary through its byte serialization
+  (``rnr/serialize.py``), alarms as serialized records, and the spec,
+  checkpoint store, and options by pickling; each worker deserializes once
+  in its initializer and then analyzes any number of alarms.  If the
+  process pool cannot be used (platform restrictions, unpicklable state),
+  the call silently falls back to the thread backend — verdicts are
+  identical either way, only wall-clock differs.
+
+Batches of zero or one alarm never spin up an executor at all; they run
+inline on the calling thread.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import os
+import pickle
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass
 
+from repro.errors import HypervisorError
 from repro.hypervisor.machine import MachineSpec
 from repro.replay.alarm import AlarmReplayer, AlarmReplayOptions
 from repro.replay.checkpoint import CheckpointStore
 from repro.replay.verdict import AlarmVerdict, VerdictKind
 from repro.rnr.log import InputLog
 from repro.rnr.records import AlarmRecord
+from repro.rnr.serialize import parse_record, serialize_record
 
 
 @dataclass(frozen=True)
@@ -26,6 +53,8 @@ class ParallelResolution:
     """Aggregated verdicts from one parallel AR batch."""
 
     verdicts: tuple[AlarmVerdict, ...]
+    #: Backend that actually ran the batch ("inline", "thread", "process").
+    backend: str = "thread"
 
     @property
     def attacks(self) -> tuple[AlarmVerdict, ...]:
@@ -43,6 +72,44 @@ class ParallelResolution:
                      if v.kind is VerdictKind.INCONCLUSIVE)
 
 
+def _analyze_one(spec: MachineSpec, log: InputLog, alarm: AlarmRecord,
+                 store: CheckpointStore | None,
+                 options: AlarmReplayOptions | None) -> AlarmVerdict:
+    """Run one AR to its verdict (shared by every backend)."""
+    checkpoint = (store.latest_before(alarm.icount)
+                  if store is not None else None)
+    replayer = AlarmReplayer(
+        spec, log, alarm,
+        checkpoint=checkpoint,
+        store=store if checkpoint is not None else None,
+        options=options if options is not None else AlarmReplayOptions(),
+    )
+    return replayer.analyze()
+
+
+# Per-worker-process state, installed once by ``_init_ar_worker`` so the
+# spec, log, and checkpoint store cross the process boundary a single time
+# per worker instead of once per alarm.
+_WORKER_STATE: dict = {}
+
+
+def _init_ar_worker(spec: MachineSpec, log_bytes: bytes,
+                    store: CheckpointStore | None,
+                    options: AlarmReplayOptions | None):
+    _WORKER_STATE["spec"] = spec
+    _WORKER_STATE["log"] = InputLog.from_bytes(log_bytes)
+    _WORKER_STATE["store"] = store
+    _WORKER_STATE["options"] = options
+
+
+def _analyze_in_worker(alarm_bytes: bytes) -> AlarmVerdict:
+    alarm, _ = parse_record(alarm_bytes)
+    return _analyze_one(
+        _WORKER_STATE["spec"], _WORKER_STATE["log"], alarm,
+        _WORKER_STATE["store"], _WORKER_STATE["options"],
+    )
+
+
 def resolve_alarms_parallel(
     spec: MachineSpec,
     log: InputLog,
@@ -50,26 +117,68 @@ def resolve_alarms_parallel(
     store: CheckpointStore | None = None,
     options: AlarmReplayOptions | None = None,
     max_workers: int = 4,
+    backend: str | None = None,
 ) -> ParallelResolution:
-    """Launch one AR per alarm on a thread pool and collect verdicts.
+    """Launch one AR per alarm and collect verdicts.
 
     Each AR starts from the latest checkpoint preceding its alarm when a
     store is supplied, otherwise from the beginning of the log.  Verdict
-    order matches the input alarm order.
-    """
-    def analyze(alarm: AlarmRecord) -> AlarmVerdict:
-        checkpoint = (store.latest_before(alarm.icount)
-                      if store is not None else None)
-        replayer = AlarmReplayer(
-            spec, log, alarm,
-            checkpoint=checkpoint,
-            store=store if checkpoint is not None else None,
-            options=options if options is not None else AlarmReplayOptions(),
-        )
-        return replayer.analyze()
+    order matches the input alarm order regardless of backend.
 
+    ``backend`` is ``"thread"`` or ``"process"``; ``None`` defers to
+    ``spec.config.ar_backend``.
+    """
+    if backend is None:
+        backend = spec.config.ar_backend
+    if backend not in ("thread", "process"):
+        raise HypervisorError(
+            f"unknown parallel-AR backend {backend!r}; "
+            f"choose 'thread' or 'process'"
+        )
     if not alarms:
-        return ParallelResolution(verdicts=())
-    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        return ParallelResolution(verdicts=(), backend="inline")
+    if len(alarms) == 1:
+        # An executor for a single AR is pure overhead: run it inline.
+        verdict = _analyze_one(spec, log, alarms[0], store, options)
+        return ParallelResolution(verdicts=(verdict,), backend="inline")
+
+    workers = min(max_workers, len(alarms))
+    if backend == "process":
+        try:
+            return _resolve_with_processes(
+                spec, log, alarms, store, options, workers,
+            )
+        except (OSError, ValueError, TypeError, AttributeError,
+                ImportError, pickle.PicklingError, BrokenExecutor):
+            # No usable process pool (sandboxed platform, unpicklable
+            # state, ...): degrade to the GIL-bound thread backend rather
+            # than failing the analysis.
+            pass
+
+    def analyze(alarm: AlarmRecord) -> AlarmVerdict:
+        return _analyze_one(spec, log, alarm, store, options)
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
         verdicts = tuple(pool.map(analyze, alarms))
-    return ParallelResolution(verdicts=verdicts)
+    return ParallelResolution(verdicts=verdicts, backend="thread")
+
+
+def _resolve_with_processes(
+    spec: MachineSpec,
+    log: InputLog,
+    alarms: list[AlarmRecord],
+    store: CheckpointStore | None,
+    options: AlarmReplayOptions | None,
+    workers: int,
+) -> ParallelResolution:
+    cpu_count = os.cpu_count() or 1
+    workers = max(1, min(workers, cpu_count))
+    log_bytes = log.to_bytes()
+    alarm_payloads = [serialize_record(alarm) for alarm in alarms]
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_ar_worker,
+        initargs=(spec, log_bytes, store, options),
+    ) as pool:
+        verdicts = tuple(pool.map(_analyze_in_worker, alarm_payloads))
+    return ParallelResolution(verdicts=verdicts, backend="process")

@@ -42,6 +42,15 @@ _WORD_MASK = 0xFFFF_FFFF_FFFF_FFFF
 #: the cache is shared by every CPU instance and never invalidated.
 _DECODE_CACHE: dict[int, Instruction] = {}
 
+#: Process-wide execution cache: word -> (handler, instruction).  The
+#: handler is the class-level dispatch entry for the instruction's opcode,
+#: so the hot loop resolves fetch+decode+dispatch with a single dict probe.
+#: Like ``_DECODE_CACHE`` it is pure and never invalidated.
+_EXEC_CACHE: dict[int, tuple] = {}
+
+#: Batch bound meaning "no external limit" (callers without a budget).
+UNBOUNDED_STEPS = 1 << 62
+
 
 class FaultKind(enum.IntEnum):
     """Architectural fault codes delivered in ``r10``."""
@@ -91,7 +100,18 @@ class Cpu:
         self._skip_breakpoint_at: int | None = None
         self._fault_streak = 0
         self._last_fault_icount = -10**9
-        self._dispatch = self._build_dispatch()
+        # Fetch-page cache: while ``_fp_lo <= pc < _fp_hi`` and the mode
+        # matches ``_fp_user``, instruction words come straight out of
+        # ``_fp_page`` with no permission walk.  Invalidated whenever
+        # ``memory.version`` moves (permission changes, page restores).
+        self._fp_lo = 1
+        self._fp_hi = 0
+        self._fp_page = None
+        self._fp_user = False
+        self._mem_version = -1
+        # Exit-control hoists refreshed at every run() entry.
+        self._trap_mmio = self.controls.trap_mmio
+        self._mmio_lo, self._mmio_hi = memory.mmio_bounds
 
     # ------------------------------------------------------------------
     # state capture / restore
@@ -159,35 +179,106 @@ class Cpu:
 
     def step(self) -> VmExit | None:
         """Execute one instruction; return a VM exit if one fired."""
-        pc0 = self.pc
-        if self.controls.breakpoints and pc0 in self.controls.breakpoints \
-                and self._skip_breakpoint_at != pc0:
-            return VmExit(VmExitReason.BREAKPOINT, pc=pc0, next_pc=pc0)
-        self._skip_breakpoint_at = None
+        return self.run(1)
+
+    def run(self, max_steps: int) -> VmExit | None:
+        """Execute up to ``max_steps`` instructions; stop early on a VM exit.
+
+        This is the batched inner loop: exit-control, dispatch, and decode
+        lookups are hoisted out of the per-instruction path, and the current
+        fetch page is cached so straight-line code never repeats the
+        permission walk.
+
+        Batch contract (see ``docs/PERFORMANCE.md``): nothing outside the
+        CPU can interrupt a batch, so callers must size ``max_steps`` such
+        that the next external event — a due log record, a due world event,
+        an instruction budget — falls at or after the batch end.  VM exits,
+        guest faults, and breakpoints end a batch from the inside; guest
+        stores stay coherent with the fetch cache because pages mutate in
+        place, and any host-side remapping bumps ``memory.version``, which
+        invalidates the cache at the next ``run()`` entry.
+        """
+        if max_steps <= 0:
+            return None
+        memory = self.memory
+        if memory.version != self._mem_version:
+            self._mem_version = memory.version
+            self._fp_lo, self._fp_hi = 1, 0
+            self._fp_page = None
+        controls = self.controls
+        self._trap_mmio = controls.trap_mmio
+        self._mmio_lo, self._mmio_hi = memory.mmio_bounds
+        breakpoints = controls.breakpoints
+        exec_cache = _EXEC_CACHE
+        cache_get = exec_cache.get
+        dispatch = self._DISPATCH
+        fetch_page = memory.fetch_page
+        fp_lo = self._fp_lo
+        fp_hi = self._fp_hi
+        fp_page = self._fp_page
+        fp_user = self._fp_user
+        remaining = max_steps
         try:
-            word = self.memory.fetch(pc0, self.user)
-        except AccessViolation as violation:
-            return self._deliver_fault(
-                _GuestFault(FaultKind.ACCESS, str(violation)), pc0
-            )
-        instr = _DECODE_CACHE.get(word)
-        if instr is None:
-            try:
-                instr = decode(word)
-            except DecodeError as exc:
-                return self._deliver_fault(
-                    _GuestFault(FaultKind.DECODE, str(exc)), pc0
-                )
-            _DECODE_CACHE[word] = instr
-        self.icount += 1
-        try:
-            return self._dispatch[instr.op](instr)
-        except _GuestFault as fault:
-            return self._deliver_fault(fault, pc0)
-        except AccessViolation as violation:
-            return self._deliver_fault(
-                _GuestFault(FaultKind.ACCESS, str(violation)), pc0
-            )
+            while remaining > 0:
+                remaining -= 1
+                pc0 = self.pc
+                if breakpoints:
+                    if pc0 in breakpoints \
+                            and self._skip_breakpoint_at != pc0:
+                        return VmExit(VmExitReason.BREAKPOINT,
+                                      pc=pc0, next_pc=pc0)
+                    self._skip_breakpoint_at = None
+                if fp_lo <= pc0 < fp_hi and self.user == fp_user:
+                    word = fp_page[pc0 - fp_lo]
+                else:
+                    try:
+                        fp_page, fp_lo, fp_hi = fetch_page(pc0, self.user)
+                    except AccessViolation as violation:
+                        fp_lo, fp_hi = 1, 0
+                        exit_event = self._deliver_fault(
+                            _GuestFault(FaultKind.ACCESS, str(violation)),
+                            pc0,
+                        )
+                        if exit_event is not None:
+                            return exit_event
+                        continue
+                    fp_user = self.user
+                    word = fp_page[pc0 - fp_lo]
+                pair = cache_get(word)
+                if pair is None:
+                    try:
+                        instr = decode(word)
+                    except DecodeError as exc:
+                        exit_event = self._deliver_fault(
+                            _GuestFault(FaultKind.DECODE, str(exc)), pc0
+                        )
+                        if exit_event is not None:
+                            return exit_event
+                        continue
+                    _DECODE_CACHE[word] = instr
+                    pair = (dispatch[instr.op], instr)
+                    exec_cache[word] = pair
+                self.icount += 1
+                try:
+                    exit_event = pair[0](self, pair[1])
+                except _GuestFault as fault:
+                    exit_event = self._deliver_fault(fault, pc0)
+                    if exit_event is not None:
+                        return exit_event
+                    continue
+                except AccessViolation as violation:
+                    exit_event = self._deliver_fault(
+                        _GuestFault(FaultKind.ACCESS, str(violation)), pc0
+                    )
+                    if exit_event is not None:
+                        return exit_event
+                    continue
+                if exit_event is not None:
+                    return exit_event
+            return None
+        finally:
+            self._fp_lo, self._fp_hi = fp_lo, fp_hi
+            self._fp_page, self._fp_user = fp_page, fp_user
 
     # ------------------------------------------------------------------
     # fault plumbing
@@ -248,49 +339,6 @@ class Cpu:
     # ------------------------------------------------------------------
     # instruction handlers
     # ------------------------------------------------------------------
-
-    def _build_dispatch(self):
-        return {
-            Opcode.NOP: self._op_nop,
-            Opcode.HLT: self._op_hlt,
-            Opcode.LI: self._op_li,
-            Opcode.MOV: self._op_mov,
-            Opcode.ADD: self._op_add,
-            Opcode.SUB: self._op_sub,
-            Opcode.MUL: self._op_mul,
-            Opcode.DIV: self._op_div,
-            Opcode.AND: self._op_and,
-            Opcode.OR: self._op_or,
-            Opcode.XOR: self._op_xor,
-            Opcode.SHL: self._op_shl,
-            Opcode.SHR: self._op_shr,
-            Opcode.ADDI: self._op_addi,
-            Opcode.CMP: self._op_cmp,
-            Opcode.CMPI: self._op_cmpi,
-            Opcode.LD: self._op_ld,
-            Opcode.ST: self._op_st,
-            Opcode.PUSH: self._op_push,
-            Opcode.POP: self._op_pop,
-            Opcode.CALL: self._op_call,
-            Opcode.CALLI: self._op_calli,
-            Opcode.RET: self._op_ret,
-            Opcode.JMP: self._op_jmp,
-            Opcode.JMPI: self._op_jmpi,
-            Opcode.JZ: self._op_jz,
-            Opcode.JNZ: self._op_jnz,
-            Opcode.JLT: self._op_jlt,
-            Opcode.JGE: self._op_jge,
-            Opcode.SYSCALL: self._op_syscall,
-            Opcode.SYSRET: self._op_sysret,
-            Opcode.IRET: self._op_iret,
-            Opcode.INT3: self._op_int3,
-            Opcode.RDTSC: self._op_rdtsc,
-            Opcode.RDRAND: self._op_rdrand,
-            Opcode.IN: self._op_in,
-            Opcode.OUT: self._op_out,
-            Opcode.CLI: self._op_cli,
-            Opcode.STI: self._op_sti,
-        }
 
     def _require_kernel(self, what: str):
         if self.user:
@@ -390,7 +438,8 @@ class Cpu:
 
     def _op_ld(self, instr):
         addr = (self.regs[instr.rs1] + instr.imm) & _WORD_MASK
-        if self.controls.trap_mmio and self.memory.is_mmio(addr):
+        if self._trap_mmio and self._mmio_lo <= addr < self._mmio_hi \
+                and self.memory.is_mmio(addr):
             pc0 = self.pc
             self.pc += 1
             return VmExit(
@@ -404,7 +453,8 @@ class Cpu:
     def _op_st(self, instr):
         addr = (self.regs[instr.rs1] + instr.imm) & _WORD_MASK
         value = self.regs[instr.rs2]
-        if self.controls.trap_mmio and self.memory.is_mmio(addr):
+        if self._trap_mmio and self._mmio_lo <= addr < self._mmio_hi \
+                and self.memory.is_mmio(addr):
             pc0 = self.pc
             self.pc += 1
             return VmExit(
@@ -635,3 +685,60 @@ class Cpu:
 def _signed(value: int) -> int:
     """Interpret a 64-bit word as signed."""
     return value - 2**64 if value >= 2**63 else value
+
+
+def _build_dispatch_table() -> tuple:
+    """Opcode-int-indexed dispatch table of unbound handler functions.
+
+    Built once at import: every :class:`Cpu` instance shares it, and the
+    run loop resolves a handler with a plain tuple index instead of a dict
+    lookup or per-instance bound-method table.
+    """
+    handlers = {
+        Opcode.NOP: Cpu._op_nop,
+        Opcode.HLT: Cpu._op_hlt,
+        Opcode.LI: Cpu._op_li,
+        Opcode.MOV: Cpu._op_mov,
+        Opcode.ADD: Cpu._op_add,
+        Opcode.SUB: Cpu._op_sub,
+        Opcode.MUL: Cpu._op_mul,
+        Opcode.DIV: Cpu._op_div,
+        Opcode.AND: Cpu._op_and,
+        Opcode.OR: Cpu._op_or,
+        Opcode.XOR: Cpu._op_xor,
+        Opcode.SHL: Cpu._op_shl,
+        Opcode.SHR: Cpu._op_shr,
+        Opcode.ADDI: Cpu._op_addi,
+        Opcode.CMP: Cpu._op_cmp,
+        Opcode.CMPI: Cpu._op_cmpi,
+        Opcode.LD: Cpu._op_ld,
+        Opcode.ST: Cpu._op_st,
+        Opcode.PUSH: Cpu._op_push,
+        Opcode.POP: Cpu._op_pop,
+        Opcode.CALL: Cpu._op_call,
+        Opcode.CALLI: Cpu._op_calli,
+        Opcode.RET: Cpu._op_ret,
+        Opcode.JMP: Cpu._op_jmp,
+        Opcode.JMPI: Cpu._op_jmpi,
+        Opcode.JZ: Cpu._op_jz,
+        Opcode.JNZ: Cpu._op_jnz,
+        Opcode.JLT: Cpu._op_jlt,
+        Opcode.JGE: Cpu._op_jge,
+        Opcode.SYSCALL: Cpu._op_syscall,
+        Opcode.SYSRET: Cpu._op_sysret,
+        Opcode.IRET: Cpu._op_iret,
+        Opcode.INT3: Cpu._op_int3,
+        Opcode.RDTSC: Cpu._op_rdtsc,
+        Opcode.RDRAND: Cpu._op_rdrand,
+        Opcode.IN: Cpu._op_in,
+        Opcode.OUT: Cpu._op_out,
+        Opcode.CLI: Cpu._op_cli,
+        Opcode.STI: Cpu._op_sti,
+    }
+    table: list = [None] * (max(int(op) for op in Opcode) + 1)
+    for op, handler in handlers.items():
+        table[int(op)] = handler
+    return tuple(table)
+
+
+Cpu._DISPATCH = _build_dispatch_table()

@@ -8,19 +8,33 @@ hypervisor and DMA engines, which operate on physical memory directly.
 Dirty-page tracking is the substrate for incremental checkpoints: the
 checkpointing replayer snapshots exactly the pages dirtied since the previous
 checkpoint and keeps pointers for the rest (paper §4.6.1).
+
+Performance notes.  Pages are backed by compact ``array('Q')`` storage and
+word writes are masked to 64 bits, so a page costs 8 bytes/word instead of a
+list of boxed ints.  Permission checks on the guest paths are inlined bit
+tests (no enum dispatch), MMIO membership is a ``bisect`` over sorted range
+starts, and writes skip observer notification entirely when no observer is
+registered.  The :attr:`version` counter increments whenever the page-table
+shape changes (mapping, permissions, page-object replacement); the CPU's
+fetch-page cache uses it to decide when a cached page reference is stale.
+In-place word writes do *not* bump the version — caches hold live page
+objects, so content mutations are visible through them.
 """
 
 from __future__ import annotations
 
+from array import array
+from bisect import bisect_right
 from typing import Callable, Iterable
 
 from repro.errors import MemoryError_
 from repro.memory.paging import (
     PERM_EXEC,
+    PERM_READ,
+    PERM_USER,
     PERM_WRITE,
     AccessKind,
     AccessViolation,
-    check_access,
 )
 
 _WORD_MASK = 0xFFFF_FFFF_FFFF_FFFF
@@ -39,12 +53,22 @@ class PhysicalMemory:
             raise MemoryError_(f"page_size must be positive, got {page_size}")
         self.page_size = page_size
         self.enforce_wx = enforce_wx
-        self._pages: dict[int, list[int]] = {}
+        self._pages: dict[int, array] = {}
         self._perms: dict[int, int] = {}
         self._dirty: set[int] = set()
         self._mmio_ranges: list[tuple[int, int]] = []
+        #: Sorted MMIO interval endpoints for bisect membership tests.
+        self._mmio_starts: list[int] = []
+        self._mmio_ends: list[int] = []
         #: Callables invoked with the written address after any write.
         self.write_observers: list[Callable[[int], None]] = []
+        #: Bumped whenever mapping/permission state or a page *object*
+        #: changes; consumers (the CPU fetch-page cache) compare it to
+        #: decide whether cached page references are still valid.
+        self.version = 0
+
+    def _zero_page(self) -> array:
+        return array("Q", bytes(8 * self.page_size))
 
     # ------------------------------------------------------------------
     # mapping and permissions
@@ -67,7 +91,8 @@ class PhysicalMemory:
             )
         self._perms[page_index] = perms
         if page_index not in self._pages:
-            self._pages[page_index] = [0] * self.page_size
+            self._pages[page_index] = self._zero_page()
+        self.version += 1
 
     def page_perms(self, page_index: int) -> int:
         """Return a page's permission bits (0 when unmapped)."""
@@ -92,13 +117,27 @@ class PhysicalMemory:
             if start < existing_end and existing_start < start + length:
                 raise MemoryError_("overlapping MMIO ranges")
         self._mmio_ranges.append((start, start + length))
+        self._mmio_ranges.sort()
+        self._mmio_starts = [lo for lo, _ in self._mmio_ranges]
+        self._mmio_ends = [hi for _, hi in self._mmio_ranges]
+        self.version += 1
+
+    @property
+    def mmio_bounds(self) -> tuple[int, int]:
+        """(lowest start, highest end) over all MMIO ranges; (1, 0) if none.
+
+        A cheap pre-filter for the hot load/store path: addresses outside
+        the bounds cannot be MMIO, and the empty sentinel (1, 0) rejects
+        every address.
+        """
+        if not self._mmio_starts:
+            return (1, 0)
+        return (self._mmio_starts[0], self._mmio_ends[-1])
 
     def is_mmio(self, addr: int) -> bool:
         """Return whether ``addr`` is in a registered MMIO range."""
-        for start, end in self._mmio_ranges:
-            if start <= addr < end:
-                return True
-        return False
+        position = bisect_right(self._mmio_starts, addr)
+        return position > 0 and addr < self._mmio_ends[position - 1]
 
     # ------------------------------------------------------------------
     # guest accesses (permission-checked)
@@ -106,31 +145,46 @@ class PhysicalMemory:
 
     def load(self, addr: int, user: bool) -> int:
         """Permission-checked guest read."""
-        page = self._guest_page(addr, AccessKind.READ, user)
-        return page[addr % self.page_size]
+        page_index = addr // self.page_size
+        perms = self._perms.get(page_index, 0)
+        if not perms & PERM_READ or (user and not perms & PERM_USER):
+            raise AccessViolation(addr, AccessKind.READ, perms, user)
+        return self._pages[page_index][addr % self.page_size]
 
     def store(self, addr: int, value: int, user: bool):
         """Permission-checked guest write."""
         page_index = addr // self.page_size
         perms = self._perms.get(page_index, 0)
-        if not check_access(perms, AccessKind.WRITE, user):
+        if not perms & PERM_WRITE or (user and not perms & PERM_USER):
             raise AccessViolation(addr, AccessKind.WRITE, perms, user)
         self._pages[page_index][addr % self.page_size] = value & _WORD_MASK
         self._dirty.add(page_index)
-        for observer in self.write_observers:
-            observer(addr)
+        if self.write_observers:
+            for observer in self.write_observers:
+                observer(addr)
 
     def fetch(self, addr: int, user: bool) -> int:
         """Permission-checked instruction fetch."""
-        page = self._guest_page(addr, AccessKind.FETCH, user)
-        return page[addr % self.page_size]
-
-    def _guest_page(self, addr: int, kind: AccessKind, user: bool) -> list[int]:
         page_index = addr // self.page_size
         perms = self._perms.get(page_index, 0)
-        if not check_access(perms, kind, user):
-            raise AccessViolation(addr, kind, perms, user)
-        return self._pages[page_index]
+        if not perms & PERM_EXEC or (user and not perms & PERM_USER):
+            raise AccessViolation(addr, AccessKind.FETCH, perms, user)
+        return self._pages[page_index][addr % self.page_size]
+
+    def fetch_page(self, addr: int, user: bool) -> tuple[array, int, int]:
+        """Fetch-check ``addr`` and return its whole page as (page, lo, hi).
+
+        The caller may serve subsequent fetches of addresses in [lo, hi) in
+        the same mode directly from ``page`` until :attr:`version` changes —
+        the page is returned by reference, so in-place content writes stay
+        visible.
+        """
+        page_index = addr // self.page_size
+        perms = self._perms.get(page_index, 0)
+        if not perms & PERM_EXEC or (user and not perms & PERM_USER):
+            raise AccessViolation(addr, AccessKind.FETCH, perms, user)
+        lo = page_index * self.page_size
+        return self._pages[page_index], lo, lo + self.page_size
 
     # ------------------------------------------------------------------
     # host accesses (hypervisor / DMA; no permission checks)
@@ -151,17 +205,65 @@ class PhysicalMemory:
             raise MemoryError_(f"host write of unmapped address {addr:#x}")
         page[addr % self.page_size] = value & _WORD_MASK
         self._dirty.add(page_index)
-        for observer in self.write_observers:
-            observer(addr)
+        if self.write_observers:
+            for observer in self.write_observers:
+                observer(addr)
 
     def read_block(self, addr: int, count: int) -> list[int]:
         """Host read of ``count`` consecutive words."""
-        return [self.read_word(addr + i) for i in range(count)]
+        if count <= 0:
+            return []
+        page_size = self.page_size
+        out: list[int] = []
+        remaining = count
+        while remaining > 0:
+            page_index = addr // page_size
+            page = self._pages.get(page_index)
+            if page is None:
+                raise MemoryError_(
+                    f"host read of unmapped address {addr:#x}"
+                )
+            offset = addr % page_size
+            take = min(remaining, page_size - offset)
+            out.extend(page[offset:offset + take])
+            addr += take
+            remaining -= take
+        return out
 
     def write_block(self, addr: int, values: Iterable[int]):
-        """Host write of consecutive words starting at ``addr``."""
-        for offset, value in enumerate(values):
-            self.write_word(addr + offset, value)
+        """Host write of consecutive words starting at ``addr``.
+
+        Words are copied page-slice at a time; observers are notified once
+        per written address *after* the whole block lands (batched), which
+        preserves the per-address callback signature while keeping the copy
+        loop tight.
+        """
+        words = [v & _WORD_MASK for v in values]
+        if not words:
+            return
+        page_size = self.page_size
+        start = addr
+        position = 0
+        total = len(words)
+        while position < total:
+            page_index = addr // page_size
+            page = self._pages.get(page_index)
+            if page is None:
+                raise MemoryError_(
+                    f"host write of unmapped address {addr:#x}"
+                )
+            offset = addr % page_size
+            take = min(total - position, page_size - offset)
+            page[offset:offset + take] = array(
+                "Q", words[position:position + take]
+            )
+            self._dirty.add(page_index)
+            addr += take
+            position += take
+        if self.write_observers:
+            for observer in self.write_observers:
+                for offset in range(total):
+                    observer(start + offset)
 
     # ------------------------------------------------------------------
     # dirty tracking and snapshots
@@ -192,14 +294,15 @@ class PhysicalMemory:
     def restore_pages(self, snapshot: dict[int, tuple[int, ...]]):
         """Restore page contents captured by :meth:`snapshot_pages`."""
         for index, words in snapshot.items():
-            if index not in self._pages:
-                self._pages[index] = [0] * self.page_size
-            self._pages[index][:] = list(words)
+            self._pages[index] = array("Q", words)
             self._dirty.add(index)
-        changed = set(snapshot)
-        for observer in self.write_observers:
-            for index in changed:
-                observer(index * self.page_size)
+        # Page objects were replaced, so cached references are stale.
+        self.version += 1
+        if self.write_observers:
+            page_size = self.page_size
+            for observer in self.write_observers:
+                for index in snapshot:
+                    observer(index * page_size)
 
     def snapshot_full(self) -> dict[int, tuple[int, ...]]:
         """Copy every mapped page (used by the first, full checkpoint)."""
@@ -210,8 +313,17 @@ class PhysicalMemory:
         return dict(self._perms)
 
     def restore_perms(self, perms: dict[int, int]):
-        """Restore a permission map captured by :meth:`perms_snapshot`."""
+        """Restore a permission map captured by :meth:`perms_snapshot`.
+
+        Pages mapped now but absent from the restored map are dropped —
+        leaving them behind would let host reads of since-unmapped pages
+        silently succeed after a checkpoint restore.
+        """
         self._perms = dict(perms)
         for index in perms:
             if index not in self._pages:
-                self._pages[index] = [0] * self.page_size
+                self._pages[index] = self._zero_page()
+        for index in [i for i in self._pages if i not in perms]:
+            del self._pages[index]
+            self._dirty.discard(index)
+        self.version += 1

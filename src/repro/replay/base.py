@@ -1,13 +1,14 @@
 """The deterministic replay engine shared by both replayers.
 
 Consumption discipline: the log is strictly ordered, so the front record is
-always the next event.  Before each step the engine checks whether the
+always the next event.  Before each CPU batch the engine checks whether the
 front record is asynchronous and due at the current instruction count; if
 so it applies it (landing DMA, injecting the interrupt, interpreting a
-marker).  Synchronous VM exits consume the front record directly, with type
-and operand checks — any disagreement raises
-:class:`~repro.errors.ReplayDivergenceError`, because a diverged replay is
-useless for alarm analysis.
+marker), otherwise it sizes the batch so the CPU stops exactly at the due
+point (see the batch contract in ``docs/PERFORMANCE.md``).  Synchronous VM
+exits consume the front record directly, with type and operand checks — any
+disagreement raises :class:`~repro.errors.ReplayDivergenceError`, because a
+diverged replay is useless for alarm analysis.
 
 Cost model (§7.3): each asynchronous injection pays the performance-counter
 skid — the replayer stops early and single-steps to the exact instruction,
@@ -19,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.cpu.core import UNBOUNDED_STEPS
 from repro.cpu.exits import ExitControls, VmExit, VmExitReason
 from repro.errors import HypervisorError, ReplayDivergenceError
 from repro.hypervisor.emulation import emulate_pio_out
@@ -144,32 +146,41 @@ class DeterministicReplayer:
     def run(self, max_instructions: int | None = None) -> ReplayResult:
         cpu = self.machine.cpu
         while not self.stop_requested:
-            if max_instructions is not None and cpu.icount >= max_instructions:
+            icount = cpu.icount
+            if max_instructions is not None and icount >= max_instructions:
                 self.stop_reason = self.stop_reason or "budget"
                 break
             record = self.cursor.peek()
             if record is None:
                 self.stop_reason = self.stop_reason or "log_exhausted"
                 break
+            # The batch may run until the budget, the next due asynchronous
+            # record, or a VM exit — whichever comes first.  Synchronous
+            # records are consumed by the VM exit that produces them, so
+            # they do not bound the batch.
+            batch = (max_instructions - icount
+                     if max_instructions is not None else UNBOUNDED_STEPS)
             if is_async_record(record):
-                if record.icount < cpu.icount:
+                if record.icount < icount:
                     raise ReplayDivergenceError(
                         f"ran past {type(record).__name__} due at "
-                        f"{record.icount}", icount=cpu.icount,
+                        f"{record.icount}", icount=icount,
                     )
-                if record.icount == cpu.icount:
+                if record.icount == icount:
                     self.cursor.pop()
                     self._apply_async(record)
                     if self._reached_end:
                         self.stop_reason = self.stop_reason or "end"
                         break
                     continue
+                if record.icount - icount < batch:
+                    batch = record.icount - icount
             if cpu.halted:
                 raise ReplayDivergenceError(
                     "guest halted but the next log record is not due",
-                    icount=cpu.icount,
+                    icount=icount,
                 )
-            exit_event = cpu.step()
+            exit_event = cpu.run(batch)
             if exit_event is not None:
                 self._handle_exit(exit_event)
                 self.on_exit_boundary(exit_event)

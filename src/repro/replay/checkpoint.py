@@ -15,6 +15,7 @@ it is not pointed to by a later checkpoint".
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 
 from repro.cpu.ras import RasSnapshot
@@ -62,6 +63,16 @@ class CheckpointStore:
         self._checkpoints: list[Checkpoint] = []
         self._by_id: dict[int, Checkpoint] = {}
         self._next_id = 1
+        #: icounts parallel to ``_checkpoints`` — kept sorted (non-decreasing
+        #: is enforced by :meth:`add`) so :meth:`latest_before` can bisect.
+        self._icounts: list[int] = []
+        #: Memoized full overlays keyed by checkpoint_id.  Entries share
+        #: page/block tuples with their parents (copy-on-write: tuples are
+        #: immutable, so "clean" pages are one object referenced by every
+        #: overlay down the chain).  Invalidated wholesale on recycling,
+        #: which mutates the successor's page map in place.
+        self._pages_cache: dict[int, dict[int, tuple[int, ...]]] = {}
+        self._blocks_cache: dict[int, dict[int, tuple[int, ...]]] = {}
         #: Checkpoints dropped by recycling (statistics for §8.4).
         self.recycled = 0
 
@@ -74,7 +85,18 @@ class CheckpointStore:
             backras: dict[int, RasSnapshot],
             current_tid: int, log_position: int,
             disk_regs: tuple[int, int, int] = (0, 0, 0)) -> Checkpoint:
-        """Append a new checkpoint chained to the previous one."""
+        """Append a new checkpoint chained to the previous one.
+
+        ``icount`` must be non-decreasing across appends (equal is legal:
+        breakpoint exits do not advance the instruction counter) — the
+        bisect in :meth:`latest_before` depends on it.
+        """
+        if self._icounts and icount < self._icounts[-1]:
+            raise CheckpointError(
+                f"checkpoint icount {icount} precedes the newest "
+                f"checkpoint at {self._icounts[-1]}; the store must "
+                f"stay icount-ordered"
+            )
         parent_id = (
             self._checkpoints[-1].checkpoint_id if self._checkpoints else None
         )
@@ -93,6 +115,7 @@ class CheckpointStore:
         )
         self._next_id += 1
         self._checkpoints.append(checkpoint)
+        self._icounts.append(icount)
         self._by_id[checkpoint.checkpoint_id] = checkpoint
         return checkpoint
 
@@ -110,13 +133,10 @@ class CheckpointStore:
         This is the checkpoint an alarm replayer starts from ("typically the
         latest" preceding the alarm).
         """
-        best = None
-        for checkpoint in self._checkpoints:
-            if checkpoint.icount <= icount:
-                best = checkpoint
-            else:
-                break
-        return best
+        position = bisect_right(self._icounts, icount)
+        if position == 0:
+            return None
+        return self._checkpoints[position - 1]
 
     def predecessor(self, checkpoint: Checkpoint) -> Checkpoint | None:
         """The checkpoint preceding ``checkpoint`` (for AR escalation)."""
@@ -141,25 +161,49 @@ class CheckpointStore:
             current = parent
         return chain
 
+    def _overlay(self, checkpoint: Checkpoint, attr: str,
+                 cache: dict[int, dict[int, tuple[int, ...]]],
+                 ) -> dict[int, tuple[int, ...]]:
+        """Memoized overlay at ``checkpoint`` for ``attr`` (pages/blocks).
+
+        Each cache entry is built from its parent's entry with one dict copy
+        plus an update, so a chain of N checkpoints costs N builds total no
+        matter how many alarm replayers launch from it.  The contents tuples
+        are shared down the chain (immutable, so copy-on-write for free).
+        """
+        cached = cache.get(checkpoint.checkpoint_id)
+        if cached is not None:
+            return cached
+        # Walk down to the deepest ancestor that is not yet cached, then
+        # build back up so every intermediate level gets memoized too.
+        chain = self._chain(checkpoint)  # newest first
+        overlay: dict[int, tuple[int, ...]] = {}
+        start = len(chain)
+        for depth, entry in enumerate(chain):
+            hit = cache.get(entry.checkpoint_id)
+            if hit is not None:
+                overlay = hit
+                start = depth
+                break
+        for entry in reversed(chain[:start]):
+            overlay = dict(overlay)
+            overlay.update(getattr(entry, attr))
+            cache[entry.checkpoint_id] = overlay
+        return overlay
+
     def reconstruct_pages(self, checkpoint: Checkpoint) -> dict[int, tuple[int, ...]]:
         """Full page overlay at ``checkpoint`` (newest copy of each page)."""
         if self._by_id.get(checkpoint.checkpoint_id) is not checkpoint:
             raise CheckpointError(
                 f"checkpoint {checkpoint.checkpoint_id} is not in this store"
             )
-        overlay: dict[int, tuple[int, ...]] = {}
-        for entry in self._chain(checkpoint):
-            for index, words in entry.pages.items():
-                overlay.setdefault(index, words)
-        return overlay
+        return dict(self._overlay(checkpoint, "pages", self._pages_cache))
 
     def reconstruct_blocks(self, checkpoint: Checkpoint) -> dict[int, tuple[int, ...]]:
         """Full disk-block overlay at ``checkpoint``."""
-        overlay: dict[int, tuple[int, ...]] = {}
-        for entry in self._chain(checkpoint):
-            for block, words in entry.disk_blocks.items():
-                overlay.setdefault(block, words)
-        return overlay
+        return dict(
+            self._overlay(checkpoint, "disk_blocks", self._blocks_cache)
+        )
 
     # ------------------------------------------------------------------
     # recycling
@@ -179,7 +223,12 @@ class CheckpointStore:
         if len(self._checkpoints) < 2:
             raise CheckpointError("cannot recycle the only checkpoint")
         oldest = self._checkpoints.pop(0)
+        self._icounts.pop(0)
         successor = self._checkpoints[0]
+        # Recycling mutates the successor's page map in place, so every
+        # memoized overlay built through it is stale.
+        self._pages_cache.clear()
+        self._blocks_cache.clear()
         # Pages/blocks unchanged between the two still describe the
         # successor's state: move them forward instead of freeing them.
         for index, words in oldest.pages.items():

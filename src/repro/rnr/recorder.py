@@ -156,7 +156,23 @@ class Recorder:
                 world.run_due(machine.now)
             if intc.has_pending and cpu.int_enabled and not cpu.halted:
                 self._inject_interrupt(intc.take())
-            exit_event = cpu.step()
+            # Batch bound: simulated time advances exactly one cycle per
+            # instruction inside a batch (overhead is only charged at exit
+            # boundaries), so stopping ``next_due - now`` instructions out
+            # re-checks world events at the same boundary the per-step loop
+            # would have.  A pending-but-masked interrupt forces single
+            # stepping: the guest may re-enable interrupts at any
+            # instruction and delivery timing is part of the recording.
+            if intc.has_pending:
+                batch = 1
+            else:
+                batch = max_instructions - cpu.icount
+                next_due = world.next_due
+                if next_due is not None:
+                    until_due = next_due - machine.now
+                    if until_due < batch:
+                        batch = until_due if until_due > 0 else 1
+            exit_event = cpu.run(batch)
             if exit_event is not None:
                 self._handle_exit(exit_event)
                 for watchdog in self.watchdogs:

@@ -1,0 +1,269 @@
+"""Tests for the hot-path execution overhaul.
+
+Covers the contracts the performance layer leans on: sorted checkpoint
+stores (bisect lookups), clean permission restores (array-backed pages),
+checkpoint-restore equivalence with straight-line replay (overlay cache and
+copy-on-write page sharing), and backend-independent parallel alarm
+resolution.
+"""
+
+import pytest
+
+from repro.core.parallel import resolve_alarms_parallel
+from repro.cpu.state import CpuState
+from repro.errors import CheckpointError, MemoryError_
+from repro.memory.paging import PERM_READ, PERM_WRITE
+from repro.memory.physical import PhysicalMemory
+from repro.replay.alarm import AlarmReplayer
+from repro.replay.base import DeterministicReplayer
+from repro.replay.checkpoint import CheckpointStore
+from repro.replay.checkpointing import (
+    CheckpointingOptions,
+    CheckpointingReplayer,
+)
+from repro.rnr.recorder import Recorder, RecorderOptions
+from repro.workloads import build_workload, profile_by_name
+
+BUDGET = 120_000
+
+
+@pytest.fixture(scope="module")
+def mysql_recording():
+    """One mysql recording plus its CR replay (the alarm-rich workload)."""
+    spec = build_workload(profile_by_name("mysql"))
+    run = Recorder(spec, RecorderOptions(max_instructions=BUDGET)).run()
+    cr = CheckpointingReplayer(
+        spec, run.log, CheckpointingOptions(period_s=0.2)
+    ).run_to_end()
+    return spec, run, cr
+
+
+# ----------------------------------------------------------------------
+# satellite: restore_perms must not leave stale pages behind
+# ----------------------------------------------------------------------
+
+
+class TestRestorePerms:
+    def test_dropped_pages_are_unmapped_after_restore(self):
+        memory = PhysicalMemory(page_size=16)
+        memory.map_range(0, 16, PERM_READ | PERM_WRITE)
+        before = memory.perms_snapshot()
+        # Map and populate a second page after the snapshot.
+        memory.map_range(16, 16, PERM_READ | PERM_WRITE)
+        memory.write_word(16, 0xDEAD)
+        memory.restore_perms(before)
+        assert not memory.is_mapped(16)
+        with pytest.raises(MemoryError_):
+            memory.read_word(16)
+        # The dropped page must not linger in the dirty set either.
+        assert 1 not in memory.dirty_pages()
+
+    def test_restore_rematerializes_missing_pages_zeroed(self):
+        memory = PhysicalMemory(page_size=16)
+        memory.map_range(0, 32, PERM_READ | PERM_WRITE)
+        before = memory.perms_snapshot()
+        memory.write_word(16, 7)
+        memory.restore_perms(before)
+        # Still mapped (present in the restored map), content untouched.
+        assert memory.read_word(16) == 7
+        # A page present in the perms map but never materialized reappears
+        # zero-filled.
+        restored = dict(before)
+        restored[5] = PERM_READ
+        memory.restore_perms(restored)
+        assert memory.read_word(5 * 16) == 0
+
+    def test_restore_bumps_version(self):
+        memory = PhysicalMemory(page_size=16)
+        memory.map_range(0, 16, PERM_READ | PERM_WRITE)
+        before = memory.perms_snapshot()
+        version = memory.version
+        memory.restore_perms(before)
+        assert memory.version > version
+
+
+# ----------------------------------------------------------------------
+# satellite: the checkpoint store must stay icount-sorted
+# ----------------------------------------------------------------------
+
+
+def _add(store: CheckpointStore, icount: int, pages=None):
+    return store.add(
+        icount=icount,
+        cycles=icount,
+        cpu_state=CpuState(
+            regs=(0,) * 16, pc=0, zero=False, negative=False,
+            user=False, int_enabled=False, icount=icount, halted=False,
+        ),
+        pages=dict(pages or {}),
+        disk_blocks={},
+        backras={},
+        current_tid=0,
+        log_position=0,
+    )
+
+
+class TestStoreOrdering:
+    def test_add_rejects_decreasing_icount(self):
+        store = CheckpointStore()
+        _add(store, 100)
+        with pytest.raises(CheckpointError):
+            _add(store, 99)
+
+    def test_add_accepts_equal_icount(self):
+        store = CheckpointStore()
+        _add(store, 100)
+        _add(store, 100)
+        assert len(store) == 2
+
+    def test_latest_before_matches_linear_scan(self):
+        store = CheckpointStore()
+        icounts = [0, 10, 10, 25, 40, 40, 41, 90]
+        for icount in icounts:
+            _add(store, icount)
+        for probe in range(-1, 100):
+            expected = None
+            for checkpoint in store.all():
+                if checkpoint.icount <= probe:
+                    expected = checkpoint
+            assert store.latest_before(probe) is expected
+
+    def test_overlay_cache_tracks_add_and_recycle(self):
+        store = CheckpointStore()
+        _add(store, 0, pages={1: (1, 1), 2: (2, 2)})
+        _add(store, 10, pages={2: (20, 20)})
+        second = store.latest()
+        assert store.reconstruct_pages(second) == {
+            1: (1, 1), 2: (20, 20),
+        }
+        third = _add(store, 20, pages={3: (3, 3)})
+        assert store.reconstruct_pages(third) == {
+            1: (1, 1), 2: (20, 20), 3: (3, 3),
+        }
+        # Recycling merges the oldest checkpoint forward and must not serve
+        # stale memoized overlays afterwards.
+        store.recycle_older_than(15, keep_at_least=1)
+        assert store.recycled >= 1
+        survivor = store.all()[0]
+        assert store.reconstruct_pages(survivor)[1] == (1, 1)
+        assert store.reconstruct_pages(third) == {
+            1: (1, 1), 2: (20, 20), 3: (3, 3),
+        }
+
+    def test_reconstruct_rejects_foreign_checkpoint(self):
+        store = CheckpointStore()
+        _add(store, 0)
+        other = CheckpointStore()
+        foreign = _add(other, 0)
+        with pytest.raises(CheckpointError):
+            store.reconstruct_pages(foreign)
+
+
+# ----------------------------------------------------------------------
+# checkpoint-restore equivalence with straight-line replay
+# ----------------------------------------------------------------------
+
+
+class TestRestoreEquivalence:
+    def test_restore_from_every_checkpoint_reaches_identical_state(
+            self, mysql_recording):
+        """Property: resume from ANY checkpoint == straight-line replay.
+
+        Guards the overlay cache and the COW page sharing: a stale or
+        aliased page would surface as a diverged digest or CpuState.
+        """
+        spec, run, cr = mysql_recording
+        straight = DeterministicReplayer(spec, run.log.cursor())
+        result = straight.run()
+        assert result.reached_end and result.digest_checked
+        final_state = straight.machine.cpu.capture_state()
+        assert len(cr.store) >= 2
+        for checkpoint in cr.store.all():
+            resumed = DeterministicReplayer(spec, run.log.cursor())
+            resumed.restore_checkpoint(checkpoint, cr.store)
+            resumed_result = resumed.run()
+            assert resumed_result.reached_end
+            assert resumed_result.digest_checked
+            assert resumed.machine.cpu.capture_state() == final_state
+
+    def test_ar_verdict_identical_from_checkpoint_and_from_start(
+            self, mysql_recording):
+        spec, run, cr = mysql_recording
+        assert cr.pending_alarms, "mysql workload must raise alarms"
+        alarm = cr.pending_alarms[0]
+        from_start = AlarmReplayer(spec, run.log, alarm).analyze()
+        eligible = [c for c in cr.store.all() if c.icount <= alarm.icount]
+        assert eligible
+        for checkpoint in eligible:
+            from_checkpoint = AlarmReplayer(
+                spec, run.log, alarm,
+                checkpoint=checkpoint, store=cr.store,
+            ).analyze()
+            assert from_checkpoint.kind is from_start.kind
+            assert from_checkpoint.benign_cause is from_start.benign_cause
+            assert from_checkpoint.expected_target == from_start.expected_target
+            assert from_checkpoint.observed_target == from_start.observed_target
+            assert from_checkpoint.tid == from_start.tid
+
+
+# ----------------------------------------------------------------------
+# parallel AR backends
+# ----------------------------------------------------------------------
+
+
+class TestParallelBackends:
+    def test_thread_and_process_verdicts_identical_and_ordered(
+            self, mysql_recording):
+        spec, run, cr = mysql_recording
+        assert len(cr.pending_alarms) >= 2
+        threaded = resolve_alarms_parallel(
+            spec, run.log, cr.pending_alarms, store=cr.store,
+            backend="thread",
+        )
+        processed = resolve_alarms_parallel(
+            spec, run.log, cr.pending_alarms, store=cr.store,
+            backend="process",
+        )
+        assert threaded.backend == "thread"
+        # Verdict order must match alarm order on both backends.
+        for resolution in (threaded, processed):
+            assert [v.alarm.icount for v in resolution.verdicts] == \
+                [a.icount for a in cr.pending_alarms]
+        assert threaded.verdicts == processed.verdicts
+
+    def test_config_selects_backend(self, mysql_recording):
+        spec, run, cr = mysql_recording
+        assert spec.config.ar_backend == "thread"
+        resolution = resolve_alarms_parallel(
+            spec, run.log, cr.pending_alarms, store=cr.store,
+        )
+        assert resolution.backend in ("thread", "inline")
+
+    def test_unknown_backend_rejected(self, mysql_recording):
+        spec, run, cr = mysql_recording
+        from repro.errors import HypervisorError
+
+        with pytest.raises(HypervisorError):
+            resolve_alarms_parallel(
+                spec, run.log, cr.pending_alarms, store=cr.store,
+                backend="fiber",
+            )
+
+    def test_zero_and_single_alarm_run_inline(self, mysql_recording,
+                                              monkeypatch):
+        spec, run, cr = mysql_recording
+        import repro.core.parallel as parallel_mod
+
+        def boom(*args, **kwargs):
+            raise AssertionError("executor must not start for <= 1 alarm")
+
+        monkeypatch.setattr(parallel_mod, "ThreadPoolExecutor", boom)
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", boom)
+        empty = resolve_alarms_parallel(spec, run.log, [], store=cr.store)
+        assert empty.verdicts == () and empty.backend == "inline"
+        single = resolve_alarms_parallel(
+            spec, run.log, cr.pending_alarms[:1], store=cr.store,
+            backend="process",
+        )
+        assert single.backend == "inline"
+        assert len(single.verdicts) == 1
