@@ -1,0 +1,309 @@
+"""Streaming-pipeline harness: sequential vs pipelined end-to-end time.
+
+The paper's deployment overlaps its three phases — recording, checkpointing
+replay, and alarm replay — so end-to-end time is governed by the slowest
+phase, not the sum (§3, §8.3.1).  This harness runs each workload both
+ways and emits ``BENCH_pipeline.json``:
+
+* **sequential** — record, then CR, then ARs, phases back to back; the
+  deployment end-to-end time is the sum of the phase cycle counts.
+* **pipelined** — one *real* concurrent run through
+  ``record_and_replay_pipelined`` (frames through a bounded queue, ARs
+  dispatched as alarms confirm).  The run yields the measured per-frame
+  production/consumption cycle timelines, which
+  ``repro.core.pipeline.couple_pipeline`` folds into the overlapped
+  deployment makespan; each AR finishes ``analysis_cycles`` after the
+  frame carrying its alarm is consumed.
+
+Both host wall-clock seconds and simulated deployment cycles are
+reported.  The headline ``sim_speedup`` aggregates in the simulated
+domain — the repo's figures all assert on simulated cycles, and host-side
+overlap depends on how many cores the CI machine happens to have
+(``aggregate.host_parallelism`` records it).  Every pipelined run is also
+checked bit-equivalent to its sequential twin (same log bytes, same
+verdicts) and the check's outcome lands in the JSON.
+
+A fleet-scaling section runs N=1/2/4 independent sessions through
+``repro.core.fleet`` and reports per-width wall-clock and throughput.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py            # full run
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --smoke    # CI smoke
+
+See ``docs/PERFORMANCE.md`` ("Pipelining") for how to read the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+from repro.core.fleet import FleetSession, run_fleet
+from repro.core.parallel import (
+    record_and_replay_pipelined,
+    resolve_alarms_parallel,
+)
+from repro.core.pipeline import couple_pipeline
+from repro.errors import WorkloadError
+from repro.replay.checkpointing import (
+    CheckpointingOptions,
+    CheckpointingReplayer,
+)
+from repro.rnr.recorder import Recorder, RecorderOptions
+from repro.workloads import ALL_PROFILES, build_workload, profile_by_name
+
+DEFAULT_BUDGET = 1_000_000
+SMOKE_BUDGET = 150_000
+#: Frames ship after every couple of records.  Simulated logs are sparse
+#: (hundreds of records per million instructions), and the CR can only
+#: overlap with recording up to the last frame it has received — so the
+#: streaming granularity, not the byte overhead, is what matters here.
+#: Byte-dense real logs would use the config default (512 records/frame).
+FRAME_RECORDS = 2
+QUEUE_DEPTH = 8
+CHECKPOINT_PERIOD_S = 0.2
+FLEET_WIDTHS = (1, 2, 4)
+
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _verdict_keys(verdicts):
+    return [
+        (v.kind.value,
+         v.benign_cause.value if v.benign_cause else None,
+         v.alarm.icount)
+        for v in verdicts
+    ]
+
+
+def _ar_tail_cycles(checkpointing, verdicts, frames, consumed_at):
+    """When does the last AR finish, on the coupled wall clock?
+
+    Each AR launches the moment the frame carrying its alarm is consumed
+    and runs for its measured ``analysis_cycles`` (ARs are concurrent, so
+    they overlap each other and the still-running CR).
+    """
+    tail = 0
+    for alarm, verdict in zip(checkpointing.pending_alarms, verdicts):
+        position = checkpointing.alarm_positions.get(alarm.icount, 0)
+        frame_wall = consumed_at[-1] if consumed_at else 0
+        for info, wall in zip(frames, consumed_at):
+            if info.record_offset + info.record_count > position:
+                frame_wall = wall
+                break
+        tail = max(tail, frame_wall + verdict.analysis_cycles)
+    return tail
+
+
+def bench_workload(name: str, budget: int) -> dict:
+    spec = build_workload(profile_by_name(name))
+    recorder_options = RecorderOptions(max_instructions=budget)
+    cr_options = CheckpointingOptions(period_s=CHECKPOINT_PERIOD_S)
+
+    # -- sequential reference: phases back to back --------------------
+    recording, record_seconds = _timed(
+        Recorder(spec, recorder_options).run
+    )
+    checkpointing, cr_seconds = _timed(
+        CheckpointingReplayer(
+            build_workload(profile_by_name(name)), recording.log, cr_options,
+        ).run_to_end
+    )
+    resolution, ar_seconds = _timed(lambda: resolve_alarms_parallel(
+        build_workload(profile_by_name(name)), recording.log,
+        checkpointing.pending_alarms, store=checkpointing.store,
+        backend="thread",
+    ))
+    ar_tail = max(
+        (v.analysis_cycles for v in resolution.verdicts), default=0,
+    )
+    seq_sim_cycles = (
+        recording.metrics.total_cycles
+        + checkpointing.replay.metrics.total_cycles
+        + ar_tail
+    )
+    seq_host_seconds = record_seconds + cr_seconds + ar_seconds
+
+    # -- pipelined: one real concurrent run ---------------------------
+    run, pipe_host_seconds = _timed(lambda: record_and_replay_pipelined(
+        build_workload(profile_by_name(name)), recorder_options, cr_options,
+        backend="thread", frame_records=FRAME_RECORDS,
+        queue_depth=QUEUE_DEPTH,
+    ))
+    stats = run.stats
+    coupled = couple_pipeline(
+        list(stats.produced_cycles), list(stats.consumed_cycles),
+        utilization=1.0,
+    )
+    consumed_at = [point.consumed_at for point in coupled.points]
+    cr_done = consumed_at[-1] if consumed_at else 0
+    ar_done = _ar_tail_cycles(
+        run.checkpointing, run.resolution.verdicts, stats.frames,
+        consumed_at,
+    )
+    pipe_sim_cycles = max(cr_done, ar_done)
+
+    session_bytes_equal = (
+        run.recording.log.to_bytes() == recording.log.to_bytes()
+    )
+    verdicts_equal = (
+        _verdict_keys(run.resolution.verdicts)
+        == _verdict_keys(resolution.verdicts)
+    )
+    return {
+        "instructions": recording.metrics.instructions,
+        "log_records": len(recording.log),
+        "frames": len(stats.frames),
+        "alarms_pending": len(checkpointing.pending_alarms),
+        "sequential": {
+            "sim_cycles": seq_sim_cycles,
+            "host_seconds": round(seq_host_seconds, 4),
+            "phases_sim_cycles": {
+                "record": recording.metrics.total_cycles,
+                "cr_replay": checkpointing.replay.metrics.total_cycles,
+                "ar_tail": ar_tail,
+            },
+        },
+        "pipelined": {
+            "sim_cycles": pipe_sim_cycles,
+            "host_seconds": round(pipe_host_seconds, 4),
+            "backend": stats.backend,
+            "frame_records": stats.frame_records,
+            "queue_depth": stats.queue_depth,
+            "max_lag_cycles": coupled.max_lag_cycles,
+        },
+        "sim_speedup": round(seq_sim_cycles / pipe_sim_cycles, 3)
+        if pipe_sim_cycles else None,
+        "host_speedup": round(seq_host_seconds / pipe_host_seconds, 3)
+        if pipe_host_seconds else None,
+        "equivalent": {
+            "session_bytes_equal": session_bytes_equal,
+            "verdicts_equal": verdicts_equal,
+        },
+    }
+
+
+def bench_fleet(name: str, budget: int, widths=FLEET_WIDTHS) -> dict:
+    """Fleet scaling: N independent sessions across the worker pool."""
+    scaling = {}
+    for width in widths:
+        sessions = [
+            FleetSession(benchmark=name, seed=2018 + index,
+                         max_instructions=budget,
+                         period_s=CHECKPOINT_PERIOD_S)
+            for index in range(width)
+        ]
+        fleet = run_fleet(sessions, backend="process")
+        scaling[str(width)] = {
+            "backend": fleet.backend,
+            "workers": fleet.workers,
+            "host_seconds": round(fleet.host_seconds, 4),
+            "instructions": fleet.total_instructions,
+            "ips": round(fleet.total_instructions / fleet.host_seconds)
+            if fleet.host_seconds else None,
+            "digests": [r.session_digest[:12] for r in fleet.results],
+        }
+    return scaling
+
+
+def _geomean(values):
+    values = [v for v in values if v]
+    if not values:
+        return None
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--budget", type=int, default=DEFAULT_BUDGET)
+    parser.add_argument("--benchmarks", nargs="*", default=None)
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument("--fleet-benchmark", default="fileio",
+                        help="workload for the fleet-scaling section")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI run: one workload, small budget")
+    args = parser.parse_args(argv)
+
+    names = args.benchmarks or [p.name for p in ALL_PROFILES]
+    try:
+        for name in names:
+            profile_by_name(name)
+        profile_by_name(args.fleet_benchmark)
+    except WorkloadError as exc:
+        parser.error(str(exc))
+    budget = args.budget
+    widths = FLEET_WIDTHS
+    if args.smoke:
+        names = names[:1]
+        budget = min(budget, SMOKE_BUDGET)
+        widths = (1, 2)
+
+    report: dict = {
+        "budget": budget,
+        "frame_records": FRAME_RECORDS,
+        "queue_depth": QUEUE_DEPTH,
+        "checkpoint_period_s": CHECKPOINT_PERIOD_S,
+        "benchmarks": {},
+    }
+    for name in names:
+        print(f"[bench_pipeline] {name} (budget {budget}) ...", flush=True)
+        entry = bench_workload(name, budget)
+        report["benchmarks"][name] = entry
+        print(f"    sequential {entry['sequential']['sim_cycles']:>12,} "
+              f"sim cycles   pipelined "
+              f"{entry['pipelined']['sim_cycles']:>12,}   "
+              f"speedup {entry['sim_speedup']}x "
+              f"(host {entry['host_speedup']}x), "
+              f"equal={entry['equivalent']}", flush=True)
+
+    print(f"[bench_pipeline] fleet scaling on {args.fleet_benchmark} "
+          f"(widths {widths}) ...", flush=True)
+    fleet_budget = min(budget, 300_000)
+    report["fleet"] = {
+        "benchmark": args.fleet_benchmark,
+        "budget": fleet_budget,
+        "scaling": bench_fleet(args.fleet_benchmark, fleet_budget, widths),
+    }
+    for width, stats in report["fleet"]["scaling"].items():
+        print(f"    width {width}: {stats['host_seconds']:.2f}s, "
+              f"{stats['ips']:,} instr/s ({stats['backend']}, "
+              f"{stats['workers']} workers)", flush=True)
+
+    entries = report["benchmarks"].values()
+    report["aggregate"] = {
+        "sim_speedup_geomean": round(
+            _geomean([e["sim_speedup"] for e in entries]) or 0, 3),
+        "host_speedup_geomean": round(
+            _geomean([e["host_speedup"] for e in entries]) or 0, 3),
+        "all_equivalent": all(
+            e["equivalent"]["session_bytes_equal"]
+            and e["equivalent"]["verdicts_equal"] for e in entries),
+        #: Host cores available when this file was generated — host-side
+        #: overlap is bounded by this (1 core = no host speedup).
+        "host_parallelism": os.cpu_count(),
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_pipeline] sim speedup geomean "
+          f"{report['aggregate']['sim_speedup_geomean']}x "
+          f"(host {report['aggregate']['host_speedup_geomean']}x on "
+          f"{report['aggregate']['host_parallelism']} core(s)); "
+          f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,9 @@ Subcommands mirror the deployment's moving parts:
   an attack) and save the session (manifest + input log) to a file;
 * ``replay``  — load a session on "another machine" and run the
   checkpointing replayer over it, verifying the state digest;
-* ``hunt``    — the full Figure 1 pipeline in one shot, with verdicts;
+* ``hunt``    — the full Figure 1 pipeline in one shot, with verdicts
+  (``--pipeline`` overlaps recording and checkpointing replay);
+* ``fleet``   — run many independent sessions across a worker pool;
 * ``gadgets`` — scan the kernel image like an attacker would;
 * ``bench``   — print one of the regenerated figure tables.
 """
@@ -38,8 +40,9 @@ def _cmd_record(args) -> int:
           f"{len(run.log)} records ({metrics.log_bytes} bytes), "
           f"{metrics.alarms} alarms, stop={run.stop_reason}")
     if args.out:
-        save_session(args.out, manifest, run.log)
-        print(f"session saved to {args.out}")
+        save_session(args.out, manifest, run.log, framed=args.framed)
+        print(f"session saved to {args.out}"
+              + (" (framed)" if args.framed else ""))
     return 0
 
 
@@ -74,6 +77,8 @@ def _cmd_hunt(args) -> int:
     options = RnRSafeOptions(
         recorder=RecorderOptions(max_instructions=args.budget,
                                  stall_on_alarm=args.stall),
+        pipeline=args.pipeline,
+        pipeline_backend=args.pipeline_backend,
     )
     report = RnRSafe(spec, options).run()
     print(report.summary())
@@ -82,6 +87,42 @@ def _cmd_hunt(args) -> int:
               f"{outcome.verdict.kind.value} — "
               f"{outcome.verdict.explanation}")
     return 0 if not report.inconclusive else 1
+
+
+def _cmd_fleet(args) -> int:
+    from repro.core.fleet import FleetSession, run_fleet
+
+    sessions = [
+        FleetSession(
+            benchmark=args.benchmarks[index % len(args.benchmarks)],
+            seed=args.seed + index,
+            attack=args.attack,
+            max_instructions=args.budget,
+        )
+        for index in range(args.width)
+    ]
+    fleet = run_fleet(
+        sessions,
+        max_workers=args.workers,
+        backend=args.backend,
+        pipeline=args.pipeline,
+        pipeline_backend=args.pipeline_backend,
+    )
+    print(f"fleet of {len(fleet.results)} sessions on the {fleet.backend} "
+          f"backend ({fleet.workers} workers): "
+          f"{fleet.total_instructions} instructions, "
+          f"{fleet.total_alarms} alarms, {fleet.host_seconds:.2f}s")
+    for result in fleet.results:
+        verdicts = ", ".join(result.verdicts) if result.verdicts else "-"
+        print(f"  [{result.index}] {result.benchmark} seed={result.seed}"
+              + (f" attack={result.attack}" if result.attack else "")
+              + f": {result.instructions} instr, "
+              f"{result.checkpoints} checkpoints, "
+              f"{result.alarms_seen} alarms "
+              f"({result.dismissed_underflows} dismissed) -> {verdicts} "
+              f"[{result.backend}, {result.host_seconds:.2f}s, "
+              f"digest {result.session_digest[:12]}]")
+    return 0
 
 
 def _cmd_gadgets(args) -> int:
@@ -130,6 +171,8 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("--attack", choices=["rop", "jop", "dos"])
     record.add_argument("--budget", type=int, default=3_000_000)
     record.add_argument("--out", help="session file to write")
+    record.add_argument("--framed", action="store_true",
+                        help="write the framed (version 2) session body")
     record.set_defaults(func=_cmd_record)
 
     replay = sub.add_parser("replay", help="checkpoint-replay a session")
@@ -145,7 +188,32 @@ def build_parser() -> argparse.ArgumentParser:
     hunt.add_argument("--budget", type=int, default=3_000_000)
     hunt.add_argument("--stall", action="store_true",
                       help="stall the recorded VM at the first alarm")
+    hunt.add_argument("--pipeline", action="store_true",
+                      help="overlap recording and checkpointing replay")
+    hunt.add_argument("--pipeline-backend", choices=["thread", "process"],
+                      help="pipeline backend (default: config)")
     hunt.set_defaults(func=_cmd_hunt)
+
+    fleet = sub.add_parser(
+        "fleet", help="run many independent sessions across a worker pool",
+    )
+    fleet.add_argument("benchmarks", nargs="+", choices=_BENCHMARKS,
+                       help="benchmarks cycled across the fleet")
+    fleet.add_argument("--width", type=int, default=4,
+                       help="number of sessions to run")
+    fleet.add_argument("--seed", type=int, default=2018,
+                       help="base seed; session i uses seed+i")
+    fleet.add_argument("--attack", choices=["rop", "jop", "dos"])
+    fleet.add_argument("--budget", type=int, default=1_000_000)
+    fleet.add_argument("--workers", type=int,
+                       help="pool size (default: one per session)")
+    fleet.add_argument("--backend", choices=["thread", "process"],
+                       default="process")
+    fleet.add_argument("--pipeline", action="store_true",
+                       help="stream each session through the pipeline")
+    fleet.add_argument("--pipeline-backend", choices=["thread", "process"],
+                       default="thread")
+    fleet.set_defaults(func=_cmd_fleet)
 
     gadgets = sub.add_parser("gadgets", help="scan the kernel for gadgets")
     gadgets.add_argument("--kind", choices=["pop_reg", "load_indirect",

@@ -102,6 +102,22 @@ class SimulationConfig:
     #: real multi-core replay, iReplayer-style).  Either backend yields
     #: identical, input-ordered verdicts; see ``repro.core.parallel``.
     ar_backend: str = "thread"
+    #: Run the recorder and the checkpointing replayer as a streaming
+    #: pipeline (the paper's concurrent deployment, Figure 1) instead of
+    #: sequential phases.  Results are identical either way.
+    pipeline_enabled: bool = False
+    #: Pipeline backend: ``"thread"`` (shared-memory frame queue, cheap
+    #: startup) or ``"process"`` (the CR in its own OS process; frames
+    #: cross as serialized bytes — real multi-core overlap).
+    pipeline_backend: str = "thread"
+    #: Records per streamed log frame (see ``repro.rnr.log``).
+    frame_records: int = 512
+    #: Bounded depth of the frame queue between recorder and CR; a full
+    #: queue blocks the recorder — the §8.3.1 back-pressure knob.
+    pipeline_queue_depth: int = 8
+    #: Default number of concurrent sessions the fleet driver runs
+    #: (``repro.core.fleet``).
+    fleet_width: int = 4
     #: Cycle-cost model.
     costs: CostModel = field(default_factory=CostModel)
 

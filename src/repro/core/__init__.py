@@ -24,7 +24,19 @@ from repro.core.framework import (
 )
 from repro.core.detector import Detector, ReplayAnalyzer
 from repro.core.response import ResponseWindow, checkpoints_needed
-from repro.core.parallel import ParallelResolution, resolve_alarms_parallel
+from repro.core.parallel import (
+    ParallelResolution,
+    PipelinedRun,
+    PipelineStats,
+    record_and_replay_pipelined,
+    resolve_alarms_parallel,
+)
+from repro.core.fleet import (
+    FleetResult,
+    FleetSession,
+    FleetSessionResult,
+    run_fleet,
+)
 from repro.core.pipeline import (
     PipelineResult,
     couple_pipeline,
@@ -49,6 +61,13 @@ __all__ = [
     "checkpoints_needed",
     "ParallelResolution",
     "resolve_alarms_parallel",
+    "PipelinedRun",
+    "PipelineStats",
+    "record_and_replay_pipelined",
+    "FleetSession",
+    "FleetSessionResult",
+    "FleetResult",
+    "run_fleet",
     "PipelineResult",
     "couple_pipeline",
     "timelines_from_runs",

@@ -1,0 +1,217 @@
+"""The fleet driver: many record+replay sessions across a process pool.
+
+The paper's deployment amortizes one replay machine over many recorded
+VMs ("the replaying VM can multiplex several recorded VMs", §3).  The
+inverse is just as useful for throughput studies: N independent sessions
+— different benchmarks, seeds, or attack mixes — each running its own
+record+CR(+AR) stack on its own core.  Sessions share nothing (every
+machine is rebuilt from a :class:`~repro.rnr.session.SessionManifest`),
+so the fleet is embarrassingly parallel; this module schedules it and
+returns per-session results in input order.
+
+Each worker can run its session either sequentially (record, then CR,
+then ARs) or through the streaming pipeline
+(:func:`~repro.core.parallel.record_and_replay_pipelined`); inside a
+fleet worker the pipeline defaults to its thread backend so fleet
+parallelism (process per session) and pipeline parallelism (threads
+inside a session) compose without nested process pools.
+
+Results carry a digest of the session's log bytes so equivalence across
+schedulers is checkable without shipping whole logs between processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass
+
+from repro.core.parallel import record_and_replay_pipelined, resolve_alarms_parallel
+from repro.errors import HypervisorError
+from repro.replay.checkpointing import CheckpointingOptions, CheckpointingReplayer
+from repro.rnr.recorder import Recorder, RecorderOptions
+from repro.rnr.session import SessionManifest
+
+
+@dataclass(frozen=True)
+class FleetSession:
+    """One session the fleet should run (a manifest plus run knobs)."""
+
+    benchmark: str
+    seed: int = 2018
+    attack: str | None = None
+    max_instructions: int = 1_000_000
+    #: CR checkpoint period in guest seconds.
+    period_s: float = 1.0
+
+    def manifest(self) -> SessionManifest:
+        return SessionManifest(
+            benchmark=self.benchmark,
+            seed=self.seed,
+            attack=self.attack,
+            max_instructions=self.max_instructions,
+        )
+
+
+@dataclass(frozen=True)
+class FleetSessionResult:
+    """What one fleet session produced (log digest instead of log bytes)."""
+
+    index: int
+    benchmark: str
+    seed: int
+    attack: str | None
+    instructions: int
+    log_records: int
+    log_bytes: int
+    #: SHA-256 of the serialized input log — equivalence without shipping
+    #: the log across the pool.
+    session_digest: str
+    checkpoints: int
+    alarms_seen: int
+    dismissed_underflows: int
+    #: Verdict kinds for the CR's pending alarms, in confirmation order.
+    verdicts: tuple[str, ...]
+    stop_reason: str
+    host_seconds: float
+    pipelined: bool
+    backend: str
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """All session results, in input order, plus fleet-level accounting."""
+
+    results: tuple[FleetSessionResult, ...]
+    #: Pool backend that actually ran the fleet ("inline"/"thread"/"process").
+    backend: str
+    workers: int
+    host_seconds: float
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(result.instructions for result in self.results)
+
+    @property
+    def total_alarms(self) -> int:
+        return sum(result.alarms_seen for result in self.results)
+
+
+def _run_one_session(payload: tuple) -> FleetSessionResult:
+    """Run one session end to end (executes inside a pool worker)."""
+    (index, session, pipeline, pipeline_backend,
+     frame_records, queue_depth) = payload
+    started = time.perf_counter()
+    spec = session.manifest().build_spec()
+    recorder_options = RecorderOptions(
+        max_instructions=session.max_instructions,
+    )
+    cr_options = CheckpointingOptions(period_s=session.period_s)
+    if pipeline:
+        run = record_and_replay_pipelined(
+            spec, recorder_options, cr_options,
+            backend=pipeline_backend,
+            frame_records=frame_records,
+            queue_depth=queue_depth,
+        )
+        recording = run.recording
+        checkpointing = run.checkpointing
+        verdicts = run.resolution.verdicts
+        backend = f"pipeline-{run.stats.backend}"
+    else:
+        recording = Recorder(spec, recorder_options).run()
+        checkpointing = CheckpointingReplayer(
+            spec, recording.log, cr_options,
+        ).run_to_end()
+        resolution = resolve_alarms_parallel(
+            spec, recording.log, checkpointing.pending_alarms,
+            store=checkpointing.store, backend="thread",
+        )
+        verdicts = resolution.verdicts
+        backend = "sequential"
+    log_bytes = recording.log.to_bytes()
+    return FleetSessionResult(
+        index=index,
+        benchmark=session.benchmark,
+        seed=session.seed,
+        attack=session.attack,
+        instructions=recording.metrics.instructions,
+        log_records=len(recording.log),
+        log_bytes=len(log_bytes),
+        session_digest=hashlib.sha256(log_bytes).hexdigest(),
+        checkpoints=len(checkpointing.store),
+        alarms_seen=checkpointing.alarms_seen,
+        dismissed_underflows=checkpointing.dismissed_underflows,
+        verdicts=tuple(verdict.kind.value for verdict in verdicts),
+        stop_reason=recording.stop_reason,
+        host_seconds=time.perf_counter() - started,
+        pipelined=pipeline,
+        backend=backend,
+    )
+
+
+def run_fleet(
+    sessions: list[FleetSession],
+    *,
+    max_workers: int | None = None,
+    backend: str = "process",
+    pipeline: bool = False,
+    pipeline_backend: str = "thread",
+    frame_records: int | None = None,
+    queue_depth: int | None = None,
+) -> FleetResult:
+    """Run every session across a worker pool; results in input order.
+
+    ``backend`` is ``"thread"`` or ``"process"`` (the default — sessions
+    are CPU-bound, so real scaling needs processes).  As elsewhere in
+    this package, an unusable process pool degrades to threads rather
+    than failing; a fleet of one session runs inline.  ``pipeline`` runs
+    each session through the streaming pipeline executor
+    (``pipeline_backend`` defaulting to threads — see the module
+    docstring on composing the two levels of parallelism).
+    """
+    if backend not in ("thread", "process"):
+        raise HypervisorError(
+            f"unknown fleet backend {backend!r}; choose 'thread' or 'process'"
+        )
+    if not sessions:
+        return FleetResult(results=(), backend="inline", workers=0,
+                           host_seconds=0.0)
+    payloads = [
+        (index, session, pipeline, pipeline_backend,
+         frame_records, queue_depth)
+        for index, session in enumerate(sessions)
+    ]
+    workers = min(max_workers if max_workers is not None else len(sessions),
+                  len(sessions))
+    workers = max(1, workers)
+    started = time.perf_counter()
+    if len(sessions) == 1:
+        results = (_run_one_session(payloads[0]),)
+        return FleetResult(results=results, backend="inline", workers=1,
+                           host_seconds=time.perf_counter() - started)
+    if backend == "process":
+        try:
+            workers_capped = max(1, min(workers, os.cpu_count() or 1))
+            with ProcessPoolExecutor(max_workers=workers_capped) as pool:
+                results = tuple(pool.map(_run_one_session, payloads))
+            return FleetResult(
+                results=results, backend="process", workers=workers_capped,
+                host_seconds=time.perf_counter() - started,
+            )
+        except (OSError, ValueError, TypeError, AttributeError,
+                ImportError, pickle.PicklingError, BrokenExecutor):
+            # No usable process pool: degrade to threads (identical
+            # results, only wall-clock differs).
+            pass
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        results = tuple(pool.map(_run_one_session, payloads))
+    return FleetResult(results=results, backend="thread", workers=workers,
+                       host_seconds=time.perf_counter() - started)

@@ -42,6 +42,12 @@ class RnRSafeOptions:
     escalate_inconclusive: bool = True
     #: Cap on AR re-runs per alarm (including the from-start attempt).
     max_attempts: int = 4
+    #: Stream the log from recorder to CR through the pipeline executor
+    #: (``repro.core.parallel``) instead of running the phases back to
+    #: back.  Verdicts and state are identical either way.
+    pipeline: bool = False
+    #: Pipeline backend override; ``None`` defers to the spec's config.
+    pipeline_backend: str | None = None
 
 
 @dataclass
@@ -119,15 +125,35 @@ class RnRSafe:
         return self
 
     def run(self) -> FrameworkReport:
-        """Record, checkpoint-replay, and resolve every alarm."""
-        recorder = Recorder(self.spec, self.options.recorder)
-        for detector in self.detectors:
-            detector.configure(recorder)
-        recording = recorder.run()
-        replayer = CheckpointingReplayer(
-            self.spec, recording.log, self.options.checkpointing,
-        )
-        checkpointing = replayer.run_to_end()
+        """Record, checkpoint-replay, and resolve every alarm.
+
+        With ``options.pipeline`` the recording and the checkpointing
+        replay overlap through the streaming pipeline executor; alarm
+        resolution still runs through the escalation loop below so
+        inconclusive verdicts retry from earlier checkpoints.  Extra
+        detectors hook the recorder directly, so a run with detectors
+        attached falls back to the sequential phases (same results).
+        """
+        if self.options.pipeline and not self.detectors:
+            from repro.core.parallel import record_and_replay_pipelined
+
+            run = record_and_replay_pipelined(
+                self.spec, self.options.recorder,
+                self.options.checkpointing,
+                backend=self.options.pipeline_backend,
+                resolve_ars=False,
+            )
+            recording = run.recording
+            checkpointing = run.checkpointing
+        else:
+            recorder = Recorder(self.spec, self.options.recorder)
+            for detector in self.detectors:
+                detector.configure(recorder)
+            recording = recorder.run()
+            replayer = CheckpointingReplayer(
+                self.spec, recording.log, self.options.checkpointing,
+            )
+            checkpointing = replayer.run_to_end()
         outcomes = [
             self._resolve(alarm, recording, checkpointing)
             for alarm in checkpointing.pending_alarms

@@ -1,4 +1,4 @@
-"""Concurrent alarm replayers.
+"""Concurrent alarm replayers and the streaming record/replay pipeline.
 
 §5.2: "our design allows running multiple ARs concurrently, to analyze the
 same or different ROP alarms in parallel."  Each AR owns a private machine
@@ -25,12 +25,38 @@ Two backends are available (selectable per call or via
 
 Batches of zero or one alarm never spin up an executor at all; they run
 inline on the calling thread.
+
+The second half of this module is the **streaming pipeline executor**
+(:func:`record_and_replay_pipelined`): the paper's actual deployment shape,
+where the Checkpointing Replayer consumes the input log *while* the
+recorded VM executes (§3, §4.6) and alarm replayers launch the moment the
+CR confirms an alarm — so end-to-end time is the max of the phases, not
+their sum.  The log crosses from recorder to CR as chunked frames
+(``repro.rnr.serialize``) through a bounded queue whose full state blocks
+the recorder — the §8.3.1 back-pressure knob.  Two backends:
+
+* ``"thread"`` — the CR runs on a consumer thread sharing the parent's
+  memory; frames move by reference.  GIL-bound, so host wall-clock overlap
+  is limited, but the deployment timeline (simulated cycles) overlaps
+  fully and every structural property (backpressure, async AR dispatch,
+  bounded memory) is exercised.
+* ``"process"`` — the CR runs in its own OS process; frames cross the
+  boundary as serialized bytes, results return by pickle.  Real multi-core
+  overlap on multi-core hosts.
+
+Either way the pipelined run is bit-equivalent to the sequential path:
+same recorded log bytes, same checkpoints, same verdicts, same final CPU
+state — asserted by ``tests/test_pipeline_equivalence.py``.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import pickle
+import queue as queue_mod
+import threading
+import traceback
 from concurrent.futures import (
     BrokenExecutor,
     ProcessPoolExecutor,
@@ -38,12 +64,25 @@ from concurrent.futures import (
 )
 from dataclasses import dataclass
 
+from repro.cpu.state import CpuState
 from repro.errors import HypervisorError
 from repro.hypervisor.machine import MachineSpec
 from repro.replay.alarm import AlarmReplayer, AlarmReplayOptions
-from repro.replay.checkpoint import CheckpointStore
+from repro.replay.checkpoint import Checkpoint, CheckpointStore
+from repro.replay.checkpointing import (
+    CheckpointingOptions,
+    CheckpointingReplayer,
+    CheckpointingResult,
+)
 from repro.replay.verdict import AlarmVerdict, VerdictKind
-from repro.rnr.log import InputLog
+from repro.rnr.log import (
+    FrameInfo,
+    FrameQueueCursor,
+    InputLog,
+    RecordingLogTee,
+    StreamingLogWriter,
+)
+from repro.rnr.recorder import Recorder, RecorderOptions, RecordingRun
 from repro.rnr.records import AlarmRecord
 from repro.rnr.serialize import parse_record, serialize_record
 
@@ -72,19 +111,35 @@ class ParallelResolution:
                      if v.kind is VerdictKind.INCONCLUSIVE)
 
 
+def _analyze_from(spec: MachineSpec, log: InputLog, alarm: AlarmRecord,
+                  checkpoint: Checkpoint | None,
+                  store: CheckpointStore | None,
+                  options: AlarmReplayOptions | None) -> AlarmVerdict:
+    """Run one AR from a pre-selected checkpoint to its verdict.
+
+    The streaming pipeline captures ``checkpoint`` on the CR's thread the
+    moment the alarm is confirmed, so the analysis dispatched to a worker
+    starts from the same checkpoint a sequential run would have used.
+    """
+    replayer = AlarmReplayer(
+        spec, log, alarm,
+        checkpoint=checkpoint,
+        store=store,
+        options=options if options is not None else AlarmReplayOptions(),
+    )
+    return replayer.analyze()
+
+
 def _analyze_one(spec: MachineSpec, log: InputLog, alarm: AlarmRecord,
                  store: CheckpointStore | None,
                  options: AlarmReplayOptions | None) -> AlarmVerdict:
     """Run one AR to its verdict (shared by every backend)."""
     checkpoint = (store.latest_before(alarm.icount)
                   if store is not None else None)
-    replayer = AlarmReplayer(
-        spec, log, alarm,
-        checkpoint=checkpoint,
-        store=store if checkpoint is not None else None,
-        options=options if options is not None else AlarmReplayOptions(),
+    return _analyze_from(
+        spec, log, alarm, checkpoint,
+        store if checkpoint is not None else None, options,
     )
-    return replayer.analyze()
 
 
 # Per-worker-process state, installed once by ``_init_ar_worker`` so the
@@ -182,3 +237,375 @@ def _resolve_with_processes(
     ) as pool:
         verdicts = tuple(pool.map(_analyze_in_worker, alarm_payloads))
     return ParallelResolution(verdicts=verdicts, backend="process")
+
+
+# ----------------------------------------------------------------------
+# the streaming record/replay pipeline
+# ----------------------------------------------------------------------
+
+#: Ceiling on any single blocking queue/pipe operation against the CR
+#: process.  Generous — a stuck put/recv past this means the peer is dead,
+#: and hanging forever would mask the real failure.
+_PIPE_TIMEOUT_S = 600.0
+
+#: Process-pool/process-backend failures that mean "no usable second
+#: process", not "the workload failed": degrade to threads instead.
+_PROCESS_FALLBACK_ERRORS = (OSError, ValueError, TypeError, AttributeError,
+                            ImportError, pickle.PicklingError, BrokenExecutor)
+
+
+@dataclass(frozen=True)
+class PipelineStats:
+    """Timelines and shape of one pipelined run.
+
+    ``produced_cycles[k]`` is the recorder's simulated clock when frame
+    ``k`` was emitted; ``consumed_cycles[k]`` is the CR's simulated clock
+    when frame ``k`` was fully consumed.  The two timelines are what
+    ``repro.core.pipeline.couple_pipeline`` folds into the overlapped
+    deployment makespan (the benchmark's headline number).
+    """
+
+    backend: str
+    frame_records: int
+    queue_depth: int
+    frames: tuple[FrameInfo, ...]
+    produced_cycles: tuple[int, ...]
+    consumed_cycles: tuple[int, ...]
+
+
+@dataclass
+class PipelinedRun:
+    """Everything one pipelined record+replay(+AR) run produced.
+
+    ``recording.log`` and ``checkpointing`` are bit-equivalent to a
+    sequential run of the same spec; ``final_cpu_state`` is the CR
+    machine's processor state at end of replay (captured before the CR's
+    machine is torn down — with the process backend the machine itself
+    never crosses back).
+    """
+
+    recording: RecordingRun
+    checkpointing: CheckpointingResult
+    final_cpu_state: CpuState
+    #: Verdicts for the CR's pending alarms, in confirmation order;
+    #: ``None`` when the run was launched with ``resolve_ars=False``.
+    resolution: ParallelResolution | None
+    stats: PipelineStats
+
+
+def _consume_frames(spec: MachineSpec,
+                    cr_options: CheckpointingOptions,
+                    frame_source,
+                    resolve_ars: bool,
+                    ar_options: AlarmReplayOptions | None,
+                    max_ar_workers: int):
+    """Run the CR over a frame queue; dispatch ARs as alarms confirm.
+
+    This is the consumer half of both pipeline backends — it runs on the
+    consumer thread (thread backend) or inside the CR process (process
+    backend).  Returns ``(checkpointing_result, final_cpu_state,
+    verdicts_or_None, cursor)``.
+
+    AR dispatch is asynchronous: the moment the CR confirms an alarm the
+    listener captures the latest preceding checkpoint (synchronously, on
+    the CR's thread — so later checkpoints cannot change the AR's start
+    point) and submits the analysis to a small thread pool.  The log keeps
+    growing while the AR runs, but every record up to the alarm already
+    exists at dispatch time, which is all the AR consumes.
+    """
+    log = InputLog()
+    cursor = FrameQueueCursor(log, frame_source)
+    ar_pool: list[ThreadPoolExecutor] = []
+    futures = []
+
+    def dispatch(alarm: AlarmRecord):
+        if not ar_pool:
+            ar_pool.append(ThreadPoolExecutor(
+                max_workers=max_ar_workers,
+                thread_name_prefix="pipeline-ar",
+            ))
+        store = replayer.store
+        checkpoint = store.latest_before(alarm.icount)
+        futures.append(ar_pool[0].submit(
+            _analyze_from, spec, log, alarm, checkpoint,
+            store if checkpoint is not None else None, ar_options,
+        ))
+
+    replayer = CheckpointingReplayer(
+        spec, log, cr_options,
+        cursor=cursor,
+        pending_alarm_listener=dispatch if resolve_ars else None,
+    )
+    cursor.clock = lambda: replayer.machine.now
+    try:
+        result = replayer.run_to_end()
+        cursor.finalize_timeline(replayer.machine.now)
+        verdicts = (tuple(future.result() for future in futures)
+                    if resolve_ars else None)
+    finally:
+        if ar_pool:
+            ar_pool[0].shutdown(wait=True)
+    return result, replayer.machine.cpu.capture_state(), verdicts, cursor
+
+
+def _run_producer(spec: MachineSpec,
+                  recorder_options: RecorderOptions | None,
+                  frame_records: int,
+                  emit_frame) -> tuple[RecordingRun, list[int]]:
+    """Record through a tee whose frames flow to ``emit_frame``.
+
+    Returns the recording and the per-frame production timeline.  The tee
+    is always flushed (and the trailing partial frame emitted) even when
+    the recording itself raises, so the consumer's stream stays framed.
+    """
+    produced_cycles: list[int] = []
+
+    def on_frame(frame: bytes):
+        produced_cycles.append(recorder.machine.now)
+        emit_frame(frame)
+
+    tee = RecordingLogTee(StreamingLogWriter(frame_records, on_frame=on_frame))
+    recorder = Recorder(spec, recorder_options, log=tee)
+    try:
+        recording = recorder.run()
+    finally:
+        tee.finish()
+    return recording, produced_cycles
+
+
+def _pipelined_threads(spec: MachineSpec,
+                       recorder_options: RecorderOptions | None,
+                       cr_options: CheckpointingOptions,
+                       frame_records: int,
+                       queue_depth: int,
+                       resolve_ars: bool,
+                       ar_options: AlarmReplayOptions | None,
+                       max_ar_workers: int) -> PipelinedRun:
+    frames: "queue_mod.Queue" = queue_mod.Queue(maxsize=queue_depth)
+    outcome: dict = {}
+
+    def consume():
+        try:
+            outcome["value"] = _consume_frames(
+                spec, cr_options, frames.get,
+                resolve_ars, ar_options, max_ar_workers,
+            )
+        except BaseException as exc:  # noqa: BLE001 - reraised in parent
+            outcome["error"] = exc
+            # Unblock a producer stuck on a full queue: drain until the
+            # end-of-stream sentinel arrives.
+            while frames.get() is not None:
+                pass
+
+    consumer = threading.Thread(target=consume, name="pipeline-cr",
+                                daemon=True)
+    consumer.start()
+    producer_error: BaseException | None = None
+    recording = None
+    produced_cycles: list[int] = []
+    try:
+        recording, produced_cycles = _run_producer(
+            spec, recorder_options, frame_records, frames.put,
+        )
+    except BaseException as exc:  # noqa: BLE001 - reraised below
+        producer_error = exc
+    finally:
+        frames.put(None)
+        consumer.join()
+    if producer_error is not None:
+        raise producer_error
+    if "error" in outcome:
+        raise outcome["error"]
+    result, cpu_state, verdicts, cursor = outcome["value"]
+    stats = PipelineStats(
+        backend="thread",
+        frame_records=frame_records,
+        queue_depth=queue_depth,
+        frames=tuple(cursor.reader.frames),
+        produced_cycles=tuple(produced_cycles),
+        consumed_cycles=tuple(cursor.frame_consumed_cycles),
+    )
+    resolution = (ParallelResolution(verdicts=verdicts,
+                                     backend="pipeline-thread")
+                  if resolve_ars else None)
+    return PipelinedRun(
+        recording=recording,
+        checkpointing=result,
+        final_cpu_state=cpu_state,
+        resolution=resolution,
+        stats=stats,
+    )
+
+
+def _pipeline_cr_process(conn, frames, spec, cr_options, resolve_ars,
+                         ar_options, max_ar_workers):
+    """Entry point of the CR process (process backend)."""
+    try:
+        result, cpu_state, verdicts, cursor = _consume_frames(
+            spec, cr_options, frames.get,
+            resolve_ars, ar_options, max_ar_workers,
+        )
+        conn.send({
+            "error": None,
+            "checkpointing": result,
+            "final_cpu_state": cpu_state,
+            "verdicts": verdicts,
+            "frames": tuple(cursor.reader.frames),
+            "consumed_cycles": tuple(cursor.frame_consumed_cycles),
+        })
+    except BaseException:  # noqa: BLE001 - reported through the pipe
+        # Unblock the producer before reporting, then ship the traceback.
+        try:
+            while frames.get(timeout=_PIPE_TIMEOUT_S) is not None:
+                pass
+        except Exception:
+            pass
+        try:
+            conn.send({"error": traceback.format_exc()})
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _pipelined_processes(spec: MachineSpec,
+                         recorder_options: RecorderOptions | None,
+                         cr_options: CheckpointingOptions,
+                         frame_records: int,
+                         queue_depth: int,
+                         resolve_ars: bool,
+                         ar_options: AlarmReplayOptions | None,
+                         max_ar_workers: int) -> PipelinedRun:
+    ctx = multiprocessing.get_context()
+    frames = ctx.Queue(maxsize=queue_depth)
+    recv_conn, send_conn = ctx.Pipe(duplex=False)
+    worker = ctx.Process(
+        target=_pipeline_cr_process,
+        args=(send_conn, frames, spec, cr_options, resolve_ars,
+              ar_options, max_ar_workers),
+        name="pipeline-cr",
+        daemon=True,
+    )
+    worker.start()
+    send_conn.close()
+
+    def emit(frame: bytes):
+        frames.put(frame, timeout=_PIPE_TIMEOUT_S)
+
+    producer_error: BaseException | None = None
+    recording = None
+    produced_cycles: list[int] = []
+    try:
+        recording, produced_cycles = _run_producer(
+            spec, recorder_options, frame_records, emit,
+        )
+    except BaseException as exc:  # noqa: BLE001 - reraised below
+        producer_error = exc
+    finally:
+        try:
+            frames.put(None, timeout=_PIPE_TIMEOUT_S)
+        except Exception:
+            pass
+    try:
+        if producer_error is not None:
+            raise producer_error
+        if not recv_conn.poll(_PIPE_TIMEOUT_S):
+            raise HypervisorError(
+                "pipeline CR process produced no result within "
+                f"{_PIPE_TIMEOUT_S:.0f}s"
+            )
+        try:
+            payload = recv_conn.recv()
+        except EOFError as exc:
+            raise HypervisorError(
+                "pipeline CR process died without reporting a result"
+            ) from exc
+    finally:
+        recv_conn.close()
+        worker.join(timeout=_PIPE_TIMEOUT_S)
+        if worker.is_alive():
+            worker.terminate()
+        frames.close()
+        frames.join_thread()
+    if payload["error"] is not None:
+        raise HypervisorError(
+            f"pipeline CR process failed:\n{payload['error']}"
+        )
+    stats = PipelineStats(
+        backend="process",
+        frame_records=frame_records,
+        queue_depth=queue_depth,
+        frames=payload["frames"],
+        produced_cycles=tuple(produced_cycles),
+        consumed_cycles=payload["consumed_cycles"],
+    )
+    resolution = (ParallelResolution(verdicts=payload["verdicts"],
+                                     backend="pipeline-process")
+                  if resolve_ars else None)
+    return PipelinedRun(
+        recording=recording,
+        checkpointing=payload["checkpointing"],
+        final_cpu_state=payload["final_cpu_state"],
+        resolution=resolution,
+        stats=stats,
+    )
+
+
+def record_and_replay_pipelined(
+    spec: MachineSpec,
+    recorder_options: RecorderOptions | None = None,
+    cr_options: CheckpointingOptions | None = None,
+    *,
+    backend: str | None = None,
+    frame_records: int | None = None,
+    queue_depth: int | None = None,
+    resolve_ars: bool = True,
+    ar_options: AlarmReplayOptions | None = None,
+    max_ar_workers: int = 4,
+) -> PipelinedRun:
+    """Record and checkpoint-replay one session as a streaming pipeline.
+
+    The recorder streams its log as chunked frames through a bounded queue
+    that the Checkpointing Replayer consumes concurrently; alarms the CR
+    confirms are handed to alarm replayers immediately rather than after
+    the full pass.  Results are bit-equivalent to running the phases
+    sequentially — only the wall-clock shape changes.
+
+    ``backend``, ``frame_records`` and ``queue_depth`` default to the
+    spec's :class:`~repro.config.SimulationConfig` knobs.  The process
+    backend falls back to threads when no second process is usable,
+    mirroring :func:`resolve_alarms_parallel`.
+    """
+    config = spec.config
+    if backend is None:
+        backend = config.pipeline_backend
+    if backend not in ("thread", "process"):
+        raise HypervisorError(
+            f"unknown pipeline backend {backend!r}; "
+            f"choose 'thread' or 'process'"
+        )
+    if frame_records is None:
+        frame_records = config.frame_records
+    if queue_depth is None:
+        queue_depth = config.pipeline_queue_depth
+    if recorder_options is not None and not recorder_options.log_enabled:
+        raise HypervisorError(
+            "the streaming pipeline replays the input log; recorder "
+            "options must keep log_enabled=True"
+        )
+    if cr_options is None:
+        cr_options = CheckpointingOptions()
+    if backend == "process":
+        try:
+            return _pipelined_processes(
+                spec, recorder_options, cr_options, frame_records,
+                queue_depth, resolve_ars, ar_options, max_ar_workers,
+            )
+        except _PROCESS_FALLBACK_ERRORS:
+            # No usable CR process (sandboxed platform, unpicklable
+            # state, ...): the thread backend produces identical results.
+            pass
+    return _pipelined_threads(
+        spec, recorder_options, cr_options, frame_records,
+        queue_depth, resolve_ars, ar_options, max_ar_workers,
+    )

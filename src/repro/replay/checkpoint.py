@@ -15,12 +15,19 @@ it is not pointed to by a later checkpoint".
 
 from __future__ import annotations
 
+import logging
+import threading
 from bisect import bisect_right
 from dataclasses import dataclass
 
 from repro.cpu.ras import RasSnapshot
 from repro.cpu.state import CpuState
 from repro.errors import CheckpointError
+
+logger = logging.getLogger(__name__)
+
+#: Bytes per 64-bit word of checkpoint state.
+_WORD_BYTES = 8
 
 
 @dataclass
@@ -57,9 +64,22 @@ class Checkpoint:
 
 
 class CheckpointStore:
-    """Ordered collection of checkpoints with chain reconstruction."""
+    """Ordered collection of checkpoints with chain reconstruction.
 
-    def __init__(self):
+    ``max_resident_bytes`` bounds the state the store keeps resident: after
+    every :meth:`add` the oldest checkpoints are merged forward (the same
+    evict-by-merge recycling the retention window uses) until the store
+    fits the budget again, so long pipelined runs cannot grow memory
+    without bound.  Merges performed for the budget are counted in
+    :attr:`budget_merges` and logged.
+
+    The store is shared between one writer (the checkpointing replayer)
+    and any number of concurrently launched alarm replayers; a lock makes
+    the mutating operations (append, recycle/merge) and the chain
+    reconstructions atomic with respect to each other.
+    """
+
+    def __init__(self, max_resident_bytes: int | None = None):
         self._checkpoints: list[Checkpoint] = []
         self._by_id: dict[int, Checkpoint] = {}
         self._next_id = 1
@@ -75,6 +95,23 @@ class CheckpointStore:
         self._blocks_cache: dict[int, dict[int, tuple[int, ...]]] = {}
         #: Checkpoints dropped by recycling (statistics for §8.4).
         self.recycled = 0
+        #: Resident-state budget; ``None`` is unbounded.
+        self.max_resident_bytes = max_resident_bytes
+        #: Checkpoints merged forward to stay under the budget.
+        self.budget_merges = 0
+        self._lock = threading.RLock()
+
+    def __getstate__(self):
+        # The lock cannot cross a process boundary (parallel alarm replay
+        # pickles the store into worker initializers); each process gets
+        # its own.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._checkpoints)
@@ -91,33 +128,36 @@ class CheckpointStore:
         breakpoint exits do not advance the instruction counter) — the
         bisect in :meth:`latest_before` depends on it.
         """
-        if self._icounts and icount < self._icounts[-1]:
-            raise CheckpointError(
-                f"checkpoint icount {icount} precedes the newest "
-                f"checkpoint at {self._icounts[-1]}; the store must "
-                f"stay icount-ordered"
+        with self._lock:
+            if self._icounts and icount < self._icounts[-1]:
+                raise CheckpointError(
+                    f"checkpoint icount {icount} precedes the newest "
+                    f"checkpoint at {self._icounts[-1]}; the store must "
+                    f"stay icount-ordered"
+                )
+            parent_id = (
+                self._checkpoints[-1].checkpoint_id
+                if self._checkpoints else None
             )
-        parent_id = (
-            self._checkpoints[-1].checkpoint_id if self._checkpoints else None
-        )
-        checkpoint = Checkpoint(
-            checkpoint_id=self._next_id,
-            icount=icount,
-            cycles=cycles,
-            cpu_state=cpu_state,
-            pages=dict(pages),
-            disk_blocks=dict(disk_blocks),
-            backras=dict(backras),
-            current_tid=current_tid,
-            log_position=log_position,
-            parent_id=parent_id,
-            disk_regs=disk_regs,
-        )
-        self._next_id += 1
-        self._checkpoints.append(checkpoint)
-        self._icounts.append(icount)
-        self._by_id[checkpoint.checkpoint_id] = checkpoint
-        return checkpoint
+            checkpoint = Checkpoint(
+                checkpoint_id=self._next_id,
+                icount=icount,
+                cycles=cycles,
+                cpu_state=cpu_state,
+                pages=dict(pages),
+                disk_blocks=dict(disk_blocks),
+                backras=dict(backras),
+                current_tid=current_tid,
+                log_position=log_position,
+                parent_id=parent_id,
+                disk_regs=disk_regs,
+            )
+            self._next_id += 1
+            self._checkpoints.append(checkpoint)
+            self._icounts.append(icount)
+            self._by_id[checkpoint.checkpoint_id] = checkpoint
+            self._enforce_budget()
+            return checkpoint
 
     def all(self) -> tuple[Checkpoint, ...]:
         """All retained checkpoints, oldest first."""
@@ -133,10 +173,11 @@ class CheckpointStore:
         This is the checkpoint an alarm replayer starts from ("typically the
         latest" preceding the alarm).
         """
-        position = bisect_right(self._icounts, icount)
-        if position == 0:
-            return None
-        return self._checkpoints[position - 1]
+        with self._lock:
+            position = bisect_right(self._icounts, icount)
+            if position == 0:
+                return None
+            return self._checkpoints[position - 1]
 
     def predecessor(self, checkpoint: Checkpoint) -> Checkpoint | None:
         """The checkpoint preceding ``checkpoint`` (for AR escalation)."""
@@ -193,17 +234,20 @@ class CheckpointStore:
 
     def reconstruct_pages(self, checkpoint: Checkpoint) -> dict[int, tuple[int, ...]]:
         """Full page overlay at ``checkpoint`` (newest copy of each page)."""
-        if self._by_id.get(checkpoint.checkpoint_id) is not checkpoint:
-            raise CheckpointError(
-                f"checkpoint {checkpoint.checkpoint_id} is not in this store"
-            )
-        return dict(self._overlay(checkpoint, "pages", self._pages_cache))
+        with self._lock:
+            if self._by_id.get(checkpoint.checkpoint_id) is not checkpoint:
+                raise CheckpointError(
+                    f"checkpoint {checkpoint.checkpoint_id} is not in this "
+                    f"store"
+                )
+            return dict(self._overlay(checkpoint, "pages", self._pages_cache))
 
     def reconstruct_blocks(self, checkpoint: Checkpoint) -> dict[int, tuple[int, ...]]:
         """Full disk-block overlay at ``checkpoint``."""
-        return dict(
-            self._overlay(checkpoint, "disk_blocks", self._blocks_cache)
-        )
+        with self._lock:
+            return dict(
+                self._overlay(checkpoint, "disk_blocks", self._blocks_cache)
+            )
 
     # ------------------------------------------------------------------
     # recycling
@@ -215,9 +259,37 @@ class CheckpointStore:
         ``keep_at_least`` mirrors the paper's "+2" retention margin: the
         newest checkpoints are never recycled even if old.
         """
-        while (len(self._checkpoints) > keep_at_least
-               and self._checkpoints[0].cycles < cycles):
+        with self._lock:
+            while (len(self._checkpoints) > keep_at_least
+                   and self._checkpoints[0].cycles < cycles):
+                self._drop_oldest()
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of checkpoint state currently resident."""
+        return self.storage_words * _WORD_BYTES
+
+    def _enforce_budget(self):
+        """Merge oldest checkpoints forward until under the byte budget.
+
+        Caller holds the lock.  The floor of two retained checkpoints
+        matches the paper's "+2" margin — the budget never empties the
+        store, it only flattens history.
+        """
+        budget = self.max_resident_bytes
+        if budget is None:
+            return
+        merged = 0
+        while self.resident_bytes > budget and len(self._checkpoints) > 2:
             self._drop_oldest()
+            merged += 1
+        if merged:
+            self.budget_merges += merged
+            logger.debug(
+                "checkpoint budget: merged %d checkpoint(s) forward "
+                "(%d total), %d bytes resident against a %d-byte budget",
+                merged, self.budget_merges, self.resident_bytes, budget,
+            )
 
     def _drop_oldest(self):
         if len(self._checkpoints) < 2:

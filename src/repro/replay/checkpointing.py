@@ -38,6 +38,10 @@ class CheckpointingOptions:
     keep_at_least: int = 2
     #: Verify the end-of-log state digest.
     verify_digest: bool = True
+    #: Resident-state budget for the checkpoint store, in bytes; the store
+    #: merges its oldest checkpoints forward to stay under it (``None`` is
+    #: unbounded).  Long streaming runs set this so memory stays flat.
+    max_resident_bytes: int | None = None
 
 
 @dataclass
@@ -62,7 +66,12 @@ class CheckpointingReplayer(DeterministicReplayer):
 
     def __init__(self, spec: MachineSpec, log: InputLog,
                  options: CheckpointingOptions | None = None,
-                 cursor: LogCursor | None = None):
+                 cursor: LogCursor | None = None,
+                 pending_alarm_listener=None):
+        """``pending_alarm_listener`` is called (from the CR's thread) with
+        each alarm the CR cannot dismiss, the moment it is confirmed — the
+        streaming pipeline uses it to dispatch alarm replayers while the
+        CR is still consuming the log, instead of after the full pass."""
         self.options = options if options is not None else CheckpointingOptions()
         super().__init__(
             spec,
@@ -71,7 +80,10 @@ class CheckpointingReplayer(DeterministicReplayer):
             verify_digest=self.options.verify_digest,
         )
         self.log = log
-        self.store = CheckpointStore()
+        self.store = CheckpointStore(
+            max_resident_bytes=self.options.max_resident_bytes,
+        )
+        self.pending_alarm_listener = pending_alarm_listener
         self.pending_alarms: list[AlarmRecord] = []
         self.dismissed_underflows = 0
         self.alarms_seen = 0
@@ -122,6 +134,8 @@ class CheckpointingReplayer(DeterministicReplayer):
                 self.dismissed_underflows += 1
                 return
         self.pending_alarms.append(record)
+        if self.pending_alarm_listener is not None:
+            self.pending_alarm_listener(record)
 
     # ------------------------------------------------------------------
     # checkpointing

@@ -3,13 +3,37 @@
 The recorder appends; replayers consume through :class:`LogCursor`, which is
 the in-memory analogue of the paper's ``InputLogPtr`` — a checkpoint stores
 a cursor position so an alarm replayer can resume consumption mid-log.
+
+The streaming layer lives here too: :class:`StreamingLogWriter` chunks a
+record stream into fixed-size frames (see ``repro.rnr.serialize`` for the
+wire format), :class:`StreamingLogReader` reassembles frames into records
+while building a seekable frame index, :class:`RecordingLogTee` lets a
+recorder feed a frame queue *while* recording, and
+:class:`FrameQueueCursor` lets a replayer consume that queue with
+backpressure — together they turn "record everything, then replay
+everything" into a pipeline whose wall-clock is the max of the phases,
+not their sum.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
+from dataclasses import dataclass
+
 from repro.errors import LogError
-from repro.rnr.records import Record
-from repro.rnr.serialize import record_size_bytes, serialize_record, parse_record
+from repro.rnr.records import Record, is_async_record
+from repro.rnr.serialize import (
+    FrameHeader,
+    encode_frame,
+    encode_record_into,
+    parse_frame,
+    parse_record,
+)
+
+#: Default records per frame.  Small enough that the consumer starts within
+#: a fraction of a guest second of the producer, large enough that framing
+#: overhead (5–9 header bytes) stays well under 1% of payload.
+DEFAULT_FRAME_RECORDS = 512
 
 
 class InputLog:
@@ -19,10 +43,14 @@ class InputLog:
         self._records: list[Record] = []
         self._sizes: list[int] = []
         self.total_bytes = 0
+        #: Reused encode buffer: sizing a record allocates nothing.
+        self._scratch = bytearray()
 
     def append(self, record: Record) -> int:
         """Append one record; returns its serialized size in bytes."""
-        size = record_size_bytes(record)
+        scratch = self._scratch
+        scratch.clear()
+        size = encode_record_into(record, scratch)
         self._records.append(record)
         self._sizes.append(size)
         self.total_bytes += size
@@ -50,7 +78,7 @@ class InputLog:
         """Serialize the whole log (round-trip tested)."""
         out = bytearray()
         for record in self._records:
-            out.extend(serialize_record(record))
+            encode_record_into(record, out)
         return bytes(out)
 
     @classmethod
@@ -103,3 +131,239 @@ class LogCursor:
     def clone(self) -> "LogCursor":
         """An independent cursor at the same position."""
         return LogCursor(self._log, self.position)
+
+
+# ----------------------------------------------------------------------
+# streaming: chunked frames
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FrameInfo:
+    """One frame's place in a reassembled stream (the frame index)."""
+
+    index: int
+    #: Position of the frame's first record in the reassembled log.
+    record_offset: int
+    record_count: int
+    first_icount: int
+    last_icount: int
+    #: Byte offset of the frame (header included) in the framed stream.
+    byte_offset: int
+    payload_length: int
+
+
+class StreamingLogWriter:
+    """Chunks an append-only record stream into fixed-size frames.
+
+    Records are encoded straight into one reused ``bytearray`` per frame —
+    no per-record bytes objects — and a completed frame is emitted either
+    through the ``on_frame`` callback (streaming deployments: the callback
+    typically blocks on a bounded queue, which is the backpressure) or
+    accumulated for :meth:`take_frames`.  Frame payloads concatenate to
+    exactly the batch serialization of the appended records.
+    """
+
+    def __init__(self, frame_records: int = DEFAULT_FRAME_RECORDS,
+                 on_frame=None):
+        if frame_records < 1:
+            raise LogError(f"frame_records must be >= 1, got {frame_records}")
+        self.frame_records = frame_records
+        self._on_frame = on_frame
+        self._buffer = bytearray()
+        self._count = 0
+        #: icount context carried across frames: the icount of the last
+        #: asynchronous record seen so far.
+        self._icount = 0
+        self._frame_first_icount = 0
+        self._pending: list[bytes] = []
+        self.frames_emitted = 0
+        self.records_written = 0
+        self.payload_bytes = 0
+        self._finished = False
+
+    def append(self, record: Record) -> int:
+        """Buffer one record; returns its serialized size in bytes."""
+        if self._finished:
+            raise LogError("cannot append to a finished StreamingLogWriter")
+        size = encode_record_into(record, self._buffer)
+        self._count += 1
+        self.records_written += 1
+        self.payload_bytes += size
+        if is_async_record(record):
+            self._icount = record.icount
+        if self._count >= self.frame_records:
+            self._emit()
+        return size
+
+    def _emit(self):
+        frame = encode_frame(
+            self._buffer, self._count,
+            self._frame_first_icount, self._icount,
+        )
+        self._buffer.clear()
+        self._count = 0
+        self._frame_first_icount = self._icount
+        self.frames_emitted += 1
+        if self._on_frame is not None:
+            self._on_frame(frame)
+        else:
+            self._pending.append(frame)
+
+    def finish(self):
+        """Flush the trailing partial frame.  Idempotent."""
+        if self._finished:
+            return
+        if self._count:
+            self._emit()
+        self._finished = True
+
+    def take_frames(self) -> list[bytes]:
+        """Drain completed frames accumulated without an ``on_frame``."""
+        frames = self._pending
+        self._pending = []
+        return frames
+
+
+class StreamingLogReader:
+    """Reassembles frames into records, building a seekable frame index."""
+
+    def __init__(self):
+        self.records: list[Record] = []
+        self.frames: list[FrameInfo] = []
+        self._byte_offset = 0
+        #: first_icounts parallel to ``frames`` (sorted; icounts are
+        #: monotone in the log) for :meth:`latest_frame_before`.
+        self._first_icounts: list[int] = []
+
+    def feed(self, frame: bytes) -> list[Record]:
+        """Consume exactly one frame; returns its decoded records."""
+        header, records, end = parse_frame(frame, 0)
+        if end != len(frame):
+            raise LogError(
+                f"frame at byte offset {self._byte_offset} carries "
+                f"{len(frame) - end} trailing bytes"
+            )
+        self._index(header, len(frame))
+        self.records.extend(records)
+        return records
+
+    def feed_stream(self, data: bytes, offset: int = 0) -> list[Record]:
+        """Consume a concatenation of frames (e.g. a framed session file)."""
+        added: list[Record] = []
+        while offset < len(data):
+            header, records, next_offset = parse_frame(data, offset)
+            self._index(header, next_offset - offset)
+            self.records.extend(records)
+            added.extend(records)
+            offset = next_offset
+        return added
+
+    def _index(self, header: FrameHeader, frame_bytes: int):
+        self.frames.append(FrameInfo(
+            index=len(self.frames),
+            record_offset=len(self.records),
+            record_count=header.record_count,
+            first_icount=header.first_icount,
+            last_icount=header.last_icount,
+            byte_offset=self._byte_offset,
+            payload_length=header.payload_length,
+        ))
+        self._first_icounts.append(header.first_icount)
+        self._byte_offset += frame_bytes
+
+    def latest_frame_before(self, icount: int) -> FrameInfo | None:
+        """The newest frame whose records all start at or before ``icount``.
+
+        Seeking: a consumer that wants the stream from instruction
+        ``icount`` onward starts at this frame's ``record_offset`` (frames
+        are indexed by the icount context at their first record).
+        """
+        position = bisect_right(self._first_icounts, icount)
+        if position == 0:
+            return None
+        return self.frames[position - 1]
+
+    def to_log(self) -> InputLog:
+        """Materialize the records consumed so far as an :class:`InputLog`."""
+        log = InputLog()
+        for record in self.records:
+            log.append(record)
+        return log
+
+
+class RecordingLogTee(InputLog):
+    """An :class:`InputLog` that simultaneously streams itself as frames.
+
+    Drop-in for the recorder's log: every appended record lands in the
+    in-memory log (so ``RecordingRun`` keeps its exact API and bytes) *and*
+    in a :class:`StreamingLogWriter` whose completed frames flow to the
+    pipeline's frame queue.  The record is encoded once — the frame buffer
+    is the size-accounting source, so tee-ing costs nothing over a plain
+    log.
+    """
+
+    def __init__(self, writer: StreamingLogWriter):
+        super().__init__()
+        self.writer = writer
+
+    def append(self, record: Record) -> int:
+        size = self.writer.append(record)
+        self._records.append(record)
+        self._sizes.append(size)
+        self.total_bytes += size
+        return size
+
+    def finish(self):
+        """Flush the writer's trailing partial frame."""
+        self.writer.finish()
+
+
+class FrameQueueCursor(LogCursor):
+    """A cursor that pulls frames from a bounded queue on demand.
+
+    The replay engine's consumption loop calls :meth:`peek` before every
+    batch; when the in-memory log runs dry this cursor blocks on
+    ``frame_source()`` (typically ``queue.Queue.get``) for the next frame,
+    decodes it into the log, and continues — ``None`` from the source
+    means end of stream.  The producer side blocks on a full queue, which
+    is the pipeline's backpressure.
+
+    ``clock`` (set by the pipeline executor to the replayer's simulated
+    clock) timestamps the completion of each frame's consumption, giving
+    the coupled production/consumption timelines that
+    ``repro.core.pipeline.couple_pipeline`` folds into the overlapped
+    deployment makespan.
+    """
+
+    def __init__(self, log: InputLog, frame_source,
+                 reader: StreamingLogReader | None = None):
+        super().__init__(log, 0)
+        self._source = frame_source
+        self.reader = reader if reader is not None else StreamingLogReader()
+        self.closed = False
+        #: Simulated cycle at which each frame was fully consumed (the
+        #: final frame's entry is appended by the executor at end of run).
+        self.frame_consumed_cycles: list[int] = []
+        self.clock = None
+
+    def peek(self) -> Record | None:
+        log = self._log
+        while self.position >= len(log) and not self.closed:
+            frame = self._source()
+            if frame is None:
+                self.closed = True
+                break
+            if self.reader.frames and self.clock is not None:
+                # Fetching frame k means frames < k are fully consumed.
+                self.frame_consumed_cycles.append(self.clock())
+            for record in self.reader.feed(frame):
+                log.append(record)
+        return super().peek()
+
+    def finalize_timeline(self, now: int):
+        """Record the final frame's consumption time (end of replay)."""
+        if self.clock is None:
+            return
+        while len(self.frame_consumed_cycles) < len(self.reader.frames):
+            self.frame_consumed_cycles.append(now)

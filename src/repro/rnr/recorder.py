@@ -89,12 +89,16 @@ class Recorder:
     """Runs one recording (or baseline) session over a machine spec."""
 
     def __init__(self, spec: MachineSpec,
-                 options: RecorderOptions | None = None):
+                 options: RecorderOptions | None = None,
+                 log: InputLog | None = None):
+        """``log`` lets a deployment inject its own sink — the streaming
+        pipeline passes a :class:`~repro.rnr.log.RecordingLogTee` so frames
+        flow to the replayer while the recording is still running."""
         self.spec = spec
         self.options = options if options is not None else RecorderOptions()
         self.machine = GuestMachine(spec, self._build_controls(),
                                     with_world=True)
-        self.log = InputLog()
+        self.log = log if log is not None else InputLog()
         self.interposer = ContextSwitchInterposer(
             kernel=spec.kernel,
             vmcs=self.machine.vmcs,

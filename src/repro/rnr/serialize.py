@@ -1,12 +1,27 @@
-"""Binary serialization of log records.
+"""Binary serialization of log records and chunked frame framing.
 
 The log-rate results (Figure 6a) depend on honest byte counts, so records
 are actually serialized — varint-packed, uncompressed ("We do not compress
 the data", §8.1) — and the parser round-trips them exactly.
+
+Two layers live here:
+
+* the **record codec** (tag byte + varint fields), unchanged on the wire
+  since the seed, plus batch ``encode_records``/``decode_records`` entry
+  points that pack straight into one ``bytearray`` (no per-record bytes
+  churn);
+* the **frame codec**: fixed-size frames of varint records for streaming
+  a log from a recorder to a concurrently running replayer (rr-style
+  chunked traces).  A frame is a magic byte, a varint header carrying the
+  record count, the first/last instruction count covered, and the payload
+  byte length, followed by the payload — which is *exactly* the batch
+  serialization of its records, so the concatenation of all frame
+  payloads is byte-identical to ``InputLog.to_bytes()``.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 
 from repro.cpu.exits import RopAlarmKind
 from repro.errors import LogError
@@ -103,17 +118,55 @@ def _fields_of(record: Record) -> list[int]:
     raise LogError(f"unknown record type {type(record).__name__}")
 
 
-def serialize_record(record: Record) -> bytes:
-    """Encode one record as tag byte + varint fields."""
-    out = bytearray([_TAGS[type(record)]])
+def encode_record_into(record: Record, out: bytearray) -> int:
+    """Append one record's encoding to ``out``; returns its size in bytes.
+
+    The workhorse behind every encoding entry point: callers that own a
+    long-lived buffer (the streaming writer, ``InputLog.append``) pay no
+    intermediate ``bytes`` allocation per record.
+    """
+    start = len(out)
+    out.append(_TAGS[type(record)])
     for value in _fields_of(record):
         _pack_varint(value, out)
+    return len(out) - start
+
+
+def serialize_record(record: Record) -> bytes:
+    """Encode one record as tag byte + varint fields."""
+    out = bytearray()
+    encode_record_into(record, out)
     return bytes(out)
 
 
 def record_size_bytes(record: Record) -> int:
     """Serialized size of one record (log-rate accounting)."""
-    return len(serialize_record(record))
+    out = bytearray()
+    return encode_record_into(record, out)
+
+
+def encode_records(records) -> bytes:
+    """Batch-encode a sequence of records into one contiguous buffer."""
+    out = bytearray()
+    for record in records:
+        encode_record_into(record, out)
+    return bytes(out)
+
+
+def decode_records(data: bytes, offset: int = 0,
+                   count: int | None = None) -> list[Record]:
+    """Decode ``count`` records (or all remaining) starting at ``offset``."""
+    records: list[Record] = []
+    end = len(data)
+    while offset < end and (count is None or len(records) < count):
+        record, offset = parse_record(data, offset)
+        records.append(record)
+    if count is not None and len(records) != count:
+        raise LogError(
+            f"expected {count} records, found {len(records)} before "
+            f"end of data"
+        )
+    return records
 
 
 def parse_record(data: bytes, offset: int = 0) -> tuple[Record, int]:
@@ -169,3 +222,98 @@ def parse_record(data: bytes, offset: int = 0) -> tuple[Record, int]:
             tid=read() - 1,
         ), offset
     return EndRecord(icount=read(), digest=read()), offset
+
+
+# ----------------------------------------------------------------------
+# frame codec (chunked streaming)
+# ----------------------------------------------------------------------
+
+#: First byte of every frame.  No record tag reaches this value, so a
+#: reader handed a record stream instead of a frame stream fails fast.
+FRAME_MAGIC = 0xF5
+
+
+@dataclass(frozen=True)
+class FrameHeader:
+    """Metadata of one frame, as carried on the wire."""
+
+    #: Number of records in the payload.
+    record_count: int
+    #: Instruction count in effect at the first record of the frame (the
+    #: icount of the last asynchronous record *before* the frame, carried
+    #: forward — synchronous records have no icount of their own).
+    first_icount: int
+    #: Instruction count in effect after the last record of the frame.
+    last_icount: int
+    #: Payload size in bytes.
+    payload_length: int
+
+
+def encode_frame(payload: bytes | bytearray, record_count: int,
+                 first_icount: int, last_icount: int) -> bytes:
+    """Wrap an already-encoded record payload in a frame."""
+    out = bytearray([FRAME_MAGIC])
+    _pack_varint(record_count, out)
+    _pack_varint(first_icount, out)
+    _pack_varint(last_icount, out)
+    _pack_varint(len(payload), out)
+    out.extend(payload)
+    return bytes(out)
+
+
+def parse_frame_header(data: bytes, offset: int = 0
+                       ) -> tuple[FrameHeader, int]:
+    """Parse one frame header at ``offset``; returns (header, payload start).
+
+    Every failure names the frame's byte offset so a corrupt stream can be
+    localized without re-parsing from the front.
+    """
+    if offset >= len(data):
+        raise LogError(f"truncated frame header at byte offset {offset}")
+    if data[offset] != FRAME_MAGIC:
+        raise LogError(
+            f"bad frame magic {data[offset]:#x} at byte offset {offset} "
+            f"(expected {FRAME_MAGIC:#x})"
+        )
+    try:
+        record_count, cursor = _unpack_varint(data, offset + 1)
+        first_icount, cursor = _unpack_varint(data, cursor)
+        last_icount, cursor = _unpack_varint(data, cursor)
+        payload_length, cursor = _unpack_varint(data, cursor)
+    except LogError as exc:
+        raise LogError(
+            f"truncated frame header at byte offset {offset}: {exc}"
+        ) from None
+    header = FrameHeader(
+        record_count=record_count,
+        first_icount=first_icount,
+        last_icount=last_icount,
+        payload_length=payload_length,
+    )
+    return header, cursor
+
+
+def parse_frame(data: bytes, offset: int = 0
+                ) -> tuple[FrameHeader, list[Record], int]:
+    """Parse one complete frame at ``offset``.
+
+    Returns the header, the decoded records, and the offset just past the
+    frame.  Truncation and record-count mismatches raise :class:`LogError`
+    with the frame's byte offset in the message.
+    """
+    header, payload_start = parse_frame_header(data, offset)
+    payload_end = payload_start + header.payload_length
+    if payload_end > len(data):
+        raise LogError(
+            f"truncated frame at byte offset {offset}: payload needs "
+            f"{header.payload_length} bytes, only "
+            f"{len(data) - payload_start} available"
+        )
+    try:
+        records = decode_records(data[payload_start:payload_end],
+                                 count=header.record_count)
+    except LogError as exc:
+        raise LogError(
+            f"corrupt frame at byte offset {offset}: {exc}"
+        ) from None
+    return header, records, payload_end

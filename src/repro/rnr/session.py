@@ -6,6 +6,18 @@ equivalent: a recorded session saves as a small JSON manifest (everything
 needed to rebuild the identical initial machine from the workload name,
 seed, and attack parameters) plus the serialized binary log.  A replayer
 on any machine can then reconstruct the spec and consume the log.
+
+Two body formats coexist (``docs/LOG_FORMAT.md``):
+
+* version 1 — the log's flat batch serialization (record after record);
+* version 2 — the same records chunked into frames
+  (``repro.rnr.serialize``), so a loader gets a seekable frame index for
+  free and a streaming consumer can start replaying a session file
+  before it has finished arriving.  Frame payloads concatenate to
+  exactly the flat serialization, so the two formats carry
+  byte-identical record streams.
+
+``load_session`` reads either version transparently.
 """
 
 from __future__ import annotations
@@ -16,10 +28,17 @@ from dataclasses import dataclass
 
 from repro.errors import LogError
 from repro.hypervisor.machine import MachineSpec
-from repro.rnr.log import InputLog
+from repro.rnr.log import (
+    DEFAULT_FRAME_RECORDS,
+    InputLog,
+    StreamingLogReader,
+    StreamingLogWriter,
+)
 
 _MAGIC = "rnr-safe-session"
 _VERSION = 1
+#: Framed-body session format (frames instead of a flat record stream).
+_VERSION_FRAMED = 2
 
 
 @dataclass(frozen=True)
@@ -31,10 +50,10 @@ class SessionManifest:
     attack: str | None = None
     max_instructions: int = 3_000_000
 
-    def to_json(self) -> dict:
+    def to_json(self, version: int = _VERSION) -> dict:
         return {
             "magic": _MAGIC,
-            "version": _VERSION,
+            "version": version,
             "benchmark": self.benchmark,
             "seed": self.seed,
             "attack": self.attack,
@@ -45,7 +64,7 @@ class SessionManifest:
     def from_json(cls, data: dict) -> "SessionManifest":
         if data.get("magic") != _MAGIC:
             raise LogError("not an RnR-Safe session file")
-        if data.get("version") != _VERSION:
+        if data.get("version") not in (_VERSION, _VERSION_FRAMED):
             raise LogError(f"unsupported session version {data.get('version')}")
         return cls(
             benchmark=data["benchmark"],
@@ -77,18 +96,34 @@ class SessionManifest:
 
 
 def save_session(path: str | pathlib.Path, manifest: SessionManifest,
-                 log: InputLog):
-    """Write manifest + serialized log to one file."""
+                 log: InputLog, framed: bool = False,
+                 frame_records: int = DEFAULT_FRAME_RECORDS):
+    """Write manifest + serialized log to one file.
+
+    ``framed=True`` writes the version-2 body: the log chunked into
+    frames rather than a flat record stream.
+    """
     path = pathlib.Path(path)
-    header = json.dumps(manifest.to_json()).encode()
+    version = _VERSION_FRAMED if framed else _VERSION
+    header = json.dumps(manifest.to_json(version)).encode()
     with path.open("wb") as handle:
         handle.write(len(header).to_bytes(4, "big"))
         handle.write(header)
-        handle.write(log.to_bytes())
+        if framed:
+            writer = StreamingLogWriter(frame_records,
+                                        on_frame=handle.write)
+            for record in log.records():
+                writer.append(record)
+            writer.finish()
+        else:
+            handle.write(log.to_bytes())
 
 
 def load_session(path: str | pathlib.Path) -> tuple[SessionManifest, InputLog]:
-    """Read a session file back into a manifest and a parsed log."""
+    """Read a session file back into a manifest and a parsed log.
+
+    Handles both body formats: flat (version 1) and framed (version 2).
+    """
     path = pathlib.Path(path)
     data = path.read_bytes()
     if len(data) < 4:
@@ -96,8 +131,13 @@ def load_session(path: str | pathlib.Path) -> tuple[SessionManifest, InputLog]:
     header_length = int.from_bytes(data[:4], "big")
     if len(data) < 4 + header_length:
         raise LogError(f"{path} is truncated")
-    manifest = SessionManifest.from_json(
-        json.loads(data[4:4 + header_length].decode())
-    )
-    log = InputLog.from_bytes(data[4 + header_length:])
+    header = json.loads(data[4:4 + header_length].decode())
+    manifest = SessionManifest.from_json(header)
+    body_offset = 4 + header_length
+    if header.get("version") == _VERSION_FRAMED:
+        reader = StreamingLogReader()
+        reader.feed_stream(data, body_offset)
+        log = reader.to_log()
+    else:
+        log = InputLog.from_bytes(data[body_offset:])
     return manifest, log

@@ -1,0 +1,282 @@
+"""Pipelined runs must be bit-equivalent to the sequential phases.
+
+The streaming pipeline changes only *when* work happens, never *what*
+happens: the recorded log bytes, the checkpoint contents, the final CPU
+state, and the alarm verdicts must match a sequential record → CR → AR
+run of the same spec exactly, on both pipeline backends.  The fleet
+driver must return per-session results in input order regardless of the
+pool's completion order, and the checkpoint store's resident-byte budget
+must flatten history without changing reconstruction.
+"""
+
+import pytest
+
+from repro.core.fleet import FleetSession, run_fleet
+from repro.core.framework import RnRSafe, RnRSafeOptions
+from repro.core.parallel import (
+    record_and_replay_pipelined,
+    resolve_alarms_parallel,
+)
+from repro.errors import HypervisorError
+from repro.replay.checkpoint import CheckpointStore
+from repro.replay.checkpointing import (
+    CheckpointingOptions,
+    CheckpointingReplayer,
+)
+from repro.rnr.recorder import Recorder, RecorderOptions
+from repro.workloads import build_workload, profile_by_name
+
+BUDGET = 120_000
+RECORDER_OPTIONS = RecorderOptions(max_instructions=BUDGET)
+CR_OPTIONS = CheckpointingOptions(period_s=0.2)
+
+
+def _spec():
+    return build_workload(profile_by_name("mysql"))
+
+
+def _verdict_key(verdict):
+    # analysis_cycles and from_checkpoint legitimately differ between a
+    # sequential AR (which may start from a checkpoint taken after the
+    # alarm was confirmed) and a pipelined AR (which starts from the
+    # latest checkpoint existing at confirmation time); the classification
+    # itself must not.
+    return (
+        verdict.kind,
+        verdict.benign_cause,
+        verdict.alarm.icount,
+        verdict.alarm.kind,
+        verdict.alarm.tid,
+    )
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    """The reference sequential run: record, CR, thread-pool ARs."""
+    spec = _spec()
+    recording = Recorder(spec, RECORDER_OPTIONS).run()
+    replayer = CheckpointingReplayer(spec, recording.log, CR_OPTIONS)
+    checkpointing = replayer.run_to_end()
+    resolution = resolve_alarms_parallel(
+        spec, recording.log, checkpointing.pending_alarms,
+        store=checkpointing.store, backend="thread",
+    )
+    final_cpu_state = replayer.machine.cpu.capture_state()
+    return recording, checkpointing, resolution, final_cpu_state
+
+
+@pytest.fixture(scope="module", params=["thread", "process"])
+def pipelined(request):
+    """One pipelined run per backend, frames small enough to matter."""
+    run = record_and_replay_pipelined(
+        _spec(), RECORDER_OPTIONS, CR_OPTIONS,
+        backend=request.param, frame_records=4, queue_depth=2,
+    )
+    return request.param, run
+
+
+class TestPipelineEquivalence:
+    def test_session_bytes_identical(self, sequential, pipelined):
+        recording, _, _, _ = sequential
+        _, run = pipelined
+        assert run.recording.log.to_bytes() == recording.log.to_bytes()
+
+    def test_final_cpu_state_identical(self, sequential, pipelined):
+        _, _, _, final_cpu_state = sequential
+        _, run = pipelined
+        assert run.final_cpu_state == final_cpu_state
+
+    def test_checkpoints_identical(self, sequential, pipelined):
+        _, checkpointing, _, _ = sequential
+        _, run = pipelined
+        seq_store = checkpointing.store
+        pipe_store = run.checkpointing.store
+        assert len(pipe_store) == len(seq_store)
+        for seq_cp, pipe_cp in zip(seq_store.all(), pipe_store.all()):
+            assert pipe_cp.icount == seq_cp.icount
+            assert pipe_cp.cycles == seq_cp.cycles
+            assert pipe_cp.cpu_state == seq_cp.cpu_state
+            assert pipe_cp.log_position == seq_cp.log_position
+            assert (pipe_store.reconstruct_pages(pipe_cp)
+                    == seq_store.reconstruct_pages(seq_cp))
+            assert (pipe_store.reconstruct_blocks(pipe_cp)
+                    == seq_store.reconstruct_blocks(seq_cp))
+
+    def test_cr_bookkeeping_identical(self, sequential, pipelined):
+        _, checkpointing, _, _ = sequential
+        _, run = pipelined
+        assert run.checkpointing.alarms_seen == checkpointing.alarms_seen
+        assert (run.checkpointing.dismissed_underflows
+                == checkpointing.dismissed_underflows)
+        assert (run.checkpointing.alarm_cycles
+                == checkpointing.alarm_cycles)
+        assert (run.checkpointing.alarm_positions
+                == checkpointing.alarm_positions)
+        assert ([a.icount for a in run.checkpointing.pending_alarms]
+                == [a.icount for a in checkpointing.pending_alarms])
+
+    def test_verdicts_identical(self, sequential, pipelined):
+        _, checkpointing, resolution, _ = sequential
+        _, run = pipelined
+        assert len(checkpointing.pending_alarms) >= 2  # the run must AR
+        assert ([_verdict_key(v) for v in run.resolution.verdicts]
+                == [_verdict_key(v) for v in resolution.verdicts])
+
+    def test_stats_cover_every_frame(self, sequential, pipelined):
+        backend, run = pipelined
+        stats = run.stats
+        assert stats.backend == backend
+        assert len(stats.frames) >= 2
+        assert len(stats.produced_cycles) == len(stats.frames)
+        assert len(stats.consumed_cycles) == len(stats.frames)
+        assert list(stats.produced_cycles) == sorted(stats.produced_cycles)
+        assert list(stats.consumed_cycles) == sorted(stats.consumed_cycles)
+        assert (sum(f.record_count for f in stats.frames)
+                == len(run.recording.log))
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(HypervisorError, match="backend"):
+            record_and_replay_pipelined(_spec(), backend="gpu")
+
+    def test_logless_recording_rejected(self):
+        with pytest.raises(HypervisorError, match="log_enabled"):
+            record_and_replay_pipelined(
+                _spec(), RecorderOptions(log_enabled=False),
+            )
+
+
+class TestFrameworkPipeline:
+    def test_framework_reports_match(self, sequential):
+        recording, checkpointing, _, _ = sequential
+        options = RnRSafeOptions(
+            recorder=RECORDER_OPTIONS,
+            checkpointing=CR_OPTIONS,
+            pipeline=True,
+        )
+        report = RnRSafe(_spec(), options).run()
+        assert (report.recording.log.to_bytes()
+                == recording.log.to_bytes())
+        assert len(report.outcomes) == len(checkpointing.pending_alarms)
+        assert not report.attacks  # mysql's alarms are all benign
+        assert len(report.false_positives) == len(report.outcomes)
+
+
+class TestFleet:
+    def test_results_in_input_order(self):
+        sessions = [
+            FleetSession(benchmark="mysql", seed=2018 + index,
+                         max_instructions=60_000, period_s=0.2)
+            for index in range(3)
+        ]
+        fleet = run_fleet(sessions, backend="thread")
+        assert fleet.backend == "thread"
+        assert [r.index for r in fleet.results] == [0, 1, 2]
+        assert [r.seed for r in fleet.results] == [2018, 2019, 2020]
+        assert all(r.benchmark == "mysql" for r in fleet.results)
+        assert all(r.instructions > 0 for r in fleet.results)
+        # Different seeds, different histories.
+        digests = {r.session_digest for r in fleet.results}
+        assert len(digests) == 3
+
+    def test_fleet_pipelined_matches_sequential_digests(self):
+        sessions = [
+            FleetSession(benchmark="fileio", seed=5,
+                         max_instructions=60_000),
+            FleetSession(benchmark="mysql", seed=5,
+                         max_instructions=60_000),
+        ]
+        plain = run_fleet(sessions, backend="thread")
+        piped = run_fleet(sessions, backend="thread", pipeline=True,
+                          frame_records=4, queue_depth=2)
+        for before, after in zip(plain.results, piped.results):
+            assert after.session_digest == before.session_digest
+            assert after.verdicts == before.verdicts
+            assert after.checkpoints == before.checkpoints
+            assert after.pipelined and not before.pipelined
+
+    def test_single_session_runs_inline(self):
+        fleet = run_fleet([FleetSession(benchmark="fileio",
+                                        max_instructions=40_000)])
+        assert fleet.backend == "inline"
+        assert len(fleet.results) == 1
+
+    def test_empty_fleet(self):
+        fleet = run_fleet([])
+        assert fleet.results == ()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(HypervisorError, match="backend"):
+            run_fleet([FleetSession(benchmark="fileio")], backend="gpu")
+
+
+class TestCheckpointBudget:
+    def _store_with_checkpoints(self, count, budget=None):
+        from repro.cpu.state import CpuState
+        from repro.isa.opcodes import REG_COUNT
+
+        store = CheckpointStore(max_resident_bytes=budget)
+        for index in range(count):
+            store.add(
+                icount=index * 100,
+                cycles=index * 1000,
+                cpu_state=CpuState(
+                    regs=(0,) * REG_COUNT, pc=index, zero=False,
+                    negative=False, user=False, int_enabled=True,
+                    icount=index * 100, halted=False,
+                ),
+                # The same hot page plus one exclusive page per
+                # checkpoint: merging forward drops the superseded hot
+                # copy (freeing bytes) while exclusive pages survive.
+                pages={0: (index,) * 64, index + 1: (index,) * 64},
+                disk_blocks={},
+                backras={},
+                current_tid=0,
+                log_position=index,
+            )
+        return store
+
+    def test_budget_merges_oldest_forward(self):
+        # Each checkpoint holds 2 pages * 64 words * 8 bytes = 1024 bytes;
+        # merging one forward frees its superseded hot-page copy (512 B).
+        full = 6 * 1024
+        store = self._store_with_checkpoints(6, budget=full - 1024)
+        assert store.budget_merges > 0
+        assert store.resident_bytes <= full - 1024
+        # Exclusive pages merged forward stay reachable through the
+        # survivor chain; the hot page resolves to the newest copy.
+        oldest = store.all()[0]
+        pages = store.reconstruct_pages(oldest)
+        first_kept = oldest.checkpoint_id - 1  # ids are 1-based
+        assert pages[0] == (first_kept,) * 64
+        for index in range(first_kept + 1):
+            assert pages[index + 1] == (index,) * 64
+
+    def test_budget_floor_of_two(self):
+        store = self._store_with_checkpoints(6, budget=1)
+        assert len(store) == 2
+
+    def test_unbudgeted_store_never_merges(self):
+        store = self._store_with_checkpoints(6)
+        assert store.budget_merges == 0
+        assert len(store) == 6
+
+    def test_budget_equivalent_reconstruction_in_cr(self):
+        spec = _spec()
+        recording = Recorder(spec, RECORDER_OPTIONS).run()
+        free = CheckpointingReplayer(
+            spec, recording.log, CR_OPTIONS,
+        ).run_to_end()
+        budget = CheckpointingReplayer(
+            spec, recording.log,
+            CheckpointingOptions(period_s=0.2, max_resident_bytes=1),
+        ).run_to_end()
+        assert budget.store.budget_merges > 0
+        assert len(budget.store) == 2
+        # The newest checkpoint reconstructs identically either way.
+        free_latest = free.store.latest()
+        budget_latest = budget.store.latest()
+        assert budget_latest.icount == free_latest.icount
+        assert (budget.store.reconstruct_pages(budget_latest)
+                == free.store.reconstruct_pages(free_latest))
+        assert (budget.store.reconstruct_blocks(budget_latest)
+                == free.store.reconstruct_blocks(free_latest))

@@ -1,0 +1,295 @@
+"""Tests for the chunked frame codec and the streaming log layer.
+
+The streaming path must be indistinguishable from the batch path on the
+wire: frame payloads concatenate to exactly ``InputLog.to_bytes()``, a
+reader reassembles the identical record list, and corrupt or truncated
+frames fail loudly with the frame's byte offset in the message.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpu.exits import RopAlarmKind
+from repro.errors import LogError
+from repro.rnr.log import (
+    InputLog,
+    RecordingLogTee,
+    StreamingLogReader,
+    StreamingLogWriter,
+)
+from repro.rnr.records import (
+    AlarmRecord,
+    DiskDmaRecord,
+    EndRecord,
+    EvictRecord,
+    InterruptRecord,
+    MmioReadRecord,
+    NetworkDmaRecord,
+    PioInRecord,
+    RdrandRecord,
+    RdtscRecord,
+    is_async_record,
+)
+from repro.rnr.serialize import (
+    FRAME_MAGIC,
+    decode_records,
+    encode_frame,
+    encode_records,
+    parse_frame,
+    parse_frame_header,
+    serialize_record,
+)
+from repro.rnr.session import SessionManifest, load_session, save_session
+
+
+def _record_strategy():
+    small = st.integers(0, 2**32)
+    word = st.integers(0, 2**64 - 1)
+    return st.one_of(
+        st.builds(RdtscRecord, value=word),
+        st.builds(RdrandRecord, value=word),
+        st.builds(PioInRecord, port=st.integers(0, 255), value=word),
+        st.builds(MmioReadRecord, addr=small, value=word),
+        st.builds(InterruptRecord, icount=small,
+                  vector=st.integers(0, 31)),
+        st.builds(DiskDmaRecord, icount=small,
+                  block=st.integers(0, 4096), addr=small),
+        st.builds(NetworkDmaRecord, icount=small, addr=small,
+                  words=st.lists(word, max_size=8).map(tuple)),
+        st.builds(EvictRecord, icount=small,
+                  tid=st.integers(-1, 7), value=word),
+        st.builds(AlarmRecord, icount=small,
+                  kind=st.sampled_from(list(RopAlarmKind)),
+                  pc=small,
+                  predicted=st.one_of(st.none(), small),
+                  actual=small,
+                  tid=st.integers(-1, 7)),
+    )
+
+
+SAMPLE_RECORDS = [
+    RdtscRecord(value=12345),
+    PioInRecord(port=11, value=1),
+    InterruptRecord(icount=40, vector=3),
+    NetworkDmaRecord(icount=50, addr=0x6000, words=(1, 2, 3)),
+    RdrandRecord(value=2**63),
+    EvictRecord(icount=90, tid=2, value=0x1234),
+    MmioReadRecord(addr=0x0F00_0000, value=42),
+    AlarmRecord(icount=130, kind=RopAlarmKind.MISMATCH, pc=0x11F7,
+                predicted=0x1100, actual=0x1162, tid=1),
+    DiskDmaRecord(icount=170, block=17, addr=0x3000),
+    RdtscRecord(value=99),
+    EndRecord(icount=200, digest=0xDEADBEEF),
+]
+
+
+def _stream(records, frame_records):
+    writer = StreamingLogWriter(frame_records)
+    for record in records:
+        writer.append(record)
+    writer.finish()
+    return writer, writer.take_frames()
+
+
+class TestBatchCodec:
+    def test_encode_records_matches_per_record_serialization(self):
+        batch = encode_records(SAMPLE_RECORDS)
+        assert batch == b"".join(
+            serialize_record(record) for record in SAMPLE_RECORDS
+        )
+
+    def test_decode_records_round_trip(self):
+        batch = encode_records(SAMPLE_RECORDS)
+        assert decode_records(batch) == SAMPLE_RECORDS
+
+    def test_decode_records_count_mismatch(self):
+        batch = encode_records(SAMPLE_RECORDS)
+        with pytest.raises(LogError, match="expected"):
+            decode_records(batch, count=len(SAMPLE_RECORDS) + 1)
+
+
+class TestFrameCodec:
+    def test_frame_round_trip(self):
+        payload = encode_records(SAMPLE_RECORDS)
+        frame = encode_frame(payload, len(SAMPLE_RECORDS), 0, 200)
+        header, records, end = parse_frame(frame)
+        assert records == SAMPLE_RECORDS
+        assert end == len(frame)
+        assert header.record_count == len(SAMPLE_RECORDS)
+        assert header.first_icount == 0
+        assert header.last_icount == 200
+        assert header.payload_length == len(payload)
+
+    def test_bad_magic_names_offset(self):
+        payload = encode_records(SAMPLE_RECORDS[:2])
+        frame = bytearray(encode_frame(payload, 2, 0, 0))
+        frame[0] = 0x01
+        with pytest.raises(LogError, match="offset 0"):
+            parse_frame_header(bytes(frame))
+
+    def test_truncated_payload_names_offset(self):
+        payload = encode_records(SAMPLE_RECORDS)
+        frame = encode_frame(payload, len(SAMPLE_RECORDS), 0, 200)
+        with pytest.raises(LogError, match="truncated frame at byte offset"):
+            parse_frame(frame[:-3])
+
+    def test_truncated_header_names_offset(self):
+        with pytest.raises(LogError, match="offset"):
+            parse_frame_header(bytes([FRAME_MAGIC, 0x80]))
+
+    def test_corrupt_payload_names_offset(self):
+        payload = bytearray(encode_records(SAMPLE_RECORDS[:3]))
+        payload[0] = 0xEE  # not a record tag
+        frame = encode_frame(payload, 3, 0, 0)
+        with pytest.raises(LogError, match="corrupt frame at byte offset 0"):
+            parse_frame(frame)
+
+    def test_second_frame_failure_names_its_own_offset(self):
+        first = encode_frame(encode_records(SAMPLE_RECORDS[:2]), 2, 0, 0)
+        stream = first + b"\x00garbage"
+        reader = StreamingLogReader()
+        with pytest.raises(LogError, match=f"offset {len(first)}"):
+            reader.feed_stream(stream)
+
+
+class TestStreamingWriterReader:
+    @pytest.mark.parametrize("frame_records", [1, 3, 7, 512])
+    def test_round_trip_matches_batch_codec(self, frame_records):
+        writer, frames = _stream(SAMPLE_RECORDS, frame_records)
+        reader = StreamingLogReader()
+        for frame in frames:
+            reader.feed(frame)
+        assert reader.records == SAMPLE_RECORDS
+        log = InputLog()
+        for record in SAMPLE_RECORDS:
+            log.append(record)
+        assert reader.to_log().to_bytes() == log.to_bytes()
+        assert writer.records_written == len(SAMPLE_RECORDS)
+        assert writer.payload_bytes == log.total_bytes
+        assert writer.frames_emitted == len(frames)
+
+    @pytest.mark.parametrize("frame_records", [1, 4, 512])
+    def test_payloads_concatenate_to_flat_serialization(self, frame_records):
+        _, frames = _stream(SAMPLE_RECORDS, frame_records)
+        payloads = bytearray()
+        for frame in frames:
+            header, payload_start = parse_frame_header(frame)
+            payloads += frame[payload_start:]
+        assert bytes(payloads) == encode_records(SAMPLE_RECORDS)
+
+    def test_header_icounts_carry_across_frames(self):
+        _, frames = _stream(SAMPLE_RECORDS, 3)
+        previous_last = 0
+        count = 0
+        for frame in frames:
+            header, _, _ = parse_frame(frame)
+            assert header.first_icount == previous_last
+            assert header.last_icount >= header.first_icount
+            previous_last = header.last_icount
+            count += header.record_count
+        assert count == len(SAMPLE_RECORDS)
+
+    def test_append_after_finish_rejected(self):
+        writer, _ = _stream(SAMPLE_RECORDS[:2], 8)
+        with pytest.raises(LogError, match="finished"):
+            writer.append(RdtscRecord(value=1))
+
+    def test_finish_idempotent(self):
+        writer, frames = _stream(SAMPLE_RECORDS, 4)
+        writer.finish()
+        assert writer.take_frames() == []
+        assert writer.frames_emitted == len(frames)
+
+    def test_feed_rejects_trailing_bytes(self):
+        _, frames = _stream(SAMPLE_RECORDS, 512)
+        reader = StreamingLogReader()
+        with pytest.raises(LogError, match="trailing"):
+            reader.feed(frames[0] + b"\x00")
+
+    def test_latest_frame_before_matches_linear_scan(self):
+        _, frames = _stream(SAMPLE_RECORDS, 2)
+        reader = StreamingLogReader()
+        for frame in frames:
+            reader.feed(frame)
+        for icount in range(0, 260, 13):
+            expected = None
+            for info in reader.frames:
+                if info.first_icount <= icount:
+                    expected = info
+            assert reader.latest_frame_before(icount) is expected
+
+    @given(records=st.lists(_record_strategy(), max_size=40),
+           frame_records=st.integers(1, 64))
+    def test_property_round_trip(self, records, frame_records):
+        _, frames = _stream(records, frame_records)
+        reader = StreamingLogReader()
+        for frame in frames:
+            reader.feed(frame)
+        assert reader.records == records
+        assert reader.to_log().to_bytes() == encode_records(records)
+        icount = 0
+        for info in reader.frames:
+            frame_records_slice = records[
+                info.record_offset:info.record_offset + info.record_count
+            ]
+            assert info.first_icount == icount
+            for record in frame_records_slice:
+                if is_async_record(record):
+                    icount = record.icount
+            assert info.last_icount == icount
+
+
+class TestRecordingLogTee:
+    def test_tee_matches_plain_log(self):
+        plain = InputLog()
+        tee = RecordingLogTee(StreamingLogWriter(3))
+        for record in SAMPLE_RECORDS:
+            assert tee.append(record) == plain.append(record)
+        tee.finish()
+        assert tee.records() == plain.records()
+        assert tee.total_bytes == plain.total_bytes
+        assert tee.to_bytes() == plain.to_bytes()
+        frames = tee.writer.take_frames()
+        reader = StreamingLogReader()
+        for frame in frames:
+            reader.feed(frame)
+        assert reader.records == list(SAMPLE_RECORDS)
+
+
+class TestFramedSession:
+    @pytest.fixture
+    def recorded(self):
+        from repro.rnr.recorder import Recorder, RecorderOptions
+
+        manifest = SessionManifest(benchmark="fileio", seed=7,
+                                   max_instructions=60_000)
+        run = Recorder(manifest.build_spec(),
+                       RecorderOptions(max_instructions=60_000)).run()
+        return manifest, run.log
+
+    def test_framed_round_trip(self, recorded, tmp_path):
+        manifest, log = recorded
+        path = tmp_path / "session.rnr"
+        save_session(path, manifest, log, framed=True, frame_records=8)
+        loaded_manifest, loaded_log = load_session(path)
+        assert loaded_manifest == manifest
+        assert loaded_log.to_bytes() == log.to_bytes()
+
+    def test_flat_round_trip_unchanged(self, recorded, tmp_path):
+        manifest, log = recorded
+        path = tmp_path / "session.rnr"
+        save_session(path, manifest, log)
+        loaded_manifest, loaded_log = load_session(path)
+        assert loaded_manifest == manifest
+        assert loaded_log.to_bytes() == log.to_bytes()
+
+    def test_framed_body_is_smaller_than_flat_plus_percent(self, recorded,
+                                                           tmp_path):
+        # Framing overhead is a handful of header bytes per frame.
+        manifest, log = recorded
+        flat = tmp_path / "flat.rnr"
+        framed = tmp_path / "framed.rnr"
+        save_session(flat, manifest, log)
+        save_session(framed, manifest, log, framed=True, frame_records=512)
+        overhead = framed.stat().st_size - flat.stat().st_size
+        assert 0 < overhead <= 16 * (len(log) // 512 + 1)
