@@ -34,7 +34,10 @@ def _cmd_record(args) -> int:
         max_instructions=args.budget,
     )
     spec = manifest.build_spec()
-    run = Recorder(spec, RecorderOptions(max_instructions=args.budget)).run()
+    run = Recorder(spec, RecorderOptions(
+        max_instructions=args.budget,
+        sentinel_records=args.sentinel,
+    )).run()
     metrics = run.metrics
     print(f"recorded {spec.label}: {metrics.instructions} instructions, "
           f"{len(run.log)} records ({metrics.log_bytes} bytes), "
@@ -76,7 +79,8 @@ def _cmd_hunt(args) -> int:
     spec = manifest.build_spec()
     options = RnRSafeOptions(
         recorder=RecorderOptions(max_instructions=args.budget,
-                                 stall_on_alarm=args.stall),
+                                 stall_on_alarm=args.stall,
+                                 sentinel_records=args.sentinel),
         pipeline=args.pipeline,
         pipeline_backend=args.pipeline_backend,
     )
@@ -107,22 +111,33 @@ def _cmd_fleet(args) -> int:
         backend=args.backend,
         pipeline=args.pipeline,
         pipeline_backend=args.pipeline_backend,
+        session_timeout_s=args.session_timeout,
+        max_retries=args.max_retries,
     )
     print(f"fleet of {len(fleet.results)} sessions on the {fleet.backend} "
           f"backend ({fleet.workers} workers): "
           f"{fleet.total_instructions} instructions, "
           f"{fleet.total_alarms} alarms, {fleet.host_seconds:.2f}s")
     for result in fleet.results:
+        label = (f"  [{result.index}] {result.benchmark} seed={result.seed}"
+                 + (f" attack={result.attack}" if result.attack else ""))
+        if not result.ok:
+            print(f"{label}: FAILED after {result.attempts} attempt(s) — "
+                  f"{result.error}")
+            continue
         verdicts = ", ".join(result.verdicts) if result.verdicts else "-"
-        print(f"  [{result.index}] {result.benchmark} seed={result.seed}"
-              + (f" attack={result.attack}" if result.attack else "")
-              + f": {result.instructions} instr, "
+        retried = f", {result.attempts} attempts" if result.attempts > 1 else ""
+        print(f"{label}: {result.instructions} instr, "
               f"{result.checkpoints} checkpoints, "
               f"{result.alarms_seen} alarms "
               f"({result.dismissed_underflows} dismissed) -> {verdicts} "
-              f"[{result.backend}, {result.host_seconds:.2f}s, "
+              f"[{result.backend}, {result.host_seconds:.2f}s{retried}, "
               f"digest {result.session_digest[:12]}]")
-    return 0
+    failures = fleet.failures
+    if failures:
+        print(f"{len(failures)} of {len(fleet.results)} sessions failed",
+              file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _cmd_gadgets(args) -> int:
@@ -173,6 +188,8 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("--out", help="session file to write")
     record.add_argument("--framed", action="store_true",
                         help="write the framed (version 2) session body")
+    record.add_argument("--sentinel", type=int, metavar="N",
+                        help="emit a divergence sentinel every N records")
     record.set_defaults(func=_cmd_record)
 
     replay = sub.add_parser("replay", help="checkpoint-replay a session")
@@ -192,6 +209,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="overlap recording and checkpointing replay")
     hunt.add_argument("--pipeline-backend", choices=["thread", "process"],
                       help="pipeline backend (default: config)")
+    hunt.add_argument("--sentinel", type=int, metavar="N",
+                      help="emit and verify a divergence sentinel every "
+                           "N records")
     hunt.set_defaults(func=_cmd_hunt)
 
     fleet = sub.add_parser(
@@ -213,6 +233,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stream each session through the pipeline")
     fleet.add_argument("--pipeline-backend", choices=["thread", "process"],
                        default="thread")
+    fleet.add_argument("--session-timeout", type=float, metavar="S",
+                       help="per-session deadline in host seconds; a late "
+                            "session becomes a structured failure")
+    fleet.add_argument("--max-retries", type=int, metavar="N",
+                       help="extra attempts granted to a crashed session "
+                            "(default: config)")
     fleet.set_defaults(func=_cmd_fleet)
 
     gadgets = sub.add_parser("gadgets", help="scan the kernel for gadgets")

@@ -118,6 +118,29 @@ class SimulationConfig:
     #: Default number of concurrent sessions the fleet driver runs
     #: (``repro.core.fleet``).
     fleet_width: int = 4
+    #: Emit a divergence-sentinel record every N input-log records while
+    #: recording (``None`` disables — the default, zero overhead).  The
+    #: replayer verifies each sentinel and raises
+    #: :class:`~repro.errors.ReplayDivergenceError` on mismatch, bounding
+    #: any silent divergence to an N-record window.
+    sentinel_records: int | None = None
+    #: Extra attempts granted to a failed alarm-replayer task before the
+    #: batch surfaces a :class:`~repro.errors.WorkerFailureError`.
+    ar_max_retries: int = 2
+    #: Per-alarm verdict deadline in host seconds (``None`` = no deadline).
+    #: A task past the deadline counts as a failed attempt and is retried.
+    ar_timeout_s: float | None = None
+    #: Base host-seconds backoff between alarm-replayer retry attempts
+    #: (doubles per attempt).
+    ar_retry_backoff_s: float = 0.02
+    #: Extra attempts granted to a failed fleet session before it is
+    #: reported as a structured per-session failure.
+    fleet_max_retries: int = 1
+    #: Per-session deadline in host seconds for the fleet driver
+    #: (``None`` = no deadline).  A session past the deadline is reported
+    #: as a structured failure, never retried inline (a retry would stall
+    #: every session behind it).
+    fleet_timeout_s: float | None = None
     #: Cycle-cost model.
     costs: CostModel = field(default_factory=CostModel)
 

@@ -31,10 +31,13 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
-from dataclasses import dataclass
+from concurrent.futures import TimeoutError as FuturesTimeout
+from dataclasses import dataclass, replace
 
+from repro.config import DEFAULT_CONFIG
 from repro.core.parallel import record_and_replay_pipelined, resolve_alarms_parallel
 from repro.errors import HypervisorError
+from repro.faults.plan import FaultPlan
 from repro.replay.checkpointing import CheckpointingOptions, CheckpointingReplayer
 from repro.rnr.recorder import Recorder, RecorderOptions
 from repro.rnr.session import SessionManifest
@@ -62,7 +65,13 @@ class FleetSession:
 
 @dataclass(frozen=True)
 class FleetSessionResult:
-    """What one fleet session produced (log digest instead of log bytes)."""
+    """What one fleet session produced (log digest instead of log bytes).
+
+    A session that failed still yields a result — ``ok`` is False, ``error``
+    carries the typed cause, and the metric fields are zeroed — so one bad
+    session never takes down the fleet and never silently disappears from
+    the result list.
+    """
 
     index: int
     benchmark: str
@@ -83,6 +92,38 @@ class FleetSessionResult:
     host_seconds: float
     pipelined: bool
     backend: str
+    #: False when the session failed; ``error`` then says how.
+    ok: bool = True
+    error: str = ""
+    #: Total attempts spent on this session (1 = clean first try).
+    attempts: int = 1
+
+
+def _failed_session(index: int, session: FleetSession, error: str,
+                    *, attempts: int, backend: str,
+                    host_seconds: float = 0.0) -> FleetSessionResult:
+    """The structured result for a session that could not be completed."""
+    return FleetSessionResult(
+        index=index,
+        benchmark=session.benchmark,
+        seed=session.seed,
+        attack=session.attack,
+        instructions=0,
+        log_records=0,
+        log_bytes=0,
+        session_digest="",
+        checkpoints=0,
+        alarms_seen=0,
+        dismissed_underflows=0,
+        verdicts=(),
+        stop_reason="failed",
+        host_seconds=host_seconds,
+        pipelined=False,
+        backend=backend,
+        ok=False,
+        error=error,
+        attempts=attempts,
+    )
 
 
 @dataclass(frozen=True)
@@ -103,39 +144,62 @@ class FleetResult:
     def total_alarms(self) -> int:
         return sum(result.alarms_seen for result in self.results)
 
+    @property
+    def failures(self) -> tuple[FleetSessionResult, ...]:
+        """The sessions that did not complete, in input order."""
+        return tuple(result for result in self.results if not result.ok)
+
 
 def _run_one_session(payload: tuple) -> FleetSessionResult:
-    """Run one session end to end (executes inside a pool worker)."""
+    """Run one session end to end (executes inside a pool worker).
+
+    Never raises for a session-level failure: any exception the session
+    machinery produces is folded into a structured failure result, so the
+    pool's other sessions are untouched.  (A hard-killed worker process
+    can't be caught here, of course — the parent handles that.)
+    """
     (index, session, pipeline, pipeline_backend,
-     frame_records, queue_depth) = payload
+     frame_records, queue_depth, fault_plan, attempt,
+     allow_hard_kill) = payload
     started = time.perf_counter()
-    spec = session.manifest().build_spec()
-    recorder_options = RecorderOptions(
-        max_instructions=session.max_instructions,
-    )
-    cr_options = CheckpointingOptions(period_s=session.period_s)
-    if pipeline:
-        run = record_and_replay_pipelined(
-            spec, recorder_options, cr_options,
-            backend=pipeline_backend,
-            frame_records=frame_records,
-            queue_depth=queue_depth,
+    try:
+        if fault_plan is not None:
+            fault_plan.fire_worker_fault(
+                "fleet", index, attempt, allow_hard_kill=allow_hard_kill,
+            )
+        spec = session.manifest().build_spec()
+        recorder_options = RecorderOptions(
+            max_instructions=session.max_instructions,
         )
-        recording = run.recording
-        checkpointing = run.checkpointing
-        verdicts = run.resolution.verdicts
-        backend = f"pipeline-{run.stats.backend}"
-    else:
-        recording = Recorder(spec, recorder_options).run()
-        checkpointing = CheckpointingReplayer(
-            spec, recording.log, cr_options,
-        ).run_to_end()
-        resolution = resolve_alarms_parallel(
-            spec, recording.log, checkpointing.pending_alarms,
-            store=checkpointing.store, backend="thread",
+        cr_options = CheckpointingOptions(period_s=session.period_s)
+        if pipeline:
+            run = record_and_replay_pipelined(
+                spec, recorder_options, cr_options,
+                backend=pipeline_backend,
+                frame_records=frame_records,
+                queue_depth=queue_depth,
+            )
+            recording = run.recording
+            checkpointing = run.checkpointing
+            verdicts = run.resolution.verdicts
+            backend = f"pipeline-{run.stats.backend}"
+        else:
+            recording = Recorder(spec, recorder_options).run()
+            checkpointing = CheckpointingReplayer(
+                spec, recording.log, cr_options,
+            ).run_to_end()
+            resolution = resolve_alarms_parallel(
+                spec, recording.log, checkpointing.pending_alarms,
+                store=checkpointing.store, backend="thread",
+            )
+            verdicts = resolution.verdicts
+            backend = "sequential"
+    except Exception as exc:  # noqa: BLE001 - folded into the result
+        return _failed_session(
+            index, session, f"{type(exc).__name__}: {exc}",
+            attempts=attempt + 1, backend="worker",
+            host_seconds=time.perf_counter() - started,
         )
-        verdicts = resolution.verdicts
-        backend = "sequential"
     log_bytes = recording.log.to_bytes()
     return FleetSessionResult(
         index=index,
@@ -154,7 +218,81 @@ def _run_one_session(payload: tuple) -> FleetSessionResult:
         host_seconds=time.perf_counter() - started,
         pipelined=pipeline,
         backend=backend,
+        attempts=attempt + 1,
     )
+
+
+def _rerun_inline(payload_for, index: int, session: FleetSession,
+                  why: str, max_retries: int) -> FleetSessionResult:
+    """Re-run a session whose pool worker died, inline in this process.
+
+    The dead worker consumed attempt 0; this grants up to ``max_retries``
+    more.  Inline execution cannot be hard-killed, so the retry either
+    completes or folds its own failure into the result.
+    """
+    result = None
+    for attempt in range(1, max_retries + 1):
+        result = _run_one_session(payload_for(index, attempt, False))
+        if result.ok:
+            return replace(result, backend=result.backend + "+retry")
+    if result is None:
+        return _failed_session(index, session, why, attempts=1,
+                               backend="process")
+    return replace(result, error=f"{why}; final retry: {result.error}")
+
+
+def _collect_fleet(pool, payload_for, sessions, *, hard_kill: bool,
+                   timeout_s: float | None, max_retries: int,
+                   backend: str) -> tuple[FleetSessionResult, ...]:
+    """Submit every session, gather results in input order, heal failures.
+
+    Three failure shapes, all ending in a structured per-session result:
+
+    * the worker *function* failed — it already folded the error into its
+      result (``ok=False``), nothing to do here;
+    * the worker *process* died (``BrokenExecutor``) or the future raised
+      for any other parent-visible reason — the session reruns inline,
+      and the sessions queued behind it on the broken pool rerun too;
+    * the session blew its deadline — reported as a failure immediately
+      (an inline retry of a hung session would stall the whole fleet).
+    """
+    futures = [pool.submit(_run_one_session, payload_for(index, 0, hard_kill))
+               for index in range(len(sessions))]
+    results: list[FleetSessionResult | None] = [None] * len(sessions)
+    needs_rerun: list[tuple[int, str]] = []
+    pool_broken = False
+    for index, future in enumerate(futures):
+        if pool_broken:
+            needs_rerun.append((index, "worker pool broke before this "
+                                       "session finished"))
+            future.cancel()
+            continue
+        try:
+            result = future.result(timeout=timeout_s)
+            if result.ok or max_retries == 0:
+                results[index] = result
+            else:
+                # The worker folded a crash into a structured failure;
+                # grant the session its retries before accepting it.
+                needs_rerun.append((index, result.error))
+        except FuturesTimeout:
+            future.cancel()
+            results[index] = _failed_session(
+                index, sessions[index],
+                f"session exceeded its {timeout_s:.1f}s deadline",
+                attempts=1, backend=backend,
+            )
+        except BrokenExecutor as exc:
+            pool_broken = True
+            needs_rerun.append(
+                (index, f"worker process died: "
+                        f"{exc or type(exc).__name__}"))
+        except Exception as exc:  # noqa: BLE001 - healed below
+            needs_rerun.append((index, f"{type(exc).__name__}: {exc}"))
+    for index, why in needs_rerun:
+        results[index] = _rerun_inline(payload_for, index, sessions[index],
+                                       why, max_retries)
+    return tuple(results)
 
 
 def run_fleet(
@@ -166,6 +304,9 @@ def run_fleet(
     pipeline_backend: str = "thread",
     frame_records: int | None = None,
     queue_depth: int | None = None,
+    fault_plan: FaultPlan | None = None,
+    session_timeout_s: float | None = None,
+    max_retries: int | None = None,
 ) -> FleetResult:
     """Run every session across a worker pool; results in input order.
 
@@ -176,6 +317,15 @@ def run_fleet(
     each session through the streaming pipeline executor
     (``pipeline_backend`` defaulting to threads — see the module
     docstring on composing the two levels of parallelism).
+
+    Failure containment: a session that raises, times out
+    (``session_timeout_s``), or takes its worker process down with it is
+    reported as a structured :class:`FleetSessionResult` with
+    ``ok=False`` — in order, alongside its healthy peers — never as a
+    fleet-wide exception and never as a silently missing entry.  Dead
+    workers grant the session ``max_retries`` inline re-runs first.
+    ``fault_plan`` injects worker faults for testing (``None`` = zero
+    overhead).
     """
     if backend not in ("thread", "process"):
         raise HypervisorError(
@@ -184,24 +334,35 @@ def run_fleet(
     if not sessions:
         return FleetResult(results=(), backend="inline", workers=0,
                            host_seconds=0.0)
-    payloads = [
-        (index, session, pipeline, pipeline_backend,
-         frame_records, queue_depth)
-        for index, session in enumerate(sessions)
-    ]
+    if session_timeout_s is None:
+        session_timeout_s = DEFAULT_CONFIG.fleet_timeout_s
+    if max_retries is None:
+        max_retries = DEFAULT_CONFIG.fleet_max_retries
+
+    def payload_for(index: int, attempt: int, hard_kill: bool) -> tuple:
+        return (index, sessions[index], pipeline, pipeline_backend,
+                frame_records, queue_depth, fault_plan, attempt, hard_kill)
+
     workers = min(max_workers if max_workers is not None else len(sessions),
                   len(sessions))
     workers = max(1, workers)
     started = time.perf_counter()
     if len(sessions) == 1:
-        results = (_run_one_session(payloads[0]),)
-        return FleetResult(results=results, backend="inline", workers=1,
+        result = _run_one_session(payload_for(0, 0, False))
+        if not result.ok and max_retries > 0:
+            result = _rerun_inline(payload_for, 0, sessions[0],
+                                   result.error, max_retries)
+        return FleetResult(results=(result,), backend="inline", workers=1,
                            host_seconds=time.perf_counter() - started)
     if backend == "process":
         try:
             workers_capped = max(1, min(workers, os.cpu_count() or 1))
             with ProcessPoolExecutor(max_workers=workers_capped) as pool:
-                results = tuple(pool.map(_run_one_session, payloads))
+                results = _collect_fleet(
+                    pool, payload_for, sessions, hard_kill=True,
+                    timeout_s=session_timeout_s, max_retries=max_retries,
+                    backend="process",
+                )
             return FleetResult(
                 results=results, backend="process", workers=workers_capped,
                 host_seconds=time.perf_counter() - started,
@@ -212,6 +373,10 @@ def run_fleet(
             # results, only wall-clock differs).
             pass
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        results = tuple(pool.map(_run_one_session, payloads))
+        results = _collect_fleet(
+            pool, payload_for, sessions, hard_kill=False,
+            timeout_s=session_timeout_s, max_retries=max_retries,
+            backend="thread",
+        )
     return FleetResult(results=results, backend="thread", workers=workers,
                        host_seconds=time.perf_counter() - started)

@@ -62,10 +62,17 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass
 
 from repro.cpu.state import CpuState
-from repro.errors import HypervisorError
+from repro.errors import (
+    HypervisorError,
+    LogCorruptionError,
+    ReplayDivergenceError,
+)
+from repro.faults.injector import FaultyFrameEmitter, retry_with_backoff
+from repro.faults.plan import FaultPlan, InjectedWorkerCrash
 from repro.hypervisor.machine import MachineSpec
 from repro.replay.alarm import AlarmReplayer, AlarmReplayOptions
 from repro.replay.checkpoint import Checkpoint, CheckpointStore
@@ -73,6 +80,7 @@ from repro.replay.checkpointing import (
     CheckpointingOptions,
     CheckpointingReplayer,
     CheckpointingResult,
+    CrResumeState,
 )
 from repro.replay.verdict import AlarmVerdict, VerdictKind
 from repro.rnr.log import (
@@ -150,19 +158,59 @@ _WORKER_STATE: dict = {}
 
 def _init_ar_worker(spec: MachineSpec, log_bytes: bytes,
                     store: CheckpointStore | None,
-                    options: AlarmReplayOptions | None):
+                    options: AlarmReplayOptions | None,
+                    fault_plan: FaultPlan | None = None):
     _WORKER_STATE["spec"] = spec
     _WORKER_STATE["log"] = InputLog.from_bytes(log_bytes)
     _WORKER_STATE["store"] = store
     _WORKER_STATE["options"] = options
+    _WORKER_STATE["fault_plan"] = fault_plan
 
 
-def _analyze_in_worker(alarm_bytes: bytes) -> AlarmVerdict:
+def _analyze_in_worker(alarm_bytes: bytes, index: int = 0,
+                       attempt: int = 0) -> AlarmVerdict:
+    plan = _WORKER_STATE.get("fault_plan")
+    if plan is not None:
+        plan.fire_worker_fault("ar", index, attempt, allow_hard_kill=True)
     alarm, _ = parse_record(alarm_bytes)
     return _analyze_one(
         _WORKER_STATE["spec"], _WORKER_STATE["log"], alarm,
         _WORKER_STATE["store"], _WORKER_STATE["options"],
     )
+
+
+def _collect_verdicts(submit, count: int, *, timeout_s: float | None,
+                      retries: int, backoff_s: float,
+                      role: str) -> tuple[AlarmVerdict, ...]:
+    """Gather one verdict per task with per-task deadlines and retries.
+
+    ``submit(index, attempt)`` must return a future.  All first attempts
+    are in flight before any result is awaited, so the happy path keeps
+    the pool saturated exactly like ``pool.map``.  A task that fails or
+    misses its deadline is resubmitted up to ``retries`` times with
+    exponential backoff; exhaustion raises a typed
+    :class:`~repro.errors.WorkerFailureError` /
+    :class:`~repro.errors.WorkerTimeoutError`.  A broken pool escapes
+    immediately — the caller owns backend fallback.
+    """
+    futures = [submit(index, 0) for index in range(count)]
+    verdicts = []
+    for index in range(count):
+        def run_attempt(attempt: int, index: int = index) -> AlarmVerdict:
+            future = (futures[index] if attempt == 0
+                      else submit(index, attempt))
+            try:
+                return future.result(timeout=timeout_s)
+            except FuturesTimeout as exc:
+                raise TimeoutError(
+                    f"no verdict within {timeout_s:.1f}s"
+                ) from exc
+        verdicts.append(retry_with_backoff(
+            run_attempt, retries=retries, backoff_s=backoff_s,
+            describe=f"alarm replayer for alarm {index} ({role} backend)",
+            fatal=(BrokenExecutor,),
+        ))
+    return tuple(verdicts)
 
 
 def resolve_alarms_parallel(
@@ -173,6 +221,9 @@ def resolve_alarms_parallel(
     options: AlarmReplayOptions | None = None,
     max_workers: int = 4,
     backend: str | None = None,
+    fault_plan: FaultPlan | None = None,
+    timeout_s: float | None = None,
+    max_retries: int | None = None,
 ) -> ParallelResolution:
     """Launch one AR per alarm and collect verdicts.
 
@@ -181,18 +232,31 @@ def resolve_alarms_parallel(
     order matches the input alarm order regardless of backend.
 
     ``backend`` is ``"thread"`` or ``"process"``; ``None`` defers to
-    ``spec.config.ar_backend``.
+    ``spec.config.ar_backend``.  ``timeout_s`` / ``max_retries`` default
+    to the config's ``ar_timeout_s`` / ``ar_max_retries``: a worker that
+    dies or misses its deadline is retried with backoff, and exhaustion
+    surfaces as a typed :class:`~repro.errors.WorkerFailureError` rather
+    than a raw pool exception.  A broken *process pool* (hard-killed
+    worker) degrades the whole batch to the thread backend.
+    ``fault_plan`` injects worker faults for testing; ``None`` (the
+    default) leaves every hot path untouched.
     """
+    config = spec.config
     if backend is None:
-        backend = spec.config.ar_backend
+        backend = config.ar_backend
     if backend not in ("thread", "process"):
         raise HypervisorError(
             f"unknown parallel-AR backend {backend!r}; "
             f"choose 'thread' or 'process'"
         )
+    if timeout_s is None:
+        timeout_s = config.ar_timeout_s
+    if max_retries is None:
+        max_retries = config.ar_max_retries
+    backoff_s = config.ar_retry_backoff_s
     if not alarms:
         return ParallelResolution(verdicts=(), backend="inline")
-    if len(alarms) == 1:
+    if len(alarms) == 1 and fault_plan is None:
         # An executor for a single AR is pure overhead: run it inline.
         verdict = _analyze_one(spec, log, alarms[0], store, options)
         return ParallelResolution(verdicts=(verdict,), backend="inline")
@@ -202,19 +266,27 @@ def resolve_alarms_parallel(
         try:
             return _resolve_with_processes(
                 spec, log, alarms, store, options, workers,
+                fault_plan, timeout_s, max_retries, backoff_s,
             )
         except (OSError, ValueError, TypeError, AttributeError,
                 ImportError, pickle.PicklingError, BrokenExecutor):
             # No usable process pool (sandboxed platform, unpicklable
-            # state, ...): degrade to the GIL-bound thread backend rather
-            # than failing the analysis.
+            # state, a worker hard-killed mid-batch, ...): degrade to the
+            # GIL-bound thread backend rather than failing the analysis.
             pass
 
-    def analyze(alarm: AlarmRecord) -> AlarmVerdict:
-        return _analyze_one(spec, log, alarm, store, options)
+    def analyze(index: int, attempt: int) -> AlarmVerdict:
+        if fault_plan is not None:
+            fault_plan.fire_worker_fault("ar", index, attempt,
+                                         allow_hard_kill=False)
+        return _analyze_one(spec, log, alarms[index], store, options)
 
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        verdicts = tuple(pool.map(analyze, alarms))
+        verdicts = _collect_verdicts(
+            lambda index, attempt: pool.submit(analyze, index, attempt),
+            len(alarms), timeout_s=timeout_s, retries=max_retries,
+            backoff_s=backoff_s, role="thread",
+        )
     return ParallelResolution(verdicts=verdicts, backend="thread")
 
 
@@ -225,6 +297,10 @@ def _resolve_with_processes(
     store: CheckpointStore | None,
     options: AlarmReplayOptions | None,
     workers: int,
+    fault_plan: FaultPlan | None,
+    timeout_s: float | None,
+    max_retries: int,
+    backoff_s: float,
 ) -> ParallelResolution:
     cpu_count = os.cpu_count() or 1
     workers = max(1, min(workers, cpu_count))
@@ -233,9 +309,14 @@ def _resolve_with_processes(
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_ar_worker,
-        initargs=(spec, log_bytes, store, options),
+        initargs=(spec, log_bytes, store, options, fault_plan),
     ) as pool:
-        verdicts = tuple(pool.map(_analyze_in_worker, alarm_payloads))
+        verdicts = _collect_verdicts(
+            lambda index, attempt: pool.submit(
+                _analyze_in_worker, alarm_payloads[index], index, attempt),
+            len(alarms), timeout_s=timeout_s, retries=max_retries,
+            backoff_s=backoff_s, role="process",
+        )
     return ParallelResolution(verdicts=verdicts, backend="process")
 
 
@@ -291,6 +372,34 @@ class PipelinedRun:
     #: ``None`` when the run was launched with ``resolve_ars=False``.
     resolution: ParallelResolution | None
     stats: PipelineStats
+    #: ``None`` for a clean run.  When the streamed replay was torn
+    #: (corrupt/lost frame, dead CR worker) and the pipeline healed it
+    #: from the recorder's authoritative tee log, this says how — e.g.
+    #: ``"cr-resumed@120000: frame payload CRC mismatch ..."``.
+    recovery: str | None = None
+
+
+class _TornStream(Exception):
+    """Internal carrier: the streamed replay died of transport damage.
+
+    Raised on the consumer side, caught by the pipeline executor, which
+    heals the run from the recorder's authoritative tee log.  Crosses the
+    CR process boundary by pickle, so it carries plain data only.
+    """
+
+    def __init__(self, message: str,
+                 resume_state: CrResumeState | None,
+                 frames: tuple = (),
+                 consumed_cycles: tuple = (),
+                 stream_closed: bool = False):
+        super().__init__(message)
+        self.resume_state = resume_state
+        self.frames = frames
+        self.consumed_cycles = consumed_cycles
+        #: True when the end-of-stream sentinel was already consumed —
+        #: the error handler must NOT drain the queue (nothing is coming,
+        #: and a blocking get would deadlock the pipeline).
+        self.stream_closed = stream_closed
 
 
 def _consume_frames(spec: MachineSpec,
@@ -298,7 +407,9 @@ def _consume_frames(spec: MachineSpec,
                     frame_source,
                     resolve_ars: bool,
                     ar_options: AlarmReplayOptions | None,
-                    max_ar_workers: int):
+                    max_ar_workers: int,
+                    fault_plan: FaultPlan | None = None,
+                    allow_hard_kill: bool = False):
     """Run the CR over a frame queue; dispatch ARs as alarms confirm.
 
     This is the consumer half of both pipeline backends — it runs on the
@@ -312,7 +423,16 @@ def _consume_frames(spec: MachineSpec,
     point) and submits the analysis to a small thread pool.  The log keeps
     growing while the AR runs, but every record up to the alarm already
     exists at dispatch time, which is all the AR consumes.
+
+    Transport damage (:class:`~repro.errors.LogCorruptionError` from the
+    frame codec, or a stream that ends before the End record because
+    trailing frames were lost) is re-raised as :class:`_TornStream`
+    carrying the CR's resume state, so the executor can heal the run.
+    Divergence (:class:`~repro.errors.ReplayDivergenceError`) is *not*
+    caught: a replay that disagrees with the recording must fail loudly.
     """
+    if fault_plan is not None:
+        fault_plan.fire_worker_fault("cr", 0, allow_hard_kill=allow_hard_kill)
     log = InputLog()
     cursor = FrameQueueCursor(log, frame_source)
     ar_pool: list[ThreadPoolExecutor] = []
@@ -338,14 +458,86 @@ def _consume_frames(spec: MachineSpec,
     )
     cursor.clock = lambda: replayer.machine.now
     try:
-        result = replayer.run_to_end()
+        try:
+            result = replayer.run_to_end()
+        except LogCorruptionError as exc:
+            raise _TornStream(
+                str(exc), replayer.capture_resume_state(),
+                tuple(cursor.reader.frames),
+                tuple(cursor.frame_consumed_cycles),
+                stream_closed=cursor.closed,
+            ) from exc
         cursor.finalize_timeline(replayer.machine.now)
+        if (not result.replay.reached_end
+                and result.replay.stop_reason == "log_exhausted"):
+            # The producer always closes the log with an End record; a
+            # stream that ran dry without one lost its trailing frames
+            # (e.g. the final frame was dropped — no sequence gap ever
+            # materializes, so only this check catches it).
+            raise _TornStream(
+                "stream ended before the End record — trailing frames "
+                "were lost",
+                replayer.capture_resume_state(),
+                tuple(cursor.reader.frames),
+                tuple(cursor.frame_consumed_cycles),
+                stream_closed=cursor.closed,
+            )
         verdicts = (tuple(future.result() for future in futures)
                     if resolve_ars else None)
     finally:
         if ar_pool:
             ar_pool[0].shutdown(wait=True)
     return result, replayer.machine.cpu.capture_state(), verdicts, cursor
+
+
+def _recover_torn_stream(spec: MachineSpec,
+                         recording: RecordingRun,
+                         cr_options: CheckpointingOptions,
+                         resume_state: CrResumeState | None,
+                         resolve_ars: bool,
+                         ar_options: AlarmReplayOptions | None,
+                         max_ar_workers: int,
+                         stats: PipelineStats,
+                         cause: str) -> PipelinedRun:
+    """Heal a torn pipelined run from the recorder's tee log.
+
+    The recorder's in-memory :class:`~repro.rnr.log.RecordingLogTee` kept
+    the authoritative, undamaged log, so transport damage never loses
+    data — it only costs the overlap.  When the dead CR left usable
+    resume state, replay restarts from its last completed checkpoint
+    (skipping everything already verified); otherwise it reruns from the
+    beginning.  ARs are then resolved from the healed store, so the final
+    verdicts are bit-identical to a sequential run.
+    """
+    if resume_state is not None and resume_state.checkpoint_icount is not None:
+        replayer = CheckpointingReplayer.resume(
+            spec, recording.log, cr_options, resume_state,
+        )
+        how = f"cr-resumed@{resume_state.checkpoint_icount}"
+    else:
+        replayer = CheckpointingReplayer(spec, recording.log, cr_options)
+        how = "cr-restarted"
+    result = replayer.run_to_end()
+    cpu_state = replayer.machine.cpu.capture_state()
+    resolution = None
+    if resolve_ars:
+        batch = resolve_alarms_parallel(
+            spec, recording.log, list(result.pending_alarms),
+            store=result.store, options=ar_options,
+            max_workers=max_ar_workers, backend="thread",
+        )
+        resolution = ParallelResolution(
+            verdicts=batch.verdicts,
+            backend=f"recovered-{batch.backend}",
+        )
+    return PipelinedRun(
+        recording=recording,
+        checkpointing=result,
+        final_cpu_state=cpu_state,
+        resolution=resolution,
+        stats=stats,
+        recovery=f"{how}: {cause}",
+    )
 
 
 def _run_producer(spec: MachineSpec,
@@ -380,7 +572,8 @@ def _pipelined_threads(spec: MachineSpec,
                        queue_depth: int,
                        resolve_ars: bool,
                        ar_options: AlarmReplayOptions | None,
-                       max_ar_workers: int) -> PipelinedRun:
+                       max_ar_workers: int,
+                       fault_plan: FaultPlan | None = None) -> PipelinedRun:
     frames: "queue_mod.Queue" = queue_mod.Queue(maxsize=queue_depth)
     outcome: dict = {}
 
@@ -389,23 +582,29 @@ def _pipelined_threads(spec: MachineSpec,
             outcome["value"] = _consume_frames(
                 spec, cr_options, frames.get,
                 resolve_ars, ar_options, max_ar_workers,
+                fault_plan=fault_plan, allow_hard_kill=False,
             )
         except BaseException as exc:  # noqa: BLE001 - reraised in parent
             outcome["error"] = exc
             # Unblock a producer stuck on a full queue: drain until the
-            # end-of-stream sentinel arrives.
-            while frames.get() is not None:
-                pass
+            # end-of-stream sentinel arrives — unless the consumer already
+            # saw it (draining then would block forever).
+            if not getattr(exc, "stream_closed", False):
+                while frames.get() is not None:
+                    pass
 
     consumer = threading.Thread(target=consume, name="pipeline-cr",
                                 daemon=True)
     consumer.start()
+    emit = frames.put
+    if fault_plan is not None:
+        emit = FaultyFrameEmitter(fault_plan, frames.put)
     producer_error: BaseException | None = None
     recording = None
     produced_cycles: list[int] = []
     try:
         recording, produced_cycles = _run_producer(
-            spec, recorder_options, frame_records, frames.put,
+            spec, recorder_options, frame_records, emit,
         )
     except BaseException as exc:  # noqa: BLE001 - reraised below
         producer_error = exc
@@ -414,8 +613,25 @@ def _pipelined_threads(spec: MachineSpec,
         consumer.join()
     if producer_error is not None:
         raise producer_error
-    if "error" in outcome:
-        raise outcome["error"]
+    error = outcome.get("error")
+    if error is not None:
+        if isinstance(error, (_TornStream, InjectedWorkerCrash)):
+            torn = error if isinstance(error, _TornStream) else None
+            stats = PipelineStats(
+                backend="thread",
+                frame_records=frame_records,
+                queue_depth=queue_depth,
+                frames=torn.frames if torn else (),
+                produced_cycles=tuple(produced_cycles),
+                consumed_cycles=torn.consumed_cycles if torn else (),
+            )
+            return _recover_torn_stream(
+                spec, recording, cr_options,
+                torn.resume_state if torn else None,
+                resolve_ars, ar_options, max_ar_workers, stats,
+                str(error),
+            )
+        raise error
     result, cpu_state, verdicts, cursor = outcome["value"]
     stats = PipelineStats(
         backend="thread",
@@ -438,12 +654,13 @@ def _pipelined_threads(spec: MachineSpec,
 
 
 def _pipeline_cr_process(conn, frames, spec, cr_options, resolve_ars,
-                         ar_options, max_ar_workers):
+                         ar_options, max_ar_workers, fault_plan=None):
     """Entry point of the CR process (process backend)."""
     try:
         result, cpu_state, verdicts, cursor = _consume_frames(
             spec, cr_options, frames.get,
             resolve_ars, ar_options, max_ar_workers,
+            fault_plan=fault_plan, allow_hard_kill=True,
         )
         conn.send({
             "error": None,
@@ -453,11 +670,46 @@ def _pipeline_cr_process(conn, frames, spec, cr_options, resolve_ars,
             "frames": tuple(cursor.reader.frames),
             "consumed_cycles": tuple(cursor.frame_consumed_cycles),
         })
-    except BaseException:  # noqa: BLE001 - reported through the pipe
-        # Unblock the producer before reporting, then ship the traceback.
+    except (_TornStream, InjectedWorkerCrash) as exc:
+        # Recoverable consumer death: drain the producer, then ship the
+        # resume state so the parent can heal from its tee log.
+        try:
+            if not getattr(exc, "stream_closed", False):
+                while frames.get(timeout=_PIPE_TIMEOUT_S) is not None:
+                    pass
+        except Exception:
+            pass
+        torn = exc if isinstance(exc, _TornStream) else None
+        try:
+            conn.send({
+                "error": str(exc),
+                "torn": {
+                    "resume_state": torn.resume_state if torn else None,
+                    "frames": torn.frames if torn else (),
+                    "consumed_cycles": torn.consumed_cycles if torn else (),
+                },
+            })
+        except Exception:
+            pass
+    except ReplayDivergenceError as exc:
+        # Divergence is a *verdict*, never healed: ship the typed
+        # exception itself (it pickles with its digests and window) so
+        # the parent re-raises it intact.
         try:
             while frames.get(timeout=_PIPE_TIMEOUT_S) is not None:
                 pass
+        except Exception:
+            pass
+        try:
+            conn.send({"error": str(exc), "divergence": exc})
+        except Exception:
+            pass
+    except BaseException as exc:  # noqa: BLE001 - reported through the pipe
+        # Unblock the producer before reporting, then ship the traceback.
+        try:
+            if not getattr(exc, "stream_closed", False):
+                while frames.get(timeout=_PIPE_TIMEOUT_S) is not None:
+                    pass
         except Exception:
             pass
         try:
@@ -475,14 +727,15 @@ def _pipelined_processes(spec: MachineSpec,
                          queue_depth: int,
                          resolve_ars: bool,
                          ar_options: AlarmReplayOptions | None,
-                         max_ar_workers: int) -> PipelinedRun:
+                         max_ar_workers: int,
+                         fault_plan: FaultPlan | None = None) -> PipelinedRun:
     ctx = multiprocessing.get_context()
     frames = ctx.Queue(maxsize=queue_depth)
     recv_conn, send_conn = ctx.Pipe(duplex=False)
     worker = ctx.Process(
         target=_pipeline_cr_process,
         args=(send_conn, frames, spec, cr_options, resolve_ars,
-              ar_options, max_ar_workers),
+              ar_options, max_ar_workers, fault_plan),
         name="pipeline-cr",
         daemon=True,
     )
@@ -491,6 +744,9 @@ def _pipelined_processes(spec: MachineSpec,
 
     def emit(frame: bytes):
         frames.put(frame, timeout=_PIPE_TIMEOUT_S)
+
+    if fault_plan is not None:
+        emit = FaultyFrameEmitter(fault_plan, emit)
 
     producer_error: BaseException | None = None
     recording = None
@@ -506,28 +762,59 @@ def _pipelined_processes(spec: MachineSpec,
             frames.put(None, timeout=_PIPE_TIMEOUT_S)
         except Exception:
             pass
+    payload = None
+    cr_death: str | None = None
     try:
         if producer_error is not None:
             raise producer_error
         if not recv_conn.poll(_PIPE_TIMEOUT_S):
-            raise HypervisorError(
-                "pipeline CR process produced no result within "
-                f"{_PIPE_TIMEOUT_S:.0f}s"
-            )
-        try:
-            payload = recv_conn.recv()
-        except EOFError as exc:
-            raise HypervisorError(
-                "pipeline CR process died without reporting a result"
-            ) from exc
+            cr_death = ("pipeline CR process produced no result within "
+                        f"{_PIPE_TIMEOUT_S:.0f}s")
+        else:
+            try:
+                payload = recv_conn.recv()
+            except EOFError:
+                cr_death = ("pipeline CR process died without reporting "
+                            "a result")
     finally:
         recv_conn.close()
         worker.join(timeout=_PIPE_TIMEOUT_S)
         if worker.is_alive():
             worker.terminate()
         frames.close()
-        frames.join_thread()
+        if cr_death is not None or producer_error is not None:
+            # The consumer is dead, so the queue's feeder thread may be
+            # wedged mid-send into a full pipe nobody will ever drain;
+            # joining it would hang forever.  Discard the undelivered
+            # frames — the tee log still has every record.
+            frames.cancel_join_thread()
+        else:
+            frames.join_thread()
+
+    def recover(torn: dict | None, cause: str) -> PipelinedRun:
+        stats = PipelineStats(
+            backend="process",
+            frame_records=frame_records,
+            queue_depth=queue_depth,
+            frames=torn["frames"] if torn else (),
+            produced_cycles=tuple(produced_cycles),
+            consumed_cycles=torn["consumed_cycles"] if torn else (),
+        )
+        return _recover_torn_stream(
+            spec, recording, cr_options,
+            torn["resume_state"] if torn else None,
+            resolve_ars, ar_options, max_ar_workers, stats, cause,
+        )
+
+    if cr_death is not None:
+        # The CR process is gone (hard kill, OOM, ...) but the recording
+        # completed: heal locally instead of failing the whole run.
+        return recover(None, cr_death)
     if payload["error"] is not None:
+        if "torn" in payload:
+            return recover(payload["torn"], payload["error"])
+        if "divergence" in payload:
+            raise payload["divergence"]
         raise HypervisorError(
             f"pipeline CR process failed:\n{payload['error']}"
         )
@@ -562,6 +849,7 @@ def record_and_replay_pipelined(
     resolve_ars: bool = True,
     ar_options: AlarmReplayOptions | None = None,
     max_ar_workers: int = 4,
+    fault_plan: FaultPlan | None = None,
 ) -> PipelinedRun:
     """Record and checkpoint-replay one session as a streaming pipeline.
 
@@ -575,6 +863,18 @@ def record_and_replay_pipelined(
     spec's :class:`~repro.config.SimulationConfig` knobs.  The process
     backend falls back to threads when no second process is usable,
     mirroring :func:`resolve_alarms_parallel`.
+
+    The streamed replay is a *derived* computation over frames whose
+    authoritative source (the recorder's tee log) stays in the producer's
+    memory, so transport damage is recoverable: a torn frame, a lost
+    frame, or a dead CR worker heals by resuming the CR from its last
+    completed checkpoint (or rerunning it) over the tee log, and the
+    returned :attr:`PipelinedRun.recovery` says what happened.  A
+    :class:`~repro.errors.ReplayDivergenceError` is never healed — a
+    replay that *completes* but disagrees with the recording is the
+    signal this whole system exists to raise.  ``fault_plan`` injects
+    transport/worker faults for testing; the default ``None`` leaves the
+    hot paths exactly as they were.
     """
     config = spec.config
     if backend is None:
@@ -600,6 +900,7 @@ def record_and_replay_pipelined(
             return _pipelined_processes(
                 spec, recorder_options, cr_options, frame_records,
                 queue_depth, resolve_ars, ar_options, max_ar_workers,
+                fault_plan=fault_plan,
             )
         except _PROCESS_FALLBACK_ERRORS:
             # No usable CR process (sandboxed platform, unpicklable
@@ -608,4 +909,5 @@ def record_and_replay_pipelined(
     return _pipelined_threads(
         spec, recorder_options, cr_options, frame_records,
         queue_depth, resolve_ars, ar_options, max_ar_workers,
+        fault_plan=fault_plan,
     )

@@ -54,19 +54,105 @@ class LogError(ReproError):
     """Raised on input-log corruption or out-of-order consumption."""
 
 
+class LogCorruptionError(LogError):
+    """Raised when the framed log transport fails an integrity check.
+
+    Covers CRC mismatches, dropped/reordered frames (sequence gaps), and
+    torn (truncated) frames.  Distinct from plain :class:`LogError` so the
+    pipeline can recover — the record stream itself is fine, only its
+    transport envelope was damaged — while genuine parse errors on trusted
+    bytes stay fatal.
+    """
+
+    def __init__(self, message: str, byte_offset: int | None = None,
+                 frame_index: int | None = None):
+        self._raw_message = message
+        self.byte_offset = byte_offset
+        self.frame_index = frame_index
+        context = []
+        if frame_index is not None:
+            context.append(f"frame {frame_index}")
+        if byte_offset is not None:
+            context.append(f"byte offset {byte_offset}")
+        if context:
+            message = f"{message} ({', '.join(context)})"
+        super().__init__(message)
+
+    def __reduce__(self):
+        # Default exception pickling re-invokes __init__ with the already
+        # formatted message, dropping the structured fields; these errors
+        # cross process boundaries, so rebuild from the raw parts.
+        return (type(self),
+                (self._raw_message, self.byte_offset, self.frame_index))
+
+
 class ReplayDivergenceError(ReproError):
     """Raised when a replayed execution diverges from the recorded one.
 
     Divergence indicates either log corruption or a nondeterministic source
     that escaped recording; both are fatal for RnR-Safe, which relies on
     deterministic replay for alarm analysis.
+
+    When the divergence was caught by the sentinel digest (cheap rolling
+    CRC of registers + icount, emitted by the recorder and re-computed by
+    replayers), ``expected_digest``/``actual_digest`` carry both values and
+    ``window`` is the ``(last verified icount, failing icount)`` interval
+    the divergence must have occurred in.
     """
 
-    def __init__(self, message: str, icount: int | None = None):
+    def __init__(self, message: str, icount: int | None = None,
+                 expected_digest: int | None = None,
+                 actual_digest: int | None = None,
+                 window: tuple[int, int] | None = None):
+        self._raw_message = message
         self.icount = icount
+        self.expected_digest = expected_digest
+        self.actual_digest = actual_digest
+        self.window = window
+        if expected_digest is not None and actual_digest is not None:
+            message = (f"{message} [recorded digest {expected_digest:#010x}"
+                       f" != replayed {actual_digest:#010x}]")
+        if window is not None:
+            message = (f"{message} [diverged within instruction window "
+                       f"{window[0]}..{window[1]}]")
         if icount is not None:
             message = f"at instruction {icount}: {message}"
         super().__init__(message)
+
+    def __reduce__(self):
+        # Keep digests/window intact across process boundaries (see
+        # LogCorruptionError.__reduce__).
+        return (type(self),
+                (self._raw_message, self.icount, self.expected_digest,
+                 self.actual_digest, self.window))
+
+
+class WorkerFailureError(ReproError):
+    """Raised when a dispatched worker died and retries were exhausted.
+
+    Parallel alarm replay and the fleet driver retry failed workers with
+    backoff; this error is the typed terminal outcome when every attempt
+    failed — never a raw pool exception or a silent drop.
+    """
+
+    def __init__(self, message: str, attempts: int = 1,
+                 last_error: str | None = None):
+        self._raw_message = message
+        self.attempts = attempts
+        self.last_error = last_error
+        if attempts > 1:
+            message = f"{message} after {attempts} attempts"
+        if last_error:
+            message = f"{message}: {last_error}"
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (type(self),
+                (self._raw_message, self.attempts, self.last_error))
+
+
+class WorkerTimeoutError(WorkerFailureError):
+    """Raised when a dispatched worker exceeded its per-task timeout."""
 
 
 class CheckpointError(ReproError):

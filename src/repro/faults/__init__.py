@@ -1,0 +1,30 @@
+"""Deterministic fault injection for the streaming record/replay stack.
+
+Replay is only trustworthy if the path from recorder to verdict survives
+the real world: flipped bits on the wire, torn writes, dropped queue
+items, stalled transports, and dead workers.  This package injects those
+faults *deterministically* — a :class:`~repro.faults.plan.FaultPlan` is a
+seeded, picklable description of exactly which frame or worker fails and
+how — so every failure mode is a reproducible test case rather than a
+flake.
+
+Production paths pay nothing: every hook site takes ``fault_plan=None``
+and the injector wrappers are only interposed when a plan is supplied.
+"""
+
+from repro.faults.plan import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedWorkerCrash,
+)
+from repro.faults.injector import FaultyFrameEmitter, retry_with_backoff
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedWorkerCrash",
+    "FaultyFrameEmitter",
+    "retry_with_backoff",
+]

@@ -1,0 +1,72 @@
+"""Hook-site adapters: interpose a fault plan without touching hot paths.
+
+The pipeline and pool code never test ``if fault_plan`` per frame or per
+task — when a plan is supplied the call sites swap in these wrappers,
+and when it is not they keep their original callables, so the production
+path is byte-for-byte the code that ran before fault injection existed.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import WorkerFailureError, WorkerTimeoutError
+from repro.faults.plan import FaultPlan
+
+
+class FaultyFrameEmitter:
+    """Wraps a frame sink, damaging frames as the plan dictates.
+
+    Counts frames itself so the plan's frame indices always mean "the
+    k-th frame the producer emitted", independent of transport.
+    """
+
+    def __init__(self, plan: FaultPlan, emit):
+        self._plan = plan
+        self._emit = emit
+        self._next_index = 0
+        #: Frames the plan swallowed (observability for tests/audits).
+        self.dropped: list[int] = []
+
+    def __call__(self, frame: bytes):
+        index = self._next_index
+        self._next_index += 1
+        mutated = self._plan.apply_to_frame(index, frame)
+        if mutated is None:
+            self.dropped.append(index)
+            return
+        self._emit(mutated)
+
+
+def retry_with_backoff(task, *, retries: int, backoff_s: float,
+                       describe: str, retry_on: tuple = (Exception,),
+                       fatal: tuple = ()):
+    """Run ``task(attempt)`` with bounded retry and exponential backoff.
+
+    Returns the first successful result.  After ``retries`` additional
+    attempts fail, raises :class:`WorkerFailureError` carrying the
+    attempt count and the last error — callers always see a typed
+    failure, never a raw pool exception.  ``TimeoutError`` from the task
+    maps to :class:`WorkerTimeoutError`.  Exceptions in ``fatal`` are
+    re-raised immediately: retrying cannot help (e.g. the whole pool is
+    broken) and the caller has a better recovery than we do.
+    """
+    last_error: BaseException | None = None
+    attempts = 0
+    for attempt in range(retries + 1):
+        attempts = attempt + 1
+        try:
+            return task(attempt)
+        except retry_on as exc:  # noqa: PERF203 - retry loop
+            if fatal and isinstance(exc, fatal):
+                raise
+            last_error = exc
+            if attempt < retries and backoff_s > 0:
+                time.sleep(backoff_s * (2 ** attempt))
+    error_cls = (WorkerTimeoutError
+                 if isinstance(last_error, TimeoutError)
+                 else WorkerFailureError)
+    raise error_cls(
+        describe, attempts=attempts,
+        last_error=f"{type(last_error).__name__}: {last_error}",
+    ) from last_error

@@ -1,0 +1,249 @@
+"""Seedable fault plans: which frame or worker fails, and how.
+
+A :class:`FaultPlan` is an immutable list of :class:`FaultSpec` entries
+plus a seed.  Everything derived from it — which payload bytes flip,
+which record is silently perturbed — comes from a ``random.Random``
+keyed on ``(seed, target)``, so the same plan injects byte-identical
+damage on every run and on every backend (the plan pickles across
+process boundaries with no hidden RNG state).
+
+Fault kinds cover the pipeline's transport and compute layers:
+
+======================  ==================================================
+``CORRUPT_FRAME``       flip bytes inside a frame's payload (CRC trips)
+``TRUNCATE_FRAME``      cut a frame short (torn write / truncated tail)
+``DROP_FRAME``          the frame never reaches the queue (sequence gap)
+``STALL_FRAME``         sleep before enqueuing (backpressure / slow link)
+``PERTURB_RECORD``      alter a record *under a valid CRC* — silent
+                        non-determinism only the divergence sentinel or
+                        the end-state digest can catch
+``CRASH_WORKER``        the worker raises :class:`InjectedWorkerCrash`
+``KILL_WORKER``         the worker process hard-exits (``os._exit``) —
+                        pool-breaking death, thread workers degrade to a
+                        crash
+``STALL_WORKER``        the worker sleeps ``stall_s`` before starting —
+                        drives per-task timeouts without killing anything
+======================  ==================================================
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import random
+import time
+from dataclasses import dataclass, replace
+
+from repro.rnr.records import (
+    MmioReadRecord,
+    NetworkDmaRecord,
+    PioInRecord,
+    RdrandRecord,
+    RdtscRecord,
+)
+from repro.rnr.serialize import (
+    encode_frame,
+    encode_frame_v3,
+    encode_records,
+    parse_frame,
+    parse_frame_header,
+)
+
+
+class FaultKind(enum.Enum):
+    """What goes wrong."""
+
+    CORRUPT_FRAME = "corrupt_frame"
+    TRUNCATE_FRAME = "truncate_frame"
+    DROP_FRAME = "drop_frame"
+    STALL_FRAME = "stall_frame"
+    PERTURB_RECORD = "perturb_record"
+    CRASH_WORKER = "crash_worker"
+    KILL_WORKER = "kill_worker"
+    STALL_WORKER = "stall_worker"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    ``target`` selects the victim: a frame index for transport faults, a
+    task index (alarm index, fleet session index) for worker faults.
+    ``role`` scopes worker faults to one dispatch site (``"ar"``,
+    ``"fleet"``, ``"cr"``; ``"any"`` matches all).  ``attempt`` makes a
+    fault fire only on that retry attempt (0 = first try), which is how a
+    plan models transient failures that succeed on retry.
+    """
+
+    kind: FaultKind
+    target: int = 0
+    role: str = "any"
+    attempt: int = 0
+    #: Seconds to sleep for ``STALL_FRAME``.
+    stall_s: float = 0.05
+    #: Payload bytes to flip for ``CORRUPT_FRAME``.
+    flips: int = 3
+    #: Bytes to keep for ``TRUNCATE_FRAME`` (``None`` = half the frame).
+    keep_bytes: int | None = None
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """The exception a ``CRASH_WORKER`` fault raises inside the victim."""
+
+
+#: Records whose logged value feeds straight into guest state — the ones
+#: a silent perturbation can meaningfully falsify.
+_PERTURBABLE = (RdtscRecord, RdrandRecord, PioInRecord, MmioReadRecord,
+                NetworkDmaRecord)
+
+
+class FaultPlan:
+    """A deterministic schedule of injected faults."""
+
+    def __init__(self, specs, seed: int = 2018):
+        self.specs = tuple(specs)
+        self.seed = seed
+
+    def __repr__(self):
+        kinds = ", ".join(
+            f"{spec.kind.value}@{spec.target}" for spec in self.specs
+        )
+        return f"FaultPlan(seed={self.seed}, [{kinds}])"
+
+    def _rng(self, salt: int) -> random.Random:
+        return random.Random((self.seed << 20) ^ salt)
+
+    # ------------------------------------------------------------------
+    # frame-transport faults
+    # ------------------------------------------------------------------
+
+    def frame_faults(self, index: int) -> list[FaultSpec]:
+        """The transport faults planned for frame ``index``."""
+        transport = (FaultKind.CORRUPT_FRAME, FaultKind.TRUNCATE_FRAME,
+                     FaultKind.DROP_FRAME, FaultKind.STALL_FRAME,
+                     FaultKind.PERTURB_RECORD)
+        return [spec for spec in self.specs
+                if spec.kind in transport and spec.target == index]
+
+    def apply_to_frame(self, index: int, frame: bytes) -> bytes | None:
+        """Damage one in-flight frame as planned; ``None`` drops it.
+
+        Stalls sleep inline (the emitter runs on the producer's thread,
+        so a stall really does delay the stream).  Multiple faults on the
+        same frame compose in plan order.
+        """
+        for spec in self.frame_faults(index):
+            if spec.kind is FaultKind.DROP_FRAME:
+                return None
+            if spec.kind is FaultKind.STALL_FRAME:
+                time.sleep(spec.stall_s)
+            elif spec.kind is FaultKind.TRUNCATE_FRAME:
+                keep = (spec.keep_bytes if spec.keep_bytes is not None
+                        else len(frame) // 2)
+                frame = frame[:max(1, min(keep, len(frame) - 1))]
+            elif spec.kind is FaultKind.CORRUPT_FRAME:
+                frame = self._corrupt(index, frame, spec.flips)
+            elif spec.kind is FaultKind.PERTURB_RECORD:
+                frame = self._perturb(index, frame)
+        return frame
+
+    def _corrupt(self, index: int, frame: bytes, flips: int) -> bytes:
+        """Flip ``flips`` payload bytes (never the magic/header), so the
+        damage lands where only the CRC can see it."""
+        try:
+            header, payload_start = parse_frame_header(frame, 0)
+        except Exception:
+            payload_start = 1  # already-damaged frame: flip anywhere past magic
+        if payload_start >= len(frame):
+            return frame
+        rng = self._rng(index * 7919 + 1)
+        out = bytearray(frame)
+        for _ in range(max(1, flips)):
+            position = rng.randrange(payload_start, len(frame))
+            out[position] ^= 1 + rng.randrange(255)
+        return bytes(out)
+
+    def _perturb(self, index: int, frame: bytes) -> bytes:
+        """Silently alter one record, then re-frame with a *valid* CRC.
+
+        Models nondeterminism below the integrity layer (a bad NIC DMA, a
+        buggy recorder): the transport accepts the frame, the replayed
+        execution diverges, and only the divergence sentinel (or the
+        final state digest) can tell.  A frame with no perturbable record
+        passes through unchanged.
+        """
+        header, records, _ = parse_frame(frame, 0)
+        # Prefer records whose value lands straight in a register — the
+        # CPU-state sentinel sees those within one window.  DMA payload
+        # damage only surfaces in memory (the final full-state digest),
+        # so it is the fallback, not the default.
+        register_fed = [position for position, record in enumerate(records)
+                        if isinstance(record, _PERTURBABLE)
+                        and not isinstance(record, NetworkDmaRecord)]
+        candidates = register_fed or [
+            position for position, record in enumerate(records)
+            if isinstance(record, _PERTURBABLE)]
+        if not candidates:
+            return frame
+        rng = self._rng(index * 7919 + 2)
+        victim = rng.choice(candidates)
+        record = records[victim]
+        if isinstance(record, NetworkDmaRecord):
+            words = list(record.words)
+            if not words:
+                return frame
+            slot = rng.randrange(len(words))
+            words[slot] = (words[slot] + 1) % (2 ** 64)
+            records[victim] = replace(record, words=tuple(words))
+        else:
+            records[victim] = replace(
+                record, value=(record.value + 1) % (2 ** 64))
+        payload = encode_records(records)
+        if header.version == 3:
+            return encode_frame_v3(payload, header.frame_index,
+                                   header.record_count, header.first_icount,
+                                   header.last_icount)
+        return encode_frame(payload, header.record_count,
+                            header.first_icount, header.last_icount)
+
+    # ------------------------------------------------------------------
+    # worker faults
+    # ------------------------------------------------------------------
+
+    def worker_fault(self, role: str, index: int,
+                     attempt: int = 0) -> FaultSpec | None:
+        """The worker fault planned for (``role``, task ``index``) on this
+        ``attempt``, if any."""
+        for spec in self.specs:
+            if spec.kind not in (FaultKind.CRASH_WORKER,
+                                 FaultKind.KILL_WORKER,
+                                 FaultKind.STALL_WORKER):
+                continue
+            if spec.role not in ("any", role):
+                continue
+            if spec.target == index and spec.attempt == attempt:
+                return spec
+        return None
+
+    def fire_worker_fault(self, role: str, index: int, attempt: int = 0,
+                          allow_hard_kill: bool = True):
+        """Kill the calling worker if the plan says so.
+
+        ``CRASH_WORKER`` raises :class:`InjectedWorkerCrash`;
+        ``KILL_WORKER`` hard-exits the process (the pool sees a dead
+        worker, exactly like an OOM kill) unless ``allow_hard_kill`` is
+        false (thread workers — exiting would kill the whole interpreter
+        — degrade to a crash).
+        """
+        spec = self.worker_fault(role, index, attempt)
+        if spec is None:
+            return
+        if spec.kind is FaultKind.STALL_WORKER:
+            time.sleep(spec.stall_s)
+            return
+        if spec.kind is FaultKind.KILL_WORKER and allow_hard_kill:
+            os._exit(17)
+        raise InjectedWorkerCrash(
+            f"fault plan killed {role} worker on task {index} "
+            f"(attempt {attempt})"
+        )

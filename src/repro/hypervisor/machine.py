@@ -191,19 +191,30 @@ class GuestMachine:
     # state digest (replay fidelity checks)
     # ------------------------------------------------------------------
 
+    def cpu_digest(self, prev: int = 0) -> int:
+        """Cheap CRC of processor state (registers, pc, mode, icount).
+
+        ``prev`` chains digests: passing the previous sentinel's digest
+        makes the result attest the whole prefix of the execution, not just
+        the instantaneous state — the recorder and replayers both roll the
+        chain forward, so the first mismatching sentinel brackets a
+        divergence to one inter-sentinel window.  No memory walk: cheap
+        enough to emit every few hundred log records.
+        """
+        cpu = self.cpu
+        header = (
+            ",".join(str(reg) for reg in cpu.regs)
+            + f";{cpu.pc};{cpu.user};{cpu.int_enabled};{cpu.icount}"
+        ).encode()
+        return zlib.crc32(header, prev)
+
     def state_digest(self) -> int:
         """CRC of all architectural state: registers plus mapped memory.
 
         Recorded at the end of a recording and re-checked by replayers —
         the strongest available evidence that replay was deterministic.
         """
-        cpu = self.cpu
-        crc = 0
-        header = (
-            ",".join(str(reg) for reg in cpu.regs)
-            + f";{cpu.pc};{cpu.user};{cpu.int_enabled};{cpu.icount}"
-        ).encode()
-        crc = zlib.crc32(header, crc)
+        crc = self.cpu_digest()
         for index in sorted(self.memory.mapped_pages()):
             words = self.memory.snapshot_pages([index])[index]
             crc = zlib.crc32(repr(words).encode(), crc)

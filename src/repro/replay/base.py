@@ -40,6 +40,7 @@ from repro.rnr.records import (
     PioInRecord,
     RdrandRecord,
     RdtscRecord,
+    SentinelRecord,
     is_async_record,
 )
 
@@ -87,6 +88,11 @@ class DeterministicReplayer:
         self._costs = spec.config.costs
         self._reached_end = False
         self._digest_checked = False
+        #: Rolling sentinel digest chain, mirrored from the recorder; the
+        #: count of verified sentinels is exposed for audits.
+        self._sentinel_crc = 0
+        self._last_sentinel_icount = 0
+        self.sentinels_verified = 0
         #: Set by subclasses to stop the run early.
         self.stop_requested = False
         self.stop_reason = ""
@@ -221,12 +227,41 @@ class DeterministicReplayer:
             self.on_evict(record)
         elif isinstance(record, AlarmRecord):
             self.on_alarm(record)
+        elif isinstance(record, SentinelRecord):
+            # Sentinel chains only audit full-prefix replays (the CR).
+            # An alarm replayer starts mid-log from a checkpoint, so its
+            # chain state cannot match the recorder's — it consumes the
+            # record without judging it, like the End digest.
+            if self.verify_digest:
+                self._verify_sentinel(record)
         elif isinstance(record, EndRecord):
             self._finish(record)
         else:
             raise HypervisorError(
                 f"unhandled async record {type(record).__name__}"
             )
+
+    def _verify_sentinel(self, record: SentinelRecord):
+        """Roll the digest chain forward; first mismatch is a divergence.
+
+        The window in the raised error brackets where the replay went
+        wrong: everything up to the previous sentinel verified clean, so
+        the divergence happened between that icount and this record's.
+        """
+        machine = self.machine
+        mine = machine.cpu_digest(self._sentinel_crc)
+        if mine != record.digest:
+            raise ReplayDivergenceError(
+                "sentinel digest mismatch — replay silently diverged "
+                "from the recorded execution",
+                icount=machine.cpu.icount,
+                expected_digest=record.digest,
+                actual_digest=mine,
+                window=(self._last_sentinel_icount, record.icount),
+            )
+        self._sentinel_crc = mine
+        self._last_sentinel_icount = record.icount
+        self.sentinels_verified += 1
 
     def _finish(self, record: EndRecord):
         self._reached_end = True

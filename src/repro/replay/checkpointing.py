@@ -45,6 +45,24 @@ class CheckpointingOptions:
 
 
 @dataclass
+class CrResumeState:
+    """A CR's recovery anchor: its store plus bookkeeping at the anchor.
+
+    Captured when a streaming CR dies on a torn frame (transport
+    corruption): the checkpoints up to the failure are intact, so a fresh
+    CR can resume from the newest one over the authoritative log instead
+    of replaying from scratch.  ``checkpoint_icount`` is ``None`` when the
+    CR died before its first checkpoint (resume degenerates to a
+    from-the-start replay).  Picklable, so a CR process can ship it back
+    to the coordinating process on failure.
+    """
+
+    store: CheckpointStore
+    checkpoint_icount: int | None
+    bookkeeping: dict | None
+
+
+@dataclass
 class CheckpointingResult:
     """Everything the CR produced."""
 
@@ -59,6 +77,9 @@ class CheckpointingResult:
     #: CR cycle and log position at each alarm (by alarm icount).
     alarm_cycles: dict[int, int] = field(default_factory=dict)
     alarm_positions: dict[int, int] = field(default_factory=dict)
+    #: Divergence sentinels verified during the pass (0 when the recorder
+    #: emitted none) — the audit trail that silent divergence was checked.
+    sentinels_verified: int = 0
 
 
 class CheckpointingReplayer(DeterministicReplayer):
@@ -92,6 +113,10 @@ class CheckpointingReplayer(DeterministicReplayer):
         self.alarm_cycles: dict[int, int] = {}
         self.alarm_positions: dict[int, int] = {}
         self._evict_stacks: dict[int, list[EvictRecord]] = {}
+        #: Per-checkpoint bookkeeping snapshots (keyed by checkpoint
+        #: icount) so a torn-stream recovery can resume mid-log without
+        #: double-counting alarms or evicts consumed before the anchor.
+        self._resume_snapshots: dict[int, dict] = {}
         self._period_cycles = (
             spec.config.cycles(self.options.period_s)
             if self.options.period_s is not None else None
@@ -172,12 +197,105 @@ class CheckpointingReplayer(DeterministicReplayer):
             * (costs.checkpoint_page_cycles + costs.page_copy_cycles),
         )
         self._last_checkpoint_cycles = machine.now
+        self._resume_snapshots[checkpoint.icount] = self._bookkeeping()
         if self._retention_cycles is not None:
             self.store.recycle_older_than(
                 machine.now - self._retention_cycles,
                 keep_at_least=self.options.keep_at_least,
             )
         return checkpoint
+
+    # ------------------------------------------------------------------
+    # torn-stream recovery
+    # ------------------------------------------------------------------
+
+    def _bookkeeping(self) -> dict:
+        """Shallow snapshot of the CR's consumption bookkeeping (cheap:
+        a few ints plus copies of small per-alarm collections)."""
+        return {
+            "pending_alarms": list(self.pending_alarms),
+            "dismissed_underflows": self.dismissed_underflows,
+            "alarms_seen": self.alarms_seen,
+            "alarm_cycles": dict(self.alarm_cycles),
+            "alarm_positions": dict(self.alarm_positions),
+            "evict_stacks": {tid: list(stack)
+                             for tid, stack in self._evict_stacks.items()},
+            "last_checkpoint_cycles": self._last_checkpoint_cycles,
+            "sentinel_crc": self._sentinel_crc,
+            "last_sentinel_icount": self._last_sentinel_icount,
+            "sentinels_verified": self.sentinels_verified,
+        }
+
+    def capture_resume_state(self) -> CrResumeState:
+        """Bundle the last good checkpoint and its bookkeeping for resume."""
+        latest = self.store.latest()
+        if latest is None:
+            return CrResumeState(store=self.store, checkpoint_icount=None,
+                                 bookkeeping=None)
+        return CrResumeState(
+            store=self.store,
+            checkpoint_icount=latest.icount,
+            bookkeeping=self._resume_snapshots.get(latest.icount),
+        )
+
+    @classmethod
+    def resume(cls, spec: MachineSpec, log: InputLog,
+               options: CheckpointingOptions | None,
+               state: CrResumeState,
+               pending_alarm_listener=None) -> "CheckpointingReplayer":
+        """Rebuild a CR positioned at ``state``'s last good checkpoint.
+
+        The returned replayer adopts the partial store and continues over
+        the authoritative ``log`` from the checkpoint's ``InputLogPtr``;
+        running it to the end yields results bit-identical to a CR that
+        never failed (same checkpoints, same pending alarms, same final
+        state) — only the host-side metrics cover just the replayed tail.
+        """
+        replayer = cls(spec, log, options,
+                       pending_alarm_listener=pending_alarm_listener)
+        checkpoint = None
+        if state.checkpoint_icount is not None:
+            for candidate in state.store.all():
+                if candidate.icount == state.checkpoint_icount:
+                    checkpoint = candidate
+                    break
+        if checkpoint is None:
+            # Died before the first checkpoint: a fresh from-the-start
+            # replay is the resume.
+            return replayer
+        replayer.store = state.store
+        replayer._resume_snapshots[checkpoint.icount] = (
+            dict(state.bookkeeping) if state.bookkeeping else {}
+        )
+        replayer.restore_checkpoint(checkpoint, state.store)
+        machine = replayer.machine
+        # The checkpoint pins the simulated clock; re-seat the machine's
+        # overhead so ``now`` continues from the recorded instant, and
+        # clear the dirty sets exactly as the original take_checkpoint did
+        # — post-resume checkpoints then reproduce the originals.
+        machine.overhead_cycles = checkpoint.cycles - checkpoint.icount
+        machine.memory.clear_dirty()
+        machine.disk.clear_dirty()
+        bookkeeping = state.bookkeeping or {}
+        replayer.pending_alarms = list(bookkeeping.get("pending_alarms", ()))
+        replayer.dismissed_underflows = bookkeeping.get(
+            "dismissed_underflows", 0)
+        replayer.alarms_seen = bookkeeping.get("alarms_seen", 0)
+        replayer.alarm_cycles = dict(bookkeeping.get("alarm_cycles", {}))
+        replayer.alarm_positions = dict(
+            bookkeeping.get("alarm_positions", {}))
+        replayer._evict_stacks = {
+            tid: list(stack)
+            for tid, stack in bookkeeping.get("evict_stacks", {}).items()
+        }
+        replayer._last_checkpoint_cycles = bookkeeping.get(
+            "last_checkpoint_cycles", checkpoint.cycles)
+        replayer._sentinel_crc = bookkeeping.get("sentinel_crc", 0)
+        replayer._last_sentinel_icount = bookkeeping.get(
+            "last_sentinel_icount", 0)
+        replayer.sentinels_verified = bookkeeping.get(
+            "sentinels_verified", 0)
+        return replayer
 
     # ------------------------------------------------------------------
     # results
@@ -195,4 +313,5 @@ class CheckpointingReplayer(DeterministicReplayer):
             alarms_seen=self.alarms_seen,
             alarm_cycles=dict(self.alarm_cycles),
             alarm_positions=dict(self.alarm_positions),
+            sentinels_verified=self.sentinels_verified,
         )

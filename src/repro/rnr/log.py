@@ -20,11 +20,12 @@ from __future__ import annotations
 from bisect import bisect_right
 from dataclasses import dataclass
 
-from repro.errors import LogError
+from repro.errors import LogCorruptionError, LogError
 from repro.rnr.records import Record, is_async_record
 from repro.rnr.serialize import (
     FrameHeader,
     encode_frame,
+    encode_frame_v3,
     encode_record_into,
     parse_frame,
     parse_record,
@@ -165,10 +166,15 @@ class StreamingLogWriter:
     """
 
     def __init__(self, frame_records: int = DEFAULT_FRAME_RECORDS,
-                 on_frame=None):
+                 on_frame=None, integrity: bool = True):
+        """``integrity`` selects the frame version: ``True`` (default)
+        emits v3 frames carrying a sequence number and a payload CRC-32, so
+        transport corruption and dropped frames are detectable; ``False``
+        emits the bare v2 envelope (same payload bytes either way)."""
         if frame_records < 1:
             raise LogError(f"frame_records must be >= 1, got {frame_records}")
         self.frame_records = frame_records
+        self.integrity = integrity
         self._on_frame = on_frame
         self._buffer = bytearray()
         self._count = 0
@@ -197,10 +203,16 @@ class StreamingLogWriter:
         return size
 
     def _emit(self):
-        frame = encode_frame(
-            self._buffer, self._count,
-            self._frame_first_icount, self._icount,
-        )
+        if self.integrity:
+            frame = encode_frame_v3(
+                self._buffer, self.frames_emitted, self._count,
+                self._frame_first_icount, self._icount,
+            )
+        else:
+            frame = encode_frame(
+                self._buffer, self._count,
+                self._frame_first_icount, self._icount,
+            )
         self._buffer.clear()
         self._count = 0
         self._frame_first_icount = self._icount
@@ -260,6 +272,18 @@ class StreamingLogReader:
         return added
 
     def _index(self, header: FrameHeader, frame_bytes: int):
+        # v3 frames carry their sequence number: a gap means the transport
+        # dropped (or reordered) a frame, which silently loses records —
+        # fail loudly instead, naming the hole.
+        if (header.frame_index is not None
+                and header.frame_index != len(self.frames)):
+            raise LogCorruptionError(
+                f"frame sequence gap: received frame "
+                f"{header.frame_index}, expected {len(self.frames)} — a "
+                f"frame was dropped or reordered in transit",
+                byte_offset=self._byte_offset,
+                frame_index=header.frame_index,
+            )
         self.frames.append(FrameInfo(
             index=len(self.frames),
             record_offset=len(self.records),

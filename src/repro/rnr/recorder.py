@@ -37,6 +37,7 @@ from repro.rnr.records import (
     PioInRecord,
     RdrandRecord,
     RdtscRecord,
+    SentinelRecord,
 )
 
 
@@ -65,6 +66,13 @@ class RecorderOptions:
     max_instructions: int = 1_000_000
     #: Compute and store a final state digest in the End record.
     digest: bool = True
+    #: Emit a divergence sentinel (rolling CPU digest) every this many log
+    #: records; ``None`` disables sentinels entirely (zero cost, and the
+    #: log bytes are exactly the pre-sentinel format).  The emission point
+    #: is a deterministic function of the execution — record count, not
+    #: transport framing — so sequential and pipelined runs of the same
+    #: spec produce byte-identical logs.
+    sentinel_records: int | None = None
 
 
 @dataclass
@@ -116,6 +124,9 @@ class Recorder:
         #: polled at every VM exit with the machine as argument.
         self.watchdogs: list = []
         self._costs = spec.config.costs
+        #: Rolling sentinel digest chain (divergence audit).
+        self._sentinel_crc = 0
+        self._records_at_sentinel = 0
 
     # ------------------------------------------------------------------
     # configuration
@@ -151,8 +162,14 @@ class Recorder:
         intc = machine.intc
         options = self.options
         max_instructions = options.max_instructions
+        sentinel_every = (options.sentinel_records
+                          if options.log_enabled else None)
         machine.timer.start(0)
         while not machine.stopped:
+            if (sentinel_every is not None
+                    and len(self.log) - self._records_at_sentinel
+                    >= sentinel_every):
+                self._emit_sentinel()
             if cpu.icount >= max_instructions:
                 machine.stop("budget")
                 break
@@ -188,6 +205,29 @@ class Recorder:
             digest = machine.state_digest() if options.digest else 0
             self.log.append(EndRecord(icount=cpu.icount, digest=digest))
         return self._build_result()
+
+    # ------------------------------------------------------------------
+    # divergence sentinels
+    # ------------------------------------------------------------------
+
+    def _emit_sentinel(self):
+        """Append one rolling CPU-digest sentinel at the current icount.
+
+        Called between CPU batches, where the guest is quiescent and every
+        earlier nondeterministic input is already in the log — a replayer
+        that has consumed the same prefix must be in the identical CPU
+        state here, so the digest is directly comparable.
+        """
+        machine = self.machine
+        self._sentinel_crc = machine.cpu_digest(self._sentinel_crc)
+        size = self.log.append(SentinelRecord(
+            icount=machine.cpu.icount, digest=self._sentinel_crc,
+        ))
+        self._records_at_sentinel = len(self.log)
+        machine.charge(
+            Category.CHECKPOINT,
+            int(size * self._costs.log_write_cycles_per_byte),
+        )
 
     # ------------------------------------------------------------------
     # interrupt injection (asynchronous events, §7.3)

@@ -106,6 +106,23 @@ class AlarmRecord:
 
 
 @dataclass(frozen=True, slots=True)
+class SentinelRecord:
+    """A divergence sentinel: rolling CPU-state digest at ``icount``.
+
+    The recorder emits one every ``sentinel_records`` log records — a CRC
+    of registers + pc + icount chained onto the previous sentinel's digest,
+    so the sequence attests the whole execution prefix, not just one
+    snapshot.  Replayers recompute the chain and raise
+    :class:`~repro.errors.ReplayDivergenceError` on the first mismatch,
+    turning silent non-determinism into a diagnosable failure bounded to
+    one inter-sentinel window.
+    """
+
+    icount: int
+    digest: int
+
+
+@dataclass(frozen=True, slots=True)
 class EndRecord:
     """End of the recorded execution, with an optional state digest."""
 
@@ -123,6 +140,7 @@ Record = (
     | NetworkDmaRecord
     | EvictRecord
     | AlarmRecord
+    | SentinelRecord
     | EndRecord
 )
 
@@ -132,6 +150,7 @@ _ASYNC_TYPES = (
     NetworkDmaRecord,
     EvictRecord,
     AlarmRecord,
+    SentinelRecord,
     EndRecord,
 )
 

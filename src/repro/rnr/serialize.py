@@ -21,10 +21,11 @@ Two layers live here:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 from repro.cpu.exits import RopAlarmKind
-from repro.errors import LogError
+from repro.errors import LogCorruptionError, LogError
 from repro.rnr.records import (
     AlarmRecord,
     DiskDmaRecord,
@@ -37,6 +38,7 @@ from repro.rnr.records import (
     RdrandRecord,
     RdtscRecord,
     Record,
+    SentinelRecord,
 )
 
 _TAGS: dict[type, int] = {
@@ -50,6 +52,7 @@ _TAGS: dict[type, int] = {
     EvictRecord: 8,
     AlarmRecord: 9,
     EndRecord: 10,
+    SentinelRecord: 11,
 }
 _TYPES = {tag: cls for cls, tag in _TAGS.items()}
 
@@ -113,6 +116,8 @@ def _fields_of(record: Record) -> list[int]:
             record.actual,
             record.tid + 1,
         ]
+    if isinstance(record, SentinelRecord):
+        return [record.icount, record.digest]
     if isinstance(record, EndRecord):
         return [record.icount, record.digest]
     raise LogError(f"unknown record type {type(record).__name__}")
@@ -203,13 +208,24 @@ def parse_record(data: bytes, offset: int = 0) -> tuple[Record, int]:
         icount = read()
         addr = read()
         count = read()
+        # Every word costs at least one byte, so a count beyond the
+        # remaining data is corruption — reject it before looping (a
+        # flipped length byte must not turn into a near-endless parse).
+        if count > len(data) - offset:
+            raise LogError(
+                f"NetworkDma word count {count} exceeds the "
+                f"{len(data) - offset} bytes remaining"
+            )
         words = tuple(read() for _ in range(count))
         return NetworkDmaRecord(icount=icount, addr=addr, words=words), offset
     if cls is EvictRecord:
         return EvictRecord(icount=read(), tid=read() - 1, value=read()), offset
     if cls is AlarmRecord:
         icount = read()
-        kind = _ALARM_KINDS_REV[read()]
+        kind_index = read()
+        kind = _ALARM_KINDS_REV.get(kind_index)
+        if kind is None:
+            raise LogError(f"unknown alarm kind index {kind_index}")
         pc = read()
         predicted_raw = read()
         predicted = None if predicted_raw == 0 else predicted_raw - 1
@@ -221,6 +237,8 @@ def parse_record(data: bytes, offset: int = 0) -> tuple[Record, int]:
             actual=read(),
             tid=read() - 1,
         ), offset
+    if cls is SentinelRecord:
+        return SentinelRecord(icount=read(), digest=read()), offset
     return EndRecord(icount=read(), digest=read()), offset
 
 
@@ -228,9 +246,14 @@ def parse_record(data: bytes, offset: int = 0) -> tuple[Record, int]:
 # frame codec (chunked streaming)
 # ----------------------------------------------------------------------
 
-#: First byte of every frame.  No record tag reaches this value, so a
-#: reader handed a record stream instead of a frame stream fails fast.
+#: First byte of every version-2 frame.  No record tag reaches this value,
+#: so a reader handed a record stream instead of a frame stream fails fast.
 FRAME_MAGIC = 0xF5
+#: First byte of every version-3 frame: adds a frame sequence number and a
+#: CRC-32 of the payload, so dropped/reordered frames and flipped bits are
+#: detected at the transport layer instead of surfacing as garbled records
+#: (or, worse, a silently wrong replay).
+FRAME_MAGIC_V3 = 0xF6
 
 
 @dataclass(frozen=True)
@@ -247,11 +270,17 @@ class FrameHeader:
     last_icount: int
     #: Payload size in bytes.
     payload_length: int
+    #: Frame format version (2 = bare envelope, 3 = sequence + CRC).
+    version: int = 2
+    #: Zero-based sequence number of the frame in its stream (v3 only).
+    frame_index: int | None = None
+    #: CRC-32 of the payload as carried on the wire (v3 only).
+    payload_crc: int | None = None
 
 
 def encode_frame(payload: bytes | bytearray, record_count: int,
                  first_icount: int, last_icount: int) -> bytes:
-    """Wrap an already-encoded record payload in a frame."""
+    """Wrap an already-encoded record payload in a bare (v2) frame."""
     out = bytearray([FRAME_MAGIC])
     _pack_varint(record_count, out)
     _pack_varint(first_icount, out)
@@ -261,34 +290,73 @@ def encode_frame(payload: bytes | bytearray, record_count: int,
     return bytes(out)
 
 
+def encode_frame_v3(payload: bytes | bytearray, frame_index: int,
+                    record_count: int, first_icount: int,
+                    last_icount: int) -> bytes:
+    """Wrap a record payload in an integrity-checked (v3) frame.
+
+    Layout: magic ``0xF6``, varint frame sequence number, then the v2
+    header varints, then the payload's CRC-32 as 4 little-endian bytes,
+    then the payload.  The payload bytes are identical to the v2 frame's,
+    so payload concatenation still reproduces ``InputLog.to_bytes()``.
+    """
+    out = bytearray([FRAME_MAGIC_V3])
+    _pack_varint(frame_index, out)
+    _pack_varint(record_count, out)
+    _pack_varint(first_icount, out)
+    _pack_varint(last_icount, out)
+    _pack_varint(len(payload), out)
+    out.extend(zlib.crc32(payload).to_bytes(4, "little"))
+    out.extend(payload)
+    return bytes(out)
+
+
 def parse_frame_header(data: bytes, offset: int = 0
                        ) -> tuple[FrameHeader, int]:
     """Parse one frame header at ``offset``; returns (header, payload start).
 
-    Every failure names the frame's byte offset so a corrupt stream can be
+    Accepts both frame versions (dispatch on the magic byte).  Every
+    failure names the frame's byte offset so a corrupt stream can be
     localized without re-parsing from the front.
     """
     if offset >= len(data):
-        raise LogError(f"truncated frame header at byte offset {offset}")
-    if data[offset] != FRAME_MAGIC:
+        raise LogCorruptionError("truncated frame header",
+                                 byte_offset=offset)
+    magic = data[offset]
+    if magic not in (FRAME_MAGIC, FRAME_MAGIC_V3):
         raise LogError(
-            f"bad frame magic {data[offset]:#x} at byte offset {offset} "
-            f"(expected {FRAME_MAGIC:#x})"
+            f"bad frame magic {magic:#x} at byte offset {offset} "
+            f"(expected {FRAME_MAGIC:#x} or {FRAME_MAGIC_V3:#x})"
         )
+    frame_index = None
+    payload_crc = None
     try:
-        record_count, cursor = _unpack_varint(data, offset + 1)
+        cursor = offset + 1
+        if magic == FRAME_MAGIC_V3:
+            frame_index, cursor = _unpack_varint(data, cursor)
+        record_count, cursor = _unpack_varint(data, cursor)
         first_icount, cursor = _unpack_varint(data, cursor)
         last_icount, cursor = _unpack_varint(data, cursor)
         payload_length, cursor = _unpack_varint(data, cursor)
+        if magic == FRAME_MAGIC_V3:
+            if cursor + 4 > len(data):
+                raise LogError("truncated CRC field")
+            payload_crc = int.from_bytes(data[cursor:cursor + 4], "little")
+            cursor += 4
+    except LogCorruptionError:
+        raise
     except LogError as exc:
-        raise LogError(
-            f"truncated frame header at byte offset {offset}: {exc}"
+        raise LogCorruptionError(
+            f"truncated frame header: {exc}", byte_offset=offset,
         ) from None
     header = FrameHeader(
         record_count=record_count,
         first_icount=first_icount,
         last_icount=last_icount,
         payload_length=payload_length,
+        version=3 if magic == FRAME_MAGIC_V3 else 2,
+        frame_index=frame_index,
+        payload_crc=payload_crc,
     )
     return header, cursor
 
@@ -299,19 +367,33 @@ def parse_frame(data: bytes, offset: int = 0
 
     Returns the header, the decoded records, and the offset just past the
     frame.  Truncation and record-count mismatches raise :class:`LogError`
-    with the frame's byte offset in the message.
+    with the frame's byte offset in the message; a v3 frame whose payload
+    fails its CRC raises :class:`LogCorruptionError` *before* any record
+    decode is attempted — corrupt bytes never reach the record parser.
     """
     header, payload_start = parse_frame_header(data, offset)
     payload_end = payload_start + header.payload_length
     if payload_end > len(data):
-        raise LogError(
+        raise LogCorruptionError(
             f"truncated frame at byte offset {offset}: payload needs "
             f"{header.payload_length} bytes, only "
-            f"{len(data) - payload_start} available"
+            f"{len(data) - payload_start} available",
+            byte_offset=offset,
+            frame_index=header.frame_index,
         )
+    payload = data[payload_start:payload_end]
+    if header.payload_crc is not None:
+        actual_crc = zlib.crc32(payload)
+        if actual_crc != header.payload_crc:
+            raise LogCorruptionError(
+                f"frame payload CRC mismatch: wire carries "
+                f"{header.payload_crc:#010x}, payload hashes to "
+                f"{actual_crc:#010x}",
+                byte_offset=offset,
+                frame_index=header.frame_index,
+            )
     try:
-        records = decode_records(data[payload_start:payload_end],
-                                 count=header.record_count)
+        records = decode_records(payload, count=header.record_count)
     except LogError as exc:
         raise LogError(
             f"corrupt frame at byte offset {offset}: {exc}"

@@ -62,16 +62,22 @@ class SessionManifest:
 
     @classmethod
     def from_json(cls, data: dict) -> "SessionManifest":
+        if not isinstance(data, dict):
+            raise LogError("session header is not a JSON object")
         if data.get("magic") != _MAGIC:
             raise LogError("not an RnR-Safe session file")
         if data.get("version") not in (_VERSION, _VERSION_FRAMED):
             raise LogError(f"unsupported session version {data.get('version')}")
-        return cls(
-            benchmark=data["benchmark"],
-            seed=data["seed"],
-            attack=data.get("attack"),
-            max_instructions=data.get("max_instructions", 3_000_000),
-        )
+        try:
+            return cls(
+                benchmark=data["benchmark"],
+                seed=data["seed"],
+                attack=data.get("attack"),
+                max_instructions=data.get("max_instructions", 3_000_000),
+            )
+        except KeyError as exc:
+            raise LogError(
+                f"session header is missing required field {exc}") from None
 
     def build_spec(self) -> MachineSpec:
         """Rebuild the exact machine spec this session recorded."""
@@ -123,6 +129,10 @@ def load_session(path: str | pathlib.Path) -> tuple[SessionManifest, InputLog]:
     """Read a session file back into a manifest and a parsed log.
 
     Handles both body formats: flat (version 1) and framed (version 2).
+    Every malformed input — a garbage header, a corrupt body, a torn
+    tail — surfaces as :class:`LogError` (or a subclass); decoder
+    internals (``struct.error``, ``UnicodeDecodeError``, ``KeyError``)
+    never escape to the caller.
     """
     path = pathlib.Path(path)
     data = path.read_bytes()
@@ -131,7 +141,11 @@ def load_session(path: str | pathlib.Path) -> tuple[SessionManifest, InputLog]:
     header_length = int.from_bytes(data[:4], "big")
     if len(data) < 4 + header_length:
         raise LogError(f"{path} is truncated")
-    header = json.loads(data[4:4 + header_length].decode())
+    try:
+        header = json.loads(data[4:4 + header_length].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise LogError(f"{path} has an unreadable session header: "
+                       f"{exc}") from None
     manifest = SessionManifest.from_json(header)
     body_offset = 4 + header_length
     if header.get("version") == _VERSION_FRAMED:

@@ -1,0 +1,279 @@
+"""The divergence sentinel: silent non-determinism becomes a typed error.
+
+The recorder can emit a rolling CPU-state digest every N log records;
+replayers recompute the chain and raise
+:class:`~repro.errors.ReplayDivergenceError` on the first mismatch.  This
+suite pins the three properties that make the sentinel trustworthy:
+
+* **equivalence** — sentinels change nothing: the sequential phases and
+  both pipeline backends produce byte-identical logs, identical final
+  state, and the same verified-sentinel count, across a spread of
+  workloads and seeds;
+* **detection** — a record perturbed *under a valid frame CRC* (damage
+  the transport integrity layer cannot see) trips the sentinel with the
+  divergence bounded to one inter-sentinel window, on every replay path
+  including across the CR process boundary;
+* **zero cost off** — the default (``sentinel_records=None``) emits
+  nothing: the log bytes are exactly the sentinel-free format.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.parallel import record_and_replay_pipelined
+from repro.errors import ReplayDivergenceError
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+from repro.replay.checkpointing import (
+    CheckpointingOptions,
+    CheckpointingReplayer,
+)
+from repro.rnr.log import StreamingLogReader, StreamingLogWriter
+from repro.rnr.records import SentinelRecord
+from repro.rnr.recorder import Recorder, RecorderOptions
+from repro.workloads import build_workload, profile_by_name
+
+BUDGET = 40_000
+SENTINEL_EVERY = 12
+CR_OPTIONS = CheckpointingOptions(period_s=0.2)
+
+
+def _options(sentinel=SENTINEL_EVERY, budget=BUDGET):
+    return RecorderOptions(max_instructions=budget,
+                           sentinel_records=sentinel)
+
+
+def _sentinel_count(log):
+    return sum(isinstance(record, SentinelRecord)
+               for record in log.records())
+
+
+class TestSentinelRoundTrip:
+    def test_recorder_emits_and_replayer_verifies(self):
+        spec = build_workload(profile_by_name("apache"))
+        recording = Recorder(spec, _options()).run()
+        emitted = _sentinel_count(recording.log)
+        assert emitted > 0
+        result = CheckpointingReplayer(spec, recording.log,
+                                       CR_OPTIONS).run_to_end()
+        assert result.replay.reached_end
+        assert result.sentinels_verified == emitted
+
+    def test_default_is_off_and_free(self):
+        # No sentinel option -> not one sentinel record in the log, and
+        # the bytes equal a second sentinel-free recording exactly (the
+        # feature leaves zero residue when disabled).
+        spec = build_workload(profile_by_name("apache"))
+        plain = Recorder(spec, _options(sentinel=None)).run()
+        again = Recorder(build_workload(profile_by_name("apache")),
+                         RecorderOptions(max_instructions=BUDGET)).run()
+        assert _sentinel_count(plain.log) == 0
+        assert plain.log.to_bytes() == again.log.to_bytes()
+        result = CheckpointingReplayer(spec, plain.log,
+                                       CR_OPTIONS).run_to_end()
+        assert result.sentinels_verified == 0
+
+
+class TestDifferentialEquivalence:
+    """Sequential vs pipelined, sentinels on: everything must match."""
+
+    CASES = [
+        ("apache", 2018, 30_000),
+        ("apache", 7, 30_000),
+        ("fileio", 2018, 30_000),
+        ("make", 11, 30_000),
+        ("mysql", 2018, 40_000),
+        ("radiosity", 3, 30_000),
+    ]
+
+    @pytest.mark.parametrize("workload,seed,budget", CASES)
+    def test_thread_backend_matches_sequential(self, workload, seed,
+                                               budget):
+        spec = build_workload(profile_by_name(workload), seed=seed)
+        options = _options(budget=budget)
+        recording = Recorder(spec, options).run()
+        replayer = CheckpointingReplayer(
+            build_workload(profile_by_name(workload), seed=seed),
+            recording.log, CR_OPTIONS)
+        sequential = replayer.run_to_end()
+        run = record_and_replay_pipelined(
+            build_workload(profile_by_name(workload), seed=seed),
+            options, CR_OPTIONS, backend="thread",
+            frame_records=8, queue_depth=4,
+        )
+        assert run.recording.log.to_bytes() == recording.log.to_bytes()
+        assert (run.checkpointing.sentinels_verified
+                == sequential.sentinels_verified
+                == _sentinel_count(recording.log))
+        assert (run.final_cpu_state
+                == replayer.machine.cpu.capture_state())
+
+    def test_process_backend_matches_sequential(self):
+        spec = build_workload(profile_by_name("apache"))
+        recording = Recorder(spec, _options()).run()
+        sequential = CheckpointingReplayer(
+            build_workload(profile_by_name("apache")),
+            recording.log, CR_OPTIONS).run_to_end()
+        run = record_and_replay_pipelined(
+            build_workload(profile_by_name("apache")),
+            _options(), CR_OPTIONS, backend="process",
+            frame_records=8, queue_depth=4,
+        )
+        assert run.recording.log.to_bytes() == recording.log.to_bytes()
+        assert (run.checkpointing.sentinels_verified
+                == sequential.sentinels_verified)
+
+
+def _perturbed_log(recording, plan):
+    """Reframe the recorded log and damage it exactly as ``plan`` says.
+
+    The perturbed record is re-encoded under a fresh, *valid* CRC: the
+    transport accepts every frame, only replay can notice.
+    """
+    frames = []
+    writer = StreamingLogWriter(8, on_frame=frames.append)
+    for record in recording.log.records():
+        writer.append(record)
+    writer.finish()
+    reader = StreamingLogReader()
+    for index, frame in enumerate(frames):
+        reader.feed(plan.apply_to_frame(index, frame))
+    return reader.to_log()
+
+
+@pytest.fixture(scope="module")
+def sentinel_visible_plan():
+    """A fault plan whose perturbation a *sentinel* catches.
+
+    Not every perturbed value survives until the next sentinel snapshot —
+    a register the workload immediately overwrites only shows up in the
+    final full-state digest.  Scan frames deterministically for one whose
+    perturbation the sentinel chain sees (window attached), so the
+    detection tests pin the bounded-window contract, not luck.
+    """
+    spec = build_workload(profile_by_name("apache"))
+    recording = Recorder(spec, _options()).run()
+    frame_count = (len(recording.log) + 7) // 8
+    for target in range(frame_count):
+        plan = FaultPlan([FaultSpec(FaultKind.PERTURB_RECORD,
+                                    target=target)])
+        damaged = _perturbed_log(recording, plan)
+        if damaged.to_bytes() == recording.log.to_bytes():
+            continue  # the frame had nothing perturbable
+        try:
+            CheckpointingReplayer(
+                build_workload(profile_by_name("apache")),
+                damaged, CR_OPTIONS).run_to_end()
+        except ReplayDivergenceError as error:
+            if error.window is not None:
+                return recording, plan
+    pytest.fail("no frame produced a sentinel-visible perturbation")
+
+
+class TestDivergenceDetection:
+    """A perturbed record under a valid CRC must trip the sentinel."""
+
+    def test_sequential_replay_trips_on_perturbed_log(
+            self, sentinel_visible_plan):
+        recording, plan = sentinel_visible_plan
+        damaged = _perturbed_log(recording, plan)
+        assert damaged.to_bytes() != recording.log.to_bytes()
+        with pytest.raises(ReplayDivergenceError) as excinfo:
+            CheckpointingReplayer(
+                build_workload(profile_by_name("apache")),
+                damaged, CR_OPTIONS).run_to_end()
+        self._check_window(excinfo.value)
+
+    def test_pipelined_thread_backend_trips(self, sentinel_visible_plan):
+        _, plan = sentinel_visible_plan
+        with pytest.raises(ReplayDivergenceError) as excinfo:
+            record_and_replay_pipelined(
+                build_workload(profile_by_name("apache")),
+                _options(), CR_OPTIONS, backend="thread",
+                frame_records=8, queue_depth=4, fault_plan=plan,
+            )
+        self._check_window(excinfo.value)
+
+    def test_pipelined_process_backend_trips_with_type_intact(
+            self, sentinel_visible_plan):
+        # The CR lives in another process here: the divergence must cross
+        # the pipe as the same typed error, digests and window included —
+        # not as a HypervisorError wrapping a traceback string.
+        _, plan = sentinel_visible_plan
+        with pytest.raises(ReplayDivergenceError) as excinfo:
+            record_and_replay_pipelined(
+                build_workload(profile_by_name("apache")),
+                _options(), CR_OPTIONS, backend="process",
+                frame_records=8, queue_depth=4, fault_plan=plan,
+            )
+        self._check_window(excinfo.value)
+
+    def test_perturbation_invisible_to_sentinel_still_caught(self):
+        # Even when the damaged value dies before the next sentinel, the
+        # final full-state digest must still refuse the replay — silent
+        # acceptance is never an outcome.
+        spec = build_workload(profile_by_name("apache"))
+        recording = Recorder(spec, _options()).run()
+        frame_count = (len(recording.log) + 7) // 8
+        for target in range(frame_count):
+            plan = FaultPlan([FaultSpec(FaultKind.PERTURB_RECORD,
+                                        target=target)])
+            damaged = _perturbed_log(recording, plan)
+            if damaged.to_bytes() == recording.log.to_bytes():
+                continue
+            with pytest.raises(ReplayDivergenceError):
+                CheckpointingReplayer(
+                    build_workload(profile_by_name("apache")),
+                    damaged, CR_OPTIONS).run_to_end()
+            return
+        pytest.fail("no frame was perturbable at all")
+
+    @staticmethod
+    def _check_window(error: ReplayDivergenceError):
+        assert error.expected_digest is not None
+        assert error.actual_digest is not None
+        assert error.expected_digest != error.actual_digest
+        assert error.window is not None
+        low, high = error.window
+        assert low < high
+        assert error.icount == high
+
+    def test_alarm_replayers_tolerate_sentinel_logs(self):
+        # An AR starts mid-log from a checkpoint, so its chain state can
+        # never match the recorder's — it must consume sentinel records
+        # without judging them.  (Regression: ARs used to verify the
+        # chain and raise a false divergence on every sentinel log.)
+        from repro.core.parallel import resolve_alarms_parallel
+
+        def verdicts(sentinel):
+            spec = build_workload(profile_by_name("mysql"))
+            recording = Recorder(
+                spec, _options(sentinel=sentinel, budget=120_000)).run()
+            checkpointing = CheckpointingReplayer(
+                spec, recording.log, CR_OPTIONS).run_to_end()
+            assert checkpointing.pending_alarms
+            resolution = resolve_alarms_parallel(
+                spec, recording.log, checkpointing.pending_alarms,
+                store=checkpointing.store, backend="thread",
+            )
+            return [(v.kind, v.benign_cause) for v in resolution.verdicts]
+
+        # Sentinel emission costs recorded cycles, so alarm *icounts*
+        # legitimately shift a little between the two recordings; the
+        # classifications must not.
+        assert verdicts(sentinel=SENTINEL_EVERY) == verdicts(sentinel=None)
+
+    def test_divergence_error_pickles_intact(self):
+        # Worker pools and the CR process ship this exception by pickle;
+        # the structured fields must survive the round trip.
+        error = ReplayDivergenceError(
+            "sentinel digest mismatch", icount=420,
+            expected_digest=0x1234, actual_digest=0x4321,
+            window=(400, 420),
+        )
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, ReplayDivergenceError)
+        assert clone.window == (400, 420)
+        assert clone.expected_digest == 0x1234
+        assert clone.actual_digest == 0x4321
+        assert str(clone) == str(error)

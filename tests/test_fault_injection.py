@@ -1,0 +1,474 @@
+"""Every injected fault must end in recovery or a typed error.
+
+The fault plans in ``repro.faults`` damage the streaming pipeline at
+every layer — frames in flight, the CR worker, alarm-replayer workers,
+whole fleet sessions — and this suite pins the contract for each:
+
+* transport damage (corruption, loss, truncation) is *recoverable*: the
+  pipeline heals from the recorder's authoritative tee log and the
+  results are bit-identical to an undamaged run, with
+  :attr:`PipelinedRun.recovery` recording how;
+* dead workers are retried with backoff, and exhaustion surfaces as a
+  typed :class:`WorkerFailureError` / :class:`WorkerTimeoutError` —
+  never a bare pool exception, a ``struct.error``, or a hang;
+* a fleet session that keeps dying becomes a structured per-session
+  failure in input order; the sessions around it are untouched;
+* arbitrary byte damage to stored session files raises
+  :class:`LogError` (or a subclass), never a decoder internal.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.core.fleet import FleetSession, run_fleet
+from repro.core.parallel import (
+    record_and_replay_pipelined,
+    resolve_alarms_parallel,
+)
+from repro.errors import (
+    LogCorruptionError,
+    LogError,
+    WorkerFailureError,
+    WorkerTimeoutError,
+)
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+from repro.replay.checkpointing import (
+    CheckpointingOptions,
+    CheckpointingReplayer,
+)
+from repro.rnr.log import StreamingLogReader
+from repro.rnr.recorder import Recorder, RecorderOptions
+from repro.rnr.session import SessionManifest, load_session, save_session
+from repro.workloads import build_workload, profile_by_name
+
+# A small workload with enough records to stream several frames: the
+# transport-fault tests damage individual frames and compare against
+# this clean baseline.
+PIPE_BUDGET = 40_000
+PIPE_OPTIONS = RecorderOptions(max_instructions=PIPE_BUDGET)
+PIPE_CR = CheckpointingOptions(period_s=0.2)
+FRAME_RECORDS = 8
+QUEUE_DEPTH = 4
+
+# A workload that leaves several *pending* alarms for the parallel alarm
+# replayers — worker faults need actual workers to kill.
+AR_BUDGET = 120_000
+AR_OPTIONS = RecorderOptions(max_instructions=AR_BUDGET)
+AR_CR = CheckpointingOptions(period_s=0.2)
+
+
+def _pipe_spec():
+    return build_workload(profile_by_name("apache"))
+
+
+def _ar_spec():
+    return build_workload(profile_by_name("mysql"))
+
+
+def _verdict_key(verdict):
+    return (verdict.kind, verdict.benign_cause, verdict.alarm.icount,
+            verdict.alarm.kind, verdict.alarm.tid)
+
+
+@pytest.fixture(scope="module")
+def clean_pipeline():
+    """The undamaged pipelined run every transport fault must reproduce."""
+    run = record_and_replay_pipelined(
+        _pipe_spec(), PIPE_OPTIONS, PIPE_CR, backend="thread",
+        frame_records=FRAME_RECORDS, queue_depth=QUEUE_DEPTH,
+    )
+    assert run.recovery is None
+    return run
+
+
+@pytest.fixture(scope="module")
+def ar_baseline():
+    """Sequential record + CR with pending alarms, plus clean verdicts."""
+    spec = _ar_spec()
+    recording = Recorder(spec, AR_OPTIONS).run()
+    checkpointing = CheckpointingReplayer(spec, recording.log,
+                                          AR_CR).run_to_end()
+    assert len(checkpointing.pending_alarms) >= 2, \
+        "the AR fault tests need real workers to kill"
+    resolution = resolve_alarms_parallel(
+        spec, recording.log, checkpointing.pending_alarms,
+        store=checkpointing.store, backend="thread",
+    )
+    return spec, recording, checkpointing, resolution
+
+
+def _assert_identical(run, clean):
+    """The recovered run must be bit-identical to the clean one."""
+    assert run.recording.log.to_bytes() == clean.recording.log.to_bytes()
+    assert run.final_cpu_state == clean.final_cpu_state
+    assert len(run.checkpointing.store) == len(clean.checkpointing.store)
+    assert ([_verdict_key(v) for v in run.resolution.verdicts]
+            == [_verdict_key(v) for v in clean.resolution.verdicts])
+
+
+class TestTransportFaults:
+    """Damaged frames: the pipeline heals from the tee log."""
+
+    def test_corrupt_frame_recovers(self, clean_pipeline):
+        plan = FaultPlan([FaultSpec(FaultKind.CORRUPT_FRAME, target=2)])
+        run = record_and_replay_pipelined(
+            _pipe_spec(), PIPE_OPTIONS, PIPE_CR, backend="thread",
+            frame_records=FRAME_RECORDS, queue_depth=QUEUE_DEPTH,
+            fault_plan=plan,
+        )
+        assert run.recovery is not None
+        assert "CRC mismatch" in run.recovery
+        _assert_identical(run, clean_pipeline)
+
+    def test_dropped_frame_recovers(self, clean_pipeline):
+        plan = FaultPlan([FaultSpec(FaultKind.DROP_FRAME, target=2)])
+        run = record_and_replay_pipelined(
+            _pipe_spec(), PIPE_OPTIONS, PIPE_CR, backend="thread",
+            frame_records=FRAME_RECORDS, queue_depth=QUEUE_DEPTH,
+            fault_plan=plan,
+        )
+        assert run.recovery is not None
+        assert "sequence gap" in run.recovery
+        _assert_identical(run, clean_pipeline)
+
+    def test_dropped_final_frame_recovers(self, clean_pipeline):
+        # The last frame carries the End record; dropping it leaves no
+        # sequence gap to notice — the torn stream only shows as a replay
+        # that ran out of log without reaching the End.  This must heal,
+        # not hang in the queue-drain path.
+        last = len(clean_pipeline.stats.frames) - 1
+        plan = FaultPlan([FaultSpec(FaultKind.DROP_FRAME, target=last)])
+        run = record_and_replay_pipelined(
+            _pipe_spec(), PIPE_OPTIONS, PIPE_CR, backend="thread",
+            frame_records=FRAME_RECORDS, queue_depth=QUEUE_DEPTH,
+            fault_plan=plan,
+        )
+        assert run.recovery is not None
+        assert "End record" in run.recovery
+        _assert_identical(run, clean_pipeline)
+
+    def test_truncated_frame_recovers(self, clean_pipeline):
+        plan = FaultPlan([FaultSpec(FaultKind.TRUNCATE_FRAME, target=1)])
+        run = record_and_replay_pipelined(
+            _pipe_spec(), PIPE_OPTIONS, PIPE_CR, backend="thread",
+            frame_records=FRAME_RECORDS, queue_depth=QUEUE_DEPTH,
+            fault_plan=plan,
+        )
+        assert run.recovery is not None
+        _assert_identical(run, clean_pipeline)
+
+    def test_stalled_frame_is_benign(self, clean_pipeline):
+        # A slow link delays the stream; it must not damage it.
+        plan = FaultPlan([FaultSpec(FaultKind.STALL_FRAME, target=1,
+                                    stall_s=0.05)])
+        run = record_and_replay_pipelined(
+            _pipe_spec(), PIPE_OPTIONS, PIPE_CR, backend="thread",
+            frame_records=FRAME_RECORDS, queue_depth=QUEUE_DEPTH,
+            fault_plan=plan,
+        )
+        assert run.recovery is None
+        _assert_identical(run, clean_pipeline)
+
+    def test_corrupt_frame_recovers_process_backend(self, clean_pipeline):
+        plan = FaultPlan([FaultSpec(FaultKind.CORRUPT_FRAME, target=2)])
+        run = record_and_replay_pipelined(
+            _pipe_spec(), PIPE_OPTIONS, PIPE_CR, backend="process",
+            frame_records=FRAME_RECORDS, queue_depth=QUEUE_DEPTH,
+            fault_plan=plan,
+        )
+        assert run.recovery is not None
+        _assert_identical(run, clean_pipeline)
+
+    def test_resume_uses_checkpoint_when_available(self, clean_pipeline):
+        # Damage a late frame: by then the CR holds completed checkpoints,
+        # so the healer must resume from one instead of replaying from
+        # scratch, and say so.
+        late = len(clean_pipeline.stats.frames) - 2
+        plan = FaultPlan([FaultSpec(FaultKind.CORRUPT_FRAME, target=late)])
+        run = record_and_replay_pipelined(
+            _pipe_spec(), PIPE_OPTIONS, PIPE_CR, backend="thread",
+            frame_records=FRAME_RECORDS, queue_depth=QUEUE_DEPTH,
+            fault_plan=plan,
+        )
+        assert run.recovery is not None
+        assert run.recovery.startswith("cr-resumed@")
+        _assert_identical(run, clean_pipeline)
+
+
+class TestCrWorkerFaults:
+    """A dead Checkpointing Replayer worker: restart or resume."""
+
+    def test_cr_crash_thread_backend_recovers(self, clean_pipeline):
+        plan = FaultPlan([FaultSpec(FaultKind.CRASH_WORKER, role="cr")])
+        run = record_and_replay_pipelined(
+            _pipe_spec(), PIPE_OPTIONS, PIPE_CR, backend="thread",
+            frame_records=FRAME_RECORDS, queue_depth=QUEUE_DEPTH,
+            fault_plan=plan,
+        )
+        assert run.recovery is not None
+        assert run.recovery.startswith("cr-restarted")
+        _assert_identical(run, clean_pipeline)
+
+    def test_cr_hard_kill_process_backend_recovers(self, clean_pipeline):
+        # The CR process os._exit()s without a word.  All frames must fit
+        # the queue (nobody will ever drain it), so use one giant frame
+        # size; results still must match the clean *small-frame* run
+        # because framing never changes the replayed content.
+        plan = FaultPlan([FaultSpec(FaultKind.KILL_WORKER, role="cr")])
+        run = record_and_replay_pipelined(
+            _pipe_spec(), PIPE_OPTIONS, PIPE_CR, backend="process",
+            frame_records=2048, queue_depth=QUEUE_DEPTH,
+            fault_plan=plan,
+        )
+        assert run.recovery is not None
+        assert "died" in run.recovery
+        assert (run.recording.log.to_bytes()
+                == clean_pipeline.recording.log.to_bytes())
+        assert run.final_cpu_state == clean_pipeline.final_cpu_state
+
+
+class TestAlarmReplayerFaults:
+    """Dead or stuck AR workers: retry, then a typed error."""
+
+    def test_transient_crash_is_retried(self, ar_baseline):
+        spec, recording, checkpointing, clean = ar_baseline
+        plan = FaultPlan([FaultSpec(FaultKind.CRASH_WORKER, role="ar",
+                                    target=1, attempt=0)])
+        resolution = resolve_alarms_parallel(
+            spec, recording.log, checkpointing.pending_alarms,
+            store=checkpointing.store, backend="thread", fault_plan=plan,
+        )
+        assert ([_verdict_key(v) for v in resolution.verdicts]
+                == [_verdict_key(v) for v in clean.verdicts])
+
+    def test_persistent_crash_raises_typed_error(self, ar_baseline):
+        spec, recording, checkpointing, _ = ar_baseline
+        retries = spec.config.ar_max_retries
+        plan = FaultPlan([
+            FaultSpec(FaultKind.CRASH_WORKER, role="ar", target=1,
+                      attempt=attempt)
+            for attempt in range(retries + 1)
+        ])
+        with pytest.raises(WorkerFailureError,
+                           match=f"after {retries + 1} attempts"):
+            resolve_alarms_parallel(
+                spec, recording.log, checkpointing.pending_alarms,
+                store=checkpointing.store, backend="thread",
+                fault_plan=plan,
+            )
+
+    def test_stalled_worker_times_out(self, ar_baseline):
+        spec, recording, checkpointing, _ = ar_baseline
+        plan = FaultPlan([FaultSpec(FaultKind.STALL_WORKER, role="ar",
+                                    target=0, stall_s=5.0)])
+        with pytest.raises(WorkerTimeoutError):
+            resolve_alarms_parallel(
+                spec, recording.log, checkpointing.pending_alarms,
+                store=checkpointing.store, backend="thread",
+                fault_plan=plan, timeout_s=0.4, max_retries=0,
+            )
+
+    def test_hard_killed_process_pool_degrades_to_threads(self, ar_baseline):
+        # os._exit() in a process-pool worker breaks the whole pool; the
+        # batch must degrade to the thread backend and still produce the
+        # clean verdicts rather than surfacing BrokenProcessPool.
+        spec, recording, checkpointing, clean = ar_baseline
+        plan = FaultPlan([FaultSpec(FaultKind.KILL_WORKER, role="ar",
+                                    target=1, attempt=0)])
+        resolution = resolve_alarms_parallel(
+            spec, recording.log, checkpointing.pending_alarms,
+            store=checkpointing.store, backend="process", fault_plan=plan,
+        )
+        assert resolution.backend == "thread"
+        assert ([_verdict_key(v) for v in resolution.verdicts]
+                == [_verdict_key(v) for v in clean.verdicts])
+
+
+class TestFleetFaults:
+    """Session-level failures: contained, retried, reported in order."""
+
+    SESSIONS = [
+        FleetSession(benchmark="apache", seed=2018,
+                     max_instructions=PIPE_BUDGET),
+        FleetSession(benchmark="mysql", seed=2019,
+                     max_instructions=PIPE_BUDGET),
+        FleetSession(benchmark="apache", seed=2020,
+                     max_instructions=PIPE_BUDGET),
+    ]
+
+    @pytest.fixture(scope="class")
+    def clean_fleet(self):
+        return run_fleet(self.SESSIONS, backend="thread")
+
+    def test_crash_once_heals_with_retry(self, clean_fleet):
+        plan = FaultPlan([FaultSpec(FaultKind.CRASH_WORKER, role="fleet",
+                                    target=1, attempt=0)])
+        fleet = run_fleet(self.SESSIONS, backend="thread", fault_plan=plan)
+        assert [result.ok for result in fleet.results] == [True, True, True]
+        assert fleet.results[1].attempts == 2
+        assert fleet.results[1].backend.endswith("+retry")
+        assert ([result.session_digest for result in fleet.results]
+                == [result.session_digest for result in clean_fleet.results])
+
+    def test_persistent_crash_becomes_structured_failure(self, clean_fleet):
+        retries = 1
+        plan = FaultPlan([
+            FaultSpec(FaultKind.CRASH_WORKER, role="fleet", target=1,
+                      attempt=attempt)
+            for attempt in range(retries + 1)
+        ])
+        fleet = run_fleet(self.SESSIONS, backend="thread", fault_plan=plan,
+                          max_retries=retries)
+        assert [result.ok for result in fleet.results] == [True, False, True]
+        failed = fleet.results[1]
+        assert failed.error
+        assert failed.stop_reason == "failed"
+        assert fleet.failures == (failed,)
+        # The neighbours are byte-identical to the clean fleet — a dying
+        # session must not perturb the ones around it.
+        for position in (0, 2):
+            assert (fleet.results[position].session_digest
+                    == clean_fleet.results[position].session_digest)
+        # Results stay in input order even with a failure in the middle.
+        assert [result.index for result in fleet.results] == [0, 1, 2]
+
+    def test_hard_kill_breaks_pool_and_reruns_inline(self, clean_fleet):
+        plan = FaultPlan([FaultSpec(FaultKind.KILL_WORKER, role="fleet",
+                                    target=0, attempt=0)])
+        fleet = run_fleet(self.SESSIONS, backend="process", fault_plan=plan)
+        assert [result.ok for result in fleet.results] == [True, True, True]
+        assert ([result.session_digest for result in fleet.results]
+                == [result.session_digest for result in clean_fleet.results])
+
+    def test_timeout_becomes_structured_failure_without_retry(self):
+        plan = FaultPlan([FaultSpec(FaultKind.STALL_WORKER, role="fleet",
+                                    target=1, stall_s=30.0)])
+        fleet = run_fleet(self.SESSIONS, backend="thread", fault_plan=plan,
+                          session_timeout_s=2.0)
+        assert [result.ok for result in fleet.results] == [True, False, True]
+        failed = fleet.results[1]
+        assert "deadline" in failed.error
+        # Retrying a timed-out session inline would stall the whole fleet
+        # behind it; the policy is report-and-move-on.
+        assert failed.attempts == 1
+
+
+@pytest.fixture(scope="module")
+def session_bytes(tmp_path_factory):
+    """One small framed session file, as bytes, for mutation tests."""
+    spec = _pipe_spec()
+    recording = Recorder(spec, RecorderOptions(max_instructions=20_000)).run()
+    manifest = SessionManifest(benchmark="apache", seed=2018,
+                               max_instructions=20_000)
+    path = tmp_path_factory.mktemp("sessions") / "clean.rnr"
+    save_session(path, manifest, recording.log, framed=True,
+                 frame_records=FRAME_RECORDS)
+    return path.read_bytes()
+
+
+def _expect_log_error_or_success(data: bytes, tmp_path: pathlib.Path):
+    """Loading damaged bytes must raise LogError or succeed — nothing else.
+
+    Some mutations are invisible (a flipped bit inside a JSON string
+    value still parses, and the manifest does not checksum itself), so
+    success is allowed; what is *never* allowed is a decoder internal —
+    struct.error, UnicodeDecodeError, KeyError, IndexError — escaping.
+    """
+    target = tmp_path / "mutated.rnr"
+    target.write_bytes(data)
+    try:
+        load_session(target)
+    except LogError:
+        pass
+
+
+class TestDamagedSessionFiles:
+    """Byte-level damage to stored sessions surfaces as LogError."""
+
+    def test_truncation_at_every_boundary(self, session_bytes, tmp_path):
+        # Cut the file at a spread of offsets including the 4-byte length
+        # prefix, mid-header, and mid-frame.
+        for cut in [0, 1, 3, 4, 10, len(session_bytes) // 2,
+                    len(session_bytes) - 1]:
+            _expect_log_error_or_success(session_bytes[:cut], tmp_path)
+
+    def test_empty_and_garbage_files(self, tmp_path):
+        for data in [b"", b"\x00", b"not a session", b"\xff" * 64]:
+            _expect_log_error_or_success(data, tmp_path)
+
+    def test_reader_rejects_trailing_garbage(self, session_bytes):
+        reader = StreamingLogReader()
+        header_length = int.from_bytes(session_bytes[:4], "big")
+        body = session_bytes[4 + header_length:]
+        with pytest.raises(LogError):
+            reader.feed_stream(body + b"\x01\x02\x03")
+
+    def test_reader_flags_out_of_order_frames(self, session_bytes):
+        from repro.rnr.serialize import parse_frame_header
+
+        header_length = int.from_bytes(session_bytes[:4], "big")
+        body = session_bytes[4 + header_length:]
+        _, first_end = parse_frame_header(body, 0)
+        first_header, _ = parse_frame_header(body, 0)
+        first_frame_end = first_end + first_header.payload_length
+        reader = StreamingLogReader()
+        with pytest.raises(LogCorruptionError, match="sequence gap"):
+            # Skip frame 0 entirely: frame 1 arrives first.
+            reader.feed_stream(body, first_frame_end)
+
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - the CI image bakes hypothesis in
+    HAVE_HYPOTHESIS = False
+
+
+if HAVE_HYPOTHESIS:
+
+    class TestSessionFuzz:
+        """Property: no mutation of a session file escapes LogError."""
+
+        @given(data=st.data())
+        @settings(max_examples=60, deadline=None,
+                  suppress_health_check=[HealthCheck.function_scoped_fixture])
+        def test_single_byte_mutations(self, data, session_bytes, tmp_path):
+            position = data.draw(
+                st.integers(0, len(session_bytes) - 1), label="position")
+            flip = data.draw(st.integers(1, 255), label="xor")
+            mutated = bytearray(session_bytes)
+            mutated[position] ^= flip
+            _expect_log_error_or_success(bytes(mutated), tmp_path)
+
+        @given(data=st.data())
+        @settings(max_examples=40, deadline=None,
+                  suppress_health_check=[HealthCheck.function_scoped_fixture])
+        def test_random_truncations(self, data, session_bytes, tmp_path):
+            cut = data.draw(
+                st.integers(0, len(session_bytes) - 1), label="cut")
+            _expect_log_error_or_success(session_bytes[:cut], tmp_path)
+
+        @given(blob=st.binary(min_size=0, max_size=512))
+        @settings(max_examples=40, deadline=None,
+                  suppress_health_check=[HealthCheck.function_scoped_fixture])
+        def test_arbitrary_blobs(self, blob, tmp_path):
+            _expect_log_error_or_success(blob, tmp_path)
+
+        @given(data=st.data())
+        @settings(max_examples=40, deadline=None,
+                  suppress_health_check=[HealthCheck.function_scoped_fixture])
+        def test_streaming_reader_on_mutated_frames(self, data,
+                                                    session_bytes):
+            header_length = int.from_bytes(session_bytes[:4], "big")
+            body = bytearray(session_bytes[4 + header_length:])
+            position = data.draw(
+                st.integers(0, len(body) - 1), label="position")
+            body[position] ^= data.draw(st.integers(1, 255), label="xor")
+            reader = StreamingLogReader()
+            try:
+                reader.feed_stream(bytes(body))
+            except LogError:
+                pass
