@@ -1,0 +1,185 @@
+"""Telemetry-overhead harness: prove the nil sink is (almost) free.
+
+Every telemetry call site in the hot paths is guarded by an
+``if telemetry is not None`` check, and ``Telemetry.for_config`` returns
+``None`` whenever ``SimulationConfig.telemetry`` is off — so a default
+run pays only the guard, never a dict lookup or an allocation.  This
+harness measures that claim and the cost of turning telemetry on:
+
+* **disabled** — the default pipelined run (nil-sink path).  This is the
+  exact configuration ``bench_pipeline.py`` measures, so any slowdown
+  here is a slowdown of the headline pipeline numbers.
+* **enabled** — the same run with ``config.telemetry = True``: real
+  counters, span stamps, and end-of-run snapshots.
+
+Host wall-clock is taken best-of-N (min over repeats) per variant to
+shave scheduler noise.  The harness also re-asserts the zero-interference
+contract on every pair: identical log bytes, final CPU state, and
+verdicts — telemetry must never reach into the simulated machine, so the
+*simulated* cycle counts (and hence ``bench_pipeline``'s ``sim_speedup``
+geomean) are untouched by construction.
+
+``--max-overhead PCT`` (used by CI) makes the run exit non-zero when the
+enabled/disabled host-time geomean exceeds the threshold or any pair
+diverges.  Emits ``BENCH_telemetry.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py           # full
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import sys
+import time
+
+from repro.core.parallel import record_and_replay_pipelined
+from repro.errors import WorkloadError
+from repro.replay.checkpointing import CheckpointingOptions
+from repro.rnr.recorder import RecorderOptions
+from repro.workloads import ALL_PROFILES, build_workload, profile_by_name
+
+DEFAULT_BUDGET = 400_000
+SMOKE_BUDGET = 100_000
+DEFAULT_REPEATS = 3
+SMOKE_REPEATS = 2
+FRAME_RECORDS = 2
+QUEUE_DEPTH = 8
+CHECKPOINT_PERIOD_S = 0.2
+
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
+
+
+def _spec(name: str, telemetry: bool):
+    spec = build_workload(profile_by_name(name))
+    if telemetry:
+        spec = dataclasses.replace(
+            spec, config=dataclasses.replace(spec.config, telemetry=True),
+        )
+    return spec
+
+
+def _run(name: str, budget: int, telemetry: bool):
+    return record_and_replay_pipelined(
+        _spec(name, telemetry),
+        RecorderOptions(max_instructions=budget),
+        CheckpointingOptions(period_s=CHECKPOINT_PERIOD_S),
+        backend="thread", frame_records=FRAME_RECORDS,
+        queue_depth=QUEUE_DEPTH,
+    )
+
+
+def _best_of(name: str, budget: int, telemetry: bool, repeats: int):
+    best_seconds, run = None, None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        candidate = _run(name, budget, telemetry)
+        elapsed = time.perf_counter() - start
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds, run = elapsed, candidate
+    return run, best_seconds
+
+
+def _digest(run):
+    verdicts = tuple(
+        (v.kind.value, v.alarm.icount, v.alarm.kind)
+        for v in (run.resolution.verdicts if run.resolution else ())
+    )
+    return (run.recording.log.to_bytes(), run.final_cpu_state, verdicts)
+
+
+def _geomean(values):
+    values = [v for v in values if v]
+    if not values:
+        return None
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--budget", type=int, default=DEFAULT_BUDGET)
+    parser.add_argument("--benchmarks", nargs="*", default=None)
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument("--max-overhead", type=float, default=None,
+                        help="fail when the enabled/disabled host-time "
+                             "geomean overhead exceeds this percentage")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI run: one workload, small budget")
+    args = parser.parse_args(argv)
+
+    names = args.benchmarks or [p.name for p in ALL_PROFILES]
+    try:
+        for name in names:
+            profile_by_name(name)
+    except WorkloadError as exc:
+        parser.error(str(exc))
+    budget, repeats = args.budget, args.repeats
+    if args.smoke:
+        names = names[:1]
+        budget = min(budget, SMOKE_BUDGET)
+        repeats = min(repeats, SMOKE_REPEATS)
+
+    report: dict = {
+        "budget": budget,
+        "repeats": repeats,
+        "benchmarks": {},
+    }
+    ratios, all_identical = [], True
+    for name in names:
+        print(f"[bench_telemetry] {name} (budget {budget}, "
+              f"best of {repeats}) ...", flush=True)
+        off_run, off_seconds = _best_of(name, budget, False, repeats)
+        on_run, on_seconds = _best_of(name, budget, True, repeats)
+        identical = _digest(off_run) == _digest(on_run)
+        all_identical = all_identical and identical
+        ratio = on_seconds / off_seconds if off_seconds else None
+        if ratio:
+            ratios.append(ratio)
+        spans = len(on_run.telemetry.spans) if on_run.telemetry else 0
+        report["benchmarks"][name] = {
+            "instructions": off_run.recording.metrics.instructions,
+            "disabled_host_seconds": round(off_seconds, 4),
+            "enabled_host_seconds": round(on_seconds, 4),
+            "overhead_pct": round((ratio - 1.0) * 100, 2) if ratio else None,
+            "spans_captured": spans,
+            "bit_identical": identical,
+        }
+        entry = report["benchmarks"][name]
+        print(f"    disabled {off_seconds:.3f}s   enabled {on_seconds:.3f}s"
+              f"   overhead {entry['overhead_pct']}%   "
+              f"spans {spans}   identical={identical}", flush=True)
+
+    geomean = _geomean(ratios)
+    report["aggregate"] = {
+        "overhead_geomean_pct": round((geomean - 1.0) * 100, 2)
+        if geomean else None,
+        "all_bit_identical": all_identical,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_telemetry] overhead geomean "
+          f"{report['aggregate']['overhead_geomean_pct']}% "
+          f"(identical={all_identical}); wrote {args.out}")
+
+    if not all_identical:
+        print("[bench_telemetry] FAIL: telemetry perturbed a run",
+              file=sys.stderr)
+        return 1
+    if (args.max_overhead is not None and geomean is not None
+            and (geomean - 1.0) * 100 > args.max_overhead):
+        print(f"[bench_telemetry] FAIL: overhead geomean exceeds "
+              f"{args.max_overhead}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,11 @@ Subcommands mirror the deployment's moving parts:
   checkpointing replayer over it, verifying the state digest;
 * ``hunt``    — the full Figure 1 pipeline in one shot, with verdicts
   (``--pipeline`` overlaps recording and checkpointing replay);
-* ``fleet``   — run many independent sessions across a worker pool;
+* ``fleet``   — run many independent sessions across a worker pool
+  (``--watch`` renders the live heartbeat board while they run);
+* ``stats``   — run one pipelined session with telemetry on and print the
+  per-phase/per-metric tables (``--prom`` for Prometheus text,
+  ``--trace`` to save a Chrome trace);
 * ``gadgets`` — scan the kernel image like an attacker would;
 * ``bench``   — print one of the regenerated figure tables.
 """
@@ -93,6 +97,67 @@ def _cmd_hunt(args) -> int:
     return 0 if not report.inconclusive else 1
 
 
+def _cmd_stats(args) -> int:
+    import dataclasses
+    import json
+
+    from repro.core.parallel import record_and_replay_pipelined
+    from repro.rnr.recorder import RecorderOptions
+
+    manifest = SessionManifest(
+        benchmark=args.benchmark, seed=args.seed, attack=args.attack,
+        max_instructions=args.budget,
+    )
+    spec = manifest.build_spec()
+    spec = dataclasses.replace(
+        spec, config=dataclasses.replace(spec.config, telemetry=True),
+    )
+    run = record_and_replay_pipelined(
+        spec, RecorderOptions(max_instructions=args.budget),
+        backend=args.pipeline_backend,
+    )
+    snapshot = run.telemetry
+    if snapshot is None:  # pragma: no cover - telemetry was forced on
+        print("no telemetry collected", file=sys.stderr)
+        return 1
+    if args.prom:
+        print(snapshot.prometheus(), end="")
+    else:
+        print(f"{spec.label}: pipelined on the {run.stats.backend} backend"
+              + (f", recovery: {run.recovery}" if run.recovery else ""))
+        print()
+        print(snapshot.tables(), end="")
+    if args.trace:
+        with open(args.trace, "w", encoding="utf-8") as sink:
+            json.dump(snapshot.chrome_trace(label=spec.label), sink)
+        print(f"chrome trace written to {args.trace}", file=sys.stderr)
+    return 0
+
+
+def _watch_fleet(run, board, total: int, interval_s: float):
+    """Run ``run()`` on a worker thread, rendering the board until done."""
+    import threading
+
+    holder: dict = {}
+
+    def target():
+        try:
+            holder["fleet"] = run()
+        except BaseException as exc:  # noqa: BLE001 - reraised below
+            holder["error"] = exc
+
+    thread = threading.Thread(target=target, name="fleet-watch", daemon=True)
+    thread.start()
+    while thread.is_alive():
+        thread.join(timeout=interval_s)
+        print(board.render(total=total))
+        print()
+    thread.join()
+    if "error" in holder:
+        raise holder["error"]
+    return holder["fleet"]
+
+
 def _cmd_fleet(args) -> int:
     from repro.core.fleet import FleetSession, run_fleet
 
@@ -105,15 +170,33 @@ def _cmd_fleet(args) -> int:
         )
         for index in range(args.width)
     ]
-    fleet = run_fleet(
-        sessions,
-        max_workers=args.workers,
-        backend=args.backend,
-        pipeline=args.pipeline,
-        pipeline_backend=args.pipeline_backend,
-        session_timeout_s=args.session_timeout,
-        max_retries=args.max_retries,
-    )
+    board = None
+    if args.watch:
+        from repro.obs.heartbeat import HeartbeatBoard
+
+        board = HeartbeatBoard(shared=(args.backend == "process"))
+
+    def run():
+        return run_fleet(
+            sessions,
+            max_workers=args.workers,
+            backend=args.backend,
+            pipeline=args.pipeline,
+            pipeline_backend=args.pipeline_backend,
+            session_timeout_s=args.session_timeout,
+            max_retries=args.max_retries,
+            telemetry=args.telemetry,
+            heartbeat=board,
+        )
+
+    if board is not None:
+        try:
+            fleet = _watch_fleet(run, board, len(sessions),
+                                 args.watch_interval)
+        finally:
+            board.shutdown()
+    else:
+        fleet = run()
     print(f"fleet of {len(fleet.results)} sessions on the {fleet.backend} "
           f"backend ({fleet.workers} workers): "
           f"{fleet.total_instructions} instructions, "
@@ -133,6 +216,9 @@ def _cmd_fleet(args) -> int:
               f"({result.dismissed_underflows} dismissed) -> {verdicts} "
               f"[{result.backend}, {result.host_seconds:.2f}s{retried}, "
               f"digest {result.session_digest[:12]}]")
+    if args.telemetry and fleet.telemetry is not None:
+        print()
+        print(fleet.telemetry.tables(), end="")
     failures = fleet.failures
     if failures:
         print(f"{len(failures)} of {len(fleet.results)} sessions failed",
@@ -239,7 +325,33 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--max-retries", type=int, metavar="N",
                        help="extra attempts granted to a crashed session "
                             "(default: config)")
+    fleet.add_argument("--watch", action="store_true",
+                       help="render the live per-session heartbeat board "
+                            "while the fleet runs")
+    fleet.add_argument("--watch-interval", type=float, default=1.0,
+                       metavar="S", help="seconds between board renders")
+    fleet.add_argument("--telemetry", action="store_true",
+                       help="collect per-session telemetry and print the "
+                            "fleet-wide rollup")
     fleet.set_defaults(func=_cmd_fleet)
+
+    stats = sub.add_parser(
+        "stats", help="run one pipelined session with telemetry and "
+                      "print per-phase/per-metric tables",
+    )
+    stats.add_argument("benchmark", choices=_BENCHMARKS)
+    stats.add_argument("--seed", type=int, default=2018)
+    stats.add_argument("--attack", choices=["rop", "jop", "dos"])
+    stats.add_argument("--budget", type=int, default=1_000_000)
+    stats.add_argument("--pipeline-backend", choices=["thread", "process"],
+                       help="pipeline backend (default: config)")
+    stats.add_argument("--prom", action="store_true",
+                       help="print Prometheus text exposition instead of "
+                            "tables")
+    stats.add_argument("--trace", metavar="FILE",
+                       help="also write a Chrome trace (load in "
+                            "chrome://tracing or Perfetto)")
+    stats.set_defaults(func=_cmd_stats)
 
     gadgets = sub.add_parser("gadgets", help="scan the kernel for gadgets")
     gadgets.add_argument("--kind", choices=["pop_reg", "load_indirect",

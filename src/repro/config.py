@@ -141,6 +141,14 @@ class SimulationConfig:
     #: as a structured failure, never retried inline (a retry would stall
     #: every session behind it).
     fleet_timeout_s: float | None = None
+    #: Collect runtime telemetry (``repro.obs``): metrics registries and
+    #: icount-stamped spans for record / CR / checkpoints / ARs / fleet,
+    #: surfaced as ``telemetry`` snapshots on run results.  Off by default;
+    #: when off no telemetry object is even constructed (nil-sink fast
+    #: path), so the hot loops pay a single ``is not None`` test per VM
+    #: exit at most.  Enabling it never changes simulated results: the
+    #: collectors read the deterministic icount but never charge cycles.
+    telemetry: bool = False
     #: Cycle-cost model.
     costs: CostModel = field(default_factory=CostModel)
 

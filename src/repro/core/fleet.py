@@ -38,6 +38,8 @@ from repro.config import DEFAULT_CONFIG
 from repro.core.parallel import record_and_replay_pipelined, resolve_alarms_parallel
 from repro.errors import HypervisorError
 from repro.faults.plan import FaultPlan
+from repro.obs.heartbeat import HeartbeatBoard
+from repro.obs.telemetry import Telemetry, TelemetrySnapshot
 from repro.replay.checkpointing import CheckpointingOptions, CheckpointingReplayer
 from repro.rnr.recorder import Recorder, RecorderOptions
 from repro.rnr.session import SessionManifest
@@ -97,6 +99,10 @@ class FleetSessionResult:
     error: str = ""
     #: Total attempts spent on this session (1 = clean first try).
     attempts: int = 1
+    #: Session-level telemetry rollup (``None`` unless the fleet ran with
+    #: ``telemetry=True``) — a picklable delta the driver merges into the
+    #: fleet-wide snapshot.
+    telemetry: TelemetrySnapshot | None = None
 
 
 def _failed_session(index: int, session: FleetSession, error: str,
@@ -135,6 +141,9 @@ class FleetResult:
     backend: str
     workers: int
     host_seconds: float
+    #: Every session's telemetry snapshot merged (``None`` unless the
+    #: fleet ran with ``telemetry=True``).
+    telemetry: TelemetrySnapshot | None = None
 
     @property
     def total_instructions(self) -> int:
@@ -160,14 +169,28 @@ def _run_one_session(payload: tuple) -> FleetSessionResult:
     """
     (index, session, pipeline, pipeline_backend,
      frame_records, queue_depth, fault_plan, attempt,
-     allow_hard_kill) = payload
+     allow_hard_kill, telemetry_on, reporter) = payload
     started = time.perf_counter()
+    session_tel = None
+    token = None
     try:
         if fault_plan is not None:
             fault_plan.fire_worker_fault(
                 "fleet", index, attempt, allow_hard_kill=allow_hard_kill,
             )
         spec = session.manifest().build_spec()
+        if telemetry_on and not spec.config.telemetry:
+            spec = replace(spec, config=replace(spec.config, telemetry=True))
+        # Non-None when telemetry is on *or* the fleet is being watched:
+        # the lifecycle span needs the former, the beats the latter.
+        session_tel = Telemetry.for_config(spec.config, "fleet",
+                                           heartbeat=reporter)
+        if session_tel is not None:
+            session_tel.beat("start")
+            token = session_tel.begin(
+                "session", "fleet", 0,
+                index=index, benchmark=session.benchmark, seed=session.seed,
+            )
         recorder_options = RecorderOptions(
             max_instructions=session.max_instructions,
         )
@@ -178,15 +201,24 @@ def _run_one_session(payload: tuple) -> FleetSessionResult:
                 backend=pipeline_backend,
                 frame_records=frame_records,
                 queue_depth=queue_depth,
+                heartbeat=reporter,
             )
             recording = run.recording
             checkpointing = run.checkpointing
             verdicts = run.resolution.verdicts
             backend = f"pipeline-{run.stats.backend}"
+            run_telemetry = run.telemetry
         else:
-            recording = Recorder(spec, recorder_options).run()
+            rec_tel = (Telemetry.for_config(spec.config, "record",
+                                            heartbeat=reporter)
+                       if reporter is not None else None)
+            recording = Recorder(spec, recorder_options,
+                                 telemetry=rec_tel).run()
+            cr_tel = (Telemetry.for_config(spec.config, "cr",
+                                           heartbeat=reporter)
+                      if reporter is not None else None)
             checkpointing = CheckpointingReplayer(
-                spec, recording.log, cr_options,
+                spec, recording.log, cr_options, telemetry=cr_tel,
             ).run_to_end()
             resolution = resolve_alarms_parallel(
                 spec, recording.log, checkpointing.pending_alarms,
@@ -194,13 +226,28 @@ def _run_one_session(payload: tuple) -> FleetSessionResult:
             )
             verdicts = resolution.verdicts
             backend = "sequential"
+            run_telemetry = (TelemetrySnapshot.merged(
+                [recording.telemetry, checkpointing.telemetry,
+                 resolution.telemetry], actor="session",
+            ) if telemetry_on else None)
     except Exception as exc:  # noqa: BLE001 - folded into the result
+        if reporter is not None:
+            reporter.publish("failed")
         return _failed_session(
             index, session, f"{type(exc).__name__}: {exc}",
             attempts=attempt + 1, backend="worker",
             host_seconds=time.perf_counter() - started,
         )
     log_bytes = recording.log.to_bytes()
+    telemetry_snapshot = None
+    if session_tel is not None:
+        final_icount = recording.metrics.instructions
+        session_tel.end(token, final_icount, stop=recording.stop_reason)
+        session_tel.beat("done", icount=final_icount)
+        if telemetry_on:
+            telemetry_snapshot = TelemetrySnapshot.merged(
+                [run_telemetry, session_tel.snapshot()], actor="session",
+            )
     return FleetSessionResult(
         index=index,
         benchmark=session.benchmark,
@@ -219,6 +266,7 @@ def _run_one_session(payload: tuple) -> FleetSessionResult:
         pipelined=pipeline,
         backend=backend,
         attempts=attempt + 1,
+        telemetry=telemetry_snapshot,
     )
 
 
@@ -295,6 +343,14 @@ def _collect_fleet(pool, payload_for, sessions, *, hard_kill: bool,
     return tuple(results)
 
 
+def _fleet_telemetry(results) -> TelemetrySnapshot | None:
+    """Merge every session's snapshot into the fleet-wide rollup."""
+    snapshots = [result.telemetry for result in results
+                 if result.telemetry is not None]
+    return (TelemetrySnapshot.merged(snapshots, actor="fleet")
+            if snapshots else None)
+
+
 def run_fleet(
     sessions: list[FleetSession],
     *,
@@ -307,6 +363,8 @@ def run_fleet(
     fault_plan: FaultPlan | None = None,
     session_timeout_s: float | None = None,
     max_retries: int | None = None,
+    telemetry: bool = False,
+    heartbeat: HeartbeatBoard | None = None,
 ) -> FleetResult:
     """Run every session across a worker pool; results in input order.
 
@@ -326,6 +384,14 @@ def run_fleet(
     workers grant the session ``max_retries`` inline re-runs first.
     ``fault_plan`` injects worker faults for testing (``None`` = zero
     overhead).
+
+    ``telemetry`` turns on per-session metric/span collection (each
+    result carries a picklable snapshot; :attr:`FleetResult.telemetry`
+    is their merge).  ``heartbeat`` is an optional
+    :class:`~repro.obs.heartbeat.HeartbeatBoard`: sessions publish
+    liveness rows into it while they run (build it with ``shared=True``
+    for the process backend), which is what ``repro fleet --watch``
+    renders.  Both are off by default and cost nothing when off.
     """
     if backend not in ("thread", "process"):
         raise HypervisorError(
@@ -340,8 +406,11 @@ def run_fleet(
         max_retries = DEFAULT_CONFIG.fleet_max_retries
 
     def payload_for(index: int, attempt: int, hard_kill: bool) -> tuple:
+        reporter = (heartbeat.reporter(index)
+                    if heartbeat is not None else None)
         return (index, sessions[index], pipeline, pipeline_backend,
-                frame_records, queue_depth, fault_plan, attempt, hard_kill)
+                frame_records, queue_depth, fault_plan, attempt, hard_kill,
+                telemetry, reporter)
 
     workers = min(max_workers if max_workers is not None else len(sessions),
                   len(sessions))
@@ -353,7 +422,8 @@ def run_fleet(
             result = _rerun_inline(payload_for, 0, sessions[0],
                                    result.error, max_retries)
         return FleetResult(results=(result,), backend="inline", workers=1,
-                           host_seconds=time.perf_counter() - started)
+                           host_seconds=time.perf_counter() - started,
+                           telemetry=_fleet_telemetry((result,)))
     if backend == "process":
         try:
             workers_capped = max(1, min(workers, os.cpu_count() or 1))
@@ -366,6 +436,7 @@ def run_fleet(
             return FleetResult(
                 results=results, backend="process", workers=workers_capped,
                 host_seconds=time.perf_counter() - started,
+                telemetry=_fleet_telemetry(results),
             )
         except (OSError, ValueError, TypeError, AttributeError,
                 ImportError, pickle.PicklingError, BrokenExecutor):
@@ -379,4 +450,5 @@ def run_fleet(
             backend="thread",
         )
     return FleetResult(results=results, backend="thread", workers=workers,
-                       host_seconds=time.perf_counter() - started)
+                       host_seconds=time.perf_counter() - started,
+                       telemetry=_fleet_telemetry(results))

@@ -74,6 +74,7 @@ from repro.errors import (
 from repro.faults.injector import FaultyFrameEmitter, retry_with_backoff
 from repro.faults.plan import FaultPlan, InjectedWorkerCrash
 from repro.hypervisor.machine import MachineSpec
+from repro.obs.telemetry import Telemetry, TelemetrySnapshot
 from repro.replay.alarm import AlarmReplayer, AlarmReplayOptions
 from repro.replay.checkpoint import Checkpoint, CheckpointStore
 from repro.replay.checkpointing import (
@@ -102,6 +103,10 @@ class ParallelResolution:
     verdicts: tuple[AlarmVerdict, ...]
     #: Backend that actually ran the batch ("inline", "thread", "process").
     backend: str = "thread"
+    #: Merged AR-side telemetry (``None`` unless ``config.telemetry``) —
+    #: every worker ships its snapshot back with its verdict, whatever
+    #: the backend.
+    telemetry: TelemetrySnapshot | None = None
 
     @property
     def attacks(self) -> tuple[AlarmVerdict, ...]:
@@ -122,12 +127,16 @@ class ParallelResolution:
 def _analyze_from(spec: MachineSpec, log: InputLog, alarm: AlarmRecord,
                   checkpoint: Checkpoint | None,
                   store: CheckpointStore | None,
-                  options: AlarmReplayOptions | None) -> AlarmVerdict:
+                  options: AlarmReplayOptions | None,
+                  ) -> tuple[AlarmVerdict, TelemetrySnapshot | None]:
     """Run one AR from a pre-selected checkpoint to its verdict.
 
     The streaming pipeline captures ``checkpoint`` on the CR's thread the
     moment the alarm is confirmed, so the analysis dispatched to a worker
     starts from the same checkpoint a sequential run would have used.
+    Returns the verdict plus the AR's telemetry snapshot (``None`` unless
+    ``config.telemetry``) — a uniform pair regardless of backend, so the
+    pipeline aggregates per-AR metrics without a second channel.
     """
     replayer = AlarmReplayer(
         spec, log, alarm,
@@ -135,12 +144,16 @@ def _analyze_from(spec: MachineSpec, log: InputLog, alarm: AlarmRecord,
         store=store,
         options=options if options is not None else AlarmReplayOptions(),
     )
-    return replayer.analyze()
+    verdict = replayer.analyze()
+    snapshot = (replayer.telemetry.snapshot()
+                if replayer.telemetry is not None else None)
+    return verdict, snapshot
 
 
 def _analyze_one(spec: MachineSpec, log: InputLog, alarm: AlarmRecord,
                  store: CheckpointStore | None,
-                 options: AlarmReplayOptions | None) -> AlarmVerdict:
+                 options: AlarmReplayOptions | None,
+                 ) -> tuple[AlarmVerdict, TelemetrySnapshot | None]:
     """Run one AR to its verdict (shared by every backend)."""
     checkpoint = (store.latest_before(alarm.icount)
                   if store is not None else None)
@@ -148,6 +161,22 @@ def _analyze_one(spec: MachineSpec, log: InputLog, alarm: AlarmRecord,
         spec, log, alarm, checkpoint,
         store if checkpoint is not None else None, options,
     )
+
+
+def _resolution_from(results, backend: str,
+                     batch_telemetry: Telemetry | None = None,
+                     ) -> ParallelResolution:
+    """Assemble a :class:`ParallelResolution` from (verdict, snap) pairs,
+    folding per-AR snapshots (and batch-side counters such as retry
+    attempts) into one merged telemetry snapshot."""
+    verdicts = tuple(pair[0] for pair in results)
+    snapshots = [pair[1] for pair in results if pair[1] is not None]
+    if batch_telemetry is not None:
+        snapshots.append(batch_telemetry.snapshot())
+    telemetry = (TelemetrySnapshot.merged(snapshots, actor="ar")
+                 if snapshots else None)
+    return ParallelResolution(verdicts=verdicts, backend=backend,
+                              telemetry=telemetry)
 
 
 # Per-worker-process state, installed once by ``_init_ar_worker`` so the
@@ -167,8 +196,8 @@ def _init_ar_worker(spec: MachineSpec, log_bytes: bytes,
     _WORKER_STATE["fault_plan"] = fault_plan
 
 
-def _analyze_in_worker(alarm_bytes: bytes, index: int = 0,
-                       attempt: int = 0) -> AlarmVerdict:
+def _analyze_in_worker(alarm_bytes: bytes, index: int = 0, attempt: int = 0
+                       ) -> tuple[AlarmVerdict, TelemetrySnapshot | None]:
     plan = _WORKER_STATE.get("fault_plan")
     if plan is not None:
         plan.fire_worker_fault("ar", index, attempt, allow_hard_kill=True)
@@ -180,9 +209,11 @@ def _analyze_in_worker(alarm_bytes: bytes, index: int = 0,
 
 
 def _collect_verdicts(submit, count: int, *, timeout_s: float | None,
-                      retries: int, backoff_s: float,
-                      role: str) -> tuple[AlarmVerdict, ...]:
-    """Gather one verdict per task with per-task deadlines and retries.
+                      retries: int, backoff_s: float, role: str,
+                      telemetry: Telemetry | None = None,
+                      ) -> tuple[tuple[AlarmVerdict,
+                                       TelemetrySnapshot | None], ...]:
+    """Gather one (verdict, AR snapshot) per task with deadlines/retries.
 
     ``submit(index, attempt)`` must return a future.  All first attempts
     are in flight before any result is awaited, so the happy path keeps
@@ -196,7 +227,9 @@ def _collect_verdicts(submit, count: int, *, timeout_s: float | None,
     futures = [submit(index, 0) for index in range(count)]
     verdicts = []
     for index in range(count):
-        def run_attempt(attempt: int, index: int = index) -> AlarmVerdict:
+        def run_attempt(attempt: int, index: int = index):
+            if attempt and telemetry is not None:
+                telemetry.count_tagged("ar.retry_attempts", role)
             future = (futures[index] if attempt == 0
                       else submit(index, attempt))
             try:
@@ -258,8 +291,9 @@ def resolve_alarms_parallel(
         return ParallelResolution(verdicts=(), backend="inline")
     if len(alarms) == 1 and fault_plan is None:
         # An executor for a single AR is pure overhead: run it inline.
-        verdict = _analyze_one(spec, log, alarms[0], store, options)
-        return ParallelResolution(verdicts=(verdict,), backend="inline")
+        return _resolution_from(
+            [_analyze_one(spec, log, alarms[0], store, options)], "inline",
+        )
 
     workers = min(max_workers, len(alarms))
     if backend == "process":
@@ -275,19 +309,20 @@ def resolve_alarms_parallel(
             # GIL-bound thread backend rather than failing the analysis.
             pass
 
-    def analyze(index: int, attempt: int) -> AlarmVerdict:
+    def analyze(index: int, attempt: int):
         if fault_plan is not None:
             fault_plan.fire_worker_fault("ar", index, attempt,
                                          allow_hard_kill=False)
         return _analyze_one(spec, log, alarms[index], store, options)
 
+    batch_tel = Telemetry.for_config(config, "pipeline")
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        verdicts = _collect_verdicts(
+        results = _collect_verdicts(
             lambda index, attempt: pool.submit(analyze, index, attempt),
             len(alarms), timeout_s=timeout_s, retries=max_retries,
-            backoff_s=backoff_s, role="thread",
+            backoff_s=backoff_s, role="thread", telemetry=batch_tel,
         )
-    return ParallelResolution(verdicts=verdicts, backend="thread")
+    return _resolution_from(results, "thread", batch_tel)
 
 
 def _resolve_with_processes(
@@ -306,18 +341,19 @@ def _resolve_with_processes(
     workers = max(1, min(workers, cpu_count))
     log_bytes = log.to_bytes()
     alarm_payloads = [serialize_record(alarm) for alarm in alarms]
+    batch_tel = Telemetry.for_config(spec.config, "pipeline")
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_ar_worker,
         initargs=(spec, log_bytes, store, options, fault_plan),
     ) as pool:
-        verdicts = _collect_verdicts(
+        results = _collect_verdicts(
             lambda index, attempt: pool.submit(
                 _analyze_in_worker, alarm_payloads[index], index, attempt),
             len(alarms), timeout_s=timeout_s, retries=max_retries,
-            backoff_s=backoff_s, role="process",
+            backoff_s=backoff_s, role="process", telemetry=batch_tel,
         )
-    return ParallelResolution(verdicts=verdicts, backend="process")
+    return _resolution_from(results, "process", batch_tel)
 
 
 # ----------------------------------------------------------------------
@@ -354,6 +390,53 @@ class PipelineStats:
     consumed_cycles: tuple[int, ...]
 
 
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One typed recovery action the pipeline took to heal a torn run."""
+
+    #: What the heal did: ``"cr-resumed"`` (restarted from the dead CR's
+    #: last completed checkpoint) or ``"cr-restarted"`` (from scratch).
+    kind: str
+    #: What tore the stream (CRC mismatch, sequence gap, dead worker, ...).
+    cause: str
+    #: Icount window the heal re-replayed: ``(anchor, end)`` — the anchor
+    #: is the resume checkpoint's icount (0 for a restart).
+    window: tuple[int, int] = (0, 0)
+    #: Recovery attempts consumed (the pipeline heals in one pass today;
+    #: fleet-level retries layer on top).
+    attempts: int = 1
+
+    @property
+    def icount(self) -> int:
+        """The resume anchor (0 when the CR restarted from scratch)."""
+        return self.window[0]
+
+    def __str__(self) -> str:
+        how = (f"{self.kind}@{self.window[0]}" if self.kind == "cr-resumed"
+               else self.kind)
+        return f"{how}: {self.cause}"
+
+
+class RecoveryAudit(tuple):
+    """An ordered tuple of :class:`RecoveryEvent`, string-compatible with
+    the free-form audit string it replaced: ``str()`` renders the old
+    ``"cr-resumed@<icount>: <cause>"`` form, and substring / ``startswith``
+    checks keep working against that rendering."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "; ".join(str(event) for event in self)
+
+    def startswith(self, prefix: str) -> bool:
+        return str(self).startswith(prefix)
+
+    def __contains__(self, item) -> bool:
+        if isinstance(item, str):
+            return item in str(self)
+        return tuple.__contains__(self, item)
+
+
 @dataclass
 class PipelinedRun:
     """Everything one pipelined record+replay(+AR) run produced.
@@ -374,9 +457,14 @@ class PipelinedRun:
     stats: PipelineStats
     #: ``None`` for a clean run.  When the streamed replay was torn
     #: (corrupt/lost frame, dead CR worker) and the pipeline healed it
-    #: from the recorder's authoritative tee log, this says how — e.g.
-    #: ``"cr-resumed@120000: frame payload CRC mismatch ..."``.
-    recovery: str | None = None
+    #: from the recorder's authoritative tee log, this audit lists the
+    #: typed :class:`RecoveryEvent` actions taken; ``str()`` renders the
+    #: legacy form, e.g. ``"cr-resumed@120000: frame payload CRC ..."``.
+    recovery: RecoveryAudit | None = None
+    #: Run-level telemetry: the recorder's, CR's, every AR's, and the
+    #: pipeline executor's snapshots merged (``None`` unless
+    #: ``config.telemetry``).
+    telemetry: TelemetrySnapshot | None = None
 
 
 class _TornStream(Exception):
@@ -409,13 +497,14 @@ def _consume_frames(spec: MachineSpec,
                     ar_options: AlarmReplayOptions | None,
                     max_ar_workers: int,
                     fault_plan: FaultPlan | None = None,
-                    allow_hard_kill: bool = False):
+                    allow_hard_kill: bool = False,
+                    heartbeat=None):
     """Run the CR over a frame queue; dispatch ARs as alarms confirm.
 
     This is the consumer half of both pipeline backends — it runs on the
     consumer thread (thread backend) or inside the CR process (process
     backend).  Returns ``(checkpointing_result, final_cpu_state,
-    verdicts_or_None, cursor)``.
+    verdicts_or_None, cursor, ar_snapshots)``.
 
     AR dispatch is asynchronous: the moment the CR confirms an alarm the
     listener captures the latest preceding checkpoint (synchronously, on
@@ -446,15 +535,37 @@ def _consume_frames(spec: MachineSpec,
             ))
         store = replayer.store
         checkpoint = store.latest_before(alarm.icount)
-        futures.append(ar_pool[0].submit(
+        future = ar_pool[0].submit(
             _analyze_from, spec, log, alarm, checkpoint,
             store if checkpoint is not None else None, ar_options,
-        ))
+        )
+        tel = replayer.telemetry
+        if tel is not None:
+            # Dispatch→verdict span, stamped on the CR's tracer: begins
+            # the moment the CR confirms the alarm, ends when the AR's
+            # verdict future completes — §8.4's response window, live.
+            token = tel.begin("ar_dispatch", "ar",
+                             replayer.machine.cpu.icount,
+                             alarm_icount=alarm.icount)
 
+            def on_verdict(done, token=token, icount=alarm.icount):
+                exc = done.exception()
+                if exc is not None:
+                    tel.end(token, icount, error=type(exc).__name__)
+                else:
+                    tel.end(token, icount,
+                            verdict=done.result()[0].kind.value)
+
+            future.add_done_callback(on_verdict)
+        futures.append(future)
+
+    cr_tel = (Telemetry.for_config(spec.config, "cr", heartbeat=heartbeat)
+              if heartbeat is not None else None)
     replayer = CheckpointingReplayer(
         spec, log, cr_options,
         cursor=cursor,
         pending_alarm_listener=dispatch if resolve_ars else None,
+        telemetry=cr_tel,
     )
     cursor.clock = lambda: replayer.machine.now
     try:
@@ -482,12 +593,22 @@ def _consume_frames(spec: MachineSpec,
                 tuple(cursor.frame_consumed_cycles),
                 stream_closed=cursor.closed,
             )
-        verdicts = (tuple(future.result() for future in futures)
-                    if resolve_ars else None)
+        verdicts = None
+        ar_snapshots: tuple = ()
+        if resolve_ars:
+            pairs = [future.result() for future in futures]
+            verdicts = tuple(pair[0] for pair in pairs)
+            ar_snapshots = tuple(pair[1] for pair in pairs
+                                 if pair[1] is not None)
+            if pairs and replayer.telemetry is not None:
+                # Re-snapshot: the dispatch→verdict spans close on AR
+                # completion, after run_to_end() sampled.
+                result.telemetry = replayer.sample_telemetry()
     finally:
         if ar_pool:
             ar_pool[0].shutdown(wait=True)
-    return result, replayer.machine.cpu.capture_state(), verdicts, cursor
+    return (result, replayer.machine.cpu.capture_state(), verdicts, cursor,
+            ar_snapshots)
 
 
 def _recover_torn_stream(spec: MachineSpec,
@@ -498,7 +619,8 @@ def _recover_torn_stream(spec: MachineSpec,
                          ar_options: AlarmReplayOptions | None,
                          max_ar_workers: int,
                          stats: PipelineStats,
-                         cause: str) -> PipelinedRun:
+                         cause: str,
+                         telemetry: Telemetry | None = None) -> PipelinedRun:
     """Heal a torn pipelined run from the recorder's tee log.
 
     The recorder's in-memory :class:`~repro.rnr.log.RecordingLogTee` kept
@@ -507,18 +629,28 @@ def _recover_torn_stream(spec: MachineSpec,
     resume state, replay restarts from its last completed checkpoint
     (skipping everything already verified); otherwise it reruns from the
     beginning.  ARs are then resolved from the healed store, so the final
-    verdicts are bit-identical to a sequential run.
+    verdicts are bit-identical to a sequential run.  The heal is recorded
+    as a typed :class:`RecoveryEvent` (and, when ``telemetry`` is on, as a
+    ``recover`` span covering the re-replayed window).
     """
     if resume_state is not None and resume_state.checkpoint_icount is not None:
         replayer = CheckpointingReplayer.resume(
             spec, recording.log, cr_options, resume_state,
         )
-        how = f"cr-resumed@{resume_state.checkpoint_icount}"
+        kind = "cr-resumed"
+        anchor = resume_state.checkpoint_icount
     else:
         replayer = CheckpointingReplayer(spec, recording.log, cr_options)
-        how = "cr-restarted"
+        kind = "cr-restarted"
+        anchor = 0
+    token = (telemetry.begin("recover", "recover", anchor, cause=cause)
+             if telemetry is not None else None)
     result = replayer.run_to_end()
     cpu_state = replayer.machine.cpu.capture_state()
+    end_icount = replayer.machine.cpu.icount
+    if telemetry is not None:
+        telemetry.count_tagged("pipeline.recoveries", kind)
+        telemetry.end(token, end_icount, kind=kind)
     resolution = None
     if resolve_ars:
         batch = resolve_alarms_parallel(
@@ -529,21 +661,25 @@ def _recover_torn_stream(spec: MachineSpec,
         resolution = ParallelResolution(
             verdicts=batch.verdicts,
             backend=f"recovered-{batch.backend}",
+            telemetry=batch.telemetry,
         )
+    event = RecoveryEvent(kind=kind, cause=cause,
+                          window=(anchor, end_icount))
     return PipelinedRun(
         recording=recording,
         checkpointing=result,
         final_cpu_state=cpu_state,
         resolution=resolution,
         stats=stats,
-        recovery=f"{how}: {cause}",
+        recovery=RecoveryAudit((event,)),
     )
 
 
 def _run_producer(spec: MachineSpec,
                   recorder_options: RecorderOptions | None,
                   frame_records: int,
-                  emit_frame) -> tuple[RecordingRun, list[int]]:
+                  emit_frame,
+                  heartbeat=None) -> tuple[RecordingRun, list[int]]:
     """Record through a tee whose frames flow to ``emit_frame``.
 
     Returns the recording and the per-frame production timeline.  The tee
@@ -557,12 +693,36 @@ def _run_producer(spec: MachineSpec,
         emit_frame(frame)
 
     tee = RecordingLogTee(StreamingLogWriter(frame_records, on_frame=on_frame))
-    recorder = Recorder(spec, recorder_options, log=tee)
+    rec_tel = (Telemetry.for_config(spec.config, "record", heartbeat=heartbeat)
+               if heartbeat is not None else None)
+    recorder = Recorder(spec, recorder_options, log=tee, telemetry=rec_tel)
     try:
         recording = recorder.run()
     finally:
         tee.finish()
     return recording, produced_cycles
+
+
+def _sampled_emit(telemetry: Telemetry, frames, emit):
+    """Wrap a frame emitter with queue-depth/volume sampling.
+
+    Only installed when telemetry is on, so the nil-sink hot path keeps
+    the bare ``queue.put``.  ``qsize`` is advisory (and unimplemented for
+    ``multiprocessing.Queue`` on some platforms) — depth sampling degrades
+    to nothing rather than failing the pipeline.
+    """
+    depth = telemetry.registry.histogram("pipeline.queue_depth")
+    emitted = telemetry.registry.counter("pipeline.frames_emitted")
+
+    def sampled(frame: bytes):
+        emit(frame)
+        emitted.add(len(frame))
+        try:
+            depth.observe(frames.qsize())
+        except (NotImplementedError, OSError):
+            pass
+
+    return sampled
 
 
 def _pipelined_threads(spec: MachineSpec,
@@ -573,7 +733,9 @@ def _pipelined_threads(spec: MachineSpec,
                        resolve_ars: bool,
                        ar_options: AlarmReplayOptions | None,
                        max_ar_workers: int,
-                       fault_plan: FaultPlan | None = None) -> PipelinedRun:
+                       fault_plan: FaultPlan | None = None,
+                       telemetry: Telemetry | None = None,
+                       heartbeat=None) -> PipelinedRun:
     frames: "queue_mod.Queue" = queue_mod.Queue(maxsize=queue_depth)
     outcome: dict = {}
 
@@ -583,6 +745,7 @@ def _pipelined_threads(spec: MachineSpec,
                 spec, cr_options, frames.get,
                 resolve_ars, ar_options, max_ar_workers,
                 fault_plan=fault_plan, allow_hard_kill=False,
+                heartbeat=heartbeat,
             )
         except BaseException as exc:  # noqa: BLE001 - reraised in parent
             outcome["error"] = exc
@@ -597,14 +760,17 @@ def _pipelined_threads(spec: MachineSpec,
                                 daemon=True)
     consumer.start()
     emit = frames.put
+    if telemetry is not None:
+        emit = _sampled_emit(telemetry, frames, emit)
     if fault_plan is not None:
-        emit = FaultyFrameEmitter(fault_plan, frames.put)
+        emit = FaultyFrameEmitter(fault_plan, emit, telemetry=telemetry)
     producer_error: BaseException | None = None
     recording = None
     produced_cycles: list[int] = []
     try:
         recording, produced_cycles = _run_producer(
             spec, recorder_options, frame_records, emit,
+            heartbeat=heartbeat,
         )
     except BaseException as exc:  # noqa: BLE001 - reraised below
         producer_error = exc
@@ -629,10 +795,10 @@ def _pipelined_threads(spec: MachineSpec,
                 spec, recording, cr_options,
                 torn.resume_state if torn else None,
                 resolve_ars, ar_options, max_ar_workers, stats,
-                str(error),
+                str(error), telemetry=telemetry,
             )
         raise error
-    result, cpu_state, verdicts, cursor = outcome["value"]
+    result, cpu_state, verdicts, cursor, ar_snapshots = outcome["value"]
     stats = PipelineStats(
         backend="thread",
         frame_records=frame_records,
@@ -641,9 +807,11 @@ def _pipelined_threads(spec: MachineSpec,
         produced_cycles=tuple(produced_cycles),
         consumed_cycles=tuple(cursor.frame_consumed_cycles),
     )
-    resolution = (ParallelResolution(verdicts=verdicts,
-                                     backend="pipeline-thread")
-                  if resolve_ars else None)
+    resolution = (ParallelResolution(
+        verdicts=verdicts, backend="pipeline-thread",
+        telemetry=(TelemetrySnapshot.merged(ar_snapshots, actor="ar")
+                   if ar_snapshots else None),
+    ) if resolve_ars else None)
     return PipelinedRun(
         recording=recording,
         checkpointing=result,
@@ -654,13 +822,15 @@ def _pipelined_threads(spec: MachineSpec,
 
 
 def _pipeline_cr_process(conn, frames, spec, cr_options, resolve_ars,
-                         ar_options, max_ar_workers, fault_plan=None):
+                         ar_options, max_ar_workers, fault_plan=None,
+                         heartbeat=None):
     """Entry point of the CR process (process backend)."""
     try:
-        result, cpu_state, verdicts, cursor = _consume_frames(
+        result, cpu_state, verdicts, cursor, ar_snapshots = _consume_frames(
             spec, cr_options, frames.get,
             resolve_ars, ar_options, max_ar_workers,
             fault_plan=fault_plan, allow_hard_kill=True,
+            heartbeat=heartbeat,
         )
         conn.send({
             "error": None,
@@ -669,6 +839,7 @@ def _pipeline_cr_process(conn, frames, spec, cr_options, resolve_ars,
             "verdicts": verdicts,
             "frames": tuple(cursor.reader.frames),
             "consumed_cycles": tuple(cursor.frame_consumed_cycles),
+            "ar_telemetry": ar_snapshots,
         })
     except (_TornStream, InjectedWorkerCrash) as exc:
         # Recoverable consumer death: drain the producer, then ship the
@@ -728,14 +899,16 @@ def _pipelined_processes(spec: MachineSpec,
                          resolve_ars: bool,
                          ar_options: AlarmReplayOptions | None,
                          max_ar_workers: int,
-                         fault_plan: FaultPlan | None = None) -> PipelinedRun:
+                         fault_plan: FaultPlan | None = None,
+                         telemetry: Telemetry | None = None,
+                         heartbeat=None) -> PipelinedRun:
     ctx = multiprocessing.get_context()
     frames = ctx.Queue(maxsize=queue_depth)
     recv_conn, send_conn = ctx.Pipe(duplex=False)
     worker = ctx.Process(
         target=_pipeline_cr_process,
         args=(send_conn, frames, spec, cr_options, resolve_ars,
-              ar_options, max_ar_workers, fault_plan),
+              ar_options, max_ar_workers, fault_plan, heartbeat),
         name="pipeline-cr",
         daemon=True,
     )
@@ -745,8 +918,10 @@ def _pipelined_processes(spec: MachineSpec,
     def emit(frame: bytes):
         frames.put(frame, timeout=_PIPE_TIMEOUT_S)
 
+    if telemetry is not None:
+        emit = _sampled_emit(telemetry, frames, emit)
     if fault_plan is not None:
-        emit = FaultyFrameEmitter(fault_plan, emit)
+        emit = FaultyFrameEmitter(fault_plan, emit, telemetry=telemetry)
 
     producer_error: BaseException | None = None
     recording = None
@@ -754,6 +929,7 @@ def _pipelined_processes(spec: MachineSpec,
     try:
         recording, produced_cycles = _run_producer(
             spec, recorder_options, frame_records, emit,
+            heartbeat=heartbeat,
         )
     except BaseException as exc:  # noqa: BLE001 - reraised below
         producer_error = exc
@@ -804,6 +980,7 @@ def _pipelined_processes(spec: MachineSpec,
             spec, recording, cr_options,
             torn["resume_state"] if torn else None,
             resolve_ars, ar_options, max_ar_workers, stats, cause,
+            telemetry=telemetry,
         )
 
     if cr_death is not None:
@@ -826,9 +1003,12 @@ def _pipelined_processes(spec: MachineSpec,
         produced_cycles=tuple(produced_cycles),
         consumed_cycles=payload["consumed_cycles"],
     )
-    resolution = (ParallelResolution(verdicts=payload["verdicts"],
-                                     backend="pipeline-process")
-                  if resolve_ars else None)
+    ar_snapshots = payload.get("ar_telemetry", ())
+    resolution = (ParallelResolution(
+        verdicts=payload["verdicts"], backend="pipeline-process",
+        telemetry=(TelemetrySnapshot.merged(ar_snapshots, actor="ar")
+                   if ar_snapshots else None),
+    ) if resolve_ars else None)
     return PipelinedRun(
         recording=recording,
         checkpointing=payload["checkpointing"],
@@ -850,6 +1030,7 @@ def record_and_replay_pipelined(
     ar_options: AlarmReplayOptions | None = None,
     max_ar_workers: int = 4,
     fault_plan: FaultPlan | None = None,
+    heartbeat=None,
 ) -> PipelinedRun:
     """Record and checkpoint-replay one session as a streaming pipeline.
 
@@ -875,6 +1056,13 @@ def record_and_replay_pipelined(
     signal this whole system exists to raise.  ``fault_plan`` injects
     transport/worker faults for testing; the default ``None`` leaves the
     hot paths exactly as they were.
+
+    ``heartbeat`` is an optional
+    :class:`~repro.obs.heartbeat.HeartbeatReporter`: when supplied, the
+    recorder and CR publish liveness beats from inside their run loops
+    (rate-limited by the deterministic icount) — the fleet's ``--watch``
+    hook.  It forces telemetry objects into existence even when
+    ``config.telemetry`` is off, but never changes simulated results.
     """
     config = spec.config
     if backend is None:
@@ -895,19 +1083,42 @@ def record_and_replay_pipelined(
         )
     if cr_options is None:
         cr_options = CheckpointingOptions()
+    pipeline_tel = Telemetry.for_config(config, "pipeline")
+    token = (pipeline_tel.begin("pipeline", "phase", 0, backend=backend)
+             if pipeline_tel is not None else None)
+
+    def finish(run: PipelinedRun) -> PipelinedRun:
+        """Merge per-phase snapshots into the run-level rollup."""
+        if pipeline_tel is None:
+            return run
+        pipeline_tel.end(token, getattr(run.final_cpu_state, "icount", 0),
+                         recovered=run.recovery is not None)
+        parts = [
+            run.recording.telemetry,
+            run.checkpointing.telemetry,
+            run.resolution.telemetry if run.resolution is not None else None,
+            pipeline_tel.snapshot(),
+        ]
+        run.telemetry = TelemetrySnapshot.merged(
+            [part for part in parts if part is not None], actor="run",
+        )
+        return run
+
     if backend == "process":
         try:
-            return _pipelined_processes(
+            return finish(_pipelined_processes(
                 spec, recorder_options, cr_options, frame_records,
                 queue_depth, resolve_ars, ar_options, max_ar_workers,
-                fault_plan=fault_plan,
-            )
+                fault_plan=fault_plan, telemetry=pipeline_tel,
+                heartbeat=heartbeat,
+            ))
         except _PROCESS_FALLBACK_ERRORS:
             # No usable CR process (sandboxed platform, unpicklable
             # state, ...): the thread backend produces identical results.
             pass
-    return _pipelined_threads(
+    return finish(_pipelined_threads(
         spec, recorder_options, cr_options, frame_records,
         queue_depth, resolve_ars, ar_options, max_ar_workers,
-        fault_plan=fault_plan,
-    )
+        fault_plan=fault_plan, telemetry=pipeline_tel,
+        heartbeat=heartbeat,
+    ))

@@ -21,9 +21,10 @@ class FaultyFrameEmitter:
     k-th frame the producer emitted", independent of transport.
     """
 
-    def __init__(self, plan: FaultPlan, emit):
+    def __init__(self, plan: FaultPlan, emit, telemetry=None):
         self._plan = plan
         self._emit = emit
+        self._telemetry = telemetry
         self._next_index = 0
         #: Frames the plan swallowed (observability for tests/audits).
         self.dropped: list[int] = []
@@ -32,9 +33,14 @@ class FaultyFrameEmitter:
         index = self._next_index
         self._next_index += 1
         mutated = self._plan.apply_to_frame(index, frame)
+        tel = self._telemetry
         if mutated is None:
             self.dropped.append(index)
+            if tel is not None:
+                tel.count_tagged("faults.frames", "dropped")
             return
+        if tel is not None and mutated is not frame:
+            tel.count_tagged("faults.frames", "corrupted")
         self._emit(mutated)
 
 

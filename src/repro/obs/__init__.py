@@ -1,0 +1,56 @@
+"""Runtime observability: metrics, icount-stamped spans, heartbeats.
+
+Everything is zero-dependency and off by default — see
+``SimulationConfig.telemetry`` and :meth:`Telemetry.for_config` for the
+nil-sink fast path, and ``docs/OBSERVABILITY.md`` for the metric catalog
+and span taxonomy.
+"""
+
+from repro.obs.heartbeat import (
+    HeartbeatBoard,
+    HeartbeatReporter,
+    HeartbeatRow,
+    STALE_AFTER_S,
+)
+from repro.obs.metrics import (
+    HISTOGRAM_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    TaggedCounter,
+    bucket_bounds,
+    bucket_index,
+    to_prometheus,
+)
+from repro.obs.telemetry import (
+    BEAT_INTERVAL_INSTRUCTIONS,
+    Telemetry,
+    TelemetrySnapshot,
+)
+from repro.obs.trace import SpanEvent, SpanTracer, to_chrome_trace, to_jsonl
+
+__all__ = [
+    "BEAT_INTERVAL_INSTRUCTIONS",
+    "Counter",
+    "Gauge",
+    "HeartbeatBoard",
+    "HeartbeatReporter",
+    "HeartbeatRow",
+    "HISTOGRAM_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "STALE_AFTER_S",
+    "SpanEvent",
+    "SpanTracer",
+    "TaggedCounter",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "bucket_bounds",
+    "bucket_index",
+    "to_chrome_trace",
+    "to_jsonl",
+    "to_prometheus",
+]

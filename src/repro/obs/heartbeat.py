@@ -1,0 +1,138 @@
+"""Per-session liveness heartbeats for the fleet driver.
+
+A wedged worker and a slow worker look identical from the outside — both
+just haven't returned yet.  The heartbeat board makes them
+distinguishable: every fleet session publishes (state, last icount,
+frames processed, wall timestamp) rows through a picklable reporter
+handle, rate-limited by the *deterministic* instruction clock (see
+``Telemetry.maybe_beat``) so the hot loop never reads wall time.  The
+CLI's ``fleet --watch`` renders the board live; a session whose beat is
+stale is wedged, one whose beat is fresh but whose icount crawls is slow.
+
+The board is backed by a ``multiprocessing.Manager`` dict when worker
+processes are in play, and degrades to a plain dict when the manager
+can't start (sandboxes) or when the fleet runs on threads — same API,
+and with threads the plain dict is fully shared anyway.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+#: Beats older than this (seconds) mark a session as possibly wedged.
+STALE_AFTER_S = 5.0
+
+
+@dataclass(frozen=True)
+class HeartbeatRow:
+    """One session's latest published liveness sample."""
+
+    index: int
+    state: str          # "start" | "record" | "cr" | "ar" | "retry" | "done" | "failed"
+    icount: int
+    frames: int
+    wall: float         # time.time() at publish
+
+    def age_s(self, now: float | None = None) -> float:
+        return (now if now is not None else time.time()) - self.wall
+
+    def is_stale(self, now: float | None = None,
+                 stale_after_s: float = STALE_AFTER_S) -> bool:
+        """True when the beat is old enough to suspect a wedge (terminal
+        states never go stale — the session finished)."""
+        if self.state in ("done", "failed"):
+            return False
+        return self.age_s(now) > stale_after_s
+
+
+class HeartbeatReporter:
+    """Picklable per-session handle that writes rows onto the board.
+
+    Holds only the shared mapping proxy and the session index, so it
+    crosses the process-pool boundary inside the worker payload.
+    """
+
+    __slots__ = ("_store", "index")
+
+    def __init__(self, store, index: int):
+        self._store = store
+        self.index = index
+
+    def publish(self, state: str, icount: int = 0, frames: int = 0):
+        try:
+            self._store[self.index] = (state, icount, frames, time.time())
+        except (BrokenPipeError, EOFError, ConnectionError, OSError):
+            # The manager died (e.g. fleet shutting down) — liveness is
+            # best-effort, never let it take a worker down.
+            pass
+
+    def __getstate__(self):
+        return (self._store, self.index)
+
+    def __setstate__(self, state):
+        self._store, self.index = state
+
+
+class HeartbeatBoard:
+    """The shared liveness table: one row per fleet session."""
+
+    def __init__(self, shared: bool = False):
+        self._manager = None
+        self.shared = False
+        store = None
+        if shared:
+            try:
+                import multiprocessing
+
+                self._manager = multiprocessing.Manager()
+                store = self._manager.dict()
+                self.shared = True
+            except Exception:
+                # Sandboxes without a working manager fall back to the
+                # in-process dict; thread backends don't need more.
+                self._manager = None
+                store = None
+        self._store = store if store is not None else {}
+
+    def reporter(self, index: int) -> HeartbeatReporter:
+        return HeartbeatReporter(self._store, index)
+
+    def rows(self) -> list[HeartbeatRow]:
+        """Current board contents, ordered by session index."""
+        try:
+            items = list(self._store.items())
+        except (BrokenPipeError, EOFError, ConnectionError, OSError):
+            return []
+        rows = []
+        for index, (state, icount, frames, wall) in items:
+            rows.append(HeartbeatRow(index=index, state=state, icount=icount,
+                                     frames=frames, wall=wall))
+        rows.sort(key=lambda row: row.index)
+        return rows
+
+    def render(self, total: int | None = None,
+               now: float | None = None) -> str:
+        """One table of the board for ``fleet --watch``."""
+        now = now if now is not None else time.time()
+        rows = self.rows()
+        lines = ["session  state     icount        frames   beat age"]
+        lines.append("-" * 52)
+        for row in rows:
+            flag = "  WEDGED?" if row.is_stale(now) else ""
+            lines.append(
+                f"{row.index:>7}  {row.state:<8} {row.icount:>12,} "
+                f"{row.frames:>8}   {row.age_s(now):>6.1f}s{flag}"
+            )
+        if total is not None:
+            done = sum(1 for row in rows if row.state in ("done", "failed"))
+            lines.append(f"{done}/{total} sessions finished")
+        return "\n".join(lines)
+
+    def shutdown(self):
+        if self._manager is not None:
+            try:
+                self._manager.shutdown()
+            except Exception:
+                pass
+            self._manager = None

@@ -1,0 +1,353 @@
+"""Zero-dependency metrics primitives: counters, gauges, log-scale histograms.
+
+The registry is the runtime analogue of the paper's measurement tables:
+instructions retired, VM exits by kind, log records and bytes by tag,
+checkpoint counts and resident bytes, alarm dispositions — the quantities
+Figures 5–9 are built from, but sampled *while the system runs* instead of
+reconstructed afterwards.
+
+Design constraints, in order:
+
+* **Hot-path safety.**  Nothing here reads the wall clock, allocates per
+  observation, or takes a lock.  A :class:`TaggedCounter` add is one dict
+  lookup plus two list increments — the same cost profile as the cycle
+  account it also backs (``repro.perf.account``).  Cross-thread and
+  cross-process safety comes from *ownership*, not locking: each actor
+  (recorder, CR, each AR) owns a private registry and the coordinator
+  merges picklable :class:`MetricsSnapshot` deltas at phase boundaries.
+* **Fixed log-scale buckets.**  Histograms bucket by bit length (powers of
+  two), so bucket boundaries are identical in every process and snapshots
+  merge by plain elementwise addition — no quantile sketches, no rebinning.
+* **Zero dependencies.**  Prometheus output is rendered as the text
+  exposition format by :func:`to_prometheus`; Chrome-trace output lives in
+  ``repro.obs.trace``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Histogram buckets: bucket ``i`` holds values whose bit length is ``i``,
+#: i.e. value 0 in bucket 0 and value v in bucket ``v.bit_length()``
+#: (``2**(i-1) <= v < 2**i``).  64 buckets cover the full range of 64-bit
+#: simulated quantities (icounts, cycles, bytes, queue depths).
+HISTOGRAM_BUCKETS = 65
+
+
+def bucket_index(value: int) -> int:
+    """The fixed log-scale bucket for ``value`` (negative clamps to 0)."""
+    if value <= 0:
+        return 0
+    index = value.bit_length()
+    return index if index < HISTOGRAM_BUCKETS else HISTOGRAM_BUCKETS - 1
+
+
+def bucket_bounds(index: int) -> tuple[int, int]:
+    """Half-open value range ``[low, high)`` covered by bucket ``index``."""
+    if index <= 0:
+        return (0, 1)
+    return (1 << (index - 1), 1 << index)
+
+
+class Counter:
+    """A monotone sum plus the number of add events behind it."""
+
+    __slots__ = ("value", "events")
+
+    def __init__(self):
+        self.value = 0
+        self.events = 0
+
+    def add(self, value: int = 1, events: int = 1):
+        self.value += value
+        self.events += events
+
+    def __getstate__(self):
+        return (self.value, self.events)
+
+    def __setstate__(self, state):
+        self.value, self.events = state
+
+
+class TaggedCounter:
+    """Per-tag (sum, events) pairs under one metric name.
+
+    This is the registry's workhorse *and* the single source of truth the
+    cycle account (``repro.perf.account``) is built on: one cell per tag
+    holding ``[sum, events]``, mutated in place.
+    """
+
+    __slots__ = ("cells",)
+
+    def __init__(self):
+        #: tag -> [sum, events]; tags are strings or enum members.
+        self.cells: dict = {}
+
+    def add(self, tag, value: int = 1, events: int = 1):
+        cell = self.cells.get(tag)
+        if cell is None:
+            self.cells[tag] = [value, events]
+        else:
+            cell[0] += value
+            cell[1] += events
+
+    def value(self, tag) -> int:
+        cell = self.cells.get(tag)
+        return cell[0] if cell is not None else 0
+
+    def events(self, tag) -> int:
+        cell = self.cells.get(tag)
+        return cell[1] if cell is not None else 0
+
+    @property
+    def total(self) -> int:
+        return sum(cell[0] for cell in self.cells.values())
+
+    def merge(self, other: "TaggedCounter"):
+        for tag, (value, events) in other.cells.items():
+            self.add(tag, value, events)
+
+    def __getstate__(self):
+        return self.cells
+
+    def __setstate__(self, state):
+        self.cells = state
+
+
+class Gauge:
+    """A last-value sample that also remembers its high-water mark."""
+
+    __slots__ = ("value", "max_value")
+
+    def __init__(self):
+        self.value = 0
+        self.max_value = 0
+
+    def set(self, value: int):
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def __getstate__(self):
+        return (self.value, self.max_value)
+
+    def __setstate__(self, state):
+        self.value, self.max_value = state
+
+
+class Histogram:
+    """Fixed log-scale (power-of-two) bucket histogram of integer samples."""
+
+    __slots__ = ("counts", "total", "count", "max_value")
+
+    def __init__(self):
+        self.counts = [0] * HISTOGRAM_BUCKETS
+        self.total = 0
+        self.count = 0
+        self.max_value = 0
+
+    def observe(self, value: int):
+        self.counts[bucket_index(value)] += 1
+        self.total += value
+        self.count += 1
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def nonzero_buckets(self) -> list[tuple[int, int]]:
+        """``(bucket_index, samples)`` pairs for the occupied buckets."""
+        return [(index, count) for index, count in enumerate(self.counts)
+                if count]
+
+    def merge(self, other: "Histogram"):
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total += other.total
+        self.count += other.count
+        if other.max_value > self.max_value:
+            self.max_value = other.max_value
+
+    def __getstate__(self):
+        return (self.counts, self.total, self.count, self.max_value)
+
+    def __setstate__(self, state):
+        self.counts, self.total, self.count, self.max_value = state
+
+
+@dataclass
+class MetricsSnapshot:
+    """A picklable, mergeable dump of one registry's state.
+
+    All values are plain ints/lists/dicts keyed by metric name (tags
+    stringified), so snapshots cross process boundaries as small deltas
+    and merge by addition — the fleet driver folds one snapshot per
+    session into a fleet-wide rollup this way.
+    """
+
+    counters: dict = field(default_factory=dict)
+    tagged: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Fold ``other`` into this snapshot (in place; returns self)."""
+        for name, (value, events) in other.counters.items():
+            mine = self.counters.get(name)
+            if mine is None:
+                self.counters[name] = [value, events]
+            else:
+                mine[0] += value
+                mine[1] += events
+        for name, cells in other.tagged.items():
+            mine = self.tagged.setdefault(name, {})
+            for tag, (value, events) in cells.items():
+                cell = mine.get(tag)
+                if cell is None:
+                    mine[tag] = [value, events]
+                else:
+                    cell[0] += value
+                    cell[1] += events
+        for name, (value, max_value) in other.gauges.items():
+            mine = self.gauges.get(name)
+            if mine is None:
+                self.gauges[name] = [value, max_value]
+            else:
+                # Last write wins for the sample; high-water mark maxes.
+                mine[0] = value
+                mine[1] = max(mine[1], max_value)
+        for name, (counts, total, count, max_value) in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = [list(counts), total, count, max_value]
+            else:
+                for index, bucket in enumerate(counts):
+                    mine[0][index] += bucket
+                mine[1] += total
+                mine[2] += count
+                mine[3] = max(mine[3], max_value)
+        return self
+
+    def counter_value(self, name: str) -> int:
+        cell = self.counters.get(name)
+        return cell[0] if cell else 0
+
+    def tagged_value(self, name: str, tag: str) -> int:
+        return self.tagged.get(name, {}).get(tag, (0, 0))[0]
+
+    def tagged_total(self, name: str) -> int:
+        return sum(cell[0] for cell in self.tagged.get(name, {}).values())
+
+    def gauge_value(self, name: str) -> int:
+        cell = self.gauges.get(name)
+        return cell[0] if cell else 0
+
+
+class MetricsRegistry:
+    """One actor's private metric store (create, mutate, snapshot).
+
+    Instruments are created on first use and cached by name; hold the
+    returned object in a local for hot code.  The registry itself is not
+    shared across threads — each concurrent actor owns one and the
+    coordinator merges their snapshots.
+    """
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._tagged: dict[str, TaggedCounter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def tagged(self, name: str) -> TaggedCounter:
+        metric = self._tagged.get(name)
+        if metric is None:
+            metric = self._tagged[name] = TaggedCounter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram()
+        return metric
+
+    def adopt_tagged(self, name: str, counter: TaggedCounter):
+        """Register an externally owned :class:`TaggedCounter` (the cycle
+        account) so snapshots read the same cells the simulator charges —
+        one source of truth, no duplicate bookkeeping."""
+        self._tagged[name] = counter
+
+    @staticmethod
+    def _tag_key(tag) -> str:
+        value = getattr(tag, "value", tag)
+        return value if isinstance(value, str) else str(value)
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            counters={name: [metric.value, metric.events]
+                      for name, metric in self._counters.items()},
+            tagged={name: {self._tag_key(tag): list(cell)
+                           for tag, cell in metric.cells.items()}
+                    for name, metric in self._tagged.items()},
+            gauges={name: [metric.value, metric.max_value]
+                    for name, metric in self._gauges.items()},
+            histograms={name: [list(metric.counts), metric.total,
+                               metric.count, metric.max_value]
+                        for name, metric in self._histograms.items()},
+        )
+
+
+def to_prometheus(snapshot: MetricsSnapshot, prefix: str = "repro") -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+
+    def metric_name(name: str) -> str:
+        return f"{prefix}_{name}".replace(".", "_").replace("-", "_")
+
+    lines: list[str] = []
+    for name in sorted(snapshot.counters):
+        value, events = snapshot.counters[name]
+        full = metric_name(name)
+        lines.append(f"# TYPE {full} counter")
+        lines.append(f"{full} {value}")
+        lines.append(f"{full}_events {events}")
+    for name in sorted(snapshot.tagged):
+        full = metric_name(name)
+        lines.append(f"# TYPE {full} counter")
+        for tag in sorted(snapshot.tagged[name]):
+            value, events = snapshot.tagged[name][tag]
+            lines.append(f'{full}{{tag="{tag}"}} {value}')
+            lines.append(f'{full}_events{{tag="{tag}"}} {events}')
+    for name in sorted(snapshot.gauges):
+        value, max_value = snapshot.gauges[name]
+        full = metric_name(name)
+        lines.append(f"# TYPE {full} gauge")
+        lines.append(f"{full} {value}")
+        lines.append(f"{full}_max {max_value}")
+    for name in sorted(snapshot.histograms):
+        counts, total, count, max_value = snapshot.histograms[name]
+        full = metric_name(name)
+        lines.append(f"# TYPE {full} histogram")
+        cumulative = 0
+        for index, bucket in enumerate(counts):
+            if not bucket:
+                continue
+            cumulative += bucket
+            _, high = bucket_bounds(index)
+            lines.append(f'{full}_bucket{{le="{high}"}} {cumulative}')
+        lines.append(f'{full}_bucket{{le="+Inf"}} {count}')
+        lines.append(f"{full}_sum {total}")
+        lines.append(f"{full}_count {count}")
+    return "\n".join(lines) + "\n"

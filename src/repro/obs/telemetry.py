@@ -1,0 +1,219 @@
+"""The telemetry facade: one object an actor records everything through.
+
+A :class:`Telemetry` instance bundles a private :class:`MetricsRegistry`
+and a :class:`SpanTracer` for one actor (the recorder, the checkpointing
+replayer, one alarm replayer, the pipeline executor, the fleet driver).
+Actors never share an instance — concurrency safety comes from merging
+picklable :class:`TelemetrySnapshot` deltas at phase boundaries, exactly
+like the fleet's per-session results.
+
+**Off is free.**  Construction goes through :meth:`Telemetry.for_config`,
+which returns ``None`` when ``SimulationConfig.telemetry`` is off; every
+instrumented call site holds that reference in a local and guards with a
+single ``if tel is not None`` — the nil-sink fast path.  No wall-clock
+reads, no allocation, no dict lookups happen on the disabled path, and
+the simulated cycle accounting is never touched by telemetry at all (so
+enabling it cannot move any figure or benchmark number).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    bucket_bounds,
+    to_prometheus,
+)
+from repro.obs.trace import SpanEvent, SpanTracer, to_chrome_trace, to_jsonl
+
+#: Instructions between heartbeat publishes — rate-limits beats with the
+#: deterministic clock so the hot loop never reads wall time.
+BEAT_INTERVAL_INSTRUCTIONS = 25_000
+
+
+class Telemetry:
+    """Per-actor metrics + spans + (optional) liveness heartbeat."""
+
+    def __init__(self, actor: str, heartbeat=None,
+                 beat_interval: int = BEAT_INTERVAL_INSTRUCTIONS):
+        self.actor = actor
+        self.registry = MetricsRegistry()
+        self.tracer = SpanTracer(actor)
+        #: Optional :class:`~repro.obs.heartbeat.HeartbeatReporter`.
+        self.heartbeat = heartbeat
+        self._beat_interval = beat_interval
+        self._last_beat_icount = 0
+
+    @classmethod
+    def for_config(cls, config, actor: str,
+                   heartbeat=None) -> "Telemetry | None":
+        """The instance call sites guard on: ``None`` unless telemetry is
+        enabled in ``config`` or a heartbeat sink is attached."""
+        if heartbeat is None and not getattr(config, "telemetry", False):
+            return None
+        return cls(actor, heartbeat=heartbeat)
+
+    # ------------------------------------------------------------------
+    # metrics shorthands
+    # ------------------------------------------------------------------
+
+    def count(self, name: str, value: int = 1, events: int = 1):
+        self.registry.counter(name).add(value, events)
+
+    def count_tagged(self, name: str, tag, value: int = 1, events: int = 1):
+        self.registry.tagged(name).add(tag, value, events)
+
+    def gauge(self, name: str, value: int):
+        self.registry.gauge(name).set(value)
+
+    def observe(self, name: str, value: int):
+        self.registry.histogram(name).observe(value)
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, category: str, icount_fn, **args):
+        return self.tracer.span(name, category, icount_fn, **args)
+
+    def begin(self, name: str, category: str, icount: int, **args) -> int:
+        return self.tracer.begin(name, category, icount, **args)
+
+    def end(self, token: int, icount: int, **args):
+        self.tracer.end(token, icount, **args)
+
+    def instant(self, name: str, category: str, icount: int, **args):
+        self.tracer.instant(name, category, icount, **args)
+
+    # ------------------------------------------------------------------
+    # heartbeat
+    # ------------------------------------------------------------------
+
+    def maybe_beat(self, state: str, icount: int, frames: int = 0):
+        """Publish liveness if at least the beat interval of instructions
+        has retired since the last publish (deterministic rate limit)."""
+        heartbeat = self.heartbeat
+        if heartbeat is None:
+            return
+        if icount - self._last_beat_icount < self._beat_interval:
+            return
+        self._last_beat_icount = icount
+        heartbeat.publish(state, icount, frames)
+
+    def beat(self, state: str, icount: int = 0, frames: int = 0):
+        """Publish liveness unconditionally (phase transitions)."""
+        if self.heartbeat is not None:
+            self._last_beat_icount = icount
+            self.heartbeat.publish(state, icount, frames)
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> "TelemetrySnapshot":
+        return TelemetrySnapshot(
+            actor=self.actor,
+            metrics=self.registry.snapshot(),
+            spans=tuple(self.tracer.events),
+        )
+
+
+@dataclass
+class TelemetrySnapshot:
+    """Picklable dump of one actor's telemetry; merges into run rollups.
+
+    This is the ``telemetry`` attribute runs and fleet results carry: a
+    plain-data object that crossed whatever process boundaries the run
+    used, with the metrics of every actor merged and every span retained
+    (spans keep their ``actor`` so the Chrome trace shows one row per
+    pipeline stage).
+    """
+
+    actor: str
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    spans: tuple = ()
+
+    @classmethod
+    def merged(cls, snapshots, actor: str = "run") -> "TelemetrySnapshot":
+        """Fold many actor snapshots into one run-level snapshot."""
+        metrics = MetricsSnapshot()
+        spans: list[SpanEvent] = []
+        for snapshot in snapshots:
+            if snapshot is None:
+                continue
+            metrics.merge(snapshot.metrics)
+            spans.extend(snapshot.spans)
+        return cls(actor=actor, metrics=metrics, spans=tuple(spans))
+
+    # -- exports -------------------------------------------------------
+
+    def chrome_trace(self, label: str = "repro") -> dict:
+        return to_chrome_trace(self.spans, label=label)
+
+    def jsonl(self) -> str:
+        return to_jsonl(self.spans)
+
+    def prometheus(self, prefix: str = "repro") -> str:
+        return to_prometheus(self.metrics, prefix=prefix)
+
+    def spans_named(self, name: str) -> tuple:
+        return tuple(span for span in self.spans if span.name == name)
+
+    def tables(self) -> str:
+        """Human-readable per-phase and per-metric tables (``repro stats``)."""
+        lines: list[str] = []
+        phases = [span for span in self.spans if span.category == "phase"]
+        if phases:
+            lines.append("phase                        wall ms      icount window")
+            lines.append("-" * 62)
+            for span in sorted(phases, key=lambda s: s.begin_wall_ns):
+                label = f"{span.actor}:{span.name}"
+                lines.append(
+                    f"{label:<28} {span.wall_ns / 1e6:>9.2f}   "
+                    f"[{span.begin_icount:,} .. {span.end_icount:,}]"
+                )
+            lines.append("")
+        metrics = self.metrics
+        if metrics.counters:
+            lines.append("counter                          value       events")
+            lines.append("-" * 52)
+            for name in sorted(metrics.counters):
+                value, events = metrics.counters[name]
+                lines.append(f"{name:<30} {value:>10,} {events:>12,}")
+            lines.append("")
+        if metrics.tagged:
+            lines.append("counter[tag]                               value       events")
+            lines.append("-" * 62)
+            for name in sorted(metrics.tagged):
+                for tag in sorted(metrics.tagged[name]):
+                    value, events = metrics.tagged[name][tag]
+                    lines.append(
+                        f"{name + '[' + tag + ']':<40} {value:>10,} "
+                        f"{events:>12,}"
+                    )
+            lines.append("")
+        if metrics.gauges:
+            lines.append("gauge                            value          max")
+            lines.append("-" * 52)
+            for name in sorted(metrics.gauges):
+                value, max_value = metrics.gauges[name]
+                lines.append(f"{name:<30} {value:>10,} {max_value:>12,}")
+            lines.append("")
+        if metrics.histograms:
+            lines.append("histogram                       samples         mean          max")
+            lines.append("-" * 64)
+            for name in sorted(metrics.histograms):
+                counts, total, count, max_value = metrics.histograms[name]
+                mean = total / count if count else 0.0
+                lines.append(
+                    f"{name:<30} {count:>9,} {mean:>12.1f} {max_value:>12,}"
+                )
+                for index, bucket in enumerate(counts):
+                    if not bucket:
+                        continue
+                    low, high = bucket_bounds(index)
+                    lines.append(f"    [{low:>12,} .. {high:>12,}) {bucket:>9,}")
+            lines.append("")
+        return "\n".join(lines)

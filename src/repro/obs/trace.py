@@ -1,0 +1,221 @@
+"""Icount-stamped span tracing with Chrome-trace and JSONL export.
+
+Every span is stamped twice: with the **deterministic instruction count**
+(the simulated clock every record, checkpoint, and alarm is keyed on — so
+spans line up across record / CR / AR no matter which host thread or
+process ran them) and with **monotonic wall time** (``perf_counter_ns``,
+read only at span boundaries, never on the hot path).
+
+Span begin/end pairs are matched by token, so concurrent spans from a
+thread pool interleave safely; the tracer takes a small lock on the
+span-boundary operations only (spans are per phase / per checkpoint / per
+alarm — a few hundred per run, not per instruction).
+
+Export targets:
+
+* :func:`to_chrome_trace` — the Trace Event Format JSON that
+  ``chrome://tracing`` and Perfetto load directly ("X" complete events on
+  the wall-time axis, icount window in ``args``).
+* :func:`to_jsonl` — one JSON object per line, the compact stream form
+  for shipping to a collector or grepping.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One completed span (or instant, when the icounts/walls coincide)."""
+
+    name: str
+    #: Span taxonomy bucket: "phase", "checkpoint", "ar", "recover",
+    #: "frame", "session", ...
+    category: str
+    #: Actor that emitted the span ("record", "cr", "ar", "pipeline",
+    #: "fleet") — becomes the trace row (tid) in Chrome trace.
+    actor: str
+    begin_icount: int
+    end_icount: int
+    begin_wall_ns: int
+    end_wall_ns: int
+    args: tuple = ()
+
+    @property
+    def wall_ns(self) -> int:
+        return self.end_wall_ns - self.begin_wall_ns
+
+    @property
+    def icount_window(self) -> tuple[int, int]:
+        return (self.begin_icount, self.end_icount)
+
+
+@dataclass
+class _OpenSpan:
+    name: str
+    category: str
+    begin_icount: int
+    begin_wall_ns: int
+    args: tuple
+
+
+class SpanTracer:
+    """Collects spans for one actor; picklable via its completed events."""
+
+    def __init__(self, actor: str):
+        self.actor = actor
+        self.events: list[SpanEvent] = []
+        self._lock = threading.Lock()
+        self._open: dict[int, _OpenSpan] = {}
+        self._next_token = 0
+
+    def begin(self, name: str, category: str, icount: int, **args) -> int:
+        """Open a span; returns the token :meth:`end` closes it with."""
+        span = _OpenSpan(
+            name=name,
+            category=category,
+            begin_icount=icount,
+            begin_wall_ns=time.perf_counter_ns(),
+            args=tuple(args.items()),
+        )
+        with self._lock:
+            token = self._next_token
+            self._next_token += 1
+            self._open[token] = span
+        return token
+
+    def end(self, token: int, icount: int, **args):
+        """Close the span ``token``; extra args merge into the span's."""
+        end_wall = time.perf_counter_ns()
+        with self._lock:
+            span = self._open.pop(token)
+            self.events.append(SpanEvent(
+                name=span.name,
+                category=span.category,
+                actor=self.actor,
+                begin_icount=span.begin_icount,
+                end_icount=icount,
+                begin_wall_ns=span.begin_wall_ns,
+                end_wall_ns=end_wall,
+                args=span.args + tuple(args.items()),
+            ))
+
+    def instant(self, name: str, category: str, icount: int, **args):
+        """A zero-duration marker (e.g. an injected fault, a frame drop)."""
+        now = time.perf_counter_ns()
+        with self._lock:
+            self.events.append(SpanEvent(
+                name=name,
+                category=category,
+                actor=self.actor,
+                begin_icount=icount,
+                end_icount=icount,
+                begin_wall_ns=now,
+                end_wall_ns=now,
+                args=tuple(args.items()),
+            ))
+
+    def span(self, name: str, category: str, icount_fn, **args):
+        """Context manager over :meth:`begin`/:meth:`end`.
+
+        ``icount_fn`` is called at entry and exit to stamp the span with
+        the deterministic clock (e.g. ``lambda: machine.cpu.icount``).
+        """
+        return _SpanContext(self, name, category, icount_fn, args)
+
+    def drain(self) -> tuple[SpanEvent, ...]:
+        """Completed spans, oldest first (leaves the tracer reusable)."""
+        with self._lock:
+            events = tuple(self.events)
+            self.events = []
+        return events
+
+
+@dataclass
+class _SpanContext:
+    tracer: SpanTracer
+    name: str
+    category: str
+    icount_fn: object
+    args: dict
+    token: int = field(default=-1)
+
+    def __enter__(self):
+        self.token = self.tracer.begin(
+            self.name, self.category, self.icount_fn(), **self.args,
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        extra = {"error": exc_type.__name__} if exc_type is not None else {}
+        self.tracer.end(self.token, self.icount_fn(), **extra)
+        return False
+
+
+# ----------------------------------------------------------------------
+# export
+# ----------------------------------------------------------------------
+
+#: Stable Chrome-trace row ordering for the known actors.
+_ACTOR_ROWS = {"record": 1, "cr": 2, "ar": 3, "pipeline": 4, "fleet": 5}
+
+
+def _event_dict(event: SpanEvent, origin_ns: int) -> dict:
+    args = dict(event.args)
+    args["icount_begin"] = event.begin_icount
+    args["icount_end"] = event.end_icount
+    return {
+        "name": event.name,
+        "cat": event.category,
+        "ph": "X",
+        "ts": (event.begin_wall_ns - origin_ns) / 1000.0,
+        "dur": max(event.wall_ns, 1) / 1000.0,
+        "pid": 1,
+        "tid": _ACTOR_ROWS.get(event.actor, 9),
+        "args": args,
+    }
+
+
+def to_chrome_trace(events, label: str = "repro") -> dict:
+    """Trace Event Format dict for chrome://tracing / Perfetto.
+
+    Wall times are rebased to the earliest span so the viewer opens at
+    t=0; the icount window of every span rides in ``args``.
+    """
+    events = sorted(events, key=lambda event: event.begin_wall_ns)
+    origin = events[0].begin_wall_ns if events else 0
+    trace_events = [_event_dict(event, origin) for event in events]
+    actors = sorted({event.actor for event in events},
+                    key=lambda actor: _ACTOR_ROWS.get(actor, 9))
+    for actor in actors:
+        trace_events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": _ACTOR_ROWS.get(actor, 9),
+            "args": {"name": actor},
+        })
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"label": label},
+    }
+
+
+def to_jsonl(events) -> str:
+    """Compact JSONL stream: one span object per line, icount-stamped."""
+    lines = []
+    for event in sorted(events, key=lambda event: event.begin_wall_ns):
+        lines.append(json.dumps({
+            "name": event.name,
+            "cat": event.category,
+            "actor": event.actor,
+            "icount": [event.begin_icount, event.end_icount],
+            "wall_ns": [event.begin_wall_ns, event.end_wall_ns],
+            "args": dict(event.args),
+        }, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")

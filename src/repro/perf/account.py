@@ -15,7 +15,8 @@ excluded from both breakdowns, which plot only the *extra* work.
 from __future__ import annotations
 
 import enum
-from collections import defaultdict
+
+from repro.obs.metrics import TaggedCounter
 
 
 class Category(enum.Enum):
@@ -60,37 +61,49 @@ REPLAY_BREAKDOWN = RECORDING_BREAKDOWN + (Category.CHECKPOINT,)
 
 
 class CycleAccount:
-    """Accumulates overhead cycles by category for one run."""
+    """Accumulates overhead cycles by category for one run.
+
+    The storage is a single :class:`~repro.obs.metrics.TaggedCounter` —
+    the same cell type the telemetry registry uses — so the Figure 5/7
+    breakdowns and runtime telemetry read one source of truth.  When
+    telemetry is on, the machine's account is *adopted* by the registry
+    (``MetricsRegistry.adopt_tagged``) rather than mirrored: charges land
+    once and both views see them.
+    """
+
+    __slots__ = ("counter",)
 
     def __init__(self):
-        self._cycles: dict[Category, int] = defaultdict(int)
-        self._events: dict[Category, int] = defaultdict(int)
+        self.counter = TaggedCounter()
 
     def charge(self, category: Category, cycles: int, events: int = 1):
         """Add ``cycles`` of overhead in ``category``."""
-        self._cycles[category] += cycles
-        self._events[category] += events
+        self.counter.add(category, cycles, events)
 
     def cycles(self, category: Category) -> int:
         """Overhead cycles accumulated in one category."""
-        return self._cycles[category]
+        return self.counter.value(category)
 
     def events(self, category: Category) -> int:
         """Number of charge events in one category."""
-        return self._events[category]
+        return self.counter.events(category)
 
     @property
     def total_overhead(self) -> int:
         """All overhead cycles (added to guest instruction cycles)."""
-        return sum(self._cycles.values())
+        return self.counter.total
 
     def by_category(self) -> dict[Category, int]:
         """A copy of the per-category cycle totals (non-zero entries)."""
-        return {cat: cyc for cat, cyc in self._cycles.items() if cyc}
+        return {cat: cell[0] for cat, cell in self.counter.cells.items()
+                if cell[0]}
 
     def merge(self, other: "CycleAccount"):
         """Fold another account into this one (multi-phase runs)."""
-        for category, cycles in other._cycles.items():
-            self._cycles[category] += cycles
-        for category, events in other._events.items():
-            self._events[category] += events
+        self.counter.merge(other.counter)
+
+    def __getstate__(self):
+        return self.counter
+
+    def __setstate__(self, state):
+        self.counter = state

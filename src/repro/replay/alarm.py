@@ -70,6 +70,8 @@ class _RetEvent:
 class AlarmReplayer(DeterministicReplayer):
     """Replays up to one alarm marker and classifies it."""
 
+    TELEMETRY_ACTOR = "ar"
+
     def __init__(self, spec: MachineSpec, log: InputLog, alarm: AlarmRecord,
                  checkpoint: Checkpoint | None = None,
                  store: CheckpointStore | None = None,
@@ -193,6 +195,11 @@ class AlarmReplayer(DeterministicReplayer):
 
     def analyze(self) -> AlarmVerdict:
         """Replay to the alarm marker and return the verdict."""
+        tel = self.telemetry
+        token = (tel.begin("analyze", "ar", self.machine.cpu.icount,
+                           alarm_icount=self.alarm.icount,
+                           alarm_kind=self.alarm.kind.value)
+                 if tel is not None else None)
         start_cycles = self.machine.now
         self.run(max_instructions=self.options.max_instructions)
         if self.verdict is None:
@@ -208,6 +215,11 @@ class AlarmReplayer(DeterministicReplayer):
             )
         analysis_cycles = self.machine.now - start_cycles
         self.verdict = _with_cycles(self.verdict, analysis_cycles)
+        if tel is not None:
+            tel.count_tagged("ar.verdicts", self.verdict.kind.value)
+            tel.observe("ar.analysis_cycles", analysis_cycles)
+            tel.end(token, self.machine.cpu.icount,
+                    verdict=self.verdict.kind.value)
         return self.verdict
 
     def _classify(self, record: AlarmRecord) -> AlarmVerdict:

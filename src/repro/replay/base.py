@@ -26,6 +26,7 @@ from repro.errors import HypervisorError, ReplayDivergenceError
 from repro.hypervisor.emulation import emulate_pio_out
 from repro.hypervisor.interpose import ContextSwitchInterposer
 from repro.hypervisor.machine import GuestMachine, MachineSpec
+from repro.obs.telemetry import Telemetry
 from repro.perf.account import Category
 from repro.perf.report import RunMetrics
 from repro.rnr.log import LogCursor
@@ -63,10 +64,14 @@ class DeterministicReplayer:
     adds call/ret trapping and the software RAS.
     """
 
+    #: Telemetry actor name; subclasses override ("cr", "ar").
+    TELEMETRY_ACTOR = "replay"
+
     def __init__(self, spec: MachineSpec, cursor: LogCursor,
                  controls: ExitControls | None = None,
                  manage_backras: bool = True,
-                 verify_digest: bool = True):
+                 verify_digest: bool = True,
+                 telemetry: Telemetry | None = None):
         self.spec = spec
         self.cursor = cursor
         controls = controls if controls is not None else ExitControls()
@@ -96,6 +101,10 @@ class DeterministicReplayer:
         #: Set by subclasses to stop the run early.
         self.stop_requested = False
         self.stop_reason = ""
+        #: Nil-sink fast path: ``None`` unless telemetry is enabled.
+        self.telemetry = (telemetry if telemetry is not None else
+                          Telemetry.for_config(spec.config,
+                                               self.TELEMETRY_ACTOR))
 
     # ------------------------------------------------------------------
     # checkpoint restore (shared by AR, auditors, profilers)
@@ -111,6 +120,10 @@ class DeterministicReplayer:
         the checkpoint's InputLogPtr.
         """
         machine = self.machine
+        tel = self.telemetry
+        token = (tel.begin("restore", "checkpoint", machine.cpu.icount,
+                           checkpoint_icount=checkpoint.icount)
+                 if tel is not None else None)
         machine.memory.restore_pages(store.reconstruct_pages(checkpoint))
         machine.disk.restore_blocks(store.reconstruct_blocks(checkpoint))
         machine.disk_dev.restore_regs(checkpoint.disk_regs)
@@ -122,6 +135,9 @@ class DeterministicReplayer:
             checkpoint.backras.get(checkpoint.current_tid, ())
         )
         self.cursor.position = checkpoint.log_position
+        if tel is not None:
+            tel.count("checkpoints_restored")
+            tel.end(token, machine.cpu.icount)
 
     # ------------------------------------------------------------------
     # hooks for subclasses
@@ -151,6 +167,15 @@ class DeterministicReplayer:
 
     def run(self, max_instructions: int | None = None) -> ReplayResult:
         cpu = self.machine.cpu
+        tel = self.telemetry
+        if tel is not None:
+            actor = tel.actor
+            phase_token = tel.begin("replay", "phase", cpu.icount)
+            exit_counter = tel.registry.tagged(f"{actor}.vm_exits")
+            batch_hist = tel.registry.histogram(f"{actor}.batch_instructions")
+            start_icount = cpu.icount
+            start_position = self.cursor.position
+            last_icount = start_icount
         while not self.stop_requested:
             icount = cpu.icount
             if max_instructions is not None and icount >= max_instructions:
@@ -187,9 +212,29 @@ class DeterministicReplayer:
                     icount=icount,
                 )
             exit_event = cpu.run(batch)
+            if tel is not None:
+                now_icount = cpu.icount
+                batch_hist.observe(now_icount - last_icount)
+                last_icount = now_icount
+                if exit_event is not None:
+                    exit_counter.add(exit_event.reason.value)
+                tel.maybe_beat(actor, now_icount)
             if exit_event is not None:
                 self._handle_exit(exit_event)
                 self.on_exit_boundary(exit_event)
+        if tel is not None:
+            registry = tel.registry
+            registry.counter(f"{actor}.instructions").add(
+                cpu.icount - start_icount)
+            registry.counter(f"{actor}.records_consumed").add(
+                self.cursor.position - start_position)
+            registry.adopt_tagged(f"{actor}.overhead_cycles",
+                                  self.machine.account.counter)
+            if self.sentinels_verified:
+                registry.gauge(f"{actor}.sentinels_verified").set(
+                    self.sentinels_verified)
+            tel.end(phase_token, cpu.icount,
+                    stop=self.stop_reason or self.machine.stop_reason)
         return self._build_result()
 
     # ------------------------------------------------------------------

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from repro.cpu.exits import VmExit
 from repro.cpu.exits import RopAlarmKind
 from repro.hypervisor.machine import MachineSpec
+from repro.obs.telemetry import Telemetry, TelemetrySnapshot
 from repro.perf.account import Category
 from repro.replay.base import DeterministicReplayer, ReplayResult
 from repro.replay.checkpoint import Checkpoint, CheckpointStore
@@ -80,15 +81,21 @@ class CheckpointingResult:
     #: Divergence sentinels verified during the pass (0 when the recorder
     #: emitted none) — the audit trail that silent divergence was checked.
     sentinels_verified: int = 0
+    #: CR-side telemetry (``None`` unless ``config.telemetry``); picklable,
+    #: so a process-backend CR ships it back inside this result.
+    telemetry: TelemetrySnapshot | None = None
 
 
 class CheckpointingReplayer(DeterministicReplayer):
     """Deterministic replay with periodic incremental checkpoints."""
 
+    TELEMETRY_ACTOR = "cr"
+
     def __init__(self, spec: MachineSpec, log: InputLog,
                  options: CheckpointingOptions | None = None,
                  cursor: LogCursor | None = None,
-                 pending_alarm_listener=None):
+                 pending_alarm_listener=None,
+                 telemetry: Telemetry | None = None):
         """``pending_alarm_listener`` is called (from the CR's thread) with
         each alarm the CR cannot dismiss, the moment it is confirmed — the
         streaming pipeline uses it to dispatch alarm replayers while the
@@ -99,6 +106,7 @@ class CheckpointingReplayer(DeterministicReplayer):
             cursor if cursor is not None else log.cursor(),
             manage_backras=True,
             verify_digest=self.options.verify_digest,
+            telemetry=telemetry,
         )
         self.log = log
         self.store = CheckpointStore(
@@ -150,6 +158,9 @@ class CheckpointingReplayer(DeterministicReplayer):
         self.alarms_seen += 1
         self.alarm_cycles[record.icount] = self.machine.now
         self.alarm_positions[record.icount] = self.cursor.position
+        tel = self.telemetry
+        if tel is not None:
+            tel.count_tagged("alarms", "seen")
         if record.kind is RopAlarmKind.UNDERFLOW:
             stack = self._evict_stacks.get(record.tid, [])
             if stack and stack[-1].value == record.actual:
@@ -157,8 +168,15 @@ class CheckpointingReplayer(DeterministicReplayer):
                 # evicted earlier in this thread: benign deep nesting.
                 stack.pop()
                 self.dismissed_underflows += 1
+                if tel is not None:
+                    tel.count_tagged("alarms", "dismissed_by_cr")
+                    tel.instant("dismiss_underflow", "alarm",
+                                self.machine.cpu.icount,
+                                alarm_icount=record.icount)
                 return
         self.pending_alarms.append(record)
+        if tel is not None:
+            tel.count_tagged("alarms", "pending")
         if self.pending_alarm_listener is not None:
             self.pending_alarm_listener(record)
 
@@ -170,6 +188,10 @@ class CheckpointingReplayer(DeterministicReplayer):
         """Snapshot the VM now (§4.6.1's three components)."""
         machine = self.machine
         costs = self._costs
+        tel = self.telemetry
+        token = (tel.begin("take_checkpoint", "checkpoint",
+                           machine.cpu.icount)
+                 if tel is not None else None)
         # Hardware dumps the RAS into the current thread's BackRAS entry so
         # the checkpointed BackRAS is complete.
         tid = self.interposer.current_tid
@@ -203,6 +225,14 @@ class CheckpointingReplayer(DeterministicReplayer):
                 machine.now - self._retention_cycles,
                 keep_at_least=self.options.keep_at_least,
             )
+        if tel is not None:
+            registry = tel.registry
+            registry.counter("checkpoints_taken").add(1)
+            registry.histogram("checkpoint.dirty_pages").observe(
+                len(dirty_pages))
+            registry.gauge("checkpoint.resident_bytes").set(
+                self.store.resident_bytes)
+            tel.end(token, machine.cpu.icount, dirty_pages=len(dirty_pages))
         return checkpoint
 
     # ------------------------------------------------------------------
@@ -242,7 +272,8 @@ class CheckpointingReplayer(DeterministicReplayer):
     def resume(cls, spec: MachineSpec, log: InputLog,
                options: CheckpointingOptions | None,
                state: CrResumeState,
-               pending_alarm_listener=None) -> "CheckpointingReplayer":
+               pending_alarm_listener=None,
+               telemetry: Telemetry | None = None) -> "CheckpointingReplayer":
         """Rebuild a CR positioned at ``state``'s last good checkpoint.
 
         The returned replayer adopts the partial store and continues over
@@ -252,7 +283,8 @@ class CheckpointingReplayer(DeterministicReplayer):
         state) — only the host-side metrics cover just the replayed tail.
         """
         replayer = cls(spec, log, options,
-                       pending_alarm_listener=pending_alarm_listener)
+                       pending_alarm_listener=pending_alarm_listener,
+                       telemetry=telemetry)
         checkpoint = None
         if state.checkpoint_icount is not None:
             for candidate in state.store.all():
@@ -301,6 +333,24 @@ class CheckpointingReplayer(DeterministicReplayer):
     # results
     # ------------------------------------------------------------------
 
+    def sample_telemetry(self) -> TelemetrySnapshot | None:
+        """End-of-pass snapshot with store ground truth folded in.
+
+        Idempotent (store stats land in gauges, which re-set): the
+        pipeline re-samples after the last AR verdict arrives so the
+        dispatch→verdict spans closed by AR completions are included.
+        """
+        tel = self.telemetry
+        if tel is None:
+            return None
+        registry = tel.registry
+        store = self.store
+        registry.gauge("checkpoint.resident_bytes").set(store.resident_bytes)
+        registry.gauge("checkpoint.storage_words").set(store.storage_words)
+        registry.gauge("checkpoint.recycled").set(store.recycled)
+        registry.gauge("checkpoint.budget_merges").set(store.budget_merges)
+        return tel.snapshot()
+
     def run_to_end(self, max_instructions: int | None = None
                    ) -> CheckpointingResult:
         """Replay the whole log, returning the CR-specific result."""
@@ -314,4 +364,5 @@ class CheckpointingReplayer(DeterministicReplayer):
             alarm_cycles=dict(self.alarm_cycles),
             alarm_positions=dict(self.alarm_positions),
             sentinels_verified=self.sentinels_verified,
+            telemetry=self.sample_telemetry(),
         )

@@ -75,6 +75,24 @@ class InputLog:
         """Serialized size of records in ``[start, end)`` (§8.4 metrics)."""
         return sum(self._sizes[start:end])
 
+    def tag_stats(self) -> dict[str, tuple[int, int]]:
+        """Per-record-type ``(count, bytes)`` totals.
+
+        One O(n) walk over the already-kept parallel record/size lists —
+        telemetry samples this once at end of recording instead of paying
+        a counter update per append on the hot path.
+        """
+        stats: dict[str, list[int]] = {}
+        for record, size in zip(self._records, self._sizes):
+            name = type(record).__name__
+            cell = stats.get(name)
+            if cell is None:
+                stats[name] = [1, size]
+            else:
+                cell[0] += 1
+                cell[1] += size
+        return {name: (count, size) for name, (count, size) in stats.items()}
+
     def to_bytes(self) -> bytes:
         """Serialize the whole log (round-trip tested)."""
         out = bytearray()

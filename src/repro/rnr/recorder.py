@@ -23,6 +23,7 @@ from repro.hypervisor.emulation import emulate_pio_in, emulate_pio_out
 from repro.hypervisor.interpose import ContextSwitchInterposer
 from repro.hypervisor.machine import GuestMachine, MachineSpec
 from repro.kernel.tasks import current_task
+from repro.obs.telemetry import Telemetry, TelemetrySnapshot
 from repro.perf.account import Category
 from repro.perf.report import RunMetrics
 from repro.rnr.log import InputLog
@@ -87,6 +88,8 @@ class RecordingRun:
     jop_alarms: list[AlarmRecord] = field(default_factory=list)
     #: Simulated cycle at which each alarm was logged (by alarm icount).
     alarm_cycles: dict[int, int] = field(default_factory=dict)
+    #: Recorder-side telemetry (``None`` unless ``config.telemetry``).
+    telemetry: TelemetrySnapshot | None = None
 
     @property
     def stop_reason(self) -> str:
@@ -98,10 +101,14 @@ class Recorder:
 
     def __init__(self, spec: MachineSpec,
                  options: RecorderOptions | None = None,
-                 log: InputLog | None = None):
+                 log: InputLog | None = None,
+                 telemetry: Telemetry | None = None):
         """``log`` lets a deployment inject its own sink — the streaming
         pipeline passes a :class:`~repro.rnr.log.RecordingLogTee` so frames
-        flow to the replayer while the recording is still running."""
+        flow to the replayer while the recording is still running.
+        ``telemetry`` lets a driver inject a pre-built collector (e.g. one
+        carrying a fleet heartbeat reporter); by default one is created iff
+        ``spec.config.telemetry`` is on."""
         self.spec = spec
         self.options = options if options is not None else RecorderOptions()
         self.machine = GuestMachine(spec, self._build_controls(),
@@ -127,6 +134,10 @@ class Recorder:
         #: Rolling sentinel digest chain (divergence audit).
         self._sentinel_crc = 0
         self._records_at_sentinel = 0
+        #: Nil-sink fast path: ``None`` unless telemetry is enabled, so
+        #: the run loop pays one ``is not None`` test per batch at most.
+        self.telemetry = (telemetry if telemetry is not None
+                          else Telemetry.for_config(spec.config, "record"))
 
     # ------------------------------------------------------------------
     # configuration
@@ -164,6 +175,13 @@ class Recorder:
         max_instructions = options.max_instructions
         sentinel_every = (options.sentinel_records
                           if options.log_enabled else None)
+        tel = self.telemetry
+        if tel is not None:
+            tel.beat("record", cpu.icount)
+            phase_token = tel.begin("record", "phase", cpu.icount)
+            exit_counter = tel.registry.tagged("record.vm_exits")
+            batch_hist = tel.registry.histogram("record.batch_instructions")
+            last_icount = cpu.icount
         machine.timer.start(0)
         while not machine.stopped:
             if (sentinel_every is not None
@@ -194,6 +212,13 @@ class Recorder:
                     if until_due < batch:
                         batch = until_due if until_due > 0 else 1
             exit_event = cpu.run(batch)
+            if tel is not None:
+                icount = cpu.icount
+                batch_hist.observe(icount - last_icount)
+                last_icount = icount
+                if exit_event is not None:
+                    exit_counter.add(exit_event.reason.value)
+                tel.maybe_beat("record", icount)
             if exit_event is not None:
                 self._handle_exit(exit_event)
                 for watchdog in self.watchdogs:
@@ -204,6 +229,9 @@ class Recorder:
         if options.log_enabled:
             digest = machine.state_digest() if options.digest else 0
             self.log.append(EndRecord(icount=cpu.icount, digest=digest))
+        if tel is not None:
+            self._sample_telemetry()
+            tel.end(phase_token, cpu.icount, stop=machine.stop_reason)
         return self._build_result()
 
     # ------------------------------------------------------------------
@@ -238,6 +266,8 @@ class Recorder:
         cpu = machine.cpu
         costs = self._costs
         log_enabled = self.options.log_enabled
+        if self.telemetry is not None:
+            self.telemetry.count("record.interrupts_injected")
         # Land any DMA pinned to this delivery point first, so replay can
         # reproduce the memory change at the same instruction count.
         for block, addr in machine.disk_dev.flush_dma():
@@ -441,6 +471,36 @@ class Recorder:
     # results
     # ------------------------------------------------------------------
 
+    def _sample_telemetry(self):
+        """Fold end-of-run ground truth into the recorder's registry.
+
+        Counts are sampled once from the structures the run already
+        maintains (log sizes, alarm lists, the machine's cycle account) —
+        never accumulated per record on the hot path — so the snapshot
+        matches the run's own results exactly by construction.
+        """
+        tel = self.telemetry
+        machine = self.machine
+        registry = tel.registry
+        registry.counter("record.instructions").add(machine.cpu.icount)
+        registry.counter("record.log_bytes").add(self.log.total_bytes)
+        registry.counter("record.log_records").add(len(self.log))
+        log_tags = registry.tagged("record.log_records_by_tag")
+        for tag, (count, size) in self.log.tag_stats().items():
+            log_tags.add(tag, size, count)
+        alarms = registry.tagged("alarms")
+        if self.alarms:
+            alarms.add("raised", len(self.alarms), len(self.alarms))
+        if self.jop_alarms:
+            alarms.add("jop", len(self.jop_alarms), len(self.jop_alarms))
+        if self.evicts:
+            alarms.add("evicts", len(self.evicts), len(self.evicts))
+        registry.counter("record.context_switches").add(
+            self.interposer.context_switches)
+        # One source of truth: snapshot the simulated cycle account itself.
+        registry.adopt_tagged("record.overhead_cycles",
+                              machine.account.counter)
+
     def _build_result(self) -> RecordingRun:
         machine = self.machine
         metrics = RunMetrics(
@@ -462,4 +522,6 @@ class Recorder:
             evicts=self.evicts,
             jop_alarms=self.jop_alarms,
             alarm_cycles=dict(self.alarm_cycles),
+            telemetry=(self.telemetry.snapshot()
+                       if self.telemetry is not None else None),
         )

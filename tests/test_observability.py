@@ -1,0 +1,591 @@
+"""Telemetry must observe the system without perturbing it.
+
+Three contracts pinned here:
+
+* **Zero interference** — a pipelined run with ``config.telemetry`` on
+  produces bit-identical log bytes, final CPU state, and verdicts to the
+  same run with it off, including under every recoverable transport
+  fault (telemetry composes with fault injection, it never masks it).
+* **Ground truth** — the metrics snapshot agrees exactly with the run's
+  own results: instructions retired, log records/bytes, checkpoints,
+  alarm dispositions, AR verdicts.  No sampled approximations.
+* **Well-formed exports** — the Chrome trace is loadable Trace Event
+  Format with one span per phase, per checkpoint, and per AR; JSONL
+  parses line by line; Prometheus text renders every metric family.
+"""
+
+import dataclasses
+import json
+import pickle
+
+import pytest
+
+from repro.core.fleet import FleetSession, run_fleet
+from repro.core.parallel import (
+    RecoveryAudit,
+    RecoveryEvent,
+    record_and_replay_pipelined,
+)
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+from repro.obs import (
+    HISTOGRAM_BUCKETS,
+    Counter,
+    Gauge,
+    HeartbeatBoard,
+    HeartbeatRow,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    SpanTracer,
+    TaggedCounter,
+    Telemetry,
+    TelemetrySnapshot,
+    bucket_bounds,
+    bucket_index,
+    to_chrome_trace,
+    to_jsonl,
+    to_prometheus,
+)
+from repro.replay.checkpointing import CheckpointingOptions
+from repro.rnr.recorder import RecorderOptions
+from repro.workloads import build_workload, profile_by_name
+
+BUDGET = 40_000
+OPTIONS = RecorderOptions(max_instructions=BUDGET)
+CR = CheckpointingOptions(period_s=0.2)
+FRAME_RECORDS = 8
+QUEUE_DEPTH = 4
+
+
+def _spec(profile: str = "apache", telemetry: bool = False):
+    spec = build_workload(profile_by_name(profile))
+    if telemetry:
+        spec = dataclasses.replace(
+            spec, config=dataclasses.replace(spec.config, telemetry=True),
+        )
+    return spec
+
+
+def _run(spec, **kwargs):
+    return record_and_replay_pipelined(
+        spec, OPTIONS, CR, backend="thread",
+        frame_records=FRAME_RECORDS, queue_depth=QUEUE_DEPTH, **kwargs,
+    )
+
+
+def _verdict_key(verdict):
+    return (verdict.kind, verdict.benign_cause, verdict.alarm.icount,
+            verdict.alarm.kind, verdict.alarm.tid)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """One telemetry-off pipelined run every telemetry-on run must match."""
+    return _run(_spec())
+
+
+@pytest.fixture(scope="module")
+def observed():
+    """The same run with telemetry on."""
+    return _run(_spec(telemetry=True))
+
+
+# ----------------------------------------------------------------------
+# metrics primitives
+# ----------------------------------------------------------------------
+
+
+class TestHistogramBuckets:
+    def test_every_value_lands_inside_its_bucket_bounds(self):
+        for value in [0, 1, 2, 3, 7, 8, 255, 256, 1 << 20, (1 << 63) - 1]:
+            index = bucket_index(value)
+            low, high = bucket_bounds(index)
+            if index < HISTOGRAM_BUCKETS - 1:
+                assert low <= value < high, (value, index, low, high)
+
+    def test_negative_clamps_to_zero_bucket(self):
+        assert bucket_index(-5) == 0
+
+    def test_huge_values_clamp_to_last_bucket(self):
+        assert bucket_index(1 << 200) == HISTOGRAM_BUCKETS - 1
+
+    def test_bounds_tile_the_integers(self):
+        # Consecutive buckets must share an edge: no value can fall
+        # between buckets or into two of them.
+        for index in range(1, 66):
+            prev_low, prev_high = bucket_bounds(index - 1)
+            low, _ = bucket_bounds(index)
+            assert low == prev_high
+
+    def test_observe_tracks_total_count_mean_max(self):
+        hist = Histogram()
+        for value in [1, 2, 3, 100]:
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.total == 106
+        assert hist.max_value == 100
+        assert hist.mean == pytest.approx(26.5)
+
+    def test_merge_is_elementwise_addition(self):
+        left, right, both = Histogram(), Histogram(), Histogram()
+        import random
+
+        rng = random.Random(7)
+        for _ in range(500):
+            value = rng.randrange(0, 1 << 40)
+            (left if rng.random() < 0.5 else right).observe(value)
+            both.observe(value)
+        left.merge(right)
+        assert left.counts == both.counts
+        assert left.total == both.total
+        assert left.count == both.count
+        assert left.max_value == both.max_value
+
+
+class TestCountersAndSnapshots:
+    def test_counter_and_gauge_roundtrip(self):
+        counter = Counter()
+        counter.add(5)
+        counter.add(3, events=2)
+        assert (counter.value, counter.events) == (8, 3)
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.set(4)
+        assert (gauge.value, gauge.max_value) == (4, 10)
+
+    def test_tagged_counter_cells(self):
+        tagged = TaggedCounter()
+        tagged.add("a", 2)
+        tagged.add("a", 3)
+        tagged.add("b", 1)
+        assert tagged.value("a") == 5
+        assert tagged.events("a") == 2
+        assert tagged.total == 6
+
+    def test_snapshot_merge_matches_single_registry(self):
+        separate = [MetricsRegistry(), MetricsRegistry()]
+        combined = MetricsRegistry()
+        for turn, registry in enumerate(separate):
+            registry.counter("c").add(turn + 1)
+            registry.tagged("t").add("x", turn + 10)
+            registry.histogram("h").observe(turn + 100)
+            combined.counter("c").add(turn + 1)
+            combined.tagged("t").add("x", turn + 10)
+            combined.histogram("h").observe(turn + 100)
+        merged = separate[0].snapshot().merge(separate[1].snapshot())
+        want = combined.snapshot()
+        assert merged.counters == want.counters
+        assert merged.tagged == want.tagged
+        assert merged.histograms == want.histograms
+
+    def test_snapshot_pickles(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(1)
+        registry.gauge("g").set(2)
+        snapshot = pickle.loads(pickle.dumps(registry.snapshot()))
+        assert snapshot.counter_value("c") == 1
+        assert snapshot.gauge_value("g") == 2
+
+    def test_prometheus_renders_every_family(self):
+        registry = MetricsRegistry()
+        registry.counter("log.bytes").add(42)
+        registry.tagged("vm.exits").add("mmio", 3)
+        registry.gauge("resident").set(7)
+        registry.histogram("batch").observe(9)
+        text = to_prometheus(registry.snapshot())
+        assert "# TYPE repro_log_bytes counter" in text
+        assert "repro_log_bytes 42" in text
+        assert 'repro_vm_exits{tag="mmio"} 3' in text
+        assert "# TYPE repro_resident gauge" in text
+        assert 'repro_batch_bucket{le="+Inf"} 1' in text
+        assert "repro_batch_sum 9" in text
+
+
+# ----------------------------------------------------------------------
+# span tracer and exports
+# ----------------------------------------------------------------------
+
+
+class TestSpanTracer:
+    def test_span_context_manager_stamps_icounts(self):
+        clock = {"icount": 100}
+        tracer = SpanTracer("record")
+        with tracer.span("phase", "phase", lambda: clock["icount"]):
+            clock["icount"] = 250
+        (event,) = tracer.events
+        assert event.icount_window == (100, 250)
+        assert event.end_wall_ns >= event.begin_wall_ns
+
+    def test_span_records_error_on_exception(self):
+        tracer = SpanTracer("cr")
+        with pytest.raises(ValueError):
+            with tracer.span("work", "phase", lambda: 0):
+                raise ValueError("boom")
+        (event,) = tracer.events
+        assert dict(event.args)["error"] == "ValueError"
+
+    def test_chrome_trace_schema(self):
+        tracer = SpanTracer("record")
+        token = tracer.begin("record", "phase", 0)
+        tracer.end(token, 500, stop="budget")
+        trace = to_chrome_trace(tracer.events, label="unit")
+        json.dumps(trace)  # serializable end to end
+        events = trace["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == 1 and len(meta) == 1
+        (span,) = complete
+        assert span["name"] == "record"
+        assert span["pid"] == 1 and span["tid"] == 1
+        assert span["ts"] == 0.0 and span["dur"] >= 0
+        assert span["args"]["icount_begin"] == 0
+        assert span["args"]["icount_end"] == 500
+        assert meta[0]["args"]["name"] == "record"
+
+    def test_jsonl_parses_line_by_line(self):
+        tracer = SpanTracer("ar")
+        tracer.instant("dismiss", "alarm", 42, cause="underflow")
+        lines = to_jsonl(tracer.events).splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["actor"] == "ar"
+        assert record["icount"] == [42, 42]
+        assert record["args"]["cause"] == "underflow"
+
+
+# ----------------------------------------------------------------------
+# the nil sink
+# ----------------------------------------------------------------------
+
+
+class TestNilSink:
+    def test_for_config_returns_none_when_disabled(self):
+        assert Telemetry.for_config(_spec().config, "record") is None
+
+    def test_for_config_returns_instance_when_enabled(self):
+        tel = Telemetry.for_config(_spec(telemetry=True).config, "record")
+        assert tel is not None and tel.actor == "record"
+
+    def test_heartbeat_forces_an_instance_without_telemetry(self):
+        board = HeartbeatBoard()
+        tel = Telemetry.for_config(_spec().config, "record",
+                                   heartbeat=board.reporter(0))
+        assert tel is not None
+
+
+# ----------------------------------------------------------------------
+# zero interference: telemetry on == telemetry off, bit for bit
+# ----------------------------------------------------------------------
+
+
+class TestDifferential:
+    def test_log_bytes_identical(self, baseline, observed):
+        assert (baseline.recording.log.to_bytes()
+                == observed.recording.log.to_bytes())
+
+    def test_final_cpu_state_identical(self, baseline, observed):
+        assert baseline.final_cpu_state == observed.final_cpu_state
+
+    def test_checkpoints_identical(self, baseline, observed):
+        base = [(c.icount, c.cycles) for c in baseline.checkpointing.store.all()]
+        obs = [(c.icount, c.cycles) for c in observed.checkpointing.store.all()]
+        assert base == obs
+
+    def test_verdicts_identical(self, baseline, observed):
+        assert ([_verdict_key(v) for v in baseline.resolution.verdicts]
+                == [_verdict_key(v) for v in observed.resolution.verdicts])
+
+    def test_off_run_carries_no_telemetry(self, baseline):
+        assert baseline.telemetry is None
+        assert baseline.recording.telemetry is None
+        assert baseline.checkpointing.telemetry is None
+
+    @pytest.mark.parametrize("fault", [
+        FaultSpec(FaultKind.CORRUPT_FRAME, target=2),
+        FaultSpec(FaultKind.DROP_FRAME, target=2),
+        FaultSpec(FaultKind.TRUNCATE_FRAME, target=1),
+    ])
+    def test_identical_under_transport_faults(self, baseline, fault):
+        run = _run(_spec(telemetry=True), fault_plan=FaultPlan([fault]))
+        assert run.recovery is not None
+        assert (run.recording.log.to_bytes()
+                == baseline.recording.log.to_bytes())
+        assert run.final_cpu_state == baseline.final_cpu_state
+        assert ([_verdict_key(v) for v in run.resolution.verdicts]
+                == [_verdict_key(v) for v in baseline.resolution.verdicts])
+        # The heal itself is observable: a typed audit, a tagged counter,
+        # and a recover span covering the re-replayed window.
+        assert isinstance(run.recovery, RecoveryAudit)
+        assert run.telemetry.metrics.tagged_total("pipeline.recoveries") == 1
+        (span,) = run.telemetry.spans_named("recover")
+        assert span.icount_window[1] >= span.icount_window[0]
+        assert run.telemetry.metrics.tagged_total("faults.frames") == 1
+
+
+# ----------------------------------------------------------------------
+# ground truth
+# ----------------------------------------------------------------------
+
+
+class TestGroundTruth:
+    def test_instructions_match(self, observed):
+        metrics = observed.telemetry.metrics
+        assert (metrics.counter_value("record.instructions")
+                == observed.recording.metrics.instructions)
+        assert (metrics.counter_value("cr.instructions")
+                == observed.checkpointing.replay.metrics.instructions)
+
+    def test_log_records_and_bytes_match(self, observed):
+        metrics = observed.telemetry.metrics
+        assert (metrics.counter_value("record.log_records")
+                == len(observed.recording.log))
+        assert (metrics.counter_value("record.log_bytes")
+                == observed.recording.metrics.log_bytes)
+        by_tag = metrics.tagged.get("record.log_records_by_tag", {})
+        assert (sum(cell[1] for cell in by_tag.values())
+                == len(observed.recording.log))
+
+    def test_checkpoint_counts_match(self, observed):
+        metrics = observed.telemetry.metrics
+        assert (metrics.counter_value("checkpoints_taken")
+                >= len(observed.checkpointing.store))
+
+    def test_alarm_dispositions_match(self, observed):
+        metrics = observed.telemetry.metrics
+        assert (metrics.tagged_value("alarms", "seen")
+                == observed.checkpointing.alarms_seen)
+        assert (metrics.tagged_value("alarms", "dismissed_by_cr")
+                == observed.checkpointing.dismissed_underflows)
+        assert (metrics.tagged_value("alarms", "pending")
+                == len(observed.checkpointing.pending_alarms))
+
+    def test_verdict_counts_match(self, observed):
+        metrics = observed.telemetry.metrics
+        verdicts = observed.resolution.verdicts
+        assert metrics.tagged_total("ar.verdicts") == len(verdicts)
+        for verdict in verdicts:
+            assert metrics.tagged_value("ar.verdicts",
+                                        verdict.kind.value) >= 1
+
+    def test_overhead_cycles_adopt_the_cycle_account(self, observed):
+        # One source of truth: the snapshot's overhead cells are the
+        # recorder machine's CycleAccount cells, not a recount.
+        metrics = observed.telemetry.metrics
+        account_total = observed.recording.metrics.account.total_overhead
+        assert metrics.tagged.get("record.overhead_cycles")
+        snapshot_total = sum(
+            cell[0]
+            for cell in metrics.tagged["record.overhead_cycles"].values()
+        )
+        assert snapshot_total == account_total
+
+    def test_one_span_per_phase_checkpoint_and_ar(self, observed):
+        names = [span.name for span in observed.telemetry.spans]
+        alarms = len(observed.checkpointing.pending_alarms)
+        assert names.count("record") == 1
+        assert names.count("replay") >= 1  # the CR pass (+ one per AR)
+        assert names.count("pipeline") == 1
+        assert (names.count("take_checkpoint")
+                >= len(observed.checkpointing.store))
+        assert names.count("analyze") == alarms
+        assert names.count("ar_dispatch") == alarms
+
+    def test_chrome_trace_loads(self, observed):
+        trace = json.loads(json.dumps(observed.telemetry.chrome_trace()))
+        assert trace["traceEvents"]
+        phases = [e for e in trace["traceEvents"]
+                  if e.get("ph") == "X" and e["cat"] == "phase"]
+        assert len(phases) >= 2  # record + cr at minimum
+
+
+# ----------------------------------------------------------------------
+# structured recovery audit
+# ----------------------------------------------------------------------
+
+
+class TestRecoveryAudit:
+    def test_event_renders_the_legacy_string(self):
+        event = RecoveryEvent(kind="cr-resumed", cause="CRC mismatch",
+                              window=(120_000, 200_000))
+        assert str(event) == "cr-resumed@120000: CRC mismatch"
+        assert event.icount == 120_000
+
+    def test_restart_renders_without_anchor(self):
+        event = RecoveryEvent(kind="cr-restarted", cause="worker died")
+        assert str(event) == "cr-restarted: worker died"
+
+    def test_audit_string_compat(self):
+        audit = RecoveryAudit((
+            RecoveryEvent(kind="cr-resumed", cause="sequence gap",
+                          window=(10, 20)),
+        ))
+        assert audit.startswith("cr-resumed@10")
+        assert "sequence gap" in audit
+        assert len(audit) == 1
+        assert audit[0].kind == "cr-resumed"
+
+    def test_pipeline_heal_returns_typed_events(self, baseline):
+        plan = FaultPlan([FaultSpec(FaultKind.DROP_FRAME, target=2)])
+        run = _run(_spec(), fault_plan=plan)
+        assert isinstance(run.recovery, RecoveryAudit)
+        (event,) = run.recovery
+        assert event.kind in ("cr-resumed", "cr-restarted")
+        assert event.window[1] >= event.window[0]
+        assert run.recovery.startswith(event.kind)
+
+
+# ----------------------------------------------------------------------
+# heartbeats
+# ----------------------------------------------------------------------
+
+
+class TestHeartbeat:
+    def test_reporter_publishes_rows_in_index_order(self):
+        board = HeartbeatBoard()
+        board.reporter(1).publish("record", icount=50_000)
+        board.reporter(0).publish("cr", icount=20_000, frames=3)
+        rows = board.rows()
+        assert [row.index for row in rows] == [0, 1]
+        assert rows[0].state == "cr" and rows[0].frames == 3
+        assert rows[1].icount == 50_000
+
+    def test_stale_row_flags_wedged_but_terminal_never_does(self):
+        lively = HeartbeatRow(index=0, state="record", icount=1,
+                              frames=0, wall=1000.0)
+        done = HeartbeatRow(index=1, state="done", icount=1,
+                            frames=0, wall=1000.0)
+        now = 1000.0 + 60.0
+        assert lively.is_stale(now)
+        assert not done.is_stale(now)
+
+    def test_render_marks_wedged_rows(self):
+        board = HeartbeatBoard()
+        board.reporter(0).publish("record", icount=10)
+        rows = board.rows()
+        stale_now = rows[0].wall + 60.0
+        table = board.render(total=1, now=stale_now)
+        assert "WEDGED?" in table
+        assert "0/1 sessions finished" in table
+
+    def test_reporter_pickles(self):
+        board = HeartbeatBoard()
+        reporter = pickle.loads(pickle.dumps(board.reporter(2)))
+        assert reporter.index == 2
+
+    def test_telemetry_beats_are_icount_rate_limited(self):
+        board = HeartbeatBoard()
+        tel = Telemetry("record", heartbeat=board.reporter(0),
+                        beat_interval=1000)
+        tel.maybe_beat("record", 500)       # below the interval: dropped
+        assert board.rows() == []
+        tel.maybe_beat("record", 1500)      # 1500-0 >= 1000: published
+        tel.maybe_beat("record", 1600)      # 100 since last: dropped
+        (row,) = board.rows()
+        assert row.icount == 1500
+
+
+# ----------------------------------------------------------------------
+# fleet aggregation
+# ----------------------------------------------------------------------
+
+
+class TestFleetTelemetry:
+    @pytest.fixture(scope="class")
+    def sessions(self):
+        return [FleetSession(benchmark="fileio", seed=seed,
+                             max_instructions=60_000)
+                for seed in (1, 2)]
+
+    def test_fleet_off_carries_no_telemetry(self, sessions):
+        fleet = run_fleet(sessions, backend="thread")
+        assert fleet.telemetry is None
+        assert all(r.telemetry is None for r in fleet.results)
+
+    def test_fleet_rollup_merges_sessions(self, sessions):
+        board = HeartbeatBoard()
+        fleet = run_fleet(sessions, backend="thread", telemetry=True,
+                          heartbeat=board)
+        assert all(result.ok for result in fleet.results)
+        assert fleet.telemetry is not None
+        metrics = fleet.telemetry.metrics
+        assert (metrics.counter_value("record.instructions")
+                == fleet.total_instructions)
+        names = [span.name for span in fleet.telemetry.spans]
+        assert names.count("session") == len(sessions)
+        assert all(row.state == "done" for row in board.rows())
+
+    def test_heartbeat_alone_does_not_attach_snapshots(self, sessions):
+        board = HeartbeatBoard()
+        fleet = run_fleet(sessions, backend="thread", heartbeat=board)
+        assert fleet.telemetry is None
+        assert board.rows()  # ...but the board was still fed
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+class TestCli:
+    def test_stats_tables(self, capsys):
+        from repro.cli import main
+
+        assert main(["stats", "fileio", "--budget", "60000"]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out
+        assert "record.instructions" in out
+
+    def test_stats_prom(self, capsys):
+        from repro.cli import main
+
+        assert main(["stats", "fileio", "--budget", "60000", "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_record_instructions counter" in out
+        assert "repro_record_instructions 60000" in out
+
+    def test_stats_trace_writes_loadable_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "trace.json"
+        assert main(["stats", "fileio", "--budget", "60000",
+                     "--trace", str(target)]) == 0
+        capsys.readouterr()
+        trace = json.loads(target.read_text())
+        assert any(e.get("ph") == "X" for e in trace["traceEvents"])
+
+    def test_fleet_watch_renders_the_board(self, capsys):
+        from repro.cli import main
+
+        code = main(["fleet", "fileio", "--width", "2",
+                     "--budget", "60000", "--backend", "thread",
+                     "--watch", "--watch-interval", "0.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sessions finished" in out
+        assert "fleet of 2 sessions" in out
+
+
+# ----------------------------------------------------------------------
+# snapshot merge semantics at the run level
+# ----------------------------------------------------------------------
+
+
+class TestTelemetrySnapshot:
+    def test_merged_skips_none(self):
+        keep = TelemetrySnapshot(actor="a")
+        keep.metrics.counters["x"] = [1, 1]
+        merged = TelemetrySnapshot.merged([None, keep, None], actor="run")
+        assert merged.actor == "run"
+        assert merged.metrics.counter_value("x") == 1
+
+    def test_run_snapshot_pickles(self, observed):
+        clone = pickle.loads(pickle.dumps(observed.telemetry))
+        assert (clone.metrics.counter_value("record.instructions")
+                == observed.telemetry.metrics.counter_value(
+                    "record.instructions"))
+        assert len(clone.spans) == len(observed.telemetry.spans)
+
+    def test_tables_render(self, observed):
+        text = observed.telemetry.tables()
+        assert "phase" in text
+        assert "record.instructions" in text
