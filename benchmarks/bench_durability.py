@@ -1,0 +1,170 @@
+"""Durability harness: what the crash-safe run store costs, per fsync policy.
+
+The robustness tentpole (`repro.store`, `docs/RELIABILITY.md`) journals
+every frame and checkpoint of a pipelined run to disk so a killed run
+can resume bit-identically.  Durability is **off by default** and must
+cost nothing when off; when on, the cost is the journal appends, the
+checkpoint pickles, and — dominating everything — the fsync policy.
+This harness measures all four shapes per workload and emits
+``BENCH_durability.json``:
+
+* **off** — a plain pipelined run (the baseline every other row is
+  normalised against);
+* **never / interval / always** — durable runs under each fsync policy,
+  each checked bit-equivalent to the baseline (same log bytes, same
+  verdicts, same final CPU state), with a recover-and-verify pass over
+  the finished store.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py            # full run
+    PYTHONPATH=src python benchmarks/bench_durability.py --smoke    # CI smoke
+
+See ``docs/RELIABILITY.md`` ("Durability & recovery") for the fsync
+matrix this quantifies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import tempfile
+import time
+
+from repro.core.parallel import record_and_replay_pipelined
+from repro.errors import WorkloadError
+from repro.replay.checkpointing import CheckpointingOptions
+from repro.rnr.recorder import RecorderOptions
+from repro.rnr.session import SessionManifest
+from repro.store import RunStoreWriter, recover_run
+from repro.workloads import ALL_PROFILES, profile_by_name
+
+DEFAULT_BUDGET = 1_000_000
+SMOKE_BUDGET = 150_000
+FRAME_RECORDS = 2
+CHECKPOINT_PERIOD_S = 0.2
+POLICIES = ("never", "interval", "always")
+#: Per-policy repetitions — fsync cost is noisy, the median is reported.
+REPEATS = 3
+
+DEFAULT_OUT = (pathlib.Path(__file__).resolve().parent.parent
+               / "BENCH_durability.json")
+
+
+def _verdict_keys(run):
+    return [(v.kind.value, v.alarm.icount) for v in run.resolution.verdicts]
+
+
+def _one_run(name: str, budget: int, store_path=None, fsync="interval"):
+    """One pipelined run, durable when ``store_path`` is given."""
+    manifest = SessionManifest(benchmark=name, seed=2018,
+                               max_instructions=budget)
+    store = None
+    if store_path is not None:
+        store = RunStoreWriter(str(store_path), manifest, fsync=fsync,
+                               frame_records=FRAME_RECORDS)
+    start = time.perf_counter()
+    run = record_and_replay_pipelined(
+        manifest.build_spec(),
+        RecorderOptions(max_instructions=budget),
+        CheckpointingOptions(period_s=CHECKPOINT_PERIOD_S),
+        backend="thread", frame_records=FRAME_RECORDS,
+        run_store=store,
+    )
+    return run, time.perf_counter() - start
+
+
+def bench_workload(name: str, budget: int, scratch: pathlib.Path) -> dict:
+    baseline, base_seconds = _one_run(name, budget)
+    base_log = baseline.recording.log.to_bytes()
+    entry: dict = {
+        "instructions": baseline.recording.metrics.instructions,
+        "log_records": len(baseline.recording.log),
+        "off": {"host_seconds": round(base_seconds, 4)},
+    }
+    for policy in POLICIES:
+        seconds = []
+        store_bytes = 0
+        equivalent = True
+        recoverable = True
+        for repeat in range(REPEATS):
+            store_path = scratch / f"{name}-{policy}-{repeat}"
+            shutil.rmtree(store_path, ignore_errors=True)
+            run, elapsed = _one_run(name, budget, store_path, policy)
+            seconds.append(elapsed)
+            equivalent &= (
+                run.recording.log.to_bytes() == base_log
+                and run.final_cpu_state == baseline.final_cpu_state
+                and _verdict_keys(run) == _verdict_keys(baseline)
+            )
+            point = recover_run(store_path)
+            recoverable &= (point.recording_complete
+                            and point.log.to_bytes() == base_log)
+            store_bytes = sum(f.stat().st_size
+                              for f in store_path.rglob("*") if f.is_file())
+        seconds.sort()
+        median = seconds[len(seconds) // 2]
+        entry[policy] = {
+            "host_seconds": round(median, 4),
+            "overhead_pct": round(100.0 * (median - base_seconds)
+                                  / base_seconds, 1) if base_seconds else None,
+            "store_bytes": store_bytes,
+            "equivalent": equivalent,
+            "recoverable": recoverable,
+        }
+    return entry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--budget", type=int, default=DEFAULT_BUDGET)
+    parser.add_argument("--benchmarks", nargs="*", default=None)
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI run: one workload, small budget")
+    args = parser.parse_args(argv)
+
+    names = args.benchmarks or [p.name for p in ALL_PROFILES]
+    try:
+        for name in names:
+            profile_by_name(name)
+    except WorkloadError as exc:
+        parser.error(str(exc))
+    budget = args.budget
+    if args.smoke:
+        names = names[:1]
+        budget = min(budget, SMOKE_BUDGET)
+
+    report: dict = {
+        "budget": budget,
+        "frame_records": FRAME_RECORDS,
+        "checkpoint_period_s": CHECKPOINT_PERIOD_S,
+        "repeats": REPEATS,
+        "benchmarks": {},
+    }
+    ok = True
+    with tempfile.TemporaryDirectory(prefix="bench-durability-") as scratch:
+        for name in names:
+            print(f"[bench_durability] {name} (budget {budget}) ...",
+                  flush=True)
+            entry = bench_workload(name, budget, pathlib.Path(scratch))
+            report["benchmarks"][name] = entry
+            for policy in POLICIES:
+                row = entry[policy]
+                ok &= row["equivalent"] and row["recoverable"]
+                print(f"    {policy:<9} {row['host_seconds']:>8.4f}s  "
+                      f"({row['overhead_pct']:+.1f}% vs off)  "
+                      f"store {row['store_bytes']:,}B  "
+                      f"equivalent={row['equivalent']} "
+                      f"recoverable={row['recoverable']}", flush=True)
+
+    report["all_equivalent"] = ok
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_durability] report written to {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,12 @@ Subcommands mirror the deployment's moving parts:
 * ``hunt``    — the full Figure 1 pipeline in one shot, with verdicts
   (``--pipeline`` overlaps recording and checkpointing replay);
 * ``fleet``   — run many independent sessions across a worker pool
-  (``--watch`` renders the live heartbeat board while they run);
+  (``--watch`` renders the live heartbeat board while they run;
+  ``--store`` turns on the self-healing supervisor, which resumes dead
+  or wedged sessions from their durable run stores);
+* ``resume``  — continue an interrupted durable run (``--store``) from
+  whatever its crash-safe store recovers;
+* ``fsck``    — validate a run store's CRCs and print its resume plan;
 * ``stats``   — run one pipelined session with telemetry on and print the
   per-phase/per-metric tables (``--prom`` for Prometheus text,
   ``--trace`` to save a Chrome trace);
@@ -38,14 +43,34 @@ def _cmd_record(args) -> int:
         max_instructions=args.budget,
     )
     spec = manifest.build_spec()
-    run = Recorder(spec, RecorderOptions(
+    options = RecorderOptions(
         max_instructions=args.budget,
         sentinel_records=args.sentinel,
-    )).run()
+    )
+    if args.store:
+        # Durable recording: journal frames into a crash-safe run store
+        # as they are produced, then seal it.
+        from repro.core.parallel import _run_producer
+        from repro.store import RunStoreWriter
+
+        store = RunStoreWriter(args.store, manifest, fsync=args.fsync,
+                               frame_records=spec.config.frame_records)
+        try:
+            run, _ = _run_producer(spec, options,
+                                   spec.config.frame_records,
+                                   store.append_frame)
+            store.seal_log(run)
+        except BaseException:
+            store.close()
+            raise
+    else:
+        run = Recorder(spec, options).run()
     metrics = run.metrics
     print(f"recorded {spec.label}: {metrics.instructions} instructions, "
           f"{len(run.log)} records ({metrics.log_bytes} bytes), "
           f"{metrics.alarms} alarms, stop={run.stop_reason}")
+    if args.store:
+        print(f"run store sealed at {args.store} (fsync={args.fsync})")
     if args.out:
         save_session(args.out, manifest, run.log, framed=args.framed)
         print(f"session saved to {args.out}"
@@ -81,20 +106,83 @@ def _cmd_hunt(args) -> int:
         max_instructions=args.budget,
     )
     spec = manifest.build_spec()
+    run_store = None
+    if args.store:
+        from repro.store import RunStoreWriter
+
+        run_store = RunStoreWriter(args.store, manifest, fsync=args.fsync,
+                                   frame_records=spec.config.frame_records)
     options = RnRSafeOptions(
         recorder=RecorderOptions(max_instructions=args.budget,
                                  stall_on_alarm=args.stall,
                                  sentinel_records=args.sentinel),
         pipeline=args.pipeline,
         pipeline_backend=args.pipeline_backend,
+        run_store=run_store,
     )
     report = RnRSafe(spec, options).run()
+    if args.store:
+        print(f"run store at {args.store} (fsync={args.fsync})")
     print(report.summary())
     for outcome in report.outcomes:
         print(f"  {outcome.alarm.kind.value} @ pc={outcome.alarm.pc:#x}: "
               f"{outcome.verdict.kind.value} — "
               f"{outcome.verdict.explanation}")
     return 0 if not report.inconclusive else 1
+
+
+def _cmd_resume(args) -> int:
+    from repro.core.parallel import record_and_replay_pipelined
+    from repro.errors import LogError
+    from repro.replay import CheckpointingOptions
+    from repro.rnr.recorder import RecorderOptions
+    from repro.store import RunStoreWriter, recover_run
+
+    try:
+        point = recover_run(args.store)
+    except LogError as exc:
+        print(f"resume: {exc}", file=sys.stderr)
+        return 1
+    for note in point.notes:
+        print(f"note: {note}")
+    spec = point.session.build_spec()
+    store = RunStoreWriter(
+        args.store, point.session,
+        fsync=args.fsync if args.fsync else point.fsync,
+        frame_records=point.frame_records or spec.config.frame_records,
+        attempt=point.attempt + 1,
+        resume=point,
+    )
+    run = record_and_replay_pipelined(
+        spec,
+        RecorderOptions(max_instructions=point.session.max_instructions),
+        CheckpointingOptions(period_s=args.checkpoint_period),
+        backend="thread",
+        frame_records=point.frame_records or spec.config.frame_records,
+        run_store=store,
+        resume=point,
+    )
+    verdicts = (", ".join(v.kind.value for v in run.resolution.verdicts)
+                if run.resolution and run.resolution.verdicts else "-")
+    print(f"resumed {spec.label} from {args.store}: "
+          f"{run.final_cpu_state.icount} instructions, "
+          f"{len(run.checkpointing.store)} checkpoints, "
+          f"verdicts: {verdicts}")
+    if run.recovery:
+        print(f"recovery: {run.recovery}")
+    return 0
+
+
+def _cmd_fsck(args) -> int:
+    from repro.errors import LogError
+    from repro.store import fsck_run
+
+    try:
+        print(fsck_run(args.store))
+    except LogError as exc:
+        print(f"fsck: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_stats(args) -> int:
@@ -174,7 +262,9 @@ def _cmd_fleet(args) -> int:
     if args.watch:
         from repro.obs.heartbeat import HeartbeatBoard
 
-        board = HeartbeatBoard(shared=(args.backend == "process"))
+        # The supervised (durable) fleet always runs worker processes.
+        board = HeartbeatBoard(
+            shared=(args.backend == "process" or args.store is not None))
 
     def run():
         return run_fleet(
@@ -187,6 +277,10 @@ def _cmd_fleet(args) -> int:
             max_retries=args.max_retries,
             telemetry=args.telemetry,
             heartbeat=board,
+            store_dir=args.store,
+            store_fsync=args.fsync,
+            heal_deadline_s=args.heal_deadline,
+            max_resume_attempts=args.max_resume_attempts,
         )
 
     if board is not None:
@@ -207,6 +301,8 @@ def _cmd_fleet(args) -> int:
         if not result.ok:
             print(f"{label}: FAILED after {result.attempts} attempt(s) — "
                   f"{result.error}")
+            for event in result.recoveries:
+                print(f"    heal: {event}")
             continue
         verdicts = ", ".join(result.verdicts) if result.verdicts else "-"
         retried = f", {result.attempts} attempts" if result.attempts > 1 else ""
@@ -216,6 +312,8 @@ def _cmd_fleet(args) -> int:
               f"({result.dismissed_underflows} dismissed) -> {verdicts} "
               f"[{result.backend}, {result.host_seconds:.2f}s{retried}, "
               f"digest {result.session_digest[:12]}]")
+        for event in result.recoveries:
+            print(f"    heal: {event}")
     if args.telemetry and fleet.telemetry is not None:
         print()
         print(fleet.telemetry.tables(), end="")
@@ -276,6 +374,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the framed (version 2) session body")
     record.add_argument("--sentinel", type=int, metavar="N",
                         help="emit a divergence sentinel every N records")
+    record.add_argument("--store", metavar="DIR",
+                        help="journal the recording into a crash-safe run "
+                             "store at DIR (resume with `repro resume`)")
+    record.add_argument("--fsync", choices=["always", "interval", "never"],
+                        default="interval",
+                        help="run-store fsync policy (default: interval)")
     record.set_defaults(func=_cmd_record)
 
     replay = sub.add_parser("replay", help="checkpoint-replay a session")
@@ -298,7 +402,35 @@ def build_parser() -> argparse.ArgumentParser:
     hunt.add_argument("--sentinel", type=int, metavar="N",
                       help="emit and verify a divergence sentinel every "
                            "N records")
+    hunt.add_argument("--store", metavar="DIR",
+                      help="journal the run into a crash-safe run store at "
+                           "DIR (implies --pipeline on the thread backend)")
+    hunt.add_argument("--fsync", choices=["always", "interval", "never"],
+                      default="interval",
+                      help="run-store fsync policy (default: interval)")
     hunt.set_defaults(func=_cmd_hunt)
+
+    resume = sub.add_parser(
+        "resume", help="continue an interrupted durable run from its store",
+    )
+    resume.add_argument("store", metavar="DIR",
+                        help="run-store directory from `record --store` / "
+                             "`hunt --store` / `fleet --store`")
+    resume.add_argument("--checkpoint-period", type=float, default=1.0,
+                        metavar="S",
+                        help="CR checkpoint period in guest seconds; must "
+                             "match the interrupted run for bit-identical "
+                             "resumption (default: 1.0)")
+    resume.add_argument("--fsync", choices=["always", "interval", "never"],
+                        help="fsync policy override (default: whatever the "
+                             "store was written with)")
+    resume.set_defaults(func=_cmd_resume)
+
+    fsck = sub.add_parser(
+        "fsck", help="validate a run store and describe its resume plan",
+    )
+    fsck.add_argument("store", metavar="DIR", help="run-store directory")
+    fsck.set_defaults(func=_cmd_fsck)
 
     fleet = sub.add_parser(
         "fleet", help="run many independent sessions across a worker pool",
@@ -333,6 +465,19 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--telemetry", action="store_true",
                        help="collect per-session telemetry and print the "
                             "fleet-wide rollup")
+    fleet.add_argument("--store", metavar="DIR",
+                       help="run the self-healing supervisor: each session "
+                            "journals into DIR/session-NNN and a dead or "
+                            "wedged worker is resumed from its store")
+    fleet.add_argument("--fsync", choices=["always", "interval", "never"],
+                       default="interval",
+                       help="run-store fsync policy (default: interval)")
+    fleet.add_argument("--heal-deadline", type=float, metavar="S",
+                       help="heartbeat staleness that triggers a heal "
+                            "(default: the stale threshold, 5s)")
+    fleet.add_argument("--max-resume-attempts", type=int, metavar="N",
+                       help="heals granted per session before it is marked "
+                            "failed (default: 2)")
     fleet.set_defaults(func=_cmd_fleet)
 
     stats = sub.add_parser(

@@ -149,6 +149,23 @@ class SimulationConfig:
     #: exit at most.  Enabling it never changes simulated results: the
     #: collectors read the deterministic icount but never charge cycles.
     telemetry: bool = False
+    #: Persist runs to an on-disk run store (``repro.store``): a CRC'd
+    #: manifest, a write-ahead frame journal, and incremental checkpoint
+    #: files a crashed session can resume from bit-identically.  Off by
+    #: default — no store directory is created and the pipeline's emit
+    #: path stays untouched (zero new I/O).  The CLI's ``--store DIR``
+    #: flags imply it; embedding callers pass a
+    #: :class:`~repro.store.RunStoreWriter` explicitly.
+    durability: bool = False
+    #: Journal fsync policy when durability is on: ``"always"`` (fsync
+    #: after every frame — kill -9 loses at most the frame being
+    #: written), ``"interval"`` (fsync every ``store_fsync_interval``
+    #: frames — bounded loss window, near-"never" cost), or ``"never"``
+    #: (leave flushing to the OS — a crash may lose the page-cache tail,
+    #: recovery still resumes from the last durable prefix).
+    store_fsync: str = "interval"
+    #: Frames between journal fsyncs under the ``"interval"`` policy.
+    store_fsync_interval: int = 8
     #: Cycle-cost model.
     costs: CostModel = field(default_factory=CostModel)
 

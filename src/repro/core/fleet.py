@@ -23,8 +23,10 @@ schedulers is checkable without shipping whole logs between processes.
 from __future__ import annotations
 
 import hashlib
+import multiprocessing
 import os
 import pickle
+import queue as queue_mod
 import time
 from concurrent.futures import (
     BrokenExecutor,
@@ -35,14 +37,20 @@ from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, replace
 
 from repro.config import DEFAULT_CONFIG
-from repro.core.parallel import record_and_replay_pipelined, resolve_alarms_parallel
-from repro.errors import HypervisorError
+from repro.core.parallel import (
+    RecoveryEvent,
+    record_and_replay_pipelined,
+    resolve_alarms_parallel,
+)
+from repro.errors import HypervisorError, StoreCorruptError
+from repro.faults.injector import retry_with_backoff
 from repro.faults.plan import FaultPlan
-from repro.obs.heartbeat import HeartbeatBoard
+from repro.obs.heartbeat import STALE_AFTER_S, HeartbeatBoard
 from repro.obs.telemetry import Telemetry, TelemetrySnapshot
 from repro.replay.checkpointing import CheckpointingOptions, CheckpointingReplayer
 from repro.rnr.recorder import Recorder, RecorderOptions
 from repro.rnr.session import SessionManifest
+from repro.store import RunStoreWriter, recover_run
 
 
 @dataclass(frozen=True)
@@ -103,11 +111,18 @@ class FleetSessionResult:
     #: ``telemetry=True``) — a picklable delta the driver merges into the
     #: fleet-wide snapshot.
     telemetry: TelemetrySnapshot | None = None
+    #: Every typed :class:`~repro.core.parallel.RecoveryEvent` this
+    #: session went through, in order: supervisor heals
+    #: (``session-resumed`` / ``session-restarted``) first, then the
+    #: resumed run's own events (``run-resumed`` / ``cr-resumed`` / ...).
+    #: Empty for a clean first-try session.
+    recoveries: tuple[RecoveryEvent, ...] = ()
 
 
 def _failed_session(index: int, session: FleetSession, error: str,
                     *, attempts: int, backend: str,
-                    host_seconds: float = 0.0) -> FleetSessionResult:
+                    host_seconds: float = 0.0,
+                    recoveries: tuple = ()) -> FleetSessionResult:
     """The structured result for a session that could not be completed."""
     return FleetSessionResult(
         index=index,
@@ -129,6 +144,7 @@ def _failed_session(index: int, session: FleetSession, error: str,
         ok=False,
         error=error,
         attempts=attempts,
+        recoveries=tuple(recoveries),
     )
 
 
@@ -158,6 +174,14 @@ class FleetResult:
         """The sessions that did not complete, in input order."""
         return tuple(result for result in self.results if not result.ok)
 
+    @property
+    def recoveries(self) -> tuple[tuple[int, RecoveryEvent], ...]:
+        """Every heal the fleet performed, as ``(session index, event)``
+        pairs in session order — the supervisor's audit trail."""
+        return tuple((result.index, event)
+                     for result in self.results
+                     for event in result.recoveries)
+
 
 def _run_one_session(payload: tuple) -> FleetSessionResult:
     """Run one session end to end (executes inside a pool worker).
@@ -166,10 +190,19 @@ def _run_one_session(payload: tuple) -> FleetSessionResult:
     machinery produces is folded into a structured failure result, so the
     pool's other sessions are untouched.  (A hard-killed worker process
     can't be caught here, of course — the parent handles that.)
+
+    The supervised fleet appends ``(store_path, resume_flag, fsync)`` to
+    the base payload: the session then journals to a durable run store
+    and, when ``resume_flag`` is set, continues from whatever the store's
+    recovery yields (an unrecoverable store degrades to a fresh restart
+    — the run is deterministic, so nothing is lost but time).
     """
     (index, session, pipeline, pipeline_backend,
      frame_records, queue_depth, fault_plan, attempt,
-     allow_hard_kill, telemetry_on, reporter) = payload
+     allow_hard_kill, telemetry_on, reporter, *extra) = payload
+    store_path = extra[0] if extra else None
+    resume_flag = bool(extra[1]) if len(extra) > 1 else False
+    store_fsync = extra[2] if len(extra) > 2 else "interval"
     started = time.perf_counter()
     session_tel = None
     token = None
@@ -195,7 +228,43 @@ def _run_one_session(payload: tuple) -> FleetSessionResult:
             max_instructions=session.max_instructions,
         )
         cr_options = CheckpointingOptions(period_s=session.period_s)
-        if pipeline:
+        recoveries: tuple = ()
+        if store_path is not None:
+            # Durability implies the pipelined (thread) executor: the run
+            # store is a single-writer in-process object.
+            resume_point = None
+            if resume_flag:
+                try:
+                    resume_point = recover_run(store_path)
+                except StoreCorruptError:
+                    resume_point = None
+            run_store = RunStoreWriter(
+                store_path, session.manifest(),
+                fsync=store_fsync,
+                frame_records=frame_records,
+                fault_plan=fault_plan,
+                attempt=attempt,
+                allow_hard_kill=allow_hard_kill,
+                resume=resume_point,
+            )
+            if reporter is not None and resume_point is not None:
+                reporter.publish("resumed")
+            run = record_and_replay_pipelined(
+                spec, recorder_options, cr_options,
+                backend="thread",
+                frame_records=frame_records,
+                queue_depth=queue_depth,
+                heartbeat=reporter,
+                run_store=run_store,
+                resume=resume_point,
+            )
+            recording = run.recording
+            checkpointing = run.checkpointing
+            verdicts = run.resolution.verdicts
+            backend = f"durable-{run.stats.backend}"
+            run_telemetry = run.telemetry
+            recoveries = tuple(run.recovery) if run.recovery else ()
+        elif pipeline:
             run = record_and_replay_pipelined(
                 spec, recorder_options, cr_options,
                 backend=pipeline_backend,
@@ -208,6 +277,7 @@ def _run_one_session(payload: tuple) -> FleetSessionResult:
             verdicts = run.resolution.verdicts
             backend = f"pipeline-{run.stats.backend}"
             run_telemetry = run.telemetry
+            recoveries = tuple(run.recovery) if run.recovery else ()
         else:
             rec_tel = (Telemetry.for_config(spec.config, "record",
                                             heartbeat=reporter)
@@ -263,10 +333,11 @@ def _run_one_session(payload: tuple) -> FleetSessionResult:
         verdicts=tuple(verdict.kind.value for verdict in verdicts),
         stop_reason=recording.stop_reason,
         host_seconds=time.perf_counter() - started,
-        pipelined=pipeline,
+        pipelined=pipeline or store_path is not None,
         backend=backend,
         attempts=attempt + 1,
         telemetry=telemetry_snapshot,
+        recoveries=recoveries,
     )
 
 
@@ -351,6 +422,244 @@ def _fleet_telemetry(results) -> TelemetrySnapshot | None:
             if snapshots else None)
 
 
+# ----------------------------------------------------------------------
+# the self-healing supervisor (durable fleets)
+# ----------------------------------------------------------------------
+
+def _session_store_path(store_dir: str, index: int) -> str:
+    """The run-store directory for one fleet session."""
+    return os.path.join(store_dir, f"session-{index:03d}")
+
+
+def _supervised_session_main(result_queue, payload: tuple):
+    """Child entry point of one supervised session process.
+
+    ``_run_one_session`` already folds session failures into structured
+    results; the belt here catches failures of the folding itself, so
+    the only way the parent sees no result is the process actually dying
+    (hard kill, OOM) — exactly the signal the supervisor heals on.
+    """
+    index, session = payload[0], payload[1]
+    attempt = payload[7]
+    try:
+        result = _run_one_session(payload)
+    except BaseException as exc:  # noqa: BLE001 - reported as a result
+        result = _failed_session(
+            index, session, f"{type(exc).__name__}: {exc}",
+            attempts=attempt + 1, backend="supervised",
+        )
+    try:
+        result_queue.put((index, result))
+    except Exception:
+        pass
+
+
+def _supervised_inline(sessions, payload_for, *,
+                       max_resume_attempts: int,
+                       store_dir: str) -> tuple[FleetSessionResult, ...]:
+    """Sequential fallback supervisor for hosts without processes.
+
+    Runs each session inline; a failed attempt is healed by recovering
+    its run store and resuming, up to ``max_resume_attempts`` times.
+    Inline workers cannot be hard-killed or un-wedged (there is no
+    process to terminate), so only crash-shaped failures heal here —
+    the process supervisor is the real deployment shape.
+    """
+    results = []
+    for index, session in enumerate(sessions):
+        heal_events: list[RecoveryEvent] = []
+        result = _run_one_session(payload_for(index, 0, False))
+        attempt = 0
+        while not result.ok and attempt < max_resume_attempts:
+            attempt += 1
+            window = (0, 0)
+            try:
+                window = recover_run(
+                    _session_store_path(store_dir, index)).window
+            except StoreCorruptError:
+                pass
+            heal_events.append(RecoveryEvent(
+                kind="session-resumed", cause=result.error,
+                window=window, attempts=attempt,
+            ))
+            result = _run_one_session(
+                payload_for(index, attempt, False, resume=True))
+        if not result.ok and heal_events:
+            result = replace(
+                result, error=f"{result.error}; resume attempts exhausted")
+        results.append(replace(
+            result, recoveries=tuple(heal_events) + result.recoveries))
+    return tuple(results)
+
+
+def _run_fleet_supervised(
+    sessions: list,
+    payload_for,
+    *,
+    workers: int,
+    store_dir: str,
+    heal_deadline_s: float,
+    heal_poll_s: float,
+    max_resume_attempts: int,
+    session_timeout_s: float | None,
+    board: HeartbeatBoard | None,
+) -> tuple[tuple[FleetSessionResult, ...], str]:
+    """The supervisor loop: one OS process per session, healed on death.
+
+    Watches two signals per running session and heals on either:
+
+    * **dead worker** — the process exited without posting a result
+      (kill -9, OOM, an injected ``os._exit``);
+    * **wedged worker** — the process is alive but its heartbeat row has
+      not advanced for ``heal_deadline_s`` (and a grace period since
+      launch has passed), or it blew ``session_timeout_s``.
+
+    A heal terminates the worker, validates the session's run store
+    (:func:`~repro.store.recover_run` — an unrecoverable store means a
+    fresh deterministic restart, not a fleet failure), and relaunches
+    with ``resume=True``; the relaunch itself is retried with backoff.
+    After ``max_resume_attempts`` heals the session is marked failed
+    with its heal trail attached.  Returns ``(results, backend)``;
+    raises only if no worker process can be created at all (the caller
+    falls back to :func:`_supervised_inline`).
+    """
+    ctx = multiprocessing.get_context()
+    result_queue = ctx.Queue()
+    total = len(sessions)
+    results: list[FleetSessionResult | None] = [None] * total
+    #: index -> (process, attempt, monotonic launch time)
+    running: dict[int, tuple] = {}
+    heal_events: dict[int, list[RecoveryEvent]] = {i: [] for i in range(total)}
+    pending = list(range(total))
+
+    def launch(index: int, attempt: int, resume: bool):
+        process = ctx.Process(
+            target=_supervised_session_main,
+            args=(result_queue, payload_for(index, attempt, True,
+                                            resume=resume)),
+            name=f"fleet-session-{index}",
+            daemon=True,
+        )
+        process.start()
+        running[index] = (process, attempt, time.monotonic())
+
+    def finalize(index: int, result: FleetSessionResult):
+        entry = running.pop(index, None)
+        if entry is not None:
+            entry[0].join(timeout=5.0)
+        events = tuple(heal_events[index])
+        results[index] = replace(
+            result, recoveries=events + result.recoveries)
+
+    def drain(block_s: float = 0.0) -> bool:
+        got = False
+        timeout = block_s
+        while True:
+            try:
+                if timeout:
+                    index, result = result_queue.get(timeout=timeout)
+                else:
+                    index, result = result_queue.get_nowait()
+            except queue_mod.Empty:
+                return got
+            finalize(index, result)
+            got = True
+            timeout = 0.0
+
+    def heal(index: int, cause: str):
+        process, attempt, _ = running.pop(index)
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=5.0)
+        next_attempt = attempt + 1
+        if next_attempt > max_resume_attempts:
+            results[index] = _failed_session(
+                index, sessions[index],
+                f"{cause}; {max_resume_attempts} resume attempts exhausted",
+                attempts=next_attempt, backend="supervised",
+                recoveries=tuple(heal_events[index]),
+            )
+            if board is not None:
+                board.reporter(index).publish("failed")
+            return
+
+        def relaunch(_attempt):
+            resume = True
+            window = (0, 0)
+            try:
+                window = recover_run(
+                    _session_store_path(store_dir, index)).window
+            except StoreCorruptError:
+                # Nothing trustworthy on disk: restart the deterministic
+                # run from its manifest instead of giving up.
+                resume = False
+            launch(index, next_attempt, resume)
+            return resume, window
+
+        try:
+            resumed, window = retry_with_backoff(
+                relaunch, retries=1, backoff_s=0.05,
+                describe=f"supervised relaunch of session {index}",
+            )
+        except Exception as exc:  # noqa: BLE001 - folded into the result
+            results[index] = _failed_session(
+                index, sessions[index],
+                f"{cause}; relaunch failed: {exc}",
+                attempts=next_attempt, backend="supervised",
+                recoveries=tuple(heal_events[index]),
+            )
+            return
+        if board is not None:
+            board.reporter(index).publish("resumed")
+        heal_events[index].append(RecoveryEvent(
+            kind="session-resumed" if resumed else "session-restarted",
+            cause=cause, window=window, attempts=next_attempt,
+        ))
+
+    def check_health():
+        rows = {row.index: row for row in board.rows()} if board else {}
+        now = time.monotonic()
+        for index in list(running):
+            process, attempt, launched_at = running[index]
+            if not process.is_alive():
+                # Its result may still be in flight on the queue; give it
+                # a beat to surface before declaring the worker dead.
+                drain(block_s=0.2)
+                if index in running:
+                    heal(index, "worker process died without a result "
+                                f"(exit code {process.exitcode})")
+                continue
+            age = now - launched_at
+            if session_timeout_s is not None and age > session_timeout_s:
+                heal(index, f"session exceeded its "
+                            f"{session_timeout_s:.1f}s deadline")
+                continue
+            row = rows.get(index)
+            if (row is not None and age > heal_deadline_s
+                    and row.is_stale(stale_after_s=heal_deadline_s)):
+                heal(index, f"heartbeat stale for {row.age_s():.1f}s "
+                            f"(state {row.state!r})")
+
+    try:
+        while pending or running:
+            while pending and len(running) < workers:
+                index = pending.pop(0)
+                if results[index] is None:
+                    launch(index, 0, False)
+            if not running:
+                continue
+            drain(block_s=heal_poll_s)
+            check_health()
+    finally:
+        for process, _, _ in running.values():
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=5.0)
+        result_queue.close()
+        result_queue.cancel_join_thread()
+    return tuple(results), "supervised"
+
+
 def run_fleet(
     sessions: list[FleetSession],
     *,
@@ -365,6 +674,11 @@ def run_fleet(
     max_retries: int | None = None,
     telemetry: bool = False,
     heartbeat: HeartbeatBoard | None = None,
+    store_dir: str | None = None,
+    store_fsync: str = "interval",
+    heal_deadline_s: float | None = None,
+    heal_poll_s: float = 0.25,
+    max_resume_attempts: int | None = None,
 ) -> FleetResult:
     """Run every session across a worker pool; results in input order.
 
@@ -392,6 +706,16 @@ def run_fleet(
     liveness rows into it while they run (build it with ``shared=True``
     for the process backend), which is what ``repro fleet --watch``
     renders.  Both are off by default and cost nothing when off.
+
+    ``store_dir`` switches the fleet to the **self-healing supervisor**:
+    each session journals into a durable run store under
+    ``store_dir/session-NNN`` (fsync policy ``store_fsync``) and runs in
+    its own supervised OS process.  A worker that dies or whose
+    heartbeat goes stale for ``heal_deadline_s`` (default
+    :data:`~repro.obs.heartbeat.STALE_AFTER_S`) is killed and resumed
+    from its run store, up to ``max_resume_attempts`` times (default
+    2), after which it is marked failed; every heal is recorded as a
+    :class:`~repro.core.parallel.RecoveryEvent` on the session result.
     """
     if backend not in ("thread", "process"):
         raise HypervisorError(
@@ -405,17 +729,62 @@ def run_fleet(
     if max_retries is None:
         max_retries = DEFAULT_CONFIG.fleet_max_retries
 
-    def payload_for(index: int, attempt: int, hard_kill: bool) -> tuple:
-        reporter = (heartbeat.reporter(index)
-                    if heartbeat is not None else None)
-        return (index, sessions[index], pipeline, pipeline_backend,
+    board = heartbeat
+    board_owned = False
+    if store_dir is not None and board is None:
+        # The supervisor needs liveness rows to spot wedged sessions.
+        board = HeartbeatBoard(shared=True)
+        board_owned = True
+
+    def payload_for(index: int, attempt: int, hard_kill: bool,
+                    resume: bool = False) -> tuple:
+        reporter = (board.reporter(index) if board is not None else None)
+        base = (index, sessions[index], pipeline, pipeline_backend,
                 frame_records, queue_depth, fault_plan, attempt, hard_kill,
                 telemetry, reporter)
+        if store_dir is None:
+            return base
+        return base + (_session_store_path(store_dir, index), resume,
+                       store_fsync)
 
     workers = min(max_workers if max_workers is not None else len(sessions),
                   len(sessions))
     workers = max(1, workers)
     started = time.perf_counter()
+    if store_dir is not None:
+        if heal_deadline_s is None:
+            heal_deadline_s = STALE_AFTER_S
+        if max_resume_attempts is None:
+            max_resume_attempts = 2
+        try:
+            results, fleet_backend = _run_fleet_supervised(
+                sessions, payload_for,
+                workers=workers,
+                store_dir=store_dir,
+                heal_deadline_s=heal_deadline_s,
+                heal_poll_s=heal_poll_s,
+                max_resume_attempts=max_resume_attempts,
+                session_timeout_s=session_timeout_s,
+                board=board,
+            )
+        except (OSError, ValueError, TypeError, AttributeError,
+                ImportError, pickle.PicklingError):
+            # No usable worker processes on this host: supervise inline
+            # (same durability and resume semantics, no wedge healing).
+            results = _supervised_inline(
+                sessions, payload_for,
+                max_resume_attempts=max_resume_attempts,
+                store_dir=store_dir,
+            )
+            fleet_backend = "supervised-inline"
+        finally:
+            if board_owned:
+                board.shutdown()
+        return FleetResult(
+            results=results, backend=fleet_backend, workers=workers,
+            host_seconds=time.perf_counter() - started,
+            telemetry=_fleet_telemetry(results),
+        )
     if len(sessions) == 1:
         result = _run_one_session(payload_for(0, 0, False))
         if not result.ok and max_retries > 0:

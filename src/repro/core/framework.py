@@ -48,6 +48,14 @@ class RnRSafeOptions:
     pipeline: bool = False
     #: Pipeline backend override; ``None`` defers to the spec's config.
     pipeline_backend: str | None = None
+    #: Durable run store the pipelined run journals into (a
+    #: :class:`~repro.store.RunStoreWriter`); implies the pipeline and
+    #: pins it to the thread backend.  ``None`` (the default) adds zero
+    #: I/O.
+    run_store: object | None = None
+    #: Resume point (:class:`~repro.store.ResumePoint`) to continue from
+    #: instead of recording fresh; requires ``run_store``.
+    resume: object | None = None
 
 
 @dataclass
@@ -134,14 +142,18 @@ class RnRSafe:
         detectors hook the recorder directly, so a run with detectors
         attached falls back to the sequential phases (same results).
         """
-        if self.options.pipeline and not self.detectors:
+        durable = self.options.run_store is not None
+        if (self.options.pipeline or durable) and not self.detectors:
             from repro.core.parallel import record_and_replay_pipelined
 
             run = record_and_replay_pipelined(
                 self.spec, self.options.recorder,
                 self.options.checkpointing,
-                backend=self.options.pipeline_backend,
+                backend=("thread" if durable
+                         else self.options.pipeline_backend),
                 resolve_ars=False,
+                run_store=self.options.run_store,
+                resume=self.options.resume,
             )
             recording = run.recording
             checkpointing = run.checkpointing

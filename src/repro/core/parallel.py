@@ -91,8 +91,10 @@ from repro.rnr.log import (
     RecordingLogTee,
     StreamingLogWriter,
 )
+from repro.perf.account import CycleAccount
+from repro.perf.report import RunMetrics
 from repro.rnr.recorder import Recorder, RecorderOptions, RecordingRun
-from repro.rnr.records import AlarmRecord
+from repro.rnr.records import AlarmRecord, EvictRecord
 from repro.rnr.serialize import parse_record, serialize_record
 
 
@@ -498,7 +500,8 @@ def _consume_frames(spec: MachineSpec,
                     max_ar_workers: int,
                     fault_plan: FaultPlan | None = None,
                     allow_hard_kill: bool = False,
-                    heartbeat=None):
+                    heartbeat=None,
+                    checkpoint_sink=None):
     """Run the CR over a frame queue; dispatch ARs as alarms confirm.
 
     This is the consumer half of both pipeline backends — it runs on the
@@ -519,6 +522,12 @@ def _consume_frames(spec: MachineSpec,
     carrying the CR's resume state, so the executor can heal the run.
     Divergence (:class:`~repro.errors.ReplayDivergenceError`) is *not*
     caught: a replay that disagrees with the recording must fail loudly.
+
+    ``checkpoint_sink`` is the durable run store's checkpoint listener
+    (``RunStoreWriter.persist_checkpoint``): called on the CR's thread
+    with ``(checkpoint, bookkeeping)`` the moment each checkpoint is
+    taken, so the on-disk chain always trails the CR by at most one
+    checkpoint period.  ``None`` (the default) keeps the hot path bare.
     """
     if fault_plan is not None:
         fault_plan.fire_worker_fault("cr", 0, allow_hard_kill=allow_hard_kill)
@@ -566,6 +575,7 @@ def _consume_frames(spec: MachineSpec,
         cursor=cursor,
         pending_alarm_listener=dispatch if resolve_ars else None,
         telemetry=cr_tel,
+        checkpoint_listener=checkpoint_sink,
     )
     cursor.clock = lambda: replayer.machine.now
     try:
@@ -620,7 +630,8 @@ def _recover_torn_stream(spec: MachineSpec,
                          max_ar_workers: int,
                          stats: PipelineStats,
                          cause: str,
-                         telemetry: Telemetry | None = None) -> PipelinedRun:
+                         telemetry: Telemetry | None = None,
+                         run_store=None) -> PipelinedRun:
     """Heal a torn pipelined run from the recorder's tee log.
 
     The recorder's in-memory :class:`~repro.rnr.log.RecordingLogTee` kept
@@ -633,14 +644,21 @@ def _recover_torn_stream(spec: MachineSpec,
     as a typed :class:`RecoveryEvent` (and, when ``telemetry`` is on, as a
     ``recover`` span covering the re-replayed window).
     """
+    # The restarted CR keeps persisting to the run store when one is
+    # attached; its chain entries are keyed by checkpoint id, so the
+    # deterministic re-take of already-persisted checkpoints converges
+    # instead of duplicating them.
+    sink = run_store.persist_checkpoint if run_store is not None else None
     if resume_state is not None and resume_state.checkpoint_icount is not None:
         replayer = CheckpointingReplayer.resume(
             spec, recording.log, cr_options, resume_state,
+            checkpoint_listener=sink,
         )
         kind = "cr-resumed"
         anchor = resume_state.checkpoint_icount
     else:
-        replayer = CheckpointingReplayer(spec, recording.log, cr_options)
+        replayer = CheckpointingReplayer(spec, recording.log, cr_options,
+                                         checkpoint_listener=sink)
         kind = "cr-restarted"
         anchor = 0
     token = (telemetry.begin("recover", "recover", anchor, cause=cause)
@@ -665,6 +683,12 @@ def _recover_torn_stream(spec: MachineSpec,
         )
     event = RecoveryEvent(kind=kind, cause=cause,
                           window=(anchor, end_icount))
+    if run_store is not None:
+        run_store.finish(
+            cpu_state.icount,
+            [v.kind.value for v in resolution.verdicts]
+            if resolution is not None else (),
+        )
     return PipelinedRun(
         recording=recording,
         checkpointing=result,
@@ -735,7 +759,8 @@ def _pipelined_threads(spec: MachineSpec,
                        max_ar_workers: int,
                        fault_plan: FaultPlan | None = None,
                        telemetry: Telemetry | None = None,
-                       heartbeat=None) -> PipelinedRun:
+                       heartbeat=None,
+                       run_store=None) -> PipelinedRun:
     frames: "queue_mod.Queue" = queue_mod.Queue(maxsize=queue_depth)
     outcome: dict = {}
 
@@ -746,6 +771,8 @@ def _pipelined_threads(spec: MachineSpec,
                 resolve_ars, ar_options, max_ar_workers,
                 fault_plan=fault_plan, allow_hard_kill=False,
                 heartbeat=heartbeat,
+                checkpoint_sink=(run_store.persist_checkpoint
+                                 if run_store is not None else None),
             )
         except BaseException as exc:  # noqa: BLE001 - reraised in parent
             outcome["error"] = exc
@@ -764,6 +791,16 @@ def _pipelined_threads(spec: MachineSpec,
         emit = _sampled_emit(telemetry, frames, emit)
     if fault_plan is not None:
         emit = FaultyFrameEmitter(fault_plan, emit, telemetry=telemetry)
+    if run_store is not None:
+        # Outermost wrap, so the write-ahead journal sees every frame
+        # pristine — transport faults (the FaultyFrameEmitter above)
+        # corrupt only the copy handed down the queue, exactly like a
+        # wire fault after the bytes were persisted.
+        transport_emit = emit
+
+        def emit(frame: bytes, _next=transport_emit):
+            run_store.append_frame(frame)
+            _next(frame)
     producer_error: BaseException | None = None
     recording = None
     produced_cycles: list[int] = []
@@ -778,7 +815,13 @@ def _pipelined_threads(spec: MachineSpec,
         frames.put(None)
         consumer.join()
     if producer_error is not None:
+        if run_store is not None:
+            # The journal keeps whatever the crash left (kill tests read
+            # it back); only the handle is released here.
+            run_store.close()
         raise producer_error
+    if run_store is not None:
+        run_store.seal_log(recording)
     error = outcome.get("error")
     if error is not None:
         if isinstance(error, (_TornStream, InjectedWorkerCrash)):
@@ -795,8 +838,10 @@ def _pipelined_threads(spec: MachineSpec,
                 spec, recording, cr_options,
                 torn.resume_state if torn else None,
                 resolve_ars, ar_options, max_ar_workers, stats,
-                str(error), telemetry=telemetry,
+                str(error), telemetry=telemetry, run_store=run_store,
             )
+        if run_store is not None:
+            run_store.close()
         raise error
     result, cpu_state, verdicts, cursor, ar_snapshots = outcome["value"]
     stats = PipelineStats(
@@ -812,6 +857,11 @@ def _pipelined_threads(spec: MachineSpec,
         telemetry=(TelemetrySnapshot.merged(ar_snapshots, actor="ar")
                    if ar_snapshots else None),
     ) if resolve_ars else None)
+    if run_store is not None:
+        run_store.finish(
+            cpu_state.icount,
+            [v.kind.value for v in verdicts] if verdicts else (),
+        )
     return PipelinedRun(
         recording=recording,
         checkpointing=result,
@@ -1018,6 +1068,147 @@ def _pipelined_processes(spec: MachineSpec,
     )
 
 
+def _recording_from_resume(resume) -> RecordingRun:
+    """Rebuild a :class:`RecordingRun` from a sealed journal.
+
+    The guest never re-executes — the journal bytes *are* the recording
+    — so the run carries no machine; the metric scalars come from the
+    summary persisted at seal time and the alarm/evict records are
+    re-read from the recovered log.  The cycle account is empty: the
+    recording's overhead cycles were spent (and reported) by the run
+    that crashed, not by this resume.
+    """
+    meta = dict(resume.recording_meta or {})
+    log = resume.log
+    records = log.records()
+    alarms = [r for r in records if isinstance(r, AlarmRecord)]
+    evicts = [r for r in records if isinstance(r, EvictRecord)]
+    metrics = RunMetrics(
+        label=meta.get("label", resume.session.benchmark),
+        instructions=meta.get("instructions", resume.last_icount),
+        guest_cycles=meta.get("guest_cycles", resume.last_icount),
+        account=CycleAccount(),
+        log_bytes=meta.get("log_bytes", log.total_bytes),
+        backras_bytes=meta.get("backras_bytes", 0),
+        alarms=meta.get("alarms", len(alarms)),
+        evicts=meta.get("evicts", len(evicts)),
+        context_switches=meta.get("context_switches", 0),
+    )
+    return RecordingRun(
+        metrics=metrics,
+        log=log,
+        machine=None,
+        alarms=alarms,
+        evicts=evicts,
+        restored_stop_reason=meta.get("stop_reason", "restored"),
+    )
+
+
+def _resume_pipelined(spec: MachineSpec,
+                      cr_options: CheckpointingOptions,
+                      resume,
+                      run_store,
+                      resolve_ars: bool,
+                      ar_options: AlarmReplayOptions | None,
+                      max_ar_workers: int,
+                      recorder_options: RecorderOptions | None,
+                      frame_records: int,
+                      queue_depth: int,
+                      telemetry: Telemetry | None = None,
+                      heartbeat=None) -> PipelinedRun:
+    """Continue an interrupted durable run from its resume point.
+
+    Determinism is the lever (see ``docs/RELIABILITY.md``): when the
+    journal holds the complete recording, the guest never re-executes —
+    the log is rebuilt straight from the journaled bytes.  Otherwise the
+    recording re-runs from the session manifest and, being deterministic,
+    reproduces the journal byte-identically (the resumed
+    ``run_store`` rewrites it while re-recording).  The CR then resumes
+    from the newest durable checkpoint — or from the start when none
+    survived — and pending alarms are resolved post-hoc over the healed
+    store, exactly like torn-stream recovery.  ARs cannot be dispatched
+    asynchronously here: at restore time the rebuilt log is complete, so
+    there is no live stream to overlap with.
+
+    The heal runs the phases sequentially, so ``PipelineStats`` carries
+    no overlap timeline (``backend="resume"``, empty frame timelines);
+    results — log bytes, checkpoints, final CPU state, verdicts — are
+    bit-identical to an uninterrupted run.
+    """
+    sink = run_store.persist_checkpoint if run_store is not None else None
+    kind = None
+    if resume.recording_complete:
+        recording = _recording_from_resume(resume)
+        kind = "run-resumed"
+    else:
+        emit = (run_store.append_frame if run_store is not None
+                else (lambda frame: None))
+        recording, _ = _run_producer(
+            spec, recorder_options, frame_records, emit,
+            heartbeat=heartbeat,
+        )
+        if run_store is not None:
+            run_store.seal_log(recording)
+    state = resume.cr_state
+    if state is not None and state.checkpoint_icount is not None:
+        replayer = CheckpointingReplayer.resume(
+            spec, recording.log, cr_options, state,
+            checkpoint_listener=sink,
+        )
+        anchor = state.checkpoint_icount
+        kind = kind or "cr-resumed"
+    else:
+        replayer = CheckpointingReplayer(spec, recording.log, cr_options,
+                                         checkpoint_listener=sink)
+        anchor = 0
+        kind = kind or "cr-restarted"
+    cause = f"resumed from run store {resume.path}"
+    token = (telemetry.begin("recover", "recover", anchor, cause=cause)
+             if telemetry is not None else None)
+    result = replayer.run_to_end()
+    cpu_state = replayer.machine.cpu.capture_state()
+    end_icount = replayer.machine.cpu.icount
+    if telemetry is not None:
+        telemetry.count_tagged("pipeline.recoveries", kind)
+        telemetry.end(token, end_icount, kind=kind)
+    resolution = None
+    if resolve_ars:
+        batch = resolve_alarms_parallel(
+            spec, recording.log, list(result.pending_alarms),
+            store=result.store, options=ar_options,
+            max_workers=max_ar_workers, backend="thread",
+        )
+        resolution = ParallelResolution(
+            verdicts=batch.verdicts, backend="resume",
+            telemetry=batch.telemetry,
+        )
+    stats = PipelineStats(
+        backend="resume",
+        frame_records=frame_records,
+        queue_depth=queue_depth,
+        frames=(),
+        produced_cycles=(),
+        consumed_cycles=(),
+    )
+    event = RecoveryEvent(kind=kind, cause=cause,
+                          window=(anchor, end_icount),
+                          attempts=resume.attempt + 1)
+    if run_store is not None:
+        run_store.finish(
+            cpu_state.icount,
+            [v.kind.value for v in resolution.verdicts]
+            if resolution is not None else (),
+        )
+    return PipelinedRun(
+        recording=recording,
+        checkpointing=result,
+        final_cpu_state=cpu_state,
+        resolution=resolution,
+        stats=stats,
+        recovery=RecoveryAudit((event,)),
+    )
+
+
 def record_and_replay_pipelined(
     spec: MachineSpec,
     recorder_options: RecorderOptions | None = None,
@@ -1031,6 +1222,8 @@ def record_and_replay_pipelined(
     max_ar_workers: int = 4,
     fault_plan: FaultPlan | None = None,
     heartbeat=None,
+    run_store=None,
+    resume=None,
 ) -> PipelinedRun:
     """Record and checkpoint-replay one session as a streaming pipeline.
 
@@ -1063,6 +1256,17 @@ def record_and_replay_pipelined(
     (rate-limited by the deterministic icount) — the fleet's ``--watch``
     hook.  It forces telemetry objects into existence even when
     ``config.telemetry`` is off, but never changes simulated results.
+
+    ``run_store`` attaches a :class:`~repro.store.RunStoreWriter`: every
+    emitted frame is journaled write-ahead and every CR checkpoint is
+    persisted incrementally, so a killed run can be resumed from disk.
+    The store is a single-writer in-process object, so durability pins
+    the pipeline to the thread backend.  ``resume`` hands in a
+    :class:`~repro.store.ResumePoint` from
+    :func:`~repro.store.recover_run`; the run then continues from the
+    resume point (see :func:`_resume_pipelined`) instead of starting
+    fresh.  Both default to ``None``, which leaves the emit hot path —
+    and every result — exactly as before.
     """
     config = spec.config
     if backend is None:
@@ -1104,7 +1308,13 @@ def record_and_replay_pipelined(
         )
         return run
 
-    if backend == "process":
+    if resume is not None:
+        return finish(_resume_pipelined(
+            spec, cr_options, resume, run_store, resolve_ars, ar_options,
+            max_ar_workers, recorder_options, frame_records, queue_depth,
+            telemetry=pipeline_tel, heartbeat=heartbeat,
+        ))
+    if backend == "process" and run_store is None:
         try:
             return finish(_pipelined_processes(
                 spec, recorder_options, cr_options, frame_records,
@@ -1120,5 +1330,5 @@ def record_and_replay_pipelined(
         spec, recorder_options, cr_options, frame_records,
         queue_depth, resolve_ars, ar_options, max_ar_workers,
         fault_plan=fault_plan, telemetry=pipeline_tel,
-        heartbeat=heartbeat,
+        heartbeat=heartbeat, run_store=run_store,
     ))

@@ -54,6 +54,31 @@ class LogError(ReproError):
     """Raised on input-log corruption or out-of-order consumption."""
 
 
+class StoreCorruptError(LogError):
+    """Raised when a durable run store cannot be recovered.
+
+    Reserved for damage :func:`repro.store.recover_run` cannot heal: a
+    missing or unparsable manifest, a manifest CRC mismatch, or a
+    directory that is not a run store at all.  Recoverable damage — a
+    torn journal tail, a checkpoint file whose CRC fails — is *not* this
+    error: recovery truncates the journal at the last whole frame and
+    drops the damaged checkpoint (and everything newer), then resumes
+    from the surviving prefix.
+    """
+
+    def __init__(self, message: str, path: str | None = None):
+        self._raw_message = message
+        self.path = path
+        if path is not None:
+            message = f"{path}: {message}"
+        super().__init__(message)
+
+    def __reduce__(self):
+        # Keep the structured path across process boundaries (the fleet
+        # supervisor recovers stores from a child process).
+        return (type(self), (self._raw_message, self.path))
+
+
 class LogCorruptionError(LogError):
     """Raised when the framed log transport fails an integrity check.
 

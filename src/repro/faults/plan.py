@@ -70,7 +70,9 @@ class FaultSpec:
     ``target`` selects the victim: a frame index for transport faults, a
     task index (alarm index, fleet session index) for worker faults.
     ``role`` scopes worker faults to one dispatch site (``"ar"``,
-    ``"fleet"``, ``"cr"``; ``"any"`` matches all).  ``attempt`` makes a
+    ``"fleet"``, ``"cr"``, ``"journal"`` — the run store's frame append,
+    where ``target`` is the frame index; ``"any"`` matches all).
+    ``attempt`` makes a
     fault fire only on that retry attempt (0 = first try), which is how a
     plan models transient failures that succeed on retry.
     """

@@ -29,7 +29,7 @@ class HeartbeatRow:
     """One session's latest published liveness sample."""
 
     index: int
-    state: str          # "start" | "record" | "cr" | "ar" | "retry" | "done" | "failed"
+    state: str          # "start" | "record" | "cr" | "ar" | "retry" | "resumed" | "done" | "failed"
     icount: int
     frames: int
     wall: float         # time.time() at publish

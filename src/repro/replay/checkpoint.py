@@ -104,14 +104,50 @@ class CheckpointStore:
     def __getstate__(self):
         # The lock cannot cross a process boundary (parallel alarm replay
         # pickles the store into worker initializers); each process gets
-        # its own.
+        # its own.  The memoized overlays are rebuildable and can dwarf
+        # the checkpoints themselves (each cache level holds a full page
+        # map), so they stay behind too — only the checkpoints and the
+        # budget/eviction bookkeeping (`max_resident_bytes`, `recycled`,
+        # `budget_merges`, `_next_id`) make the trip.
         state = self.__dict__.copy()
         del state["_lock"]
+        state["_pages_cache"] = {}
+        state["_blocks_cache"] = {}
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
+        # Tolerate pickles from before the caches were excluded.
+        self.__dict__.setdefault("_pages_cache", {})
+        self.__dict__.setdefault("_blocks_cache", {})
         self._lock = threading.RLock()
+
+    @classmethod
+    def from_checkpoints(cls, checkpoints,
+                         max_resident_bytes: int | None = None,
+                         ) -> "CheckpointStore":
+        """Rebuild a store from persisted checkpoints (oldest first).
+
+        Used by run-store recovery (``repro.store``): the checkpoints
+        keep their original ids and parent links, and ``_next_id``
+        continues past the highest id so checkpoints taken after a
+        resume get the same ids the uninterrupted run would have used.
+        The budget is *not* re-enforced during the rebuild — the
+        originals were budget-checked when they were taken.
+        """
+        store = cls(max_resident_bytes=max_resident_bytes)
+        for checkpoint in checkpoints:
+            if store._icounts and checkpoint.icount < store._icounts[-1]:
+                raise CheckpointError(
+                    f"persisted checkpoint chain is not icount-ordered: "
+                    f"{checkpoint.icount} follows {store._icounts[-1]}"
+                )
+            store._checkpoints.append(checkpoint)
+            store._icounts.append(checkpoint.icount)
+            store._by_id[checkpoint.checkpoint_id] = checkpoint
+        if store._checkpoints:
+            store._next_id = max(store._by_id) + 1
+        return store
 
     def __len__(self) -> int:
         return len(self._checkpoints)

@@ -95,11 +95,18 @@ class CheckpointingReplayer(DeterministicReplayer):
                  options: CheckpointingOptions | None = None,
                  cursor: LogCursor | None = None,
                  pending_alarm_listener=None,
-                 telemetry: Telemetry | None = None):
+                 telemetry: Telemetry | None = None,
+                 checkpoint_listener=None):
         """``pending_alarm_listener`` is called (from the CR's thread) with
         each alarm the CR cannot dismiss, the moment it is confirmed — the
         streaming pipeline uses it to dispatch alarm replayers while the
-        CR is still consuming the log, instead of after the full pass."""
+        CR is still consuming the log, instead of after the full pass.
+
+        ``checkpoint_listener`` is called (also on the CR's thread) with
+        ``(checkpoint, bookkeeping)`` right after each checkpoint is
+        taken — the durable run store (``repro.store``) persists the
+        incremental checkpoint file from it, so a crashed CR can resume
+        from its last durable checkpoint."""
         self.options = options if options is not None else CheckpointingOptions()
         super().__init__(
             spec,
@@ -113,6 +120,7 @@ class CheckpointingReplayer(DeterministicReplayer):
             max_resident_bytes=self.options.max_resident_bytes,
         )
         self.pending_alarm_listener = pending_alarm_listener
+        self.checkpoint_listener = checkpoint_listener
         self.pending_alarms: list[AlarmRecord] = []
         self.dismissed_underflows = 0
         self.alarms_seen = 0
@@ -220,6 +228,10 @@ class CheckpointingReplayer(DeterministicReplayer):
         )
         self._last_checkpoint_cycles = machine.now
         self._resume_snapshots[checkpoint.icount] = self._bookkeeping()
+        if self.checkpoint_listener is not None:
+            self.checkpoint_listener(
+                checkpoint, self._resume_snapshots[checkpoint.icount],
+            )
         if self._retention_cycles is not None:
             self.store.recycle_older_than(
                 machine.now - self._retention_cycles,
@@ -273,7 +285,9 @@ class CheckpointingReplayer(DeterministicReplayer):
                options: CheckpointingOptions | None,
                state: CrResumeState,
                pending_alarm_listener=None,
-               telemetry: Telemetry | None = None) -> "CheckpointingReplayer":
+               telemetry: Telemetry | None = None,
+               cursor: LogCursor | None = None,
+               checkpoint_listener=None) -> "CheckpointingReplayer":
         """Rebuild a CR positioned at ``state``'s last good checkpoint.
 
         The returned replayer adopts the partial store and continues over
@@ -281,10 +295,19 @@ class CheckpointingReplayer(DeterministicReplayer):
         running it to the end yields results bit-identical to a CR that
         never failed (same checkpoints, same pending alarms, same final
         state) — only the host-side metrics cover just the replayed tail.
+
+        ``cursor`` lets a streaming caller hand in a
+        :class:`~repro.rnr.log.FrameQueueCursor` so the resumed CR can
+        consume a live frame stream: restoring the checkpoint seats the
+        cursor at the checkpoint's ``InputLogPtr``, and the cursor pulls
+        frames until the log grows past it — the pre-anchor records flow
+        through without being re-executed.
         """
         replayer = cls(spec, log, options,
+                       cursor=cursor,
                        pending_alarm_listener=pending_alarm_listener,
-                       telemetry=telemetry)
+                       telemetry=telemetry,
+                       checkpoint_listener=checkpoint_listener)
         checkpoint = None
         if state.checkpoint_icount is not None:
             for candidate in state.store.all():
@@ -301,14 +324,20 @@ class CheckpointingReplayer(DeterministicReplayer):
         )
         replayer.restore_checkpoint(checkpoint, state.store)
         machine = replayer.machine
-        # The checkpoint pins the simulated clock; re-seat the machine's
-        # overhead so ``now`` continues from the recorded instant, and
-        # clear the dirty sets exactly as the original take_checkpoint did
-        # — post-resume checkpoints then reproduce the originals.
-        machine.overhead_cycles = checkpoint.cycles - checkpoint.icount
+        bookkeeping = state.bookkeeping or {}
+        # The checkpoint pins the simulated clock — but ``cycles`` was
+        # sampled *before* take_checkpoint charged the checkpoint's own
+        # cost, while the original CR carried that charge forward.  The
+        # post-charge clock survives as ``last_checkpoint_cycles``;
+        # re-seat the machine's overhead from it (falling back to the
+        # pre-charge value for anchors with no bookkeeping) and clear the
+        # dirty sets exactly as the original take_checkpoint did — then
+        # post-resume checkpoints land on the original schedule.
+        resumed_cycles = bookkeeping.get("last_checkpoint_cycles",
+                                         checkpoint.cycles)
+        machine.overhead_cycles = resumed_cycles - checkpoint.icount
         machine.memory.clear_dirty()
         machine.disk.clear_dirty()
-        bookkeeping = state.bookkeeping or {}
         replayer.pending_alarms = list(bookkeeping.get("pending_alarms", ()))
         replayer.dismissed_underflows = bookkeeping.get(
             "dismissed_underflows", 0)

@@ -82,7 +82,11 @@ class RecordingRun:
 
     metrics: RunMetrics
     log: InputLog
-    machine: GuestMachine
+    #: ``None`` when the run was rebuilt from a durable run store's
+    #: sealed journal (``repro.store``): the guest never re-executed, so
+    #: there is no machine to hand back — only the log and the metrics
+    #: persisted at seal time.
+    machine: GuestMachine | None
     alarms: list[AlarmRecord] = field(default_factory=list)
     evicts: list[EvictRecord] = field(default_factory=list)
     jop_alarms: list[AlarmRecord] = field(default_factory=list)
@@ -90,9 +94,13 @@ class RecordingRun:
     alarm_cycles: dict[int, int] = field(default_factory=dict)
     #: Recorder-side telemetry (``None`` unless ``config.telemetry``).
     telemetry: TelemetrySnapshot | None = None
+    #: Stop reason persisted at seal time, for machine-less restored runs.
+    restored_stop_reason: str | None = None
 
     @property
     def stop_reason(self) -> str:
+        if self.machine is None:
+            return self.restored_stop_reason or "restored"
         return self.machine.stop_reason
 
 

@@ -66,8 +66,13 @@ class SessionManifest:
             raise LogError("session header is not a JSON object")
         if data.get("magic") != _MAGIC:
             raise LogError("not an RnR-Safe session file")
-        if data.get("version") not in (_VERSION, _VERSION_FRAMED):
-            raise LogError(f"unsupported session version {data.get('version')}")
+        version = data.get("version")
+        if version not in (_VERSION, _VERSION_FRAMED):
+            if isinstance(version, int) and version > _VERSION_FRAMED:
+                raise LogError(
+                    f"session version {version} is newer than this code "
+                    f"supports (max {_VERSION_FRAMED}); upgrade to read it")
+            raise LogError(f"unsupported session version {version}")
         try:
             return cls(
                 benchmark=data["benchmark"],

@@ -1,0 +1,38 @@
+"""Durable run store: crash-safe persistence and recovery for runs.
+
+``RunStoreWriter`` journals a streaming run to disk as it happens (CRC'd
+manifest, write-ahead v3 frame journal, incremental checkpoint files);
+``recover_run`` turns a directory a crashed session left behind into a
+``ResumePoint`` the pipeline and the fleet supervisor resume from —
+bit-identically to an uninterrupted run.  See ``docs/RELIABILITY.md``.
+"""
+
+from repro.errors import StoreCorruptError
+from repro.store.recover import ResumePoint, fsck_run, recover_run
+from repro.store.runstore import (
+    CHECKPOINT_DIR,
+    JOURNAL_NAME,
+    MANIFEST_NAME,
+    RUN_STORE_MAGIC,
+    RUN_STORE_VERSION,
+    RunStoreWriter,
+    canonical_body,
+    decode_manifest,
+    encode_manifest,
+)
+
+__all__ = [
+    "CHECKPOINT_DIR",
+    "JOURNAL_NAME",
+    "MANIFEST_NAME",
+    "RUN_STORE_MAGIC",
+    "RUN_STORE_VERSION",
+    "ResumePoint",
+    "RunStoreWriter",
+    "StoreCorruptError",
+    "canonical_body",
+    "decode_manifest",
+    "encode_manifest",
+    "fsck_run",
+    "recover_run",
+]

@@ -1,0 +1,272 @@
+"""Crash recovery for the durable run store.
+
+:func:`recover_run` is a pure function from an on-disk run directory to
+a :class:`ResumePoint`: it trusts nothing but CRCs.  The manifest's own
+counters are treated as hints — the journal is re-scanned frame by frame
+(each v3 frame carries its own CRC), a torn or corrupt tail is cut at
+the last whole frame, and every checkpoint file is CRC-validated against
+the manifest *before* its pickle is touched.  A checkpoint that fails
+validation drops it and everything newer (the chain is incremental — a
+child overlays its parent), falling back to the newest surviving anchor.
+
+Only manifest-level damage is unrecoverable
+(:class:`~repro.errors.StoreCorruptError`): without a trusted manifest
+there is no session identity to re-record from and no chain to validate
+against.  Everything else degrades — worst case, recovery returns a
+resume point that restarts the deterministic run from scratch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import pickle
+import zlib
+
+from repro.errors import LogError, StoreCorruptError
+from repro.replay.checkpoint import CheckpointStore
+from repro.replay.checkpointing import CrResumeState
+from repro.rnr.log import InputLog
+from repro.rnr.records import EndRecord
+from repro.rnr.serialize import parse_frame
+from repro.rnr.session import SessionManifest
+from repro.store.runstore import (
+    CHECKPOINT_DIR,
+    JOURNAL_NAME,
+    MANIFEST_NAME,
+    decode_manifest,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ResumePoint:
+    """Everything needed to continue a run exactly where it stopped.
+
+    ``recording_complete`` is decided by the recovered *bytes* (the
+    record stream ends with the recorder's End record), never by the
+    manifest's state field: a manifest can say ``log-sealed`` while
+    mid-file corruption has since eaten the tail.  When it is false the
+    resumed pipeline re-records deterministically from the session
+    manifest — producing byte-identical frames — and when true the
+    journal bytes *are* the recording and no guest re-execution happens.
+
+    ``cr_state`` carries the newest surviving checkpoint chain as a CR
+    resume anchor (``None`` when no checkpoint survived);
+    ``chain_entries`` are the validated manifest entries backing it, so
+    a resumed :class:`~repro.store.RunStoreWriter` carries the chain
+    forward without rewriting the files.
+    """
+
+    path: str
+    session: SessionManifest
+    #: The recovered log prefix (every record in valid journal frames).
+    log: InputLog
+    records: int
+    frames: int
+    journal_bytes_valid: int
+    journal_bytes_total: int
+    recording_complete: bool
+    #: Icount after the last recovered record (0 when the journal is empty).
+    last_icount: int
+    cr_state: CrResumeState | None
+    #: Icount of the resume anchor checkpoint (``None`` = replay from 0).
+    anchor_icount: int | None
+    #: Log position the CR resumes consuming from.
+    anchor_log_position: int
+    chain_entries: tuple[dict, ...]
+    #: ``seal_log`` summary from the manifest (``None`` until sealed).
+    recording_meta: dict | None
+    attempt: int
+    #: Human-readable recovery decisions (what fsck prints).
+    notes: tuple[str, ...]
+    #: Frame size the original writer journaled with (``None`` = config
+    #: default); a resume must reuse it for byte-identical re-framing.
+    frame_records: int | None = None
+    #: Fsync policy the original writer ran with.
+    fsync: str = "interval"
+
+    @property
+    def window(self) -> tuple[int, int]:
+        """The ``(anchor icount, last journaled icount)`` replay window."""
+        return (self.anchor_icount or 0, self.last_icount)
+
+
+def _scan_journal(path: pathlib.Path, notes: list[str]):
+    """Re-parse the journal, keeping the longest valid frame prefix."""
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        data = b""
+    log = InputLog()
+    frames = 0
+    offset = 0
+    last_icount = 0
+    while offset < len(data):
+        try:
+            header, records, offset = parse_frame(data, offset)
+        except LogError as exc:
+            notes.append(
+                f"journal: dropped {len(data) - offset} byte torn tail "
+                f"after frame {frames} ({exc})")
+            break
+        if header.frame_index != frames:
+            # A hole means bytes were destroyed mid-file, not torn at
+            # the end; nothing after the gap can be trusted either.
+            notes.append(
+                f"journal: frame sequence jumped to {header.frame_index} "
+                f"at frame {frames}; dropped the rest")
+            break
+        for record in records:
+            log.append(record)
+        last_icount = header.last_icount
+        frames += 1
+    return data, log, frames, offset, last_icount
+
+
+def _load_chain(path: pathlib.Path, entries: list[dict], records: int,
+                recording_complete: bool, notes: list[str]):
+    """CRC-validate the checkpoint chain; keep the longest valid prefix.
+
+    When the recovered record stream is complete we additionally drop
+    checkpoints whose ``log_position`` lies beyond it — they can only
+    exist if mid-file journal corruption shortened the stream, and a
+    "complete" stream will not be re-recorded to cover them.  (When the
+    stream is incomplete the deterministic re-record regenerates the
+    full log, so every checkpoint stays valid.)
+    """
+    loaded: list[tuple[object, dict, dict]] = []
+    for entry in entries:
+        name = entry.get("file", "?")
+        target = path / name
+        try:
+            blob = target.read_bytes()
+        except OSError as exc:
+            notes.append(f"checkpoints: {name} unreadable ({exc}); "
+                         f"dropped it and everything newer")
+            break
+        if zlib.crc32(blob) != entry.get("crc"):
+            notes.append(f"checkpoints: {name} failed its CRC; "
+                         f"dropped it and everything newer")
+            break
+        if recording_complete and entry.get("log_position", 0) > records:
+            notes.append(
+                f"checkpoints: {name} points past the recovered log "
+                f"(position {entry.get('log_position')} > {records} "
+                f"records); dropped it and everything newer")
+            break
+        # CRC passed over the full blob, so the pickle bytes are exactly
+        # what the writer produced — safe to load.
+        payload = pickle.loads(blob)
+        loaded.append((payload["checkpoint"], payload["bookkeeping"],
+                       entry))
+    return loaded
+
+
+def recover_run(path: str | pathlib.Path) -> ResumePoint:
+    """Validate a run store and compute its resume point.
+
+    Raises :class:`~repro.errors.StoreCorruptError` only for damage that
+    leaves nothing to resume from: a missing, unparsable, or
+    CRC-mismatched manifest.  Journal and checkpoint damage degrade to
+    an earlier resume point instead, with the decision recorded in
+    ``notes``.
+    """
+    root = pathlib.Path(path)
+    manifest_path = root / MANIFEST_NAME
+    try:
+        raw = manifest_path.read_bytes()
+    except FileNotFoundError:
+        raise StoreCorruptError("no run-store manifest found",
+                                path=str(root)) from None
+    except NotADirectoryError:
+        raise StoreCorruptError("not a run-store directory",
+                                path=str(root)) from None
+    body = decode_manifest(raw, str(manifest_path))
+
+    session = SessionManifest.from_json(body["session"])
+    notes: list[str] = []
+
+    data, log, frames, valid_bytes, last_icount = _scan_journal(
+        root / JOURNAL_NAME, notes)
+    records = len(log)
+    recording_complete = records > 0 and isinstance(log[records - 1],
+                                                    EndRecord)
+
+    entries = body.get("checkpoints") or []
+    loaded = _load_chain(root, entries, records, recording_complete, notes)
+
+    cr_state = None
+    anchor_icount = None
+    anchor_log_position = 0
+    chain_entries: tuple[dict, ...] = ()
+    if loaded:
+        store = CheckpointStore.from_checkpoints(
+            [checkpoint for checkpoint, _, _ in loaded])
+        anchor, bookkeeping, _ = loaded[-1]
+        cr_state = CrResumeState(store=store,
+                                 checkpoint_icount=anchor.icount,
+                                 bookkeeping=bookkeeping)
+        anchor_icount = anchor.icount
+        anchor_log_position = anchor.log_position
+        chain_entries = tuple(entry for _, _, entry in loaded)
+
+    return ResumePoint(
+        path=str(root),
+        session=session,
+        log=log,
+        records=records,
+        frames=frames,
+        journal_bytes_valid=valid_bytes,
+        journal_bytes_total=len(data),
+        recording_complete=recording_complete,
+        last_icount=last_icount,
+        cr_state=cr_state,
+        anchor_icount=anchor_icount,
+        anchor_log_position=anchor_log_position,
+        chain_entries=chain_entries,
+        recording_meta=body.get("recording"),
+        attempt=body.get("attempt", 0),
+        notes=tuple(notes),
+        frame_records=body.get("frame_records"),
+        fsync=body.get("fsync", "interval"),
+    )
+
+
+def fsck_run(path: str | pathlib.Path) -> str:
+    """Human-readable health report for a run store (``repro fsck``).
+
+    Runs the same validation as :func:`recover_run` and describes what a
+    resume would do.  Unrecoverable stores raise; the CLI turns that
+    into a nonzero exit.
+    """
+    resume = recover_run(path)
+    session = resume.session
+    lines = [
+        f"run store {resume.path}: attempt {resume.attempt}",
+        f"  session: {session.benchmark} seed={session.seed} "
+        f"attack={session.attack or '-'} "
+        f"max_instructions={session.max_instructions}",
+        f"  journal: {resume.journal_bytes_valid}/"
+        f"{resume.journal_bytes_total} bytes valid, {resume.frames} "
+        f"frames, {resume.records} records, "
+        f"complete={resume.recording_complete}",
+        f"  checkpoints: {len(resume.chain_entries)} valid "
+        f"(anchor icount "
+        f"{resume.anchor_icount if resume.anchor_icount is not None else '-'})",
+    ]
+    for note in resume.notes:
+        lines.append(f"  note: {note}")
+    if resume.recording_complete:
+        plan = "reuse the sealed journal (no re-record)"
+    elif resume.records:
+        plan = (f"re-record deterministically "
+                f"({resume.records} records already journaled)")
+    else:
+        plan = "restart the recording from scratch"
+    if resume.anchor_icount is not None:
+        plan += (f", resume the CR at icount {resume.anchor_icount} "
+                 f"(log position {resume.anchor_log_position})")
+    else:
+        plan += ", replay the CR from the start"
+    lines.append(f"  resume plan: {plan}")
+    return "\n".join(lines)

@@ -1,0 +1,353 @@
+"""The durable run store: crash-safe persistence for one session.
+
+Each run owns a directory:
+
+``MANIFEST.json``
+    A CRC'd JSON manifest — ``{"crc": <crc32>, "body": {...}}`` where the
+    CRC covers the canonical (sorted-keys, no-whitespace) dump of the
+    body.  Every update writes a temp file in the same directory and
+    ``os.replace``\\ s it over the old one, so the manifest is atomic: a
+    reader sees the old version or the new one, never a torn mix.
+
+``journal.v3``
+    A write-ahead journal of the recording: the v3 (``0xF6``,
+    CRC-per-frame) frames from the pipeline's
+    :class:`~repro.rnr.log.RecordingLogTee`, appended in emission order
+    before they enter the frame queue.  A crash leaves at worst a torn
+    final frame, which recovery truncates at the last whole frame.
+
+``checkpoints/ckpt-<id>.bin``
+    One file per CR checkpoint, serialized *incrementally*: each file
+    holds only the pages/blocks dirtied since its parent (exactly the
+    in-memory :class:`~repro.replay.checkpoint.Checkpoint`), with the
+    parent chain and a per-file CRC recorded in the manifest.  Persisting
+    stays proportional to dirty state, mirroring the in-memory
+    :class:`~repro.replay.checkpoint.CheckpointStore`.
+
+Write ordering gives recovery its invariant: a frame is journaled before
+the CR can consume it, and a checkpoint is persisted only after the CR
+consumed the records up to its ``InputLogPtr`` — so every surviving
+checkpoint refers to a log prefix the journal already held.  The fsync
+policy (``always``/``interval``/``never``) trades the durability window
+of the journal tail against write cost; see ``docs/RELIABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import pickle
+import threading
+import zlib
+from typing import TYPE_CHECKING
+
+from repro.errors import HypervisorError, LogError, StoreCorruptError
+from repro.rnr.session import SessionManifest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
+    from repro.replay.checkpoint import Checkpoint
+    from repro.rnr.recorder import RecordingRun
+    from repro.store.recover import ResumePoint
+
+RUN_STORE_MAGIC = "rnr-safe-run-store"
+RUN_STORE_VERSION = 1
+MANIFEST_NAME = "MANIFEST.json"
+JOURNAL_NAME = "journal.v3"
+CHECKPOINT_DIR = "checkpoints"
+
+_FSYNC_POLICIES = ("always", "interval", "never")
+
+
+def canonical_body(body: dict) -> bytes:
+    """The canonical byte form of a manifest body (what the CRC covers)."""
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+
+
+def encode_manifest(body: dict) -> bytes:
+    """Wrap a manifest body with its CRC for writing."""
+    payload = {"crc": zlib.crc32(canonical_body(body)), "body": body}
+    return (json.dumps(payload, sort_keys=True, indent=1) + "\n").encode()
+
+
+def decode_manifest(raw: bytes, path: str) -> dict:
+    """Validate and unwrap a manifest file's bytes into its body.
+
+    Raises :class:`~repro.errors.StoreCorruptError` on structural damage
+    (bad JSON, missing fields, CRC mismatch, wrong magic) and a plain
+    :class:`~repro.errors.LogError` when the manifest is *newer* than
+    this code supports — that is a version skew, not corruption.
+    """
+    try:
+        payload = json.loads(raw.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StoreCorruptError(
+            f"manifest is not valid JSON: {exc}", path=path) from None
+    if not isinstance(payload, dict) or "crc" not in payload \
+            or "body" not in payload:
+        raise StoreCorruptError(
+            "manifest is missing its crc/body envelope", path=path)
+    body = payload["body"]
+    if not isinstance(body, dict):
+        raise StoreCorruptError("manifest body is not an object", path=path)
+    actual = zlib.crc32(canonical_body(body))
+    if actual != payload["crc"]:
+        raise StoreCorruptError(
+            f"manifest CRC mismatch (stored {payload['crc']}, "
+            f"computed {actual})", path=path)
+    if body.get("magic") != RUN_STORE_MAGIC:
+        raise StoreCorruptError(
+            f"not a run-store manifest (magic {body.get('magic')!r})",
+            path=path)
+    version = body.get("version")
+    if not isinstance(version, int) or version < 1:
+        raise StoreCorruptError(
+            f"manifest has an invalid version {version!r}", path=path)
+    if version > RUN_STORE_VERSION:
+        raise LogError(
+            f"run-store manifest version {version} is newer than this "
+            f"code supports (max {RUN_STORE_VERSION}); upgrade before "
+            f"resuming {path}")
+    return body
+
+
+def _fsync_file(handle):
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def _atomic_write(target: pathlib.Path, data: bytes, fsync: bool):
+    """Write-temp-then-replace so ``target`` is never torn."""
+    temp = target.with_name(target.name + ".tmp")
+    with temp.open("wb") as handle:
+        handle.write(data)
+        if fsync:
+            _fsync_file(handle)
+    os.replace(temp, target)
+
+
+class RunStoreWriter:
+    """Owns one run directory for the lifetime of a (resumable) run.
+
+    Thread model matches the pipeline's thread backend: the producer
+    thread appends journal frames, the CR thread persists checkpoints;
+    the manifest (and the checkpoint chain it records) is guarded by a
+    lock.  This is why durability forces the pipeline onto its thread
+    backend — a CR in another OS process could not share the writer.
+
+    ``resume`` threads a prior :class:`~repro.store.recover.ResumePoint`
+    back in: the validated checkpoint chain is carried forward (the
+    files are already on disk and stay valid — replay is deterministic),
+    and the journal is either kept as-is (the recording completed) or
+    truncated for the deterministic re-record.
+
+    ``fault_plan`` hooks the ``"journal"`` worker role after each frame
+    append — the kill schedule the crash-recovery tests drive.
+    """
+
+    def __init__(self, path: str | os.PathLike, session: SessionManifest,
+                 *, fsync: str = "interval", fsync_interval: int = 8,
+                 frame_records: int | None = None,
+                 fault_plan: "FaultPlan | None" = None,
+                 attempt: int = 0,
+                 allow_hard_kill: bool = False,
+                 resume: "ResumePoint | None" = None):
+        if fsync not in _FSYNC_POLICIES:
+            raise HypervisorError(
+                f"unknown journal fsync policy {fsync!r}; choose one of "
+                f"{', '.join(_FSYNC_POLICIES)}"
+            )
+        self.path = pathlib.Path(path)
+        self.session = session
+        self.fsync = fsync
+        self.fsync_interval = max(1, fsync_interval)
+        self.frame_records = frame_records
+        self.attempt = attempt
+        self._fault_plan = fault_plan
+        self._allow_hard_kill = allow_hard_kill
+        self._lock = threading.Lock()
+        self._state = "recording"
+        self._recording_meta: dict | None = None
+        self._result_meta: dict | None = None
+        #: Checkpoint chain entries keyed by checkpoint id (insertion
+        #: ordered; ids are icount-ordered by construction).  A restarted
+        #: CR re-persists the same ids with identical content, so keying
+        #: by id makes that idempotent.
+        self._chain: dict[int, dict] = {}
+        self._frames = 0
+        self._journal_bytes = 0
+        self._unsynced_frames = 0
+        self._closed = False
+
+        self.path.mkdir(parents=True, exist_ok=True)
+        (self.path / CHECKPOINT_DIR).mkdir(exist_ok=True)
+        journal = self.path / JOURNAL_NAME
+        keep_journal = resume is not None and resume.recording_complete
+        if resume is not None:
+            for entry in resume.chain_entries:
+                self._chain[entry["id"]] = dict(entry)
+            self._recording_meta = (dict(resume.recording_meta)
+                                    if resume.recording_meta else None)
+        if keep_journal:
+            # The journal already holds the complete recording; nothing
+            # will be re-recorded, so no append handle is needed.
+            self._journal = None
+            self._state = "log-sealed"
+            self._frames = resume.frames
+            self._journal_bytes = resume.journal_bytes_valid
+            if resume.journal_bytes_valid != resume.journal_bytes_total:
+                # Garbage past the last whole frame (torn write that
+                # still ended on the End record): drop it so the file
+                # is exactly the valid prefix.
+                with journal.open("rb+") as handle:
+                    handle.truncate(resume.journal_bytes_valid)
+        else:
+            # Fresh run, or a resume that must re-record: the journal is
+            # rewritten from frame zero (the deterministic re-record
+            # reproduces the prefix byte-identically).  Unbuffered, so a
+            # crash loses at most what the OS page cache held — never a
+            # Python-side buffer that a dying object might flush as
+            # garbage after recovery already truncated the file.
+            self._journal = journal.open("wb", buffering=0)
+            self._recording_meta = None
+        self._write_manifest()
+
+    # ------------------------------------------------------------------
+    # journal
+    # ------------------------------------------------------------------
+
+    def append_frame(self, frame: bytes):
+        """Journal one v3 frame (write-ahead: called before the frame
+        enters the pipeline queue)."""
+        journal = self._journal
+        if journal is None:
+            raise StoreCorruptError(
+                "journal is sealed; a resumed-complete run records "
+                "nothing", path=str(self.path))
+        journal.write(frame)
+        index = self._frames
+        self._frames += 1
+        self._journal_bytes += len(frame)
+        self._unsynced_frames += 1
+        if self.fsync == "always" or (
+                self.fsync == "interval"
+                and self._unsynced_frames >= self.fsync_interval):
+            _fsync_file(journal)
+            self._unsynced_frames = 0
+        if self._fault_plan is not None:
+            self._fault_plan.fire_worker_fault(
+                "journal", index, self.attempt,
+                allow_hard_kill=self._allow_hard_kill,
+            )
+
+    def seal_log(self, recording: "RecordingRun"):
+        """The recording finished: flush the journal and persist its
+        summary (the scalars a resumed-complete run rebuilds its
+        :class:`~repro.rnr.recorder.RecordingRun` from)."""
+        with self._lock:
+            if self._journal is not None and self.fsync != "never":
+                _fsync_file(self._journal)
+                self._unsynced_frames = 0
+            metrics = recording.metrics
+            self._recording_meta = {
+                "label": metrics.label,
+                "backras_bytes": metrics.backras_bytes,
+                "instructions": metrics.instructions,
+                "guest_cycles": metrics.guest_cycles,
+                "log_bytes": metrics.log_bytes,
+                "log_records": len(recording.log),
+                "alarms": metrics.alarms,
+                "evicts": metrics.evicts,
+                "context_switches": metrics.context_switches,
+                "stop_reason": recording.stop_reason,
+            }
+            self._state = "log-sealed"
+            self._write_manifest_locked()
+
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+
+    def persist_checkpoint(self, checkpoint: "Checkpoint",
+                           bookkeeping: dict):
+        """Durably store one incremental checkpoint plus the CR's
+        bookkeeping at that instant (the resume anchor's state)."""
+        blob = pickle.dumps(
+            {"checkpoint": checkpoint, "bookkeeping": bookkeeping},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        name = f"ckpt-{checkpoint.checkpoint_id:06d}.bin"
+        target = self.path / CHECKPOINT_DIR / name
+        _atomic_write(target, blob, fsync=self.fsync != "never")
+        entry = {
+            "id": checkpoint.checkpoint_id,
+            "icount": checkpoint.icount,
+            "cycles": checkpoint.cycles,
+            "parent": checkpoint.parent_id,
+            "log_position": checkpoint.log_position,
+            "file": f"{CHECKPOINT_DIR}/{name}",
+            "crc": zlib.crc32(blob),
+            "bytes": len(blob),
+        }
+        with self._lock:
+            self._chain[entry["id"]] = entry
+            self._write_manifest_locked()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def finish(self, final_icount: int, verdicts=()):
+        """Mark the run complete (CR done, verdicts in) and close."""
+        with self._lock:
+            self._result_meta = {
+                "final_icount": final_icount,
+                "verdicts": list(verdicts),
+            }
+            self._state = "complete"
+            self._write_manifest_locked()
+        self.close()
+
+    def close(self):
+        """Flush and release the journal handle (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._journal is not None:
+            try:
+                if self.fsync != "never":
+                    _fsync_file(self._journal)
+            finally:
+                self._journal.close()
+                self._journal = None
+
+    # ------------------------------------------------------------------
+    # manifest
+    # ------------------------------------------------------------------
+
+    def _body(self) -> dict:
+        return {
+            "magic": RUN_STORE_MAGIC,
+            "version": RUN_STORE_VERSION,
+            "session": self.session.to_json(),
+            "state": self._state,
+            "attempt": self.attempt,
+            "fsync": self.fsync,
+            "fsync_interval": self.fsync_interval,
+            "frame_records": self.frame_records,
+            "journal": {"frames": self._frames,
+                        "bytes": self._journal_bytes},
+            "recording": self._recording_meta,
+            "checkpoints": [self._chain[cid] for cid in sorted(self._chain)],
+            "result": self._result_meta,
+        }
+
+    def _write_manifest_locked(self):
+        _atomic_write(self.path / MANIFEST_NAME,
+                      encode_manifest(self._body()),
+                      fsync=self.fsync != "never")
+
+    def _write_manifest(self):
+        with self._lock:
+            self._write_manifest_locked()

@@ -1,0 +1,421 @@
+"""Durable run store: crash recovery, resume equivalence, supervision.
+
+The contract under test is the robustness tentpole: a run interrupted at
+*any* point — mid-journal, mid-checkpoint, or via a hard-killed fleet
+worker — either resumes **bit-identically** to an uninterrupted run
+(same log bytes, same checkpoint chain, same verdicts, same final CPU
+state) or fails with a typed error.  Never a crash, never a silently
+different replay.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import shutil
+import zlib
+
+import pytest
+
+from repro import cli
+from repro.config import DEFAULT_CONFIG
+from repro.core.fleet import FleetSession, run_fleet
+from repro.core.parallel import record_and_replay_pipelined
+from repro.errors import LogError, StoreCorruptError
+from repro.faults.plan import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedWorkerCrash,
+)
+from repro.replay.checkpointing import CheckpointingOptions
+from repro.rnr.recorder import RecorderOptions
+from repro.rnr.session import SessionManifest
+from repro.store import (
+    JOURNAL_NAME,
+    MANIFEST_NAME,
+    RUN_STORE_VERSION,
+    RunStoreWriter,
+    encode_manifest,
+    fsck_run,
+    recover_run,
+)
+
+BUDGET = 120_000
+FRAME_RECORDS = 4
+PERIOD = 0.2
+
+
+def _manifest() -> SessionManifest:
+    return SessionManifest(benchmark="mysql", seed=2018, attack="rop",
+                           max_instructions=BUDGET)
+
+
+def _durable_run(path, *, resume=None, attempt=0, fault_plan=None):
+    """One pipelined run journaling into a run store at ``path``."""
+    manifest = _manifest()
+    store = RunStoreWriter(
+        str(path), manifest, fsync="never", frame_records=FRAME_RECORDS,
+        fault_plan=fault_plan, attempt=attempt, resume=resume,
+    )
+    return record_and_replay_pipelined(
+        manifest.build_spec(),
+        RecorderOptions(max_instructions=BUDGET),
+        CheckpointingOptions(period_s=PERIOD),
+        backend="thread", frame_records=FRAME_RECORDS,
+        run_store=store, resume=resume,
+    )
+
+
+def _verdict_keys(run):
+    return [(verdict.kind.value, verdict.alarm.icount)
+            for verdict in run.resolution.verdicts]
+
+
+def _chain_shape(path):
+    """The checkpoint chain as the manifest records it (id, position)."""
+    body = json.loads((path / MANIFEST_NAME).read_text())["body"]
+    return [(entry["id"], entry["icount"], entry["parent"],
+             entry["log_position"]) for entry in body["checkpoints"]]
+
+
+def _assert_bit_identical(resumed, path, reference, ref_path):
+    """The resumed run and its healed store match the clean reference."""
+    ref_run = reference
+    assert resumed.recording.log.to_bytes() == \
+        ref_run.recording.log.to_bytes()
+    assert resumed.final_cpu_state == ref_run.final_cpu_state
+    assert _verdict_keys(resumed) == _verdict_keys(ref_run)
+    assert (path / JOURNAL_NAME).read_bytes() == \
+        (ref_path / JOURNAL_NAME).read_bytes()
+    assert _chain_shape(path) == _chain_shape(ref_path)
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """An uninterrupted durable run — the equivalence oracle."""
+    path = tmp_path_factory.mktemp("ref") / "store"
+    run = _durable_run(path)
+    assert run.recovery is None
+    return run, path
+
+
+class TestManifest:
+    """The CRC'd manifest envelope: every byte accounted for."""
+
+    def test_round_trip(self, reference):
+        _, path = reference
+        raw = (path / MANIFEST_NAME).read_bytes()
+        from repro.store import decode_manifest
+
+        body = decode_manifest(raw, "test")
+        assert body["magic"] == "rnr-safe-run-store"
+        assert body["version"] == RUN_STORE_VERSION
+        assert body["state"] == "complete"
+        assert encode_manifest(body) == raw
+
+    def test_flipped_byte_fails_crc(self, reference, tmp_path):
+        _, ref_path = reference
+        raw = bytearray((ref_path / MANIFEST_NAME).read_bytes())
+        # Flip inside a JSON string value so the text still parses.
+        offset = raw.index(b"mysql")
+        raw[offset] ^= 0x01
+        store = tmp_path / "store"
+        shutil.copytree(ref_path, store)
+        (store / MANIFEST_NAME).write_bytes(bytes(raw))
+        with pytest.raises(StoreCorruptError, match="CRC"):
+            recover_run(store)
+
+    def test_unparsable_manifest(self, reference, tmp_path):
+        _, ref_path = reference
+        store = tmp_path / "store"
+        shutil.copytree(ref_path, store)
+        (store / MANIFEST_NAME).write_bytes(b"not json {")
+        with pytest.raises(StoreCorruptError):
+            recover_run(store)
+
+    def test_missing_store(self, tmp_path):
+        with pytest.raises(StoreCorruptError, match="no run-store manifest"):
+            recover_run(tmp_path / "nothing-here")
+
+    def test_newer_store_version_is_a_clear_error(self, reference, tmp_path):
+        _, ref_path = reference
+        store = tmp_path / "store"
+        shutil.copytree(ref_path, store)
+        body = json.loads((store / MANIFEST_NAME).read_text())["body"]
+        body["version"] = RUN_STORE_VERSION + 1
+        (store / MANIFEST_NAME).write_bytes(encode_manifest(body))
+        with pytest.raises(LogError, match="newer than this code supports"):
+            recover_run(store)
+
+    def test_newer_session_version_is_a_clear_error(self):
+        data = _manifest().to_json()
+        data["version"] = 99
+        with pytest.raises(LogError, match="newer than this code supports"):
+            SessionManifest.from_json(data)
+
+
+class TestRecovery:
+    """recover_run on healthy and damaged stores."""
+
+    def test_complete_store_recovers_fully(self, reference):
+        run, path = reference
+        point = recover_run(path)
+        assert point.recording_complete
+        assert point.records == len(run.recording.log)
+        assert point.log.to_bytes() == run.recording.log.to_bytes()
+        assert len(point.chain_entries) == len(run.checkpointing.store)
+        assert point.anchor_icount is not None
+        assert point.notes == ()
+        assert point.frame_records == FRAME_RECORDS
+        report = fsck_run(path)
+        assert "reuse the sealed journal" in report
+
+    def test_garbage_tail_is_truncated(self, reference, tmp_path):
+        run, ref_path = reference
+        store = tmp_path / "store"
+        shutil.copytree(ref_path, store)
+        journal = store / JOURNAL_NAME
+        clean = journal.read_bytes()
+        journal.write_bytes(clean + b"\xf6garbage-after-a-crash")
+        point = recover_run(store)
+        assert point.journal_bytes_valid == len(clean)
+        assert point.journal_bytes_total > len(clean)
+        assert point.recording_complete
+        assert any("torn tail" in note or "dropped" in note
+                   for note in point.notes)
+        # Resuming truncates the garbage and completes without re-record.
+        resumed = _durable_run(store, resume=point,
+                               attempt=point.attempt + 1)
+        _assert_bit_identical(resumed, store, run, ref_path)
+
+    def test_corrupt_checkpoint_drops_chain_suffix(self, reference,
+                                                   tmp_path):
+        run, ref_path = reference
+        store = tmp_path / "store"
+        shutil.copytree(ref_path, store)
+        files = sorted((store / "checkpoints").glob("ckpt-*.bin"))
+        assert len(files) >= 3
+        victim = files[len(files) // 2]
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        point = recover_run(store)
+        assert len(point.chain_entries) == len(files) // 2
+        assert any("dropped it and everything newer" in note
+                   for note in point.notes)
+        resumed = _durable_run(store, resume=point,
+                               attempt=point.attempt + 1)
+        _assert_bit_identical(resumed, store, run, ref_path)
+
+
+class TestKillResume:
+    """The acceptance matrix: kill the journal writer at frame k, resume,
+    demand bit-identity with the uninterrupted reference."""
+
+    # The reference run journals 9 frames (34 records, 4 per frame);
+    # kill at the first, the last, and two interior frames.
+    @pytest.mark.parametrize("kill_at", [0, 2, 5, 8])
+    def test_kill_during_journaling(self, reference, tmp_path, kill_at):
+        run, ref_path = reference
+        store = tmp_path / "store"
+        plan = FaultPlan([FaultSpec(FaultKind.CRASH_WORKER, role="journal",
+                                    target=kill_at)])
+        with pytest.raises(InjectedWorkerCrash):
+            _durable_run(store, fault_plan=plan)
+        point = recover_run(store)
+        # The fault fires after the frame hits disk, so killing at the
+        # final frame leaves a complete journal; any earlier frame
+        # leaves a prefix that forces a deterministic re-record.
+        assert point.recording_complete == (kill_at == 8)
+        resumed = _durable_run(store, resume=point,
+                               attempt=point.attempt + 1)
+        assert resumed.recovery is not None
+        _assert_bit_identical(resumed, store, run, ref_path)
+        # The healed store is itself recoverable and complete.
+        assert recover_run(store).recording_complete
+
+
+class TestDurabilityOff:
+    """durability=False must change nothing: no I/O, same bytes."""
+
+    def test_durability_defaults_off(self):
+        assert DEFAULT_CONFIG.durability is False
+
+    def test_plain_pipeline_matches_durable_bytes(self, reference):
+        run, _ = reference
+        plain = record_and_replay_pipelined(
+            _manifest().build_spec(),
+            RecorderOptions(max_instructions=BUDGET),
+            CheckpointingOptions(period_s=PERIOD),
+            backend="thread", frame_records=FRAME_RECORDS,
+        )
+        assert plain.recording.log.to_bytes() == \
+            run.recording.log.to_bytes()
+        assert plain.final_cpu_state == run.final_cpu_state
+        assert _verdict_keys(plain) == _verdict_keys(run)
+
+
+class TestCheckpointStorePickle:
+    """Satellite: the store's pickle round-trip keeps its bookkeeping."""
+
+    def test_round_trip(self, reference):
+        run, _ = reference
+        store = run.checkpointing.store
+        restored = pickle.loads(pickle.dumps(store))
+        assert len(restored) == len(store)
+        assert [c.icount for c in restored._checkpoints] == \
+            [c.icount for c in store._checkpoints]
+        assert restored._next_id == store._next_id
+        assert restored.max_resident_bytes == store.max_resident_bytes
+        assert restored.recycled == store.recycled
+        assert restored.budget_merges == store.budget_merges
+        # Memo caches stay home; they rebuild lazily on the other side.
+        assert restored._pages_cache == {}
+        assert restored._blocks_cache == {}
+        anchor = restored.latest_before(10 ** 12)
+        assert anchor is not None
+        assert anchor.icount == store.latest_before(10 ** 12).icount
+
+
+class TestSupervisor:
+    """The self-healing fleet: dead and wedged workers come back."""
+
+    SESSION = FleetSession(benchmark="mysql", seed=2018, attack="rop",
+                           max_instructions=BUDGET, period_s=PERIOD)
+
+    def test_dead_worker_is_resumed(self, reference, tmp_path):
+        run, _ = reference
+        plan = FaultPlan([FaultSpec(FaultKind.KILL_WORKER, role="journal",
+                                    target=5)])
+        fleet = run_fleet([self.SESSION], store_dir=str(tmp_path),
+                          frame_records=FRAME_RECORDS, fault_plan=plan,
+                          heal_poll_s=0.1)
+        result = fleet.results[0]
+        assert result.ok, result.error
+        assert result.attempts >= 2
+        kinds = [event.kind for event in result.recoveries]
+        assert "session-resumed" in kinds or "session-restarted" in kinds
+        assert fleet.recoveries
+        # Healed digest equals the uninterrupted run's log digest.
+        import hashlib
+
+        assert result.session_digest == hashlib.sha256(
+            run.recording.log.to_bytes()).hexdigest()
+
+    def test_wedged_worker_is_healed_within_deadline(self, tmp_path):
+        import time
+
+        plan = FaultPlan([FaultSpec(FaultKind.STALL_WORKER, role="journal",
+                                    target=5, stall_s=30.0)])
+        started = time.monotonic()
+        fleet = run_fleet([self.SESSION], store_dir=str(tmp_path),
+                          frame_records=FRAME_RECORDS, fault_plan=plan,
+                          heal_deadline_s=1.2, heal_poll_s=0.1)
+        elapsed = time.monotonic() - started
+        result = fleet.results[0]
+        assert result.ok, result.error
+        assert result.attempts >= 2
+        assert any("stale" in event.cause for event in result.recoveries)
+        assert elapsed < 25, "the heal must beat the 30s stall"
+
+    def test_resume_attempts_are_bounded(self, tmp_path):
+        plan = FaultPlan([
+            FaultSpec(FaultKind.KILL_WORKER, role="journal", target=5,
+                      attempt=attempt)
+            for attempt in range(3)
+        ])
+        fleet = run_fleet([self.SESSION], store_dir=str(tmp_path),
+                          frame_records=FRAME_RECORDS, fault_plan=plan,
+                          heal_poll_s=0.1, max_resume_attempts=2)
+        result = fleet.results[0]
+        assert not result.ok
+        assert "exhausted" in result.error
+        assert len(result.recoveries) == 2
+
+
+class TestCli:
+    """record --store / fsck / resume work as one flow."""
+
+    def test_record_fsck_resume(self, tmp_path, capsys):
+        store = tmp_path / "cli-store"
+        assert cli.main(["record", "mysql", "--attack", "rop",
+                         "--budget", str(BUDGET),
+                         "--store", str(store), "--fsync", "never"]) == 0
+        assert cli.main(["fsck", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "reuse the sealed journal" in out
+        assert cli.main(["resume", str(store),
+                         "--checkpoint-period", str(PERIOD)]) == 0
+        out = capsys.readouterr().out
+        assert "resumed mysql+rop" in out
+
+    def test_fsck_rejects_a_missing_store(self, tmp_path, capsys):
+        assert cli.main(["fsck", str(tmp_path / "nope")]) == 1
+        assert "fsck:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# property: kill-while-writing never crashes and never lies
+# ----------------------------------------------------------------------
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - the CI image ships hypothesis
+    HAVE_HYPOTHESIS = False
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+class TestKillWhileWritingProperty:
+    """Mutate any store file at any offset; recovery must either produce
+    a bit-identical resume or a typed LogError — nothing else."""
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(target=st.sampled_from([MANIFEST_NAME, JOURNAL_NAME,
+                                   "ckpt-first", "ckpt-last"]),
+           frac=st.floats(min_value=0.0, max_value=1.0),
+           mode=st.sampled_from(["flip", "truncate"]))
+    def test_mutation_recovers_or_fails_typed(self, reference,
+                                              tmp_path_factory,
+                                              target, frac, mode):
+        run, ref_path = reference
+        store = tmp_path_factory.mktemp("mutate") / "store"
+        shutil.copytree(ref_path, store)
+        if target == "ckpt-first":
+            victim = sorted((store / "checkpoints").glob("ckpt-*.bin"))[0]
+        elif target == "ckpt-last":
+            victim = sorted((store / "checkpoints").glob("ckpt-*.bin"))[-1]
+        else:
+            victim = store / target
+        data = bytearray(victim.read_bytes())
+        offset = min(int(frac * len(data)), len(data) - 1)
+        if mode == "flip":
+            data[offset] ^= 0x40
+            victim.write_bytes(bytes(data))
+        else:
+            victim.write_bytes(bytes(data[:offset]))
+        try:
+            point = recover_run(store)
+        except LogError:
+            return  # typed failure: acceptable, the caller can react
+        resumed = _durable_run(store, resume=point,
+                               attempt=point.attempt + 1)
+        _assert_bit_identical(resumed, store, run, ref_path)
+
+
+def _crc_sanity():
+    """Guard the helper itself: the manifest CRC covers the body."""
+    body = {"magic": "rnr-safe-run-store", "version": RUN_STORE_VERSION}
+    raw = encode_manifest(body)
+    parsed = json.loads(raw)
+    from repro.store import canonical_body
+
+    assert parsed["crc"] == zlib.crc32(canonical_body(body))
+
+
+def test_manifest_crc_matches_canonical_body():
+    _crc_sanity()
