@@ -8,6 +8,18 @@ the simulator itself (how fast the Python interpreter pushes guest
 instructions), not simulated guest time; they are the perf trajectory every
 future PR is measured against.
 
+Each workload is run under **both execution backends** (``interp``, the
+reference interpreter, and ``trace``, the trace-cache translated fast
+path) and the entry carries an ``equivalent`` flag: the trace run must
+reproduce the interp run's log bytes, final CPU state, machine digest,
+and checkpoint chain exactly, or the whole harness exits nonzero — a
+speedup that changes results is a bug, not a result.
+
+Workloads whose plain recording leaves no pending alarms get their
+``ar_replay`` / ``ar_parallel`` phases from a ROP-attack variant of the
+same workload (``ar_source: "rop_attack"``), so the AR columns are
+populated for the full suite instead of reporting null.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_throughput.py              # full run
@@ -21,6 +33,7 @@ See ``docs/PERFORMANCE.md`` for how to read the output.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import pathlib
 import sys
@@ -58,29 +71,74 @@ def _phase(instructions: int, seconds: float) -> dict:
     }
 
 
+def _with_backend(spec, backend: str):
+    return dataclasses.replace(
+        spec, config=dataclasses.replace(spec.config, exec_backend=backend),
+    )
+
+
+def _record_and_cr(spec, budget: int):
+    """Record then CR-replay one spec; return timings plus ground truth."""
+    recorder = Recorder(spec, RecorderOptions(max_instructions=budget))
+    run, record_s = _timed(recorder.run)
+    replayer = CheckpointingReplayer(spec, run.log, CheckpointingOptions())
+    cr, cr_s = _timed(replayer.run_to_end)
+    truth = {
+        "log_bytes": run.log.to_bytes(),
+        "final_state": replayer.machine.cpu.capture_state(),
+        "machine_digest": replayer.machine.state_digest(),
+        "checkpoints": tuple(
+            (c.icount, c.cpu_state) for c in cr.store.all()
+        ),
+    }
+    return run, cr, _phase(run.metrics.instructions, record_s), \
+        _phase(cr.replay.metrics.instructions, cr_s), truth
+
+
 def bench_workload(name: str, budget: int, ar_backend: str | None) -> dict:
-    """Time record, CR replay, and AR replay for one paper benchmark."""
+    """Time record, CR, and AR for one benchmark under both backends."""
     spec = build_workload(profile_by_name(name))
     result: dict = {}
 
-    recorder = Recorder(spec, RecorderOptions(max_instructions=budget))
-    run, seconds = _timed(recorder.run)
-    result["record"] = _phase(run.metrics.instructions, seconds)
+    run, cr, record_phase, cr_phase, truth = _record_and_cr(spec, budget)
+    result["record"] = record_phase
+    result["cr_replay"] = cr_phase
 
-    replayer = CheckpointingReplayer(spec, run.log, CheckpointingOptions())
-    cr, seconds = _timed(replayer.run_to_end)
-    result["cr_replay"] = _phase(cr.replay.metrics.instructions, seconds)
+    _, _, trace_record, trace_cr, trace_truth = _record_and_cr(
+        _with_backend(spec, "trace"), budget,
+    )
+    result["trace"] = {"record": trace_record, "cr_replay": trace_cr}
+    result["equivalent"] = truth == trace_truth
+    if record_phase["ips"] and trace_record["ips"]:
+        result["record_speedup"] = round(
+            trace_record["ips"] / record_phase["ips"], 2)
+    if cr_phase["ips"] and trace_cr["ips"]:
+        result["cr_replay_speedup"] = round(
+            trace_cr["ips"] / cr_phase["ips"], 2)
 
     # Alarm replay: launch an AR from the latest checkpoint preceding the
-    # first unresolved alarm (the common Figure 9 path).  Workloads without
-    # residual alarms report null.
-    if cr.pending_alarms:
-        alarm = cr.pending_alarms[0]
-        checkpoint = cr.store.latest_before(alarm.icount)
+    # first unresolved alarm (the common Figure 9 path).  A workload whose
+    # plain run leaves no residual alarms gets the same measurement from
+    # its ROP-attack variant, which always does.
+    ar_spec, ar_run, ar_cr = spec, run, cr
+    result["ar_source"] = "native"
+    if not cr.pending_alarms:
+        from repro.attacks import deliver_rop_attack
+
+        ar_spec, _ = deliver_rop_attack(spec)
+        ar_recorder = Recorder(ar_spec,
+                               RecorderOptions(max_instructions=budget))
+        ar_run = ar_recorder.run()
+        ar_cr = CheckpointingReplayer(
+            ar_spec, ar_run.log, CheckpointingOptions()).run_to_end()
+        result["ar_source"] = "rop_attack"
+    if ar_cr.pending_alarms:
+        alarm = ar_cr.pending_alarms[0]
+        checkpoint = ar_cr.store.latest_before(alarm.icount)
         ar = AlarmReplayer(
-            spec, run.log, alarm,
+            ar_spec, ar_run.log, alarm,
             checkpoint=checkpoint,
-            store=cr.store if checkpoint is not None else None,
+            store=ar_cr.store if checkpoint is not None else None,
         )
         start_icount = ar.machine.cpu.icount
         _, seconds = _timed(ar.analyze)
@@ -90,12 +148,12 @@ def bench_workload(name: str, budget: int, ar_backend: str | None) -> dict:
 
         resolution, seconds = _timed(
             lambda: resolve_alarms_parallel(
-                spec, run.log, cr.pending_alarms, store=cr.store,
+                ar_spec, ar_run.log, ar_cr.pending_alarms, store=ar_cr.store,
                 backend=ar_backend,
             )
         )
         result["ar_parallel"] = {
-            "alarms": len(cr.pending_alarms),
+            "alarms": len(ar_cr.pending_alarms),
             "backend": ar_backend or "thread",
             "seconds": round(seconds, 4),
             "verdicts": [v.kind.value for v in resolution.verdicts],
@@ -157,18 +215,36 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"    {phase:<10} {stats['ips']:>10,} instr/s "
                       f"({stats['instructions']:,} instr in "
                       f"{stats['seconds']:.2f}s)", flush=True)
+        for phase in ("record", "cr_replay"):
+            stats = entry["trace"][phase]
+            speedup = entry.get(f"{phase}_speedup")
+            print(f"    trace {phase:<10} {stats['ips']:>10,} instr/s"
+                  + (f" ({speedup}x)" if speedup else ""), flush=True)
+        print(f"    equivalent: {entry['equivalent']}", flush=True)
 
+    entries = list(report["benchmarks"].values())
     report["aggregate"] = {
-        "record_ips_geomean": _geomean(
-            [e["record"]["ips"] for e in report["benchmarks"].values()]),
+        "record_ips_geomean": _geomean([e["record"]["ips"] for e in entries]),
         "cr_replay_ips_geomean": _geomean(
-            [e["cr_replay"]["ips"] for e in report["benchmarks"].values()]),
+            [e["cr_replay"]["ips"] for e in entries]),
         "ar_replay_ips_geomean": _geomean(
-            [e["ar_replay"]["ips"]
-             for e in report["benchmarks"].values() if e["ar_replay"]]),
+            [e["ar_replay"]["ips"] for e in entries if e["ar_replay"]]),
+        "trace_record_ips_geomean": _geomean(
+            [e["trace"]["record"]["ips"] for e in entries]),
+        "trace_cr_replay_ips_geomean": _geomean(
+            [e["trace"]["cr_replay"]["ips"] for e in entries]),
+        "trace_record_speedup_geomean": _geomean(
+            [e.get("record_speedup") for e in entries]),
+        "trace_cr_replay_speedup_geomean": _geomean(
+            [e.get("cr_replay_speedup") for e in entries]),
+        "all_equivalent": all(e["equivalent"] for e in entries),
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"[bench_throughput] wrote {args.out}")
+    if not report["aggregate"]["all_equivalent"]:
+        print("[bench_throughput] ERROR: trace backend diverged from "
+              "interp on at least one workload", file=sys.stderr)
+        return 1
     return 0
 
 

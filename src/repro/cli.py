@@ -41,6 +41,7 @@ def _cmd_record(args) -> int:
         seed=args.seed,
         attack=args.attack,
         max_instructions=args.budget,
+        exec_backend=args.backend,
     )
     spec = manifest.build_spec()
     options = RecorderOptions(
@@ -103,7 +104,7 @@ def _cmd_hunt(args) -> int:
 
     manifest = SessionManifest(
         benchmark=args.benchmark, seed=args.seed, attack=args.attack,
-        max_instructions=args.budget,
+        max_instructions=args.budget, exec_backend=args.backend,
     )
     spec = manifest.build_spec()
     run_store = None
@@ -194,7 +195,7 @@ def _cmd_stats(args) -> int:
 
     manifest = SessionManifest(
         benchmark=args.benchmark, seed=args.seed, attack=args.attack,
-        max_instructions=args.budget,
+        max_instructions=args.budget, exec_backend=args.backend,
     )
     spec = manifest.build_spec()
     spec = dataclasses.replace(
@@ -255,6 +256,7 @@ def _cmd_fleet(args) -> int:
             seed=args.seed + index,
             attack=args.attack,
             max_instructions=args.budget,
+            exec_backend=args.backend,
         )
         for index in range(args.width)
     ]
@@ -264,13 +266,13 @@ def _cmd_fleet(args) -> int:
 
         # The supervised (durable) fleet always runs worker processes.
         board = HeartbeatBoard(
-            shared=(args.backend == "process" or args.store is not None))
+            shared=(args.pool == "process" or args.store is not None))
 
     def run():
         return run_fleet(
             sessions,
             max_workers=args.workers,
-            backend=args.backend,
+            backend=args.pool,
             pipeline=args.pipeline,
             pipeline_backend=args.pipeline_backend,
             session_timeout_s=args.session_timeout,
@@ -369,6 +371,10 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("--seed", type=int, default=2018)
     record.add_argument("--attack", choices=["rop", "jop", "dos"])
     record.add_argument("--budget", type=int, default=3_000_000)
+    record.add_argument("--backend", choices=["interp", "trace"],
+                        help="execution backend: the reference interpreter "
+                             "or the trace-cache translated fast path "
+                             "(bit-identical; default: config)")
     record.add_argument("--out", help="session file to write")
     record.add_argument("--framed", action="store_true",
                         help="write the framed (version 2) session body")
@@ -393,6 +399,9 @@ def build_parser() -> argparse.ArgumentParser:
     hunt.add_argument("--attack", choices=["rop", "jop", "dos"],
                       default="rop")
     hunt.add_argument("--budget", type=int, default=3_000_000)
+    hunt.add_argument("--backend", choices=["interp", "trace"],
+                      help="execution backend (bit-identical; "
+                           "default: config)")
     hunt.add_argument("--stall", action="store_true",
                       help="stall the recorded VM at the first alarm")
     hunt.add_argument("--pipeline", action="store_true",
@@ -445,8 +454,13 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--budget", type=int, default=1_000_000)
     fleet.add_argument("--workers", type=int,
                        help="pool size (default: one per session)")
-    fleet.add_argument("--backend", choices=["thread", "process"],
-                       default="process")
+    fleet.add_argument("--pool", "--pool-backend", choices=["thread",
+                                                            "process"],
+                       default="process", dest="pool",
+                       help="worker pool: thread or process per session")
+    fleet.add_argument("--backend", choices=["interp", "trace"],
+                       help="execution backend inside every session "
+                            "(bit-identical; default: config)")
     fleet.add_argument("--pipeline", action="store_true",
                        help="stream each session through the pipeline")
     fleet.add_argument("--pipeline-backend", choices=["thread", "process"],
@@ -488,6 +502,10 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--seed", type=int, default=2018)
     stats.add_argument("--attack", choices=["rop", "jop", "dos"])
     stats.add_argument("--budget", type=int, default=1_000_000)
+    stats.add_argument("--backend", choices=["interp", "trace"],
+                       help="execution backend; translation counters "
+                            "surface in the metric tables "
+                            "(default: config)")
     stats.add_argument("--pipeline-backend", choices=["thread", "process"],
                        help="pipeline backend (default: config)")
     stats.add_argument("--prom", action="store_true",

@@ -22,6 +22,7 @@ pure Python.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 
@@ -166,6 +167,17 @@ class SimulationConfig:
     store_fsync: str = "interval"
     #: Frames between journal fsyncs under the ``"interval"`` policy.
     store_fsync_interval: int = 8
+    #: Execution backend for the CPU run loop (``repro.cpu.backend``):
+    #: ``"interp"`` — the reference batched interpreter — or ``"trace"``
+    #: — the trace-cache translated fast path, bit-identical by contract
+    #: and by the differential suite.  Because the field lives on the
+    #: (pickled) config, the choice follows the workload into process-pool
+    #: workers (parallel AR, process pipeline, fleet).  The
+    #: ``REPRO_EXEC_BACKEND`` environment variable overrides the default,
+    #: which is how CI runs the whole tier-1 suite under ``trace``.
+    exec_backend: str = field(
+        default_factory=lambda: os.environ.get("REPRO_EXEC_BACKEND", "interp")
+    )
     #: Cycle-cost model.
     costs: CostModel = field(default_factory=CostModel)
 

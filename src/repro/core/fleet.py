@@ -63,6 +63,10 @@ class FleetSession:
     max_instructions: int = 1_000_000
     #: CR checkpoint period in guest seconds.
     period_s: float = 1.0
+    #: Execution backend for the session's machines (``None`` = config
+    #: default).  A performance knob only: verdicts and digests are
+    #: backend-invariant.
+    exec_backend: str | None = None
 
     def manifest(self) -> SessionManifest:
         return SessionManifest(
@@ -70,6 +74,7 @@ class FleetSession:
             seed=self.seed,
             attack=self.attack,
             max_instructions=self.max_instructions,
+            exec_backend=self.exec_backend,
         )
 
 

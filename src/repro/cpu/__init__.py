@@ -11,6 +11,12 @@ This package models the paper's proposed hardware:
   analogue of Intel VT-x VMCS execution controls (§5.1).
 """
 
+from repro.cpu.backend import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    InterpreterBackend,
+    create_backend,
+)
 from repro.cpu.exits import (
     ExitControls,
     RopAlarmKind,
@@ -22,6 +28,10 @@ from repro.cpu.state import CpuState, FLAGS_FIELDS
 from repro.cpu.core import Cpu, IRQ_VECTOR_REG, SYSCALL_NUM_REG
 
 __all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "InterpreterBackend",
+    "create_backend",
     "ExitControls",
     "RopAlarmKind",
     "VmExit",

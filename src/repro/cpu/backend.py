@@ -1,0 +1,254 @@
+"""Pluggable execution backends for the simulated CPU.
+
+:meth:`repro.cpu.core.Cpu.run` delegates its batched inner loop to an
+:class:`ExecutionBackend`.  Two backends exist:
+
+* :class:`InterpreterBackend` (``"interp"``, the default) — the reference
+  semantics.  One fetch/decode/dispatch round per instruction, with the
+  fetch-page cache and the shared word->(handler, instruction) execution
+  cache hoisting the per-instruction cost down to a dict probe plus a
+  handler call.
+* ``TraceCacheBackend`` (``"trace"``, :mod:`repro.cpu.trace`) — a
+  translated fast path.  Basic blocks discovered at branch boundaries are
+  compiled once into a single Python closure (a superinstruction chain:
+  fused fetch/decode, locals-bound register file and page tables, one
+  MMIO/watchpoint guard per memory access instead of per instruction) and
+  cached per privilege mode.  Bit-identical to the interpreter by
+  construction and by the differential suite
+  (``tests/test_backend_equivalence.py``).
+
+Backends are architectural no-ops: every observable artifact — the final
+:class:`~repro.cpu.state.CpuState`, log bytes, checkpoints, sentinel
+digests, verdicts — is identical whichever backend executes the guest.
+The choice rides on :attr:`repro.config.SimulationConfig.exec_backend`,
+so it survives pickling into process-pool workers (parallel AR, the
+process pipeline, fleet sessions) for free.
+
+Cache-boundedness.  ``_DECODE_CACHE`` and ``_EXEC_CACHE`` are process-wide
+and pure (word -> decoded instruction / dispatch pair, never invalidated),
+but they are *bounded*: once ``_CACHE_LIMIT`` distinct words have been
+seen, both caches are cleared and rebuilt on demand, so a long-lived
+process that churns through many workloads cannot grow them without
+limit.  They are shared by every backend and every ``Cpu`` instance
+because their entries carry no per-instance state — unbound handlers and
+frozen ``Instruction`` objects only.  Anything keyed on mutable state
+(the trace backend's translated blocks, which bake in memory contents)
+lives on the backend *instance* instead.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.cpu.exits import VmExit, VmExitReason
+from repro.errors import DecodeError, ReproError
+from repro.isa.instruction import Instruction, decode
+from repro.memory.paging import AccessViolation
+
+_WORD_MASK = 0xFFFF_FFFF_FFFF_FFFF
+
+#: Entries across the shared decode/exec caches before they are cleared.
+#: 64Ki distinct instruction words is far beyond any one workload (the
+#: whole suite decodes a few thousand); the bound exists so that churning
+#: through arbitrarily many generated programs in one process cannot leak.
+_CACHE_LIMIT = 1 << 16
+
+#: Process-wide decode cache.  Word -> instruction is a pure function, so
+#: the cache is shared by every CPU instance and never invalidated (only
+#: cleared when it reaches ``_CACHE_LIMIT``).
+_DECODE_CACHE: dict[int, Instruction] = {}
+
+#: Process-wide execution cache: word -> (handler, instruction).  The
+#: handler is the class-level dispatch entry for the instruction's opcode,
+#: so the hot loop resolves fetch+decode+dispatch with a single dict
+#: probe.  Like ``_DECODE_CACHE`` it is pure; both clear together at the
+#: size bound.
+_EXEC_CACHE: dict[int, tuple] = {}
+
+
+def _bound_caches():
+    """Clear the shared pure caches when they reach the size bound."""
+    if len(_EXEC_CACHE) >= _CACHE_LIMIT or len(_DECODE_CACHE) >= _CACHE_LIMIT:
+        _EXEC_CACHE.clear()
+        _DECODE_CACHE.clear()
+
+
+def remember_decode(word: int, instr: Instruction):
+    """Insert a decoded word into the bounded shared decode cache."""
+    _bound_caches()
+    _DECODE_CACHE[word] = instr
+
+
+class FaultKind(enum.IntEnum):
+    """Architectural fault codes delivered in ``r10``."""
+
+    ACCESS = 1
+    PRIVILEGE = 2
+    DECODE = 3
+    DIV_ZERO = 4
+
+
+class _GuestFault(Exception):
+    """Internal signal: the current instruction faulted."""
+
+    def __init__(self, kind: FaultKind, detail: str = ""):
+        self.kind = kind
+        self.detail = detail
+        super().__init__(detail)
+
+
+class ExecutionBackend:
+    """Interface every execution backend implements.
+
+    Contract (see ``docs/PERFORMANCE.md`` § Execution backends):
+
+    * :meth:`run` executes **at most** ``max_steps`` batch units and stops
+      *exactly* there when no VM exit ends the batch earlier — interrupt
+      and async-record delivery points are defined by batch boundaries, so
+      overshooting by even one instruction breaks replay bit-identity;
+    * every per-instruction architectural effect of the reference
+      interpreter (icount increments *before* the handler, fault-streak
+      accounting, per-instruction breakpoint checks, MMIO traps) must be
+      preserved observably;
+    * backends own no architectural state: everything lives on the ``Cpu``
+      so checkpoint capture/restore and digests never consult the backend.
+    """
+
+    #: Name the backend registers under (``SimulationConfig.exec_backend``).
+    name = "?"
+
+    def run(self, cpu, max_steps: int) -> VmExit | None:
+        """Execute up to ``max_steps`` instructions on ``cpu``."""
+        raise NotImplementedError
+
+    def stats(self) -> dict[str, int]:
+        """Translation/cache counters (empty for stateless backends)."""
+        return {}
+
+    def invalidate(self):
+        """Drop any cached translations (stateless backends: no-op)."""
+
+
+class InterpreterBackend(ExecutionBackend):
+    """The reference batched interpreter (exact seed semantics)."""
+
+    name = "interp"
+
+    def run(self, cpu, max_steps: int) -> VmExit | None:
+        """Execute up to ``max_steps`` instructions; stop early on a VM exit.
+
+        This is the batched inner loop: exit-control, dispatch, and decode
+        lookups are hoisted out of the per-instruction path, and the
+        current fetch page is cached so straight-line code never repeats
+        the permission walk.
+
+        Batch contract (see ``docs/PERFORMANCE.md``): nothing outside the
+        CPU can interrupt a batch, so callers must size ``max_steps`` such
+        that the next external event — a due log record, a due world
+        event, an instruction budget — falls at or after the batch end.
+        VM exits, guest faults, and breakpoints end a batch from the
+        inside; guest stores stay coherent with the fetch cache because
+        pages mutate in place, and any host-side remapping bumps
+        ``memory.version``, which invalidates the cache at the next
+        ``run()`` entry.
+        """
+        if max_steps <= 0:
+            return None
+        memory = cpu.memory
+        if memory.version != cpu._mem_version:
+            cpu._mem_version = memory.version
+            cpu._fp_lo, cpu._fp_hi = 1, 0
+            cpu._fp_page = None
+        controls = cpu.controls
+        cpu._trap_mmio = controls.trap_mmio
+        cpu._mmio_lo, cpu._mmio_hi = memory.mmio_bounds
+        breakpoints = controls.breakpoints
+        exec_cache = _EXEC_CACHE
+        cache_get = exec_cache.get
+        dispatch = cpu._DISPATCH
+        fetch_page = memory.fetch_page
+        fp_lo = cpu._fp_lo
+        fp_hi = cpu._fp_hi
+        fp_page = cpu._fp_page
+        fp_user = cpu._fp_user
+        remaining = max_steps
+        try:
+            while remaining > 0:
+                remaining -= 1
+                pc0 = cpu.pc
+                if breakpoints:
+                    if pc0 in breakpoints \
+                            and cpu._skip_breakpoint_at != pc0:
+                        return VmExit(VmExitReason.BREAKPOINT,
+                                      pc=pc0, next_pc=pc0)
+                    cpu._skip_breakpoint_at = None
+                if fp_lo <= pc0 < fp_hi and cpu.user == fp_user:
+                    word = fp_page[pc0 - fp_lo]
+                else:
+                    try:
+                        fp_page, fp_lo, fp_hi = fetch_page(pc0, cpu.user)
+                    except AccessViolation as violation:
+                        fp_lo, fp_hi = 1, 0
+                        exit_event = cpu._deliver_fault(
+                            _GuestFault(FaultKind.ACCESS, str(violation)),
+                            pc0,
+                        )
+                        if exit_event is not None:
+                            return exit_event
+                        continue
+                    fp_user = cpu.user
+                    word = fp_page[pc0 - fp_lo]
+                pair = cache_get(word)
+                if pair is None:
+                    try:
+                        instr = decode(word)
+                    except DecodeError as exc:
+                        exit_event = cpu._deliver_fault(
+                            _GuestFault(FaultKind.DECODE, str(exc)), pc0
+                        )
+                        if exit_event is not None:
+                            return exit_event
+                        continue
+                    _bound_caches()
+                    _DECODE_CACHE[word] = instr
+                    pair = (dispatch[instr.op], instr)
+                    exec_cache[word] = pair
+                cpu.icount += 1
+                try:
+                    exit_event = pair[0](cpu, pair[1])
+                except _GuestFault as fault:
+                    exit_event = cpu._deliver_fault(fault, pc0)
+                    if exit_event is not None:
+                        return exit_event
+                    continue
+                except AccessViolation as violation:
+                    exit_event = cpu._deliver_fault(
+                        _GuestFault(FaultKind.ACCESS, str(violation)), pc0
+                    )
+                    if exit_event is not None:
+                        return exit_event
+                    continue
+                if exit_event is not None:
+                    return exit_event
+            return None
+        finally:
+            cpu._fp_lo, cpu._fp_hi = fp_lo, fp_hi
+            cpu._fp_page, cpu._fp_user = fp_page, fp_user
+
+
+#: Registered backend names (``"trace"`` resolves lazily to avoid paying
+#: the translator import on interpreter-only runs).
+BACKEND_NAMES = ("interp", "trace")
+
+
+def create_backend(name: str) -> ExecutionBackend:
+    """Instantiate the execution backend registered under ``name``."""
+    if name == "interp":
+        return InterpreterBackend()
+    if name == "trace":
+        from repro.cpu.trace import TraceCacheBackend
+
+        return TraceCacheBackend()
+    raise ReproError(
+        f"unknown exec backend {name!r} (choose from {BACKEND_NAMES})"
+    )

@@ -19,14 +19,22 @@ Architectural conventions (fixed by the hardware):
 
 from __future__ import annotations
 
-import enum
-
 from repro.config import SimulationConfig
+
+# The decode/exec caches, fault types, and the batched interpreter loop
+# live in :mod:`repro.cpu.backend`; the names are re-exported here because
+# they are part of this module's historical API surface.
+from repro.cpu.backend import (  # noqa: F401 - re-exports
+    _DECODE_CACHE,
+    _EXEC_CACHE,
+    FaultKind,
+    _GuestFault,
+    create_backend,
+)
 from repro.cpu.exits import ExitControls, RopAlarmKind, VmExit, VmExitReason
 from repro.cpu.ras import ReturnAddressStack
 from repro.cpu.state import CpuState, unpack_flags
-from repro.errors import DecodeError
-from repro.isa.instruction import Instruction, decode
+from repro.isa.instruction import Instruction
 from repro.isa.opcodes import SP, Opcode
 from repro.memory.paging import AccessViolation
 from repro.memory.physical import PhysicalMemory
@@ -38,36 +46,8 @@ SYSCALL_NUM_REG = 11
 
 _WORD_MASK = 0xFFFF_FFFF_FFFF_FFFF
 
-#: Process-wide decode cache.  Word -> instruction is a pure function, so
-#: the cache is shared by every CPU instance and never invalidated.
-_DECODE_CACHE: dict[int, Instruction] = {}
-
-#: Process-wide execution cache: word -> (handler, instruction).  The
-#: handler is the class-level dispatch entry for the instruction's opcode,
-#: so the hot loop resolves fetch+decode+dispatch with a single dict probe.
-#: Like ``_DECODE_CACHE`` it is pure and never invalidated.
-_EXEC_CACHE: dict[int, tuple] = {}
-
 #: Batch bound meaning "no external limit" (callers without a budget).
 UNBOUNDED_STEPS = 1 << 62
-
-
-class FaultKind(enum.IntEnum):
-    """Architectural fault codes delivered in ``r10``."""
-
-    ACCESS = 1
-    PRIVILEGE = 2
-    DECODE = 3
-    DIV_ZERO = 4
-
-
-class _GuestFault(Exception):
-    """Internal signal: the current instruction faulted."""
-
-    def __init__(self, kind: FaultKind, detail: str = ""):
-        self.kind = kind
-        self.detail = detail
-        super().__init__(detail)
 
 
 class Cpu:
@@ -112,6 +92,10 @@ class Cpu:
         # Exit-control hoists refreshed at every run() entry.
         self._trap_mmio = self.controls.trap_mmio
         self._mmio_lo, self._mmio_hi = memory.mmio_bounds
+        #: Execution backend (``config.exec_backend``): owns the batched
+        #: run loop but no architectural state — checkpoints and digests
+        #: never consult it.
+        self.backend = create_backend(config.exec_backend)
 
     # ------------------------------------------------------------------
     # state capture / restore
@@ -131,8 +115,13 @@ class Cpu:
         )
 
     def restore_state(self, state: CpuState):
-        """Load architectural register state (checkpoint restore)."""
-        self.regs = list(state.regs)
+        """Load architectural register state (checkpoint restore).
+
+        The register file is overwritten *in place*: translated code from
+        the trace backend binds the list object itself, so it must stay
+        stable across checkpoint restores.
+        """
+        self.regs[:] = state.regs
         self.pc = state.pc
         self.zero = state.zero
         self.negative = state.negative
@@ -184,10 +173,9 @@ class Cpu:
     def run(self, max_steps: int) -> VmExit | None:
         """Execute up to ``max_steps`` instructions; stop early on a VM exit.
 
-        This is the batched inner loop: exit-control, dispatch, and decode
-        lookups are hoisted out of the per-instruction path, and the current
-        fetch page is cached so straight-line code never repeats the
-        permission walk.
+        Delegates to the configured :class:`~repro.cpu.backend
+        .ExecutionBackend` (``"interp"`` — the reference batched
+        interpreter — by default, or the ``"trace"`` translated fast path).
 
         Batch contract (see ``docs/PERFORMANCE.md``): nothing outside the
         CPU can interrupt a batch, so callers must size ``max_steps`` such
@@ -196,89 +184,9 @@ class Cpu:
         guest faults, and breakpoints end a batch from the inside; guest
         stores stay coherent with the fetch cache because pages mutate in
         place, and any host-side remapping bumps ``memory.version``, which
-        invalidates the cache at the next ``run()`` entry.
+        invalidates backend caches at the next ``run()`` entry.
         """
-        if max_steps <= 0:
-            return None
-        memory = self.memory
-        if memory.version != self._mem_version:
-            self._mem_version = memory.version
-            self._fp_lo, self._fp_hi = 1, 0
-            self._fp_page = None
-        controls = self.controls
-        self._trap_mmio = controls.trap_mmio
-        self._mmio_lo, self._mmio_hi = memory.mmio_bounds
-        breakpoints = controls.breakpoints
-        exec_cache = _EXEC_CACHE
-        cache_get = exec_cache.get
-        dispatch = self._DISPATCH
-        fetch_page = memory.fetch_page
-        fp_lo = self._fp_lo
-        fp_hi = self._fp_hi
-        fp_page = self._fp_page
-        fp_user = self._fp_user
-        remaining = max_steps
-        try:
-            while remaining > 0:
-                remaining -= 1
-                pc0 = self.pc
-                if breakpoints:
-                    if pc0 in breakpoints \
-                            and self._skip_breakpoint_at != pc0:
-                        return VmExit(VmExitReason.BREAKPOINT,
-                                      pc=pc0, next_pc=pc0)
-                    self._skip_breakpoint_at = None
-                if fp_lo <= pc0 < fp_hi and self.user == fp_user:
-                    word = fp_page[pc0 - fp_lo]
-                else:
-                    try:
-                        fp_page, fp_lo, fp_hi = fetch_page(pc0, self.user)
-                    except AccessViolation as violation:
-                        fp_lo, fp_hi = 1, 0
-                        exit_event = self._deliver_fault(
-                            _GuestFault(FaultKind.ACCESS, str(violation)),
-                            pc0,
-                        )
-                        if exit_event is not None:
-                            return exit_event
-                        continue
-                    fp_user = self.user
-                    word = fp_page[pc0 - fp_lo]
-                pair = cache_get(word)
-                if pair is None:
-                    try:
-                        instr = decode(word)
-                    except DecodeError as exc:
-                        exit_event = self._deliver_fault(
-                            _GuestFault(FaultKind.DECODE, str(exc)), pc0
-                        )
-                        if exit_event is not None:
-                            return exit_event
-                        continue
-                    _DECODE_CACHE[word] = instr
-                    pair = (dispatch[instr.op], instr)
-                    exec_cache[word] = pair
-                self.icount += 1
-                try:
-                    exit_event = pair[0](self, pair[1])
-                except _GuestFault as fault:
-                    exit_event = self._deliver_fault(fault, pc0)
-                    if exit_event is not None:
-                        return exit_event
-                    continue
-                except AccessViolation as violation:
-                    exit_event = self._deliver_fault(
-                        _GuestFault(FaultKind.ACCESS, str(violation)), pc0
-                    )
-                    if exit_event is not None:
-                        return exit_event
-                    continue
-                if exit_event is not None:
-                    return exit_event
-            return None
-        finally:
-            self._fp_lo, self._fp_hi = fp_lo, fp_hi
-            self._fp_page, self._fp_user = fp_page, fp_user
+        return self.backend.run(self, max_steps)
 
     # ------------------------------------------------------------------
     # fault plumbing

@@ -1,0 +1,976 @@
+"""Trace-cache translated execution backend (``exec_backend="trace"``).
+
+Superblocks are discovered at branch boundaries and translated **once**
+into a single Python closure — a superinstruction chain with fetch and
+decode fused away at translation time:
+
+* straight-line ALU/flag instructions compile to locals-bound list
+  operations on the register file (no handler call, no per-instruction
+  fetch, no dict probe);
+* comparison flags live in closure locals and are written back to the
+  CPU only at block exits, fault points, and handler calls — the only
+  places they are architecturally observable;
+* loads/stores/push/pop inline the page-table walk (permission bit tests
+  against baked-in literals, direct ``array`` indexing); anything the
+  fast path rejects — MMIO (device pages are never mapped with
+  permissions, so the permission guard subsumes the bounds check),
+  violations, observed or executable pages — delegates to the reference
+  handler and ends the block;
+* translation continues *through* control flow wherever the successor is
+  static: unconditional jumps are followed (the ``jmp`` itself costs one
+  icount unit and zero generated code), direct calls run the reference
+  ``call`` handler and keep translating at the callee, and conditional
+  branches keep translating down the fall-through path, compiling the
+  taken side into an early ``return`` — so a superblock typically ends
+  only at a ``ret``/``jmpi``/syscall or when it revisits an address;
+* everything else that can produce a VM exit or mutate privileged state
+  (indirect transfers, syscalls, rdtsc/rdrand, port I/O, cli/sti, div)
+  calls the *same* unbound handler the interpreter dispatches to, after
+  materializing ``pc``/``icount``/flags exactly as the interpreter would
+  have;
+* a superblock whose walk returns to its own entry (a loop of any shape:
+  backward conditional branch, ``jmp`` chain, mid-loop entry) compiles
+  to an internal ``while`` with a fuel counter, so hot loop bodies run
+  many iterations per dispatch — with icount and flags accumulated in
+  locals — without touching the block cache at all.
+
+Bit-identity rules (the contract the differential fuzzer enforces):
+
+* ``icount`` is incremented *before* every potentially-faulting or
+  handler-called instruction (accumulated increments are flushed at that
+  point), and ``pc`` is materialized to the faulting instruction's
+  address before anything that can raise — so fault delivery, the
+  fault-streak triple-fault logic, and every VM exit observe exactly the
+  interpreter's architectural state;
+* a dispatch never executes past ``max_steps``: translations are
+  **budget-capped** — when the remaining batch budget is smaller than
+  the full block size, a shorter variant is translated for the
+  power-of-two bucket of the remaining budget (recorder batches are
+  bounded by world-event horizons and are often tiny, so these variants
+  are the recording fast path) — which is what preserves interrupt
+  delivery at every icount offset;
+* blocks never span a watchpoint (breakpoint) address, and the
+  breakpoint check runs before every block entry, so ``BREAKPOINT``
+  exits fire at the same instruction they would under the interpreter.
+
+Cache keying and invalidation: per-backend blocks are keyed on
+``(pc, budget bucket, privilege mode)`` and the whole cache is tied to
+``PhysicalMemory.version`` — any version bump (remapping, permission
+changes, page-object replacement, and — since this backend exists —
+writes into executable pages) flushes every translation.  Guest stores
+that reach an executable page take the translated slow path, which ends
+the current block immediately, so even a store into the *currently
+executing* block cannot run stale code: the next dispatch sees the
+version bump and retranslates.  The version check also runs per block
+dispatch (not only at ``run()`` entry) to catch mid-batch self-modifying
+stores that target *other* cached blocks.
+
+Compiled closures are additionally shared through a module-level code
+cache keyed by the *decoded walk itself* (entry, mode, page size, and
+the exact instruction sequence), not by address alone — so the recorder,
+checkpointing replayer, and every alarm replayer of the same image reuse
+one compilation, and two machines with different code at the same pc can
+never collide.  Content-addressed entries are immutable and never stale;
+the cache is only bounded, never invalidated.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.backend import (
+    _DECODE_CACHE,
+    ExecutionBackend,
+    FaultKind,
+    InterpreterBackend,
+    _GuestFault,
+    remember_decode,
+)
+from repro.cpu.exits import VmExit, VmExitReason
+from repro.errors import DecodeError
+from repro.isa.instruction import decode
+from repro.isa.opcodes import CONTROL_FLOW, SP, Opcode
+from repro.memory.paging import AccessViolation
+
+_M = 0xFFFF_FFFF_FFFF_FFFF
+#: XOR-ing both sides with the sign bit turns unsigned ``<`` into the
+#: architectural signed comparison (orders [MIN_INT, MAX_INT] correctly).
+_SIGN = 1 << 63
+
+#: Longest translated superblock, in retired instructions (power of two:
+#: shorter budget-capped variants use the power-of-two buckets below it).
+_MAX_BLOCK = 128
+#: Cached translations per backend instance before the cache is cleared.
+_MAX_BLOCKS = 4096
+
+#: Budget-bucket quantization: translations exist only for caps
+#: {1, 4, 16, max_block}, so a pc accumulates at most four variants
+#: instead of one per power of two (compilation is the dominant cost of
+#: the recorder's small, event-bounded batches).  Indexed by
+#: ``remaining.bit_length() - 1``; larger budgets use the full cap.
+_CAP_QUANT = (0, 0, 2, 2, 4, 4, 4)
+
+#: Module-level compiled-code cache shared by every backend instance,
+#: keyed by (entry, mode, page size, walked instructions, terminator).
+#: Content-addressed: entries are never stale, only evicted for size.
+_CODE_CACHE: dict = {}
+_CODE_CACHE_LIMIT = 1 << 14
+
+_OP_ALU = {
+    Opcode.ADD: "+",
+    Opcode.SUB: "-",
+    Opcode.MUL: "*",
+}
+_OP_LOGIC = {
+    Opcode.AND: "&",
+    Opcode.OR: "|",
+    Opcode.XOR: "^",
+}
+#: Flag expression under which a conditional branch is taken, in
+#: (attribute-resident, local-resident) forms.
+_OP_BRANCH = {
+    Opcode.JZ: ("cpu.zero", "_z"),
+    Opcode.JNZ: ("not cpu.zero", "not _z"),
+    Opcode.JLT: ("cpu.negative", "_n"),
+    Opcode.JGE: ("not cpu.negative", "not _n"),
+}
+#: Flag expression under which a loop-terminator branch *exits* the loop.
+_OP_BRANCH_EXIT = {
+    Opcode.JZ: ("not cpu.zero", "not _z"),
+    Opcode.JNZ: ("cpu.zero", "_z"),
+    Opcode.JLT: ("not cpu.negative", "not _n"),
+    Opcode.JGE: ("cpu.negative", "_n"),
+}
+_FLAG_PRODUCERS = frozenset({Opcode.CMP, Opcode.CMPI})
+
+
+class _Block:
+    """One translated superblock: the compiled closure and its worst-case
+    retirement length (actual retirement may be shorter on an early
+    branch exit, never longer).
+
+    Instances are per-cache-key wrappers (``hits``/``short`` are local
+    promotion state); only ``fn``/``length`` are shared through the
+    module-level code cache."""
+
+    __slots__ = ("fn", "length", "hits", "short")
+
+    def __init__(self, fn, length: int):
+        self.fn = fn
+        self.length = length
+        self.hits = 0
+        self.short = False
+
+
+class TraceCacheBackend(ExecutionBackend):
+    """Translate-and-cache execution backend."""
+
+    name = "trace"
+
+    def __init__(self, max_block: int = _MAX_BLOCK,
+                 max_blocks: int = _MAX_BLOCKS):
+        self._blocks: dict[int, _Block] = {}
+        self._max_block = max_block
+        #: log2 of the largest translation bucket (max_block rounded down
+        #: to a power of two).
+        self._cap_log = max(max_block.bit_length() - 1, 0)
+        self._capacity = max_blocks
+        self._mem_version = -1
+        self._bp_snapshot: frozenset[int] = frozenset()
+        #: Reference interpreter, kept as the correctness safety net for
+        #: any dispatch the translator cannot cover — it shares the Cpu's
+        #: architectural state, so switching mid-batch is seamless.
+        self._interp = InterpreterBackend()
+        self.blocks_translated = 0
+        self.block_hits = 0
+        self.block_misses = 0
+        self.shared_code_hits = 0
+        self.promotions = 0
+        self.invalidations = 0
+        self.fallback_steps = 0
+        self.entry_faults = 0
+
+    # ------------------------------------------------------------------
+    # ExecutionBackend interface
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "blocks_translated": self.blocks_translated,
+            "block_hits": self.block_hits,
+            "block_misses": self.block_misses,
+            "shared_code_hits": self.shared_code_hits,
+            "promotions": self.promotions,
+            "invalidations": self.invalidations,
+            "fallback_steps": self.fallback_steps,
+            "entry_faults": self.entry_faults,
+            "cached_blocks": len(self._blocks),
+        }
+
+    def invalidate(self):
+        self._blocks.clear()
+        self._mem_version = -1
+
+    def run(self, cpu, max_steps: int) -> VmExit | None:
+        if max_steps <= 0:
+            return None
+        memory = cpu.memory
+        blocks = self._blocks
+        version = memory.version
+        if version != self._mem_version:
+            self._mem_version = version
+            if blocks:
+                blocks.clear()
+                self.invalidations += 1
+        controls = cpu.controls
+        cpu._trap_mmio = controls.trap_mmio
+        cpu._mmio_lo, cpu._mmio_hi = memory.mmio_bounds
+        breakpoints = controls.breakpoints
+        if breakpoints != self._bp_snapshot:
+            self._bp_snapshot = frozenset(breakpoints)
+            if blocks:
+                blocks.clear()
+                self.invalidations += 1
+        blocks_get = blocks.get
+        deliver = cpu._deliver_fault
+        regs = cpu.regs
+        cap_log_max = self._cap_log
+        max_cap = 1 << cap_log_max
+        remaining = max_steps
+        hits = 0
+        try:
+            while remaining > 0:
+                pc0 = cpu.pc
+                if breakpoints:
+                    if pc0 in breakpoints \
+                            and cpu._skip_breakpoint_at != pc0:
+                        return VmExit(VmExitReason.BREAKPOINT,
+                                      pc=pc0, next_pc=pc0)
+                    # The skip token is cleared only on the paths where
+                    # *this* dispatcher executes (block body / entry
+                    # fault); the interpreter-tail fallback re-checks and
+                    # clears it itself, so it must still be armed there.
+                if memory.version != version:
+                    # A guest store rewrote executable memory mid-batch:
+                    # every translation is suspect, not just the block
+                    # that contained the store.
+                    version = memory.version
+                    self._mem_version = version
+                    blocks.clear()
+                    self.invalidations += 1
+                # Budget bucket: a quantized power of two not exceeding
+                # the remaining batch budget, so every cached variant is
+                # dispatchable (length <= bucket <= remaining).
+                if remaining >= max_cap:
+                    cap_log = cap_log_max
+                else:
+                    cap_log = remaining.bit_length() - 1
+                    cap_log = _CAP_QUANT[cap_log if cap_log < 7 else 6]
+                key = (pc0 << 4) | (cap_log << 1) | cpu.user
+                block = blocks_get(key)
+                if block is None:
+                    self.block_misses += 1
+                    # Tiered translation: the first translation for a
+                    # large bucket is capped at 16 steps — cheap to
+                    # compile and usually shared with the recorder's
+                    # small-batch variants — and is promoted to the full
+                    # bucket once the block proves hot.  (Loop blocks
+                    # whose body fits the provisional cap never need
+                    # promotion: the internal fuel counter already runs
+                    # them for the whole budget.)
+                    cap = 1 << cap_log
+                    block, failure = self._translate(
+                        cpu, pc0, 16 if cap > 16 else cap)
+                    if block is None:
+                        # Entry fetch/decode fault: deliver it exactly as
+                        # the interpreter would (one batch unit consumed,
+                        # icount untouched).
+                        remaining -= 1
+                        self.entry_faults += 1
+                        if breakpoints:
+                            cpu._skip_breakpoint_at = None
+                        exit_event = deliver(failure, pc0)
+                        if exit_event is not None:
+                            return exit_event
+                        continue
+                    if len(blocks) >= self._capacity:
+                        blocks.clear()
+                        self.invalidations += 1
+                    block.short = cap > 16
+                    blocks[key] = block
+                    self.blocks_translated += 1
+                else:
+                    hits += 1
+                    if block.short:
+                        block.hits += 1
+                        if block.hits >= 3:
+                            full, _ = self._translate(cpu, pc0,
+                                                      1 << cap_log)
+                            if full is not None:
+                                blocks[key] = full
+                                block = full
+                                self.promotions += 1
+                length = block.length
+                if length > remaining:
+                    # Safety net — budget-capped translation keeps
+                    # length <= bucket <= remaining, so this only fires
+                    # on a misconfigured cap.  Run the tail on the
+                    # reference interpreter so external events land
+                    # exactly.  The skip-breakpoint token stays armed —
+                    # the interpreter performs its own check-and-clear.
+                    self.fallback_steps += remaining
+                    return self._interp.run(cpu, remaining)
+                if breakpoints:
+                    cpu._skip_breakpoint_at = None
+                before = cpu.icount
+                try:
+                    exit_event = block.fn(cpu, regs, memory,
+                                          remaining // length)
+                except _GuestFault as fault:
+                    remaining -= cpu.icount - before
+                    exit_event = deliver(fault, cpu.pc)
+                    if exit_event is not None:
+                        return exit_event
+                    continue
+                except AccessViolation as violation:
+                    remaining -= cpu.icount - before
+                    exit_event = deliver(
+                        _GuestFault(FaultKind.ACCESS, str(violation)),
+                        cpu.pc,
+                    )
+                    if exit_event is not None:
+                        return exit_event
+                    continue
+                remaining -= cpu.icount - before
+                if exit_event is not None:
+                    return exit_event
+            return None
+        finally:
+            self.block_hits += hits
+
+    # ------------------------------------------------------------------
+    # superblock discovery
+    # ------------------------------------------------------------------
+
+    def _translate(self, cpu, entry: int, cap: int):
+        """Walk the superblock at ``entry`` in the current mode, bounded
+        by ``cap`` retired instructions.
+
+        Returns ``(block, None)`` on success or ``(None, fault)`` when
+        the *first* instruction cannot be fetched or decoded (the caller
+        delivers the fault; later failures simply end the block early so
+        the fault fires when execution actually reaches it).
+
+        The walk follows unconditional jumps and direct calls — and
+        ``ret``s whose matching call is in-block, since their return
+        address is then statically known (the generated code still runs
+        the reference ``ret`` handler, and a guard ends the block if the
+        guest redirected the return, e.g. a ROP pivot) — and falls
+        through conditional branches; it stops at dynamic or
+        mode-changing CONTROL_FLOW ops (unmatched ret/jmpi/calli/
+        syscall/...), watchpoint addresses, unfetchable or undecodable
+        words, the budget cap, and — crucially — any address it has
+        already visited.  A revisit of the block *entry* makes the whole
+        superblock an internal loop.
+
+        ``steps`` items are ``(pc, instr, kind, aux)`` with kind
+        ``"plain"`` (inline, falls through), ``"branch"`` (conditional:
+        taken side is an early return, fall-through continues), ``"jmp"``
+        (followed unconditional jump: one icount unit, no code),
+        ``"call"`` (reference handler runs, translation continues at the
+        static callee), or ``"ret"`` (reference handler runs, ``aux`` is
+        the statically expected return address, guarded at runtime).
+        ``term`` is the tuple describing how the block ends.
+        """
+        memory = cpu.memory
+        user = cpu.user
+        bps = self._bp_snapshot
+        fetch_page = memory.fetch_page
+        decode_get = _DECODE_CACHE.get
+        page, lo, hi = None, 1, 0
+        steps: list[tuple[int, object, str, int]] = []
+        visited: set[int] = set()
+        #: Return addresses of in-block direct calls (LIFO), letting the
+        #: walk continue through the matching rets.
+        rstack: list[int] = []
+        term = None
+        addr = entry
+        while len(steps) < cap:
+            if steps and (addr in bps or addr in visited):
+                term = ("goto", addr)
+                break
+            if not lo <= addr < hi:
+                try:
+                    page, lo, hi = fetch_page(addr, user)
+                except AccessViolation as violation:
+                    if not steps:
+                        return None, _GuestFault(FaultKind.ACCESS,
+                                                 str(violation))
+                    term = ("goto", addr)
+                    break
+            word = page[addr - lo]
+            instr = decode_get(word)
+            if instr is None:
+                try:
+                    instr = decode(word)
+                except DecodeError as exc:
+                    if not steps:
+                        return None, _GuestFault(FaultKind.DECODE, str(exc))
+                    term = ("goto", addr)
+                    break
+                remember_decode(word, instr)
+            op = instr.op
+            if op in _OP_BRANCH:
+                target = instr.imm & _M
+                if target == entry and entry not in bps:
+                    term = ("loopcond", addr, instr)
+                    break
+                steps.append((addr, instr, "branch", 0))
+                visited.add(addr)
+                addr += 1
+                continue
+            if op == Opcode.JMP:
+                target = instr.imm & _M
+                if target == entry and entry not in bps:
+                    term = ("loopjmp", addr, instr)
+                    break
+                if target in visited or target in bps:
+                    term = ("jmp", addr, instr)
+                    break
+                steps.append((addr, instr, "jmp", 0))
+                visited.add(addr)
+                addr = target
+                continue
+            if op == Opcode.CALL:
+                # Direct call: the reference handler does the push, RAS
+                # bookkeeping, and any alarm exit; the callee entry is
+                # static, so translation continues there.
+                target = instr.imm & _M
+                if target in visited or target in bps:
+                    term = ("handler", addr, instr)
+                    break
+                steps.append((addr, instr, "call", 0))
+                visited.add(addr)
+                rstack.append(addr + 1)
+                addr = target
+                continue
+            if op == Opcode.RET and rstack:
+                # Matched ret: the in-block call pushed addr+1, so the
+                # expected return target is static.  The handler still
+                # performs the architectural pop / RAS check; a guard
+                # after it ends the block if the stack was redirected.
+                expected = rstack.pop()
+                if expected in bps:
+                    term = ("handler", addr, instr)
+                    break
+                steps.append((addr, instr, "ret", expected))
+                visited.add(addr)
+                addr = expected
+                continue
+            if op in CONTROL_FLOW:
+                term = ("handler", addr, instr)
+                break
+            steps.append((addr, instr, "plain", 0))
+            visited.add(addr)
+            addr += 1
+        if term is None:
+            term = ("goto", addr)
+        if term[0] == "goto" and term[1] == entry and entry not in bps:
+            # The walk cycled back to the entry without a terminator
+            # instruction (a jmp-chain loop or a mid-loop entry): the
+            # whole superblock is the loop body.
+            term = ("loopgoto",)
+        # Shared compiled-code cache: the walk result *is* the program
+        # content, so identical walks (across budget buckets, backend
+        # instances, and whole record/replay phases of the same image)
+        # reuse one compilation, and differing code never collides.
+        code_key = (entry, user, memory.page_size, tuple(steps), term)
+        cached = _CODE_CACHE.get(code_key)
+        if cached is not None:
+            self.shared_code_hits += 1
+            return _Block(cached[0], cached[1]), None
+        block = self._compile(cpu, entry, steps, term)
+        if len(_CODE_CACHE) >= _CODE_CACHE_LIMIT:
+            _CODE_CACHE.clear()
+        _CODE_CACHE[code_key] = (block.fn, block.length)
+        return block, None
+
+    # ------------------------------------------------------------------
+    # translation (codegen)
+    # ------------------------------------------------------------------
+
+    def _compile(self, cpu, entry: int, steps: list, term: tuple) -> _Block:
+        """Compile a walked superblock into one closure.
+
+        ``icount`` bookkeeping: increments for non-faulting inlined
+        instructions accumulate into the next flush point (any
+        instruction that can fault, call a handler, take a branch exit,
+        or end the block), so the counter is architecturally exact at
+        every point it can be observed, while pure ALU runs cost zero
+        per-instruction updates.  Loop blocks accumulate whole
+        iterations into a local (``_ic``) and comparison flags into
+        locals (``_z``/``_n``), written back only on the exit paths.
+        """
+        psz = cpu.memory.page_size
+        dispatch = cpu._DISPATCH
+        ns: dict = {}
+        needs: set[str] = set()
+        loop = term[0] in ("loopcond", "loopjmp", "loopgoto")
+        pad = "        " if loop else "    "
+        lines: list[str] = []
+        pending = 0
+        #: Worst-case retired instructions per loop iteration / dispatch.
+        length = len(steps) + (1 if term[0] != "goto" else 0)
+        # Flag residency: in a loop that computes flags anywhere, the
+        # locals are authoritative for the whole body (seeded from the
+        # CPU before the loop) so iterations never touch the attributes;
+        # straight-line blocks localize flags from the first producer on.
+        has_flags = any(s[1].op in _FLAG_PRODUCERS for s in steps)
+        flags_local = flags_dirty = loop and has_flags
+
+        def flush(extra: int = 0):
+            """Unconditional (top-level) icount writeback, continuing."""
+            nonlocal pending
+            count = pending + extra
+            if loop:
+                if count:
+                    lines.append(f"{pad}cpu.icount += _ic + {count}")
+                else:
+                    lines.append(f"{pad}cpu.icount += _ic")
+                lines.append(f"{pad}_ic = 0")
+            elif count:
+                lines.append(f"{pad}cpu.icount += {count}")
+            pending = 0
+
+        def exit_lines(extra: int, indent: str) -> list[str]:
+            """Flag + icount writeback for a path that leaves the block
+            (return or raise).  Emitted inside conditionals, so it never
+            changes the codegen-time residency state."""
+            out = []
+            if flags_dirty:
+                out += [f"{indent}cpu.zero = _z",
+                        f"{indent}cpu.negative = _n"]
+            count = pending + extra
+            if loop:
+                out.append(f"{indent}cpu.icount += _ic + {count}"
+                           if count else f"{indent}cpu.icount += _ic")
+            elif count:
+                out.append(f"{indent}cpu.icount += {count}")
+            return out
+
+        for index, (pc, instr, kind, aux) in enumerate(steps):
+            op = instr.op
+            rd, a, b, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+            k = index
+            if kind == "jmp":
+                # Followed unconditional jump: retires one unit, emits
+                # nothing — the next step bakes its own pc.
+                pending += 1
+            elif kind == "branch":
+                cond = _OP_BRANCH[op][1 if flags_local else 0]
+                lines.append(f"{pad}if {cond}:")
+                lines += exit_lines(1, pad + "    ")
+                lines += [
+                    f"{pad}    cpu.pc = {imm & _M}",
+                    f"{pad}    return None",
+                ]
+                pending += 1
+            elif kind == "call":
+                # Direct call.  The fast path reproduces the full
+                # ``_do_call`` sequence — return-address push, RAS push,
+                # fall through to the static callee — but only when every
+                # precondition is established by *pure reads first*:
+                # writable ordinary stack page, no observers, RAS has
+                # room (no evict, so no evict exit), and the call/ret
+                # trap is disarmed.  Anything else delegates to the
+                # reference handler *before any mutation*, so the alarm
+                # machinery always runs from pristine state.
+                needs.update(("mem", "write", "callret"))
+                ns[f"_h{k}"] = dispatch[op]
+                ns[f"_i{k}"] = instr
+                flush(1)
+                lines += [
+                    f"{pad}_sp = (regs[{SP}] - 1) & {_M}",
+                    f"{pad}_pi = _sp // {psz}",
+                    f"{pad}_p = pms_get(_pi, 0)",
+                    f"{pad}_re = _ras._entries",
+                    f"{pad}if _p & 2 and (not u or _p & 8) "
+                    f"and not _p & 4 and not obs "
+                    f"and len(_re) < _rcap and not _tcr:",
+                    f"{pad}    pgs[_pi][_sp % {psz}] = {pc + 1}",
+                    f"{pad}    dirty_add(_pi)",
+                    f"{pad}    regs[{SP}] = _sp",
+                    f"{pad}    _re.append({pc + 1})",
+                    f"{pad}else:",
+                ]
+                if flags_dirty:
+                    # The handler can raise (stack violation): the fault
+                    # path must observe architectural flags.  Handlers
+                    # never *write* flags, so the locals stay
+                    # authoritative at the join.
+                    lines += [f"{pad}    cpu.zero = _z",
+                              f"{pad}    cpu.negative = _n"]
+                lines += [
+                    f"{pad}    cpu.pc = {pc}",
+                    f"{pad}    _e = _h{k}(cpu, _i{k})",
+                    f"{pad}    if _e is not None:",
+                    f"{pad}        return _e",
+                ]
+            elif kind == "ret":
+                # Matched return.  The fast path fires only when pure
+                # reads prove the handler's outcome is "pop, no exit, no
+                # alarm, continue at the statically expected address":
+                # readable stack page, pc not ret-whitelisted, RAS
+                # non-empty, the stacked word equals both the RAS
+                # prediction and the walk's expected address, trap
+                # disarmed.  Everything else — underflow, mismatch, a
+                # redirected return (stack smash / ROP pivot), whitelist
+                # checks — runs the reference handler from pristine
+                # state, and the guard ends the block so the dispatcher
+                # re-enters at the actual target.
+                needs.update(("mem", "callret"))
+                ns[f"_h{k}"] = dispatch[op]
+                ns[f"_i{k}"] = instr
+                flush(1)
+                lines += [
+                    f"{pad}_sp = regs[{SP}]",
+                    f"{pad}_pi = _sp // {psz}",
+                    f"{pad}_p = pms_get(_pi, 0)",
+                    f"{pad}_re = _ras._entries",
+                    f"{pad}if _p & 1 and (not u or _p & 8) and _re "
+                    f"and not _tcr and cpu.ret_whitelist != {pc} "
+                    f"and pgs[_pi][_sp % {psz}] == {aux} "
+                    f"and _re[-1] == {aux}:",
+                    f"{pad}    _re.pop()",
+                    f"{pad}    regs[{SP}] = (_sp + 1) & {_M}",
+                    f"{pad}else:",
+                ]
+                if flags_dirty:
+                    lines += [f"{pad}    cpu.zero = _z",
+                              f"{pad}    cpu.negative = _n"]
+                lines += [
+                    f"{pad}    cpu.pc = {pc}",
+                    f"{pad}    _e = _h{k}(cpu, _i{k})",
+                    f"{pad}    if _e is not None:",
+                    f"{pad}        return _e",
+                    f"{pad}    if cpu.pc != {aux}:",
+                    f"{pad}        return None",
+                ]
+            elif op == Opcode.NOP:
+                pending += 1
+            elif op == Opcode.LI:
+                lines.append(f"{pad}regs[{rd}] = {imm & _M}")
+                pending += 1
+            elif op == Opcode.MOV:
+                lines.append(f"{pad}regs[{rd}] = regs[{a}]")
+                pending += 1
+            elif op in _OP_ALU:
+                lines.append(
+                    f"{pad}regs[{rd}] = (regs[{a}] {_OP_ALU[op]} "
+                    f"regs[{b}]) & {_M}"
+                )
+                pending += 1
+            elif op in _OP_LOGIC:
+                lines.append(
+                    f"{pad}regs[{rd}] = regs[{a}] {_OP_LOGIC[op]} regs[{b}]"
+                )
+                pending += 1
+            elif op == Opcode.SHL:
+                lines.append(
+                    f"{pad}regs[{rd}] = (regs[{a}] << (regs[{b}] & 63)) "
+                    f"& {_M}"
+                )
+                pending += 1
+            elif op == Opcode.SHR:
+                lines.append(f"{pad}regs[{rd}] = regs[{a}] >> (regs[{b}] & 63)")
+                pending += 1
+            elif op == Opcode.ADDI:
+                lines.append(f"{pad}regs[{rd}] = (regs[{a}] + {imm}) & {_M}")
+                pending += 1
+            elif op == Opcode.CMP:
+                lines += [
+                    f"{pad}_a = regs[{a}]",
+                    f"{pad}_b = regs[{b}]",
+                    f"{pad}_z = _a == _b",
+                    f"{pad}_n = (_a ^ {_SIGN}) < (_b ^ {_SIGN})",
+                ]
+                flags_local = flags_dirty = True
+                pending += 1
+            elif op == Opcode.CMPI:
+                rhs = imm & _M
+                lines += [
+                    f"{pad}_a = regs[{a}]",
+                    f"{pad}_z = _a == {rhs}",
+                    f"{pad}_n = (_a ^ {_SIGN}) < {rhs ^ _SIGN}",
+                ]
+                flags_local = flags_dirty = True
+                pending += 1
+            elif op == Opcode.DIV:
+                # Fast path cannot fault; the zero divisor takes the
+                # handler (which raises the architectural fault) after
+                # materializing pc/icount/flags.
+                ns[f"_h{k}"] = dispatch[op]
+                ns[f"_i{k}"] = instr
+                lines += [
+                    f"{pad}_b = regs[{b}]",
+                    f"{pad}if _b:",
+                    f"{pad}    regs[{rd}] = regs[{a}] // _b",
+                    f"{pad}else:",
+                ]
+                lines += exit_lines(1, pad + "    ")
+                lines += [
+                    f"{pad}    cpu.pc = {pc}",
+                    f"{pad}    _e = _h{k}(cpu, _i{k})",
+                    f"{pad}    if _e is not None:",
+                    f"{pad}        return _e",
+                    f"{pad}    return None",
+                ]
+                pending += 1
+            elif op == Opcode.LD:
+                # Fast path: mapped, readable, mode-permitted pages (MMIO
+                # pages are never mapped with permissions, so the guard
+                # also rejects device addresses).  Everything else — MMIO
+                # trap, violation — delegates to the reference handler,
+                # which re-runs the full architectural sequence and ends
+                # the block.
+                needs.add("mem")
+                ns[f"_h{k}"] = dispatch[op]
+                ns[f"_i{k}"] = instr
+                lines += [
+                    f"{pad}_a = (regs[{a}] + {imm}) & {_M}",
+                    f"{pad}_pi = _a // {psz}",
+                    f"{pad}_p = pms_get(_pi, 0)",
+                    f"{pad}if _p & 1 and (not u or _p & 8):",
+                    f"{pad}    regs[{rd}] = pgs[_pi][_a % {psz}]",
+                    f"{pad}else:",
+                ]
+                lines += exit_lines(1, pad + "    ")
+                lines += [
+                    f"{pad}    cpu.pc = {pc}",
+                    f"{pad}    return _h{k}(cpu, _i{k})",
+                ]
+                pending += 1
+            elif op == Opcode.ST:
+                # Slow path (violation, MMIO, observers, or a write into
+                # an executable page — self-modifying code bumps
+                # memory.version) runs the reference handler and ends the
+                # block so no stale translation can run.
+                needs.update(("mem", "write"))
+                ns[f"_h{k}"] = dispatch[op]
+                ns[f"_i{k}"] = instr
+                lines += [
+                    f"{pad}_a = (regs[{a}] + {imm}) & {_M}",
+                    f"{pad}_pi = _a // {psz}",
+                    f"{pad}_p = pms_get(_pi, 0)",
+                    f"{pad}if _p & 2 and (not u or _p & 8) "
+                    f"and not _p & 4 and not obs:",
+                    f"{pad}    pgs[_pi][_a % {psz}] = regs[{b}] & {_M}",
+                    f"{pad}    dirty_add(_pi)",
+                    f"{pad}else:",
+                ]
+                lines += exit_lines(1, pad + "    ")
+                lines += [
+                    f"{pad}    cpu.pc = {pc}",
+                    f"{pad}    return _h{k}(cpu, _i{k})",
+                ]
+                pending += 1
+            elif op == Opcode.PUSH:
+                needs.update(("mem", "write"))
+                ns[f"_h{k}"] = dispatch[op]
+                ns[f"_i{k}"] = instr
+                lines += [
+                    f"{pad}_sp = (regs[{SP}] - 1) & {_M}",
+                    f"{pad}_pi = _sp // {psz}",
+                    f"{pad}_p = pms_get(_pi, 0)",
+                    f"{pad}if _p & 2 and (not u or _p & 8) "
+                    f"and not _p & 4 and not obs:",
+                    f"{pad}    pgs[_pi][_sp % {psz}] = regs[{a}] & {_M}",
+                    f"{pad}    dirty_add(_pi)",
+                    f"{pad}    regs[{SP}] = _sp",
+                    f"{pad}else:",
+                ]
+                lines += exit_lines(1, pad + "    ")
+                lines += [
+                    f"{pad}    cpu.pc = {pc}",
+                    f"{pad}    return _h{k}(cpu, _i{k})",
+                ]
+                pending += 1
+            elif op == Opcode.POP:
+                needs.add("mem")
+                ns[f"_h{k}"] = dispatch[op]
+                ns[f"_i{k}"] = instr
+                lines += [
+                    f"{pad}_sp = regs[{SP}]",
+                    f"{pad}_pi = _sp // {psz}",
+                    f"{pad}_p = pms_get(_pi, 0)",
+                    f"{pad}if _p & 1 and (not u or _p & 8):",
+                    f"{pad}    regs[{rd}] = pgs[_pi][_sp % {psz}]",
+                    f"{pad}    regs[{SP}] = (_sp + 1) & {_M}",
+                    f"{pad}else:",
+                ]
+                lines += exit_lines(1, pad + "    ")
+                lines += [
+                    f"{pad}    cpu.pc = {pc}",
+                    f"{pad}    return _h{k}(cpu, _i{k})",
+                ]
+                pending += 1
+            else:
+                # rdtsc/rdrand/in/out/int3/cli/sti: rare, may exit or
+                # fault — run the reference handler with exact state.
+                # Handlers never touch the comparison flags, so loop
+                # locals stay authoritative across the call.
+                ns[f"_h{k}"] = dispatch[op]
+                ns[f"_i{k}"] = instr
+                if flags_dirty:
+                    lines += [f"{pad}cpu.zero = _z",
+                              f"{pad}cpu.negative = _n"]
+                    if not loop:
+                        flags_dirty = False
+                        flags_local = False
+                flush(1)
+                lines += [
+                    f"{pad}cpu.pc = {pc}",
+                    f"{pad}_e = _h{k}(cpu, _i{k})",
+                    f"{pad}if _e is not None:",
+                    f"{pad}    return _e",
+                ]
+        # Terminator.
+        kind = term[0]
+        if kind == "handler":
+            _, pc, instr = term
+            ns["_ht"] = dispatch[instr.op]
+            ns["_it"] = instr
+            lines += exit_lines(1, pad)
+            if instr.op == Opcode.RET:
+                # Unmatched return (the dominant block terminator in
+                # call-heavy code).  Same pure-reads-first discipline as
+                # the in-block matched ret, except the target is dynamic:
+                # when the stacked word matches the RAS prediction and
+                # nothing is trapped or whitelisted, pop and jump; every
+                # other case reaches the reference handler untouched.
+                needs.update(("mem", "callret"))
+                lines += [
+                    f"{pad}_sp = regs[{SP}]",
+                    f"{pad}_pi = _sp // {psz}",
+                    f"{pad}_p = pms_get(_pi, 0)",
+                    f"{pad}_re = _ras._entries",
+                    f"{pad}if _p & 1 and (not u or _p & 8) and _re "
+                    f"and not _tcr and cpu.ret_whitelist != {pc}:",
+                    f"{pad}    _t = pgs[_pi][_sp % {psz}]",
+                    f"{pad}    if _re[-1] == _t:",
+                    f"{pad}        _re.pop()",
+                    f"{pad}        regs[{SP}] = (_sp + 1) & {_M}",
+                    f"{pad}        cpu.pc = _t",
+                    f"{pad}        return None",
+                    f"{pad}cpu.pc = {pc}",
+                    f"{pad}return _ht(cpu, _it)",
+                ]
+            elif instr.op == Opcode.CALL:
+                # Direct call to an already-visited target: can't keep
+                # translating, but the push/RAS fast path still applies.
+                target = instr.imm & _M
+                needs.update(("mem", "write", "callret"))
+                lines += [
+                    f"{pad}_sp = (regs[{SP}] - 1) & {_M}",
+                    f"{pad}_pi = _sp // {psz}",
+                    f"{pad}_p = pms_get(_pi, 0)",
+                    f"{pad}_re = _ras._entries",
+                    f"{pad}if _p & 2 and (not u or _p & 8) "
+                    f"and not _p & 4 and not obs "
+                    f"and len(_re) < _rcap and not _tcr:",
+                    f"{pad}    pgs[_pi][_sp % {psz}] = {pc + 1}",
+                    f"{pad}    dirty_add(_pi)",
+                    f"{pad}    regs[{SP}] = _sp",
+                    f"{pad}    _re.append({pc + 1})",
+                    f"{pad}    cpu.pc = {target}",
+                    f"{pad}    return None",
+                    f"{pad}cpu.pc = {pc}",
+                    f"{pad}return _ht(cpu, _it)",
+                ]
+            else:
+                lines += [
+                    f"{pad}cpu.pc = {pc}",
+                    f"{pad}return _ht(cpu, _it)",
+                ]
+        elif kind == "jmp":
+            _, pc, instr = term
+            lines += exit_lines(1, pad)
+            lines += [
+                f"{pad}cpu.pc = {instr.imm & _M}",
+                f"{pad}return None",
+            ]
+        elif kind == "goto":
+            lines += exit_lines(0, pad)
+            lines += [
+                f"{pad}cpu.pc = {term[1]}",
+                f"{pad}return None",
+            ]
+        elif kind == "loopcond":
+            _, pc, instr = term
+            cond = _OP_BRANCH_EXIT[instr.op][1 if flags_local else 0]
+            lines.append(f"{pad}if {cond}:")
+            lines += exit_lines(1, pad + "    ")
+            lines += [
+                f"{pad}    cpu.pc = {pc + 1}",
+                f"{pad}    return None",
+                f"{pad}_ic += {pending + 1}",
+                f"{pad}reps -= 1",
+                f"{pad}if not reps:",
+            ]
+            pending = 0
+            lines += exit_lines(0, pad + "    ")
+            lines += [
+                f"{pad}    cpu.pc = {entry}",
+                f"{pad}    return None",
+            ]
+        else:  # loopjmp (jmp-to-entry) / loopgoto (walk cycled to entry)
+            iteration = pending + (1 if kind == "loopjmp" else 0)
+            if iteration:
+                lines.append(f"{pad}_ic += {iteration}")
+            lines += [
+                f"{pad}reps -= 1",
+                f"{pad}if not reps:",
+            ]
+            pending = 0
+            lines += exit_lines(0, pad + "    ")
+            lines += [
+                f"{pad}    cpu.pc = {entry}",
+                f"{pad}    return None",
+            ]
+        preamble = []
+        if "mem" in needs:
+            preamble += [
+                "    u = cpu.user",
+                "    pgs = memory._pages",
+                "    pms_get = memory._perms.get",
+            ]
+        if "write" in needs:
+            preamble += [
+                "    dirty_add = memory._dirty.add",
+                "    obs = memory.write_observers",
+            ]
+        if "callret" in needs:
+            # RAS capacity is immutable; the entry list is re-read at
+            # each use site because ``ras.restore`` replaces it.  The
+            # call/ret trap cannot be re-armed mid-block (only exit
+            # handling does that, between dispatches).
+            preamble += [
+                "    _ras = cpu.ras",
+                "    _rcap = _ras.capacity",
+                "    _c = cpu.controls",
+                "    _tcr = _c.trap_call_ret and "
+                "(not u or _c.trap_call_ret_user)",
+            ]
+        body = lines
+        if loop:
+            if has_flags:
+                preamble += [
+                    "    _z = cpu.zero",
+                    "    _n = cpu.negative",
+                ]
+            preamble.append("    _ic = 0")
+            body = ["    while True:"] + body
+        source = "\n".join(
+            ["def _block(cpu, regs, memory, reps):"] + preamble + body
+        )
+        code = compile(source, f"<trace@{entry:#x}>", "exec")
+        exec(code, ns)  # noqa: S102 - translator output, fully generated here
+        return _Block(ns["_block"], max(length, 1))

@@ -18,7 +18,11 @@ registered.  The :attr:`version` counter increments whenever the page-table
 shape changes (mapping, permissions, page-object replacement); the CPU's
 fetch-page cache uses it to decide when a cached page reference is stale.
 In-place word writes do *not* bump the version — caches hold live page
-objects, so content mutations are visible through them.
+objects, so content mutations are visible through them — with one
+exception: writes that land in an *executable* page bump it, because the
+trace-cache backend bakes decoded instructions into translated blocks and
+must retranslate after self-modifying code (guest SMC requires
+``enforce_wx=False``; host writes and DMA can always reach code pages).
 """
 
 from __future__ import annotations
@@ -159,6 +163,9 @@ class PhysicalMemory:
             raise AccessViolation(addr, AccessKind.WRITE, perms, user)
         self._pages[page_index][addr % self.page_size] = value & _WORD_MASK
         self._dirty.add(page_index)
+        if perms & PERM_EXEC:
+            # Self-modifying code: translated blocks may now be stale.
+            self.version += 1
         if self.write_observers:
             for observer in self.write_observers:
                 observer(addr)
@@ -205,6 +212,9 @@ class PhysicalMemory:
             raise MemoryError_(f"host write of unmapped address {addr:#x}")
         page[addr % self.page_size] = value & _WORD_MASK
         self._dirty.add(page_index)
+        if self._perms.get(page_index, 0) & PERM_EXEC:
+            # Host-side code patching: stale translations must flush.
+            self.version += 1
         if self.write_observers:
             for observer in self.write_observers:
                 observer(addr)
@@ -258,6 +268,9 @@ class PhysicalMemory:
                 "Q", words[position:position + take]
             )
             self._dirty.add(page_index)
+            if self._perms.get(page_index, 0) & PERM_EXEC:
+                # DMA into a code page: stale translations must flush.
+                self.version += 1
             addr += take
             position += take
         if self.write_observers:

@@ -230,6 +230,12 @@ class DeterministicReplayer:
                 self.cursor.position - start_position)
             registry.adopt_tagged(f"{actor}.overhead_cycles",
                                   self.machine.account.counter)
+            backend_stats = cpu.backend.stats()
+            if backend_stats:
+                exec_stats = registry.tagged(
+                    f"{actor}.exec.{cpu.backend.name}")
+                for name, value in backend_stats.items():
+                    exec_stats.add(name, value)
             if self.sentinels_verified:
                 registry.gauge(f"{actor}.sentinels_verified").set(
                     self.sentinels_verified)

@@ -505,6 +505,12 @@ class Recorder:
             alarms.add("evicts", len(self.evicts), len(self.evicts))
         registry.counter("record.context_switches").add(
             self.interposer.context_switches)
+        backend = machine.cpu.backend
+        backend_stats = backend.stats()
+        if backend_stats:
+            exec_stats = registry.tagged(f"record.exec.{backend.name}")
+            for name, value in backend_stats.items():
+                exec_stats.add(name, value)
         # One source of truth: snapshot the simulated cycle account itself.
         registry.adopt_tagged("record.overhead_cycles",
                               machine.account.counter)

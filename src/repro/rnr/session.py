@@ -49,9 +49,13 @@ class SessionManifest:
     seed: int
     attack: str | None = None
     max_instructions: int = 3_000_000
+    #: Execution backend for every machine the session builds (``None`` =
+    #: the config default).  Backends are bit-identical, so this is a
+    #: performance knob, not part of recorded semantics.
+    exec_backend: str | None = None
 
     def to_json(self, version: int = _VERSION) -> dict:
-        return {
+        data = {
             "magic": _MAGIC,
             "version": version,
             "benchmark": self.benchmark,
@@ -59,6 +63,11 @@ class SessionManifest:
             "attack": self.attack,
             "max_instructions": self.max_instructions,
         }
+        # Omitted when unset so default-backend session files stay
+        # byte-identical to ones written before the field existed.
+        if self.exec_backend is not None:
+            data["exec_backend"] = self.exec_backend
+        return data
 
     @classmethod
     def from_json(cls, data: dict) -> "SessionManifest":
@@ -79,6 +88,7 @@ class SessionManifest:
                 seed=data["seed"],
                 attack=data.get("attack"),
                 max_instructions=data.get("max_instructions", 3_000_000),
+                exec_backend=data.get("exec_backend"),
             )
         except KeyError as exc:
             raise LogError(
@@ -103,6 +113,13 @@ class SessionManifest:
             spec = build_dos_attack_program(spec)
         elif self.attack is not None:
             raise LogError(f"unknown attack kind {self.attack!r}")
+        if self.exec_backend is not None:
+            from dataclasses import replace
+
+            spec = replace(
+                spec,
+                config=replace(spec.config, exec_backend=self.exec_backend),
+            )
         return spec
 
 

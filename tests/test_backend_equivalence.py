@@ -1,0 +1,379 @@
+"""Differential fuzzing of the trace-cache backend against the interpreter.
+
+The ``trace`` execution backend is only allowed to be *faster* than the
+reference interpreter — never different.  These tests drive both backends
+over the same programs, batch schedules, and workloads and demand
+bit-identical architectural outcomes: every VM exit, every register,
+every flag, every icount, every log byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DEFAULT_CONFIG
+from repro.cpu import Cpu, ExitControls
+from repro.isa import Asm, Opcode
+from repro.memory import (
+    PERM_EXEC,
+    PERM_READ,
+    PERM_WRITE,
+    PhysicalMemory,
+)
+
+CODE = 0x100
+DATA = 0x1000
+#: Top of the data region; the stack grows down into mapped memory.
+STACK = DATA + 1024
+
+_TRACE = dataclasses.replace(DEFAULT_CONFIG, exec_backend="trace")
+_INTERP = dataclasses.replace(DEFAULT_CONFIG, exec_backend="interp")
+
+
+def _machine(words, config, *, writable_code=False, controls=None,
+             data=None):
+    memory = PhysicalMemory(page_size=config.page_size,
+                            enforce_wx=not writable_code)
+    code_perms = PERM_READ | PERM_EXEC
+    if writable_code:
+        code_perms |= PERM_WRITE
+    memory.map_range(CODE, 512, code_perms)
+    memory.map_range(DATA, 1024, PERM_READ | PERM_WRITE)
+    for offset, word in enumerate(words):
+        memory.write_word(CODE + offset, word)
+    for addr, word in (data or {}).items():
+        memory.write_word(addr, word)
+    cpu = Cpu(memory, config,
+              controls=controls.copy() if controls else None)
+    cpu.pc = CODE
+    cpu.regs[14] = STACK
+    return cpu
+
+
+def _snapshot(cpu):
+    """Architectural state plus the full contents of mapped memory."""
+    pages = {index: tuple(page)
+             for index, page in sorted(cpu.memory._pages.items())}
+    return cpu.capture_state(), pages
+
+
+def _lockstep(words, batches, *, budget=4000, controls=None,
+              writable_code=False, data=None):
+    """Run both backends over the same batch schedule, comparing the exit
+    and the complete machine state after every single batch."""
+    ref = _machine(words, _INTERP, writable_code=writable_code,
+                   controls=controls, data=data)
+    tr = _machine(words, _TRACE, writable_code=writable_code,
+                  controls=controls, data=data)
+    executed = 0
+    index = 0
+    while executed < budget:
+        batch = batches[index % len(batches)]
+        index += 1
+        ref_exit = ref.run(batch)
+        trace_exit = tr.run(batch)
+        assert ref_exit == trace_exit, (ref_exit, trace_exit)
+        assert _snapshot(ref) == _snapshot(tr)
+        executed += batch
+        if ref_exit is not None and ref_exit.reason.value in (
+                "hlt", "triple_fault"):
+            break
+    return ref, tr
+
+
+# ---------------------------------------------------------------------------
+# property-based instruction soup
+# ---------------------------------------------------------------------------
+
+_SOUP_ALU = (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND, Opcode.OR,
+             Opcode.XOR, Opcode.SHL, Opcode.SHR)
+
+
+@st.composite
+def _programs(draw):
+    """Structured soup: ALU/flag/branch/memory/call-ret mixes whose
+    branch targets stay inside (or just past) the program, so runs
+    exercise translated loops, early branch exits, faults, RAS traffic,
+    and plain halts in one strategy."""
+    length = draw(st.integers(10, 40))
+    asm = Asm(base=CODE)
+    reg = st.integers(0, 13)  # keep sp (r14) for the stack ops
+    for position in range(length):
+        choice = draw(st.integers(0, 11))
+        if choice == 0:
+            asm.li(draw(reg), draw(st.integers(-(2**31), 2**31 - 1)))
+        elif choice == 1:
+            asm.emit(draw(st.sampled_from(_SOUP_ALU)), rd=draw(reg),
+                     rs1=draw(reg), rs2=draw(reg))
+        elif choice == 2:
+            asm.emit(Opcode.ADDI, rd=draw(reg), rs1=draw(reg),
+                     imm=draw(st.integers(-64, 64)))
+        elif choice == 3:
+            asm.cmp(draw(reg), draw(reg))
+        elif choice == 4:
+            asm.cmpi(draw(reg), draw(st.integers(-8, 8)))
+        elif choice == 5:
+            branch = draw(st.sampled_from(
+                (Opcode.JZ, Opcode.JNZ, Opcode.JLT, Opcode.JGE,
+                 Opcode.JMP)))
+            asm.emit(branch, imm=CODE + draw(st.integers(0, length)))
+        elif choice == 6:
+            # In-range and occasionally out-of-range accesses: the
+            # violation fault paths must match exactly too.
+            asm.li(1, draw(st.integers(DATA, DATA + 1100)))
+            asm.emit(draw(st.sampled_from((Opcode.LD, Opcode.ST))),
+                     rd=draw(reg), rs1=1, rs2=draw(reg))
+        elif choice == 7:
+            asm.push(draw(reg))
+        elif choice == 8:
+            asm.pop(draw(reg))
+        elif choice == 9:
+            asm.emit(Opcode.CALL, imm=CODE + draw(st.integers(0, length)))
+        elif choice == 10:
+            asm.ret()
+        else:
+            asm.div(draw(reg), draw(reg), draw(reg))
+    asm.hlt()
+    return asm.assemble().words
+
+
+class TestSoupLockstep:
+    @settings(deadline=None, max_examples=50)
+    @given(
+        words=_programs(),
+        batches=st.lists(st.integers(1, 97), min_size=1, max_size=6),
+    )
+    def test_soup_is_bit_identical(self, words, batches):
+        _lockstep(words, batches, budget=3000)
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        words=_programs(),
+        batches=st.lists(st.integers(1, 97), min_size=1, max_size=6),
+    )
+    def test_soup_with_rop_alarms_armed(self, words, batches):
+        # RAS mispredictions become ROP-alarm exits: the trace backend's
+        # call/ret fast paths must surface the identical alarms.
+        controls = ExitControls(ras_alarm_exits=True, ras_evict_exits=True)
+        _lockstep(words, batches, budget=3000, controls=controls)
+
+    @settings(deadline=None, max_examples=20)
+    @given(words=st.lists(st.integers(0, 2**64 - 1), min_size=4,
+                          max_size=48),
+           batches=st.lists(st.integers(1, 61), min_size=1, max_size=4))
+    def test_raw_word_soup_faults_identically(self, words, batches):
+        # Mostly-undecodable words: fetch/decode faults, fault streaks,
+        # and triple faults must fire at the same icounts.
+        _lockstep(words, batches, budget=1500)
+
+
+# ---------------------------------------------------------------------------
+# batch-boundary exactness (interrupt delivery at every icount offset)
+# ---------------------------------------------------------------------------
+
+def _loop_program():
+    asm = Asm(base=CODE)
+    asm.li(1, 0)
+    asm.li(2, 37)
+    asm.label("loop")
+    asm.emit(Opcode.ADDI, rd=1, rs1=1, imm=1)
+    asm.push(1)
+    asm.pop(3)
+    asm.cmp(1, 2)
+    asm.jnz("loop")
+    asm.hlt()
+    return asm.assemble().words
+
+
+class TestBatchBoundaries:
+    def test_every_batch_size_is_exact(self):
+        """A dispatch must stop exactly at ``max_steps`` for *every*
+        batch size — this is what lets the machine deliver interrupts at
+        arbitrary icount offsets during replay.  Exercises every
+        budget-bucket variant, the loop fuel counter, and mid-loop
+        re-entry."""
+        words = _loop_program()
+        for batch in range(1, 48):
+            ref, tr = _lockstep(words, [batch], budget=400)
+            assert ref.icount == tr.icount
+
+    def test_mixed_schedules(self):
+        words = _loop_program()
+        for schedule in ([1, 128, 3], [7, 2, 61], [97, 1, 1, 1]):
+            _lockstep(words, schedule, budget=400)
+
+
+# ---------------------------------------------------------------------------
+# self-modifying code: invalidation and re-translation
+# ---------------------------------------------------------------------------
+
+class TestSelfModifyingCode:
+    def test_smc_invalidates_and_retranslates(self):
+        """A store into an executable page must flush stale translations:
+        the rewritten instruction's new behaviour shows up on the very
+        next execution, exactly as under the interpreter."""
+        patch = Asm(base=0)
+        patch.li(5, 99)
+        new_word = patch.assemble().words[0]
+
+        asm = Asm(base=CODE)
+        asm.call("f")           # translate & execute the original callee
+        asm.call("f")           # hot: cached block
+        asm.li(6, DATA)
+        asm.ld(1, 6)            # r1 = the replacement instruction word
+        asm.li(2, "f")          # address of the target li
+        asm.st(2, 1)            # rewrite f's first instruction
+        asm.call("f")           # must observe li r5, 99
+        asm.hlt()
+        asm.label("f")
+        asm.li(5, 1)
+        asm.ret()
+        words = asm.assemble().words
+
+        ref, tr = _lockstep(words, [13, 128], budget=600,
+                            writable_code=True,
+                            data={DATA: new_word})
+        assert ref.regs[5] == 99
+        assert tr.regs[5] == 99
+        stats = tr.backend.stats()
+        assert stats["invalidations"] >= 1
+        # The callee was translated, invalidated, and translated again.
+        assert stats["blocks_translated"] > 0
+        assert stats["fallback_steps"] == 0
+
+    def test_smc_inside_hot_loop(self):
+        """Rewriting code *between* dispatches of a hot loop re-translates
+        rather than running the stale block."""
+        patch = Asm(base=0)
+        patch.emit(Opcode.ADDI, rd=3, rs1=3, imm=2)
+        new_word = patch.assemble().words[0]
+
+        asm = Asm(base=CODE)
+        asm.li(1, 0)
+        asm.li(2, 10)
+        asm.li(3, 0)
+        asm.label("loop")
+        asm.emit(Opcode.ADDI, rd=3, rs1=3, imm=1)
+        asm.emit(Opcode.ADDI, rd=1, rs1=1, imm=1)
+        asm.cmp(1, 2)
+        asm.jnz("loop")
+        asm.li(6, DATA)
+        asm.ld(4, 6)            # r4 = the replacement loop body
+        asm.li(5, "loop")
+        asm.st(5, 4)            # rewrite the hot loop's first instruction
+        asm.li(1, 0)
+        asm.jmp("loop")         # run the rewritten loop again
+        words = asm.assemble().words
+        # The second loop pass never halts (it re-enters the patch code);
+        # the bounded budget just compares mid-flight states throughout.
+        ref, tr = _lockstep(words, [9, 128, 2], budget=300,
+                            writable_code=True,
+                            data={DATA: new_word})
+        assert ref.regs[3] == tr.regs[3]
+        assert tr.backend.stats()["invalidations"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# whole-system equivalence: recordings, replays, checkpoints
+# ---------------------------------------------------------------------------
+
+def _spec_with_backend(spec, backend):
+    return dataclasses.replace(
+        spec, config=dataclasses.replace(spec.config, exec_backend=backend))
+
+
+class TestSystemEquivalence:
+    def test_recordings_are_byte_identical(self):
+        """Recording the same workload under both backends produces the
+        same log bytes — MMIO traffic, interrupts, sentinels and all —
+        and identical final machine state."""
+        from repro.rnr.recorder import Recorder, RecorderOptions
+        from tests.conftest import small_workload
+
+        spec = small_workload("apache")
+        runs = {}
+        for backend in ("interp", "trace"):
+            recorder = Recorder(_spec_with_backend(spec, backend),
+                                RecorderOptions(max_instructions=60_000))
+            runs[backend] = recorder.run()
+        assert runs["interp"].log.to_bytes() == runs["trace"].log.to_bytes()
+        interp_cpu = runs["interp"].machine.cpu.capture_state()
+        trace_cpu = runs["trace"].machine.cpu.capture_state()
+        assert interp_cpu == trace_cpu
+
+    def test_checkpointing_replay_matches(self):
+        """CR-replaying one recording under both backends yields the same
+        checkpoint chain, digests, and pending alarms."""
+        from repro.replay.checkpointing import (
+            CheckpointingOptions,
+            CheckpointingReplayer,
+        )
+        from repro.rnr.recorder import Recorder, RecorderOptions
+        from tests.conftest import small_workload
+
+        spec = small_workload("mysql")
+        run = Recorder(spec,
+                       RecorderOptions(max_instructions=60_000)).run()
+        results = {}
+        for backend in ("interp", "trace"):
+            replayer = CheckpointingReplayer(
+                _spec_with_backend(spec, backend), run.log,
+                CheckpointingOptions())
+            outcome = replayer.run_to_end()
+            results[backend] = (
+                replayer.machine.state_digest(),
+                replayer.machine.cpu.capture_state(),
+                tuple((c.icount, c.cpu_state)
+                      for c in outcome.store.all()),
+                tuple(outcome.pending_alarms),
+            )
+        assert results["interp"] == results["trace"]
+
+    def test_sentinel_digests_match(self):
+        """With divergence sentinels enabled, the rolling CPU-digest chain
+        embedded in the log is identical across backends — the trace
+        backend must leave the architectural digest stream untouched."""
+        from repro.rnr.recorder import Recorder, RecorderOptions
+        from tests.conftest import small_workload
+
+        spec = small_workload("radiosity")
+        logs = {}
+        for backend in ("interp", "trace"):
+            recorder = Recorder(
+                _spec_with_backend(spec, backend),
+                RecorderOptions(max_instructions=60_000,
+                                sentinel_records=50))
+            logs[backend] = recorder.run().log.to_bytes()
+        assert logs["interp"] == logs["trace"]
+
+    def test_parallel_ar_verdicts_match(self):
+        """Parallel alarm resolution reaches the same verdicts regardless
+        of which backend the alarm replayers execute on."""
+        from repro.attacks import deliver_rop_attack
+        from repro.core.parallel import resolve_alarms_parallel
+        from repro.replay.checkpointing import (
+            CheckpointingOptions,
+            CheckpointingReplayer,
+        )
+        from repro.rnr.recorder import Recorder, RecorderOptions
+        from tests.conftest import small_workload
+
+        spec, _ = deliver_rop_attack(small_workload("apache"),
+                                     at_cycle=10_000)
+        run = Recorder(spec,
+                       RecorderOptions(max_instructions=60_000)).run()
+        verdicts = {}
+        for backend in ("interp", "trace"):
+            ar_spec = _spec_with_backend(spec, backend)
+            cr = CheckpointingReplayer(
+                ar_spec, run.log, CheckpointingOptions()).run_to_end()
+            assert cr.pending_alarms, "attack run must raise alarms"
+            resolution = resolve_alarms_parallel(
+                ar_spec, run.log, cr.pending_alarms, store=cr.store)
+            verdicts[backend] = [
+                (v.kind.value, v.alarm.icount, v.alarm.pc)
+                for v in resolution.verdicts
+            ]
+        assert verdicts["interp"] == verdicts["trace"]

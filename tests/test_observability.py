@@ -557,7 +557,7 @@ class TestCli:
         from repro.cli import main
 
         code = main(["fleet", "fileio", "--width", "2",
-                     "--budget", "60000", "--backend", "thread",
+                     "--budget", "60000", "--pool", "thread",
                      "--watch", "--watch-interval", "0.1"])
         out = capsys.readouterr().out
         assert code == 0
