@@ -44,9 +44,17 @@ def _cmd_record(args) -> int:
         exec_backend=args.backend,
     )
     spec = manifest.build_spec()
+    epoch_boundaries = ()
+    if args.cr_workers > 1:
+        from repro.replay.epoch import plan_epoch_boundaries
+
+        epoch_boundaries = plan_epoch_boundaries(args.budget,
+                                                 args.cr_workers,
+                                                 oversample=4)
     options = RecorderOptions(
         max_instructions=args.budget,
         sentinel_records=args.sentinel,
+        epoch_boundaries=epoch_boundaries,
     )
     if args.store:
         # Durable recording: journal frames into a crash-safe run store
@@ -70,6 +78,13 @@ def _cmd_record(args) -> int:
     print(f"recorded {spec.label}: {metrics.instructions} instructions, "
           f"{len(run.log)} records ({metrics.log_bytes} bytes), "
           f"{metrics.alarms} alarms, stop={run.stop_reason}")
+    if run.epoch_plan is not None:
+        plan = run.epoch_plan
+        cuts = ", ".join(f"{b.icount}@{b.log_position}"
+                         for b in plan.boundaries)
+        print(f"epoch plan: {plan.epochs} candidate epochs for "
+              f"{args.cr_workers} CR workers (replay thins to a balanced "
+              f"partition; boundaries: {cuts})")
     if args.store:
         print(f"run store sealed at {args.store} (fsync={args.fsync})")
     if args.out:
@@ -120,6 +135,7 @@ def _cmd_hunt(args) -> int:
         pipeline=args.pipeline,
         pipeline_backend=args.pipeline_backend,
         run_store=run_store,
+        cr_workers=args.cr_workers,
     )
     report = RnRSafe(spec, options).run()
     if args.store:
@@ -154,6 +170,26 @@ def _cmd_resume(args) -> int:
         attempt=point.attempt + 1,
         resume=point,
     )
+    if args.cr_workers > 1 and point.recording_complete:
+        # The journal holds the whole recording, so the healed replay can
+        # be partitioned at the store's durable checkpoints and re-run
+        # epoch-parallel instead of sequentially.
+        from repro.core.parallel import replay_parallel
+
+        plan = point.epoch_plan(spec, workers=args.cr_workers)
+        par = replay_parallel(spec, point.log, plan,
+                              max_workers=args.cr_workers,
+                              resolve_ars=True)
+        kinds = ([v.kind.value for v in par.resolution.verdicts]
+                 if par.resolution is not None else [])
+        store.finish(par.final_cpu_state.icount, kinds)
+        print(f"resumed {spec.label} from {args.store}: "
+              f"epoch-parallel re-replay, {par.epochs} epochs on "
+              f"{par.workers} workers ({par.backend} backend), "
+              f"{par.final_cpu_state.icount} instructions, "
+              f"{len(par.checkpointing.store)} checkpoints, "
+              f"verdicts: {', '.join(kinds) if kinds else '-'}")
+        return 0
     run = record_and_replay_pipelined(
         spec,
         RecorderOptions(max_instructions=point.session.max_instructions),
@@ -201,19 +237,47 @@ def _cmd_stats(args) -> int:
     spec = dataclasses.replace(
         spec, config=dataclasses.replace(spec.config, telemetry=True),
     )
-    run = record_and_replay_pipelined(
-        spec, RecorderOptions(max_instructions=args.budget),
-        backend=args.pipeline_backend,
-    )
-    snapshot = run.telemetry
+    if args.cr_workers > 1:
+        # Epoch-parallel shape: record with boundary capture, then replay
+        # the epochs concurrently — the tables gain the per-epoch spans
+        # and ``parallel.*`` counters.
+        from repro.core.parallel import replay_parallel
+        from repro.obs.telemetry import TelemetrySnapshot
+        from repro.replay.epoch import plan_epoch_boundaries
+        from repro.rnr.recorder import Recorder
+
+        recording = Recorder(spec, RecorderOptions(
+            max_instructions=args.budget,
+            epoch_boundaries=plan_epoch_boundaries(args.budget,
+                                                   args.cr_workers,
+                                                   oversample=4),
+        )).run()
+        parallel = replay_parallel(
+            spec, recording.log, recording.epoch_plan,
+            max_workers=args.cr_workers, resolve_ars=True,
+        )
+        snapshot = TelemetrySnapshot.merged(
+            [recording.telemetry, parallel.telemetry], actor="run",
+        )
+        headline = (f"{spec.label}: epoch-parallel CR on the "
+                    f"{parallel.backend} backend "
+                    f"({parallel.epochs} epochs, {parallel.workers} workers)")
+    else:
+        run = record_and_replay_pipelined(
+            spec, RecorderOptions(max_instructions=args.budget),
+            backend=args.pipeline_backend,
+        )
+        snapshot = run.telemetry
+        headline = (f"{spec.label}: pipelined on the {run.stats.backend} "
+                    f"backend"
+                    + (f", recovery: {run.recovery}" if run.recovery else ""))
     if snapshot is None:  # pragma: no cover - telemetry was forced on
         print("no telemetry collected", file=sys.stderr)
         return 1
     if args.prom:
         print(snapshot.prometheus(), end="")
     else:
-        print(f"{spec.label}: pipelined on the {run.stats.backend} backend"
-              + (f", recovery: {run.recovery}" if run.recovery else ""))
+        print(headline)
         print()
         print(snapshot.tables(), end="")
     if args.trace:
@@ -257,6 +321,7 @@ def _cmd_fleet(args) -> int:
             attack=args.attack,
             max_instructions=args.budget,
             exec_backend=args.backend,
+            cr_workers=args.cr_workers,
         )
         for index in range(args.width)
     ]
@@ -380,6 +445,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the framed (version 2) session body")
     record.add_argument("--sentinel", type=int, metavar="N",
                         help="emit a divergence sentinel every N records")
+    record.add_argument("--cr-workers", type=int, default=1, metavar="N",
+                        help="plan N roughly-equal epochs while recording "
+                             "(captures boundary checkpoints for "
+                             "epoch-parallel CR replay)")
     record.add_argument("--store", metavar="DIR",
                         help="journal the recording into a crash-safe run "
                              "store at DIR (resume with `repro resume`)")
@@ -408,6 +477,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="overlap recording and checkpointing replay")
     hunt.add_argument("--pipeline-backend", choices=["thread", "process"],
                       help="pipeline backend (default: config)")
+    hunt.add_argument("--cr-workers", type=int, default=1, metavar="N",
+                      help="replay the recorded session as N concurrent "
+                           "epochs (sequential phases only; ignored with "
+                           "--pipeline)")
     hunt.add_argument("--sentinel", type=int, metavar="N",
                       help="emit and verify a divergence sentinel every "
                            "N records")
@@ -430,6 +503,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="CR checkpoint period in guest seconds; must "
                              "match the interrupted run for bit-identical "
                              "resumption (default: 1.0)")
+    resume.add_argument("--cr-workers", type=int, default=1, metavar="N",
+                        help="when the journal holds the full recording, "
+                             "re-replay it as N concurrent epochs split "
+                             "at the store's durable checkpoints")
     resume.add_argument("--fsync", choices=["always", "interval", "never"],
                         help="fsync policy override (default: whatever the "
                              "store was written with)")
@@ -465,6 +542,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stream each session through the pipeline")
     fleet.add_argument("--pipeline-backend", choices=["thread", "process"],
                        default="thread")
+    fleet.add_argument("--cr-workers", type=int, default=1, metavar="N",
+                       help="epoch-parallel CR width inside each session "
+                            "(thread-backed; sequential sessions only)")
     fleet.add_argument("--session-timeout", type=float, metavar="S",
                        help="per-session deadline in host seconds; a late "
                             "session becomes a structured failure")
@@ -508,6 +588,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: config)")
     stats.add_argument("--pipeline-backend", choices=["thread", "process"],
                        help="pipeline backend (default: config)")
+    stats.add_argument("--cr-workers", type=int, default=1, metavar="N",
+                       help="run the epoch-parallel CR shape and include "
+                            "the per-epoch spans and parallel.* counters")
     stats.add_argument("--prom", action="store_true",
                        help="print Prometheus text exposition instead of "
                             "tables")

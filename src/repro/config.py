@@ -119,6 +119,12 @@ class SimulationConfig:
     #: Default number of concurrent sessions the fleet driver runs
     #: (``repro.core.fleet``).
     fleet_width: int = 4
+    #: Default worker count for epoch-parallel CR replay
+    #: (:func:`repro.core.parallel.replay_parallel`): the recorded session
+    #: is split at checkpoint boundaries into this many roughly-equal
+    #: epochs, replayed concurrently, and stitched with a per-boundary
+    #: digest proof.  ``1`` (the default) keeps the CR sequential.
+    cr_workers: int = 1
     #: Emit a divergence-sentinel record every N input-log records while
     #: recording (``None`` disables — the default, zero overhead).  The
     #: replayer verifies each sentinel and raises

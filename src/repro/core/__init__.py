@@ -25,10 +25,12 @@ from repro.core.framework import (
 from repro.core.detector import Detector, ReplayAnalyzer
 from repro.core.response import ResponseWindow, checkpoints_needed
 from repro.core.parallel import (
+    ParallelReplayResult,
     ParallelResolution,
     PipelinedRun,
     PipelineStats,
     record_and_replay_pipelined,
+    replay_parallel,
     resolve_alarms_parallel,
 )
 from repro.core.fleet import (
@@ -38,8 +40,10 @@ from repro.core.fleet import (
     run_fleet,
 )
 from repro.core.pipeline import (
+    EpochSchedule,
     PipelineResult,
     couple_pipeline,
+    epoch_makespan,
     timelines_from_runs,
 )
 
@@ -60,7 +64,9 @@ __all__ = [
     "ResponseWindow",
     "checkpoints_needed",
     "ParallelResolution",
+    "ParallelReplayResult",
     "resolve_alarms_parallel",
+    "replay_parallel",
     "PipelinedRun",
     "PipelineStats",
     "record_and_replay_pipelined",
@@ -71,4 +77,6 @@ __all__ = [
     "PipelineResult",
     "couple_pipeline",
     "timelines_from_runs",
+    "EpochSchedule",
+    "epoch_makespan",
 ]

@@ -40,6 +40,7 @@ from repro.config import DEFAULT_CONFIG
 from repro.core.parallel import (
     RecoveryEvent,
     record_and_replay_pipelined,
+    replay_parallel,
     resolve_alarms_parallel,
 )
 from repro.errors import HypervisorError, StoreCorruptError
@@ -48,6 +49,7 @@ from repro.faults.plan import FaultPlan
 from repro.obs.heartbeat import STALE_AFTER_S, HeartbeatBoard
 from repro.obs.telemetry import Telemetry, TelemetrySnapshot
 from repro.replay.checkpointing import CheckpointingOptions, CheckpointingReplayer
+from repro.replay.epoch import plan_epoch_boundaries
 from repro.rnr.recorder import Recorder, RecorderOptions
 from repro.rnr.session import SessionManifest
 from repro.store import RunStoreWriter, recover_run
@@ -67,6 +69,12 @@ class FleetSession:
     #: default).  A performance knob only: verdicts and digests are
     #: backend-invariant.
     exec_backend: str | None = None
+    #: Epoch-parallel CR width for the session's replay phase (sequential
+    #: sessions only — the pipelined executor streams the log and has
+    #: nothing to split).  Fleet workers are daemonic processes and may
+    #: not spawn children, so the epochs run on the thread backend; the
+    #: stitched result is digest-proven identical either way.
+    cr_workers: int = 1
 
     def manifest(self) -> SessionManifest:
         return SessionManifest(
@@ -284,27 +292,47 @@ def _run_one_session(payload: tuple) -> FleetSessionResult:
             run_telemetry = run.telemetry
             recoveries = tuple(run.recovery) if run.recovery else ()
         else:
+            if session.cr_workers > 1:
+                recorder_options = replace(
+                    recorder_options,
+                    epoch_boundaries=plan_epoch_boundaries(
+                        session.max_instructions, session.cr_workers,
+                        oversample=4),
+                )
             rec_tel = (Telemetry.for_config(spec.config, "record",
                                             heartbeat=reporter)
                        if reporter is not None else None)
             recording = Recorder(spec, recorder_options,
                                  telemetry=rec_tel).run()
-            cr_tel = (Telemetry.for_config(spec.config, "cr",
-                                           heartbeat=reporter)
-                      if reporter is not None else None)
-            checkpointing = CheckpointingReplayer(
-                spec, recording.log, cr_options, telemetry=cr_tel,
-            ).run_to_end()
-            resolution = resolve_alarms_parallel(
-                spec, recording.log, checkpointing.pending_alarms,
-                store=checkpointing.store, backend="thread",
-            )
-            verdicts = resolution.verdicts
-            backend = "sequential"
-            run_telemetry = (TelemetrySnapshot.merged(
-                [recording.telemetry, checkpointing.telemetry,
-                 resolution.telemetry], actor="session",
-            ) if telemetry_on else None)
+            if session.cr_workers > 1 and recording.epoch_plan is not None:
+                parallel = replay_parallel(
+                    spec, recording.log, recording.epoch_plan,
+                    options=cr_options,
+                    max_workers=session.cr_workers,
+                    backend="thread",
+                    resolve_ars=True,
+                )
+                checkpointing = parallel.checkpointing
+                verdicts = parallel.resolution.verdicts
+                backend = f"epochs-{parallel.workers}"
+                run_telemetry = parallel.telemetry
+            else:
+                cr_tel = (Telemetry.for_config(spec.config, "cr",
+                                               heartbeat=reporter)
+                          if reporter is not None else None)
+                checkpointing = CheckpointingReplayer(
+                    spec, recording.log, cr_options, telemetry=cr_tel,
+                ).run_to_end()
+                resolution = resolve_alarms_parallel(
+                    spec, recording.log, checkpointing.pending_alarms,
+                    store=checkpointing.store, backend="thread",
+                )
+                verdicts = resolution.verdicts
+                backend = "sequential"
+                run_telemetry = (TelemetrySnapshot.merged(
+                    [recording.telemetry, checkpointing.telemetry,
+                     resolution.telemetry], actor="session",
+                ) if telemetry_on else None)
     except Exception as exc:  # noqa: BLE001 - folded into the result
         if reporter is not None:
             reporter.publish("failed")

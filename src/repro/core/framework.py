@@ -56,6 +56,15 @@ class RnRSafeOptions:
     #: Resume point (:class:`~repro.store.ResumePoint`) to continue from
     #: instead of recording fresh; requires ``run_store``.
     resume: object | None = None
+    #: Epoch-parallel CR replay width; ``None`` defers to the spec's
+    #: ``config.cr_workers``.  With more than one worker the recorder
+    #: captures epoch boundary checkpoints
+    #: (:func:`~repro.replay.epoch.plan_epoch_boundaries`) and the CR
+    #: phase runs :func:`~repro.core.parallel.replay_parallel` — stitched
+    #: results are digest-proven equivalent to the sequential replay.
+    #: Ignored by the streaming pipeline (the CR there consumes the log
+    #: while it is still being recorded, so there is nothing to split).
+    cr_workers: int | None = None
 
 
 @dataclass
@@ -158,14 +167,41 @@ class RnRSafe:
             recording = run.recording
             checkpointing = run.checkpointing
         else:
-            recorder = Recorder(self.spec, self.options.recorder)
+            workers = (self.options.cr_workers
+                       if self.options.cr_workers is not None
+                       else self.spec.config.cr_workers)
+            recorder_options = self.options.recorder
+            if (workers > 1 and recorder_options.log_enabled
+                    and recorder_options.backras
+                    and recorder_options.max_instructions is not None
+                    and not recorder_options.epoch_boundaries):
+                from dataclasses import replace
+
+                from repro.replay.epoch import plan_epoch_boundaries
+
+                recorder_options = replace(
+                    recorder_options,
+                    epoch_boundaries=plan_epoch_boundaries(
+                        recorder_options.max_instructions, workers,
+                        oversample=4),
+                )
+            recorder = Recorder(self.spec, recorder_options)
             for detector in self.detectors:
                 detector.configure(recorder)
             recording = recorder.run()
-            replayer = CheckpointingReplayer(
-                self.spec, recording.log, self.options.checkpointing,
-            )
-            checkpointing = replayer.run_to_end()
+            if workers > 1 and recording.epoch_plan is not None:
+                from repro.core.parallel import replay_parallel
+
+                checkpointing = replay_parallel(
+                    self.spec, recording.log, recording.epoch_plan,
+                    options=self.options.checkpointing,
+                    max_workers=workers,
+                ).checkpointing
+            else:
+                replayer = CheckpointingReplayer(
+                    self.spec, recording.log, self.options.checkpointing,
+                )
+                checkpointing = replayer.run_to_end()
         outcomes = [
             self._resolve(alarm, recording, checkpointing)
             for alarm in checkpointing.pending_alarms

@@ -59,8 +59,10 @@ import threading
 import traceback
 from concurrent.futures import (
     BrokenExecutor,
+    Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
+    as_completed,
 )
 from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass
@@ -82,6 +84,13 @@ from repro.replay.checkpointing import (
     CheckpointingReplayer,
     CheckpointingResult,
     CrResumeState,
+)
+from repro.replay.epoch import (
+    EpochPlan,
+    EpochResult,
+    replay_epoch,
+    stitch_epoch_results,
+    thin_epoch_plan,
 )
 from repro.replay.verdict import AlarmVerdict, VerdictKind
 from repro.rnr.log import (
@@ -1332,3 +1341,310 @@ def record_and_replay_pipelined(
         fault_plan=fault_plan, telemetry=pipeline_tel,
         heartbeat=heartbeat, run_store=run_store,
     ))
+
+
+# ----------------------------------------------------------------------
+# epoch-parallel CR replay
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ParallelReplayResult:
+    """One epoch-parallel CR replay, stitched and (optionally) resolved.
+
+    ``checkpointing`` is provably equivalent to a sequential
+    ``period_s=None`` CR pass over the same log: the stitcher verified
+    every epoch's final machine digest against the next epoch's seed
+    digest before merging (see
+    :func:`repro.replay.epoch.stitch_epoch_results`).
+    """
+
+    checkpointing: CheckpointingResult
+    #: Epochs in the plan (== workers' worth of independent slices).
+    epochs: int
+    #: Concurrency actually used after capping at the epoch/CPU counts.
+    workers: int
+    #: Backend that actually ran the epochs ("inline", "thread",
+    #: "process") — "inline" when one worker or one epoch made an
+    #: executor pure overhead.
+    backend: str
+    epoch_results: tuple[EpochResult, ...]
+    final_cpu_state: CpuState
+    #: Verdicts for the stitched run's pending alarms in icount order;
+    #: ``None`` when launched with ``resolve_ars=False``.  ARs are
+    #: dispatched the moment their epoch finishes, so straggler epochs
+    #: overlap with alarm resolution.
+    resolution: ParallelResolution | None = None
+    #: Merged run-level telemetry (``None`` unless ``config.telemetry``).
+    telemetry: TelemetrySnapshot | None = None
+
+
+def _init_epoch_worker(spec: MachineSpec, log_bytes: bytes,
+                       plan: EpochPlan, verify_digest: bool,
+                       fault_plan: FaultPlan | None = None):
+    """Install per-process epoch-replay state (process backend only).
+
+    The spec, log bytes, and epoch plan cross the process boundary once
+    per worker; each worker then replays any number of epochs against its
+    private rebuilt log.
+    """
+    _WORKER_STATE["epoch_spec"] = spec
+    _WORKER_STATE["epoch_log"] = InputLog.from_bytes(log_bytes)
+    _WORKER_STATE["epoch_plan"] = plan
+    _WORKER_STATE["epoch_verify"] = verify_digest
+    _WORKER_STATE["epoch_fault_plan"] = fault_plan
+
+
+def _replay_epoch_in_worker(index: int, attempt: int = 0) -> EpochResult:
+    plan = _WORKER_STATE.get("epoch_fault_plan")
+    if plan is not None:
+        plan.fire_worker_fault("cr", index, attempt, allow_hard_kill=True)
+    return replay_epoch(
+        _WORKER_STATE["epoch_spec"], _WORKER_STATE["epoch_log"],
+        _WORKER_STATE["epoch_plan"], index,
+        verify_digest=_WORKER_STATE["epoch_verify"],
+    )
+
+
+def _run_epochs(submit, epochs: int, ar_dispatch,
+                telemetry: Telemetry | None,
+                retries: int = 0) -> list[EpochResult]:
+    """Drive all epochs through ``submit`` and collect results in order.
+
+    ``submit(index, attempt)`` returns a future for one epoch.
+    Completion order is whatever the pool produces — each finished
+    epoch's pending alarms are handed to ``ar_dispatch`` immediately, so
+    alarm replayers run while straggler epochs are still replaying.
+    Only an :class:`InjectedWorkerCrash` (a planned transient fault) is
+    retried, up to ``retries`` resubmissions; every other failure raises
+    right here (epoch replays are deterministic: a retry would fail the
+    same way, and a divergence must surface, not be healed).
+    """
+    futures = {submit(index, 0): (index, 0) for index in range(epochs)}
+    results: list[EpochResult | None] = [None] * epochs
+    while futures:
+        for future in as_completed(list(futures)):
+            index, attempt = futures.pop(future)
+            try:
+                result = future.result()
+            except InjectedWorkerCrash:
+                if attempt >= retries:
+                    raise
+                if telemetry is not None:
+                    telemetry.count("parallel.retry_attempts")
+                futures[submit(index, attempt + 1)] = (index, attempt + 1)
+                continue
+            results[index] = result
+            if telemetry is not None:
+                token = telemetry.begin("epoch", "epoch",
+                                        result.start_icount, index=index)
+                telemetry.end(token, result.end_icount,
+                              instructions=result.instructions,
+                              alarms=len(result.pending_alarms))
+                telemetry.count("parallel.epochs_replayed")
+                telemetry.observe("parallel.epoch_instructions",
+                                  result.instructions)
+            if ar_dispatch is not None:
+                ar_dispatch(index, result)
+    return results  # type: ignore[return-value]
+
+
+def replay_parallel(
+    spec: MachineSpec,
+    log: InputLog,
+    plan: EpochPlan | None = None,
+    *,
+    options: CheckpointingOptions | None = None,
+    max_workers: int | None = None,
+    backend: str | None = None,
+    resolve_ars: bool = False,
+    ar_options: AlarmReplayOptions | None = None,
+    max_ar_workers: int = 4,
+    fault_plan: FaultPlan | None = None,
+    telemetry: Telemetry | None = None,
+) -> ParallelReplayResult:
+    """Replay a recorded session's epochs concurrently and stitch them.
+
+    ``plan`` comes from the recorder
+    (:attr:`~repro.rnr.recorder.RecordingRun.epoch_plan`, captured when
+    ``RecorderOptions.epoch_boundaries`` was set) or from a durable run
+    store (:func:`repro.replay.epoch.epoch_plan_from_resume`).  ``None``
+    — or a plan with no boundaries — degenerates to one epoch replayed
+    inline, which is just a sequential ``period_s=None`` CR pass.
+
+    ``max_workers`` defaults to ``spec.config.cr_workers``; ``backend``
+    (``"thread"`` or ``"process"``) defaults to ``"process"`` when more
+    than one worker is usable, falling back to threads when no process
+    pool is available — results are identical either way, only
+    wall-clock differs.  ``options`` contributes only ``verify_digest``:
+    epoch workers always replay with ``period_s=None`` (the plan's
+    boundary checkpoints *are* the checkpoint set; per-worker periodic
+    checkpointing would duplicate work without changing any verdict).
+
+    With ``resolve_ars=True``, each epoch's confirmed alarms are
+    dispatched to alarm replayers on a thread pool the moment the epoch
+    finishes — straggler epochs overlap with AR resolution — and the
+    verdicts come back in global icount order.
+
+    ``fault_plan`` injects planned worker faults (role ``"cr"``, target
+    = epoch index) for testing; transient injected crashes are retried
+    per epoch (``config.ar_max_retries`` resubmissions), while real
+    failures — divergence above all — still raise.
+    """
+    config = spec.config
+    if max_workers is None:
+        max_workers = config.cr_workers
+    if plan is None:
+        plan = EpochPlan(store=CheckpointStore(), boundaries=())
+    requested = max(1, max_workers)
+    if plan.epochs > requested:
+        # Oversampled (or resume-derived) plans carry more boundaries
+        # than workers; thin to a balanced partition of the icount span
+        # the recording actually covered — every epoch pays a fixed
+        # machine-build + restore cost, so surplus epochs are pure
+        # overhead, not extra parallelism.
+        end_icount = log[len(log) - 1].icount if len(log) else None
+        plan = thin_epoch_plan(plan, requested, end_icount)
+    epochs = plan.epochs
+    workers = max(1, min(requested, epochs))
+    if backend is None:
+        backend = "process" if workers > 1 else "thread"
+    if backend not in ("thread", "process"):
+        raise HypervisorError(
+            f"unknown parallel-CR backend {backend!r}; "
+            f"choose 'thread' or 'process'"
+        )
+    verify_digest = options.verify_digest if options is not None else True
+    par_tel = (telemetry if telemetry is not None
+               else Telemetry.for_config(config, "parallel"))
+    token = (par_tel.begin("replay-parallel", "phase", 0,
+                           backend=backend, epochs=epochs, workers=workers)
+             if par_tel is not None else None)
+
+    ar_pool: ThreadPoolExecutor | None = None
+    #: ``(epoch index, within-epoch order, future)`` — sorted at the end
+    #: so verdicts land in global icount order (epochs partition the log
+    #: by icount, and within an epoch alarms confirm in icount order).
+    ar_futures: list[tuple[int, int, object]] = []
+    ar_store = plan.store if len(plan.store) else None
+
+    def ar_dispatch(index: int, result: EpochResult):
+        nonlocal ar_pool
+        if not resolve_ars or not result.pending_alarms:
+            return
+        if ar_pool is None:
+            ar_pool = ThreadPoolExecutor(
+                max_workers=max(1, max_ar_workers),
+                thread_name_prefix="parallel-ar",
+            )
+        for order, alarm in enumerate(result.pending_alarms):
+            ar_futures.append((index, order, ar_pool.submit(
+                _analyze_one, spec, log, alarm, ar_store, ar_options)))
+
+    retries = config.ar_max_retries if fault_plan is not None else 0
+
+    def replay_one(index: int, attempt: int = 0) -> EpochResult:
+        # In-process epoch runner (inline + thread paths): thread workers
+        # must not hard-exit, so a planned KILL degrades to a crash.
+        if fault_plan is not None:
+            fault_plan.fire_worker_fault("cr", index, attempt,
+                                         allow_hard_kill=False)
+        return replay_epoch(spec, log, plan, index,
+                            verify_digest=verify_digest)
+
+    used_backend = backend
+    try:
+        if workers <= 1 or epochs <= 1:
+            used_backend = "inline"
+            results = _run_epochs(
+                lambda index, attempt: _immediate_future(
+                    replay_one, index, attempt),
+                epochs, ar_dispatch, par_tel, retries,
+            )
+        elif backend == "process":
+            try:
+                log_bytes = log.to_bytes()
+                # OS processes are the real-parallelism resource: size the
+                # pool to the host, even when the logical worker count
+                # (== epoch partition) is larger.
+                pool_size = max(1, min(workers, os.cpu_count() or 1))
+                with ProcessPoolExecutor(
+                    max_workers=pool_size,
+                    initializer=_init_epoch_worker,
+                    initargs=(spec, log_bytes, plan, verify_digest,
+                              fault_plan),
+                ) as pool:
+                    results = _run_epochs(
+                        lambda index, attempt: pool.submit(
+                            _replay_epoch_in_worker, index, attempt),
+                        epochs, ar_dispatch, par_tel, retries,
+                    )
+            except ReplayDivergenceError:
+                raise
+            except _PROCESS_FALLBACK_ERRORS:
+                # No usable process pool (sandboxed platform, daemonic
+                # parent, a planned hard kill breaking the pool,
+                # unpicklable state, ...): the thread backend replays the
+                # same epochs with identical results.
+                used_backend = "thread"
+                results = None
+        else:
+            used_backend = "thread"
+            results = None
+        if results is None:
+            with ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix="parallel-cr",
+            ) as pool:
+                results = _run_epochs(
+                    lambda index, attempt: pool.submit(
+                        replay_one, index, attempt),
+                    epochs, ar_dispatch, par_tel, retries,
+                )
+        checkpointing = stitch_epoch_results(spec, plan, results)
+        resolution = None
+        if resolve_ars:
+            ar_futures.sort(key=lambda item: (item[0], item[1]))
+            pairs = [future.result() for _, _, future in ar_futures]
+            resolution = _resolution_from(
+                pairs, "inline" if len(pairs) <= 1 else "thread")
+    finally:
+        if ar_pool is not None:
+            ar_pool.shutdown(wait=True)
+    final_cpu_state = results[-1].final_cpu_state
+    run_telemetry = None
+    if par_tel is not None:
+        par_tel.count_tagged("parallel.replays", used_backend)
+        par_tel.gauge("parallel.workers", workers)
+        par_tel.gauge("parallel.epochs", epochs)
+        par_tel.end(token, final_cpu_state.icount, backend=used_backend)
+        parts = [
+            checkpointing.telemetry,
+            resolution.telemetry if resolution is not None else None,
+            par_tel.snapshot(),
+        ]
+        run_telemetry = TelemetrySnapshot.merged(
+            [part for part in parts if part is not None], actor="run",
+        )
+    return ParallelReplayResult(
+        checkpointing=checkpointing,
+        epochs=epochs,
+        workers=workers,
+        backend=used_backend,
+        epoch_results=tuple(results),
+        final_cpu_state=final_cpu_state,
+        resolution=resolution,
+        telemetry=run_telemetry,
+    )
+
+
+def _immediate_future(fn, *args, **kwargs) -> Future:
+    """Run ``fn`` now and wrap the outcome in a completed future, so the
+    inline epoch path shares the scheduler (:func:`_run_epochs`) — and
+    its as-completed AR dispatch — with the pool backends."""
+    future: Future = Future()
+    try:
+        future.set_result(fn(*args, **kwargs))
+    except BaseException as exc:  # noqa: BLE001 - delivered by result()
+        future.set_exception(exc)
+    return future

@@ -116,6 +116,58 @@ def couple_pipeline(
     )
 
 
+@dataclass(frozen=True)
+class EpochSchedule:
+    """A greedy longest-processing-time assignment of epochs to workers.
+
+    The makespan is the critical path of an epoch-parallel replay
+    (:func:`repro.core.parallel.replay_parallel`) on ``workers``
+    concurrent replayers: epochs are independent, so the wall clock is
+    the busiest worker's total, not the sum.  Durations may be host
+    seconds (benchmarking) or simulated cycles (deployment modeling) —
+    the schedule only compares them.
+    """
+
+    #: ``assignments[w]`` lists the epoch indices worker ``w`` replays.
+    assignments: tuple[tuple[int, ...], ...]
+    #: Busiest worker's total duration — the parallel wall clock.
+    makespan: float
+    #: Sum of every epoch's duration — the sequential wall clock.
+    total: float
+
+    @property
+    def speedup(self) -> float:
+        """Ideal sequential/parallel ratio for this partition (1.0 when
+        a single epoch dominates or only one worker is available)."""
+        return self.total / self.makespan if self.makespan > 0 else 1.0
+
+
+def epoch_makespan(durations, workers: int) -> EpochSchedule:
+    """Schedule epoch ``durations`` onto ``workers`` via greedy LPT.
+
+    Longest-processing-time-first onto the least-loaded worker — the
+    classic 4/3-approximation, and exactly what a work-stealing pool
+    converges to for a handful of coarse epochs.  This is how the epoch
+    planner and the parallel-replay benchmark turn per-epoch measurements
+    into the speedup a ``workers``-wide replayer farm realizes.
+    """
+    durations = list(durations)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    loads = [0.0] * min(workers, max(1, len(durations)))
+    assignment: list[list[int]] = [[] for _ in loads]
+    order = sorted(range(len(durations)), key=lambda i: -durations[i])
+    for index in order:
+        target = min(range(len(loads)), key=lambda w: loads[w])
+        loads[target] += durations[index]
+        assignment[target].append(index)
+    return EpochSchedule(
+        assignments=tuple(tuple(epochs) for epochs in assignment),
+        makespan=max(loads) if durations else 0.0,
+        total=float(sum(durations)),
+    )
+
+
 def timelines_from_runs(recording, checkpointing) -> tuple[list[int], list[int]]:
     """Extract per-alarm timelines from a recording and a CR result.
 

@@ -27,6 +27,7 @@ must retranslate after self-modifying code (guest SMC requires
 
 from __future__ import annotations
 
+import zlib
 from array import array
 from bisect import bisect_right
 from typing import Callable, Iterable
@@ -293,6 +294,24 @@ class PhysicalMemory:
     def mapped_pages(self) -> frozenset[int]:
         """All mapped page indices."""
         return frozenset(self._perms)
+
+    def digest(self, crc: int = 0) -> int:
+        """CRC of every mapped page's raw contents, chained onto ``crc``.
+
+        The fast path behind ``GuestMachine.fast_digest``: hashing the
+        page arrays' bytes directly costs neither the tuple copy nor the
+        ``repr`` formatting a per-word walk would, which matters because
+        epoch-parallel replay digests the full machine twice per epoch
+        (seed and final) to chain the stitch verification.  Deliberately
+        *not* the End-record digest (``GuestMachine.state_digest``), whose
+        algorithm is frozen into every recorded session.
+        """
+        for index in sorted(self._perms):
+            page = self._pages.get(index)
+            if page is None:
+                raise MemoryError_(f"digest of unmapped page {index}")
+            crc = zlib.crc32(page.tobytes(), crc)
+        return crc
 
     def snapshot_pages(self, indices: Iterable[int]) -> dict[int, tuple[int, ...]]:
         """Copy the contents of the given pages (for checkpoints)."""

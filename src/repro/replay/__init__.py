@@ -15,6 +15,17 @@ from repro.replay.checkpointing import (
     CheckpointingReplayer,
     CheckpointingResult,
 )
+from repro.replay.epoch import (
+    EpochBoundary,
+    EpochPlan,
+    EpochResult,
+    epoch_plan_from_resume,
+    finalize_epoch_plan,
+    plan_epoch_boundaries,
+    thin_epoch_plan,
+    replay_epoch,
+    stitch_epoch_results,
+)
 from repro.replay.verdict import AlarmVerdict, BenignCause, VerdictKind
 from repro.replay.alarm import AlarmReplayer, AlarmReplayOptions, TrapScope
 
@@ -26,6 +37,15 @@ __all__ = [
     "CheckpointingReplayer",
     "CheckpointingOptions",
     "CheckpointingResult",
+    "EpochBoundary",
+    "EpochPlan",
+    "EpochResult",
+    "plan_epoch_boundaries",
+    "thin_epoch_plan",
+    "finalize_epoch_plan",
+    "epoch_plan_from_resume",
+    "replay_epoch",
+    "stitch_epoch_results",
     "AlarmReplayer",
     "AlarmReplayOptions",
     "TrapScope",

@@ -165,7 +165,20 @@ class DeterministicReplayer:
     # main loop
     # ------------------------------------------------------------------
 
-    def run(self, max_instructions: int | None = None) -> ReplayResult:
+    def run(self, max_instructions: int | None = None,
+            stop_position: int | None = None) -> ReplayResult:
+        """Replay until the log, the budget, or a stop request ends it.
+
+        ``stop_position`` refines a budget stop for epoch slices: several
+        asynchronous records can be logged *at* the budget icount (the
+        recorder's loop top fires the sentinel check, due world events and
+        interrupt injection at one instruction count), and an epoch ending
+        there must consume exactly the ones its recording-side capture
+        preceded.  With ``stop_position`` set, the budget only stops the
+        run once the cursor has reached that log position — records due at
+        the boundary icount but below the position are applied first, so
+        the epoch's final state matches the recorder's state at capture.
+        """
         cpu = self.machine.cpu
         tel = self.telemetry
         if tel is not None:
@@ -178,7 +191,10 @@ class DeterministicReplayer:
             last_icount = start_icount
         while not self.stop_requested:
             icount = cpu.icount
-            if max_instructions is not None and icount >= max_instructions:
+            budget_reached = (max_instructions is not None
+                              and icount >= max_instructions)
+            if budget_reached and (stop_position is None
+                                   or self.cursor.position >= stop_position):
                 self.stop_reason = self.stop_reason or "budget"
                 break
             record = self.cursor.peek()
@@ -206,6 +222,17 @@ class DeterministicReplayer:
                     continue
                 if record.icount - icount < batch:
                     batch = record.icount - icount
+            if budget_reached:
+                # Past the budget with records still below stop_position,
+                # yet the front record is not due at this very icount: the
+                # slice bounds disagree with the log — a planner bug or a
+                # damaged log, never a legal state.
+                raise ReplayDivergenceError(
+                    f"epoch slice ends at position {stop_position} but "
+                    f"{type(record).__name__} at position "
+                    f"{self.cursor.position} is not due at the boundary",
+                    icount=icount,
+                )
             if cpu.halted:
                 raise ReplayDivergenceError(
                     "guest halted but the next log record is not due",

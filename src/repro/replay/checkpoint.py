@@ -93,12 +93,21 @@ class CheckpointStore:
         #: which mutates the successor's page map in place.
         self._pages_cache: dict[int, dict[int, tuple[int, ...]]] = {}
         self._blocks_cache: dict[int, dict[int, tuple[int, ...]]] = {}
+        #: Words held by each memoized overlay, parallel to the caches
+        #: (insertion order doubles as LRU order — hits reinsert).
+        self._pages_cache_words: dict[int, int] = {}
+        self._blocks_cache_words: dict[int, int] = {}
         #: Checkpoints dropped by recycling (statistics for §8.4).
         self.recycled = 0
         #: Resident-state budget; ``None`` is unbounded.
         self.max_resident_bytes = max_resident_bytes
         #: Checkpoints merged forward to stay under the budget.
         self.budget_merges = 0
+        #: Memoized overlays evicted to respect ``max_resident_bytes`` on
+        #: the reconstruct path (N concurrent epoch seeds each force a
+        #: full overlay; without the bound those cache levels dwarf the
+        #: checkpoints themselves).
+        self.cache_evictions = 0
         self._lock = threading.RLock()
 
     def __getstate__(self):
@@ -113,6 +122,8 @@ class CheckpointStore:
         del state["_lock"]
         state["_pages_cache"] = {}
         state["_blocks_cache"] = {}
+        state["_pages_cache_words"] = {}
+        state["_blocks_cache_words"] = {}
         return state
 
     def __setstate__(self, state):
@@ -120,6 +131,9 @@ class CheckpointStore:
         # Tolerate pickles from before the caches were excluded.
         self.__dict__.setdefault("_pages_cache", {})
         self.__dict__.setdefault("_blocks_cache", {})
+        self.__dict__.setdefault("_pages_cache_words", {})
+        self.__dict__.setdefault("_blocks_cache_words", {})
+        self.__dict__.setdefault("cache_evictions", 0)
         self._lock = threading.RLock()
 
     @classmethod
@@ -240,6 +254,7 @@ class CheckpointStore:
 
     def _overlay(self, checkpoint: Checkpoint, attr: str,
                  cache: dict[int, dict[int, tuple[int, ...]]],
+                 words: dict[int, int],
                  ) -> dict[int, tuple[int, ...]]:
         """Memoized overlay at ``checkpoint`` for ``attr`` (pages/blocks).
 
@@ -247,9 +262,17 @@ class CheckpointStore:
         plus an update, so a chain of N checkpoints costs N builds total no
         matter how many alarm replayers launch from it.  The contents tuples
         are shared down the chain (immutable, so copy-on-write for free).
+
+        The memo is bounded by ``max_resident_bytes``: every hit or insert
+        refreshes the entry's LRU position (``words`` is insertion-ordered)
+        and :meth:`_trim_caches` evicts the coldest overlays once the memo
+        outgrows the budget — the just-requested entry is never evicted.
         """
         cached = cache.get(checkpoint.checkpoint_id)
         if cached is not None:
+            # LRU refresh: reinsert at the back of the insertion order.
+            key = checkpoint.checkpoint_id
+            words[key] = words.pop(key)
             return cached
         # Walk down to the deepest ancestor that is not yet cached, then
         # build back up so every intermediate level gets memoized too.
@@ -266,7 +289,41 @@ class CheckpointStore:
             overlay = dict(overlay)
             overlay.update(getattr(entry, attr))
             cache[entry.checkpoint_id] = overlay
+            words[entry.checkpoint_id] = sum(
+                len(contents) for contents in overlay.values())
+        self._trim_caches(keep=checkpoint.checkpoint_id)
         return overlay
+
+    def _trim_caches(self, keep: int):
+        """Evict cold memoized overlays until the memo fits the budget.
+
+        Caller holds the lock.  The budget is the same
+        ``max_resident_bytes`` that bounds the checkpoints — the memo is
+        derived state, so it must not outgrow what it is derived from.
+        The entry for ``keep`` (the overlay being handed out right now)
+        always survives, so reconstruction still works when a single
+        overlay alone exceeds the budget.
+        """
+        budget = self.max_resident_bytes
+        if budget is None:
+            return
+        for cache, words in (
+            (self._pages_cache, self._pages_cache_words),
+            (self._blocks_cache, self._blocks_cache_words),
+        ):
+            while (sum(words.values()) * _WORD_BYTES > budget
+                   and len(words) > 1):
+                oldest = next(iter(words))
+                if oldest == keep:
+                    # Rotate the protected entry to the back; the loop
+                    # keeps evicting the genuinely cold ones.
+                    words[oldest] = words.pop(oldest)
+                    if len(words) == 1:
+                        break
+                    oldest = next(iter(words))
+                del cache[oldest]
+                del words[oldest]
+                self.cache_evictions += 1
 
     def reconstruct_pages(self, checkpoint: Checkpoint) -> dict[int, tuple[int, ...]]:
         """Full page overlay at ``checkpoint`` (newest copy of each page)."""
@@ -276,13 +333,16 @@ class CheckpointStore:
                     f"checkpoint {checkpoint.checkpoint_id} is not in this "
                     f"store"
                 )
-            return dict(self._overlay(checkpoint, "pages", self._pages_cache))
+            return dict(self._overlay(checkpoint, "pages",
+                                      self._pages_cache,
+                                      self._pages_cache_words))
 
     def reconstruct_blocks(self, checkpoint: Checkpoint) -> dict[int, tuple[int, ...]]:
         """Full disk-block overlay at ``checkpoint``."""
         with self._lock:
             return dict(
-                self._overlay(checkpoint, "disk_blocks", self._blocks_cache)
+                self._overlay(checkpoint, "disk_blocks", self._blocks_cache,
+                              self._blocks_cache_words)
             )
 
     # ------------------------------------------------------------------
@@ -337,6 +397,8 @@ class CheckpointStore:
         # memoized overlay built through it is stale.
         self._pages_cache.clear()
         self._blocks_cache.clear()
+        self._pages_cache_words.clear()
+        self._blocks_cache_words.clear()
         # Pages/blocks unchanged between the two still describe the
         # successor's state: move them forward instead of freeing them.
         for index, words in oldest.pages.items():

@@ -155,6 +155,15 @@ class CheckpointingReplayer(DeterministicReplayer):
         """
         if self._period_cycles is None:
             return
+        if self.machine.cpu._skip_breakpoint_at is not None:
+            # A breakpoint exit was just handled and its one-shot skip is
+            # still armed.  ``CpuState`` cannot carry the arm, so a
+            # checkpoint taken here would re-fire the handler on restore;
+            # defer to the next exit boundary (the arm clears as soon as
+            # the instruction under the breakpoint retires).  This is the
+            # same deferral rule the recorder applies to epoch-boundary
+            # captures (``repro.replay.epoch``).
+            return
         now = self.machine.now
         if now - self._last_checkpoint_cycles >= self._period_cycles:
             self.take_checkpoint()
@@ -380,10 +389,12 @@ class CheckpointingReplayer(DeterministicReplayer):
         registry.gauge("checkpoint.budget_merges").set(store.budget_merges)
         return tel.snapshot()
 
-    def run_to_end(self, max_instructions: int | None = None
+    def run_to_end(self, max_instructions: int | None = None,
+                   stop_position: int | None = None,
                    ) -> CheckpointingResult:
         """Replay the whole log, returning the CR-specific result."""
-        replay = self.run(max_instructions=max_instructions)
+        replay = self.run(max_instructions=max_instructions,
+                          stop_position=stop_position)
         return CheckpointingResult(
             replay=replay,
             store=self.store,

@@ -1,0 +1,516 @@
+"""Epoch-parallel checkpoint-partitioned CR replay.
+
+A recorded session is split at checkpoint boundaries into independent
+*epochs*: epoch 0 starts from the freshly built machine, epoch k from the
+COW reconstruction of the k-th boundary checkpoint, and every epoch
+consumes exactly its slice of the log (``[boundary.log_position,
+next_boundary.log_position)``).  Because replay is deterministic, the
+epochs can run concurrently on a process pool and still compose into the
+sequential CR result — the stitcher *proves* it by checking each epoch's
+final machine digest against the next epoch's seed digest (and the
+sentinel chain inside each epoch where the recorder emitted one).
+
+Boundary placement is subtle in exactly one way: the recorder captures a
+boundary only at a run-loop top where no breakpoint skip is armed.  If a
+breakpoint exit just fired at the boundary icount, its handler already ran
+on the recording side; capturing there would let the worker whose slice
+*ends* at that icount exhaust its batch without ever fetching the
+breakpoint — silently skipping the handler the sequential CR executed.
+Deferring the capture past the next retired instruction keeps every
+handler inside the epoch that re-executes it.  The same hazard is why
+:func:`epoch_plan_from_resume` refuses to use a persisted CR checkpoint
+whose program counter sits on a kernel breakpoint as a boundary.
+
+Epoch workers replay with ``period_s=None`` (they take no checkpoints of
+their own) and a zeroed overhead clock, so their cycle accounts are pure
+per-slice overhead.  Overhead charges are count/size-based and therefore
+additive across slices: the stitcher offsets each epoch's alarm cycles by
+the overhead accumulated in the preceding epochs, which reproduces the
+clock of a sequential ``period_s=None`` replay exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cpu.exits import RopAlarmKind
+from repro.cpu.state import CpuState
+from repro.errors import CheckpointError, ReplayDivergenceError
+from repro.hypervisor.machine import MachineSpec
+from repro.obs.telemetry import Telemetry, TelemetrySnapshot
+from repro.perf.account import CycleAccount
+from repro.perf.report import RunMetrics
+from repro.replay.base import ReplayResult
+from repro.replay.checkpoint import Checkpoint, CheckpointStore
+from repro.replay.checkpointing import (
+    CheckpointingOptions,
+    CheckpointingReplayer,
+    CheckpointingResult,
+)
+from repro.rnr.log import InputLog
+from repro.rnr.records import AlarmRecord, EvictRecord, SentinelRecord
+
+
+@dataclass(frozen=True)
+class EpochBoundary:
+    """One epoch split point: a checkpoint plus the replay-side seeds.
+
+    The checkpoint (referenced by id into the plan's store) rebuilds the
+    machine; the extra fields seed the CR bookkeeping that lives *outside*
+    the machine — the rolling sentinel chain and the per-thread evict
+    stacks — so a worker starting mid-log behaves exactly like a
+    sequential CR that consumed the prefix.
+    """
+
+    index: int
+    icount: int
+    log_position: int
+    checkpoint_id: int
+    #: Rolling sentinel chain value after the last sentinel before the
+    #: boundary (0 when the recorder emitted none).
+    sentinel_crc: int = 0
+    last_sentinel_icount: int = 0
+    #: Sentinels in the log prefix (audit/statistics only).
+    sentinels_before: int = 0
+    #: §4.6.2 per-thread evict stacks at the boundary.
+    evict_stacks: dict[int, tuple[EvictRecord, ...]] = field(
+        default_factory=dict)
+
+
+@dataclass
+class EpochPlan:
+    """A session's epoch partition: boundary checkpoints plus seeds."""
+
+    store: CheckpointStore
+    boundaries: tuple[EpochBoundary, ...]
+
+    @property
+    def epochs(self) -> int:
+        return len(self.boundaries) + 1
+
+
+@dataclass
+class EpochResult:
+    """One epoch's replay outcome, picklable across a process pool.
+
+    Cycle-bearing values (``alarm_cycles``, ``overhead_cycles``, the
+    account) are *local* to the epoch — the worker starts its overhead
+    clock at zero — and are globalized by :func:`stitch_epoch_results`.
+    """
+
+    index: int
+    start_icount: int
+    end_icount: int
+    start_position: int
+    end_position: int
+    #: ``fast_digest()`` of the restored seed and of the final machine;
+    #: the stitcher chains these against the neighbouring epochs.  These
+    #: digests are compared only within one stitched run, never persisted.
+    seed_digest: int
+    final_digest: int
+    final_cpu_state: CpuState
+    pending_alarms: list[AlarmRecord]
+    dismissed_underflows: int
+    alarms_seen: int
+    alarm_cycles: dict[int, int]
+    alarm_positions: dict[int, int]
+    sentinels_verified: int
+    overhead_cycles: int
+    account: CycleAccount
+    instructions: int
+    records_consumed: int
+    context_switches: int
+    backras_bytes: int
+    stop_reason: str
+    reached_end: bool
+    digest_checked: bool
+    telemetry: TelemetrySnapshot | None = None
+
+
+def plan_epoch_boundaries(max_instructions: int, workers: int,
+                          oversample: int = 1) -> tuple[int, ...]:
+    """Target boundary icounts for ``workers`` roughly-equal epochs.
+
+    The recorder treats these as *at-or-after* targets: a capture fires at
+    the first safe loop top past each target, so the actual boundaries
+    drift forward by at most one CPU batch.  Targets at or past the budget
+    are dropped rather than clamped — a zero-length trailing epoch would
+    only waste a worker.
+
+    ``oversample`` is the record-time auto-tuning knob: planning
+    ``workers * oversample`` candidate intervals costs only incremental
+    dirty-page captures, and lets :func:`thin_epoch_plan` pick a balanced
+    ``workers``-way partition of the icount range the run *actually*
+    covered — a session that exhausts its input and ends well short of
+    the budget still splits evenly instead of leaving trailing workers
+    with empty epochs.
+    """
+    slots = workers * max(1, oversample)
+    if workers <= 1 or max_instructions <= 1:
+        return ()
+    targets: list[int] = []
+    for k in range(1, slots):
+        target = (max_instructions * k) // slots
+        if 0 < target < max_instructions and (
+                not targets or target > targets[-1]):
+            targets.append(target)
+    return tuple(targets)
+
+
+#: Instruction share of the final epoch relative to a regular epoch.
+#: The tail epoch uniquely consumes the End record, whose full-state
+#: digest verification walks every mapped page with the (frozen, slow)
+#: ``state_digest`` algorithm — a fixed cost no other lane pays.  Giving
+#: the tail roughly half a share keeps the lanes' wall-clock balanced
+#: instead of their icounts.
+TAIL_SHARE = 0.5
+
+
+def thin_epoch_plan(plan: EpochPlan, workers: int,
+                    end_icount: int | None = None,
+                    tail_share: float = TAIL_SHARE) -> EpochPlan:
+    """Reduce an oversampled plan to at most ``workers`` epochs.
+
+    Picks the boundary nearest each cost-aware target (strictly
+    increasing) over ``end_icount`` — the last boundary's icount unless
+    given — so the partition balances over the span the recording
+    actually covered, not the budget it was planned against.  Targets
+    divide the span into ``workers - 1`` full shares plus a
+    ``tail_share`` share for the final epoch, which pays the
+    End-record digest verification on top of its replay work.  The
+    thinned plan shares the original's checkpoint store; skipped
+    boundary checkpoints stay available as AR anchors.
+    """
+    if workers < 1:
+        raise ValueError(f"thin_epoch_plan needs workers >= 1, "
+                         f"got {workers}")
+    if workers <= 1:
+        return EpochPlan(store=plan.store, boundaries=())
+    if len(plan.boundaries) < workers:
+        return plan
+    if end_icount is None:
+        end_icount = plan.boundaries[-1].icount
+    shares = workers - 1 + max(0.1, tail_share)
+    picked: list[EpochBoundary] = []
+    for k in range(1, workers):
+        target = int(end_icount * k / shares)
+        best = min(plan.boundaries,
+                   key=lambda boundary: abs(boundary.icount - target))
+        if not picked or best.icount > picked[-1].icount:
+            picked.append(best)
+    boundaries = tuple(replace(boundary, index=i)
+                       for i, boundary in enumerate(picked))
+    return EpochPlan(store=plan.store, boundaries=boundaries)
+
+
+def derive_epoch_seeds(log: InputLog, positions: list[int]
+                       ) -> list[tuple[int, int, int, dict]]:
+    """Replay-side seeds for boundaries at ascending log ``positions``.
+
+    One O(records) walk mirroring the CR's own consumption bookkeeping:
+    Evict records push per-thread stacks, underflow alarms whose missing
+    return address matches the thread's newest evicted entry pop them
+    (§4.6.2 — the CR would have dismissed those before the boundary), and
+    each sentinel advances the rolling chain.  Returns one
+    ``(sentinel_crc, last_sentinel_icount, sentinels_before,
+    evict_stacks)`` tuple per position.
+    """
+    seeds: list[tuple[int, int, int, dict]] = []
+    crc = 0
+    last_icount = 0
+    sentinels = 0
+    stacks: dict[int, list[EvictRecord]] = {}
+    cursor = 0
+    for position in positions:
+        if position < cursor:
+            raise CheckpointError(
+                f"epoch boundary positions must ascend; {position} "
+                f"follows {cursor}")
+        while cursor < position:
+            record = log[cursor]
+            if isinstance(record, EvictRecord):
+                stacks.setdefault(record.tid, []).append(record)
+            elif isinstance(record, AlarmRecord):
+                if record.kind is RopAlarmKind.UNDERFLOW:
+                    stack = stacks.get(record.tid)
+                    if stack and stack[-1].value == record.actual:
+                        stack.pop()
+            elif isinstance(record, SentinelRecord):
+                crc = record.digest
+                last_icount = record.icount
+                sentinels += 1
+            cursor += 1
+        seeds.append((
+            crc, last_icount, sentinels,
+            {tid: tuple(stack) for tid, stack in stacks.items() if stack},
+        ))
+    return seeds
+
+
+def finalize_epoch_plan(store: CheckpointStore,
+                        captures: list[tuple[int, int, int]],
+                        log: InputLog) -> EpochPlan:
+    """Turn the recorder's raw captures into a sealed :class:`EpochPlan`.
+
+    ``captures`` is the recorder's ``(icount, log_position,
+    checkpoint_id)`` list in capture order; the log walk fills in the
+    sentinel-chain and evict-stack seeds each boundary's worker needs.
+    """
+    seeds = derive_epoch_seeds(log, [position for _, position, _ in captures])
+    boundaries = tuple(
+        EpochBoundary(
+            index=i + 1,
+            icount=icount,
+            log_position=position,
+            checkpoint_id=checkpoint_id,
+            sentinel_crc=seed[0],
+            last_sentinel_icount=seed[1],
+            sentinels_before=seed[2],
+            evict_stacks=seed[3],
+        )
+        for i, ((icount, position, checkpoint_id), seed)
+        in enumerate(zip(captures, seeds))
+    )
+    return EpochPlan(store=store, boundaries=boundaries)
+
+
+def epoch_plan_from_resume(resume, spec: MachineSpec,
+                           workers: int | None = None) -> EpochPlan:
+    """Rebuild an epoch plan from a run store's persisted CR checkpoints.
+
+    A recovered :class:`~repro.store.recover.ResumePoint` carries the
+    durable checkpoint chain; each usable checkpoint becomes an epoch
+    boundary and the seeds are re-derived from the recovered log (the
+    store only persists the *last* anchor's bookkeeping).  Checkpoints
+    whose program counter sits on one of the kernel's interposition
+    breakpoints are skipped: they were taken right after a breakpoint
+    exit whose skip-arm state is not part of ``CpuState``, so restoring
+    there could re-run (or miss) the handler the sequential CR executed.
+
+    ``workers`` thins the boundaries to roughly-equal epochs for that
+    worker count; ``None`` keeps every usable checkpoint.
+    """
+    state = resume.cr_state
+    if state is None or state.store is None or not len(state.store):
+        return EpochPlan(store=CheckpointStore(), boundaries=())
+    log = resume.log
+    kernel = spec.kernel
+    breakpoint_pcs = {kernel.switch_sp_pc, kernel.task_create_pc,
+                      kernel.task_exit_pc}
+    usable: list[Checkpoint] = []
+    for checkpoint in state.store.all():
+        if checkpoint.cpu_state.pc in breakpoint_pcs:
+            continue
+        if checkpoint.icount <= 0 or checkpoint.log_position <= 0:
+            continue
+        if checkpoint.log_position >= len(log):
+            continue
+        if usable and (checkpoint.icount <= usable[-1].icount
+                       or checkpoint.log_position <= usable[-1].log_position):
+            continue
+        usable.append(checkpoint)
+    if workers is not None and workers > 1 and len(usable) > workers - 1:
+        end_icount = resume.last_icount or usable[-1].icount
+        picked: list[Checkpoint] = []
+        for k in range(1, workers):
+            target = (end_icount * k) // workers
+            best = min(usable, key=lambda cp: abs(cp.icount - target))
+            if not picked or best.icount > picked[-1].icount:
+                picked.append(best)
+        usable = picked
+    captures = [(cp.icount, cp.log_position, cp.checkpoint_id)
+                for cp in usable]
+    plan = finalize_epoch_plan(state.store, captures, log)
+    return plan
+
+
+def _checkpoint_by_id(store: CheckpointStore, checkpoint_id: int
+                      ) -> Checkpoint:
+    for checkpoint in store.all():
+        if checkpoint.checkpoint_id == checkpoint_id:
+            return checkpoint
+    raise CheckpointError(
+        f"epoch plan references checkpoint {checkpoint_id}, which is not "
+        f"in the plan's store")
+
+
+def replay_epoch(spec: MachineSpec, log: InputLog, plan: EpochPlan,
+                 index: int, *, verify_digest: bool = True,
+                 telemetry: Telemetry | None = None) -> EpochResult:
+    """Replay one epoch of ``plan`` and return its stitchable result.
+
+    Epoch 0 starts from the freshly built machine; epoch ``k`` restores
+    boundary ``k-1``'s checkpoint, zeroes the overhead clock (so its
+    cycle charges are slice-local and additive) and seeds the sentinel
+    chain and evict stacks from the boundary.  A bounded epoch runs to
+    exactly its end boundary's ``(icount, log_position)`` — asynchronous
+    records due *at* the boundary icount but below the position belong to
+    this epoch and are applied before stopping (see
+    ``DeterministicReplayer.run``'s ``stop_position``).  The last epoch
+    runs to the End record and performs the usual final digest check.
+    """
+    boundaries = plan.boundaries
+    if not 0 <= index <= len(boundaries):
+        raise CheckpointError(
+            f"epoch index {index} out of range for a "
+            f"{len(boundaries) + 1}-epoch plan")
+    seed = boundaries[index - 1] if index > 0 else None
+    nxt = boundaries[index] if index < len(boundaries) else None
+    options = CheckpointingOptions(period_s=None,
+                                   verify_digest=verify_digest)
+    replayer = CheckpointingReplayer(spec, log, options,
+                                     telemetry=telemetry)
+    machine = replayer.machine
+    if seed is not None:
+        checkpoint = _checkpoint_by_id(plan.store, seed.checkpoint_id)
+        replayer.restore_checkpoint(checkpoint, plan.store)
+        # The worker's clock measures only its own slice: overhead
+        # restarts at zero (now == icount) and the stitcher re-bases.
+        machine.overhead_cycles = 0
+        machine.memory.clear_dirty()
+        machine.disk.clear_dirty()
+        replayer._sentinel_crc = seed.sentinel_crc
+        replayer._last_sentinel_icount = seed.last_sentinel_icount
+        replayer._evict_stacks = {
+            tid: list(stack) for tid, stack in seed.evict_stacks.items()
+        }
+    start_icount = machine.cpu.icount
+    start_position = replayer.cursor.position
+    seed_digest = machine.fast_digest()
+    if nxt is not None:
+        result = replayer.run_to_end(max_instructions=nxt.icount,
+                                     stop_position=nxt.log_position)
+        if (machine.cpu.icount != nxt.icount
+                or replayer.cursor.position != nxt.log_position):
+            raise ReplayDivergenceError(
+                f"epoch {index} stopped at icount {machine.cpu.icount} "
+                f"position {replayer.cursor.position}, expected boundary "
+                f"icount {nxt.icount} position {nxt.log_position}",
+                icount=machine.cpu.icount,
+            )
+    else:
+        result = replayer.run_to_end()
+    end_icount = machine.cpu.icount
+    return EpochResult(
+        index=index,
+        start_icount=start_icount,
+        end_icount=end_icount,
+        start_position=start_position,
+        end_position=replayer.cursor.position,
+        seed_digest=seed_digest,
+        final_digest=machine.fast_digest(),
+        final_cpu_state=machine.cpu.capture_state(),
+        pending_alarms=list(result.pending_alarms),
+        dismissed_underflows=result.dismissed_underflows,
+        alarms_seen=result.alarms_seen,
+        alarm_cycles=dict(result.alarm_cycles),
+        alarm_positions=dict(result.alarm_positions),
+        sentinels_verified=result.sentinels_verified,
+        overhead_cycles=machine.overhead_cycles,
+        account=machine.account,
+        instructions=end_icount - start_icount,
+        records_consumed=replayer.cursor.position - start_position,
+        context_switches=replayer.interposer.context_switches,
+        backras_bytes=replayer.interposer.backras.bytes_moved,
+        stop_reason=result.replay.stop_reason,
+        reached_end=result.replay.reached_end,
+        digest_checked=result.replay.digest_checked,
+        telemetry=result.telemetry,
+    )
+
+
+def stitch_epoch_results(spec: MachineSpec, plan: EpochPlan,
+                         results: list[EpochResult]) -> CheckpointingResult:
+    """Verify the epoch chain and merge the results in icount order.
+
+    Equivalence proof: adjacent epochs must agree on the boundary — the
+    finishing epoch's final machine digest must equal the next epoch's
+    seed digest (both are full ``fast_digest()`` values over registers
+    and every mapped page), and the icount/log-position must line up.
+    Any disagreement raises :class:`ReplayDivergenceError` naming the
+    boundary, exactly like a sequential replay that diverged there.
+
+    Merging re-bases the per-epoch clocks: epoch k's alarm cycles are
+    offset by the overhead accumulated in epochs ``< k``, and each
+    boundary checkpoint's ``cycles`` is rewritten from the recorder's
+    clock to the stitched replay clock — afterwards the plan's store is
+    a coherent CR store the alarm replayers can launch from.
+    """
+    if not results:
+        raise CheckpointError("cannot stitch zero epoch results")
+    ordered = sorted(results, key=lambda r: r.index)
+    for left, right in zip(ordered, ordered[1:]):
+        if (left.end_icount != right.start_icount
+                or left.end_position != right.start_position):
+            raise ReplayDivergenceError(
+                f"epoch chain broken between epochs {left.index} and "
+                f"{right.index}: ends at icount {left.end_icount} "
+                f"position {left.end_position}, next seeds at "
+                f"{right.start_icount}/{right.start_position}",
+                icount=left.end_icount,
+            )
+        if left.final_digest != right.seed_digest:
+            raise ReplayDivergenceError(
+                "epoch stitch digest mismatch — parallel replay is not "
+                "equivalent to the recorded execution at this boundary",
+                icount=left.end_icount,
+                expected_digest=right.seed_digest,
+                actual_digest=left.final_digest,
+                window=(left.start_icount, left.end_icount),
+            )
+    account = CycleAccount()
+    pending_alarms: list[AlarmRecord] = []
+    alarm_cycles: dict[int, int] = {}
+    alarm_positions: dict[int, int] = {}
+    dismissed = 0
+    alarms_seen = 0
+    sentinels = 0
+    context_switches = 0
+    backras_bytes = 0
+    offset = 0
+    boundaries = plan.boundaries
+    for i, result in enumerate(ordered):
+        account.merge(result.account)
+        pending_alarms.extend(result.pending_alarms)
+        for icount, cycles in result.alarm_cycles.items():
+            alarm_cycles[icount] = cycles + offset
+        alarm_positions.update(result.alarm_positions)
+        dismissed += result.dismissed_underflows
+        alarms_seen += result.alarms_seen
+        sentinels += result.sentinels_verified
+        context_switches += result.context_switches
+        backras_bytes += result.backras_bytes
+        offset += result.overhead_cycles
+        if i < len(boundaries):
+            boundary = boundaries[i]
+            checkpoint = _checkpoint_by_id(plan.store,
+                                           boundary.checkpoint_id)
+            checkpoint.cycles = boundary.icount + offset
+    last = ordered[-1]
+    metrics = RunMetrics(
+        label=spec.label,
+        instructions=last.end_icount,
+        guest_cycles=last.end_icount,
+        account=account,
+        backras_bytes=backras_bytes,
+        context_switches=context_switches,
+    )
+    replay = ReplayResult(
+        metrics=metrics,
+        reached_end=last.reached_end,
+        digest_checked=last.digest_checked,
+        stop_reason=last.stop_reason,
+    )
+    snapshots = [r.telemetry for r in ordered if r.telemetry is not None]
+    return CheckpointingResult(
+        replay=replay,
+        store=plan.store,
+        pending_alarms=pending_alarms,
+        dismissed_underflows=dismissed,
+        alarms_seen=alarms_seen,
+        alarm_cycles=alarm_cycles,
+        alarm_positions=alarm_positions,
+        sentinels_verified=sentinels,
+        telemetry=(TelemetrySnapshot.merged(snapshots, actor="cr")
+                   if snapshots else None),
+    )

@@ -256,9 +256,24 @@ class StreamingLogWriter:
 
 
 class StreamingLogReader:
-    """Reassembles frames into records, building a seekable frame index."""
+    """Reassembles frames into records, building a seekable frame index.
 
-    def __init__(self):
+    ``start_index`` opens the reader mid-stream at a known frame boundary
+    (an epoch slice seeked via :meth:`latest_frame_before` or the run-store
+    journal index): the first frame fed is *expected* to carry sequence
+    number ``start_index``, and its payload CRC is still validated by
+    ``parse_frame`` — a mid-stream reader never trusts the seek index over
+    the frame's own integrity envelope.  A first frame whose sequence
+    number disagrees with the seek position raises
+    :class:`~repro.errors.LogCorruptionError` exactly like a dropped frame
+    would.
+    """
+
+    def __init__(self, start_index: int = 0):
+        if start_index < 0:
+            raise LogError(
+                f"start_index must be >= 0, got {start_index}")
+        self.start_index = start_index
         self.records: list[Record] = []
         self.frames: list[FrameInfo] = []
         self._byte_offset = 0
@@ -292,18 +307,20 @@ class StreamingLogReader:
     def _index(self, header: FrameHeader, frame_bytes: int):
         # v3 frames carry their sequence number: a gap means the transport
         # dropped (or reordered) a frame, which silently loses records —
-        # fail loudly instead, naming the hole.
+        # fail loudly instead, naming the hole.  A reader opened mid-stream
+        # expects its first frame at ``start_index``, not 0.
+        expected = self.start_index + len(self.frames)
         if (header.frame_index is not None
-                and header.frame_index != len(self.frames)):
+                and header.frame_index != expected):
             raise LogCorruptionError(
                 f"frame sequence gap: received frame "
-                f"{header.frame_index}, expected {len(self.frames)} — a "
+                f"{header.frame_index}, expected {expected} — a "
                 f"frame was dropped or reordered in transit",
                 byte_offset=self._byte_offset,
                 frame_index=header.frame_index,
             )
         self.frames.append(FrameInfo(
-            index=len(self.frames),
+            index=self.start_index + len(self.frames),
             record_offset=len(self.records),
             record_count=header.record_count,
             first_icount=header.first_icount,
@@ -379,10 +396,12 @@ class FrameQueueCursor(LogCursor):
     """
 
     def __init__(self, log: InputLog, frame_source,
-                 reader: StreamingLogReader | None = None):
+                 reader: StreamingLogReader | None = None,
+                 start_index: int = 0):
         super().__init__(log, 0)
         self._source = frame_source
-        self.reader = reader if reader is not None else StreamingLogReader()
+        self.reader = (reader if reader is not None
+                       else StreamingLogReader(start_index=start_index))
         self.closed = False
         #: Simulated cycle at which each frame was fully consumed (the
         #: final frame's entry is appended by the executor at end of run).

@@ -26,6 +26,8 @@ from repro.kernel.tasks import current_task
 from repro.obs.telemetry import Telemetry, TelemetrySnapshot
 from repro.perf.account import Category
 from repro.perf.report import RunMetrics
+from repro.replay.checkpoint import CheckpointStore
+from repro.replay.epoch import EpochPlan, finalize_epoch_plan
 from repro.rnr.log import InputLog
 from repro.rnr.records import (
     AlarmRecord,
@@ -74,6 +76,14 @@ class RecorderOptions:
     #: transport framing — so sequential and pipelined runs of the same
     #: spec produce byte-identical logs.
     sentinel_records: int | None = None
+    #: Epoch-boundary targets for parallel replay (see
+    #: ``repro.replay.epoch``): at the first safe run-loop top at or past
+    #: each target icount the recorder captures a boundary checkpoint into
+    #: the run's :class:`~repro.replay.epoch.EpochPlan`.  Captures charge
+    #: zero simulated cycles and append nothing to the log, so a planned
+    #: recording is byte-identical to an unplanned one.  Requires
+    #: ``log_enabled`` and ``backras``.  Empty disables planning.
+    epoch_boundaries: tuple[int, ...] = ()
 
 
 @dataclass
@@ -96,6 +106,10 @@ class RecordingRun:
     telemetry: TelemetrySnapshot | None = None
     #: Stop reason persisted at seal time, for machine-less restored runs.
     restored_stop_reason: str | None = None
+    #: Epoch partition captured at record time (``None`` unless the
+    #: options asked for ``epoch_boundaries``); feed it to
+    #: ``repro.core.parallel.replay_parallel``.
+    epoch_plan: "EpochPlan | None" = None
 
     @property
     def stop_reason(self) -> str:
@@ -142,6 +156,20 @@ class Recorder:
         #: Rolling sentinel digest chain (divergence audit).
         self._sentinel_crc = 0
         self._records_at_sentinel = 0
+        #: Epoch planning (parallel replay): remaining capture targets,
+        #: the boundary-checkpoint store, and the raw captures.
+        targets = tuple(sorted({b for b in self.options.epoch_boundaries
+                                if b > 0}))
+        if targets and not (self.options.log_enabled
+                            and self.options.backras):
+            raise HypervisorError(
+                "epoch planning replays the input log through the BackRAS "
+                "interposer; epoch_boundaries requires log_enabled and "
+                "backras"
+            )
+        self._epoch_targets: list[int] = list(targets)
+        self._epoch_store = CheckpointStore() if targets else None
+        self._epoch_captures: list[tuple[int, int, int]] = []
         #: Nil-sink fast path: ``None`` unless telemetry is enabled, so
         #: the run loop pays one ``is not None`` test per batch at most.
         self.telemetry = (telemetry if telemetry is not None
@@ -191,7 +219,19 @@ class Recorder:
             batch_hist = tel.registry.histogram("record.batch_instructions")
             last_icount = cpu.icount
         machine.timer.start(0)
+        epoch_targets = self._epoch_targets
         while not machine.stopped:
+            # Epoch capture first, before the sentinel check and world
+            # events: records logged later at this loop top then land at
+            # positions past the captured InputLogPtr, i.e. in the *next*
+            # epoch, whose worker applies them from the restored seed
+            # exactly as this loop is about to.  Deferred while a
+            # breakpoint skip is armed — the just-handled breakpoint exit
+            # must stay inside the epoch that re-executes it (see
+            # ``repro.replay.epoch``).
+            if (epoch_targets and cpu.icount >= epoch_targets[0]
+                    and cpu._skip_breakpoint_at is None):
+                self._capture_epoch_boundary()
             if (sentinel_every is not None
                     and len(self.log) - self._records_at_sentinel
                     >= sentinel_every):
@@ -264,6 +304,57 @@ class Recorder:
             Category.CHECKPOINT,
             int(size * self._costs.log_write_cycles_per_byte),
         )
+
+    # ------------------------------------------------------------------
+    # epoch planning (parallel replay)
+    # ------------------------------------------------------------------
+
+    def _capture_epoch_boundary(self):
+        """Checkpoint the machine for the epoch plan.  Charges nothing.
+
+        The capture must not perturb the recording in any way — a single
+        charged cycle would shift ``machine.now``, change world-event
+        timing and rdtsc values, and therefore the log bytes.  It
+        consumes the dirty sets (the only other consumer is the CR's own
+        checkpointing, which never runs on the recording side) and reads
+        the BackRAS through the non-mutating snapshot so the interposer's
+        byte counters stay untouched.
+        """
+        machine = self.machine
+        cpu = machine.cpu
+        targets = self._epoch_targets
+        while targets and targets[0] <= cpu.icount:
+            targets.pop(0)
+        tid = self.interposer.current_tid
+        backras = self.interposer.backras.snapshot()
+        if tid >= 0:
+            # The live RAS belongs to the running thread; fold it in the
+            # same way take_checkpoint's hardware dump would, but without
+            # mutating the store's counters.
+            backras[tid] = machine.vmcs.dump_ras()
+        dirty_pages = machine.memory.dirty_pages()
+        dirty_blocks = machine.disk.dirty_blocks()
+        checkpoint = self._epoch_store.add(
+            icount=cpu.icount,
+            cycles=machine.now,
+            cpu_state=cpu.capture_state(),
+            pages=machine.memory.snapshot_pages(dirty_pages),
+            disk_blocks=machine.disk.snapshot_blocks(dirty_blocks),
+            backras=backras,
+            current_tid=tid,
+            log_position=len(self.log),
+            disk_regs=machine.disk_dev.capture_regs(),
+        )
+        machine.memory.clear_dirty()
+        machine.disk.clear_dirty()
+        self._epoch_captures.append(
+            (cpu.icount, len(self.log), checkpoint.checkpoint_id))
+
+    def _epoch_plan(self) -> EpochPlan | None:
+        if self._epoch_store is None or not self._epoch_captures:
+            return None
+        return finalize_epoch_plan(self._epoch_store, self._epoch_captures,
+                                   self.log)
 
     # ------------------------------------------------------------------
     # interrupt injection (asynchronous events, §7.3)
@@ -538,4 +629,5 @@ class Recorder:
             alarm_cycles=dict(self.alarm_cycles),
             telemetry=(self.telemetry.snapshot()
                        if self.telemetry is not None else None),
+            epoch_plan=self._epoch_plan(),
         )

@@ -90,6 +90,21 @@ class ResumePoint:
         """The ``(anchor icount, last journaled icount)`` replay window."""
         return (self.anchor_icount or 0, self.last_icount)
 
+    def epoch_plan(self, spec, workers: int | None = None):
+        """Partition the recovered run into epochs for parallel re-replay.
+
+        Every usable persisted checkpoint becomes an epoch boundary (see
+        :func:`repro.replay.epoch.epoch_plan_from_resume` for the safety
+        filter); ``workers`` thins them to roughly-equal epochs for that
+        worker count.  Feed the result to
+        :func:`repro.core.parallel.replay_parallel` together with
+        ``self.log`` — only useful when ``recording_complete`` is true,
+        since a parallel replay needs the whole log up front.
+        """
+        from repro.replay.epoch import epoch_plan_from_resume
+
+        return epoch_plan_from_resume(self, spec, workers=workers)
+
 
 def _scan_journal(path: pathlib.Path, notes: list[str]):
     """Re-parse the journal, keeping the longest valid frame prefix."""

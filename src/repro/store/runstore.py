@@ -286,6 +286,11 @@ class RunStoreWriter:
             "cycles": checkpoint.cycles,
             "parent": checkpoint.parent_id,
             "log_position": checkpoint.log_position,
+            # The recover-to-epoch-plan inputs (docs/LOG_FORMAT.md): with
+            # icount/log_position this pc lets recovery pick epoch
+            # boundaries without unpickling the blob — a checkpoint
+            # parked on a kernel breakpoint pc is not a safe boundary.
+            "pc": checkpoint.cpu_state.pc,
             "file": f"{CHECKPOINT_DIR}/{name}",
             "crc": zlib.crc32(blob),
             "bytes": len(blob),

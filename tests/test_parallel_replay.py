@@ -1,0 +1,385 @@
+"""Differential tests: epoch-parallel CR replay == sequential CR.
+
+The contract under test is the parallelism tentpole's equivalence
+doctrine: splitting a recorded session at checkpoint boundaries and
+replaying the epochs concurrently (:func:`repro.core.parallel.
+replay_parallel`) must be *observably indistinguishable* from one
+sequential ``period_s=None`` CR pass over the same log — same alarms,
+same dismissals, same CR cycles and log positions per alarm, same
+sentinel verifications, same final machine digest and CPU state, same
+AR verdicts — for every worker count, both pool backends, randomized
+workload soups, and under injected worker faults.  Speed is allowed to
+vary; semantics are not.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.parallel import replay_parallel
+from repro.core.pipeline import epoch_makespan
+from repro.errors import HypervisorError
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.replay.checkpointing import (
+    CheckpointingOptions,
+    CheckpointingReplayer,
+)
+from repro.replay.epoch import EpochPlan, plan_epoch_boundaries
+from repro.rnr.recorder import Recorder, RecorderOptions
+from tests.conftest import small_workload
+
+BUDGET = 40_000
+WORKLOADS = ("apache", "fileio", "make", "mysql", "radiosity")
+SEQ_OPTIONS = CheckpointingOptions(period_s=None)
+
+
+def _record(name, *, budget=BUDGET, workers=4, seed=2018, sentinel=None,
+            attack=False):
+    """Record one scaled-down workload with an epoch plan captured."""
+    spec = small_workload(name, seed=seed)
+    if attack:
+        from repro.attacks import deliver_rop_attack
+
+        spec, _chain = deliver_rop_attack(spec)
+    options = RecorderOptions(
+        max_instructions=budget,
+        sentinel_records=sentinel,
+        epoch_boundaries=plan_epoch_boundaries(budget, workers),
+    )
+    return spec, Recorder(spec, options).run()
+
+
+def _sequential(spec, log):
+    """The ground truth: one sequential period_s=None CR pass."""
+    replayer = CheckpointingReplayer(spec, log, options=SEQ_OPTIONS)
+    result = replayer.run_to_end()
+    return (result, replayer.machine.fast_digest(),
+            replayer.machine.cpu.capture_state())
+
+
+def _assert_equivalent(par, seq, seq_digest, seq_state):
+    """Every observable of the stitched run matches the sequential CR."""
+    stitched = par.checkpointing
+    assert stitched.alarms_seen == seq.alarms_seen
+    assert stitched.dismissed_underflows == seq.dismissed_underflows
+    assert stitched.alarm_cycles == seq.alarm_cycles
+    assert stitched.alarm_positions == seq.alarm_positions
+    assert stitched.sentinels_verified == seq.sentinels_verified
+    assert stitched.pending_alarms == seq.pending_alarms
+    assert par.final_cpu_state == seq_state
+    assert par.epoch_results[-1].final_digest == seq_digest
+    # The epochs partition the replayed instructions exactly.
+    assert sum(r.instructions for r in par.epoch_results) == \
+        seq.replay.metrics.instructions
+
+
+class TestWorkerCounts:
+    """Parallel == sequential for every worker count the issue names."""
+
+    def test_every_worker_count_matches_sequential(self):
+        baseline_bytes = None
+        for workers in range(1, 9):
+            spec, recording = _record("apache", workers=workers)
+            # Epoch planning must never perturb the recording itself —
+            # boundary captures are zero-cost snapshots, not events.
+            if baseline_bytes is None:
+                baseline_bytes = recording.log.to_bytes()
+            assert recording.log.to_bytes() == baseline_bytes
+            seq, seq_digest, seq_state = _sequential(spec, recording.log)
+            par = replay_parallel(spec, recording.log, recording.epoch_plan,
+                                  max_workers=workers, backend="thread")
+            assert par.workers == min(workers, par.epochs)
+            _assert_equivalent(par, seq, seq_digest, seq_state)
+
+    def test_process_backend_matches_thread_backend(self):
+        spec, recording = _record("mysql", workers=4)
+        seq, seq_digest, seq_state = _sequential(spec, recording.log)
+        for backend in ("thread", "process"):
+            par = replay_parallel(spec, recording.log, recording.epoch_plan,
+                                  max_workers=4, backend=backend)
+            _assert_equivalent(par, seq, seq_digest, seq_state)
+
+    def test_no_plan_degenerates_to_inline_sequential(self):
+        spec, recording = _record("fileio", workers=1)
+        assert recording.epoch_plan is None or \
+            recording.epoch_plan.epochs == 1
+        seq, seq_digest, seq_state = _sequential(spec, recording.log)
+        par = replay_parallel(spec, recording.log, None, max_workers=8)
+        assert par.backend == "inline"
+        assert par.epochs == 1
+        _assert_equivalent(par, seq, seq_digest, seq_state)
+
+    def test_unknown_backend_rejected(self):
+        spec, recording = _record("fileio", workers=2)
+        with pytest.raises(HypervisorError):
+            replay_parallel(spec, recording.log, recording.epoch_plan,
+                            max_workers=2, backend="fiber")
+
+
+class TestSentinelsAndAlarms:
+    """Divergence sentinels and AR verdicts survive the partition."""
+
+    def test_sentinel_chain_verified_across_epochs(self):
+        spec, recording = _record("apache", sentinel=12, workers=4)
+        seq, seq_digest, seq_state = _sequential(spec, recording.log)
+        assert seq.sentinels_verified > 0
+        par = replay_parallel(spec, recording.log, recording.epoch_plan,
+                              max_workers=4, backend="thread")
+        _assert_equivalent(par, seq, seq_digest, seq_state)
+
+    def test_attack_verdicts_match_sequential_resolution(self):
+        from repro.core.parallel import resolve_alarms_parallel
+
+        spec, recording = _record("apache", budget=300_000, workers=4,
+                                  attack=True)
+        seq, seq_digest, seq_state = _sequential(spec, recording.log)
+        par = replay_parallel(spec, recording.log, recording.epoch_plan,
+                              max_workers=4, backend="thread",
+                              resolve_ars=True)
+        _assert_equivalent(par, seq, seq_digest, seq_state)
+        assert par.resolution is not None and par.resolution.verdicts
+        # ARs in the parallel path seed from the epoch plan's boundary
+        # checkpoints (exactly like sequential ARs seed from the CR's
+        # periodic store, §4.6); the reference resolution must use the
+        # same anchors to be comparable verdict-for-verdict.
+        reference = resolve_alarms_parallel(spec, recording.log,
+                                            seq.pending_alarms,
+                                            store=recording.epoch_plan.store,
+                                            backend="thread")
+        assert [(v.kind, v.alarm.icount) for v in par.resolution.verdicts] \
+            == [(v.kind, v.alarm.icount) for v in reference.verdicts]
+
+
+class TestFaultPlans:
+    """Injected worker faults never change the stitched observables."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_transient_crash_is_retried(self, backend):
+        spec, recording = _record("apache", workers=4)
+        assert recording.epoch_plan.epochs > 1
+        seq, seq_digest, seq_state = _sequential(spec, recording.log)
+        plan = FaultPlan([FaultSpec(FaultKind.CRASH_WORKER, role="cr",
+                                    target=1)])
+        par = replay_parallel(spec, recording.log, recording.epoch_plan,
+                              max_workers=4, backend=backend,
+                              fault_plan=plan)
+        _assert_equivalent(par, seq, seq_digest, seq_state)
+
+    def test_hard_kill_falls_back_to_threads(self):
+        spec, recording = _record("apache", workers=4)
+        assert recording.epoch_plan.epochs > 2
+        seq, seq_digest, seq_state = _sequential(spec, recording.log)
+        plan = FaultPlan([FaultSpec(FaultKind.KILL_WORKER, role="cr",
+                                    target=2)])
+        par = replay_parallel(spec, recording.log, recording.epoch_plan,
+                              max_workers=4, backend="process",
+                              fault_plan=plan)
+        assert par.backend == "thread"
+        _assert_equivalent(par, seq, seq_digest, seq_state)
+
+    def test_persistent_crash_raises(self):
+        from repro.faults.plan import InjectedWorkerCrash
+
+        spec, recording = _record("apache", workers=4)
+        specs = [FaultSpec(FaultKind.CRASH_WORKER, role="cr", target=0,
+                           attempt=attempt) for attempt in range(8)]
+        with pytest.raises(InjectedWorkerCrash):
+            replay_parallel(spec, recording.log, recording.epoch_plan,
+                            max_workers=4, backend="thread",
+                            fault_plan=FaultPlan(specs))
+
+
+class TestWorkloadSoup:
+    """Hypothesis sweeps over randomized workload soups.
+
+    The recorder *is* the soup generator here: the drawn seed perturbs
+    task schedules, packet arrival timing, and payload contents, so each
+    example records a genuinely different nondeterministic session; the
+    drawn budget moves the epoch boundaries relative to interrupts,
+    context switches, and alarms.
+    """
+
+    @given(
+        name=st.sampled_from(WORKLOADS),
+        seed=st.integers(min_value=0, max_value=2 ** 16),
+        budget=st.integers(min_value=15_000, max_value=60_000),
+        workers=st.integers(min_value=1, max_value=8),
+    )
+    @settings(deadline=None, max_examples=12)
+    def test_parallel_matches_sequential(self, name, seed, budget, workers):
+        spec, recording = _record(name, budget=budget, workers=workers,
+                                  seed=seed)
+        seq, seq_digest, seq_state = _sequential(spec, recording.log)
+        par = replay_parallel(spec, recording.log, recording.epoch_plan,
+                              max_workers=workers, backend="thread")
+        _assert_equivalent(par, seq, seq_digest, seq_state)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2 ** 16),
+        target=st.integers(min_value=0, max_value=3),
+        kind=st.sampled_from([FaultKind.CRASH_WORKER, FaultKind.KILL_WORKER]),
+    )
+    @settings(deadline=None, max_examples=6)
+    def test_fault_soup_matches_sequential(self, seed, target, kind):
+        spec, recording = _record("apache", workers=4, seed=seed)
+        seq, seq_digest, seq_state = _sequential(spec, recording.log)
+        plan = FaultPlan([FaultSpec(kind, role="cr", target=target)])
+        par = replay_parallel(spec, recording.log, recording.epoch_plan,
+                              max_workers=4, backend="thread",
+                              fault_plan=plan)
+        _assert_equivalent(par, seq, seq_digest, seq_state)
+
+
+class TestTelemetryMerge:
+    """Per-epoch telemetry merges into one icount-ordered run snapshot."""
+
+    def test_epoch_counters_cover_all_epochs(self):
+        spec, recording = _record("apache", workers=4)
+        spec = dataclasses.replace(
+            spec, config=dataclasses.replace(spec.config, telemetry=True))
+        par = replay_parallel(spec, recording.log, recording.epoch_plan,
+                              max_workers=4, backend="thread")
+        assert par.telemetry is not None
+        counters = par.telemetry.metrics.counters
+        assert counters["parallel.epochs_replayed"][0] == par.epochs
+        spans = [span for span in par.telemetry.spans
+                 if span.name == "epoch"]
+        assert len(spans) == par.epochs
+        # Every epoch's span is present and their icount ranges tile the
+        # run (completion order may interleave; icounts identify them).
+        starts = sorted(span.begin_icount for span in spans)
+        assert starts == sorted(result.start_icount
+                                for result in par.epoch_results)
+
+
+class TestEpochPlanning:
+    """Unit coverage for the planner and the LPT makespan model."""
+
+    def test_boundaries_are_monotonic_and_interior(self):
+        for workers in range(1, 9):
+            boundaries = plan_epoch_boundaries(BUDGET, workers)
+            assert len(boundaries) <= workers - 1 if workers > 1 else \
+                boundaries == ()
+            assert list(boundaries) == sorted(set(boundaries))
+            assert all(0 < b < BUDGET for b in boundaries)
+
+    def test_single_worker_plans_nothing(self):
+        assert plan_epoch_boundaries(BUDGET, 1) == ()
+        assert plan_epoch_boundaries(1, 8) == ()
+
+    @given(
+        durations=st.lists(st.floats(min_value=0.001, max_value=10.0),
+                           min_size=1, max_size=32),
+        workers=st.integers(min_value=1, max_value=8),
+    )
+    @settings(deadline=None, max_examples=100)
+    def test_makespan_lpt_properties(self, durations, workers):
+        schedule = epoch_makespan(durations, workers)
+        total = sum(durations)
+        # A schedule can never beat either lower bound ...
+        assert schedule.makespan >= max(durations) - 1e-9
+        assert schedule.makespan >= total / workers - 1e-9
+        # ... nor lose to running everything on one worker.
+        assert schedule.makespan <= total + 1e-9
+        assert schedule.speedup <= workers + 1e-9
+        scheduled = sorted(index for lane in schedule.assignments
+                           for index in lane)
+        assert scheduled == list(range(len(durations)))
+
+    def test_makespan_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            epoch_makespan([1.0], 0)
+
+
+class TestResumePlan:
+    """Epoch plans rebuilt from a durable run store."""
+
+    def test_resume_plan_replays_equivalently(self, tmp_path):
+        from repro.core.parallel import record_and_replay_pipelined
+        from repro.rnr.session import SessionManifest
+        from repro.store import RunStoreWriter, recover_run
+
+        manifest = SessionManifest(benchmark="mysql", seed=2018,
+                                   attack=None, max_instructions=120_000)
+        spec = manifest.build_spec()
+        store = RunStoreWriter(str(tmp_path / "run"), manifest,
+                               fsync="never", frame_records=4)
+        record_and_replay_pipelined(
+            spec, RecorderOptions(max_instructions=120_000),
+            CheckpointingOptions(period_s=0.05),
+            backend="thread", frame_records=4, run_store=store,
+        )
+        resume = recover_run(tmp_path / "run")
+        assert resume.recording_complete
+        plan = resume.epoch_plan(spec, workers=4)
+        seq, seq_digest, seq_state = _sequential(spec, resume.log)
+        par = replay_parallel(spec, resume.log, plan, max_workers=4,
+                              backend="thread")
+        _assert_equivalent(par, seq, seq_digest, seq_state)
+
+    def test_persisted_checkpoints_avoid_breakpoint_pcs(self, tmp_path):
+        """The CR's deferral rule: no durable checkpoint may be parked on
+        a kernel interposition breakpoint (its one-shot skip arm is not
+        part of ``CpuState``, so restoring there would re-run the
+        handler)."""
+        import json
+
+        from repro.rnr.session import SessionManifest
+        from repro.store import MANIFEST_NAME, RunStoreWriter
+        from repro.core.parallel import record_and_replay_pipelined
+
+        manifest = SessionManifest(benchmark="apache", seed=2018,
+                                   attack=None, max_instructions=120_000)
+        spec = manifest.build_spec()
+        store = RunStoreWriter(str(tmp_path / "run"), manifest,
+                               fsync="never", frame_records=4)
+        record_and_replay_pipelined(
+            spec, RecorderOptions(max_instructions=120_000),
+            CheckpointingOptions(period_s=0.05),
+            backend="thread", frame_records=4, run_store=store,
+        )
+        body = json.loads(
+            (tmp_path / "run" / MANIFEST_NAME).read_text())["body"]
+        entries = body["checkpoints"]
+        assert entries, "run produced no durable checkpoints"
+        kernel = spec.kernel
+        forbidden = {kernel.switch_sp_pc, kernel.task_create_pc,
+                     kernel.task_exit_pc}
+        for entry in entries:
+            assert entry["pc"] not in forbidden
+
+
+class TestFrameworkIntegration:
+    """cr_workers plumbing through RnRSafe and the epoch plan surface."""
+
+    def test_rnrsafe_parallel_run_matches_sequential(self):
+        from repro.core.framework import RnRSafe, RnRSafeOptions
+
+        recorder = RecorderOptions(max_instructions=BUDGET)
+        sequential = RnRSafe(small_workload("apache"), RnRSafeOptions(
+            recorder=recorder, cr_workers=1,
+            checkpointing=SEQ_OPTIONS)).run()
+        parallel = RnRSafe(small_workload("apache"), RnRSafeOptions(
+            recorder=recorder, cr_workers=4,
+            checkpointing=SEQ_OPTIONS)).run()
+        seq_cr = sequential.checkpointing
+        par_cr = parallel.checkpointing
+        assert par_cr.alarms_seen == seq_cr.alarms_seen
+        assert par_cr.dismissed_underflows == seq_cr.dismissed_underflows
+        assert par_cr.alarm_cycles == seq_cr.alarm_cycles
+        assert par_cr.pending_alarms == seq_cr.pending_alarms
+
+    def test_plan_round_trips_through_bytes(self):
+        """A process worker rebuilds the log from bytes; the plan's seeds
+        must address the rebuilt log identically."""
+        from repro.rnr.log import InputLog
+
+        spec, recording = _record("apache", workers=4)
+        rebuilt = InputLog.from_bytes(recording.log.to_bytes())
+        seq, seq_digest, seq_state = _sequential(spec, recording.log)
+        par = replay_parallel(spec, rebuilt, recording.epoch_plan,
+                              max_workers=4, backend="thread")
+        _assert_equivalent(par, seq, seq_digest, seq_state)
