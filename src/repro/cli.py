@@ -14,7 +14,11 @@ Subcommands mirror the deployment's moving parts:
   or wedged sessions from their durable run stores);
 * ``resume``  — continue an interrupted durable run (``--store``) from
   whatever its crash-safe store recovers;
-* ``fsck``    — validate a run store's CRCs and print its resume plan;
+* ``fsck``    — validate a run store's CRCs and print its resume plan
+  (exit 0 clean / 1 recoverable / 2 corrupt; ``--json`` for CI);
+* ``diff``    — compare two recorded runs (sessions or run stores) and
+  pin their first semantic divergence, bisecting silent state
+  divergences to an exact instruction from the store's checkpoints;
 * ``stats``   — run one pipelined session with telemetry on and print the
   per-phase/per-metric tables (``--prom`` for Prometheus text,
   ``--trace`` to save a Chrome trace);
@@ -212,14 +216,58 @@ def _cmd_resume(args) -> int:
 
 def _cmd_fsck(args) -> int:
     from repro.errors import LogError
-    from repro.store import fsck_run
+    from repro.store import FsckReport, fsck_report, fsck_run
 
     try:
-        print(fsck_run(args.store))
+        report = fsck_report(args.store)
     except LogError as exc:
-        print(f"fsck: {exc}", file=sys.stderr)
-        return 1
-    return 0
+        # Manifest-level damage (or not a run store at all): recovery
+        # cannot even produce a resume point.  Exit 2 distinguishes this
+        # from exit 1's "damaged but resumable".
+        report = FsckReport(status="corrupt", path=str(args.store),
+                            notes=(str(exc),), exit_code=2)
+        if args.json:
+            print(report.canonical_json())
+        else:
+            print(f"fsck: {exc}", file=sys.stderr)
+        return report.exit_code
+    if args.json:
+        print(report.canonical_json())
+    else:
+        print(fsck_run(args.store))
+        if report.status != "clean":
+            print(f"status: {report.status}")
+    return report.exit_code
+
+
+def _cmd_diff(args) -> int:
+    from repro.diffing import diff_runs, resolve_rules, RunSource
+    from repro.errors import LogError
+    from repro.obs.telemetry import Telemetry
+
+    try:
+        rules = resolve_rules(args.ignore or ())
+        source_a = RunSource.open(args.run_a)
+        source_b = RunSource.open(args.run_b)
+    except LogError as exc:
+        print(f"diff: {exc}", file=sys.stderr)
+        return 2
+    report = diff_runs(
+        source_a, source_b,
+        rules=rules,
+        context=args.context,
+        bisect=not args.no_bisect,
+        telemetry=Telemetry.for_tool("diff"),
+    )
+    if args.json:
+        print(report.canonical_json())
+    else:
+        print(report.render())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as sink:
+            sink.write(report.canonical_json())
+            sink.write("\n")
+    return report.exit_code
 
 
 def _cmd_stats(args) -> int:
@@ -516,7 +564,35 @@ def build_parser() -> argparse.ArgumentParser:
         "fsck", help="validate a run store and describe its resume plan",
     )
     fsck.add_argument("store", metavar="DIR", help="run-store directory")
+    fsck.add_argument("--json", action="store_true",
+                      help="print the machine-readable health report "
+                           "(canonical JSON) instead of prose")
     fsck.set_defaults(func=_cmd_fsck)
+
+    diff = sub.add_parser(
+        "diff", help="compare two recorded runs and pin their first "
+                     "divergence (exit 0 parity / 1 diverged / 2 error)",
+    )
+    diff.add_argument("run_a", metavar="RUN_A",
+                      help="session file or run-store directory")
+    diff.add_argument("run_b", metavar="RUN_B",
+                      help="session file or run-store directory")
+    diff.add_argument("--ignore", action="append", metavar="RULE",
+                      help="ignore-rule name (repeatable): timestamps, "
+                           "entropy, sentinels, end-digest, markers")
+    diff.add_argument("--context", type=int, default=3, metavar="N",
+                      help="records of surrounding context captured per "
+                           "side of a divergence (default: 3)")
+    diff.add_argument("--no-bisect", action="store_true",
+                      help="skip checkpoint-seeded bisection of state "
+                           "divergences (report the sentinel window only)")
+    diff.add_argument("--json", action="store_true",
+                      help="print the DiffReport as canonical JSON "
+                           "instead of the human rendering")
+    diff.add_argument("--report", metavar="FILE",
+                      help="also write the canonical-JSON DiffReport "
+                           "to FILE")
+    diff.set_defaults(func=_cmd_diff)
 
     fleet = sub.add_parser(
         "fleet", help="run many independent sessions across a worker pool",

@@ -1,0 +1,64 @@
+"""Run-diff and divergence forensics (``repro diff``).
+
+Given two recorded runs — session files or durable run stores — find
+the first *semantic* divergence between them: an aligned O(n) walk over
+the record streams for input divergences, and a checkpoint-seeded
+bisection of the sentinel window for silent state divergences.  The
+result is a :class:`~repro.diffing.report.DiffReport` whose rendering
+ends in the CI-greppable ``REPLAY PARITY: TRUE``/``FALSE`` line.
+"""
+
+from repro.diffing.bisect import (
+    BisectResult,
+    ProbeState,
+    ReplayProbe,
+    StateDelta,
+    bisect_window,
+    chain_divergence,
+    state_delta,
+)
+from repro.diffing.engine import diff_logs, diff_runs
+from repro.diffing.ignore import (
+    BUILTIN_RULES,
+    IgnoreRule,
+    IgnoreRuleSet,
+    resolve_rules,
+)
+from repro.diffing.report import (
+    EXIT_DIVERGED,
+    EXIT_ERROR,
+    EXIT_PARITY,
+    DiffReport,
+)
+from repro.diffing.sources import RunSource
+from repro.diffing.walk import (
+    DEFAULT_CONTEXT,
+    Divergence,
+    WalkResult,
+    walk_aligned,
+)
+
+__all__ = [
+    "BUILTIN_RULES",
+    "BisectResult",
+    "DEFAULT_CONTEXT",
+    "DiffReport",
+    "Divergence",
+    "EXIT_DIVERGED",
+    "EXIT_ERROR",
+    "EXIT_PARITY",
+    "IgnoreRule",
+    "IgnoreRuleSet",
+    "ProbeState",
+    "ReplayProbe",
+    "RunSource",
+    "StateDelta",
+    "WalkResult",
+    "bisect_window",
+    "chain_divergence",
+    "diff_logs",
+    "diff_runs",
+    "resolve_rules",
+    "state_delta",
+    "walk_aligned",
+]

@@ -1,0 +1,386 @@
+"""Checkpoint-seeded bisection: pin a state divergence to an instruction.
+
+The aligned walk can only say *that* two executions silently diverged
+inside a sentinel window — identical inputs, different digests.  This
+module narrows the window to the exact instruction by binary search over
+instruction counts, where each probe is a **partial replay seeded from
+the run store's checkpoint chain** (the same restore-and-run-bounded
+pattern :func:`repro.replay.epoch.replay_epoch` uses: COW page/block
+reconstruction, then ``run(max_instructions=t)``), never a re-record and
+never a replay from instruction zero when a usable checkpoint precedes
+the probe point.
+
+Each side of the comparison is a :class:`ReplayProbe` — an oracle for
+"the machine state this run had at instruction ``t``".  The engine only
+compares probes against each other, so any systematic stop-semantics
+choice (probes stop *before* applying records due exactly at ``t``)
+cancels out.  Probes at a checkpoint's exact icount re-seed from a
+strictly earlier checkpoint for the same reason: a restored snapshot and
+a replayed-to-``t`` machine could legally disagree about boundary-due
+records, and the comparison must never manufacture a divergence.
+
+``seed_limit`` models the forensic scenario: the diverging run's
+checkpoints *inside* the window embody the corruption being hunted, so
+its probe is pinned to seeds at or before the window start and replays
+forward through the divergence point — which is also what keeps a
+``perturb`` hook (tests: synthetic mid-window corruption; field use: a
+reproducibly-divergent backend) on the replay path of every probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.state import CpuState
+from repro.errors import LogError
+from repro.hypervisor.machine import MachineSpec
+from repro.obs.telemetry import Telemetry
+from repro.replay.checkpointing import (
+    CheckpointingOptions,
+    CheckpointingReplayer,
+)
+from repro.rnr.log import InputLog
+
+#: Per-page word deltas reported before truncating (keeps reports small).
+MAX_PAGE_DELTAS = 8
+
+
+@dataclass(frozen=True)
+class ProbeState:
+    """Architectural state observed at one probe point."""
+
+    icount: int
+    #: ``GuestMachine.fast_digest`` — registers + every mapped page.
+    digest: int
+    cpu_state: CpuState
+    #: Page snapshots (only captured for the final delta report).
+    pages: dict | None = None
+
+
+@dataclass(frozen=True)
+class PageDelta:
+    """One memory page that differs between the two states."""
+
+    page: int
+    #: Word offsets within the page that differ (first few).
+    words: tuple[int, ...]
+    values_a: tuple[int, ...]
+    values_b: tuple[int, ...]
+    differing: int
+
+    def to_json(self) -> dict:
+        return {
+            "page": self.page,
+            "words": list(self.words),
+            "values_a": list(self.values_a),
+            "values_b": list(self.values_b),
+            "differing": self.differing,
+        }
+
+
+@dataclass(frozen=True)
+class StateDelta:
+    """The first-diverging architectural state, side by side."""
+
+    registers: dict[str, tuple[int, int]]
+    flags: dict[str, tuple]
+    pages: tuple[PageDelta, ...]
+
+    def to_json(self) -> dict:
+        return {
+            "registers": {name: list(pair)
+                          for name, pair in sorted(self.registers.items())},
+            "flags": {name: list(pair)
+                      for name, pair in sorted(self.flags.items())},
+            "pages": [delta.to_json() for delta in self.pages],
+        }
+
+
+@dataclass(frozen=True)
+class BisectResult:
+    """Outcome of a window bisection."""
+
+    #: First instruction count at which the two runs' states differ.
+    icount: int
+    #: Largest probed instruction count where they still agreed.
+    last_equal_icount: int
+    delta: StateDelta
+    probes: int
+    #: Checkpoint icounts the probes were seeded from (0 = from scratch).
+    seed_icounts: tuple[int, ...]
+    instructions_replayed: int
+
+    def to_json(self) -> dict:
+        return {
+            "icount": self.icount,
+            "last_equal_icount": self.last_equal_icount,
+            "delta": self.delta.to_json(),
+            "probes": self.probes,
+            "seed_icounts": list(self.seed_icounts),
+            "instructions_replayed": self.instructions_replayed,
+        }
+
+
+class ReplayProbe:
+    """A state-at-instruction oracle over one run.
+
+    ``store`` is the run's checkpoint chain
+    (:class:`~repro.replay.checkpoint.CheckpointStore`); probes seed
+    from the latest *usable* checkpoint strictly before the probe point
+    (and at or before ``seed_limit`` when set).  ``perturb`` is an
+    optional ``fn(machine)`` applied when the replay crosses
+    ``perturb_icount`` — the hook that makes a hypothetical diverging
+    execution reproducible enough to bisect.
+    """
+
+    def __init__(self, spec: MachineSpec, log: InputLog, store=None,
+                 seed_limit: int | None = None,
+                 perturb=None, perturb_icount: int | None = None,
+                 telemetry: Telemetry | None = None):
+        if (perturb is None) != (perturb_icount is None):
+            raise LogError(
+                "perturb and perturb_icount must be set together")
+        self.spec = spec
+        self.log = log
+        self.store = store
+        self.seed_limit = seed_limit
+        self.perturb = perturb
+        self.perturb_icount = perturb_icount
+        self.telemetry = telemetry
+        self.probes = 0
+        self.instructions_replayed = 0
+        self.seed_icounts: list[int] = []
+        self._cache: dict[int, ProbeState] = {}
+        self._usable = self._usable_checkpoints()
+
+    def _usable_checkpoints(self):
+        """Checkpoints safe to restore mid-run, ascending by icount.
+
+        Mirrors :func:`repro.replay.epoch.epoch_plan_from_resume`'s
+        filter: a checkpoint whose pc sits on a kernel breakpoint was
+        captured with a one-shot skip armed that ``CpuState`` cannot
+        carry, so restoring there would re-fire the handler.
+        """
+        if self.store is None:
+            return ()
+        kernel = self.spec.kernel
+        breakpoint_pcs = {kernel.switch_sp_pc, kernel.task_create_pc,
+                          kernel.task_exit_pc}
+        usable = []
+        for checkpoint in self.store.all():
+            if checkpoint.cpu_state.pc in breakpoint_pcs:
+                continue
+            if checkpoint.icount <= 0 or checkpoint.log_position <= 0:
+                continue
+            if checkpoint.log_position > len(self.log):
+                continue
+            if usable and checkpoint.icount <= usable[-1].icount:
+                continue
+            usable.append(checkpoint)
+        return tuple(usable)
+
+    def _seed_for(self, icount: int):
+        """Latest usable checkpoint strictly before ``icount``."""
+        limit = icount if self.seed_limit is None else min(
+            icount, self.seed_limit + 1)
+        best = None
+        for checkpoint in self._usable:
+            if checkpoint.icount < limit:
+                best = checkpoint
+            else:
+                break
+        return best
+
+    def state_at(self, icount: int, want_pages: bool = False) -> ProbeState:
+        """The run's architectural state after ``icount`` instructions."""
+        cached = self._cache.get(icount)
+        if cached is not None and (cached.pages is not None
+                                   or not want_pages):
+            return cached
+        tel = self.telemetry
+        token = (tel.begin("probe", "diff", icount, target=icount)
+                 if tel is not None else None)
+        replayer = CheckpointingReplayer(
+            self.spec, self.log,
+            CheckpointingOptions(period_s=None, verify_digest=False),
+        )
+        seed = self._seed_for(icount)
+        start = 0
+        if seed is not None:
+            replayer.restore_checkpoint(seed, self.store)
+            start = seed.icount
+        self.seed_icounts.append(start)
+        machine = replayer.machine
+        if (self.perturb is not None
+                and start <= self.perturb_icount <= icount):
+            if self.perturb_icount > start:
+                replayer.run(max_instructions=self.perturb_icount)
+            self.perturb(machine)
+            if icount > machine.cpu.icount:
+                replayer.run(max_instructions=icount)
+        elif icount > start:
+            replayer.run(max_instructions=icount)
+        self.probes += 1
+        self.instructions_replayed += machine.cpu.icount - start
+        state = ProbeState(
+            icount=icount,
+            digest=machine.fast_digest(),
+            cpu_state=machine.cpu.capture_state(),
+            pages=(machine.memory.snapshot_pages(
+                machine.memory.mapped_pages()) if want_pages else None),
+        )
+        self._cache[icount] = state
+        if tel is not None:
+            tel.count("diff.probes")
+            tel.count("diff.instructions_replayed",
+                      machine.cpu.icount - start)
+            tel.end(token, machine.cpu.icount, seed=start)
+        return state
+
+
+def state_delta(state_a: ProbeState, state_b: ProbeState) -> StateDelta:
+    """Field-by-field register/flag/page comparison of two states."""
+    cpu_a, cpu_b = state_a.cpu_state, state_b.cpu_state
+    registers = {
+        f"r{index}": (va, vb)
+        for index, (va, vb) in enumerate(zip(cpu_a.regs, cpu_b.regs))
+        if va != vb
+    }
+    if cpu_a.pc != cpu_b.pc:
+        registers["pc"] = (cpu_a.pc, cpu_b.pc)
+    flags = {
+        name: (getattr(cpu_a, name), getattr(cpu_b, name))
+        for name in ("zero", "negative", "user", "int_enabled", "halted",
+                     "icount")
+        if getattr(cpu_a, name) != getattr(cpu_b, name)
+    }
+    pages = []
+    pages_a = state_a.pages or {}
+    pages_b = state_b.pages or {}
+    for index in sorted(set(pages_a) | set(pages_b)):
+        page_a = pages_a.get(index, ())
+        page_b = pages_b.get(index, ())
+        if page_a == page_b:
+            continue
+        if len(page_a) != len(page_b):
+            words = tuple(range(min(len(page_a), len(page_b),
+                                    MAX_PAGE_DELTAS)))
+            differing = max(len(page_a), len(page_b))
+        else:
+            offsets = [offset for offset, (wa, wb)
+                       in enumerate(zip(page_a, page_b)) if wa != wb]
+            words = tuple(offsets[:MAX_PAGE_DELTAS])
+            differing = len(offsets)
+        pages.append(PageDelta(
+            page=index,
+            words=words,
+            values_a=tuple(page_a[word] if word < len(page_a) else 0
+                           for word in words),
+            values_b=tuple(page_b[word] if word < len(page_b) else 0
+                           for word in words),
+            differing=differing,
+        ))
+    return StateDelta(registers=registers, flags=flags,
+                      pages=tuple(pages))
+
+
+def bisect_window(probe_a: ReplayProbe, probe_b: ReplayProbe,
+                  window: tuple[int, int],
+                  telemetry: Telemetry | None = None,
+                  ) -> BisectResult | None:
+    """Binary-search ``window`` for the first diverging instruction.
+
+    Returns ``None`` when the two runs agree at the window's end — no
+    divergence to pin (the backend-parity gate).  Invariant maintained:
+    states agree at ``lo``, disagree at ``hi``; each probe is a
+    checkpoint-seeded partial replay, so the search costs
+    O(log(window) · window-replay), never a full re-record.
+    """
+    lo, hi = window
+    if hi < lo:
+        raise LogError(f"bisection window {window} is inverted")
+    tel = telemetry
+    token = (tel.begin("bisect", "diff", lo, lo=lo, hi=hi)
+             if tel is not None else None)
+    probes_before = probe_a.probes + probe_b.probes
+    try:
+        if probe_a.state_at(hi).digest == probe_b.state_at(hi).digest:
+            return None
+        if probe_a.state_at(lo).digest != probe_b.state_at(lo).digest:
+            # The window start itself already disagrees: the divergence
+            # predates the window; report it at lo with no verified
+            # agreement point.
+            lo_equal = -1
+            hi = lo
+        else:
+            lo_equal = lo
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                if (probe_a.state_at(mid).digest
+                        == probe_b.state_at(mid).digest):
+                    lo = mid
+                    lo_equal = mid
+                else:
+                    hi = mid
+        final_a = probe_a.state_at(hi, want_pages=True)
+        final_b = probe_b.state_at(hi, want_pages=True)
+        return BisectResult(
+            icount=hi,
+            last_equal_icount=lo_equal,
+            delta=state_delta(final_a, final_b),
+            probes=probe_a.probes + probe_b.probes - probes_before,
+            seed_icounts=tuple(sorted(set(probe_a.seed_icounts)
+                                      | set(probe_b.seed_icounts))),
+            instructions_replayed=(probe_a.instructions_replayed
+                                   + probe_b.instructions_replayed),
+        )
+    finally:
+        if tel is not None:
+            tel.end(token, hi)
+
+
+def checkpoint_digest(store, checkpoint) -> int:
+    """Digest of a persisted checkpoint's reconstructed full state.
+
+    Built from the COW-reconstructed page overlay plus the processor
+    state — comparable *only* against other values from this function
+    (both sides of a chain comparison), like ``fast_digest``.
+    """
+    import zlib
+
+    cpu = checkpoint.cpu_state
+    header = (
+        ",".join(str(reg) for reg in cpu.regs)
+        + f";{cpu.pc};{cpu.user};{cpu.int_enabled};{cpu.icount}"
+    ).encode()
+    crc = zlib.crc32(header)
+    pages = store.reconstruct_pages(checkpoint)
+    for index in sorted(pages):
+        crc = zlib.crc32(repr(pages[index]).encode(), crc)
+    return crc
+
+
+def chain_divergence(store_a, store_b) -> dict | None:
+    """Compare two persisted checkpoint chains at their common icounts.
+
+    Returns ``None`` when every icount-aligned pair reconstructs to the
+    same state; otherwise a JSON-ready summary with the evidence window
+    ``(last agreeing checkpoint icount, first disagreeing one)`` — the
+    checkpoint-granular answer available when the diverging run's
+    execution cannot be reproduced, only its persisted snapshots read.
+    """
+    by_icount_a = {c.icount: c for c in store_a.all()}
+    by_icount_b = {c.icount: c for c in store_b.all()}
+    common = sorted(set(by_icount_a) & set(by_icount_b))
+    last_equal = 0
+    for icount in common:
+        if (checkpoint_digest(store_a, by_icount_a[icount])
+                != checkpoint_digest(store_b, by_icount_b[icount])):
+            return {
+                "window": [last_equal, icount],
+                "first_diverged_checkpoint": icount,
+                "last_equal_checkpoint": last_equal,
+                "compared": len(common),
+            }
+        last_equal = icount
+    return None

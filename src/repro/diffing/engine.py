@@ -1,0 +1,184 @@
+"""The run-diff engine: orchestrates walk → bisection → verdict.
+
+``diff_runs`` is the whole ``repro diff`` pipeline:
+
+1. Compare the two runs' session manifests (everything but the
+   execution backend, which is a performance knob, not semantics).
+   Different workloads → ``manifest-mismatch``; their record streams
+   would disagree trivially and uninformatively.
+2. Stream both record sequences through the O(n) aligned walk under the
+   active ignore rules.  An *input* divergence or *length* mismatch is
+   the verdict — the walk already pinned the first differing record.
+3. A *state* divergence (identical inputs, attestation digests
+   disagree) triggers the checkpoint-seeded bisection: partial replays
+   of both runs from their stores' checkpoint chains, binary-searching
+   the sentinel window to the exact diverging instruction.  When the
+   divergence is not reproducible by replay (both replays of identical
+   inputs agree — the recording environment itself misbehaved), the
+   persisted checkpoint chains are compared instead for
+   checkpoint-granular evidence.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CheckpointError, LogError, ReplayDivergenceError
+from repro.obs.telemetry import Telemetry
+
+from repro.diffing.bisect import ReplayProbe, bisect_window, chain_divergence
+from repro.diffing.ignore import IgnoreRuleSet
+from repro.diffing.report import (
+    DiffReport,
+    VERDICT_IDENTICAL,
+    VERDICT_INPUT,
+    VERDICT_LENGTH,
+    VERDICT_MANIFEST,
+    VERDICT_STATE,
+)
+from repro.diffing.sources import RunSource
+from repro.diffing.walk import DEFAULT_CONTEXT, WalkResult, walk_aligned
+
+_VERDICT_BY_KIND = {
+    "input": VERDICT_INPUT,
+    "state": VERDICT_STATE,
+    "length": VERDICT_LENGTH,
+}
+
+
+def diff_logs(records_a, records_b, rules: IgnoreRuleSet | None = None,
+              context: int = DEFAULT_CONTEXT) -> WalkResult:
+    """Aligned walk over two bare record iterables (no run framing).
+
+    The building block tests drive directly; ``diff_runs`` adds source
+    handling, bisection, and the report around the same walk.
+    """
+    return walk_aligned(records_a, records_b, rules=rules, context=context)
+
+
+def _manifests_compatible(source_a: RunSource, source_b: RunSource) -> bool:
+    """Same workload?  The execution backend is excluded deliberately:
+    recordings of one workload under ``interp`` and ``trace`` are exactly
+    the pairs backend-parity diffs exist to compare."""
+    a, b = source_a.session, source_b.session
+    return (a.benchmark, a.seed, a.attack, a.max_instructions) == \
+           (b.benchmark, b.seed, b.attack, b.max_instructions)
+
+
+def _checkpoint_store(source: RunSource):
+    """The source's durable checkpoint chain, if it has one."""
+    resume = source.resume()
+    if resume is None or resume.cr_state is None:
+        return None
+    store = resume.cr_state.store
+    return store if store is not None and len(store) else None
+
+
+def _bisect_state_divergence(report: DiffReport, source_a: RunSource,
+                             source_b: RunSource, window: tuple[int, int],
+                             telemetry: Telemetry | None) -> None:
+    """Pin a state divergence; mutates ``report`` with the findings."""
+    notes = []
+    try:
+        spec_a = source_a.session.build_spec()
+        spec_b = source_b.session.build_spec()
+        log_a = source_a.materialize()
+        log_b = source_b.materialize()
+        store_a = _checkpoint_store(source_a)
+        store_b = _checkpoint_store(source_b)
+        if store_a is None:
+            notes.append("run A has no checkpoint chain; its probes "
+                         "replay from instruction zero")
+        if store_b is None:
+            notes.append("run B has no checkpoint chain; its probes "
+                         "replay from instruction zero")
+        probe_a = ReplayProbe(spec_a, log_a, store=store_a,
+                              telemetry=telemetry)
+        # B's checkpoints inside the window may already embody the
+        # corruption being hunted — seed only from before the window.
+        probe_b = ReplayProbe(spec_b, log_b, store=store_b,
+                              seed_limit=window[0], telemetry=telemetry)
+        result = bisect_window(probe_a, probe_b, window,
+                               telemetry=telemetry)
+    except (LogError, ReplayDivergenceError, CheckpointError) as exc:
+        notes.append(f"bisection failed: {exc}")
+        report.notes = report.notes + tuple(notes)
+        return
+    if result is not None:
+        report.bisection = result.to_json()
+        report.notes = report.notes + tuple(notes)
+        return
+    # Both partial replays of the identical inputs agree: the divergence
+    # happened in the original recording environment, not in anything a
+    # replay reproduces.  Fall back to comparing the persisted chains.
+    notes.append("replays of both runs agree — the recorded attestation "
+                 "mismatch is not replay-reproducible (recording-side "
+                 "fault); comparing persisted checkpoint chains instead")
+    if store_a is not None and store_b is not None:
+        chain = chain_divergence(store_a, store_b)
+        if chain is not None:
+            report.bisection = {"checkpoint_chain": chain}
+            notes.append(
+                f"checkpoint chains diverge at icount "
+                f"{chain['first_diverged_checkpoint']} (evidence window "
+                f"{chain['window']})")
+        else:
+            notes.append("persisted checkpoint chains agree at every "
+                         "common icount")
+    report.notes = report.notes + tuple(notes)
+
+
+def diff_runs(source_a: RunSource, source_b: RunSource,
+              rules: IgnoreRuleSet | None = None,
+              context: int = DEFAULT_CONTEXT,
+              bisect: bool = True,
+              telemetry: Telemetry | None = None) -> DiffReport:
+    """Compare two runs end to end and return the verdict."""
+    rules = rules if rules is not None else IgnoreRuleSet()
+    tel = telemetry
+
+    if not _manifests_compatible(source_a, source_b):
+        return DiffReport(
+            verdict=VERDICT_MANIFEST,
+            run_a=source_a.describe(),
+            run_b=source_b.describe(),
+            ignore_rules=rules.names,
+            notes=("session manifests disagree on "
+                   "benchmark/seed/attack/max_instructions — these are "
+                   "different workloads, not divergent runs",),
+        )
+
+    token = (tel.begin("walk", "diff", 0) if tel is not None else None)
+    walk = walk_aligned(source_a.iter_records(), source_b.iter_records(),
+                        rules=rules, context=context)
+    if tel is not None:
+        tel.count("diff.records_compared", walk.compared)
+        tel.end(token, walk.compared)
+
+    divergence = walk.divergence
+    verdict = (VERDICT_IDENTICAL if divergence is None
+               else _VERDICT_BY_KIND[divergence.kind])
+    report = DiffReport(
+        verdict=verdict,
+        run_a=source_a.describe(),
+        run_b=source_b.describe(),
+        ignore_rules=rules.names,
+        rule_hits=walk.rule_hits,
+        records_a=walk.records_a,
+        records_b=walk.records_b,
+        compared=walk.compared,
+        attestations_matched=walk.attestations_matched,
+        divergence=divergence,
+        notes=tuple(f"A: {note}" for note in source_a.notes)
+              + tuple(f"B: {note}" for note in source_b.notes),
+    )
+
+    if (bisect and divergence is not None and divergence.kind == "state"
+            and divergence.window is not None):
+        _bisect_state_divergence(report, source_a, source_b,
+                                 divergence.window, telemetry)
+
+    if tel is not None:
+        tel.count_tagged("diff.verdicts", report.verdict)
+    # describe() may have learned checkpoint counts during bisection.
+    report.run_a = source_a.describe()
+    report.run_b = source_b.describe()
+    return report

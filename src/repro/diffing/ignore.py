@@ -1,0 +1,163 @@
+"""Pluggable ignore rules: what the run differ treats as non-semantic.
+
+Two recordings can legitimately disagree on metadata that does not feed
+the replayed execution's semantics — wall-clock reads when the runs come
+from different environments, attestation digests when only one side was
+recorded with sentinels, detector markers when detector configs differ.
+An :class:`IgnoreRule` names one such class of difference and says how to
+neutralize it: *skip* a record type entirely, or *normalize* a record by
+masking the non-semantic field before comparison.
+
+The rules are deliberately conservative by default: ``repro diff`` runs
+with an **empty** rule set, so every byte-level difference in the record
+stream is a reported divergence.  Rules are opted into by name
+(``--ignore timestamps``), and the report lists which rules were active
+and how many records each one touched — an ignore rule can hide a
+difference, but never silently.
+
+Frame boundaries need no rule: the aligned walk compares *records*, so
+two logs chunked into different frame sizes (or one framed v3, one flat
+v1) compare equal whenever their record streams do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.errors import LogError
+from repro.rnr.records import (
+    AlarmRecord,
+    EndRecord,
+    EvictRecord,
+    RdrandRecord,
+    RdtscRecord,
+    Record,
+    SentinelRecord,
+)
+
+
+@dataclass(frozen=True)
+class IgnoreRule:
+    """One named class of non-semantic difference.
+
+    ``skip`` drops matching records from the comparison entirely;
+    ``normalize`` maps a matching record to a masked stand-in (the
+    original record is still what reports show).  A rule may use either
+    or both mechanisms.
+    """
+
+    name: str
+    description: str
+    #: Record types removed from the walk before comparison.
+    skip: tuple[type, ...] = ()
+    #: Applied to every surviving record; returns the record to compare.
+    normalize: Callable[[Record], Record] | None = None
+
+    def apply(self, record: Record) -> Record | None:
+        """``None`` to drop the record, else the record to compare."""
+        if self.skip and isinstance(record, self.skip):
+            return None
+        if self.normalize is not None:
+            return self.normalize(record)
+        return record
+
+
+def _mask_rdtsc(record: Record) -> Record:
+    if isinstance(record, RdtscRecord):
+        return RdtscRecord(value=0)
+    return record
+
+
+def _mask_rdrand(record: Record) -> Record:
+    if isinstance(record, RdrandRecord):
+        return RdrandRecord(value=0)
+    return record
+
+
+def _mask_end_digest(record: Record) -> Record:
+    if isinstance(record, EndRecord) and record.digest:
+        return replace(record, digest=0)
+    return record
+
+
+#: The built-in rule vocabulary, by name (the ``--ignore`` choices).
+BUILTIN_RULES: dict[str, IgnoreRule] = {
+    rule.name: rule
+    for rule in (
+        IgnoreRule(
+            name="timestamps",
+            description="mask rdtsc values (wall-clock reads are "
+                        "environment, not input, across recordings)",
+            normalize=_mask_rdtsc,
+        ),
+        IgnoreRule(
+            name="entropy",
+            description="mask rdrand values (hardware entropy differs "
+                        "across recordings by design)",
+            normalize=_mask_rdrand,
+        ),
+        IgnoreRule(
+            name="sentinels",
+            description="drop divergence sentinels (heartbeat attestation "
+                        "records, e.g. when only one side recorded them)",
+            skip=(SentinelRecord,),
+        ),
+        IgnoreRule(
+            name="end-digest",
+            description="mask the End record's final state digest "
+                        "(execution length still compares)",
+            normalize=_mask_end_digest,
+        ),
+        IgnoreRule(
+            name="markers",
+            description="drop detector telemetry markers (evict + alarm "
+                        "records, e.g. across detector configurations)",
+            skip=(EvictRecord, AlarmRecord),
+        ),
+    )
+}
+
+
+class IgnoreRuleSet:
+    """An ordered collection of rules applied to every record.
+
+    Tracks per-rule hit counts so the diff report can show exactly how
+    much each rule hid (``hits`` maps rule name to records skipped or
+    masked).
+    """
+
+    def __init__(self, rules: tuple[IgnoreRule, ...] = ()):
+        self.rules = tuple(rules)
+        self.hits: dict[str, int] = {rule.name: 0 for rule in self.rules}
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(rule.name for rule in self.rules)
+
+    def filter(self, record: Record) -> Record | None:
+        """Apply every rule in order; ``None`` means the record is
+        excluded from comparison."""
+        current = record
+        for rule in self.rules:
+            result = rule.apply(current)
+            if result is None:
+                self.hits[rule.name] += 1
+                return None
+            if result is not current:
+                self.hits[rule.name] += 1
+            current = result
+        return current
+
+
+def resolve_rules(names) -> IgnoreRuleSet:
+    """Build a rule set from rule names; unknown names fail loudly."""
+    rules = []
+    for name in names:
+        rule = BUILTIN_RULES.get(name)
+        if rule is None:
+            known = ", ".join(sorted(BUILTIN_RULES))
+            raise LogError(
+                f"unknown ignore rule {name!r} (known rules: {known})")
+        rules.append(rule)
+    return IgnoreRuleSet(tuple(rules))

@@ -1,0 +1,164 @@
+"""The machine- and human-readable verdict of a run diff.
+
+:class:`DiffReport` is the single artifact ``repro diff`` produces: a
+JSON document with stable key ordering (the run store's canonical-JSON
+idiom, so two identical verdicts are byte-identical) and a human
+rendering whose **last line is always** ``REPLAY PARITY: TRUE`` or
+``REPLAY PARITY: FALSE`` — the line CI greps.
+
+Exit-code contract (see ``docs/FORENSICS.md``):
+
+* ``0`` — parity: the runs are semantically identical under the active
+  ignore rules.
+* ``1`` — divergence found (input, state, length, or manifest mismatch).
+* ``2`` — a run could not be read at all (missing path, corrupt
+  manifest, undecodable session header).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.diffing.walk import Divergence
+
+#: Bumped when the report's JSON shape changes incompatibly.
+REPORT_SCHEMA = 1
+
+EXIT_PARITY = 0
+EXIT_DIVERGED = 1
+EXIT_ERROR = 2
+
+#: Verdict strings, in increasing order of badness.
+VERDICT_IDENTICAL = "identical"
+VERDICT_INPUT = "input-divergence"
+VERDICT_STATE = "state-divergence"
+VERDICT_LENGTH = "length-mismatch"
+VERDICT_MANIFEST = "manifest-mismatch"
+
+_PARITY_VERDICTS = frozenset({VERDICT_IDENTICAL})
+
+
+@dataclass
+class DiffReport:
+    """Everything ``repro diff`` established about two runs."""
+
+    verdict: str
+    run_a: dict
+    run_b: dict
+    ignore_rules: tuple[str, ...] = ()
+    rule_hits: dict = field(default_factory=dict)
+    records_a: int = 0
+    records_b: int = 0
+    compared: int = 0
+    attestations_matched: int = 0
+    divergence: Divergence | None = None
+    #: ``BisectResult.to_json()`` when a state divergence was pinned.
+    bisection: dict | None = None
+    notes: tuple[str, ...] = ()
+
+    @property
+    def parity(self) -> bool:
+        return self.verdict in _PARITY_VERDICTS
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_PARITY if self.parity else EXIT_DIVERGED
+
+    def to_json(self) -> dict:
+        return {
+            "schema": REPORT_SCHEMA,
+            "verdict": self.verdict,
+            "parity": self.parity,
+            "run_a": self.run_a,
+            "run_b": self.run_b,
+            "ignore_rules": list(self.ignore_rules),
+            "rule_hits": dict(self.rule_hits),
+            "records_a": self.records_a,
+            "records_b": self.records_b,
+            "compared": self.compared,
+            "attestations_matched": self.attestations_matched,
+            "divergence": (self.divergence.to_json()
+                           if self.divergence is not None else None),
+            "bisection": self.bisection,
+            "notes": list(self.notes),
+        }
+
+    def canonical_json(self) -> str:
+        """Stable-key compact JSON (the run store's canonical idiom)."""
+        return json.dumps(self.to_json(), sort_keys=True,
+                          separators=(",", ":"))
+
+    # ------------------------------------------------------------------
+    # human rendering
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """Multi-line human report; last line is the parity verdict."""
+        lines = [
+            f"run A: {self.run_a.get('path')} "
+            f"[{self.run_a.get('kind')}, "
+            f"{self.run_a.get('benchmark')}/seed="
+            f"{self.run_a.get('seed')}]",
+            f"run B: {self.run_b.get('path')} "
+            f"[{self.run_b.get('kind')}, "
+            f"{self.run_b.get('benchmark')}/seed="
+            f"{self.run_b.get('seed')}]",
+            f"compared {self.compared} records "
+            f"(A: {self.records_a}, B: {self.records_b}; "
+            f"{self.attestations_matched} attestations matched)",
+        ]
+        if self.ignore_rules:
+            hits = ", ".join(f"{name}={self.rule_hits.get(name, 0)}"
+                             for name in self.ignore_rules)
+            lines.append(f"ignore rules: {hits}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        if self.divergence is not None:
+            lines.extend(self._render_divergence(self.divergence))
+        if self.bisection is not None:
+            lines.extend(self._render_bisection(self.bisection))
+        if self.verdict == VERDICT_MANIFEST:
+            lines.append("verdict: the runs describe different "
+                         "workloads — record streams not compared")
+        lines.append(f"REPLAY PARITY: {'TRUE' if self.parity else 'FALSE'}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _render_divergence(div: Divergence) -> list[str]:
+        lines = [f"first divergence: kind={div.kind} "
+                 f"icount={div.icount} "
+                 f"position A={div.position_a} B={div.position_b}",
+                 f"  {div.detail}"]
+        for label, payload in (("A", div.payload_a), ("B", div.payload_b)):
+            if payload is not None:
+                lines.append(f"  {label}: {json.dumps(payload, sort_keys=True)}")
+        for label, context in (("A", div.context_a), ("B", div.context_b)):
+            if context:
+                lines.append(f"  context {label} (before divergence):")
+                for entry in context:
+                    lines.append(
+                        f"    {json.dumps(entry, sort_keys=True)}")
+        if div.window is not None:
+            lines.append(f"  bisection window: icount "
+                         f"({div.window[0]}, {div.window[1]}]")
+        return lines
+
+    @staticmethod
+    def _render_bisection(bisection: dict) -> list[str]:
+        lines = [f"bisection: first diverging state at icount "
+                 f"{bisection['icount']} "
+                 f"(last agreement at {bisection['last_equal_icount']}; "
+                 f"{bisection['probes']} checkpoint-seeded probes, "
+                 f"{bisection['instructions_replayed']} instructions "
+                 f"replayed)"]
+        delta = bisection.get("delta") or {}
+        for name, pair in sorted((delta.get("registers") or {}).items()):
+            lines.append(f"  {name}: A={pair[0]} B={pair[1]}")
+        for name, pair in sorted((delta.get("flags") or {}).items()):
+            lines.append(f"  {name}: A={pair[0]} B={pair[1]}")
+        for page in delta.get("pages") or ():
+            lines.append(
+                f"  page {page['page']}: {page['differing']} words "
+                f"differ, first at offsets {page['words']}")
+        return lines

@@ -1,0 +1,245 @@
+"""Run sources: the things ``repro diff`` can compare.
+
+A *run* is either a session file (``repro record --out``, flat v1 or
+framed v2 body) or a durable run-store directory (``--store``: CRC'd
+manifest + v3 frame journal + checkpoint chain).  :class:`RunSource`
+normalizes both behind one interface:
+
+* ``iter_records()`` streams the record sequence in bounded memory —
+  frames are read chunk-by-chunk from disk, CRC/sequence-validated
+  through :class:`~repro.rnr.log.StreamingLogReader` (``retain_records=
+  False``), decoded, yielded, and dropped, so the aligned walk never
+  holds a whole multi-gigabyte journal;
+* ``materialize()`` loads the full log — only the bisection engine calls
+  it, and a bisection needs the log resident to replay from anyway;
+* ``resume()`` exposes a store's validated checkpoint chain (sessions
+  return ``None``).
+
+Journal damage follows ``recover_run``'s semantics: the valid frame
+prefix is the run, the dropped tail becomes a health note carried into
+the diff report (the same facts ``repro fsck --json`` reports).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.errors import LogCorruptionError, LogError
+from repro.rnr.log import InputLog, StreamingLogReader
+from repro.rnr.serialize import parse_frame_header, parse_record
+from repro.rnr.session import SessionManifest, load_session
+from repro.store.runstore import JOURNAL_NAME, MANIFEST_NAME, decode_manifest
+
+#: Bytes read from disk per chunk while streaming.
+READ_CHUNK = 1 << 20
+
+
+def _iter_frames(path: pathlib.Path, notes: list[str], strict: bool,
+                 start: int = 0):
+    """Yield complete frame byte-slices from a file, chunk by chunk.
+
+    ``strict=False`` (run-store journals) cuts a torn or corrupt tail at
+    the last whole frame and appends a note — byte-for-byte the
+    ``recover_run`` policy.  ``strict=True`` (framed session bodies)
+    raises instead: session files are written atomically, so damage is
+    damage.
+    """
+    buffer = bytearray()
+    with path.open("rb") as handle:
+        handle.seek(start)
+        eof = False
+        frames = 0
+        while True:
+            # Top up until the buffer holds at least one whole frame.
+            while not eof:
+                try:
+                    header, payload_start = parse_frame_header(buffer, 0)
+                except LogError:
+                    pass
+                else:
+                    if payload_start + header.payload_length <= len(buffer):
+                        break
+                chunk = handle.read(READ_CHUNK)
+                if not chunk:
+                    eof = True
+                    break
+                buffer.extend(chunk)
+            if eof and not buffer:
+                return
+            try:
+                header, payload_start = parse_frame_header(buffer, 0)
+                end = payload_start + header.payload_length
+                if end > len(buffer):
+                    raise LogCorruptionError(
+                        f"truncated frame: payload needs "
+                        f"{header.payload_length} bytes, only "
+                        f"{len(buffer) - payload_start} available")
+            except LogError as exc:
+                if strict:
+                    raise
+                notes.append(
+                    f"journal: dropped {len(buffer)} byte torn tail "
+                    f"after frame {frames} ({exc})")
+                return
+            yield bytes(buffer[:end])
+            del buffer[:end]
+            frames += 1
+
+
+def _stream_frames(path: pathlib.Path, notes: list[str], strict: bool,
+                   start: int = 0):
+    """Decode a frame file into records, validating CRCs + sequence."""
+    reader = StreamingLogReader(retain_records=False)
+    for frame in _iter_frames(path, notes, strict, start):
+        try:
+            records = reader.feed(frame)
+        except LogCorruptionError as exc:
+            if strict:
+                raise
+            # A payload CRC failure or sequence gap mid-file: nothing
+            # after it can be trusted (recover_run's rule).
+            notes.append(f"journal: dropped frames from "
+                         f"{len(reader.frames)} onward ({exc})")
+            return
+        yield from records
+
+
+def _stream_flat(data: bytes, offset: int):
+    """Decode a flat (v1) record stream without materializing a log."""
+    while offset < len(data):
+        record, offset = parse_record(data, offset)
+        yield record
+
+
+class RunSource:
+    """One comparable run: where it lives and how to read it."""
+
+    def __init__(self, path: str, kind: str, session: SessionManifest,
+                 label: str):
+        self.path = path
+        self.kind = kind
+        self.session = session
+        self.label = label
+        #: Health notes accumulated while reading (journal damage etc.).
+        self.notes: list[str] = []
+        self._resume = None
+        self._log: InputLog | None = None
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: str | pathlib.Path) -> "RunSource":
+        """Open a session file or a run-store directory (auto-detected)."""
+        target = pathlib.Path(path)
+        if target.is_dir() or (target / MANIFEST_NAME).exists():
+            raw = None
+            try:
+                raw = (target / MANIFEST_NAME).read_bytes()
+            except OSError:
+                pass
+            if raw is None:
+                raise LogError(
+                    f"{target} is a directory without a run-store "
+                    f"manifest — not a session file or run store")
+            body = decode_manifest(raw, str(target / MANIFEST_NAME))
+            session = SessionManifest.from_json(body["session"])
+            source = cls(str(target), "store", session,
+                         label=f"store:{target.name}")
+            return source
+        manifest, _ = _read_session_header(target)
+        return cls(str(target), "session", manifest,
+                   label=f"session:{target.name}")
+
+    # ------------------------------------------------------------------
+    # record access
+    # ------------------------------------------------------------------
+
+    def iter_records(self):
+        """Stream the run's records in bounded memory."""
+        if self._log is not None:
+            return iter(self._log.records())
+        if self.kind == "store":
+            return _stream_frames(
+                pathlib.Path(self.path) / JOURNAL_NAME, self.notes,
+                strict=False)
+        return self._iter_session_records()
+
+    def _iter_session_records(self):
+        target = pathlib.Path(self.path)
+        _, header = _read_session_header(target)
+        body_offset = 4 + header["length"]
+        if header["version"] == 2:
+            # Framed body: stream it like a journal, but strictly.
+            return _stream_frames(target, self.notes, strict=True,
+                                  start=body_offset)
+        data = target.read_bytes()
+        return _stream_flat(data, body_offset)
+
+    def materialize(self) -> InputLog:
+        """The full log, resident (bisection needs it to replay)."""
+        if self._log is None:
+            if self.kind == "store":
+                self._log = self.resume().log
+            else:
+                _, self._log = load_session(self.path)
+        return self._log
+
+    def resume(self):
+        """The store's validated resume point (``None`` for sessions)."""
+        if self.kind != "store":
+            return None
+        if self._resume is None:
+            from repro.store.recover import recover_run
+
+            self._resume = recover_run(self.path)
+        return self._resume
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """JSON-ready descriptor for the diff report."""
+        session = self.session
+        info = {
+            "path": self.path,
+            "kind": self.kind,
+            "benchmark": session.benchmark,
+            "seed": session.seed,
+            "attack": session.attack,
+            "max_instructions": session.max_instructions,
+            "exec_backend": session.exec_backend,
+            "notes": list(self.notes),
+        }
+        if self._resume is not None:
+            info["checkpoints"] = len(self._resume.chain_entries)
+            info["recording_complete"] = self._resume.recording_complete
+        return info
+
+
+def _read_session_header(path: pathlib.Path) -> tuple[SessionManifest, dict]:
+    """Parse just the session header (4-byte length + JSON manifest)."""
+    import json
+
+    try:
+        handle = path.open("rb")
+    except OSError as exc:
+        raise LogError(f"cannot open {path}: {exc}") from None
+    with handle:
+        prefix = handle.read(4)
+        if len(prefix) < 4:
+            raise LogError(f"{path} is not a session file")
+        length = int.from_bytes(prefix, "big")
+        raw = handle.read(length)
+        if len(raw) < length:
+            raise LogError(f"{path} is truncated")
+    try:
+        header = json.loads(raw.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise LogError(
+            f"{path} has an unreadable session header: {exc}") from None
+    manifest = SessionManifest.from_json(header)
+    return manifest, {"length": length,
+                      "version": header.get("version", 1)}

@@ -1,0 +1,241 @@
+"""The O(n) aligned walk: first semantic divergence of two record streams.
+
+Both inputs are plain record iterators (a materialized log, a streaming
+journal reader, a framed session body — the walk does not care), consumed
+in lockstep and never buffered beyond a small context ring, so diffing a
+multi-gigabyte journal holds only a handful of records at a time.
+
+Records travel on two tracks:
+
+* **semantic** records are the recorded inputs (rdtsc/rdrand/PIO/MMIO
+  values, interrupts, DMA landings, detector markers).  The first pair
+  that compares unequal after ignore-rule masking is an *input
+  divergence*: the two runs were fed different nondeterminism, and the
+  earlier record pins exactly where.
+* **attestation** records (sentinels, the End digest) are derived from
+  machine state.  When every semantic record matched but an attestation
+  digest does not, the recorded inputs were identical and the
+  *executions* silently diverged — a *state divergence*, bracketed to the
+  window since the last matching attestation, which is what the
+  checkpoint-seeded bisection engine (``repro.diffing.bisect``) narrows
+  to an exact instruction.
+
+Because the streams are compared strictly in order and a divergence stops
+the walk, the reported divergence is always the earliest true mismatch —
+an ignore rule can only remove records from comparison, never reorder it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from itertools import zip_longest
+
+from repro.rnr.records import (
+    Record,
+    is_async_record,
+    is_attestation_record,
+    record_kind,
+    record_payload,
+)
+
+from repro.diffing.ignore import IgnoreRuleSet
+
+#: Records of surrounding context captured on each side of a divergence.
+DEFAULT_CONTEXT = 3
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where the two runs disagree."""
+
+    #: ``"input"`` (recorded nondeterminism differs), ``"state"``
+    #: (identical inputs, attestation digests disagree), or ``"length"``
+    #: (one stream is a strict prefix of the other).
+    kind: str
+    #: Instruction count in effect at the diverging record (the record's
+    #: own icount for asynchronous records, the carried icount context
+    #: for synchronous ones).
+    icount: int
+    position_a: int | None
+    position_b: int | None
+    payload_a: dict | None
+    payload_b: dict | None
+    #: The raw records immediately before the divergence, per side.
+    context_a: tuple[dict, ...]
+    context_b: tuple[dict, ...]
+    #: ``(last agreed icount, first disagreeing icount)`` for state
+    #: divergences — the bisection window.  ``None`` otherwise.
+    window: tuple[int, int] | None
+    detail: str
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "icount": self.icount,
+            "position_a": self.position_a,
+            "position_b": self.position_b,
+            "payload_a": self.payload_a,
+            "payload_b": self.payload_b,
+            "context_a": list(self.context_a),
+            "context_b": list(self.context_b),
+            "window": list(self.window) if self.window else None,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class RecordView:
+    """One record as the walk sees it: place, context, masked form."""
+
+    position: int
+    icount: int
+    record: Record
+    compare: Record
+
+
+@dataclass
+class WalkResult:
+    """What the aligned walk established."""
+
+    divergence: Divergence | None
+    records_a: int
+    records_b: int
+    #: Tokens (post-ignore records) compared equal or unequal.
+    compared: int
+    #: Attestation records that matched (verified agreement points).
+    attestations_matched: int
+    #: Icount of the last matching attestation (0 = none matched).
+    last_attested_icount: int
+    rule_hits: dict[str, int]
+
+
+class _Side:
+    """Per-stream walk state: position, icount context, context ring."""
+
+    def __init__(self, records, rules: IgnoreRuleSet, context: int):
+        self._records = records
+        self._rules = rules
+        self.position = 0
+        self.icount = 0
+        self.ring: deque[dict] = deque(maxlen=max(context, 0))
+
+    def tokens(self):
+        for record in self._records:
+            if is_async_record(record):
+                self.icount = record.icount
+            view = RecordView(self.position, self.icount, record,
+                              self._rules.filter(record))
+            self.position += 1
+            if view.compare is None:
+                self._remember(view)
+                continue
+            yield view
+            self._remember(view)
+
+    def _remember(self, view: RecordView):
+        if self.ring.maxlen:
+            self.ring.append({"position": view.position,
+                              "icount": view.icount,
+                              **record_payload(view.record)})
+
+    def context(self) -> tuple[dict, ...]:
+        """The ring *excluding* the just-remembered diverging record."""
+        return tuple(self.ring)
+
+
+def walk_aligned(records_a, records_b,
+                 rules: IgnoreRuleSet | None = None,
+                 context: int = DEFAULT_CONTEXT) -> WalkResult:
+    """Compare two record streams; stop at the first divergence.
+
+    ``rules`` applies to both sides (hit counts aggregate).  The walk is
+    O(min(len(a), len(b))) record comparisons and O(context) memory on
+    top of whatever the iterators themselves hold.
+    """
+    rules = rules if rules is not None else IgnoreRuleSet()
+    side_a = _Side(records_a, rules, context)
+    side_b = _Side(records_b, rules, context)
+    compared = 0
+    attestations_matched = 0
+    last_attested = 0
+    divergence = None
+
+    for va, vb in zip_longest(side_a.tokens(), side_b.tokens()):
+        if va is None or vb is None:
+            present = vb if va is None else va
+            missing_side = "A" if va is None else "B"
+            divergence = Divergence(
+                kind="length",
+                icount=present.icount,
+                position_a=None if va is None else va.position,
+                position_b=None if vb is None else vb.position,
+                payload_a=(None if va is None
+                           else record_payload(va.record)),
+                payload_b=(None if vb is None
+                           else record_payload(vb.record)),
+                context_a=side_a.context(),
+                context_b=side_b.context(),
+                window=None,
+                detail=f"run {missing_side} ends after "
+                       f"{compared} compared records; the other run "
+                       f"continues with {record_kind(present.record)} "
+                       f"at icount {present.icount}",
+            )
+            break
+        compared += 1
+        if va.compare == vb.compare:
+            if is_attestation_record(va.record):
+                attestations_matched += 1
+                last_attested = va.icount
+            continue
+        both_attest = (is_attestation_record(va.record)
+                       and type(va.record) is type(vb.record))
+        if both_attest:
+            # Same attestation record, different digest (or the machines
+            # reached the k-th emission point at different icounts):
+            # the inputs up to here were identical, so the executions
+            # themselves diverged somewhere since the last verified
+            # agreement point.
+            window = (last_attested, min(va.icount, vb.icount))
+            divergence = Divergence(
+                kind="state",
+                icount=min(va.icount, vb.icount),
+                position_a=va.position,
+                position_b=vb.position,
+                payload_a=record_payload(va.record),
+                payload_b=record_payload(vb.record),
+                context_a=side_a.context(),
+                context_b=side_b.context(),
+                window=window,
+                detail=f"{record_kind(va.record)} digests disagree with "
+                       f"identical inputs up to this point — silent "
+                       f"execution divergence inside icount window "
+                       f"{window}",
+            )
+        else:
+            divergence = Divergence(
+                kind="input",
+                icount=va.icount,
+                position_a=va.position,
+                position_b=vb.position,
+                payload_a=record_payload(va.record),
+                payload_b=record_payload(vb.record),
+                context_a=side_a.context(),
+                context_b=side_b.context(),
+                window=None,
+                detail=f"record {va.position} differs: "
+                       f"{record_kind(va.record)} vs "
+                       f"{record_kind(vb.record)} at icount {va.icount}",
+            )
+        break
+
+    return WalkResult(
+        divergence=divergence,
+        records_a=side_a.position,
+        records_b=side_b.position,
+        compared=compared,
+        attestations_matched=attestations_matched,
+        last_attested_icount=last_attested,
+        rule_hits=dict(rules.hits),
+    )

@@ -55,6 +55,16 @@ class Telemetry:
             return None
         return cls(actor, heartbeat=heartbeat)
 
+    @classmethod
+    def for_tool(cls, actor: str) -> "Telemetry":
+        """An always-on instance for offline CLI tools (``repro diff``).
+
+        Forensic tools run outside any simulation — their spans and
+        counters cannot perturb cycle accounting, so there is no config
+        gate and no nil-sink path to preserve.
+        """
+        return cls(actor)
+
     # ------------------------------------------------------------------
     # metrics shorthands
     # ------------------------------------------------------------------

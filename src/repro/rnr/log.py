@@ -269,12 +269,22 @@ class StreamingLogReader:
     would.
     """
 
-    def __init__(self, start_index: int = 0):
+    def __init__(self, start_index: int = 0, retain_records: bool = True):
+        """``retain_records=False`` turns the reader into a pure pass-
+        through: sequence numbers, CRCs and the frame index are still
+        validated and built, but decoded records are only *returned* from
+        :meth:`feed`, never accumulated — a streaming consumer (the run
+        differ) can walk an arbitrarily large journal in bounded memory.
+        """
         if start_index < 0:
             raise LogError(
                 f"start_index must be >= 0, got {start_index}")
         self.start_index = start_index
+        self.retain_records = retain_records
         self.records: list[Record] = []
+        #: Records decoded so far (equals ``len(self.records)`` when
+        #: retaining; keeps the frame index's offsets honest when not).
+        self.records_seen = 0
         self.frames: list[FrameInfo] = []
         self._byte_offset = 0
         #: first_icounts parallel to ``frames`` (sorted; icounts are
@@ -290,7 +300,9 @@ class StreamingLogReader:
                 f"{len(frame) - end} trailing bytes"
             )
         self._index(header, len(frame))
-        self.records.extend(records)
+        if self.retain_records:
+            self.records.extend(records)
+        self.records_seen += len(records)
         return records
 
     def feed_stream(self, data: bytes, offset: int = 0) -> list[Record]:
@@ -299,7 +311,9 @@ class StreamingLogReader:
         while offset < len(data):
             header, records, next_offset = parse_frame(data, offset)
             self._index(header, next_offset - offset)
-            self.records.extend(records)
+            if self.retain_records:
+                self.records.extend(records)
+            self.records_seen += len(records)
             added.extend(records)
             offset = next_offset
         return added
@@ -321,7 +335,7 @@ class StreamingLogReader:
             )
         self.frames.append(FrameInfo(
             index=self.start_index + len(self.frames),
-            record_offset=len(self.records),
+            record_offset=self.records_seen,
             record_count=header.record_count,
             first_icount=header.first_icount,
             last_icount=header.last_icount,

@@ -154,6 +154,14 @@ _ASYNC_TYPES = (
     EndRecord,
 )
 
+#: Records that *attest* the execution rather than drive it: sentinel
+#: digests and the End record's final state digest are derived from the
+#: machine state, so when two logs disagree only here the divergence is in
+#: the executions, not in the recorded inputs.  ``repro.diffing`` compares
+#: them on a separate track (digest mismatch => state divergence window)
+#: from the semantic input records.
+_ATTESTATION_TYPES = (SentinelRecord, EndRecord)
+
 
 def is_async_record(record: Record) -> bool:
     """Whether replay applies this record at a pinned instruction count.
@@ -163,3 +171,32 @@ def is_async_record(record: Record) -> bool:
     count like the true asynchronous events.
     """
     return isinstance(record, _ASYNC_TYPES)
+
+
+def is_attestation_record(record: Record) -> bool:
+    """Whether this record carries a derived digest instead of an input."""
+    return isinstance(record, _ATTESTATION_TYPES)
+
+
+def record_kind(record: Record) -> str:
+    """Stable lowercase kind name for reports (``"rdtsc"``, ``"end"``...)."""
+    name = type(record).__name__
+    return name[:-len("Record")].lower() if name.endswith("Record") else name
+
+
+def record_payload(record: Record) -> dict:
+    """The record as a JSON-ready payload dict (kind plus its fields).
+
+    Enum fields flatten to their values and word tuples to lists, so the
+    result round-trips through ``json.dumps`` — the shape ``repro diff``
+    reports a divergence in.
+    """
+    payload: dict = {"kind": record_kind(record)}
+    for name in type(record).__slots__:
+        value = getattr(record, name)
+        if isinstance(value, RopAlarmKind):
+            value = value.value
+        elif isinstance(value, tuple):
+            value = list(value)
+        payload[name] = value
+    return payload

@@ -8,7 +8,13 @@ bit-identically to an uninterrupted run.  See ``docs/RELIABILITY.md``.
 """
 
 from repro.errors import StoreCorruptError
-from repro.store.recover import ResumePoint, fsck_run, recover_run
+from repro.store.recover import (
+    FsckReport,
+    ResumePoint,
+    fsck_report,
+    fsck_run,
+    recover_run,
+)
 from repro.store.runstore import (
     CHECKPOINT_DIR,
     JOURNAL_NAME,
@@ -23,6 +29,7 @@ from repro.store.runstore import (
 
 __all__ = [
     "CHECKPOINT_DIR",
+    "FsckReport",
     "JOURNAL_NAME",
     "MANIFEST_NAME",
     "RUN_STORE_MAGIC",
@@ -33,6 +40,7 @@ __all__ = [
     "canonical_body",
     "decode_manifest",
     "encode_manifest",
+    "fsck_report",
     "fsck_run",
     "recover_run",
 ]

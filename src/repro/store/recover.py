@@ -247,6 +247,72 @@ def recover_run(path: str | pathlib.Path) -> ResumePoint:
     )
 
 
+@dataclasses.dataclass(frozen=True)
+class FsckReport:
+    """Machine-readable health verdict for a run store.
+
+    ``status`` is the three-way contract ``repro fsck`` exposes as exit
+    codes: ``"clean"`` (exit 0 — every byte validated), ``"recoverable"``
+    (exit 1 — damage was found and cut, a resume still works), or
+    ``"corrupt"`` (exit 2 — manifest-level damage; the CLI builds this
+    variant from the :class:`~repro.errors.StoreCorruptError` since
+    recovery cannot even return a resume point).
+    """
+
+    status: str
+    path: str
+    notes: tuple[str, ...]
+    exit_code: int
+    resume: "ResumePoint | None" = None
+
+    def to_json(self) -> dict:
+        info: dict = {
+            "status": self.status,
+            "path": self.path,
+            "notes": list(self.notes),
+            "exit_code": self.exit_code,
+        }
+        if self.resume is not None:
+            resume = self.resume
+            info.update(
+                attempt=resume.attempt,
+                records=resume.records,
+                frames=resume.frames,
+                journal_bytes_valid=resume.journal_bytes_valid,
+                journal_bytes_total=resume.journal_bytes_total,
+                recording_complete=resume.recording_complete,
+                checkpoints=len(resume.chain_entries),
+                anchor_icount=resume.anchor_icount,
+                last_icount=resume.last_icount,
+            )
+        return info
+
+    def canonical_json(self) -> str:
+        import json
+
+        return json.dumps(self.to_json(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+def fsck_report(path: str | pathlib.Path) -> FsckReport:
+    """Validate a run store and classify it clean/recoverable.
+
+    Manifest-level damage still raises :class:`StoreCorruptError`
+    (status ``"corrupt"``, exit 2) — callers that want the three-way
+    verdict without exceptions catch it and build the report themselves,
+    which is what the CLI does.
+    """
+    resume = recover_run(path)
+    recoverable = bool(resume.notes)
+    return FsckReport(
+        status="recoverable" if recoverable else "clean",
+        path=resume.path,
+        notes=tuple(resume.notes),
+        exit_code=1 if recoverable else 0,
+        resume=resume,
+    )
+
+
 def fsck_run(path: str | pathlib.Path) -> str:
     """Human-readable health report for a run store (``repro fsck``).
 

@@ -1,0 +1,116 @@
+"""Regenerate the golden-trace corpus (run from the repo root).
+
+    PYTHONPATH=src python tests/golden/generate.py
+
+Each golden is one tiny recorded session — a workload the paper's
+pipeline exercises end to end (clean run, the three attack classes, a
+sentinel-dense recording, a durable run store) — plus ``expected.json``
+with every figure the parity tests assert: record/alarm counts, the
+SHA-256 of the serialized log bytes, the final state digest from the End
+record, and the alarm verdicts.
+
+The corpus is only regenerated deliberately (a wire-format or semantics
+change that is *supposed* to move the digests); the committed files are
+the contract.  ``test_golden_traces.py`` re-records every session under
+both execution backends and demands bit-identical logs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+
+from repro.core.parallel import _run_producer, resolve_alarms_parallel
+from repro.rnr.recorder import Recorder, RecorderOptions
+from repro.rnr.records import AlarmRecord, EndRecord
+from repro.rnr.session import SessionManifest, save_session
+from repro.store import RunStoreWriter
+
+#: The corpus: (name, benchmark, attack, budget, sentinel, framed, kind).
+GOLDENS = (
+    ("clean", "mysql", None, 150_000, 16, False, "session"),
+    ("rop", "apache", "rop", 1_000_000, 32, False, "session"),
+    ("jop", "apache", "jop", 1_000_000, 32, False, "session"),
+    ("dos", "apache", "dos", 1_000_000, 32, False, "session"),
+    ("sentinel", "make", None, 150_000, 8, True, "session"),
+    ("store", "fileio", None, 150_000, 16, False, "store"),
+)
+
+
+def _record(manifest: SessionManifest, sentinel: int):
+    spec = manifest.build_spec()
+    options = RecorderOptions(max_instructions=manifest.max_instructions,
+                              sentinel_records=sentinel)
+    return spec, options, Recorder(spec, options).run()
+
+
+def _verdicts(spec, log) -> list[str]:
+    alarms = [r for r in log.records() if isinstance(r, AlarmRecord)]
+    if not alarms:
+        return []
+    resolution = resolve_alarms_parallel(spec, log, alarms,
+                                         backend="thread", max_workers=2)
+    return [verdict.kind.value for verdict in resolution.verdicts]
+
+
+def generate() -> dict:
+    expected: dict = {}
+    for name, benchmark, attack, budget, sentinel, framed, kind in GOLDENS:
+        manifest = SessionManifest(benchmark=benchmark, seed=2018,
+                                   attack=attack, max_instructions=budget)
+        spec, options, run = _record(manifest, sentinel)
+        log_bytes = run.log.to_bytes()
+        end = run.log.records()[-1]
+        assert isinstance(end, EndRecord), f"{name}: no End record"
+        if kind == "store":
+            target = HERE / f"{name}.store"
+            store = RunStoreWriter(target, manifest,
+                                   frame_records=spec.config.frame_records)
+            # Re-produce through the streaming journal path so the store
+            # holds real write-ahead v3 frames (same bytes, same digests).
+            journaled, _ = _run_producer(spec, options,
+                                         spec.config.frame_records,
+                                         store.append_frame)
+            store.seal_log(journaled)
+            assert journaled.log.to_bytes() == log_bytes
+            path = target.name
+        else:
+            target = HERE / f"{name}.session"
+            save_session(target, manifest, run.log, framed=framed)
+            path = target.name
+        expected[name] = {
+            "path": path,
+            "kind": kind,
+            "benchmark": benchmark,
+            "seed": 2018,
+            "attack": attack,
+            "max_instructions": budget,
+            "sentinel_records": sentinel,
+            "framed": framed,
+            "records": len(run.log),
+            "alarms": run.metrics.alarms,
+            "stop_reason": run.stop_reason,
+            "log_sha256": hashlib.sha256(log_bytes).hexdigest(),
+            "final_digest": end.digest,
+            "verdicts": _verdicts(spec, run.log),
+        }
+        print(f"{name}: {len(run.log)} records, "
+              f"{expected[name]['alarms']} alarms, "
+              f"verdicts={expected[name]['verdicts']}")
+    return expected
+
+
+def main() -> int:
+    expected = generate()
+    out = HERE / "expected.json"
+    out.write_text(json.dumps(expected, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -377,3 +377,66 @@ class TestSystemEquivalence:
                 for v in resolution.verdicts
             ]
         assert verdicts["interp"] == verdicts["trace"]
+
+
+class TestBackendParityBisection:
+    """The run differ's bisection as a backend-equivalence gate: record
+    once, probe the same instruction counts under both backends, and the
+    binary search must come back empty-handed."""
+
+    def test_bisection_finds_no_divergence_across_backends(self):
+        """Probes under ``interp`` and ``trace`` — seeded from one shared
+        checkpoint store, with sentinels recorded — agree at every point
+        of the whole run, so ``bisect_window`` returns None."""
+        from repro.diffing import ReplayProbe, bisect_window
+        from repro.replay.checkpointing import (
+            CheckpointingOptions,
+            CheckpointingReplayer,
+        )
+        from repro.rnr.recorder import Recorder, RecorderOptions
+        from tests.conftest import small_workload
+
+        spec = small_workload("fileio")
+        run = Recorder(spec, RecorderOptions(max_instructions=120_000,
+                                             sentinel_records=16)).run()
+        store = CheckpointingReplayer(
+            spec, run.log, CheckpointingOptions(period_s=0.01),
+        ).run_to_end().store
+        assert len(store), "need checkpoints to seed the probes from"
+        end_icount = run.log.records()[-1].icount
+        probes = {
+            backend: ReplayProbe(_spec_with_backend(spec, backend),
+                                 run.log, store=store)
+            for backend in ("interp", "trace")
+        }
+        assert bisect_window(probes["interp"], probes["trace"],
+                             (0, end_icount)) is None
+        # The endpoint agreement check is one probe per side, each
+        # seeded from the shared store's checkpoints.
+        assert all(seed > 0 for probe in probes.values()
+                   for seed in probe.seed_icounts)
+
+    def test_diff_of_backend_recordings_reports_parity(self, tmp_path,
+                                                       capsys):
+        """``repro diff`` across one workload recorded under each backend
+        prints REPLAY PARITY: TRUE — the CLI face of bit-identity."""
+        from repro.cli import main as cli_main
+        from repro.rnr.recorder import Recorder, RecorderOptions
+        from repro.rnr.session import SessionManifest, save_session
+
+        logs = {}
+        for backend in ("interp", "trace"):
+            manifest = SessionManifest(benchmark="fileio", seed=2018,
+                                       attack=None,
+                                       max_instructions=120_000,
+                                       exec_backend=backend)
+            run = Recorder(manifest.build_spec(),
+                           RecorderOptions(max_instructions=120_000,
+                                           sentinel_records=16)).run()
+            path = tmp_path / f"{backend}.session"
+            save_session(path, manifest, run.log)
+            logs[backend] = path
+        code = cli_main(["diff", str(logs["interp"]), str(logs["trace"])])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.strip().endswith("REPLAY PARITY: TRUE")

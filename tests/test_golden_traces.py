@@ -1,0 +1,172 @@
+"""Golden-trace parity corpus: recorded sessions as a wire contract.
+
+``tests/golden/`` holds tiny recorded sessions covering the pipeline's
+load-bearing shapes — a clean run, the three attack classes, a
+sentinel-dense recording, a durable run store — with ``expected.json``
+pinning every replay-visible figure.  These tests are the regression
+tripwire for the record/replay wire format and semantics:
+
+* re-recording each golden's manifest under **both** execution backends
+  must reproduce the committed log bytes exactly (SHA-256);
+* replaying each golden under both backends must verify every digest and
+  reach the End record;
+* alarm verdicts must match the committed ones;
+* ``repro diff`` between a fresh re-recording and the committed golden
+  must report ``REPLAY PARITY: TRUE``.
+
+If one of these fails after an intentional format change, regenerate
+with ``PYTHONPATH=src python tests/golden/generate.py`` — and say so in
+the commit, because every digest moving is a compatibility break.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.diffing import RunSource, diff_runs
+from repro.replay import CheckpointingOptions, CheckpointingReplayer
+from repro.rnr.recorder import Recorder, RecorderOptions
+from repro.rnr.records import AlarmRecord, EndRecord
+from repro.rnr.session import SessionManifest, load_session, save_session
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+EXPECTED = json.loads((GOLDEN_DIR / "expected.json").read_text())
+
+BACKENDS = ("interp", "trace")
+
+
+def _manifest(expect: dict) -> SessionManifest:
+    return SessionManifest(
+        benchmark=expect["benchmark"],
+        seed=expect["seed"],
+        attack=expect["attack"],
+        max_instructions=expect["max_instructions"],
+    )
+
+
+def _spec_for(expect: dict, backend: str):
+    spec = _manifest(expect).build_spec()
+    return dataclasses.replace(
+        spec, config=dataclasses.replace(spec.config, exec_backend=backend))
+
+
+def _golden_log(expect: dict):
+    source = RunSource.open(GOLDEN_DIR / expect["path"])
+    return source.materialize()
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_golden_log_matches_committed_bytes(name):
+    """The committed file decodes to exactly the pinned record stream."""
+    expect = EXPECTED[name]
+    log = _golden_log(expect)
+    assert len(log) == expect["records"]
+    assert hashlib.sha256(log.to_bytes()).hexdigest() == expect["log_sha256"]
+    end = log.records()[-1]
+    assert isinstance(end, EndRecord)
+    assert end.digest == expect["final_digest"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_golden_rerecord_bit_identical(name, backend):
+    """Re-recording the manifest reproduces the committed bytes, on both
+    execution backends — the recording is a pure function of the spec."""
+    expect = EXPECTED[name]
+    spec = _spec_for(expect, backend)
+    run = Recorder(spec, RecorderOptions(
+        max_instructions=expect["max_instructions"],
+        sentinel_records=expect["sentinel_records"],
+    )).run()
+    assert run.stop_reason == expect["stop_reason"]
+    assert run.metrics.alarms == expect["alarms"]
+    assert (hashlib.sha256(run.log.to_bytes()).hexdigest()
+            == expect["log_sha256"])
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_golden_replays_verified(name, backend):
+    """Every golden replays to its End record with all digests verified,
+    under both execution backends."""
+    expect = EXPECTED[name]
+    log = _golden_log(expect)
+    replayer = CheckpointingReplayer(
+        _spec_for(expect, backend), log, CheckpointingOptions())
+    result = replayer.run_to_end()
+    assert result.replay.reached_end
+    assert result.replay.digest_checked
+    end = log.records()[-1]
+    assert replayer.machine.cpu.icount == end.icount
+
+
+@pytest.mark.parametrize("name", [n for n in sorted(EXPECTED)
+                                  if EXPECTED[n]["verdicts"]])
+def test_golden_verdicts(name):
+    """Alarm resolution over the golden log matches the pinned verdicts
+    (including the rop golden's confirmed hijacks)."""
+    from repro.core.parallel import resolve_alarms_parallel
+
+    expect = EXPECTED[name]
+    log = _golden_log(expect)
+    alarms = [r for r in log.records() if isinstance(r, AlarmRecord)]
+    resolution = resolve_alarms_parallel(
+        _spec_for(expect, "interp"), log, alarms,
+        backend="thread", max_workers=2)
+    assert [v.kind.value for v in resolution.verdicts] == expect["verdicts"]
+
+
+def test_rop_golden_confirms_the_attack():
+    """The corpus includes a true positive, not just benign alarms."""
+    assert "rop_confirmed" in EXPECTED["rop"]["verdicts"]
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_golden_diff_parity_against_rerecording(name, tmp_path, capsys):
+    """``repro diff`` between the committed golden and a fresh recording
+    of the same manifest is the CI parity gate in miniature."""
+    expect = EXPECTED[name]
+    spec = _spec_for(expect, "interp")
+    run = Recorder(spec, RecorderOptions(
+        max_instructions=expect["max_instructions"],
+        sentinel_records=expect["sentinel_records"],
+    )).run()
+    fresh = tmp_path / "fresh.session"
+    save_session(fresh, _manifest(expect), run.log)
+    code = cli_main(["diff", str(GOLDEN_DIR / expect["path"]), str(fresh)])
+    out = capsys.readouterr().out
+    assert out.strip().endswith("REPLAY PARITY: TRUE")
+    assert code == 0
+
+
+def test_golden_cross_workload_diff_is_manifest_mismatch():
+    """Different goldens are different workloads, not divergent runs."""
+    report = diff_runs(RunSource.open(GOLDEN_DIR / EXPECTED["clean"]["path"]),
+                       RunSource.open(GOLDEN_DIR / EXPECTED["rop"]["path"]))
+    assert report.verdict == "manifest-mismatch"
+    assert not report.parity
+    assert report.exit_code == 1
+
+
+def test_store_golden_is_clean_under_fsck(capsys):
+    """The durable-store golden passes ``repro fsck --json`` with exit 0."""
+    path = GOLDEN_DIR / EXPECTED["store"]["path"]
+    code = cli_main(["fsck", str(path), "--json"])
+    report = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert report["status"] == "clean"
+    assert report["recording_complete"] is True
+    assert report["records"] == EXPECTED["store"]["records"]
+
+
+def test_expected_json_is_exhaustive():
+    """Every committed golden artifact is covered by expected.json."""
+    on_disk = {p.name for p in GOLDEN_DIR.iterdir()
+               if p.suffix in (".session", ".store")}
+    assert on_disk == {e["path"] for e in EXPECTED.values()}

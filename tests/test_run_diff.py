@@ -1,0 +1,526 @@
+"""Run-diff forensics: the aligned walk, ignore rules, bisection, CLI.
+
+Three layers of assurance:
+
+* unit tests over synthetic record streams pin the walk's two-track
+  semantics (input vs attestation divergences, length mismatches,
+  ignore-rule masking);
+* a differential-fuzzing property mutates exactly one record of a real
+  recording through :class:`~repro.faults.plan.FaultPlan`'s
+  ``PERTURB_RECORD`` and demands the diff pin exactly that record —
+  position, icount, and payload — with no false divergence on
+  byte-identical or ignore-rule-only deltas;
+* the checkpoint-seeded bisection acceptance test corrupts machine state
+  at a synthetic mid-window instruction and demands the exact icount
+  back, using only run-store checkpoints (every probe seed > 0), under
+  both execution backends.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import json
+import shutil
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.cli import main as cli_main
+from repro.diffing import (
+    IgnoreRuleSet,
+    ReplayProbe,
+    RunSource,
+    bisect_window,
+    diff_logs,
+    diff_runs,
+    resolve_rules,
+)
+from repro.errors import LogError
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.replay import CheckpointingOptions, CheckpointingReplayer
+from repro.rnr.log import InputLog, StreamingLogWriter
+from repro.rnr.recorder import Recorder, RecorderOptions
+from repro.rnr.records import (
+    EndRecord,
+    InterruptRecord,
+    MmioReadRecord,
+    PioInRecord,
+    RdrandRecord,
+    RdtscRecord,
+    SentinelRecord,
+    is_async_record,
+)
+from repro.rnr.serialize import parse_frame
+from repro.rnr.session import SessionManifest, save_session
+
+
+# ---------------------------------------------------------------------------
+# synthetic streams: walk + ignore-rule semantics
+# ---------------------------------------------------------------------------
+
+def _stream():
+    return [
+        RdtscRecord(value=111),
+        InterruptRecord(icount=100, vector=3),
+        SentinelRecord(icount=150, digest=0xAA),
+        PioInRecord(port=1, value=7),
+        RdrandRecord(value=42),
+        SentinelRecord(icount=300, digest=0xBB),
+        EndRecord(icount=400, digest=5),
+    ]
+
+
+def test_identical_streams_have_no_divergence():
+    result = diff_logs(iter(_stream()), iter(_stream()))
+    assert result.divergence is None
+    assert result.compared == 7
+    assert result.attestations_matched == 3
+    assert result.last_attested_icount == 400
+
+
+def test_input_divergence_pins_position_and_icount():
+    mutated = _stream()
+    mutated[3] = PioInRecord(port=1, value=8)
+    result = diff_logs(iter(_stream()), iter(mutated))
+    div = result.divergence
+    assert div is not None and div.kind == "input"
+    assert div.position_a == div.position_b == 3
+    # The icount context at record 3 is the last async record's icount.
+    assert div.icount == 150
+    assert div.payload_a["value"] == 7 and div.payload_b["value"] == 8
+    assert div.window is None
+
+
+def test_sentinel_mismatch_is_a_state_divergence_with_window():
+    mutated = _stream()
+    mutated[5] = SentinelRecord(icount=300, digest=0xCC)
+    result = diff_logs(iter(_stream()), iter(mutated))
+    div = result.divergence
+    assert div is not None and div.kind == "state"
+    assert div.icount == 300
+    # Bracketed since the last *matching* attestation at icount 150.
+    assert div.window == (150, 300)
+
+
+def test_end_digest_mismatch_is_a_state_divergence():
+    mutated = _stream()
+    mutated[6] = EndRecord(icount=400, digest=6)
+    div = diff_logs(iter(_stream()), iter(mutated)).divergence
+    assert div is not None and div.kind == "state"
+    assert div.window == (300, 400)
+
+
+def test_length_mismatch_reports_the_longer_side():
+    div = diff_logs(iter(_stream()), iter(_stream()[:4])).divergence
+    assert div is not None and div.kind == "length"
+    assert div.position_b is None and div.position_a == 4
+    assert div.payload_b is None
+
+
+def test_context_excludes_the_diverging_record():
+    mutated = _stream()
+    mutated[5] = SentinelRecord(icount=300, digest=0xCC)
+    div = diff_logs(iter(_stream()), iter(mutated)).divergence
+    positions = [entry["position"] for entry in div.context_a]
+    assert positions == [2, 3, 4]
+
+
+def test_timestamps_rule_masks_rdtsc_only_delta():
+    mutated = _stream()
+    mutated[0] = RdtscRecord(value=999)
+    strict = diff_logs(iter(_stream()), iter(mutated))
+    assert strict.divergence is not None
+    masked = diff_logs(iter(_stream()), iter(mutated),
+                       rules=resolve_rules(["timestamps"]))
+    assert masked.divergence is None
+    assert masked.rule_hits["timestamps"] > 0
+
+
+def test_sentinels_rule_skips_attestation_mismatch():
+    mutated = _stream()
+    mutated[5] = SentinelRecord(icount=300, digest=0xCC)
+    result = diff_logs(iter(_stream()), iter(mutated),
+                       rules=resolve_rules(["sentinels"]))
+    assert result.divergence is None
+    # Both sides' sentinels were skipped: 2 per side, 2 rules hits each.
+    assert result.rule_hits["sentinels"] == 4
+
+
+def test_ignore_rules_never_mask_a_real_input_divergence():
+    mutated = _stream()
+    mutated[3] = PioInRecord(port=1, value=8)
+    result = diff_logs(
+        iter(_stream()), iter(mutated),
+        rules=resolve_rules(["timestamps", "entropy", "sentinels",
+                             "end-digest", "markers"]))
+    assert result.divergence is not None
+    assert result.divergence.kind == "input"
+
+
+def test_unknown_ignore_rule_fails_loudly():
+    with pytest.raises(LogError, match="unknown ignore rule"):
+        resolve_rules(["wallclock"])
+
+
+# ---------------------------------------------------------------------------
+# differential fuzzing: one perturbed record is pinned exactly
+# ---------------------------------------------------------------------------
+
+@functools.lru_cache(maxsize=1)
+def _fuzz_recording():
+    manifest = SessionManifest(benchmark="apache", seed=2018, attack="rop",
+                               max_instructions=400_000)
+    spec = manifest.build_spec()
+    run = Recorder(spec, RecorderOptions(max_instructions=400_000,
+                                         sentinel_records=32)).run()
+    return manifest, spec, run
+
+
+@functools.lru_cache(maxsize=1)
+def _fuzz_frames(frame_records: int = 8) -> tuple[bytes, ...]:
+    frames: list[bytes] = []
+    _, _, run = _fuzz_recording()
+    writer = StreamingLogWriter(frame_records, on_frame=frames.append)
+    for record in run.log.records():
+        writer.append(record)
+    writer.finish()
+    return tuple(frames)
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.data())
+def test_perturbed_record_is_pinned_exactly(data):
+    """Mutate exactly one record anywhere in a real recording; the diff
+    must name that record — same position on both sides, right icount,
+    differing payloads — as an input divergence."""
+    _, _, run = _fuzz_recording()
+    frames = _fuzz_frames()
+    index = data.draw(st.integers(min_value=0, max_value=len(frames) - 1),
+                      label="frame")
+    seed = data.draw(st.integers(min_value=0, max_value=2 ** 16),
+                     label="seed")
+    plan = FaultPlan([FaultSpec(FaultKind.PERTURB_RECORD, target=index)],
+                     seed=seed)
+    mutated = plan.apply_to_frame(index, frames[index])
+    # A frame with no perturbable record passes through untouched.
+    assume(mutated != frames[index])
+
+    records_a = list(run.log.records())
+    records_b: list = []
+    for position, frame in enumerate(frames):
+        records_b.extend(
+            parse_frame(mutated if position == index else frame)[1])
+    assert len(records_b) == len(records_a)
+
+    # Ground truth, computed independently of the walk.
+    victim = next(i for i, (ra, rb) in enumerate(zip(records_a, records_b))
+                  if ra != rb)
+    icount = 0
+    for record in records_a[:victim + 1]:
+        if is_async_record(record):
+            icount = record.icount
+
+    div = diff_logs(iter(records_a), iter(records_b)).divergence
+    assert div is not None and div.kind == "input"
+    assert div.position_a == victim and div.position_b == victim
+    assert div.icount == icount
+    assert div.payload_a != div.payload_b
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_no_false_divergence_under_ignore_only_deltas(seed):
+    """Rewriting every rdtsc/rdrand value is invisible under the
+    matching rules — and byte-identical copies never diverge."""
+    import random
+
+    _, _, run = _fuzz_recording()
+    records_a = list(run.log.records())
+    rng = random.Random(seed)
+    records_b = [
+        RdtscRecord(value=rng.getrandbits(32))
+        if isinstance(record, RdtscRecord)
+        else RdrandRecord(value=rng.getrandbits(32))
+        if isinstance(record, RdrandRecord)
+        else record
+        for record in records_a
+    ]
+    clean = diff_logs(iter(records_a), iter(list(records_a)))
+    assert clean.divergence is None
+    masked = diff_logs(iter(records_a), iter(records_b),
+                       rules=resolve_rules(["timestamps", "entropy"]))
+    assert masked.divergence is None
+
+
+# ---------------------------------------------------------------------------
+# CLI: parity line, exit codes, canonical JSON
+# ---------------------------------------------------------------------------
+
+def _log_of(records) -> InputLog:
+    log = InputLog()
+    for record in records:
+        log.append(record)
+    return log
+
+
+def _save_fuzz_session(path, log=None):
+    manifest, _, run = _fuzz_recording()
+    save_session(path, manifest, log if log is not None else run.log)
+    return path
+
+
+def test_cli_diff_parity_on_identical_sessions(tmp_path, capsys):
+    a = _save_fuzz_session(tmp_path / "a.session")
+    b = tmp_path / "b.session"
+    shutil.copy(a, b)
+    code = cli_main(["diff", str(a), str(b)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert out.strip().endswith("REPLAY PARITY: TRUE")
+
+
+def test_cli_diff_pins_perturbed_record(tmp_path, capsys):
+    manifest, _, run = _fuzz_recording()
+    records = list(run.log.records())
+    victim = next(i for i, r in enumerate(records)
+                  if isinstance(r, MmioReadRecord))
+    records[victim] = dataclasses.replace(
+        records[victim], value=records[victim].value + 1)
+    a = _save_fuzz_session(tmp_path / "a.session")
+    b = _save_fuzz_session(tmp_path / "b.session",
+                           log=_log_of(records))
+    report_path = tmp_path / "report.json"
+    code = cli_main(["diff", str(a), str(b), "--json",
+                     "--report", str(report_path)])
+    out = capsys.readouterr().out
+    assert code == 1
+    report = json.loads(out)
+    assert report["parity"] is False
+    assert report["verdict"] == "input-divergence"
+    assert report["divergence"]["position_a"] == victim
+    # Canonical form: stable key order, compact separators.
+    assert out.strip() == json.dumps(report, sort_keys=True,
+                                     separators=(",", ":"))
+    assert json.loads(report_path.read_text()) == report
+
+
+def test_cli_diff_human_rendering_ends_with_false(tmp_path, capsys):
+    manifest, _, run = _fuzz_recording()
+    records = list(run.log.records())
+    victim = next(i for i, r in enumerate(records)
+                  if isinstance(r, RdtscRecord))
+    records[victim] = RdtscRecord(value=records[victim].value + 1)
+    a = _save_fuzz_session(tmp_path / "a.session")
+    b = _save_fuzz_session(tmp_path / "b.session",
+                           log=_log_of(records))
+    assert cli_main(["diff", str(a), str(b)]) == 1
+    out = capsys.readouterr().out
+    assert out.strip().endswith("REPLAY PARITY: FALSE")
+    assert "first divergence" in out
+    # The same delta vanishes under the timestamps rule.
+    assert cli_main(["diff", str(a), str(b), "--ignore", "timestamps"]) == 0
+    assert capsys.readouterr().out.strip().endswith("REPLAY PARITY: TRUE")
+
+
+def test_cli_diff_unknown_rule_and_missing_run_exit_2(tmp_path, capsys):
+    a = _save_fuzz_session(tmp_path / "a.session")
+    assert cli_main(["diff", str(a), str(a), "--ignore", "nope"]) == 2
+    assert cli_main(["diff", str(a), str(tmp_path / "missing.session")]) == 2
+    capsys.readouterr()
+
+
+def test_cli_diff_state_divergence_without_bisection(tmp_path, capsys):
+    """A forged sentinel digest reports a state divergence with its
+    window even when bisection is disabled (or impossible)."""
+    manifest, _, run = _fuzz_recording()
+    records = list(run.log.records())
+    victim = next(i for i, r in enumerate(records)
+                  if isinstance(r, SentinelRecord))
+    records[victim] = dataclasses.replace(
+        records[victim], digest=records[victim].digest ^ 0x1)
+    a = _save_fuzz_session(tmp_path / "a.session")
+    b = _save_fuzz_session(tmp_path / "b.session",
+                           log=_log_of(records))
+    code = cli_main(["diff", str(a), str(b), "--no-bisect", "--json"])
+    report = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert report["verdict"] == "state-divergence"
+    assert report["divergence"]["window"] is not None
+    assert report["bisection"] is None
+
+
+# ---------------------------------------------------------------------------
+# fsck exit codes
+# ---------------------------------------------------------------------------
+
+@functools.lru_cache(maxsize=1)
+def _store_golden_bytes():
+    import pathlib
+
+    golden = pathlib.Path(__file__).resolve().parent / "golden" / "store.store"
+    return {name: (golden / name).read_bytes()
+            for name in ("MANIFEST.json", "journal.v3")}
+
+
+def _make_store(tmp_path):
+    target = tmp_path / "store"
+    target.mkdir()
+    for name, payload in _store_golden_bytes().items():
+        (target / name).write_bytes(payload)
+    return target
+
+
+def test_fsck_clean_store_exits_0(tmp_path, capsys):
+    assert cli_main(["fsck", str(_make_store(tmp_path))]) == 0
+    assert "resume plan" in capsys.readouterr().out
+
+
+def test_fsck_torn_journal_exits_1(tmp_path, capsys):
+    store = _make_store(tmp_path)
+    journal = store / "journal.v3"
+    journal.write_bytes(journal.read_bytes()[:-5])
+    code = cli_main(["fsck", str(store), "--json"])
+    report = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert report["status"] == "recoverable"
+    assert report["exit_code"] == 1
+    assert report["notes"]
+    assert report["recording_complete"] is False
+
+
+def test_fsck_corrupt_manifest_exits_2(tmp_path, capsys):
+    store = _make_store(tmp_path)
+    manifest = store / "MANIFEST.json"
+    manifest.write_bytes(manifest.read_bytes()[:-10] + b"corruption")
+    code = cli_main(["fsck", str(store), "--json"])
+    report = json.loads(capsys.readouterr().out)
+    assert code == 2
+    assert report["status"] == "corrupt"
+    assert report["exit_code"] == 2
+
+
+def test_diff_surfaces_torn_store_journal_as_note(tmp_path, capsys):
+    """Diffing against a damaged store still works on the valid prefix
+    and carries the fsck-style note into the report."""
+    store = _make_store(tmp_path)
+    session = tmp_path / "ref.session"
+    pristine = RunSource.open(store)
+    save_session(session, pristine.session, pristine.materialize())
+    journal = store / "journal.v3"
+    journal.write_bytes(journal.read_bytes()[:-5])
+    code = cli_main(["diff", str(store), str(session), "--json"])
+    report = json.loads(capsys.readouterr().out)
+    # The store's journal lost its tail (including the End record), so
+    # the comparison is a length mismatch — pinned, not hidden.
+    assert code == 1
+    assert report["verdict"] == "length-mismatch"
+    assert any("torn tail" in note for note in report["notes"])
+
+
+# ---------------------------------------------------------------------------
+# checkpoint-seeded bisection: pin a mid-window state corruption
+# ---------------------------------------------------------------------------
+
+BISECT_BUDGET = 150_000
+PERTURB_ICOUNT = 90_001
+WINDOW = (85_000, 95_000)
+
+
+@functools.lru_cache(maxsize=1)
+def _bisect_recording():
+    manifest = SessionManifest(benchmark="mysql", seed=2018, attack=None,
+                               max_instructions=BISECT_BUDGET)
+    spec = manifest.build_spec()
+    run = Recorder(spec, RecorderOptions(max_instructions=BISECT_BUDGET,
+                                         sentinel_records=16)).run()
+    store = CheckpointingReplayer(
+        spec, run.log, CheckpointingOptions(period_s=0.01),
+    ).run_to_end().store
+    return manifest, spec, run.log, store
+
+
+def _stable_word_address(spec, log, store):
+    """An address whose page is untouched across the probe window, so a
+    host-poked corruption survives to the window's end."""
+    probe = ReplayProbe(spec, log, store=store)
+    at_corruption = probe.state_at(PERTURB_ICOUNT, want_pages=True)
+    at_window_end = probe.state_at(WINDOW[1], want_pages=True)
+    for index in sorted(at_corruption.pages, reverse=True):
+        if at_corruption.pages[index] == at_window_end.pages.get(index):
+            return index * spec.config.page_size, index
+    raise AssertionError("no stable page across the probe window")
+
+
+@pytest.mark.parametrize("backend", ["interp", "trace"])
+def test_bisection_pins_synthetic_state_corruption(backend):
+    """Corrupt one memory word at a known mid-window instruction; the
+    bisection must return exactly that icount with the page in the
+    delta, seeding every probe from the store's checkpoints."""
+    _, spec, log, store = _bisect_recording()
+    spec = dataclasses.replace(
+        spec, config=dataclasses.replace(spec.config, exec_backend=backend))
+    addr, page_index = _stable_word_address(spec, log, store)
+
+    def perturb(machine):
+        machine.memory.write_word(
+            addr, machine.memory.read_word(addr) ^ 0xDEAD)
+
+    probe_a = ReplayProbe(spec, log, store=store)
+    probe_b = ReplayProbe(spec, log, store=store, seed_limit=WINDOW[0],
+                          perturb=perturb, perturb_icount=PERTURB_ICOUNT)
+    result = bisect_window(probe_a, probe_b, WINDOW)
+    assert result is not None
+    assert result.icount == PERTURB_ICOUNT
+    assert result.last_equal_icount == PERTURB_ICOUNT - 1
+    assert [delta.page for delta in result.delta.pages] == [page_index]
+    # "Using only run-store checkpoints": no probe replayed from zero,
+    # and the total replayed work is a couple of window-lengths, not a
+    # full re-record per probe.
+    assert result.seed_icounts and all(s > 0 for s in result.seed_icounts)
+    assert result.probes >= 2
+    assert result.instructions_replayed < BISECT_BUDGET * 2
+
+
+def test_bisection_returns_none_without_divergence():
+    _, spec, log, store = _bisect_recording()
+    probe_a = ReplayProbe(spec, log, store=store)
+    probe_b = ReplayProbe(spec, log, store=store, seed_limit=WINDOW[0])
+    assert bisect_window(probe_a, probe_b, WINDOW) is None
+
+
+def test_probe_seeds_respect_the_window_start():
+    """The suspect run's probes must never seed from a checkpoint inside
+    the window — such a checkpoint could already carry the corruption."""
+    _, spec, log, store = _bisect_recording()
+    # A probe point with a checkpoint between the window start and it:
+    # the unrestricted probe may use it, the suspect probe must not.
+    inside = next(c.icount for c in store.all() if c.icount > WINDOW[1])
+    target = inside + 1_000
+    limited = ReplayProbe(spec, log, store=store, seed_limit=WINDOW[0])
+    limited.state_at(target)
+    assert all(seed <= WINDOW[0] for seed in limited.seed_icounts)
+    free = ReplayProbe(spec, log, store=store)
+    free.state_at(target)
+    assert max(free.seed_icounts) > WINDOW[0]
+
+
+def test_diff_runs_bisects_forged_sentinel_window(tmp_path):
+    """End-to-end: a forged sentinel digest between two session files
+    walks to a state divergence; bisection then runs both replays and —
+    finding them in agreement — reports the recording-side fault."""
+    manifest, spec, log, _ = _bisect_recording()
+    records = list(log.records())
+    sentinels = [i for i, r in enumerate(records)
+                 if isinstance(r, SentinelRecord)]
+    victim = sentinels[len(sentinels) // 2]
+    records[victim] = dataclasses.replace(
+        records[victim], digest=records[victim].digest ^ 0x1)
+    a = tmp_path / "a.session"
+    b = tmp_path / "b.session"
+    save_session(a, manifest, log)
+    save_session(b, manifest, _log_of(records))
+    report = diff_runs(RunSource.open(a), RunSource.open(b))
+    assert report.verdict == "state-divergence"
+    assert report.divergence.window is not None
+    assert any("not replay-reproducible" in note for note in report.notes)

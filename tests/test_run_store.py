@@ -351,7 +351,9 @@ class TestCli:
         assert "resumed mysql+rop" in out
 
     def test_fsck_rejects_a_missing_store(self, tmp_path, capsys):
-        assert cli.main(["fsck", str(tmp_path / "nope")]) == 1
+        # Unreadable/corrupt stores exit 2 (1 is reserved for
+        # recoverable damage) — the `repro diff` exit-code contract.
+        assert cli.main(["fsck", str(tmp_path / "nope")]) == 2
         assert "fsck:" in capsys.readouterr().err
 
 
