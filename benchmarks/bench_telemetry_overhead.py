@@ -11,6 +11,16 @@ harness measures that claim and the cost of turning telemetry on:
   here is a slowdown of the headline pipeline numbers.
 * **enabled** — the same run with ``config.telemetry = True``: real
   counters, span stamps, and end-of-run snapshots.
+* **profiled** — telemetry plus the deterministic guest profiler
+  (``config.profile``): icount-strided PC sampling with symbol/opcode
+  attribution on both the recorder and the CR.
+* **journaled** — telemetry persisted to a durable run store with
+  ``fsync="always"``, the worst-case durability policy: every telemetry
+  journal entry (and every frame) costs an fsync.
+
+Every variant must stay bit-identical to **disabled** — the profiler and
+the journal observe the run without perturbing it, so a digest mismatch
+fails the bench before any overhead number is read.
 
 Host wall-clock is taken best-of-N (min over repeats) per variant to
 shave scheduler noise.  The harness also re-asserts the zero-interference
@@ -55,30 +65,44 @@ CHECKPOINT_PERIOD_S = 0.2
 DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
 
 
-def _spec(name: str, telemetry: bool):
+def _spec(name: str, telemetry: bool, profile: bool = False):
     spec = build_workload(profile_by_name(name))
-    if telemetry:
+    if telemetry or profile:
         spec = dataclasses.replace(
-            spec, config=dataclasses.replace(spec.config, telemetry=True),
+            spec, config=dataclasses.replace(spec.config, telemetry=telemetry,
+                                             profile=profile),
         )
     return spec
 
 
-def _run(name: str, budget: int, telemetry: bool):
+def _run(name: str, budget: int, telemetry: bool, profile: bool = False,
+         store_dir: str | None = None):
+    run_store = None
+    if store_dir is not None:
+        import shutil
+
+        from repro.rnr.session import SessionManifest
+        from repro.store import RunStoreWriter
+
+        shutil.rmtree(store_dir, ignore_errors=True)
+        manifest = SessionManifest(benchmark=name, seed=2018,
+                                   max_instructions=budget)
+        run_store = RunStoreWriter(store_dir, manifest, fsync="always")
     return record_and_replay_pipelined(
-        _spec(name, telemetry),
+        _spec(name, telemetry, profile),
         RecorderOptions(max_instructions=budget),
         CheckpointingOptions(period_s=CHECKPOINT_PERIOD_S),
         backend="thread", frame_records=FRAME_RECORDS,
-        queue_depth=QUEUE_DEPTH,
+        queue_depth=QUEUE_DEPTH, run_store=run_store,
     )
 
 
-def _best_of(name: str, budget: int, telemetry: bool, repeats: int):
+def _best_of(name: str, budget: int, telemetry: bool, repeats: int,
+             profile: bool = False, store_dir: str | None = None):
     best_seconds, run = None, None
     for _ in range(repeats):
         start = time.perf_counter()
-        candidate = _run(name, budget, telemetry)
+        candidate = _run(name, budget, telemetry, profile, store_dir)
         elapsed = time.perf_counter() - start
         if best_seconds is None or elapsed < best_seconds:
             best_seconds, run = elapsed, candidate
@@ -112,6 +136,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-overhead", type=float, default=None,
                         help="fail when the enabled/disabled host-time "
                              "geomean overhead exceeds this percentage")
+    parser.add_argument("--max-profile-overhead", type=float, default=None,
+                        help="fail when the profiled/disabled host-time "
+                             "geomean overhead exceeds this percentage")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny CI run: one workload, small budget")
     args = parser.parse_args(argv)
@@ -133,50 +160,104 @@ def main(argv: list[str] | None = None) -> int:
         "repeats": repeats,
         "benchmarks": {},
     }
-    ratios, all_identical = [], True
+    ratios, profile_ratios, journal_ratios = [], [], []
+    all_identical = True
+    import tempfile
+
+    store_root = tempfile.mkdtemp(prefix="bench-telemetry-")
     for name in names:
         print(f"[bench_telemetry] {name} (budget {budget}, "
               f"best of {repeats}) ...", flush=True)
         off_run, off_seconds = _best_of(name, budget, False, repeats)
         on_run, on_seconds = _best_of(name, budget, True, repeats)
-        identical = _digest(off_run) == _digest(on_run)
-        all_identical = all_identical and identical
+        prof_run, prof_seconds = _best_of(name, budget, True, repeats,
+                                          profile=True)
+        store_dir = f"{store_root}/{name}"
+        jrn_run, jrn_seconds = _best_of(name, budget, True, repeats,
+                                        store_dir=store_dir)
+        baseline = _digest(off_run)
+        identical = baseline == _digest(on_run)
+        prof_identical = baseline == _digest(prof_run)
+        jrn_identical = baseline == _digest(jrn_run)
+        all_identical = (all_identical and identical and prof_identical
+                         and jrn_identical)
         ratio = on_seconds / off_seconds if off_seconds else None
-        if ratio:
-            ratios.append(ratio)
+        prof_ratio = prof_seconds / off_seconds if off_seconds else None
+        jrn_ratio = jrn_seconds / off_seconds if off_seconds else None
+        for bucket, value in ((ratios, ratio),
+                              (profile_ratios, prof_ratio),
+                              (journal_ratios, jrn_ratio)):
+            if value:
+                bucket.append(value)
         spans = len(on_run.telemetry.spans) if on_run.telemetry else 0
+        samples = (prof_run.telemetry.profile.sample_count
+                   if prof_run.telemetry and prof_run.telemetry.profile
+                   else 0)
+
+        def pct(value):
+            return round((value - 1.0) * 100, 2) if value else None
+
         report["benchmarks"][name] = {
             "instructions": off_run.recording.metrics.instructions,
             "disabled_host_seconds": round(off_seconds, 4),
             "enabled_host_seconds": round(on_seconds, 4),
-            "overhead_pct": round((ratio - 1.0) * 100, 2) if ratio else None,
+            "profiled_host_seconds": round(prof_seconds, 4),
+            "journaled_host_seconds": round(jrn_seconds, 4),
+            "overhead_pct": pct(ratio),
+            "profiled_overhead_pct": pct(prof_ratio),
+            "journaled_overhead_pct": pct(jrn_ratio),
             "spans_captured": spans,
+            "profile_samples": samples,
             "bit_identical": identical,
+            "profiled_bit_identical": prof_identical,
+            "journaled_bit_identical": jrn_identical,
         }
         entry = report["benchmarks"][name]
         print(f"    disabled {off_seconds:.3f}s   enabled {on_seconds:.3f}s"
               f"   overhead {entry['overhead_pct']}%   "
               f"spans {spans}   identical={identical}", flush=True)
+        print(f"    profiled {prof_seconds:.3f}s "
+              f"({entry['profiled_overhead_pct']}%, {samples} samples, "
+              f"identical={prof_identical})   "
+              f"journaled/fsync-always {jrn_seconds:.3f}s "
+              f"({entry['journaled_overhead_pct']}%, "
+              f"identical={jrn_identical})", flush=True)
+    import shutil
+
+    shutil.rmtree(store_root, ignore_errors=True)
 
     geomean = _geomean(ratios)
+    profile_geomean = _geomean(profile_ratios)
+    journal_geomean = _geomean(journal_ratios)
     report["aggregate"] = {
         "overhead_geomean_pct": round((geomean - 1.0) * 100, 2)
         if geomean else None,
+        "profiled_overhead_geomean_pct": round((profile_geomean - 1.0) * 100, 2)
+        if profile_geomean else None,
+        "journaled_overhead_geomean_pct": round((journal_geomean - 1.0) * 100, 2)
+        if journal_geomean else None,
         "all_bit_identical": all_identical,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"[bench_telemetry] overhead geomean "
           f"{report['aggregate']['overhead_geomean_pct']}% "
-          f"(identical={all_identical}); wrote {args.out}")
+          f"(profiled {report['aggregate']['profiled_overhead_geomean_pct']}%, "
+          f"journaled {report['aggregate']['journaled_overhead_geomean_pct']}%, "
+          f"identical={all_identical}); wrote {args.out}")
 
     if not all_identical:
-        print("[bench_telemetry] FAIL: telemetry perturbed a run",
-              file=sys.stderr)
+        print("[bench_telemetry] FAIL: telemetry/profiler/journal "
+              "perturbed a run", file=sys.stderr)
         return 1
     if (args.max_overhead is not None and geomean is not None
             and (geomean - 1.0) * 100 > args.max_overhead):
         print(f"[bench_telemetry] FAIL: overhead geomean exceeds "
               f"{args.max_overhead}%", file=sys.stderr)
+        return 1
+    if (args.max_profile_overhead is not None and profile_geomean is not None
+            and (profile_geomean - 1.0) * 100 > args.max_profile_overhead):
+        print(f"[bench_telemetry] FAIL: profiled overhead geomean exceeds "
+              f"{args.max_profile_overhead}%", file=sys.stderr)
         return 1
     return 0
 

@@ -21,7 +21,13 @@ Subcommands mirror the deployment's moving parts:
   divergences to an exact instruction from the store's checkpoints;
 * ``stats``   — run one pipelined session with telemetry on and print the
   per-phase/per-metric tables (``--prom`` for Prometheus text,
-  ``--trace`` to save a Chrome trace);
+  ``--trace`` to save a Chrome trace, ``--profile``/``--flame`` for the
+  deterministic guest profiler); point it at a run-store or fleet
+  directory instead to reconstruct the durable telemetry journal
+  post-hoc, or ``--compare A B [--slo FILE]`` to gate a candidate run
+  against a baseline (exit 1 on SLO breach);
+* ``top``     — live fleet board fed by the durable telemetry journals
+  (instr/s sparklines, WEDGED?/healed flags; works from any process);
 * ``gadgets`` — scan the kernel image like an attacker would;
 * ``bench``   — print one of the regenerated figure tables.
 """
@@ -270,20 +276,117 @@ def _cmd_diff(args) -> int:
     return report.exit_code
 
 
+def _emit_stats(args, snapshot, headline: str, label: str) -> int:
+    """Shared tail of every ``stats`` mode: tables/prom/trace/flame."""
+    import json
+
+    if args.prom:
+        print(snapshot.prometheus(), end="")
+    else:
+        print(headline)
+        print()
+        print(snapshot.tables(), end="")
+    if args.trace:
+        with open(args.trace, "w", encoding="utf-8") as sink:
+            json.dump(snapshot.chrome_trace(label=label), sink)
+        print(f"chrome trace written to {args.trace}", file=sys.stderr)
+    if args.flame:
+        if snapshot.profile is None or not snapshot.profile.sample_count:
+            print("no profile samples to export; run with --profile "
+                  "(or profile a store that was recorded with it)",
+                  file=sys.stderr)
+            return 1
+        with open(args.flame, "w", encoding="utf-8") as sink:
+            sink.write(snapshot.profile.collapsed_stacks())
+        print(f"collapsed stacks written to {args.flame} "
+              f"(feed to flamegraph.pl / speedscope)", file=sys.stderr)
+    return 0
+
+
+def _stats_compare(args) -> int:
+    from repro.obs.aggregate import compare_stores, load_slo
+
+    rules = load_slo(args.slo) if args.slo else None
+    baseline, candidate = args.compare
+    try:
+        report = compare_stores(baseline, candidate, rules)
+    except FileNotFoundError as exc:
+        print(f"stats --compare: {exc}", file=sys.stderr)
+        return 2
+    print(f"baseline:  {baseline}")
+    print(f"candidate: {candidate}")
+    print()
+    print(report.render())
+    return report.exit_code
+
+
+def _stats_posthoc(args) -> int:
+    from repro.obs.aggregate import (
+        aggregate,
+        load_directory_telemetry,
+        render_rollups,
+    )
+
+    loaded = load_directory_telemetry(args.target)
+    if not loaded:
+        print(f"no telemetry journals under {args.target} (was the run "
+              f"durable? `--store DIR` writes telemetry.jsonl)",
+              file=sys.stderr)
+        return 2
+    for path, _snapshot, scan in loaded:
+        for note in scan.notes:
+            print(f"{path}: {note}", file=sys.stderr)
+    snapshots = [snap for _, snap, _ in loaded if snap is not None]
+    if not snapshots:
+        print(f"telemetry journals under {args.target} hold beats but no "
+              f"snapshots; nothing to reconstruct", file=sys.stderr)
+        return 2
+    if len(loaded) > 1:
+        # A fleet directory: the per-KPI rollup is the headline; the
+        # merged tables still follow so --prom/--trace/--flame work.
+        print(f"{args.target}: {len(loaded)} session store(s)")
+        print()
+        print(render_rollups(aggregate(snapshots)))
+        print()
+    from repro.obs.telemetry import TelemetrySnapshot
+
+    snapshot = (snapshots[0] if len(snapshots) == 1
+                else TelemetrySnapshot.merged(snapshots, actor="run"))
+    headline = (f"{args.target}: reconstructed from "
+                f"{len(snapshots)} durable telemetry journal(s)")
+    return _emit_stats(args, snapshot, headline, label=args.target)
+
+
 def _cmd_stats(args) -> int:
     import dataclasses
-    import json
+    import os
 
     from repro.core.parallel import record_and_replay_pipelined
     from repro.rnr.recorder import RecorderOptions
 
+    if args.compare:
+        return _stats_compare(args)
+    if args.target is None:
+        print("repro stats: name a benchmark to run or a run-store/fleet "
+              "directory to reconstruct (or use --compare A B)",
+              file=sys.stderr)
+        return 2
+    if os.path.isdir(args.target):
+        return _stats_posthoc(args)
+    if args.target not in _BENCHMARKS:
+        print(f"repro stats: {args.target!r} is neither a benchmark "
+              f"({', '.join(_BENCHMARKS)}) nor a run directory",
+              file=sys.stderr)
+        return 2
+
     manifest = SessionManifest(
-        benchmark=args.benchmark, seed=args.seed, attack=args.attack,
+        benchmark=args.target, seed=args.seed, attack=args.attack,
         max_instructions=args.budget, exec_backend=args.backend,
     )
     spec = manifest.build_spec()
     spec = dataclasses.replace(
-        spec, config=dataclasses.replace(spec.config, telemetry=True),
+        spec, config=dataclasses.replace(spec.config, telemetry=True,
+                                         profile=args.profile),
     )
     if args.cr_workers > 1:
         # Epoch-parallel shape: record with boundary capture, then replay
@@ -322,16 +425,17 @@ def _cmd_stats(args) -> int:
     if snapshot is None:  # pragma: no cover - telemetry was forced on
         print("no telemetry collected", file=sys.stderr)
         return 1
-    if args.prom:
-        print(snapshot.prometheus(), end="")
-    else:
-        print(headline)
-        print()
-        print(snapshot.tables(), end="")
-    if args.trace:
-        with open(args.trace, "w", encoding="utf-8") as sink:
-            json.dump(snapshot.chrome_trace(label=spec.label), sink)
-        print(f"chrome trace written to {args.trace}", file=sys.stderr)
+    return _emit_stats(args, snapshot, headline, label=spec.label)
+
+
+def _cmd_top(args) -> int:
+    from repro.obs.top import TopBoard, watch
+
+    if args.once:
+        print(TopBoard(args.root, stale_after_s=args.stale_after).render())
+        return 0
+    watch(args.root, interval_s=args.interval,
+          iterations=args.iterations, stale_after_s=args.stale_after)
     return 0
 
 
@@ -652,9 +756,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser(
         "stats", help="run one pipelined session with telemetry and "
-                      "print per-phase/per-metric tables",
+                      "print per-phase/per-metric tables; give a "
+                      "run-store/fleet DIR instead to reconstruct its "
+                      "durable telemetry post-hoc",
     )
-    stats.add_argument("benchmark", choices=_BENCHMARKS)
+    stats.add_argument("target", nargs="?", metavar="BENCHMARK|DIR",
+                       help="benchmark to run ("
+                            + ", ".join(_BENCHMARKS)
+                            + ") or a run-store/fleet directory whose "
+                              "telemetry.jsonl journals to reconstruct")
     stats.add_argument("--seed", type=int, default=2018)
     stats.add_argument("--attack", choices=["rop", "jop", "dos"])
     stats.add_argument("--budget", type=int, default=1_000_000)
@@ -673,7 +783,38 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--trace", metavar="FILE",
                        help="also write a Chrome trace (load in "
                             "chrome://tracing or Perfetto)")
+    stats.add_argument("--profile", action="store_true",
+                       help="enable the deterministic guest profiler "
+                            "(icount-strided PC samples; bit-transparent)")
+    stats.add_argument("--flame", metavar="FILE",
+                       help="write the profile as collapsed stacks "
+                            "(flamegraph.pl / speedscope input)")
+    stats.add_argument("--compare", nargs=2,
+                       metavar=("BASELINE", "CANDIDATE"),
+                       help="compare two run-store/fleet directories from "
+                            "their durable journals; exit 1 on SLO breach")
+    stats.add_argument("--slo", metavar="FILE",
+                       help="JSON SLO rules for --compare (default: "
+                            "*.instr_s may not regress more than 10%%)")
     stats.set_defaults(func=_cmd_stats)
+
+    top = sub.add_parser(
+        "top", help="live fleet board fed by the durable telemetry "
+                    "journals under a run/fleet directory",
+    )
+    top.add_argument("root", metavar="DIR",
+                     help="run-store directory or fleet store_dir of "
+                          "session-NNN stores")
+    top.add_argument("--interval", type=float, default=1.0, metavar="S",
+                     help="seconds between renders (default: 1.0)")
+    top.add_argument("--iterations", type=int, metavar="N",
+                     help="stop after N renders (default: until Ctrl-C "
+                          "or every session finishes)")
+    top.add_argument("--once", action="store_true",
+                     help="render the board once and exit")
+    top.add_argument("--stale-after", type=float, default=5.0, metavar="S",
+                     help="age that flags a session WEDGED? (default: 5.0)")
+    top.set_defaults(func=_cmd_top)
 
     gadgets = sub.add_parser("gadgets", help="scan the kernel for gadgets")
     gadgets.add_argument("--kind", choices=["pop_reg", "load_indirect",

@@ -156,6 +156,19 @@ class SimulationConfig:
     #: exit at most.  Enabling it never changes simulated results: the
     #: collectors read the deterministic icount but never charge cycles.
     telemetry: bool = False
+    #: Deterministic guest profiler (``repro.obs.profile``): icount-strided
+    #: PC sampling during record and replay, attributed to kernel/task
+    #: symbols with flame-graph export.  Off by default (no profiler object
+    #: is constructed).  Enabling it is bit-transparent — the sampler only
+    #: caps CPU batch sizes at sample boundaries, which the batch-schedule
+    #: invariance contract guarantees cannot change recorded bytes,
+    #: checkpoints, verdicts, or cycle accounting.  Implies telemetry
+    #: collection: the profile snapshot rides the telemetry snapshot.
+    profile: bool = False
+    #: Instructions between profiler PC samples.  Samples land exactly at
+    #: multiples of this stride on the deterministic icount, so record and
+    #: replay of the same execution produce identical sample streams.
+    profile_stride: int = 2048
     #: Persist runs to an on-disk run store (``repro.store``): a CRC'd
     #: manifest, a write-ahead frame journal, and incremental checkpoint
     #: files a crashed session can resume from bit-identically.  Off by

@@ -510,7 +510,8 @@ def _consume_frames(spec: MachineSpec,
                     fault_plan: FaultPlan | None = None,
                     allow_hard_kill: bool = False,
                     heartbeat=None,
-                    checkpoint_sink=None):
+                    checkpoint_sink=None,
+                    journal=None):
     """Run the CR over a frame queue; dispatch ARs as alarms confirm.
 
     This is the consumer half of both pipeline backends — it runs on the
@@ -577,8 +578,9 @@ def _consume_frames(spec: MachineSpec,
             future.add_done_callback(on_verdict)
         futures.append(future)
 
-    cr_tel = (Telemetry.for_config(spec.config, "cr", heartbeat=heartbeat)
-              if heartbeat is not None else None)
+    cr_tel = (Telemetry.for_config(spec.config, "cr", heartbeat=heartbeat,
+                                   journal=journal)
+              if heartbeat is not None or journal is not None else None)
     replayer = CheckpointingReplayer(
         spec, log, cr_options,
         cursor=cursor,
@@ -693,6 +695,12 @@ def _recover_torn_stream(spec: MachineSpec,
     event = RecoveryEvent(kind=kind, cause=cause,
                           window=(anchor, end_icount))
     if run_store is not None:
+        run_store.persist_telemetry(recording.telemetry)
+        run_store.persist_telemetry(result.telemetry)
+        if resolution is not None:
+            run_store.persist_telemetry(resolution.telemetry)
+        if telemetry is not None:
+            run_store.persist_telemetry(telemetry.snapshot())
         run_store.finish(
             cpu_state.icount,
             [v.kind.value for v in resolution.verdicts]
@@ -712,7 +720,8 @@ def _run_producer(spec: MachineSpec,
                   recorder_options: RecorderOptions | None,
                   frame_records: int,
                   emit_frame,
-                  heartbeat=None) -> tuple[RecordingRun, list[int]]:
+                  heartbeat=None,
+                  journal=None) -> tuple[RecordingRun, list[int]]:
     """Record through a tee whose frames flow to ``emit_frame``.
 
     Returns the recording and the per-frame production timeline.  The tee
@@ -726,8 +735,9 @@ def _run_producer(spec: MachineSpec,
         emit_frame(frame)
 
     tee = RecordingLogTee(StreamingLogWriter(frame_records, on_frame=on_frame))
-    rec_tel = (Telemetry.for_config(spec.config, "record", heartbeat=heartbeat)
-               if heartbeat is not None else None)
+    rec_tel = (Telemetry.for_config(spec.config, "record",
+                                    heartbeat=heartbeat, journal=journal)
+               if heartbeat is not None or journal is not None else None)
     recorder = Recorder(spec, recorder_options, log=tee, telemetry=rec_tel)
     try:
         recording = recorder.run()
@@ -772,6 +782,10 @@ def _pipelined_threads(spec: MachineSpec,
                        run_store=None) -> PipelinedRun:
     frames: "queue_mod.Queue" = queue_mod.Queue(maxsize=queue_depth)
     outcome: dict = {}
+    # Durable runs journal their telemetry beside the frame journal: the
+    # recorder and CR share one thread-safe writer (like the store itself),
+    # so ``repro stats DIR`` and ``repro top`` work post-hoc and mid-crash.
+    journal = run_store.telemetry_journal() if run_store is not None else None
 
     def consume():
         try:
@@ -782,6 +796,7 @@ def _pipelined_threads(spec: MachineSpec,
                 heartbeat=heartbeat,
                 checkpoint_sink=(run_store.persist_checkpoint
                                  if run_store is not None else None),
+                journal=journal,
             )
         except BaseException as exc:  # noqa: BLE001 - reraised in parent
             outcome["error"] = exc
@@ -816,7 +831,7 @@ def _pipelined_threads(spec: MachineSpec,
     try:
         recording, produced_cycles = _run_producer(
             spec, recorder_options, frame_records, emit,
-            heartbeat=heartbeat,
+            heartbeat=heartbeat, journal=journal,
         )
     except BaseException as exc:  # noqa: BLE001 - reraised below
         producer_error = exc
@@ -867,6 +882,17 @@ def _pipelined_threads(spec: MachineSpec,
                    if ar_snapshots else None),
     ) if resolve_ars else None)
     if run_store is not None:
+        # Final cumulative snapshots must land before finish() closes the
+        # telemetry journal: the last beat-driven snapshot predates the
+        # end-of-run ground truth (counters, profile) each actor folds in
+        # at phase end.  Reconstruction is last-write-wins per actor, so
+        # these supersede the beat-driven entries.
+        run_store.persist_telemetry(recording.telemetry)
+        run_store.persist_telemetry(result.telemetry)
+        if resolution is not None:
+            run_store.persist_telemetry(resolution.telemetry)
+        if telemetry is not None:
+            run_store.persist_telemetry(telemetry.snapshot())
         run_store.finish(
             cpu_state.icount,
             [v.kind.value for v in verdicts] if verdicts else (),
@@ -1155,6 +1181,8 @@ def _resume_pipelined(spec: MachineSpec,
         recording, _ = _run_producer(
             spec, recorder_options, frame_records, emit,
             heartbeat=heartbeat,
+            journal=(run_store.telemetry_journal()
+                     if run_store is not None else None),
         )
         if run_store is not None:
             run_store.seal_log(recording)
@@ -1203,6 +1231,12 @@ def _resume_pipelined(spec: MachineSpec,
                           window=(anchor, end_icount),
                           attempts=resume.attempt + 1)
     if run_store is not None:
+        run_store.persist_telemetry(recording.telemetry)
+        run_store.persist_telemetry(result.telemetry)
+        if resolution is not None:
+            run_store.persist_telemetry(resolution.telemetry)
+        if telemetry is not None:
+            run_store.persist_telemetry(telemetry.snapshot())
         run_store.finish(
             cpu_state.icount,
             [v.kind.value for v in resolution.verdicts]

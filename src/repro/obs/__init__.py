@@ -3,14 +3,40 @@
 Everything is zero-dependency and off by default — see
 ``SimulationConfig.telemetry`` and :meth:`Telemetry.for_config` for the
 nil-sink fast path, and ``docs/OBSERVABILITY.md`` for the metric catalog
-and span taxonomy.
+and span taxonomy.  PR 9 adds the durable layer: a crash-recoverable
+telemetry journal per run store (``journal``), a deterministic guest
+profiler with flame-graph export (``profile``), cross-run rollups and
+SLO regression gating (``aggregate``), and the journal-fed ``repro top``
+board (``top``).
 """
 
+from repro.obs.aggregate import (
+    ComparisonReport,
+    DEFAULT_SLO_RULES,
+    KpiRollup,
+    SloRule,
+    aggregate,
+    compare_kpis,
+    compare_snapshots,
+    compare_stores,
+    discover_run_dirs,
+    kpis,
+    load_slo,
+    parse_slo,
+    render_rollups,
+)
 from repro.obs.heartbeat import (
     HeartbeatBoard,
     HeartbeatReporter,
     HeartbeatRow,
     STALE_AFTER_S,
+)
+from repro.obs.journal import (
+    TELEMETRY_JOURNAL_NAME,
+    TelemetryJournalScan,
+    TelemetryJournalWriter,
+    load_run_telemetry,
+    scan_telemetry_journal,
 )
 from repro.obs.metrics import (
     HISTOGRAM_BUCKETS,
@@ -22,35 +48,63 @@ from repro.obs.metrics import (
     TaggedCounter,
     bucket_bounds,
     bucket_index,
+    escape_label_value,
     to_prometheus,
 )
+from repro.obs.profile import GuestProfiler, ProfileSnapshot
 from repro.obs.telemetry import (
     BEAT_INTERVAL_INSTRUCTIONS,
     Telemetry,
     TelemetrySnapshot,
 )
+from repro.obs.top import SessionView, TopBoard, sparkline, watch
 from repro.obs.trace import SpanEvent, SpanTracer, to_chrome_trace, to_jsonl
 
 __all__ = [
     "BEAT_INTERVAL_INSTRUCTIONS",
+    "ComparisonReport",
     "Counter",
+    "DEFAULT_SLO_RULES",
     "Gauge",
+    "GuestProfiler",
     "HeartbeatBoard",
     "HeartbeatReporter",
     "HeartbeatRow",
     "HISTOGRAM_BUCKETS",
     "Histogram",
+    "KpiRollup",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "ProfileSnapshot",
     "STALE_AFTER_S",
+    "SessionView",
+    "SloRule",
     "SpanEvent",
     "SpanTracer",
+    "TELEMETRY_JOURNAL_NAME",
     "TaggedCounter",
     "Telemetry",
+    "TelemetryJournalScan",
+    "TelemetryJournalWriter",
     "TelemetrySnapshot",
+    "TopBoard",
+    "aggregate",
     "bucket_bounds",
     "bucket_index",
+    "compare_kpis",
+    "compare_snapshots",
+    "compare_stores",
+    "discover_run_dirs",
+    "escape_label_value",
+    "kpis",
+    "load_run_telemetry",
+    "load_slo",
+    "parse_slo",
+    "render_rollups",
+    "scan_telemetry_journal",
+    "sparkline",
     "to_chrome_trace",
     "to_jsonl",
     "to_prometheus",
+    "watch",
 ]

@@ -1,0 +1,377 @@
+"""Cross-run aggregation and regression detection over persisted telemetry.
+
+The durable journal (``repro.obs.journal``) makes every run's telemetry a
+disk artifact; this module turns directories of them into decisions:
+
+* :func:`kpis` — flatten one :class:`~repro.obs.telemetry.TelemetrySnapshot`
+  into scalar KPIs: phase throughput (``instr_s`` derived from each phase
+  span's icount window over its wall time), every counter and gauge, and
+  profile/backend figures when present.
+* :func:`aggregate` — p50/p99/geomean/min/max rollups of each KPI across
+  many runs (a fleet directory of ``session-NNN`` stores, or any list of
+  runs) — the fleet-wide view that survives supervisor heals because it is
+  computed from the journals, not from live processes.
+* :func:`compare_snapshots` — baseline-vs-candidate comparison under SLO
+  rules, the ``repro stats --compare A B [--slo FILE]`` CI gate: exit
+  nonzero on breach.
+
+SLO file format (JSON)::
+
+    {
+      "kpis": {
+        "record.record.instr_s": {"min": 50000, "max_regression_pct": 10},
+        "*.instr_s":             {"max_regression_pct": 15},
+        "record.log_bytes":      {"max": 2000000, "max_growth_pct": 25}
+      }
+    }
+
+Keys are KPI names or ``fnmatch`` globs; each rule may bound the
+candidate's absolute value (``min``/``max``) and its delta against the
+baseline (``max_regression_pct`` — shrink bound, for higher-is-better
+KPIs like throughput; ``max_growth_pct`` — growth bound, for
+lower-is-better KPIs like bytes or overhead cycles).  With no ``--slo``
+file the default rules apply: any ``*.instr_s`` KPI regressing more than
+:data:`DEFAULT_MAX_REGRESSION_PCT` percent is a breach.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import math
+import os
+from dataclasses import dataclass
+
+from repro.obs.journal import TELEMETRY_JOURNAL_NAME, load_run_telemetry
+from repro.obs.telemetry import TelemetrySnapshot
+
+#: Default shrink bound applied to ``*.instr_s`` when no SLO file is given.
+DEFAULT_MAX_REGRESSION_PCT = 10.0
+
+
+# ----------------------------------------------------------------------
+# KPI extraction
+# ----------------------------------------------------------------------
+
+
+def kpis(snapshot: TelemetrySnapshot) -> dict[str, float]:
+    """Flatten a telemetry snapshot into scalar KPIs.
+
+    Phase spans become throughput: all spans sharing ``actor:name`` pool
+    their icount windows and wall time into one ``<actor>.<name>.instr_s``
+    (and ``.wall_s``) figure, so epoch-parallel runs — many ``replay``
+    spans — aggregate exactly like sequential ones.
+    """
+    out: dict[str, float] = {}
+    windows: dict[str, list[int]] = {}
+    for span in snapshot.spans:
+        if span.category != "phase":
+            continue
+        key = f"{span.actor}.{span.name}"
+        cell = windows.setdefault(key, [0, 0])
+        cell[0] += max(0, span.end_icount - span.begin_icount)
+        cell[1] += max(0, span.end_wall_ns - span.begin_wall_ns)
+    for key, (icounts, wall_ns) in windows.items():
+        out[f"{key}.wall_s"] = wall_ns / 1e9
+        if wall_ns > 0:
+            out[f"{key}.instr_s"] = icounts / (wall_ns / 1e9)
+    metrics = snapshot.metrics
+    for name, (value, _events) in metrics.counters.items():
+        out[name] = float(value)
+    for name, (value, _max_value) in metrics.gauges.items():
+        out[name] = float(value)
+    if snapshot.profile is not None:
+        out["profile.samples"] = float(snapshot.profile.sample_count)
+        for name, value in snapshot.profile.backend.items():
+            out[f"profile.backend.{name}"] = float(value)
+    return out
+
+
+# ----------------------------------------------------------------------
+# fleet rollups
+# ----------------------------------------------------------------------
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted list."""
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return ordered[lo]
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+
+
+def _geomean(values: list[float]) -> float:
+    positives = [value for value in values if value > 0]
+    if not positives:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in positives)
+                    / len(positives))
+
+
+@dataclass
+class KpiRollup:
+    """Distribution of one KPI across runs."""
+
+    name: str
+    count: int
+    p50: float
+    p99: float
+    geomean: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def of(cls, name: str, values: list[float]) -> "KpiRollup":
+        ordered = sorted(values)
+        return cls(
+            name=name,
+            count=len(ordered),
+            p50=_percentile(ordered, 0.50),
+            p99=_percentile(ordered, 0.99),
+            geomean=_geomean(ordered),
+            minimum=ordered[0] if ordered else 0.0,
+            maximum=ordered[-1] if ordered else 0.0,
+        )
+
+
+def aggregate(snapshots) -> dict[str, KpiRollup]:
+    """Roll each KPI's distribution up across many runs' snapshots."""
+    series: dict[str, list[float]] = {}
+    for snapshot in snapshots:
+        if snapshot is None:
+            continue
+        for name, value in kpis(snapshot).items():
+            series.setdefault(name, []).append(value)
+    return {name: KpiRollup.of(name, values)
+            for name, values in sorted(series.items())}
+
+
+def render_rollups(rollups: dict[str, KpiRollup]) -> str:
+    lines = [f"{'kpi':<40} {'runs':>5} {'p50':>14} {'p99':>14} "
+             f"{'geomean':>14}"]
+    lines.append("-" * 90)
+    for name in sorted(rollups):
+        roll = rollups[name]
+        lines.append(
+            f"{name:<40} {roll.count:>5} {roll.p50:>14,.1f} "
+            f"{roll.p99:>14,.1f} {roll.geomean:>14,.1f}"
+        )
+    return "\n".join(lines)
+
+
+def discover_run_dirs(root: str) -> list[str]:
+    """Run-store directories under ``root``.
+
+    ``root`` itself when it holds a telemetry journal (a single run
+    store); otherwise every direct child that does (a fleet
+    ``store_dir`` of ``session-NNN`` stores), sorted by name.
+    """
+    if os.path.exists(os.path.join(root, TELEMETRY_JOURNAL_NAME)):
+        return [root]
+    found = []
+    try:
+        children = sorted(os.listdir(root))
+    except (FileNotFoundError, NotADirectoryError):
+        return []
+    for child in children:
+        path = os.path.join(root, child)
+        if os.path.exists(os.path.join(path, TELEMETRY_JOURNAL_NAME)):
+            found.append(path)
+    return found
+
+
+def load_directory_telemetry(root: str):
+    """Load ``(path, snapshot, scan)`` for every run store under ``root``."""
+    loaded = []
+    for path in discover_run_dirs(root):
+        snapshot, scan = load_run_telemetry(path)
+        loaded.append((path, snapshot, scan))
+    return loaded
+
+
+# ----------------------------------------------------------------------
+# SLO comparison
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """Bounds for the KPIs matching one name/glob pattern."""
+
+    pattern: str
+    minimum: float | None = None
+    maximum: float | None = None
+    #: Largest tolerated shrink vs the baseline, percent (higher-is-better
+    #: KPIs: throughput).
+    max_regression_pct: float | None = None
+    #: Largest tolerated growth vs the baseline, percent (lower-is-better
+    #: KPIs: bytes, overhead cycles).
+    max_growth_pct: float | None = None
+
+    def matches(self, kpi: str) -> bool:
+        return fnmatch.fnmatchcase(kpi, self.pattern)
+
+
+DEFAULT_SLO_RULES = (
+    SloRule(pattern="*.instr_s",
+            max_regression_pct=DEFAULT_MAX_REGRESSION_PCT),
+)
+
+
+def parse_slo(data: dict) -> tuple[SloRule, ...]:
+    """Parse the SLO JSON body (see the module docstring for the format)."""
+    body = data.get("kpis", data)
+    if not isinstance(body, dict):
+        raise ValueError("SLO file must be a JSON object of kpi -> bounds")
+    rules = []
+    for pattern, bounds in body.items():
+        if not isinstance(bounds, dict):
+            raise ValueError(f"SLO bounds for {pattern!r} must be an object")
+        unknown = set(bounds) - {"min", "max", "max_regression_pct",
+                                 "max_growth_pct"}
+        if unknown:
+            raise ValueError(
+                f"unknown SLO bound(s) {sorted(unknown)} for {pattern!r}")
+        rules.append(SloRule(
+            pattern=pattern,
+            minimum=bounds.get("min"),
+            maximum=bounds.get("max"),
+            max_regression_pct=bounds.get("max_regression_pct"),
+            max_growth_pct=bounds.get("max_growth_pct"),
+        ))
+    return tuple(rules)
+
+
+def load_slo(path: str) -> tuple[SloRule, ...]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_slo(json.load(handle))
+
+
+@dataclass(frozen=True)
+class KpiDelta:
+    """One KPI's baseline-vs-candidate movement and any breached bounds."""
+
+    name: str
+    baseline: float | None
+    candidate: float | None
+    #: Percent change, candidate vs baseline (positive = grew).
+    delta_pct: float | None
+    breaches: tuple[str, ...] = ()
+
+
+@dataclass
+class ComparisonReport:
+    """The ``stats --compare`` verdict: per-KPI deltas plus breaches."""
+
+    deltas: tuple[KpiDelta, ...] = ()
+
+    @property
+    def breaches(self) -> tuple[KpiDelta, ...]:
+        return tuple(delta for delta in self.deltas if delta.breaches)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.breaches else 0
+
+    def render(self) -> str:
+        lines = [f"{'kpi':<40} {'baseline':>14} {'candidate':>14} "
+                 f"{'delta':>9}  slo"]
+        lines.append("-" * 88)
+        for delta in self.deltas:
+            base = (f"{delta.baseline:,.1f}"
+                    if delta.baseline is not None else "-")
+            cand = (f"{delta.candidate:,.1f}"
+                    if delta.candidate is not None else "-")
+            pct = (f"{delta.delta_pct:+8.1f}%"
+                   if delta.delta_pct is not None else "        -")
+            verdict = "; ".join(delta.breaches) if delta.breaches else "ok"
+            lines.append(f"{delta.name:<40} {base:>14} {cand:>14} "
+                         f"{pct:>9}  {verdict}")
+        lines.append("")
+        if self.breaches:
+            lines.append(f"SLO: {len(self.breaches)} breach(es)")
+        else:
+            lines.append("SLO: ok")
+        return "\n".join(lines)
+
+
+def compare_kpis(baseline: dict[str, float], candidate: dict[str, float],
+                 rules: tuple[SloRule, ...] | None = None,
+                 ) -> ComparisonReport:
+    """Judge the candidate KPIs against the baseline under SLO rules.
+
+    Only KPIs matched by a rule (or present on both sides) appear in the
+    report; a rule whose KPI is missing from the candidate is reported as
+    a breach — a silently vanished KPI must not pass the gate.
+    """
+    rules = DEFAULT_SLO_RULES if rules is None else rules
+    names = sorted(set(baseline) | set(candidate))
+    deltas: list[KpiDelta] = []
+    for name in names:
+        base = baseline.get(name)
+        cand = candidate.get(name)
+        delta_pct = None
+        if base is not None and cand is not None and base != 0:
+            delta_pct = (cand - base) / abs(base) * 100.0
+        matched = [rule for rule in rules if rule.matches(name)]
+        breaches: list[str] = []
+        for rule in matched:
+            if cand is None:
+                breaches.append("kpi missing from candidate")
+                continue
+            if rule.minimum is not None and cand < rule.minimum:
+                breaches.append(f"value {cand:,.1f} < min {rule.minimum:,.1f}")
+            if rule.maximum is not None and cand > rule.maximum:
+                breaches.append(f"value {cand:,.1f} > max {rule.maximum:,.1f}")
+            if (rule.max_regression_pct is not None and delta_pct is not None
+                    and -delta_pct > rule.max_regression_pct):
+                breaches.append(
+                    f"regressed {-delta_pct:.1f}% "
+                    f"(> {rule.max_regression_pct:.1f}% allowed)")
+            if (rule.max_growth_pct is not None and delta_pct is not None
+                    and delta_pct > rule.max_growth_pct):
+                breaches.append(
+                    f"grew {delta_pct:.1f}% "
+                    f"(> {rule.max_growth_pct:.1f}% allowed)")
+        if matched or (base is not None and cand is not None):
+            deltas.append(KpiDelta(
+                name=name, baseline=base, candidate=cand,
+                delta_pct=delta_pct, breaches=tuple(breaches),
+            ))
+    return ComparisonReport(deltas=tuple(deltas))
+
+
+def compare_snapshots(baseline: TelemetrySnapshot,
+                      candidate: TelemetrySnapshot,
+                      rules: tuple[SloRule, ...] | None = None,
+                      ) -> ComparisonReport:
+    return compare_kpis(kpis(baseline), kpis(candidate), rules)
+
+
+def compare_stores(baseline_dir: str, candidate_dir: str,
+                   rules: tuple[SloRule, ...] | None = None,
+                   ) -> ComparisonReport:
+    """Compare two run-store (or fleet) directories from their journals.
+
+    Fleet directories aggregate first (each KPI's p50 across sessions),
+    so a fleet can gate against a fleet, a run against a run.
+    """
+
+    def load(root: str) -> dict[str, float]:
+        loaded = load_directory_telemetry(root)
+        snapshots = [snap for _, snap, _ in loaded if snap is not None]
+        if not snapshots:
+            raise FileNotFoundError(
+                f"no reconstructable telemetry journals under {root}")
+        if len(snapshots) == 1:
+            return kpis(snapshots[0])
+        return {name: roll.p50
+                for name, roll in aggregate(snapshots).items()}
+
+    return compare_kpis(load(baseline_dir), load(candidate_dir), rules)

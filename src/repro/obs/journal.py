@@ -1,0 +1,330 @@
+"""Durable telemetry journal: crash-recoverable observability on disk.
+
+PR 4's telemetry dies with the process; this module gives every durable
+run a ``telemetry.jsonl`` stream in its run-store directory, written with
+the same discipline as the frame journal (``store/runstore.py``): an
+append-only unbuffered handle, one CRC'd entry per line, an explicit
+fsync policy, and recovery that trusts nothing but the CRCs — a torn tail
+(kill -9 mid-write) is cut at the last whole entry and reported, never
+parsed.
+
+Entry kinds:
+
+* ``"beat"`` — one heartbeat publish (actor, state, icount, frames, wall
+  time): the timeline ``repro top`` renders instr/s and sparklines from.
+* ``"snapshot"`` — a *cumulative* :class:`~repro.obs.telemetry.
+  TelemetrySnapshot` for one actor (metrics + spans + profile), journaled
+  every few beats and at phase ends.  Cumulative means reconstruction is
+  last-write-wins per ``(actor, attempt)``, then a merge across actors —
+  so a mid-run kill loses at most the last few beat intervals of history,
+  and healed (relaunched) sessions never double-count their predecessor:
+  the attempt number separates the streams.
+
+Every entry carries a monotone per-writer sequence number; a gap after a
+valid prefix means entries vanished (not just a torn tail) and is
+surfaced as a recovery note, mirroring ``store/recover.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.profile import ProfileSnapshot
+from repro.obs.telemetry import TelemetrySnapshot
+from repro.obs.trace import SpanEvent
+
+#: File name inside a run-store directory (beside ``journal.v3``).
+TELEMETRY_JOURNAL_NAME = "telemetry.jsonl"
+
+_FSYNC_POLICIES = ("always", "interval", "never")
+
+
+def _canonical(body: dict) -> bytes:
+    return json.dumps(body, sort_keys=True, separators=(",", ":"),
+                      default=str).encode("utf-8")
+
+
+def _entry_crc(body: dict) -> int:
+    return zlib.crc32(_canonical(body))
+
+
+# ----------------------------------------------------------------------
+# snapshot <-> JSON
+# ----------------------------------------------------------------------
+
+
+def span_to_json(span: SpanEvent) -> dict:
+    return {
+        "name": span.name,
+        "category": span.category,
+        "actor": span.actor,
+        "icount": [span.begin_icount, span.end_icount],
+        "wall_ns": [span.begin_wall_ns, span.end_wall_ns],
+        "args": [[key, value] for key, value in span.args],
+    }
+
+
+def span_from_json(data: dict) -> SpanEvent:
+    return SpanEvent(
+        name=data["name"],
+        category=data["category"],
+        actor=data["actor"],
+        begin_icount=data["icount"][0],
+        end_icount=data["icount"][1],
+        begin_wall_ns=data["wall_ns"][0],
+        end_wall_ns=data["wall_ns"][1],
+        args=tuple((key, value) for key, value in data.get("args", [])),
+    )
+
+
+def snapshot_to_json(snapshot: TelemetrySnapshot) -> dict:
+    metrics = snapshot.metrics
+    return {
+        "actor": snapshot.actor,
+        "metrics": {
+            "counters": metrics.counters,
+            "tagged": metrics.tagged,
+            "gauges": metrics.gauges,
+            "histograms": metrics.histograms,
+        },
+        "spans": [span_to_json(span) for span in snapshot.spans],
+        "profile": (snapshot.profile.to_json()
+                    if snapshot.profile is not None else None),
+    }
+
+
+def snapshot_from_json(data: dict) -> TelemetrySnapshot:
+    metrics = data.get("metrics", {})
+    profile = data.get("profile")
+    return TelemetrySnapshot(
+        actor=data.get("actor", "run"),
+        metrics=MetricsSnapshot(
+            counters=dict(metrics.get("counters", {})),
+            tagged={name: dict(cells)
+                    for name, cells in metrics.get("tagged", {}).items()},
+            gauges=dict(metrics.get("gauges", {})),
+            histograms=dict(metrics.get("histograms", {})),
+        ),
+        spans=tuple(span_from_json(span) for span in data.get("spans", [])),
+        profile=ProfileSnapshot.from_json(profile)
+        if profile is not None else None,
+    )
+
+
+# ----------------------------------------------------------------------
+# writer
+# ----------------------------------------------------------------------
+
+
+class TelemetryJournalWriter:
+    """Append-only CRC'd telemetry journal for one run-store directory.
+
+    Thread-safe: the recorder and CR threads of a pipelined run share one
+    writer, so appends serialize on a lock (this is the warm path — a few
+    entries per beat interval, never per instruction).
+
+    ``resume=True`` re-opens an existing journal after a crash: the valid
+    prefix is kept, any torn tail is truncated away, and the sequence
+    number continues from the last durable entry — exactly the frame
+    journal's contract.
+    """
+
+    def __init__(self, path: str, *, fsync: str = "interval",
+                 fsync_interval: int = 8, attempt: int = 0,
+                 resume: bool = False):
+        if fsync not in _FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {fsync!r}; choose one of "
+                f"{_FSYNC_POLICIES}"
+            )
+        self.path = path
+        self.fsync = fsync
+        self.fsync_interval = max(1, fsync_interval)
+        self.attempt = attempt
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._since_sync = 0
+        self._closed = False
+        if resume and os.path.exists(path):
+            scan = scan_telemetry_journal(path)
+            with open(path, "r+b") as handle:
+                handle.truncate(scan.valid_bytes)
+            self._seq = scan.next_seq
+        self._handle = open(path, "ab", buffering=0)
+
+    def _append(self, kind: str, body: dict):
+        body = dict(body)
+        body["kind"] = kind
+        body["attempt"] = self.attempt
+        with self._lock:
+            if self._closed:
+                return
+            body["seq"] = self._seq
+            self._seq += 1
+            line = json.dumps(
+                {"crc": _entry_crc(body), "body": body},
+                sort_keys=True, separators=(",", ":"), default=str,
+            ).encode("utf-8") + b"\n"
+            self._handle.write(line)
+            self._since_sync += 1
+            if self.fsync == "always" or (
+                    self.fsync == "interval"
+                    and self._since_sync >= self.fsync_interval):
+                os.fsync(self._handle.fileno())
+                self._since_sync = 0
+
+    def append_beat(self, actor: str, state: str, icount: int,
+                    frames: int = 0):
+        self._append("beat", {
+            "actor": actor,
+            "state": state,
+            "icount": icount,
+            "frames": frames,
+            "wall": time.time(),
+        })
+
+    def append_snapshot(self, snapshot: TelemetrySnapshot):
+        self._append("snapshot", snapshot_to_json(snapshot))
+
+    def close(self):
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self.fsync != "never":
+                try:
+                    os.fsync(self._handle.fileno())
+                except OSError:
+                    pass
+            self._handle.close()
+
+
+# ----------------------------------------------------------------------
+# recovery / reconstruction
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TelemetryJournalScan:
+    """Validated contents of one telemetry journal."""
+
+    path: str
+    #: Entry bodies that passed CRC + framing, in journal order.
+    entries: tuple = ()
+    #: Recovery notes (torn tail cut, CRC mismatch, sequence gap).
+    notes: tuple = ()
+    #: Byte length of the valid prefix (resume truncates to this).
+    valid_bytes: int = 0
+
+    @property
+    def next_seq(self) -> int:
+        """First unused sequence number for a resumed writer."""
+        seqs = [entry.get("seq", -1) for entry in self.entries]
+        return max(seqs) + 1 if seqs else 0
+
+    def beats(self) -> tuple:
+        return tuple(entry for entry in self.entries
+                     if entry.get("kind") == "beat")
+
+    def reconstruct(self, actor: str = "run") -> TelemetrySnapshot | None:
+        """Rebuild the run's telemetry from the journal.
+
+        Snapshot entries are cumulative per actor, so the newest entry
+        per ``(actor, attempt)`` wins and the survivors merge into one
+        run-level snapshot — the same fold the live pipeline performs at
+        phase boundaries, reconstructed post-hoc from disk.
+        """
+        latest: dict[tuple, dict] = {}
+        for entry in self.entries:
+            if entry.get("kind") != "snapshot":
+                continue
+            key = (entry.get("actor", "?"), entry.get("attempt", 0))
+            latest[key] = entry
+        if not latest:
+            return None
+        parts = [snapshot_from_json(entry)
+                 for _, entry in sorted(
+                     latest.items(),
+                     key=lambda item: item[1].get("seq", 0))]
+        return TelemetrySnapshot.merged(parts, actor=actor)
+
+
+def scan_telemetry_journal(path: str) -> TelemetryJournalScan:
+    """CRC-validate a telemetry journal, tolerating a torn tail.
+
+    Mirrors ``store/recover.py``'s journal scan: entries are accepted
+    only while framing, CRC, and sequence numbers all hold; the first
+    violation cuts the journal there and everything after it is reported
+    as a note, never parsed.
+    """
+    entries: list[dict] = []
+    notes: list[str] = []
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return TelemetryJournalScan(path=path,
+                                    notes=("telemetry journal missing",))
+    valid_bytes = 0
+    offset = 0
+    expected_seq: dict[int, int] = {}
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline < 0:
+            notes.append(
+                f"telemetry journal: dropped {len(data) - offset} byte "
+                f"torn tail after entry {len(entries) - 1}"
+            )
+            break
+        line = data[offset:newline]
+        try:
+            envelope = json.loads(line)
+            body = envelope["body"]
+            crc = envelope["crc"]
+        except (ValueError, KeyError, TypeError):
+            notes.append(
+                f"telemetry journal: dropped {len(data) - offset} trailing "
+                f"bytes (unparseable entry after entry {len(entries) - 1})"
+            )
+            break
+        if _entry_crc(body) != crc:
+            notes.append(
+                f"telemetry journal: dropped {len(data) - offset} trailing "
+                f"bytes (CRC mismatch at entry {len(entries)})"
+            )
+            break
+        attempt = body.get("attempt", 0)
+        seq = body.get("seq", -1)
+        want = expected_seq.get(attempt)
+        if want is not None and seq != want:
+            notes.append(
+                f"telemetry journal: sequence jump at entry {len(entries)} "
+                f"(attempt {attempt}: expected seq {want}, found {seq}) — "
+                f"dropping it and everything after"
+            )
+            break
+        expected_seq[attempt] = seq + 1
+        entries.append(body)
+        offset = newline + 1
+        valid_bytes = offset
+    return TelemetryJournalScan(
+        path=path,
+        entries=tuple(entries),
+        notes=tuple(notes),
+        valid_bytes=valid_bytes,
+    )
+
+
+def load_run_telemetry(store_path: str, actor: str = "run",
+                       ) -> tuple[TelemetrySnapshot | None,
+                                  TelemetryJournalScan]:
+    """Reconstruct a run store's telemetry from its durable journal."""
+    scan = scan_telemetry_journal(
+        os.path.join(store_path, TELEMETRY_JOURNAL_NAME))
+    return scan.reconstruct(actor=actor), scan

@@ -310,8 +310,27 @@ class MetricsRegistry:
         )
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition-format grammar.
+
+    Inside label values the format requires ``\\`` for a backslash,
+    ``\\"`` for a double quote, and ``\\n`` for a line feed — tags are
+    arbitrary strings (opcode names, error strings), so an unescaped
+    value can truncate or corrupt the whole scrape.
+    """
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
 def to_prometheus(snapshot: MetricsSnapshot, prefix: str = "repro") -> str:
-    """Render a snapshot in the Prometheus text exposition format."""
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Every exposed series gets its own ``# TYPE`` line — including the
+    derived ``_events`` (counter) and ``_max`` (gauge) series, which are
+    distinct metric families in the exposition grammar and were
+    previously emitted untyped.
+    """
 
     def metric_name(name: str) -> str:
         return f"{prefix}_{name}".replace(".", "_").replace("-", "_")
@@ -322,19 +341,26 @@ def to_prometheus(snapshot: MetricsSnapshot, prefix: str = "repro") -> str:
         full = metric_name(name)
         lines.append(f"# TYPE {full} counter")
         lines.append(f"{full} {value}")
+        lines.append(f"# TYPE {full}_events counter")
         lines.append(f"{full}_events {events}")
     for name in sorted(snapshot.tagged):
         full = metric_name(name)
         lines.append(f"# TYPE {full} counter")
         for tag in sorted(snapshot.tagged[name]):
-            value, events = snapshot.tagged[name][tag]
-            lines.append(f'{full}{{tag="{tag}"}} {value}')
-            lines.append(f'{full}_events{{tag="{tag}"}} {events}')
+            value, _ = snapshot.tagged[name][tag]
+            lines.append(
+                f'{full}{{tag="{escape_label_value(tag)}"}} {value}')
+        lines.append(f"# TYPE {full}_events counter")
+        for tag in sorted(snapshot.tagged[name]):
+            _, events = snapshot.tagged[name][tag]
+            lines.append(
+                f'{full}_events{{tag="{escape_label_value(tag)}"}} {events}')
     for name in sorted(snapshot.gauges):
         value, max_value = snapshot.gauges[name]
         full = metric_name(name)
         lines.append(f"# TYPE {full} gauge")
         lines.append(f"{full} {value}")
+        lines.append(f"# TYPE {full}_max gauge")
         lines.append(f"{full}_max {max_value}")
     for name in sorted(snapshot.histograms):
         counts, total, count, max_value = snapshot.histograms[name]

@@ -1,0 +1,327 @@
+"""Deterministic guest profiler: icount-strided PC sampling.
+
+The paper's replay guarantee makes profiling *free of Heisenberg effects*:
+because record and replay retire the same instruction stream, a sampler
+keyed to the deterministic instruction count sees the exact same PCs in
+both phases.  This module exploits that the CPU's batched run loop is
+**batch-schedule invariant** (the contract the differential suite in
+``tests/test_backend_equivalence.py`` enforces): capping any ``cpu.run``
+batch at the next sample-due icount cannot change recorded bytes,
+checkpoints, verdicts, or cycle accounting — so the profiler is
+bit-transparent by construction, like the rest of ``repro.obs``.
+
+Sampling semantics: the guest's PC is captured every time the retired
+instruction count crosses a multiple of ``SimulationConfig.profile_stride``
+(the sample is the PC *about to execute* at that icount).  Because the
+stride grid is global, epoch-parallel replay workers sample the same grid
+points as a sequential CR, and the merged profile is identical sample for
+sample — the profiler analogue of the telemetry merge discipline.
+
+Each sample is attributed on capture:
+
+* **kernel symbol** via :meth:`repro.kernel.image.KernelImage.function_at`
+  (user-mode PCs attribute to their page instead);
+* **task** via the context-switch interposer's live TID;
+* **opcode** by a read-only decode of the sampled instruction word;
+* **page** at the paging geometry's page size.
+
+Snapshots additionally carry the execution backend's trace-cache counters
+(``cpu/trace.py``: translations, hits, promotions, invalidations) so hot
+superblock churn lands next to the flame graph it explains.
+
+Exports: collapsed-stack flame graphs (the ``frame;frame count`` lines
+``flamegraph.pl`` / speedscope consume), plus per-function, per-opcode and
+per-page heat tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import try_decode
+
+
+class GuestProfiler:
+    """One actor's PC sampler; nil unless ``config.profile`` is on.
+
+    Run loops hold the instance in a local and interact through two calls:
+
+    * :meth:`cap_batch` — bound the next ``cpu.run`` batch so execution
+      stops exactly on the stride grid;
+    * :meth:`maybe_sample` — at the loop top, capture a sample when the
+      icount sits on a due grid point (idempotent per grid point, so a
+      loop that passes the same icount twice — interrupt injection,
+      queued async records — samples once).
+
+    The profiler never mutates guest state: memory reads go through the
+    read-only fetch path and failures degrade the attribution, never the
+    run.
+    """
+
+    def __init__(self, actor: str, stride: int, *, kernel=None,
+                 page_size: int = 256, start_icount: int = 0):
+        if stride <= 0:
+            raise ValueError(f"profile stride must be positive, got {stride}")
+        self.actor = actor
+        self.stride = stride
+        self.kernel = kernel
+        self.page_size = page_size
+        #: Next icount grid point due for a sample.  Grid points are global
+        #: multiples of the stride, so a profiler seeded mid-run (an AR or
+        #: an epoch worker) lands on the same points as a full-run one.
+        self.next_due = self._grid_after(start_icount)
+        #: Raw samples: ``(icount, pc, tid, user)`` in capture order
+        #: (strictly increasing icount by construction).
+        self.samples: list[tuple[int, int, int, int]] = []
+        self._stacks: dict[str, int] = {}
+        self._functions: dict[str, int] = {}
+        self._opcodes: dict[str, int] = {}
+        self._pages: dict[int, int] = {}
+
+    @classmethod
+    def for_config(cls, config, actor: str, *, kernel=None,
+                   start_icount: int = 0) -> "GuestProfiler | None":
+        """The nil-sink constructor: ``None`` unless ``config.profile``."""
+        if not getattr(config, "profile", False):
+            return None
+        return cls(actor, config.profile_stride, kernel=kernel,
+                   page_size=config.page_size, start_icount=start_icount)
+
+    def _grid_after(self, icount: int) -> int:
+        """First stride multiple strictly greater than ``icount`` — except
+        that ``icount`` itself is due when it sits on the grid (so a
+        profiler seeded exactly at a boundary samples it)."""
+        if icount % self.stride == 0:
+            return icount
+        return (icount // self.stride + 1) * self.stride
+
+    def reseed(self, icount: int):
+        """Re-aim at the grid after a checkpoint restore moved the icount.
+
+        The grid itself never moves — multiples of the stride stay global —
+        so a replayer that jumps to a checkpoint resumes sampling at
+        exactly the points a from-the-start run would have hit.  Strictly
+        *after* the restore point: when the checkpoint sits on the grid
+        (epoch boundaries by construction often do), that sample belongs
+        to the run that executed up to it — the previous epoch captured it
+        at its budget stop, and a seeded worker re-sampling it would
+        duplicate the point in the stitched stream."""
+        self.next_due = (icount // self.stride + 1) * self.stride
+
+    # ------------------------------------------------------------------
+    # hot-loop surface
+    # ------------------------------------------------------------------
+
+    def cap_batch(self, batch: int, icount: int) -> int:
+        """Bound ``batch`` so ``cpu.run`` stops at the next grid point."""
+        until = self.next_due - icount
+        if until <= 0:
+            # The loop top will sample this point before running; stop at
+            # the following grid point.
+            until += self.stride
+        return until if until < batch else batch
+
+    def maybe_sample(self, cpu, tid: int = 0):
+        """Capture a sample if the CPU sits on a due grid point."""
+        icount = cpu.icount
+        if icount < self.next_due:
+            return
+        self._capture(cpu, icount, tid)
+        self.next_due = icount + self.stride
+
+    # ------------------------------------------------------------------
+    # capture + attribution
+    # ------------------------------------------------------------------
+
+    def _capture(self, cpu, icount: int, tid: int):
+        pc = cpu.pc
+        user = 1 if cpu.user else 0
+        self.samples.append((icount, pc, tid, user))
+        word = None
+        try:
+            page, lo, _hi = cpu.memory.fetch_page(pc, cpu.user)
+            word = page[pc - lo]
+        except Exception:
+            pass  # unfetchable PC (mid-fault): attribution degrades only
+        opcode = "unfetchable"
+        if word is not None:
+            instr = try_decode(word)
+            opcode = instr.op.name.lower() if instr is not None else "invalid"
+        frame = self._symbolize(pc, user)
+        stack = f"{self.actor};task{tid};{frame}"
+        self._stacks[stack] = self._stacks.get(stack, 0) + 1
+        self._functions[frame] = self._functions.get(frame, 0) + 1
+        self._opcodes[opcode] = self._opcodes.get(opcode, 0) + 1
+        page_index = pc // self.page_size
+        self._pages[page_index] = self._pages.get(page_index, 0) + 1
+
+    def _symbolize(self, pc: int, user: int) -> str:
+        if user:
+            return f"user;page_{pc // self.page_size:#x}"
+        name = self.kernel.function_at(pc) if self.kernel is not None else None
+        return f"kernel;{name if name is not None else f'pc_{pc:#x}'}"
+
+    # ------------------------------------------------------------------
+    # snapshot
+    # ------------------------------------------------------------------
+
+    def snapshot(self, backend_stats: dict | None = None) -> "ProfileSnapshot":
+        return ProfileSnapshot(
+            actor=self.actor,
+            stride=self.stride,
+            samples=tuple(self.samples),
+            stacks=dict(self._stacks),
+            functions=dict(self._functions),
+            opcodes=dict(self._opcodes),
+            pages=dict(self._pages),
+            backend=dict(backend_stats) if backend_stats else {},
+        )
+
+
+@dataclass
+class ProfileSnapshot:
+    """Picklable dump of one profiler; merges icount-ordered across
+    epochs, phases, and fleet sessions.
+
+    ``samples`` stays raw — ``(icount, pc, tid, user)`` — so merged
+    profiles can be compared sample for sample (the determinism tests do
+    exactly that); the aggregate tables merge by addition like
+    :class:`~repro.obs.metrics.MetricsSnapshot`.
+    """
+
+    actor: str = "profile"
+    stride: int = 0
+    samples: tuple = ()
+    #: Collapsed-stack counts: ``"actor;taskN;mode;frame" -> samples``.
+    stacks: dict = field(default_factory=dict)
+    functions: dict = field(default_factory=dict)
+    opcodes: dict = field(default_factory=dict)
+    pages: dict = field(default_factory=dict)
+    #: Execution-backend counters at snapshot time (trace-cache churn).
+    backend: dict = field(default_factory=dict)
+
+    @property
+    def sample_count(self) -> int:
+        return len(self.samples)
+
+    @classmethod
+    def merged(cls, snapshots, actor: str = "run") -> "ProfileSnapshot":
+        """Fold many profiles into one, samples globally icount-ordered.
+
+        Every input's sample stream must already be icount-sorted (the
+        capture loop guarantees it); a violation means a producer bug and
+        raises rather than silently reordering history.  Across inputs the
+        merge sorts by ``(icount, actor-order)`` — epochs partition the
+        icount axis, so out-of-order epoch completion cannot change the
+        merged stream.
+        """
+        stride = 0
+        tagged: list[tuple[int, int, tuple]] = []
+        stacks: dict[str, int] = {}
+        functions: dict[str, int] = {}
+        opcodes: dict[str, int] = {}
+        pages: dict[int, int] = {}
+        backend: dict[str, int] = {}
+        for order, snap in enumerate(snapshots):
+            if snap is None:
+                continue
+            stride = stride or snap.stride
+            last = -1
+            for sample in snap.samples:
+                if sample[0] < last:
+                    raise ValueError(
+                        f"profile samples from {snap.actor!r} are not "
+                        f"icount-ordered: {sample[0]} after {last}"
+                    )
+                last = sample[0]
+                tagged.append((sample[0], order, sample))
+            for key, count in snap.stacks.items():
+                stacks[key] = stacks.get(key, 0) + count
+            for key, count in snap.functions.items():
+                functions[key] = functions.get(key, 0) + count
+            for key, count in snap.opcodes.items():
+                opcodes[key] = opcodes.get(key, 0) + count
+            for key, count in snap.pages.items():
+                pages[key] = pages.get(key, 0) + count
+            for key, count in snap.backend.items():
+                backend[key] = backend.get(key, 0) + count
+        tagged.sort(key=lambda item: (item[0], item[1]))
+        return cls(
+            actor=actor,
+            stride=stride,
+            samples=tuple(item[2] for item in tagged),
+            stacks=stacks,
+            functions=functions,
+            opcodes=opcodes,
+            pages=pages,
+            backend=backend,
+        )
+
+    # -- exports -------------------------------------------------------
+
+    def collapsed_stacks(self) -> str:
+        """Brendan-Gregg collapsed format: one ``frame;frame count`` line
+        per distinct stack, ready for ``flamegraph.pl`` or speedscope."""
+        lines = [f"{stack} {count}"
+                 for stack, count in sorted(self.stacks.items())]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self) -> dict:
+        """Plain-data form for the telemetry journal (see ``obs/journal``)."""
+        return {
+            "actor": self.actor,
+            "stride": self.stride,
+            "samples": [list(sample) for sample in self.samples],
+            "stacks": self.stacks,
+            "functions": self.functions,
+            "opcodes": self.opcodes,
+            "pages": {str(page): count for page, count in self.pages.items()},
+            "backend": self.backend,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ProfileSnapshot":
+        return cls(
+            actor=data.get("actor", "profile"),
+            stride=data.get("stride", 0),
+            samples=tuple(tuple(sample) for sample in data.get("samples", [])),
+            stacks=dict(data.get("stacks", {})),
+            functions=dict(data.get("functions", {})),
+            opcodes=dict(data.get("opcodes", {})),
+            pages={int(page): count
+                   for page, count in data.get("pages", {}).items()},
+            backend=dict(data.get("backend", {})),
+        )
+
+    def tables(self, top: int = 12) -> str:
+        """Human-readable heat tables (``repro stats``)."""
+        lines: list[str] = []
+
+        def table(title: str, header: str, rows):
+            rows = sorted(rows, key=lambda row: -row[1])[:top]
+            if not rows:
+                return
+            lines.append(f"{header:<44} samples")
+            lines.append("-" * 54)
+            for key, count in rows:
+                lines.append(f"{key:<44} {count:>7,}")
+            lines.append("")
+
+        if self.samples:
+            lines.append(
+                f"profile: {len(self.samples):,} samples @ stride "
+                f"{self.stride:,} (icount {self.samples[0][0]:,} .. "
+                f"{self.samples[-1][0]:,})"
+            )
+            lines.append("")
+        table("functions", "hot symbol", self.functions.items())
+        table("opcodes", "opcode", self.opcodes.items())
+        table("pages", "code page", (
+            (f"page_{page:#x}", count) for page, count in self.pages.items()))
+        if self.backend:
+            lines.append(f"{'trace-cache counter':<44} value")
+            lines.append("-" * 54)
+            for key in sorted(self.backend):
+                lines.append(f"{key:<44} {self.backend[key]:>7,}")
+            lines.append("")
+        return "\n".join(lines)

@@ -26,6 +26,7 @@ from repro.obs.metrics import (
     bucket_bounds,
     to_prometheus,
 )
+from repro.obs.profile import ProfileSnapshot
 from repro.obs.trace import SpanEvent, SpanTracer, to_chrome_trace, to_jsonl
 
 #: Instructions between heartbeat publishes — rate-limits beats with the
@@ -37,23 +38,34 @@ class Telemetry:
     """Per-actor metrics + spans + (optional) liveness heartbeat."""
 
     def __init__(self, actor: str, heartbeat=None,
-                 beat_interval: int = BEAT_INTERVAL_INSTRUCTIONS):
+                 beat_interval: int = BEAT_INTERVAL_INSTRUCTIONS,
+                 journal=None):
         self.actor = actor
         self.registry = MetricsRegistry()
         self.tracer = SpanTracer(actor)
         #: Optional :class:`~repro.obs.heartbeat.HeartbeatReporter`.
         self.heartbeat = heartbeat
+        #: Optional durable sink (:class:`~repro.obs.journal.
+        #: TelemetryJournalWriter`): beats are journaled as they publish
+        #: and a cumulative snapshot is journaled every few beats, so a
+        #: killed run leaves a reconstructable telemetry trail on disk.
+        self.journal = journal
         self._beat_interval = beat_interval
         self._last_beat_icount = 0
+        self._beats_journaled = 0
+        self._profile: "ProfileSnapshot | None" = None
 
     @classmethod
-    def for_config(cls, config, actor: str,
-                   heartbeat=None) -> "Telemetry | None":
-        """The instance call sites guard on: ``None`` unless telemetry is
-        enabled in ``config`` or a heartbeat sink is attached."""
-        if heartbeat is None and not getattr(config, "telemetry", False):
+    def for_config(cls, config, actor: str, heartbeat=None,
+                   journal=None) -> "Telemetry | None":
+        """The instance call sites guard on: ``None`` unless telemetry (or
+        the profiler, whose snapshot rides telemetry) is enabled in
+        ``config``, or a heartbeat/journal sink is attached."""
+        if (heartbeat is None and journal is None
+                and not getattr(config, "telemetry", False)
+                and not getattr(config, "profile", False)):
             return None
-        return cls(actor, heartbeat=heartbeat)
+        return cls(actor, heartbeat=heartbeat, journal=journal)
 
     @classmethod
     def for_tool(cls, actor: str) -> "Telemetry":
@@ -101,32 +113,57 @@ class Telemetry:
     # heartbeat
     # ------------------------------------------------------------------
 
+    #: Beats between cumulative snapshot entries in the durable journal —
+    #: bounds what a kill -9 can lose to a few beat intervals of history.
+    JOURNAL_SNAPSHOT_EVERY_BEATS = 4
+
     def maybe_beat(self, state: str, icount: int, frames: int = 0):
         """Publish liveness if at least the beat interval of instructions
         has retired since the last publish (deterministic rate limit)."""
-        heartbeat = self.heartbeat
-        if heartbeat is None:
+        if self.heartbeat is None and self.journal is None:
             return
         if icount - self._last_beat_icount < self._beat_interval:
             return
         self._last_beat_icount = icount
-        heartbeat.publish(state, icount, frames)
+        if self.heartbeat is not None:
+            self.heartbeat.publish(state, icount, frames)
+        self._journal_beat(state, icount, frames)
 
     def beat(self, state: str, icount: int = 0, frames: int = 0):
         """Publish liveness unconditionally (phase transitions)."""
+        if self.heartbeat is None and self.journal is None:
+            return
+        self._last_beat_icount = icount
         if self.heartbeat is not None:
-            self._last_beat_icount = icount
             self.heartbeat.publish(state, icount, frames)
+        self._journal_beat(state, icount, frames, force_snapshot=True)
+
+    def _journal_beat(self, state: str, icount: int, frames: int,
+                      force_snapshot: bool = False):
+        journal = self.journal
+        if journal is None:
+            return
+        journal.append_beat(self.actor, state, icount, frames)
+        self._beats_journaled += 1
+        if (force_snapshot
+                or self._beats_journaled % self.JOURNAL_SNAPSHOT_EVERY_BEATS
+                == 0):
+            journal.append_snapshot(self.snapshot())
 
     # ------------------------------------------------------------------
     # snapshots
     # ------------------------------------------------------------------
+
+    def attach_profile(self, profile: "ProfileSnapshot | None"):
+        """Attach the actor's guest profile so it rides :meth:`snapshot`."""
+        self._profile = profile
 
     def snapshot(self) -> "TelemetrySnapshot":
         return TelemetrySnapshot(
             actor=self.actor,
             metrics=self.registry.snapshot(),
             spans=tuple(self.tracer.events),
+            profile=self._profile,
         )
 
 
@@ -144,18 +181,27 @@ class TelemetrySnapshot:
     actor: str
     metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
     spans: tuple = ()
+    #: Guest profile (``None`` unless ``config.profile``): raw samples plus
+    #: heat tables, merged icount-ordered across epochs/phases/sessions.
+    profile: "ProfileSnapshot | None" = None
 
     @classmethod
     def merged(cls, snapshots, actor: str = "run") -> "TelemetrySnapshot":
         """Fold many actor snapshots into one run-level snapshot."""
         metrics = MetricsSnapshot()
         spans: list[SpanEvent] = []
+        profiles: list[ProfileSnapshot] = []
         for snapshot in snapshots:
             if snapshot is None:
                 continue
             metrics.merge(snapshot.metrics)
             spans.extend(snapshot.spans)
-        return cls(actor=actor, metrics=metrics, spans=tuple(spans))
+            if snapshot.profile is not None:
+                profiles.append(snapshot.profile)
+        profile = (ProfileSnapshot.merged(profiles, actor=actor)
+                   if profiles else None)
+        return cls(actor=actor, metrics=metrics, spans=tuple(spans),
+                   profile=profile)
 
     # -- exports -------------------------------------------------------
 
@@ -226,4 +272,6 @@ class TelemetrySnapshot:
                     low, high = bucket_bounds(index)
                     lines.append(f"    [{low:>12,} .. {high:>12,}) {bucket:>9,}")
             lines.append("")
+        if self.profile is not None and self.profile.sample_count:
+            lines.append(self.profile.tables())
         return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""``repro top``: a live fleet board fed by the durable telemetry journals.
+
+PR 7's heartbeat board is shared memory — it dies with the driver.  This
+board reads each session's ``telemetry.jsonl`` beat timeline straight off
+disk, so it works from any process, keeps working while the supervisor
+heals sessions, and renders history (instr/s sparklines), not just the
+latest row.
+
+Healed sessions: the journal stamps every entry with the writer's attempt
+number, and rates are only ever computed between beats of the *same*
+attempt — a relaunched session's icounts never mix with its
+predecessor's, so a heal shows up as a sparkline reset, not a negative
+rate spike (the satellite regression tests pin this).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.obs.aggregate import discover_run_dirs
+from repro.obs.heartbeat import STALE_AFTER_S
+from repro.obs.journal import TELEMETRY_JOURNAL_NAME, scan_telemetry_journal
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+_TERMINAL_STATES = ("done", "failed", "complete")
+
+
+def sparkline(values, width: int = 12) -> str:
+    """Render the last ``width`` values as a unicode sparkline."""
+    tail = [max(0.0, float(value)) for value in values][-width:]
+    if not tail:
+        return ""
+    peak = max(tail)
+    if peak <= 0:
+        return _SPARK_CHARS[0] * len(tail)
+    top = len(_SPARK_CHARS) - 1
+    return "".join(_SPARK_CHARS[round(value / peak * top)] for value in tail)
+
+
+@dataclass
+class SessionView:
+    """One session directory's state, derived from its beat timeline."""
+
+    name: str
+    path: str
+    #: Newest attempt seen in the journal (heals increment it).
+    attempt: int = 0
+    actor: str = "-"
+    state: str = "-"
+    icount: int = 0
+    frames: int = 0
+    #: Wall time of the newest beat (seconds since the epoch), 0 if none.
+    last_wall: float = 0.0
+    #: instr/s between consecutive same-actor beats of the newest attempt.
+    rates: tuple = ()
+    #: Attempts before the newest one (>0 means the session healed).
+    heals: int = 0
+
+    @property
+    def instr_s(self) -> float:
+        return self.rates[-1] if self.rates else 0.0
+
+    def age_s(self, now: float | None = None) -> float:
+        if self.last_wall <= 0:
+            return 0.0
+        return max(0.0, (time.time() if now is None else now)
+                   - self.last_wall)
+
+    def is_stale(self, now: float | None = None,
+                 stale_after_s: float = STALE_AFTER_S) -> bool:
+        if self.state in _TERMINAL_STATES:
+            return False
+        return self.age_s(now) > stale_after_s
+
+    @classmethod
+    def from_journal(cls, name: str, path: str) -> "SessionView":
+        scan = scan_telemetry_journal(
+            os.path.join(path, TELEMETRY_JOURNAL_NAME))
+        beats = scan.beats()
+        view = cls(name=name, path=path)
+        if not beats:
+            return view
+        newest_attempt = max(beat.get("attempt", 0) for beat in beats)
+        attempts = {beat.get("attempt", 0) for beat in beats}
+        view.attempt = newest_attempt
+        view.heals = len(attempts) - 1
+        current = [beat for beat in beats
+                   if beat.get("attempt", 0) == newest_attempt]
+        last = current[-1]
+        view.actor = last.get("actor", "-")
+        view.state = last.get("state", "-")
+        view.icount = last.get("icount", 0)
+        view.frames = last.get("frames", 0)
+        view.last_wall = last.get("wall", 0.0)
+        # Rate between consecutive beats of the same actor within this
+        # attempt: the record and CR actors interleave in one journal, and
+        # their icount streams are independent clocks.
+        rates: list[float] = []
+        prev_by_actor: dict[str, dict] = {}
+        for beat in current:
+            actor = beat.get("actor", "-")
+            prev = prev_by_actor.get(actor)
+            if prev is not None:
+                d_icount = beat.get("icount", 0) - prev.get("icount", 0)
+                d_wall = beat.get("wall", 0.0) - prev.get("wall", 0.0)
+                if d_icount >= 0 and d_wall > 0:
+                    rates.append(d_icount / d_wall)
+            prev_by_actor[actor] = beat
+        view.rates = tuple(rates)
+        return view
+
+
+class TopBoard:
+    """Discover and render every session under a run/fleet directory."""
+
+    def __init__(self, root: str, stale_after_s: float = STALE_AFTER_S):
+        self.root = root
+        self.stale_after_s = stale_after_s
+
+    def views(self) -> list[SessionView]:
+        return [SessionView.from_journal(os.path.basename(path.rstrip("/"))
+                                         or path, path)
+                for path in discover_run_dirs(self.root)]
+
+    def render(self, now: float | None = None) -> str:
+        views = self.views()
+        now = time.time() if now is None else now
+        lines = [
+            f"{'session':<14} {'state':<10} {'icount':>12} {'frames':>7} "
+            f"{'instr/s':>12} {'trend':<12} {'age':>6}  flags"
+        ]
+        lines.append("-" * 88)
+        for view in views:
+            flags = []
+            if view.is_stale(now, self.stale_after_s):
+                flags.append("WEDGED?")
+            if view.heals:
+                flags.append(f"healed x{view.heals}")
+            label = f"{view.actor}:{view.state}" if view.actor != "-" \
+                else view.state
+            lines.append(
+                f"{view.name:<14} {label:<10.10} {view.icount:>12,} "
+                f"{view.frames:>7,} {view.instr_s:>12,.0f} "
+                f"{sparkline(view.rates):<12} {view.age_s(now):>5.1f}s  "
+                f"{' '.join(flags)}".rstrip()
+            )
+        if not views:
+            lines.append(f"(no telemetry journals under {self.root})")
+        total_rate = sum(view.instr_s for view in views
+                         if not view.is_stale(now, self.stale_after_s)
+                         and view.state not in _TERMINAL_STATES)
+        done = sum(1 for view in views if view.state in _TERMINAL_STATES)
+        lines.append("")
+        lines.append(
+            f"{len(views)} session(s), {done} finished, "
+            f"fleet rate {total_rate:,.0f} instr/s"
+        )
+        return "\n".join(lines)
+
+
+def watch(root: str, *, interval_s: float = 1.0, iterations: int | None = None,
+          stale_after_s: float = STALE_AFTER_S, out=None) -> None:
+    """Render the board every ``interval_s`` until interrupted.
+
+    ``iterations`` bounds the loop for tests/CI; ``None`` runs until
+    Ctrl-C.  Terminates early once every session reaches a terminal
+    state.
+    """
+    import sys
+
+    out = sys.stdout if out is None else out
+    board = TopBoard(root, stale_after_s=stale_after_s)
+    count = 0
+    try:
+        while iterations is None or count < iterations:
+            text = board.render()
+            out.write("\x1b[2J\x1b[H" if out.isatty() else "")
+            out.write(text + "\n")
+            out.flush()
+            count += 1
+            views = board.views()
+            if views and all(view.state in _TERMINAL_STATES
+                             for view in views):
+                break
+            if iterations is None or count < iterations:
+                time.sleep(interval_s)
+    except KeyboardInterrupt:
+        pass

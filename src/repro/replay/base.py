@@ -26,6 +26,7 @@ from repro.errors import HypervisorError, ReplayDivergenceError
 from repro.hypervisor.emulation import emulate_pio_out
 from repro.hypervisor.interpose import ContextSwitchInterposer
 from repro.hypervisor.machine import GuestMachine, MachineSpec
+from repro.obs.profile import GuestProfiler
 from repro.obs.telemetry import Telemetry
 from repro.perf.account import Category
 from repro.perf.report import RunMetrics
@@ -105,6 +106,12 @@ class DeterministicReplayer:
         self.telemetry = (telemetry if telemetry is not None else
                           Telemetry.for_config(spec.config,
                                                self.TELEMETRY_ACTOR))
+        #: Deterministic guest profiler, mirroring the recorder's hooks:
+        #: because replay retires the identical instruction stream, its
+        #: samples land on the same global stride grid and capture the
+        #: same PCs — the determinism tests compare the streams directly.
+        self.profiler = GuestProfiler.for_config(
+            spec.config, self.TELEMETRY_ACTOR, kernel=spec.kernel)
 
     # ------------------------------------------------------------------
     # checkpoint restore (shared by AR, auditors, profilers)
@@ -135,6 +142,8 @@ class DeterministicReplayer:
             checkpoint.backras.get(checkpoint.current_tid, ())
         )
         self.cursor.position = checkpoint.log_position
+        if self.profiler is not None:
+            self.profiler.reseed(machine.cpu.icount)
         if tel is not None:
             tel.count("checkpoints_restored")
             tel.end(token, machine.cpu.icount)
@@ -189,7 +198,15 @@ class DeterministicReplayer:
             start_icount = cpu.icount
             start_position = self.cursor.position
             last_icount = start_icount
+        prof = self.profiler
         while not self.stop_requested:
+            # Profiler sample first, before any due asynchronous record is
+            # applied: the recorder sampled before interrupt injection at
+            # this icount, so the captured PC is the pre-delivery one on
+            # both sides (idempotent per grid point — re-entering the loop
+            # top to drain queued records samples once).
+            if prof is not None:
+                prof.maybe_sample(cpu, self.interposer.current_tid)
             icount = cpu.icount
             budget_reached = (max_instructions is not None
                               and icount >= max_instructions)
@@ -238,6 +255,8 @@ class DeterministicReplayer:
                     "guest halted but the next log record is not due",
                     icount=icount,
                 )
+            if prof is not None:
+                batch = prof.cap_batch(batch, icount)
             exit_event = cpu.run(batch)
             if tel is not None:
                 now_icount = cpu.icount
@@ -266,6 +285,8 @@ class DeterministicReplayer:
             if self.sentinels_verified:
                 registry.gauge(f"{actor}.sentinels_verified").set(
                     self.sentinels_verified)
+            if prof is not None:
+                tel.attach_profile(prof.snapshot(backend_stats))
             tel.end(phase_token, cpu.icount,
                     stop=self.stop_reason or self.machine.stop_reason)
         return self._build_result()

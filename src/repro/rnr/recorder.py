@@ -23,6 +23,7 @@ from repro.hypervisor.emulation import emulate_pio_in, emulate_pio_out
 from repro.hypervisor.interpose import ContextSwitchInterposer
 from repro.hypervisor.machine import GuestMachine, MachineSpec
 from repro.kernel.tasks import current_task
+from repro.obs.profile import GuestProfiler
 from repro.obs.telemetry import Telemetry, TelemetrySnapshot
 from repro.perf.account import Category
 from repro.perf.report import RunMetrics
@@ -174,6 +175,12 @@ class Recorder:
         #: the run loop pays one ``is not None`` test per batch at most.
         self.telemetry = (telemetry if telemetry is not None
                           else Telemetry.for_config(spec.config, "record"))
+        #: Deterministic guest profiler (``None`` unless ``config.profile``).
+        #: Bit-transparent: it only caps batch sizes at sample boundaries,
+        #: which batch-schedule invariance guarantees cannot change the
+        #: recording, and reads guest state without mutating it.
+        self.profiler = GuestProfiler.for_config(
+            spec.config, "record", kernel=spec.kernel)
 
     # ------------------------------------------------------------------
     # configuration
@@ -220,8 +227,16 @@ class Recorder:
             last_icount = cpu.icount
         machine.timer.start(0)
         epoch_targets = self._epoch_targets
+        prof = self.profiler
         while not machine.stopped:
-            # Epoch capture first, before the sentinel check and world
+            # Profiler sample first: the loop top is the quiescent point
+            # both record and replay pass at every stride grid icount
+            # (the batch cap below guarantees execution stops there), and
+            # sampling before interrupt injection means the captured PC is
+            # the interrupted instruction on both sides.
+            if prof is not None:
+                prof.maybe_sample(cpu, self.interposer.current_tid)
+            # Epoch capture next, before the sentinel check and world
             # events: records logged later at this loop top then land at
             # positions past the captured InputLogPtr, i.e. in the *next*
             # epoch, whose worker applies them from the restored seed
@@ -259,6 +274,8 @@ class Recorder:
                     until_due = next_due - machine.now
                     if until_due < batch:
                         batch = until_due if until_due > 0 else 1
+            if prof is not None:
+                batch = prof.cap_batch(batch, cpu.icount)
             exit_event = cpu.run(batch)
             if tel is not None:
                 icount = cpu.icount
@@ -274,6 +291,11 @@ class Recorder:
                     if alarm is not None:
                         self._log_watchdog_alarm(alarm)
         machine.timer.stop()
+        if prof is not None:
+            # A stop raised mid-batch (halt, shutdown) skips the loop top;
+            # sample the final grid point here so replay — whose loop top
+            # still passes it before consuming the End record — agrees.
+            prof.maybe_sample(cpu, self.interposer.current_tid)
         if options.log_enabled:
             digest = machine.state_digest() if options.digest else 0
             self.log.append(EndRecord(icount=cpu.icount, digest=digest))
@@ -605,6 +627,8 @@ class Recorder:
         # One source of truth: snapshot the simulated cycle account itself.
         registry.adopt_tagged("record.overhead_cycles",
                               machine.account.counter)
+        if self.profiler is not None:
+            tel.attach_profile(self.profiler.snapshot(backend_stats))
 
     def _build_result(self) -> RecordingRun:
         machine = self.machine

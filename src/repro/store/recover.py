@@ -30,6 +30,7 @@ from repro.rnr.log import InputLog
 from repro.rnr.records import EndRecord
 from repro.rnr.serialize import parse_frame
 from repro.rnr.session import SessionManifest
+from repro.obs.journal import TELEMETRY_JOURNAL_NAME, scan_telemetry_journal
 from repro.store.runstore import (
     CHECKPOINT_DIR,
     JOURNAL_NAME,
@@ -84,6 +85,9 @@ class ResumePoint:
     frame_records: int | None = None
     #: Fsync policy the original writer ran with.
     fsync: str = "interval"
+    #: Valid entries recovered from ``telemetry.jsonl`` (0 = no journal
+    #: or telemetry was off; damage there never blocks a resume).
+    telemetry_entries: int = 0
 
     @property
     def window(self) -> tuple[int, int]:
@@ -210,6 +214,16 @@ def recover_run(path: str | pathlib.Path) -> ResumePoint:
     entries = body.get("checkpoints") or []
     loaded = _load_chain(root, entries, records, recording_complete, notes)
 
+    # The telemetry journal is observability, never resume state: scan it
+    # with the same trust-only-CRCs discipline so fsck surfaces damage,
+    # but a torn or missing telemetry.jsonl cannot degrade the resume.
+    telemetry_entries = 0
+    telemetry_path = root / TELEMETRY_JOURNAL_NAME
+    if telemetry_path.exists():
+        telemetry_scan = scan_telemetry_journal(str(telemetry_path))
+        telemetry_entries = len(telemetry_scan.entries)
+        notes.extend(telemetry_scan.notes)
+
     cr_state = None
     anchor_icount = None
     anchor_log_position = 0
@@ -244,6 +258,7 @@ def recover_run(path: str | pathlib.Path) -> ResumePoint:
         notes=tuple(notes),
         frame_records=body.get("frame_records"),
         fsync=body.get("fsync", "interval"),
+        telemetry_entries=telemetry_entries,
     )
 
 
@@ -284,6 +299,7 @@ class FsckReport:
                 checkpoints=len(resume.chain_entries),
                 anchor_icount=resume.anchor_icount,
                 last_icount=resume.last_icount,
+                telemetry_entries=resume.telemetry_entries,
             )
         return info
 
@@ -334,6 +350,7 @@ def fsck_run(path: str | pathlib.Path) -> str:
         f"  checkpoints: {len(resume.chain_entries)} valid "
         f"(anchor icount "
         f"{resume.anchor_icount if resume.anchor_icount is not None else '-'})",
+        f"  telemetry: {resume.telemetry_entries} journal entries",
     ]
     for note in resume.notes:
         lines.append(f"  note: {note}")

@@ -43,6 +43,7 @@ import zlib
 from typing import TYPE_CHECKING
 
 from repro.errors import HypervisorError, LogError, StoreCorruptError
+from repro.obs.journal import TELEMETRY_JOURNAL_NAME, TelemetryJournalWriter
 from repro.rnr.session import SessionManifest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -179,6 +180,8 @@ class RunStoreWriter:
         self._journal_bytes = 0
         self._unsynced_frames = 0
         self._closed = False
+        self._telemetry_journal: TelemetryJournalWriter | None = None
+        self._telemetry_resume = resume is not None
 
         self.path.mkdir(parents=True, exist_ok=True)
         (self.path / CHECKPOINT_DIR).mkdir(exist_ok=True)
@@ -266,6 +269,36 @@ class RunStoreWriter:
             self._write_manifest_locked()
 
     # ------------------------------------------------------------------
+    # telemetry journal
+    # ------------------------------------------------------------------
+
+    def telemetry_journal(self) -> TelemetryJournalWriter:
+        """The run's durable telemetry journal (created on first use).
+
+        Shares the store's fsync policy and attempt number; on a resumed
+        run the predecessor's valid entries are kept (torn tail
+        truncated) and this attempt's entries append after them, so the
+        journal holds the whole history of the run across heals without
+        ever mixing the attempts' icount streams.
+        """
+        with self._lock:
+            if self._telemetry_journal is None:
+                self._telemetry_journal = TelemetryJournalWriter(
+                    str(self.path / TELEMETRY_JOURNAL_NAME),
+                    fsync=self.fsync,
+                    fsync_interval=self.fsync_interval,
+                    attempt=self.attempt,
+                    resume=self._telemetry_resume,
+                )
+            return self._telemetry_journal
+
+    def persist_telemetry(self, snapshot):
+        """Journal a final (cumulative) telemetry snapshot for the run."""
+        if snapshot is None:
+            return
+        self.telemetry_journal().append_snapshot(snapshot)
+
+    # ------------------------------------------------------------------
     # checkpoints
     # ------------------------------------------------------------------
 
@@ -305,6 +338,11 @@ class RunStoreWriter:
 
     def finish(self, final_icount: int, verdicts=()):
         """Mark the run complete (CR done, verdicts in) and close."""
+        if self._telemetry_journal is not None:
+            # Terminal beat: `repro top` reads liveness from the beat
+            # timeline, and without this a finished run looks wedged
+            # forever (its last periodic beat just stops aging well).
+            self._telemetry_journal.append_beat("run", "done", final_icount)
         with self._lock:
             self._result_meta = {
                 "final_icount": final_icount,
@@ -315,10 +353,12 @@ class RunStoreWriter:
         self.close()
 
     def close(self):
-        """Flush and release the journal handle (idempotent)."""
+        """Flush and release the journal handles (idempotent)."""
         if self._closed:
             return
         self._closed = True
+        if self._telemetry_journal is not None:
+            self._telemetry_journal.close()
         if self._journal is not None:
             try:
                 if self.fsync != "never":
@@ -343,6 +383,9 @@ class RunStoreWriter:
             "frame_records": self.frame_records,
             "journal": {"frames": self._frames,
                         "bytes": self._journal_bytes},
+            "telemetry": ({"file": TELEMETRY_JOURNAL_NAME,
+                           "entries": self._telemetry_journal._seq}
+                          if self._telemetry_journal is not None else None),
             "recording": self._recording_meta,
             "checkpoints": [self._chain[cid] for cid in sorted(self._chain)],
             "result": self._result_meta,

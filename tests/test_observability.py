@@ -589,3 +589,130 @@ class TestTelemetrySnapshot:
         text = observed.telemetry.tables()
         assert "phase" in text
         assert "record.instructions" in text
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition grammar
+# ----------------------------------------------------------------------
+
+
+def _validate_exposition(text: str):
+    """Assert ``text`` obeys the exposition-format grammar.
+
+    Every series family has exactly one ``# TYPE`` line that precedes its
+    first sample, all of a family's samples are contiguous, and label
+    values only use the legal escapes (``\\\\``, ``\\"``, ``\\n``).
+    """
+    import re
+
+    sample_re = re.compile(
+        r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'                      # metric name
+        r'(?:\{[a-zA-Z_][a-zA-Z0-9_]*='                     # one label...
+        r'"(?:[^"\\\n]|\\\\|\\"|\\n)*"\})?'                 # ...legal escapes
+        r' -?[0-9][0-9.e+]*$')
+    typed: dict[str, str] = {}
+    closed: set[str] = set()
+    current = None
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, family, kind = line.split(" ")
+            assert kind in ("counter", "gauge", "histogram"), line
+            assert family not in typed, f"duplicate TYPE for {family}"
+            typed[family] = kind
+            continue
+        assert not line.startswith("#"), line
+        match = sample_re.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        name = match.group(1)
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[:-len(suffix)] if name.endswith(suffix) else None
+            if base and typed.get(base) == "histogram":
+                family = base
+        assert family in typed, f"sample {name} has no # TYPE line"
+        if family != current:
+            assert family not in closed, \
+                f"family {family} is not contiguous"
+            if current is not None:
+                closed.add(current)
+            current = family
+
+
+class TestPrometheusGrammar:
+    def test_escape_label_value_covers_the_three_escapes(self):
+        from repro.obs import escape_label_value
+
+        assert escape_label_value('a\\b') == 'a\\\\b'
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value('a\nb') == 'a\\nb'
+        assert escape_label_value('plain') == 'plain'
+
+    def test_hostile_tags_render_escaped(self):
+        registry = MetricsRegistry()
+        registry.tagged("errors").add('path\\with "quotes"\nand newline', 1)
+        text = to_prometheus(registry.snapshot())
+        assert ('repro_errors{tag="path\\\\with \\"quotes\\"\\nand '
+                'newline"} 1') in text
+        _validate_exposition(text)
+
+    def test_every_tagged_series_family_gets_a_type_line(self):
+        registry = MetricsRegistry()
+        registry.tagged("vm.exits").add("mmio", 3)
+        registry.tagged("vm.exits").add("pio", 2)
+        text = to_prometheus(registry.snapshot())
+        assert "# TYPE repro_vm_exits counter" in text
+        assert "# TYPE repro_vm_exits_events counter" in text
+        # Families must be contiguous: both base samples, then both
+        # _events samples — never interleaved per tag.
+        base = [l for l in text.splitlines()
+                if l.startswith("repro_vm_exits{")]
+        events = [l for l in text.splitlines()
+                  if l.startswith("repro_vm_exits_events{")]
+        assert len(base) == len(events) == 2
+        _validate_exposition(text)
+
+    def test_derived_series_are_typed(self):
+        registry = MetricsRegistry()
+        registry.counter("log.bytes").add(42)
+        registry.gauge("resident").set(7)
+        text = to_prometheus(registry.snapshot())
+        assert "# TYPE repro_log_bytes_events counter" in text
+        assert "# TYPE repro_resident_max gauge" in text
+        _validate_exposition(text)
+
+    def test_a_full_run_snapshot_validates(self, observed):
+        _validate_exposition(observed.telemetry.prometheus())
+
+
+# ----------------------------------------------------------------------
+# heartbeat staleness edges (the supervisor's heal trigger)
+# ----------------------------------------------------------------------
+
+
+class TestStalenessEdge:
+    def test_not_stale_at_exactly_the_deadline(self):
+        # The supervisor heals on `age > heal_deadline_s`; is_stale must
+        # use the same strict inequality or the two flap at the boundary.
+        row = HeartbeatRow(index=0, state="record", icount=1, frames=0,
+                           wall=1000.0)
+        deadline = 5.0
+        assert not row.is_stale(now=1000.0 + deadline,
+                                stale_after_s=deadline)
+        assert row.is_stale(now=1000.0 + deadline + 1e-6,
+                            stale_after_s=deadline)
+
+    def test_default_threshold_matches_the_module_constant(self):
+        from repro.obs import STALE_AFTER_S
+
+        row = HeartbeatRow(index=0, state="cr", icount=1, frames=0,
+                           wall=0.0)
+        assert not row.is_stale(now=STALE_AFTER_S)
+        assert row.is_stale(now=STALE_AFTER_S + 1e-6)
+
+    def test_terminal_states_are_exempt_at_any_age(self):
+        for state in ("done", "failed"):
+            row = HeartbeatRow(index=0, state=state, icount=1, frames=0,
+                               wall=0.0)
+            assert not row.is_stale(now=1e9)

@@ -1,0 +1,260 @@
+"""Deterministic guest profiler: observe everything, perturb nothing.
+
+The contracts pinned here:
+
+* **Bit transparency** — a run with ``config.profile`` on produces
+  byte-identical log bytes, checkpoints, final CPU state, and verdicts
+  to the same run with it off.  The profiler reaches sampling points by
+  capping ``cpu.run`` batches, and batch-schedule invariance (pinned by
+  ``test_backend_equivalence``) makes that free.
+* **Determinism** — sampling is icount-strided on a global grid, so the
+  recorder and the checkpointing replayer capture the *same* sample
+  stream (same icounts, same PCs) for the same execution, and an
+  epoch-parallel replay captures the same stream as a sequential one no
+  matter which epoch finishes first.
+* **Attribution** — samples symbolize to kernel functions / user pages,
+  decode to opcodes, and export as collapsed stacks a flame-graph tool
+  accepts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.parallel import record_and_replay_pipelined, replay_parallel
+from repro.obs import GuestProfiler, ProfileSnapshot
+from repro.replay.checkpointing import CheckpointingOptions
+from repro.replay.epoch import plan_epoch_boundaries
+from repro.rnr.recorder import Recorder, RecorderOptions
+from repro.workloads import build_workload, profile_by_name
+
+BUDGET = 40_000
+OPTIONS = RecorderOptions(max_instructions=BUDGET)
+CR = CheckpointingOptions(period_s=0.2)
+STRIDE = 2_048
+
+
+def _spec(profile: bool = False, stride: int = STRIDE):
+    spec = build_workload(profile_by_name("apache"))
+    if profile:
+        spec = dataclasses.replace(
+            spec, config=dataclasses.replace(spec.config, profile=True,
+                                             profile_stride=stride),
+        )
+    return spec
+
+
+def _run(spec):
+    return record_and_replay_pipelined(
+        spec, OPTIONS, CR, backend="thread", frame_records=8, queue_depth=4,
+    )
+
+
+def _verdict_key(verdict):
+    return (verdict.kind, verdict.benign_cause, verdict.alarm.icount,
+            verdict.alarm.kind, verdict.alarm.tid)
+
+
+def _stream(profile):
+    """The comparable part of a sample stream: (icount, pc) pairs."""
+    return [(sample[0], sample[1]) for sample in profile.samples]
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return _run(_spec())
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    return _run(_spec(profile=True))
+
+
+# ----------------------------------------------------------------------
+# bit transparency
+# ----------------------------------------------------------------------
+
+
+class TestBitTransparency:
+    def test_log_bytes_identical(self, baseline, profiled):
+        assert (baseline.recording.log.to_bytes()
+                == profiled.recording.log.to_bytes())
+
+    def test_final_cpu_state_identical(self, baseline, profiled):
+        assert baseline.final_cpu_state == profiled.final_cpu_state
+
+    def test_checkpoints_identical(self, baseline, profiled):
+        base = [(c.icount, c.cycles)
+                for c in baseline.checkpointing.store.all()]
+        prof = [(c.icount, c.cycles)
+                for c in profiled.checkpointing.store.all()]
+        assert base == prof
+
+    def test_verdicts_identical(self, baseline, profiled):
+        assert ([_verdict_key(v) for v in baseline.resolution.verdicts]
+                == [_verdict_key(v) for v in profiled.resolution.verdicts])
+
+    def test_profile_off_run_carries_no_profile(self, baseline):
+        assert baseline.telemetry is None
+
+    def test_for_config_is_a_nil_sink_when_off(self):
+        assert GuestProfiler.for_config(_spec().config, "record") is None
+
+
+# ----------------------------------------------------------------------
+# determinism: record == replay, parallel == sequential
+# ----------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_profile_rides_the_run_telemetry(self, profiled):
+        # config.profile implies telemetry: the snapshot exists and
+        # carries a non-empty profile even though config.telemetry is off.
+        assert profiled.telemetry is not None
+        assert profiled.telemetry.profile is not None
+        assert profiled.telemetry.profile.sample_count > 0
+
+    def test_record_and_replay_capture_the_same_stream(self, profiled):
+        record = profiled.recording.telemetry.profile
+        replay = profiled.checkpointing.telemetry.profile
+        assert record.sample_count == replay.sample_count > 0
+        assert _stream(record) == _stream(replay)
+
+    def test_samples_land_exactly_on_the_stride_grid(self, profiled):
+        profile = profiled.recording.telemetry.profile
+        icounts = [sample[0] for sample in profile.samples]
+        assert icounts == sorted(icounts)
+        assert all(icount % STRIDE == 0 for icount in icounts)
+        # The grid is dense: every grid point inside the run is sampled
+        # exactly once, starting at icount 0.
+        last = icounts[-1]
+        assert icounts == list(range(0, last + 1, STRIDE))
+
+    def test_epoch_parallel_equals_sequential(self, profiled):
+        spec = _spec(profile=True)
+        recording = Recorder(spec, RecorderOptions(
+            max_instructions=BUDGET,
+            epoch_boundaries=plan_epoch_boundaries(BUDGET, 3, oversample=4),
+        )).run()
+        parallel = replay_parallel(
+            spec, recording.log, recording.epoch_plan,
+            max_workers=3, resolve_ars=False,
+        )
+        assert parallel.epochs > 1
+        sequential = profiled.checkpointing.telemetry.profile
+        assert (_stream(parallel.telemetry.profile)
+                == _stream(sequential))
+
+
+# ----------------------------------------------------------------------
+# merge semantics (out-of-order epoch completion)
+# ----------------------------------------------------------------------
+
+
+def _snapshot(actor, samples):
+    return ProfileSnapshot(
+        actor=actor, stride=STRIDE,
+        samples=tuple(samples),
+        stacks={f"{actor};x": len(samples)},
+        functions={"x": len(samples)},
+        opcodes={"nop": len(samples)},
+        pages={0x10: len(samples)},
+    )
+
+
+class TestMerge:
+    def test_merge_is_input_order_independent(self):
+        # Epoch workers complete in any order; the merged stream must be
+        # icount-sorted either way — this is the out-of-order regression
+        # test for replay_parallel / pipelined stitching.
+        early = _snapshot("cr", [(0, 100, 0, 0), (2048, 104, 0, 0)])
+        late = _snapshot("cr", [(4096, 108, 0, 0), (6144, 112, 0, 0)])
+        forward = ProfileSnapshot.merged([early, late], actor="cr")
+        backward = ProfileSnapshot.merged([late, early], actor="cr")
+        assert forward.samples == backward.samples
+        assert [s[0] for s in forward.samples] == [0, 2048, 4096, 6144]
+        assert forward.stacks == backward.stacks
+        assert forward.sample_count == 4
+
+    def test_merge_rejects_an_unsorted_input(self):
+        scrambled = _snapshot("cr", [(2048, 104, 0, 0), (0, 100, 0, 0)])
+        with pytest.raises(ValueError):
+            ProfileSnapshot.merged([scrambled], actor="cr")
+
+    def test_merge_sums_attribution_tables(self):
+        left = _snapshot("cr", [(0, 100, 0, 0)])
+        right = _snapshot("cr", [(2048, 104, 0, 0)])
+        merged = ProfileSnapshot.merged([left, right], actor="cr")
+        assert merged.functions == {"x": 2}
+        assert merged.opcodes == {"nop": 2}
+        assert merged.pages == {0x10: 2}
+
+
+# ----------------------------------------------------------------------
+# grid arithmetic
+# ----------------------------------------------------------------------
+
+
+class TestGrid:
+    def test_fresh_start_samples_icount_zero(self):
+        profiler = GuestProfiler("record", STRIDE)
+        assert profiler.next_due == 0
+
+    def test_reseed_is_strictly_after_the_restore_point(self):
+        # An epoch worker restored exactly on a grid point must NOT
+        # resample it: the previous epoch owned that sample.
+        profiler = GuestProfiler("cr", STRIDE)
+        profiler.reseed(2 * STRIDE)
+        assert profiler.next_due == 3 * STRIDE
+        profiler.reseed(2 * STRIDE + 1)
+        assert profiler.next_due == 3 * STRIDE
+
+    def test_cap_batch_stops_at_the_next_grid_point(self):
+        profiler = GuestProfiler("record", STRIDE)
+        profiler.next_due = STRIDE
+        assert profiler.cap_batch(10_000, STRIDE - 5) == 5
+        assert profiler.cap_batch(3, STRIDE - 5) == 3
+        # Sitting exactly on a due point, the cap reaches to the next one.
+        assert profiler.cap_batch(10_000, STRIDE) == STRIDE
+
+
+# ----------------------------------------------------------------------
+# attribution and export
+# ----------------------------------------------------------------------
+
+
+class TestExport:
+    def test_collapsed_stacks_are_flamegraph_input(self, profiled):
+        profile = profiled.telemetry.profile
+        text = profile.collapsed_stacks()
+        total = 0
+        for line in text.splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert stack
+            assert ";" in stack  # actor;task;frame at minimum
+            total += int(count)
+        assert total == profile.sample_count
+
+    def test_samples_symbolize_to_kernel_or_user_frames(self, profiled):
+        profile = profiled.telemetry.profile
+        assert profile.functions
+        assert all(frame.startswith(("kernel;", "user;"))
+                   for frame in profile.functions)
+
+    def test_opcode_and_page_heat_account_every_sample(self, profiled):
+        profile = profiled.telemetry.profile
+        assert sum(profile.pages.values()) == profile.sample_count
+        # Opcodes may miss samples whose PC page was unmapped, never gain.
+        assert sum(profile.opcodes.values()) <= profile.sample_count
+
+    def test_json_roundtrip_preserves_everything(self, profiled):
+        profile = profiled.telemetry.profile
+        clone = ProfileSnapshot.from_json(profile.to_json())
+        assert clone.samples == profile.samples
+        assert clone.stacks == profile.stacks
+        assert clone.functions == profile.functions
+        assert clone.opcodes == profile.opcodes
+        assert clone.pages == profile.pages
+        assert clone.stride == profile.stride

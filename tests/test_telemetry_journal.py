@@ -1,0 +1,389 @@
+"""Durable telemetry: journal recovery, post-hoc stats, SLO gates, top.
+
+The journal inherits the run store's durability discipline, so the same
+adversarial suite applies: every entry is CRC'd, a torn tail (kill -9
+mid-write) is cut at the last whole entry, a sequence gap drops the rest,
+and reconstruction trusts only what validates.  On top of that sit the
+consumer contracts: ``repro stats DIR`` rebuilds the tables from disk
+alone, ``stats --compare`` exits nonzero on an SLO breach, and ``repro
+top`` computes rates strictly within one attempt so a healed session
+never mixes icounts with its predecessor.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.parallel import record_and_replay_pipelined
+from repro.obs import (
+    DEFAULT_SLO_RULES,
+    TELEMETRY_JOURNAL_NAME,
+    SessionView,
+    TelemetryJournalWriter,
+    TopBoard,
+    compare_kpis,
+    compare_stores,
+    kpis,
+    load_run_telemetry,
+    parse_slo,
+    scan_telemetry_journal,
+    sparkline,
+)
+from repro.replay.checkpointing import CheckpointingOptions
+from repro.rnr.recorder import RecorderOptions
+from repro.rnr.session import SessionManifest
+from repro.store import RunStoreWriter, recover_run
+from repro.store.recover import fsck_report
+
+BUDGET = 40_000
+FRAME_RECORDS = 8
+
+
+def _manifest() -> SessionManifest:
+    return SessionManifest(benchmark="apache", seed=2018, attack="rop",
+                           max_instructions=BUDGET)
+
+
+def _durable_run(path, *, attempt=0, resume=None):
+    manifest = _manifest()
+    store = RunStoreWriter(str(path), manifest, fsync="never",
+                           frame_records=FRAME_RECORDS, attempt=attempt,
+                           resume=resume)
+    return record_and_replay_pipelined(
+        manifest.build_spec(),
+        RecorderOptions(max_instructions=BUDGET),
+        CheckpointingOptions(period_s=0.2),
+        backend="thread", frame_records=FRAME_RECORDS,
+        run_store=store, resume=resume,
+    )
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    path = tmp_path_factory.mktemp("journal") / "run"
+    run = _durable_run(path)
+    return path, run
+
+
+def _rewrite(path, lines):
+    path.write_bytes(b"\n".join(lines) + b"\n" if lines else b"")
+
+
+def _entry_lines(path):
+    return path.read_bytes().splitlines()
+
+
+def _reencode(body):
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"),
+                      default=str).encode()
+    return json.dumps({"crc": zlib.crc32(blob), "body": body},
+                      sort_keys=True, separators=(",", ":")).encode()
+
+
+# ----------------------------------------------------------------------
+# writer / scanner roundtrip
+# ----------------------------------------------------------------------
+
+
+class TestJournalRoundtrip:
+    def test_durable_run_writes_a_journal(self, store):
+        path, _run = store
+        journal = path / TELEMETRY_JOURNAL_NAME
+        assert journal.exists()
+        scan = scan_telemetry_journal(str(journal))
+        assert not scan.notes
+        assert scan.beats()
+        kinds = {entry["kind"] for entry in scan.entries}
+        assert kinds == {"beat", "snapshot"}
+
+    def test_reconstruction_matches_the_live_run(self, store):
+        path, run = store
+        snapshot, scan = load_run_telemetry(str(path))
+        assert not scan.notes
+        assert (snapshot.metrics.counter_value("record.instructions")
+                == run.recording.metrics.instructions == BUDGET)
+        assert (snapshot.metrics.counter_value("record.log_bytes")
+                == run.recording.metrics.log_bytes)
+
+    def test_finish_appends_a_terminal_beat(self, store):
+        path, _run = store
+        scan = scan_telemetry_journal(str(path / TELEMETRY_JOURNAL_NAME))
+        last = scan.beats()[-1]
+        assert last["state"] == "done"
+        assert last["icount"] == BUDGET
+
+    def test_fsck_counts_the_telemetry_entries(self, store):
+        path, _run = store
+        resume = recover_run(path)
+        scan = scan_telemetry_journal(str(path / TELEMETRY_JOURNAL_NAME))
+        assert resume.telemetry_entries == len(scan.entries) > 0
+        report = fsck_report(path)
+        assert report.status == "clean"
+        assert report.to_json()["telemetry_entries"] == len(scan.entries)
+
+
+# ----------------------------------------------------------------------
+# adversarial recovery
+# ----------------------------------------------------------------------
+
+
+class TestRecovery:
+    def test_torn_tail_is_cut_and_reported(self, store, tmp_path):
+        path, _run = store
+        journal = tmp_path / TELEMETRY_JOURNAL_NAME
+        data = (path / TELEMETRY_JOURNAL_NAME).read_bytes()
+        journal.write_bytes(data + b'{"crc": 1, "body": {"kind"')
+        scan = scan_telemetry_journal(str(journal))
+        assert len(scan.entries) == len(
+            scan_telemetry_journal(
+                str(path / TELEMETRY_JOURNAL_NAME)).entries)
+        assert any("torn tail" in note for note in scan.notes)
+        assert scan.reconstruct() is not None
+
+    def test_crc_mismatch_cuts_the_journal_there(self, store, tmp_path):
+        path, _run = store
+        lines = _entry_lines(path / TELEMETRY_JOURNAL_NAME)
+        victim = json.loads(lines[1])
+        victim["body"]["icount"] = 999_999_999  # tamper without re-CRC
+        lines[1] = json.dumps(victim, sort_keys=True,
+                              separators=(",", ":")).encode()
+        journal = tmp_path / TELEMETRY_JOURNAL_NAME
+        _rewrite(journal, lines)
+        scan = scan_telemetry_journal(str(journal))
+        assert len(scan.entries) == 1
+        assert any("CRC mismatch" in note for note in scan.notes)
+
+    def test_sequence_gap_drops_the_rest(self, store, tmp_path):
+        path, _run = store
+        lines = _entry_lines(path / TELEMETRY_JOURNAL_NAME)
+        assert len(lines) >= 3
+        del lines[1]  # a vanished middle entry is worse than a torn tail
+        journal = tmp_path / TELEMETRY_JOURNAL_NAME
+        _rewrite(journal, lines)
+        scan = scan_telemetry_journal(str(journal))
+        assert len(scan.entries) == 1
+        assert any("sequence jump" in note for note in scan.notes)
+
+    def test_mid_run_kill_still_reconstructs(self, store, tmp_path):
+        # Simulate kill -9 mid-write: keep a prefix of whole entries
+        # plus half of the next line.  Reconstruction returns the last
+        # journaled cumulative snapshot, not nothing.
+        path, _run = store
+        data = (path / TELEMETRY_JOURNAL_NAME).read_bytes()
+        lines = data.splitlines(keepends=True)
+        snapshot_positions = [
+            index for index, line in enumerate(lines)
+            if json.loads(line)["body"]["kind"] == "snapshot"
+        ]
+        cut = snapshot_positions[-1]  # keep everything before the last one
+        torn = b"".join(lines[:cut]) + lines[cut][:len(lines[cut]) // 2]
+        journal = tmp_path / TELEMETRY_JOURNAL_NAME
+        journal.write_bytes(torn)
+        scan = scan_telemetry_journal(str(journal))
+        assert scan.notes
+        rebuilt = scan.reconstruct()
+        assert rebuilt is not None
+
+    def test_missing_journal_is_a_note_not_an_error(self, tmp_path):
+        scan = scan_telemetry_journal(str(tmp_path / "absent.jsonl"))
+        assert scan.entries == ()
+        assert scan.reconstruct() is None
+        assert any("missing" in note for note in scan.notes)
+
+    def test_resumed_writer_truncates_and_continues_seq(self, tmp_path):
+        journal = tmp_path / TELEMETRY_JOURNAL_NAME
+        writer = TelemetryJournalWriter(str(journal), fsync="never")
+        writer.append_beat("record", "record", 100)
+        writer.append_beat("record", "record", 200)
+        writer.close()
+        with open(journal, "ab") as handle:
+            handle.write(b'{"torn')
+        resumed = TelemetryJournalWriter(str(journal), fsync="never",
+                                         attempt=1, resume=True)
+        resumed.append_beat("record", "record", 300)
+        resumed.close()
+        scan = scan_telemetry_journal(str(journal))
+        assert not scan.notes
+        assert [entry["seq"] for entry in scan.entries] == [0, 1, 2]
+        assert [entry["attempt"] for entry in scan.entries] == [0, 0, 1]
+
+
+# ----------------------------------------------------------------------
+# aggregation and SLO gates
+# ----------------------------------------------------------------------
+
+
+class TestSlo:
+    def test_self_compare_is_breach_free(self, store):
+        path, _run = store
+        report = compare_stores(str(path), str(path))
+        assert report.exit_code == 0
+        assert not report.breaches
+        assert any(delta.name.endswith(".instr_s")
+                   for delta in report.deltas)
+
+    def test_seeded_regression_breaches_the_default_slo(self, store):
+        path, _run = store
+        base = kpis(load_run_telemetry(str(path))[0])
+        slowed = dict(base)
+        for name in slowed:
+            if name.endswith(".instr_s"):
+                slowed[name] *= 0.5
+        report = compare_kpis(base, slowed, DEFAULT_SLO_RULES)
+        assert report.exit_code == 1
+        assert all("regressed" in breach
+                   for delta in report.breaches
+                   for breach in delta.breaches)
+
+    def test_missing_kpi_is_a_breach(self):
+        report = compare_kpis({"cr.replay.instr_s": 1000.0}, {},
+                              DEFAULT_SLO_RULES)
+        assert report.exit_code == 1
+        assert "kpi missing from candidate" in report.breaches[0].breaches
+
+    def test_absolute_bounds_apply_without_a_baseline_move(self):
+        rules = parse_slo({"kpis": {"record.log_bytes": {"max": 100}}})
+        report = compare_kpis({"record.log_bytes": 50.0},
+                              {"record.log_bytes": 150.0}, rules)
+        assert report.exit_code == 1
+
+    def test_unknown_slo_bound_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown SLO bound"):
+            parse_slo({"kpis": {"x": {"max_regresion_pct": 5}}})
+
+
+# ----------------------------------------------------------------------
+# CLI: stats DIR, --compare, top
+# ----------------------------------------------------------------------
+
+
+class TestCli:
+    def test_stats_reconstructs_post_hoc(self, store, capsys):
+        path, _run = store
+        assert cli_main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "reconstructed from 1 durable telemetry journal" in out
+        assert "record.instructions" in out
+
+    def test_stats_compare_self_exits_zero(self, store, capsys):
+        path, _run = store
+        assert cli_main(["stats", "--compare", str(path), str(path)]) == 0
+        assert "SLO: ok" in capsys.readouterr().out
+
+    def test_stats_compare_seeded_regression_exits_one(
+            self, store, tmp_path, capsys):
+        path, _run = store
+        slow = tmp_path / "slow"
+        slow.mkdir()
+        lines = []
+        for line in _entry_lines(path / TELEMETRY_JOURNAL_NAME):
+            body = json.loads(line)["body"]
+            if body["kind"] == "snapshot":
+                for span in body["spans"]:
+                    begin, end = span["wall_ns"]
+                    span["wall_ns"] = [begin, begin + (end - begin) * 2]
+            lines.append(_reencode(body))
+        _rewrite(slow / TELEMETRY_JOURNAL_NAME, lines)
+        assert cli_main(["stats", "--compare", str(path), str(slow)]) == 1
+        assert "regressed" in capsys.readouterr().out
+
+    def test_stats_compare_missing_journals_exits_two(self, tmp_path,
+                                                      capsys):
+        empty = tmp_path / "void"
+        empty.mkdir()
+        assert cli_main(["stats", "--compare", str(empty), str(empty)]) == 2
+        assert "no reconstructable" in capsys.readouterr().err
+
+    def test_stats_rejects_a_nonsense_target(self, capsys):
+        assert cli_main(["stats", "no-such-benchmark-or-dir"]) == 2
+        assert "neither a benchmark" in capsys.readouterr().err
+
+    def test_top_once_renders_the_finished_session(self, store, capsys):
+        path, _run = store
+        assert cli_main(["top", str(path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "run:done" in out
+        assert "1 finished" in out
+        assert "WEDGED?" not in out
+
+
+# ----------------------------------------------------------------------
+# repro top: attempt separation and staleness
+# ----------------------------------------------------------------------
+
+
+def _beat(seq, attempt, icount, wall, actor="record", state="record"):
+    body = {"kind": "beat", "actor": actor, "state": state,
+            "icount": icount, "frames": 0, "wall": wall,
+            "attempt": attempt, "seq": seq}
+    return _reencode(body)
+
+
+class TestTopBoard:
+    def test_healed_session_never_mixes_attempts(self, tmp_path):
+        # Attempt 0 died at icount 90k; the healed attempt 1 restarts
+        # low.  A cross-attempt rate would be hugely negative (or wrap);
+        # the view must compute rates within attempt 1 only.
+        session = tmp_path / "session-000"
+        session.mkdir()
+        lines = [
+            _beat(0, 0, 80_000, 1000.0),
+            _beat(1, 0, 90_000, 1001.0),
+            _beat(0, 1, 1_000, 1002.0),
+            _beat(1, 1, 2_000, 1003.0),
+            _beat(2, 1, 3_000, 1004.0),
+        ]
+        _rewrite(session / TELEMETRY_JOURNAL_NAME, lines)
+        view = SessionView.from_journal("session-000", str(session))
+        assert view.attempt == 1
+        assert view.heals == 1
+        assert view.icount == 3_000
+        assert view.rates == (1_000.0, 1_000.0)
+        assert all(rate > 0 for rate in view.rates)
+
+    def test_stale_is_strictly_after_the_deadline(self, tmp_path):
+        # At *exactly* heal_deadline_s the session is not yet wedged —
+        # the supervisor uses strict >, and a board that flags at >= would
+        # flap against it.
+        session = tmp_path / "s"
+        session.mkdir()
+        _rewrite(session / TELEMETRY_JOURNAL_NAME,
+                 [_beat(0, 0, 1_000, 1000.0)])
+        view = SessionView.from_journal("s", str(session))
+        deadline = 5.0
+        assert not view.is_stale(now=1000.0 + deadline,
+                                 stale_after_s=deadline)
+        assert view.is_stale(now=1000.0 + deadline + 1e-3,
+                             stale_after_s=deadline)
+
+    def test_terminal_states_never_go_stale(self, tmp_path):
+        session = tmp_path / "s"
+        session.mkdir()
+        _rewrite(session / TELEMETRY_JOURNAL_NAME,
+                 [_beat(0, 0, 1_000, 1000.0, actor="run", state="done")])
+        view = SessionView.from_journal("s", str(session))
+        assert not view.is_stale(now=1000.0 + 3600.0)
+
+    def test_board_flags_wedged_and_healed(self, tmp_path):
+        session = tmp_path / "session-000"
+        session.mkdir()
+        _rewrite(session / TELEMETRY_JOURNAL_NAME, [
+            _beat(0, 0, 50_000, 1000.0),
+            _beat(0, 1, 1_000, 1002.0),
+            _beat(1, 1, 2_000, 1003.0),
+        ])
+        board = TopBoard(str(tmp_path))
+        text = board.render(now=1003.0 + 60.0)
+        assert "WEDGED?" in text
+        assert "healed x1" in text
+
+    def test_sparkline_shapes(self):
+        assert sparkline([]) == ""
+        assert sparkline([0, 0]) == "▁▁"
+        line = sparkline([1, 2, 4, 8], width=4)
+        assert len(line) == 4
+        assert line[-1] == "█"
