@@ -1,0 +1,181 @@
+"""Fleet-scale service harness: scheduler throughput under a deep queue.
+
+The replay service (`repro serve`, ``src/repro/service``) exists so one
+box can absorb an arbitrary backlog of recorded sessions and grind
+through them with crash-safe bookkeeping.  This harness measures what
+that bookkeeping costs at scale: it boots a real :class:`ServiceDaemon`,
+submits 100–1000 sessions over the real socket protocol (a mixed batch —
+mostly clean CR catch-up, every tenth an alarm-bearing attack session,
+exercising the AR-over-CR priority path), and reports
+
+* **submission throughput** — accepted (write-ahead fsync'd) submits/sec;
+* **completion throughput** — sessions/sec from first submit to last
+  ``done`` event;
+* **latency percentiles** — queue wait (submit → first launch), run
+  (first launch → done), and end-to-end completion (submit → done),
+  p50/p99 each, straight from the durable queue journal's wall clocks.
+
+Emits ``BENCH_fleet_scale.json``.  ``--min-sessions-per-sec`` turns the
+completion throughput into a CI gate (exit 1 below the floor), which the
+``fleet-service`` job uses as its perf-regression tripwire.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_scale.py             # 100 sessions
+    PYTHONPATH=src python benchmarks/bench_fleet_scale.py --sessions 1000
+    PYTHONPATH=src python benchmarks/bench_fleet_scale.py --smoke     # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import tempfile
+import threading
+import time
+
+from repro.service import ServiceClient, ServiceDaemon, default_endpoint
+from repro.store import load_job_queue_state
+
+DEFAULT_SESSIONS = 100
+SMOKE_SESSIONS = 12
+#: Per-session instruction budget: small on purpose — the harness
+#: measures the scheduler, not the simulator.
+DEFAULT_BUDGET = 60_000
+SMOKE_BUDGET = 30_000
+CHECKPOINT_PERIOD_S = 0.2
+#: Round-robin workload mix; every tenth submission carries an attack.
+MIX = ("fileio", "apache", "make", "mysql", "radiosity")
+
+DEFAULT_OUT = (pathlib.Path(__file__).resolve().parent.parent
+               / "BENCH_fleet_scale.json")
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    position = min(len(sorted_values) - 1,
+                   int(fraction * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[position]
+
+
+def _spec(index: int, budget: int) -> dict:
+    return {
+        "benchmark": MIX[index % len(MIX)],
+        "seed": 2018 + index,
+        "attack": "rop" if index % 10 == 9 else None,
+        "max_instructions": budget,
+        "period_s": CHECKPOINT_PERIOD_S,
+    }
+
+
+def bench_service(sessions: int, budget: int, workers: int,
+                  store_dir: str) -> dict:
+    daemon = ServiceDaemon(store_dir, workers=workers, queue_limit=sessions,
+                           poll_s=0.02, store_fsync="never")
+    thread = threading.Thread(target=daemon.run, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 30.0
+    while not os.path.exists(daemon.endpoint):
+        if time.monotonic() > deadline:
+            raise RuntimeError("service daemon never opened its socket")
+        time.sleep(0.01)
+
+    client = ServiceClient(default_endpoint(store_dir))
+    submit_start = time.perf_counter()
+    for index in range(sessions):
+        response = client.submit(_spec(index, budget))
+        assert response["ok"], response
+    submit_seconds = time.perf_counter() - submit_start
+
+    drain_start = time.perf_counter()
+    final = client.drain(wait=True, stop=True,
+                         timeout_s=max(600.0, sessions * 10.0))
+    elapsed = time.perf_counter() - drain_start
+    thread.join(timeout=60.0)
+    daemon.shutdown()
+
+    state = load_job_queue_state(store_dir)
+    stats = state.stats()
+    completes = sorted(job.finished_wall - job.submitted_wall
+                       for job in state.jobs
+                       if job.state == "done" and job.finished_wall)
+    return {
+        "sessions": sessions,
+        "budget": budget,
+        "workers": workers,
+        "submit_seconds": round(submit_seconds, 4),
+        "submits_per_sec": round(sessions / submit_seconds, 2)
+        if submit_seconds else None,
+        "elapsed_seconds": round(elapsed, 4),
+        "sessions_per_sec": round(stats.done / elapsed, 3)
+        if elapsed else None,
+        "done": stats.done,
+        "quarantined": stats.quarantined,
+        "wait_p50_s": round(stats.wait_p50_s, 4),
+        "wait_p99_s": round(stats.wait_p99_s, 4),
+        "run_p50_s": round(stats.run_p50_s, 4),
+        "run_p99_s": round(stats.run_p99_s, 4),
+        "complete_p50_s": round(_percentile(completes, 0.50), 4),
+        "complete_p99_s": round(_percentile(completes, 0.99), 4),
+        "all_done": stats.done == sessions and final["quiet"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sessions", type=int, default=DEFAULT_SESSIONS,
+                        help="queued sessions (the paper-scale sweep uses "
+                             "100-1000)")
+    parser.add_argument("--budget", type=int, default=DEFAULT_BUDGET)
+    parser.add_argument("--workers", type=int,
+                        default=min(4, os.cpu_count() or 2))
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument("--min-sessions-per-sec", type=float, default=None,
+                        help="fail (exit 1) below this completion "
+                             "throughput floor")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI run: fewer sessions, smaller budget")
+    args = parser.parse_args(argv)
+
+    sessions = args.sessions
+    budget = args.budget
+    if args.smoke:
+        sessions = min(sessions, SMOKE_SESSIONS)
+        budget = min(budget, SMOKE_BUDGET)
+
+    print(f"[bench_fleet_scale] {sessions} sessions, budget {budget}, "
+          f"{args.workers} workers ...", flush=True)
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-scale-") as scratch:
+        report = bench_service(sessions, budget, args.workers, scratch)
+
+    print(f"    submitted at {report['submits_per_sec']:,} submits/s "
+          f"(write-ahead fsync per accept)")
+    print(f"    completed {report['done']}/{sessions} at "
+          f"{report['sessions_per_sec']} sessions/s "
+          f"({report['quarantined']} quarantined)")
+    print(f"    wait p50/p99 {report['wait_p50_s']}/{report['wait_p99_s']}s  "
+          f"run p50/p99 {report['run_p50_s']}/{report['run_p99_s']}s  "
+          f"complete p50/p99 {report['complete_p50_s']}/"
+          f"{report['complete_p99_s']}s")
+
+    ok = report["all_done"]
+    if args.min_sessions_per_sec is not None:
+        floor_ok = (report["sessions_per_sec"] or 0.0) >= \
+            args.min_sessions_per_sec
+        report["floor_sessions_per_sec"] = args.min_sessions_per_sec
+        report["floor_ok"] = floor_ok
+        if not floor_ok:
+            print(f"    FAIL: {report['sessions_per_sec']} sessions/s is "
+                  f"below the {args.min_sessions_per_sec} floor")
+        ok &= floor_ok
+    report["ok"] = ok
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_fleet_scale] report written to {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,15 @@ Subcommands mirror the deployment's moving parts:
   against a baseline (exit 1 on SLO breach);
 * ``top``     — live fleet board fed by the durable telemetry journals
   (instr/s sparklines, WEDGED?/healed flags; works from any process);
+* ``serve``   — run the replay-service scheduler daemon on a store
+  directory: a durable priority job queue (alarm-bearing submissions
+  preempt clean catch-up) that survives kill -9 with no lost accepted
+  jobs and no double execution;
+* ``submit``  — submit one session to a running daemon over its socket;
+* ``queue``   — print the daemon's queue (or read the queue journal
+  straight off disk when no daemon is up);
+* ``drain``   — close admissions and optionally wait out / stop the
+  daemon;
 * ``gadgets`` — scan the kernel image like an attacker would;
 * ``bench``   — print one of the regenerated figure tables.
 """
@@ -543,6 +552,137 @@ def _cmd_fleet(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.errors import ServiceError
+    from repro.service import ServiceDaemon
+
+    try:
+        daemon = ServiceDaemon(
+            args.store,
+            endpoint=args.endpoint,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            max_resume_attempts=args.max_resume_attempts,
+            retry_backoff_s=args.retry_backoff,
+            poll_s=args.poll,
+            store_fsync=args.fsync,
+            once=args.once,
+        )
+    except ServiceError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 1
+    for note in daemon.queue.recovery_notes:
+        print(f"note: {note}")
+    stats = daemon.queue.stats()
+    print(f"serving {args.store} on {daemon.endpoint} "
+          f"({args.workers} workers, queue limit {daemon.queue_limit}); "
+          f"recovered {stats.total} job(s): {stats.queued} queued, "
+          f"{stats.done} done, {stats.quarantined} quarantined")
+    daemon.run()
+    print("service stopped; queue journal retained")
+    return 0
+
+
+def _service_client(args):
+    from repro.service import ServiceClient, default_endpoint
+
+    endpoint = args.endpoint or default_endpoint(args.store)
+    return ServiceClient(endpoint, timeout_s=args.timeout)
+
+
+def _cmd_submit(args) -> int:
+    from repro.errors import ServiceError
+
+    spec = {
+        "benchmark": args.benchmark,
+        "seed": args.seed,
+        "attack": args.attack,
+        "max_instructions": args.budget,
+        "period_s": args.checkpoint_period,
+    }
+    try:
+        response = _service_client(args).submit(
+            spec, priority=args.priority, wait_s=args.wait)
+    except ServiceError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    dedup = " (deduplicated)" if response.get("deduplicated") else ""
+    print(f"accepted {response['job']} "
+          f"(priority {'ar' if response['priority'] == 0 else 'cr'})"
+          f"{dedup}")
+    return 0
+
+
+def _render_queue(jobs: list, stats: dict, notes: list) -> None:
+    for note in notes:
+        print(f"note: {note}")
+    print(f"{'job':<12} {'state':<12} {'prio':<5} {'benchmark':<10} "
+          f"{'seed':>6} {'attack':<6} {'launches':>8}  detail")
+    print("-" * 84)
+    for row in jobs:
+        detail = ""
+        if row.get("result"):
+            verdicts = ",".join(row["result"].get("verdicts", [])) or "-"
+            detail = (f"verdicts={verdicts} "
+                      f"digest={row['result'].get('digest', '')[:12]}")
+        elif row.get("error"):
+            detail = row["error"][:40]
+        print(f"{row['job']:<12} {row['state']:<12} {row['priority']:<5} "
+              f"{row['benchmark']:<10} {row['seed']:>6} "
+              f"{str(row['attack'] or '-'):<6} {row['launches']:>8}  "
+              f"{detail}".rstrip())
+    print()
+    print(f"{stats['total']} job(s): {stats['queued']} queued, "
+          f"{stats['running']} running, {stats['done']} done, "
+          f"{stats['quarantined']} quarantined; "
+          f"wait p50/p99 {stats['wait_p50_s'] * 1000:.0f}/"
+          f"{stats['wait_p99_s'] * 1000:.0f} ms, "
+          f"run p50/p99 {stats['run_p50_s'] * 1000:.0f}/"
+          f"{stats['run_p99_s'] * 1000:.0f} ms")
+
+
+def _cmd_queue(args) -> int:
+    import json
+
+    from repro.errors import ServiceError
+
+    try:
+        response = _service_client(args).queue()
+        jobs, stats = response["jobs"], response["stats"]
+        notes = response.get("notes", [])
+    except ServiceError:
+        # No daemon up: the journal on disk is just as authoritative.
+        from repro.store import load_job_queue_state
+
+        state = load_job_queue_state(args.store)
+        jobs = [job.to_row() for job in state.jobs]
+        stats = state.stats().to_json()
+        notes = list(state.notes) + ["no daemon reachable; read from disk"]
+    if args.json:
+        print(json.dumps({"jobs": jobs, "stats": stats, "notes": notes},
+                         sort_keys=True))
+        return 0
+    _render_queue(jobs, stats, notes)
+    return 0
+
+
+def _cmd_drain(args) -> int:
+    from repro.errors import ServiceError
+
+    try:
+        response = _service_client(args).drain(
+            wait=args.wait, stop=args.stop,
+            timeout_s=args.timeout if args.wait else None)
+    except ServiceError as exc:
+        print(f"drain: {exc}", file=sys.stderr)
+        return 1
+    stats = response["stats"]
+    state = "quiet" if response.get("quiet") else "draining"
+    print(f"{state}: {stats['queued']} queued, {stats['running']} running, "
+          f"{stats['done']} done, {stats['quarantined']} quarantined")
+    return 0
+
+
 def _cmd_gadgets(args) -> int:
     from repro.attacks import GadgetScanner
     from repro.workloads.suite import kernel_for_layout
@@ -815,6 +955,89 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--stale-after", type=float, default=5.0, metavar="S",
                      help="age that flags a session WEDGED? (default: 5.0)")
     top.set_defaults(func=_cmd_top)
+
+    serve = sub.add_parser(
+        "serve", help="run the replay-service scheduler daemon on a "
+                      "store directory (durable priority queue; survives "
+                      "kill -9 with no lost or double-run jobs)",
+    )
+    serve.add_argument("store", metavar="DIR",
+                       help="service store directory (created if missing); "
+                            "holds queue.jsonl and one run store per job")
+    serve.add_argument("--endpoint", metavar="ADDR",
+                       help="unix socket path or host:port to listen on "
+                            "(default: DIR/service.sock)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent worker processes (default: 2)")
+    serve.add_argument("--queue-limit", type=int, metavar="N",
+                       help="queued jobs admitted before submissions are "
+                            "rejected with queue-full (default: config)")
+    serve.add_argument("--max-resume-attempts", type=int, metavar="N",
+                       help="failed launches granted before a job is "
+                            "quarantined as poison (default: config)")
+    serve.add_argument("--retry-backoff", type=float, metavar="S",
+                       help="base backoff between job retries, doubling "
+                            "per failure (default: config)")
+    serve.add_argument("--poll", type=float, metavar="S",
+                       help="scheduler poll interval (default: config)")
+    serve.add_argument("--fsync", choices=["always", "interval", "never"],
+                       default="interval",
+                       help="per-job run-store fsync policy; the queue "
+                            "journal itself always fsyncs (default: "
+                            "interval)")
+    serve.add_argument("--once", action="store_true",
+                       help="exit once the queue is empty and idle "
+                            "(process recovered work, then stop)")
+    serve.set_defaults(func=_cmd_serve)
+
+    def _client_args(command):
+        command.add_argument("store", metavar="DIR",
+                             help="service store directory of the daemon")
+        command.add_argument("--endpoint", metavar="ADDR",
+                             help="daemon endpoint (default: "
+                                  "DIR/service.sock)")
+        command.add_argument("--timeout", type=float, default=30.0,
+                             metavar="S", help="request timeout")
+
+    submit = sub.add_parser(
+        "submit", help="submit one session to a running service daemon",
+    )
+    _client_args(submit)
+    submit.add_argument("benchmark", choices=_BENCHMARKS)
+    submit.add_argument("--seed", type=int, default=2018)
+    submit.add_argument("--attack", choices=["rop", "jop", "dos"],
+                        help="alarm-bearing submissions take the AR "
+                             "priority class and preempt clean work")
+    submit.add_argument("--budget", type=int, default=1_000_000)
+    submit.add_argument("--checkpoint-period", type=float, default=1.0,
+                        metavar="S")
+    submit.add_argument("--priority", type=int, choices=[0, 1],
+                        help="override the priority class (0 = ar, 1 = cr; "
+                             "default: 0 when --attack is set)")
+    submit.add_argument("--wait", type=float, default=0.0, metavar="S",
+                        help="block up to S seconds re-submitting through "
+                             "queue-full backpressure (default: fail fast)")
+    submit.set_defaults(func=_cmd_submit)
+
+    queue = sub.add_parser(
+        "queue", help="print the service queue (from the daemon, or from "
+                      "the on-disk journal when none is reachable)",
+    )
+    _client_args(queue)
+    queue.add_argument("--json", action="store_true",
+                       help="machine-readable rows + stats")
+    queue.set_defaults(func=_cmd_queue)
+
+    drain = sub.add_parser(
+        "drain", help="close admissions on a running daemon; accepted "
+                      "work still completes",
+    )
+    _client_args(drain)
+    drain.add_argument("--wait", action="store_true",
+                       help="hold until every accepted job has completed")
+    drain.add_argument("--stop", action="store_true",
+                       help="stop the daemon once drained")
+    drain.set_defaults(func=_cmd_drain)
 
     gadgets = sub.add_parser("gadgets", help="scan the kernel for gadgets")
     gadgets.add_argument("--kind", choices=["pop_reg", "load_indirect",

@@ -186,6 +186,21 @@ class SimulationConfig:
     store_fsync: str = "interval"
     #: Frames between journal fsyncs under the ``"interval"`` policy.
     store_fsync_interval: int = 8
+    #: Replay-as-a-service scheduler daemon (``repro.service``): maximum
+    #: jobs the durable priority queue admits in the ``queued`` state
+    #: before submissions are rejected with a structured ``queue-full``
+    #: reason (bounded-queue backpressure; clients may block-and-retry).
+    service_queue_limit: int = 256
+    #: Launches granted to a failing service job before it is moved to
+    #: the poison-job quarantine (mirrors the fleet supervisor's
+    #: ``max_resume_attempts``; preemptions never count).
+    service_max_resume_attempts: int = 2
+    #: Base host-seconds backoff between service job retry attempts
+    #: (doubles per failure).
+    service_retry_backoff_s: float = 0.05
+    #: Scheduler poll interval in host seconds: how often the daemon
+    #: drains worker results, checks worker health, and launches work.
+    service_poll_s: float = 0.05
     #: Execution backend for the CPU run loop (``repro.cpu.backend``):
     #: ``"interp"`` — the reference batched interpreter — or ``"trace"``
     #: — the trace-cache translated fast path, bit-identical by contract

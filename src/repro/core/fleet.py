@@ -196,6 +196,36 @@ class FleetResult:
                      for event in result.recoveries)
 
 
+def session_payload(index: int, session: FleetSession, *,
+                    pipeline: bool = False,
+                    pipeline_backend: str = "thread",
+                    frame_records: int | None = None,
+                    queue_depth: int | None = None,
+                    fault_plan: FaultPlan | None = None,
+                    attempt: int = 0,
+                    allow_hard_kill: bool = False,
+                    telemetry: bool = False,
+                    reporter=None,
+                    store_path: str | None = None,
+                    resume: bool = False,
+                    store_fsync: str = "interval") -> tuple:
+    """Build the positional payload :func:`run_session_payload` consumes.
+
+    The payload is a plain tuple so it pickles across process pools and
+    ``multiprocessing`` queues unchanged.  Both the fleet driver and the
+    replay-service daemon (:mod:`repro.service`) build their worker
+    payloads through this one function, so a service job runs the exact
+    session machinery a fleet session does — which is what makes the
+    service's results bit-comparable to a one-shot :func:`run_fleet`.
+    """
+    base = (index, session, pipeline, pipeline_backend, frame_records,
+            queue_depth, fault_plan, attempt, allow_hard_kill, telemetry,
+            reporter)
+    if store_path is None:
+        return base
+    return base + (store_path, resume, store_fsync)
+
+
 def _run_one_session(payload: tuple) -> FleetSessionResult:
     """Run one session end to end (executes inside a pool worker).
 
@@ -464,13 +494,15 @@ def _session_store_path(store_dir: str, index: int) -> str:
     return os.path.join(store_dir, f"session-{index:03d}")
 
 
-def _supervised_session_main(result_queue, payload: tuple):
+def supervised_session_main(result_queue, payload: tuple):
     """Child entry point of one supervised session process.
 
     ``_run_one_session`` already folds session failures into structured
     results; the belt here catches failures of the folding itself, so
     the only way the parent sees no result is the process actually dying
     (hard kill, OOM) — exactly the signal the supervisor heals on.
+    Shared with the replay-service daemon, whose workers post into its
+    result queue the same way.
     """
     index, session = payload[0], payload[1]
     attempt = payload[7]
@@ -567,7 +599,7 @@ def _run_fleet_supervised(
 
     def launch(index: int, attempt: int, resume: bool):
         process = ctx.Process(
-            target=_supervised_session_main,
+            target=supervised_session_main,
             args=(result_queue, payload_for(index, attempt, True,
                                             resume=resume)),
             name=f"fleet-session-{index}",
@@ -772,13 +804,16 @@ def run_fleet(
     def payload_for(index: int, attempt: int, hard_kill: bool,
                     resume: bool = False) -> tuple:
         reporter = (board.reporter(index) if board is not None else None)
-        base = (index, sessions[index], pipeline, pipeline_backend,
-                frame_records, queue_depth, fault_plan, attempt, hard_kill,
-                telemetry, reporter)
-        if store_dir is None:
-            return base
-        return base + (_session_store_path(store_dir, index), resume,
-                       store_fsync)
+        return session_payload(
+            index, sessions[index],
+            pipeline=pipeline, pipeline_backend=pipeline_backend,
+            frame_records=frame_records, queue_depth=queue_depth,
+            fault_plan=fault_plan, attempt=attempt,
+            allow_hard_kill=hard_kill, telemetry=telemetry,
+            reporter=reporter,
+            store_path=(_session_store_path(store_dir, index)
+                        if store_dir is not None else None),
+            resume=resume, store_fsync=store_fsync)
 
     workers = min(max_workers if max_workers is not None else len(sessions),
                   len(sessions))

@@ -180,6 +180,47 @@ class WorkerTimeoutError(WorkerFailureError):
     """Raised when a dispatched worker exceeded its per-task timeout."""
 
 
+class ServiceError(ReproError):
+    """Raised on replay-service failures: a daemon that cannot start
+    (store already served by another daemon), a client that cannot reach
+    one, or a request the service refused for a non-queue reason."""
+
+
+class ProtocolError(ServiceError):
+    """Raised when a service message fails its framing or CRC check.
+
+    The newline-delimited canonical-JSON protocol wraps every message in
+    the same ``{"crc": ..., "body": ...}`` envelope as the durable
+    journals; a garbled line (transport damage, a mid-write disconnect)
+    trips the CRC and surfaces as this error — the daemon answers with a
+    structured ``garbled-message`` rejection instead of acting on it.
+    """
+
+
+class QueueFullError(ServiceError):
+    """Raised when the service rejected a submission for backpressure.
+
+    Carries the structured rejection the daemon returned: ``reason`` is
+    ``"queue-full"`` (bounded-queue admission control) or ``"draining"``
+    / ``"stopping"`` (the daemon is shutting down), with the queue depth
+    and limit so callers can implement their own blocking retry.
+    """
+
+    def __init__(self, message: str, reason: str = "queue-full",
+                 queued: int | None = None, limit: int | None = None):
+        self._raw_message = message
+        self.reason = reason
+        self.queued = queued
+        self.limit = limit
+        if queued is not None and limit is not None:
+            message = f"{message} ({queued}/{limit} jobs queued)"
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (type(self),
+                (self._raw_message, self.reason, self.queued, self.limit))
+
+
 class CheckpointError(ReproError):
     """Raised on invalid checkpoint construction, restore, or recycling."""
 

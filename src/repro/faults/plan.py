@@ -23,7 +23,22 @@ Fault kinds cover the pipeline's transport and compute layers:
                         crash
 ``STALL_WORKER``        the worker sleeps ``stall_s`` before starting —
                         drives per-task timeouts without killing anything
+``DROP_MESSAGE``        a service protocol message is lost in transport
+                        (the daemon never sees it; the client times out)
+``DUPLICATE_MESSAGE``   a service message is delivered twice (network
+                        retransmit) — submit dedup must absorb it
+``GARBLE_MESSAGE``      bytes of a service message flip in transport —
+                        the envelope CRC must catch it and the daemon
+                        must answer with a structured rejection
 ======================  ==================================================
+
+The three ``*_MESSAGE`` kinds target the replay service's socket layer
+(``repro.service``): ``target`` is the daemon-side message index (every
+received line counts, in arrival order).  The daemon additionally fires
+``fire_worker_fault("accept", submit_index)`` between *accepting* a
+submission and *journaling* it, so a ``KILL_WORKER`` spec with
+``role="accept"`` crashes the daemon in the one window where an accepted
+job could be lost — the crash/resume tests pin that it never acks first.
 """
 
 from __future__ import annotations
@@ -61,6 +76,9 @@ class FaultKind(enum.Enum):
     CRASH_WORKER = "crash_worker"
     KILL_WORKER = "kill_worker"
     STALL_WORKER = "stall_worker"
+    DROP_MESSAGE = "drop_message"
+    DUPLICATE_MESSAGE = "duplicate_message"
+    GARBLE_MESSAGE = "garble_message"
 
 
 @dataclass(frozen=True)
@@ -207,6 +225,51 @@ class FaultPlan:
                                    header.last_icount)
         return encode_frame(payload, header.record_count,
                             header.first_icount, header.last_icount)
+
+    # ------------------------------------------------------------------
+    # service message faults
+    # ------------------------------------------------------------------
+
+    def message_faults(self, index: int) -> list[FaultSpec]:
+        """The service-transport faults planned for message ``index``."""
+        kinds = (FaultKind.DROP_MESSAGE, FaultKind.DUPLICATE_MESSAGE,
+                 FaultKind.GARBLE_MESSAGE)
+        return [spec for spec in self.specs
+                if spec.kind in kinds and spec.target == index]
+
+    def apply_to_message(self, index: int, line: bytes) -> list[bytes]:
+        """Damage one received protocol line; the daemon processes the
+        returned list in order.
+
+        Empty list = the message was lost in transport (``DROP``); two
+        entries = a network retransmit delivered it twice (``DUPLICATE``
+        — submit dedup must make this idempotent); flipped bytes
+        (``GARBLE``) must trip the envelope CRC.  Faults on the same
+        message compose in plan order, mirroring :meth:`apply_to_frame`.
+        """
+        variants = [line]
+        for spec in self.message_faults(index):
+            if spec.kind is FaultKind.DROP_MESSAGE:
+                return []
+            if spec.kind is FaultKind.DUPLICATE_MESSAGE:
+                variants = variants + [bytes(copy) for copy in variants]
+            elif spec.kind is FaultKind.GARBLE_MESSAGE:
+                variants = [self._garble(index, copy, spec.flips)
+                            for copy in variants]
+        return variants
+
+    def _garble(self, index: int, line: bytes, flips: int) -> bytes:
+        """Flip bytes of a protocol line, never minting a newline (the
+        transport is line-framed, so injected ``\\n`` would split one
+        damaged message into two — a different fault than planned)."""
+        if not line:
+            return line
+        rng = self._rng(index * 7919 + 3)
+        out = bytearray(line)
+        for _ in range(max(1, flips)):
+            position = rng.randrange(len(out))
+            out[position] ^= 1 + rng.randrange(255)
+        return bytes(byte if byte != 0x0A else 0x3F for byte in out)
 
     # ------------------------------------------------------------------
     # worker faults

@@ -24,7 +24,7 @@ from repro.obs.heartbeat import STALE_AFTER_S
 from repro.obs.journal import TELEMETRY_JOURNAL_NAME, scan_telemetry_journal
 
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
-_TERMINAL_STATES = ("done", "failed", "complete")
+_TERMINAL_STATES = ("done", "failed", "complete", "quarantined")
 
 
 def sparkline(values, width: int = 12) -> str:
@@ -72,6 +72,10 @@ class SessionView:
                  stale_after_s: float = STALE_AFTER_S) -> bool:
         if self.state in _TERMINAL_STATES:
             return False
+        if self.actor == "queue":
+            # A queued-but-not-started service job has no heartbeat to
+            # go stale; waiting is its healthy state.
+            return False
         return self.age_s(now) > stale_after_s
 
     @classmethod
@@ -113,7 +117,15 @@ class SessionView:
 
 
 class TopBoard:
-    """Discover and render every session under a run/fleet directory."""
+    """Discover and render every session under a run/fleet directory.
+
+    A *service* store (one holding a ``queue.jsonl`` written by ``repro
+    serve``) additionally contributes rows for jobs the scheduler has
+    accepted but not yet started: those have no run store and no
+    telemetry journal — only the queue journal knows them — and they
+    render in the ``QUEUED`` state so an operator watching ``repro top``
+    sees the backlog, not just the in-flight work.
+    """
 
     def __init__(self, root: str, stale_after_s: float = STALE_AFTER_S):
         self.root = root
@@ -124,8 +136,33 @@ class TopBoard:
                                          or path, path)
                 for path in discover_run_dirs(self.root)]
 
+    def queued_views(self, seen_names) -> list[SessionView]:
+        """QUEUED/quarantined rows from the service queue journal, for
+        jobs that never launched (no run store of their own yet)."""
+        from repro.store.jobqueue import JOB_QUEUE_NAME, load_job_queue_state
+
+        if not os.path.exists(os.path.join(self.root, JOB_QUEUE_NAME)):
+            return []
+        state = load_job_queue_state(self.root)
+        views = []
+        for job in state.jobs:
+            if job.job_id in seen_names:
+                continue
+            if job.state not in ("queued", "quarantined"):
+                continue
+            views.append(SessionView(
+                name=job.job_id,
+                path=os.path.join(self.root, job.job_id),
+                actor="queue",
+                state=job.state,
+                last_wall=job.submitted_wall,
+            ))
+        return views
+
     def render(self, now: float | None = None) -> str:
         views = self.views()
+        views += self.queued_views({view.name for view in views})
+        views.sort(key=lambda view: view.name)
         now = time.time() if now is None else now
         lines = [
             f"{'session':<14} {'state':<10} {'icount':>12} {'frames':>7} "
@@ -152,10 +189,13 @@ class TopBoard:
                          if not view.is_stale(now, self.stale_after_s)
                          and view.state not in _TERMINAL_STATES)
         done = sum(1 for view in views if view.state in _TERMINAL_STATES)
+        queued = sum(1 for view in views if view.actor == "queue"
+                     and view.state == "queued")
         lines.append("")
         lines.append(
             f"{len(views)} session(s), {done} finished, "
-            f"fleet rate {total_rate:,.0f} instr/s"
+            + (f"{queued} queued, " if queued else "")
+            + f"fleet rate {total_rate:,.0f} instr/s"
         )
         return "\n".join(lines)
 

@@ -1,0 +1,42 @@
+"""Replay-as-a-service: the always-on scheduler the deployment story needs.
+
+``repro serve STORE_DIR`` runs a :class:`ServiceDaemon` — a crash-
+resumable scheduler that accepts session submissions over a unix/TCP
+socket, journals them into a durable priority queue
+(``store/jobqueue.py``), and runs them on supervised worker processes
+with the paper's CR/AR priority split (alarm-bearing work preempts
+clean catch-up).  ``repro submit`` / ``repro queue`` / ``repro drain``
+are thin :class:`ServiceClient` wrappers.  See ``docs/RELIABILITY.md``
+for the service state machine and the crash contract.
+"""
+
+from repro.service.client import ServiceClient, default_endpoint
+from repro.service.daemon import (
+    LOCK_NAME,
+    SERVICE_JOURNAL_NAME,
+    WORKER_PID_NAME,
+    ServiceDaemon,
+    serve,
+)
+from repro.service.protocol import (
+    SOCKET_NAME,
+    LineChannel,
+    decode_message,
+    encode_message,
+    parse_endpoint,
+)
+
+__all__ = [
+    "LOCK_NAME",
+    "LineChannel",
+    "SERVICE_JOURNAL_NAME",
+    "SOCKET_NAME",
+    "ServiceClient",
+    "ServiceDaemon",
+    "WORKER_PID_NAME",
+    "decode_message",
+    "default_endpoint",
+    "encode_message",
+    "parse_endpoint",
+    "serve",
+]

@@ -1,0 +1,157 @@
+"""Client side of the replay service: submit work, inspect the queue.
+
+:class:`ServiceClient` opens one connection per request (the protocol is
+strictly request/response, and the daemon serves each connection on its
+own thread), retries transient transport failures with backoff, and —
+crucially — mints one ``nonce`` per logical submission and reuses it
+across retries, so a submit that times out after the daemon durably
+accepted it is deduplicated on retry instead of queued twice.  That
+nonce discipline is the client half of the "no lost accepted jobs, no
+double execution" contract; the daemon's write-ahead ack is the other
+half.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+import uuid
+
+from repro.errors import ProtocolError, QueueFullError, ServiceError
+from repro.service.protocol import SOCKET_NAME, LineChannel, connect
+
+
+def default_endpoint(store_dir: str) -> str:
+    """The daemon's default unix socket for a service store."""
+    return os.path.join(store_dir, SOCKET_NAME)
+
+
+class ServiceClient:
+    """Talk to a running ``repro serve`` daemon."""
+
+    def __init__(self, endpoint: str, *, timeout_s: float = 30.0,
+                 retries: int = 3, backoff_s: float = 0.1):
+        self.endpoint = endpoint
+        self.timeout_s = timeout_s
+        self.retries = max(0, retries)
+        self.backoff_s = backoff_s
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    def _request_once(self, body: dict, timeout_s: float | None) -> dict:
+        channel = LineChannel(connect(
+            self.endpoint, timeout_s or self.timeout_s))
+        try:
+            channel.send(body)
+            response = channel.recv()
+        finally:
+            channel.close()
+        if response is None:
+            raise ServiceError(
+                "service closed the connection without answering")
+        return response
+
+    def request(self, body: dict, *, timeout_s: float | None = None) -> dict:
+        """One request/response round trip with transport retries.
+
+        Retries cover connection failures, timeouts, and garbled
+        *responses* — every path where the client cannot know whether
+        the daemon acted.  Idempotency comes from the request's nonce
+        (submits) or the operation being read-only, so retrying blind
+        is safe.
+        """
+        last: Exception | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                return self._request_once(body, timeout_s)
+            except (OSError, socket.timeout, ProtocolError,
+                    ServiceError) as exc:
+                if isinstance(exc, (QueueFullError,)):
+                    raise
+                last = exc
+                if attempt < self.retries:
+                    time.sleep(self.backoff_s * (2 ** attempt))
+        raise ServiceError(
+            f"service at {self.endpoint} unreachable after "
+            f"{self.retries + 1} attempts: {last}")
+
+    @staticmethod
+    def _reject(response: dict):
+        reason = response.get("reason", "rejected")
+        error = response.get("error", "service rejected the request")
+        if reason in ("queue-full", "draining", "stopping"):
+            raise QueueFullError(error, reason=reason,
+                                 queued=response.get("queued"),
+                                 limit=response.get("limit"))
+        if reason == "garbled-message":
+            raise ProtocolError(error)
+        raise ServiceError(f"{reason}: {error}")
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def ping(self) -> dict:
+        response = self.request({"op": "ping"})
+        if not response.get("ok"):
+            self._reject(response)
+        return response
+
+    def submit(self, spec: dict, *, priority: int | None = None,
+               nonce: str | None = None, wait_s: float = 0.0) -> dict:
+        """Submit one session; returns the accepted-job response.
+
+        ``spec`` carries ``benchmark`` / ``seed`` / ``attack`` /
+        ``max_instructions`` / ``period_s``.  ``priority`` overrides the
+        default class (alarm-bearing outranks clean).  ``wait_s`` > 0
+        turns backpressure rejections into bounded blocking: the client
+        re-submits (same nonce) until the queue admits the job or the
+        window closes.
+        """
+        nonce = nonce or uuid.uuid4().hex
+        body = {"op": "submit", "spec": dict(spec), "nonce": nonce}
+        if priority is not None:
+            body["priority"] = int(priority)
+        deadline = time.monotonic() + wait_s
+        garbled_left = self.retries
+        while True:
+            response = self.request(body)
+            if response.get("ok"):
+                return response
+            reason = response.get("reason")
+            if reason == "garbled-message" and garbled_left > 0:
+                # The daemon saw transport damage, not our intent;
+                # re-send under the same nonce (idempotent).
+                garbled_left -= 1
+                time.sleep(self.backoff_s)
+                continue
+            if reason == "queue-full" and time.monotonic() < deadline:
+                time.sleep(self.backoff_s)
+                continue
+            self._reject(response)
+
+    def queue(self) -> dict:
+        """Queue rows + stats, as the daemon sees them."""
+        response = self.request({"op": "queue"})
+        if not response.get("ok"):
+            self._reject(response)
+        return response
+
+    def drain(self, *, wait: bool = False, stop: bool = False,
+              timeout_s: float | None = None) -> dict:
+        """Stop admissions; optionally wait for quiet and stop the daemon.
+
+        ``wait=True`` holds the connection until no job is queued or
+        running (the daemon answers when the queue is quiet);
+        ``stop=True`` additionally asks the daemon to exit afterwards.
+        """
+        response = self.request(
+            {"op": "drain", "wait": bool(wait), "stop": bool(stop)},
+            timeout_s=timeout_s if timeout_s is not None
+            else (None if not wait else max(self.timeout_s, 600.0)))
+        if not response.get("ok"):
+            self._reject(response)
+        return response

@@ -1,0 +1,604 @@
+"""The replay-service scheduler daemon (``repro serve``).
+
+A long-running process that owns one service store directory: it accepts
+session submissions over a unix/TCP socket, journals every accepted job
+into the durable priority queue (``store/jobqueue.py``), and schedules
+jobs across a pool of supervised worker processes — the *same* worker
+entry point (:func:`repro.core.fleet.supervised_session_main`) and the
+same payload builder the one-shot fleet uses, which is what makes a
+serviced job's result bit-identical to the equivalent ``run_fleet``.
+
+Crash contract (the tentpole):
+
+* **No lost accepted jobs.**  A submission is acked only after its
+  ``submit`` event is fsync'd into ``queue.jsonl`` (the write-ahead
+  ack).  Kill -9 at any instant loses only submissions that were never
+  acked — and the client retries those under the same nonce, which the
+  journal deduplicates.
+* **No double execution.**  ``done`` events are terminal: a restarted
+  daemon never relaunches a completed job.  Jobs that were running at
+  the crash re-queue with ``resume=True`` and continue from their
+  per-job run store bit-identically (the store's resume guarantee).
+  Orphaned worker processes from the dead daemon are fenced — each job
+  directory carries a ``worker.pid`` the new daemon SIGKILLs before
+  relaunching — so two workers never write one job store.
+* **One daemon per store.**  An ``fcntl`` lock on ``daemon.lock``;
+  a second ``repro serve`` on the same store fails fast with a typed
+  :class:`~repro.errors.ServiceError`.
+
+Scheduling mirrors the paper's CR/AR split: alarm-bearing submissions
+(priority class 0) run before — and, when the pool is full, preempt —
+clean CR catch-up (class 1).  A preempted worker is SIGTERM'd, its job
+re-queued with ``resume=True`` and *no failure charged*; failures are
+charged only for launches that die on their own, and a job that fails
+``max_resume_attempts + 1`` times is quarantined as poison.  SIGTERM of
+the daemon itself drains: admissions stop, in-flight jobs finish, the
+queue stays on disk for the next daemon.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import signal
+import socket
+import threading
+import time
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.fleet import FleetSession, session_payload, supervised_session_main
+from repro.errors import QueueFullError, ServiceError
+from repro.obs.journal import TelemetryJournalWriter
+from repro.obs.telemetry import Telemetry
+from repro.service.protocol import (
+    SOCKET_NAME,
+    LineChannel,
+    decode_message,
+    parse_endpoint,
+)
+from repro.store.jobqueue import PRIORITY_AR, JobQueue, QueuedJob
+
+#: The daemon's own durable telemetry journal (named so a service store
+#: is never mistaken for a single run store by ``discover_run_dirs``).
+SERVICE_JOURNAL_NAME = "service.jsonl"
+
+#: Singleton lock file inside the service store.
+LOCK_NAME = "daemon.lock"
+
+#: Per-job pid fence file inside each job's run-store directory.
+WORKER_PID_NAME = "worker.pid"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+class ServiceDaemon:
+    """One scheduler daemon bound to one service store directory."""
+
+    def __init__(self, store_dir: str, *,
+                 endpoint: str | None = None,
+                 workers: int = 2,
+                 queue_limit: int | None = None,
+                 max_resume_attempts: int | None = None,
+                 retry_backoff_s: float | None = None,
+                 poll_s: float | None = None,
+                 store_fsync: str = "interval",
+                 fault_plan=None,
+                 once: bool = False):
+        config = DEFAULT_CONFIG
+        self.store_dir = store_dir
+        self.workers = max(1, workers)
+        self.queue_limit = (queue_limit if queue_limit is not None
+                            else config.service_queue_limit)
+        self.max_resume_attempts = (
+            max_resume_attempts if max_resume_attempts is not None
+            else config.service_max_resume_attempts)
+        self.retry_backoff_s = (retry_backoff_s if retry_backoff_s is not None
+                                else config.service_retry_backoff_s)
+        self.poll_s = poll_s if poll_s is not None else config.service_poll_s
+        self.store_fsync = store_fsync
+        self.fault_plan = fault_plan
+        self.once = once
+        os.makedirs(store_dir, exist_ok=True)
+        self._acquire_lock()
+        self.queue = JobQueue(store_dir, limit=self.queue_limit)
+        self._fence_orphans()
+        self.queue.note_serve(os.getpid())
+        self.endpoint = endpoint or os.path.join(store_dir, SOCKET_NAME)
+        self._lock = threading.Lock()
+        self._ctx = multiprocessing.get_context()
+        self._results = self._ctx.Queue()
+        #: job_id -> (process, job, monotonic launch time, launch ordinal)
+        self._running: dict[str, tuple] = {}
+        self._by_index = {job.index: job for job in self.queue.jobs.values()}
+        self._draining = False
+        self._halt_launches = False
+        self._stop = False
+        self._exit_when_idle = False
+        self._message_index = 0
+        self._submit_index = 0
+        self._listener: socket.socket | None = None
+        self._unix_path: str | None = None
+        self.telemetry = Telemetry(
+            "service",
+            journal=TelemetryJournalWriter(
+                os.path.join(store_dir, SERVICE_JOURNAL_NAME),
+                fsync="interval", resume=True,
+            ),
+        )
+        self._last_beat = 0.0
+
+    # ------------------------------------------------------------------
+    # startup: singleton lock + orphan fencing
+    # ------------------------------------------------------------------
+
+    def _acquire_lock(self):
+        import fcntl
+
+        path = os.path.join(self.store_dir, LOCK_NAME)
+        self._lock_handle = open(path, "a+")
+        try:
+            fcntl.flock(self._lock_handle.fileno(),
+                        fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            self._lock_handle.close()
+            raise ServiceError(
+                f"store {self.store_dir} is already served by another "
+                f"daemon (lock {path} held)") from None
+        self._lock_handle.truncate(0)
+        self._lock_handle.write(f"{os.getpid()}\n")
+        self._lock_handle.flush()
+
+    def _fence_orphans(self):
+        """SIGKILL workers a dead daemon left behind.
+
+        A previous daemon's kill -9 cannot reap its children; an orphan
+        still appending to a job store while the new daemon relaunches
+        that job would be two writers on one journal.  The pid fence
+        makes relaunch safe: kill first, then schedule.
+        """
+        for job in self.queue.jobs.values():
+            pid_path = os.path.join(self.store_dir, job.job_id,
+                                    WORKER_PID_NAME)
+            try:
+                with open(pid_path) as handle:
+                    pid = int(handle.read().strip() or "0")
+            except (FileNotFoundError, ValueError):
+                continue
+            if pid > 0 and pid != os.getpid() and _pid_alive(pid):
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except OSError:
+                    pass
+                deadline = time.monotonic() + 5.0
+                while _pid_alive(pid) and time.monotonic() < deadline:
+                    time.sleep(0.01)
+            try:
+                os.unlink(pid_path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # socket layer
+    # ------------------------------------------------------------------
+
+    def _open_listener(self):
+        parsed = parse_endpoint(self.endpoint)
+        if parsed[0] == "tcp":
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((parsed[1], parsed[2]))
+            # A requested port of 0 binds an ephemeral port; publish it.
+            self.endpoint = "%s:%d" % listener.getsockname()[:2]
+        else:
+            path = parsed[1]
+            # We hold the store lock, so a leftover socket file is stale.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(path)
+            self._unix_path = path
+        listener.listen(64)
+        listener.settimeout(0.5)
+        self._listener = listener
+        thread = threading.Thread(target=self._accept_loop,
+                                  name="service-accept", daemon=True)
+        thread.start()
+
+    def _accept_loop(self):
+        while not self._stop:
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            thread = threading.Thread(target=self._serve_connection,
+                                      args=(conn,), daemon=True)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket):
+        conn.settimeout(600.0)
+        channel = LineChannel(conn)
+        try:
+            while not self._stop:
+                line = channel.recv_line()
+                if line is None:
+                    return
+                with self._lock:
+                    index = self._message_index
+                    self._message_index += 1
+                variants = ([bytes(line)] if self.fault_plan is None
+                            else self.fault_plan.apply_to_message(index, line))
+                # An empty list models a message lost in transport: no
+                # response at all — the client's timeout-and-retry path.
+                for variant in variants:
+                    try:
+                        body = decode_message(variant)
+                    except Exception as exc:  # ProtocolError + damage
+                        channel.send({
+                            "ok": False, "reason": "garbled-message",
+                            "error": str(exc),
+                        })
+                        continue
+                    channel.send(self._handle(body))
+        except OSError:
+            pass
+        finally:
+            channel.close()
+
+    def _handle(self, body: dict) -> dict:
+        op = body.get("op")
+        if op == "ping":
+            stats = self.queue.stats()
+            return {"ok": True, "pid": os.getpid(),
+                    "endpoint": self.endpoint,
+                    "draining": self._draining,
+                    "stats": stats.to_json()}
+        if op == "submit":
+            return self._handle_submit(body)
+        if op == "queue":
+            with self._lock:
+                rows = self.queue.rows()
+                stats = self.queue.stats().to_json()
+                notes = list(self.queue.recovery_notes)
+            return {"ok": True, "jobs": rows, "stats": stats,
+                    "notes": notes, "draining": self._draining}
+        if op == "drain":
+            return self._handle_drain(body)
+        return {"ok": False, "reason": "unknown-op",
+                "error": f"unknown operation {op!r}"}
+
+    def _handle_submit(self, body: dict) -> dict:
+        if self._draining:
+            return {"ok": False, "reason": "draining",
+                    "error": "service is draining; submissions are closed"}
+        spec = body.get("spec")
+        if not isinstance(spec, dict) or "benchmark" not in spec:
+            return {"ok": False, "reason": "bad-spec",
+                    "error": "submit spec must carry at least 'benchmark'"}
+        with self._lock:
+            submit_index = self._submit_index
+            self._submit_index += 1
+            if self.fault_plan is not None:
+                # The accept-crash window: the submission is admitted but
+                # not yet journaled.  A KILL_WORKER spec with role
+                # "accept" hard-exits here — the crash/resume tests pin
+                # that the un-acked job is the only thing lost.
+                self.fault_plan.fire_worker_fault("accept", submit_index)
+            try:
+                job, accepted = self.queue.submit(
+                    spec, nonce=str(body.get("nonce", "")),
+                    priority=body.get("priority"))
+            except QueueFullError as exc:
+                return {"ok": False, "reason": exc.reason,
+                        "error": "service queue is full",
+                        "queued": exc.queued, "limit": exc.limit}
+            except (KeyError, TypeError, ValueError) as exc:
+                return {"ok": False, "reason": "bad-spec",
+                        "error": f"invalid submit spec: {exc}"}
+            if accepted:
+                self._by_index[job.index] = job
+                self.telemetry.count("service.submitted")
+        return {"ok": True, "job": job.job_id, "index": job.index,
+                "state": job.state, "priority": job.priority,
+                "deduplicated": not accepted}
+
+    def _handle_drain(self, body: dict) -> dict:
+        with self._lock:
+            if not self._draining:
+                self._draining = True
+                self.queue.note_drain()
+        if body.get("stop"):
+            self._exit_when_idle = True
+        if body.get("wait"):
+            while not self._quiet() and not self._stop:
+                time.sleep(self.poll_s)
+        with self._lock:
+            stats = self.queue.stats().to_json()
+        return {"ok": True, "draining": True, "stats": stats,
+                "quiet": self._quiet()}
+
+    def _quiet(self) -> bool:
+        with self._lock:
+            stats = self.queue.stats()
+        return stats.queued == 0 and stats.running == 0
+
+    # ------------------------------------------------------------------
+    # worker pool
+    # ------------------------------------------------------------------
+
+    def _job_dir(self, job: QueuedJob) -> str:
+        return os.path.join(self.store_dir, job.job_id)
+
+    def _launch(self, job: QueuedJob):
+        """One durable ``start`` event, then the worker process.
+
+        Journal-then-launch: a crash between the two re-queues the job
+        with ``resume=True`` on recovery (its store may not even exist
+        yet — resume then degrades to a fresh deterministic run).
+        """
+        session = FleetSession(
+            benchmark=job.benchmark, seed=job.seed, attack=job.attack,
+            max_instructions=job.max_instructions, period_s=job.period_s,
+        )
+        attempt = job.launches
+        resume = job.resume
+        job_dir = self._job_dir(job)
+        os.makedirs(job_dir, exist_ok=True)
+        self.queue.mark_start(job)
+        payload = session_payload(
+            job.index, session,
+            fault_plan=self.fault_plan, attempt=attempt,
+            allow_hard_kill=True,
+            store_path=job_dir, resume=resume,
+            store_fsync=self.store_fsync,
+        )
+        process = self._ctx.Process(
+            target=supervised_session_main,
+            args=(self._results, payload),
+            name=f"service-{job.job_id}",
+            daemon=True,
+        )
+        process.start()
+        with open(os.path.join(job_dir, WORKER_PID_NAME), "w") as handle:
+            handle.write(f"{process.pid}\n")
+        self._running[job.job_id] = (process, job, time.monotonic(), attempt)
+
+    def _release(self, job: QueuedJob):
+        entry = self._running.pop(job.job_id, None)
+        if entry is not None:
+            entry[0].join(timeout=5.0)
+        try:
+            os.unlink(os.path.join(self._job_dir(job), WORKER_PID_NAME))
+        except OSError:
+            pass
+
+    def _complete(self, job: QueuedJob, result):
+        summary = {
+            "ok": True,
+            "verdicts": list(result.verdicts),
+            "digest": result.session_digest,
+            "log_bytes": result.log_bytes,
+            "log_records": result.log_records,
+            "instructions": result.instructions,
+            "checkpoints": result.checkpoints,
+            "alarms_seen": result.alarms_seen,
+            "dismissed_underflows": result.dismissed_underflows,
+            "stop_reason": result.stop_reason,
+            "backend": result.backend,
+            "attempts": result.attempts,
+        }
+        self.queue.mark_done(job, summary)
+        self.telemetry.count("service.completed")
+        wait = job.wait_s()
+        run = job.run_s()
+        if wait is not None:
+            self.telemetry.observe("service.wait_ms", int(wait * 1000))
+        if run is not None:
+            self.telemetry.observe("service.run_ms", int(run * 1000))
+
+    def _finish(self, index: int, result):
+        job = self._by_index.get(index)
+        if job is None or job.state in ("done", "quarantined"):
+            return
+        entry = self._running.get(job.job_id)
+        result_attempt = max(0, result.attempts - 1)
+        if entry is not None and result_attempt != entry[3]:
+            # A dying gasp from a launch we already preempted, racing
+            # the job's *relaunched* worker: the live launch decides.
+            return
+        if entry is None:
+            # The job was preempted (and not yet relaunched).  Its old
+            # worker managed to finish before the SIGTERM landed —
+            # accept the completed result rather than re-running; a
+            # failure here is just the SIGTERM, already accounted for
+            # by the preempt event.
+            if result.ok and job.state == "queued":
+                self._complete(job, result)
+            return
+        self._release(job)
+        if result.ok:
+            self._complete(job, result)
+        else:
+            self._fail(job, result.error)
+
+    def _fail(self, job: QueuedJob, error: str):
+        quarantined = self.queue.mark_fail(
+            job, error, max_failures=self.max_resume_attempts,
+            backoff_s=self.retry_backoff_s)
+        if quarantined:
+            self.telemetry.count("service.quarantined")
+        else:
+            self.telemetry.count("service.failed_launches")
+
+    def _drain_results(self, block_s: float = 0.0) -> bool:
+        got = False
+        timeout = block_s
+        while True:
+            try:
+                if timeout:
+                    index, result = self._results.get(timeout=timeout)
+                else:
+                    index, result = self._results.get_nowait()
+            except queue_mod.Empty:
+                return got
+            with self._lock:
+                self._finish(index, result)
+            got = True
+            timeout = 0.0
+
+    def _check_workers(self):
+        with self._lock:
+            entries = list(self._running.items())
+        for job_id, (process, job, _, _) in entries:
+            if process.is_alive():
+                continue
+            # Its result may still be in flight; give it a beat.
+            self._drain_results(block_s=0.2)
+            with self._lock:
+                if job_id not in self._running:
+                    continue
+                self._release(job)
+                self._fail(job, "worker process died without a result "
+                                f"(exit code {process.exitcode})")
+
+    def _preempt_for(self, job: QueuedJob) -> bool:
+        """Make room for an alarm-class job by stopping the youngest
+        running clean-class worker.  Returns True when a slot opened."""
+        victims = [(launched, victim, process)
+                   for process, victim, launched, _ in self._running.values()
+                   if victim.priority > job.priority]
+        if not victims:
+            return False
+        _, victim, process = max(victims, key=lambda entry: entry[0])
+        self.queue.mark_preempt(victim)
+        self.telemetry.count("service.preempted")
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=5.0)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=5.0)
+        self._release(victim)
+        return True
+
+    def _schedule(self):
+        with self._lock:
+            if self._halt_launches:
+                return
+            now = time.monotonic()
+            while True:
+                job = self.queue.next_runnable(now)
+                if job is None:
+                    return
+                if len(self._running) >= self.workers:
+                    if not (job.priority == PRIORITY_AR
+                            and self._preempt_for(job)):
+                        return
+                self._launch(job)
+
+    def _maybe_beat(self):
+        now = time.monotonic()
+        if now - self._last_beat < 1.0:
+            return
+        self._last_beat = now
+        with self._lock:
+            stats = self.queue.stats()
+        self.telemetry.gauge("service.queue_depth", stats.queued)
+        self.telemetry.gauge("service.running", stats.running)
+        self.telemetry.beat("draining" if self._draining else "serving",
+                            icount=stats.done, frames=stats.queued)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def _install_signals(self):
+        def on_term(signum, frame):
+            # Graceful degradation: admissions close, in-flight jobs
+            # finish, queued jobs stay durable for the next daemon.
+            self._draining = True
+            self._halt_launches = True
+            self._exit_when_idle = True
+
+        try:
+            signal.signal(signal.SIGTERM, on_term)
+            signal.signal(signal.SIGINT, on_term)
+        except ValueError:
+            # Not the main thread (embedded in tests): signals are the
+            # caller's business.
+            pass
+
+    def run(self):
+        """Serve until stopped (SIGTERM / drain --stop / ``once``)."""
+        self._install_signals()
+        self._open_listener()
+        self.telemetry.beat("serving")
+        try:
+            while not self._stop:
+                self._drain_results(block_s=self.poll_s)
+                self._check_workers()
+                self._schedule()
+                self._maybe_beat()
+                with self._lock:
+                    idle = not self._running
+                if (idle and self._exit_when_idle
+                        and (self._halt_launches or self._quiet())):
+                    # SIGTERM: in-flight work is done, queued work stays
+                    # durable for the next daemon.  ``drain --stop``:
+                    # everything accepted has completed.
+                    break
+                if self.once and idle and self._quiet():
+                    break
+        finally:
+            self.shutdown()
+
+    def shutdown(self):
+        if self._stop:
+            return
+        self._stop = True
+        with self._lock:
+            jobs = [entry[1] for entry in self._running.values()]
+            for entry in self._running.values():
+                if entry[0].is_alive():
+                    entry[0].terminate()
+        for job in jobs:
+            entry = self._running.get(job.job_id)
+            if entry is not None:
+                entry[0].join(timeout=5.0)
+            self._release(job)
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._unix_path is not None:
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
+        self.telemetry.beat("stopped")
+        self.telemetry.journal.close()
+        self._results.close()
+        self._results.cancel_join_thread()
+        self.queue.close()
+        try:
+            self._lock_handle.close()
+        except OSError:
+            pass
+
+
+def serve(store_dir: str, **kwargs) -> None:
+    """Build and run a daemon (the ``repro serve`` entry point)."""
+    ServiceDaemon(store_dir, **kwargs).run()

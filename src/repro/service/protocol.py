@@ -1,0 +1,136 @@
+"""Wire protocol of the replay service: newline-delimited canonical JSON.
+
+Every message — request or response — is one line: the canonical-JSON
+encoding of ``{"crc": crc32(canonical(body)), "body": {...}}`` followed
+by ``\\n``, the exact envelope the durable journals use on disk.  The
+CRC is not cryptography; it is the same tear/garble detector the store
+trusts: a byte flipped in transport (or injected by a
+``GARBLE_MESSAGE`` fault) makes the line undecodable, and the daemon
+answers with a structured ``garbled-message`` rejection instead of
+acting on damaged input.
+
+Requests carry ``op`` (``submit`` / ``queue`` / ``drain`` / ``ping``)
+plus op-specific fields; responses carry ``ok`` and either the payload
+or ``reason`` + ``error``.  Submissions carry a client-minted ``nonce``
+so a retried submit (after a drop, a timeout, or a lost ack) is
+idempotent: the daemon's queue journal deduplicates on the nonce and
+returns the originally accepted job.
+
+Endpoints: a path is a unix socket (the default is
+``STORE_DIR/service.sock``); ``host:port`` is TCP.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import zlib
+
+from repro.errors import ProtocolError
+from repro.store.runstore import canonical_body
+
+#: Unix-socket file name inside the service's store directory.
+SOCKET_NAME = "service.sock"
+
+#: Longest accepted line; anything bigger is damage or abuse.
+MAX_MESSAGE_BYTES = 1 << 20
+
+
+def encode_message(body: dict) -> bytes:
+    """One protocol line (terminating newline included)."""
+    envelope = {"crc": zlib.crc32(canonical_body(body)), "body": body}
+    return json.dumps(envelope, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> dict:
+    """Validate one received line into its body.
+
+    Raises :class:`~repro.errors.ProtocolError` on anything short of a
+    well-framed, CRC-clean message.
+    """
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(line)} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte limit")
+    try:
+        envelope = json.loads(line)
+        body = envelope["body"]
+        crc = envelope["crc"]
+    except (ValueError, KeyError, TypeError) as exc:
+        raise ProtocolError(f"unparseable message: {exc}") from None
+    if not isinstance(body, dict):
+        raise ProtocolError("message body is not an object")
+    actual = zlib.crc32(canonical_body(body))
+    if actual != crc:
+        raise ProtocolError(
+            f"message CRC mismatch (stored {crc}, computed {actual})")
+    return body
+
+
+def parse_endpoint(endpoint: str) -> tuple:
+    """``("unix", path)`` or ``("tcp", host, port)``.
+
+    Anything with a colon and no path separator is ``host:port``;
+    everything else is a unix-socket path.
+    """
+    if ":" in endpoint and "/" not in endpoint and "\\" not in endpoint:
+        host, _, port = endpoint.rpartition(":")
+        try:
+            return ("tcp", host or "127.0.0.1", int(port))
+        except ValueError:
+            pass
+    return ("unix", endpoint)
+
+
+def connect(endpoint: str, timeout_s: float = 10.0) -> socket.socket:
+    """Open a client socket to a parsed endpoint."""
+    parsed = parse_endpoint(endpoint)
+    if parsed[0] == "tcp":
+        sock = socket.create_connection((parsed[1], parsed[2]),
+                                        timeout=timeout_s)
+    else:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout_s)
+        sock.connect(parsed[1])
+    return sock
+
+
+class LineChannel:
+    """Blocking line-framed message channel over one socket."""
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self._buffer = b""
+
+    def send(self, body: dict):
+        self.sock.sendall(encode_message(body))
+
+    def send_raw(self, line: bytes):
+        self.sock.sendall(line)
+
+    def recv_line(self) -> bytes | None:
+        """One raw line (without the newline), or ``None`` on EOF."""
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > MAX_MESSAGE_BYTES:
+                raise ProtocolError("unterminated message exceeds the "
+                                    "message size limit")
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                return None
+            self._buffer += chunk
+        line, _, self._buffer = self._buffer.partition(b"\n")
+        return line
+
+    def recv(self) -> dict | None:
+        """One decoded message body, or ``None`` on EOF."""
+        line = self.recv_line()
+        if line is None:
+            return None
+        return decode_message(line)
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass

@@ -8,6 +8,16 @@ bit-identically to an uninterrupted run.  See ``docs/RELIABILITY.md``.
 """
 
 from repro.errors import StoreCorruptError
+from repro.store.jobqueue import (
+    JOB_QUEUE_NAME,
+    JobQueue,
+    JobQueueState,
+    JobQueueStats,
+    QueuedJob,
+    job_dir_name,
+    load_job_queue_state,
+    scan_job_queue,
+)
 from repro.store.recover import (
     FsckReport,
     ResumePoint,
@@ -30,8 +40,16 @@ from repro.store.runstore import (
 __all__ = [
     "CHECKPOINT_DIR",
     "FsckReport",
+    "JOB_QUEUE_NAME",
     "JOURNAL_NAME",
+    "JobQueue",
+    "JobQueueState",
+    "JobQueueStats",
     "MANIFEST_NAME",
+    "QueuedJob",
+    "job_dir_name",
+    "load_job_queue_state",
+    "scan_job_queue",
     "RUN_STORE_MAGIC",
     "RUN_STORE_VERSION",
     "ResumePoint",

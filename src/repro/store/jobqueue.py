@@ -1,0 +1,593 @@
+"""Durable priority job queue for the replay service daemon.
+
+The scheduler daemon (:mod:`repro.service`) must survive its own death:
+``kill -9`` at any instant may lose neither an accepted job nor complete
+one twice.  The queue therefore lives on disk as ``queue.jsonl`` — an
+append-only, CRC'd, event-sourced journal written with exactly the
+discipline of the frame and telemetry journals (``store/runstore.py``,
+``obs/journal.py``): an unbuffered handle, one canonical-JSON entry per
+line wrapped as ``{"crc": ..., "body": ...}``, monotone sequence
+numbers, and recovery that trusts nothing but the CRCs.  A torn tail is
+cut at the last whole entry, never parsed.
+
+The journal records *events*, not state:
+
+======================  ==============================================
+``serve``               a daemon began serving this store (pid, wall)
+``submit``              a job was accepted (full spec + nonce); the
+                        daemon acks a submission only *after* this
+                        entry is fsync'd — the write-ahead ack that
+                        makes "accepted" mean "durable"
+``start``               a worker launched the job (launch ordinal,
+                        resume flag)
+``preempt``             the scheduler stopped a running job to make
+                        room for higher-priority work; it re-queues
+                        with ``resume=True`` and no failure charged
+``fail``                a launch failed (error text); the job
+                        re-queues with ``resume=True``
+``quarantine``          failures exhausted ``max_resume_attempts`` —
+                        the job is poison and never runs again
+``done``                terminal success, with the result summary
+                        (verdicts, digest, log bytes, instructions)
+``drain``               the daemon stopped accepting submissions
+======================  ==============================================
+
+Replaying the event log rebuilds the queue: a job whose last event is
+``start`` was *in flight* when the daemon died, so recovery re-queues it
+with ``resume=True`` — its per-job run store resumes it bit-identically,
+and its durable ``done`` (had it finished) would have parked it forever.
+That pair of rules is the whole crash-consistency argument: accepted
+jobs persist because the ack follows the fsync, and completed jobs never
+re-run because ``done`` is terminal.
+
+Priority follows the paper's CR/AR split: alarm-bearing sessions
+(class 0, ``"ar"``) preempt clean CR catch-up (class 1, ``"cr"``).
+Within a class, FIFO by submission index.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import QueueFullError, StoreCorruptError
+from repro.store.runstore import canonical_body
+
+#: File name inside the service's store directory.
+JOB_QUEUE_NAME = "queue.jsonl"
+
+#: Priority classes, lowest number runs first (paper's CR/AR split).
+PRIORITY_AR = 0
+PRIORITY_CR = 1
+
+_STATES = ("queued", "running", "done", "quarantined")
+
+
+def _crc(body: dict) -> int:
+    return zlib.crc32(canonical_body(body))
+
+
+def job_dir_name(index: int) -> str:
+    """The per-job run-store directory name under the service store."""
+    return f"job-{index:06d}"
+
+
+@dataclass
+class QueuedJob:
+    """One job's current state, rebuilt from (or about to enter) the journal."""
+
+    index: int
+    job_id: str
+    benchmark: str
+    seed: int
+    attack: str | None
+    max_instructions: int
+    period_s: float
+    priority: int
+    nonce: str
+    state: str = "queued"
+    #: Total worker launches so far (start events).
+    launches: int = 0
+    #: Failed launches (fail events) — preemptions never count.
+    failures: int = 0
+    #: Whether the next launch should resume from the job's run store.
+    resume: bool = False
+    submitted_wall: float = 0.0
+    #: Wall time of the *first* launch (queue-wait latency endpoint).
+    started_wall: float | None = None
+    finished_wall: float | None = None
+    error: str = ""
+    #: Result summary from the ``done`` event (verdicts, digest, ...).
+    result: dict | None = None
+    #: In-memory retry-backoff gate; never journaled (a resumed daemon
+    #: retries immediately — the backoff protected the old process).
+    not_before: float = field(default=0.0, compare=False)
+
+    def session_spec(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "seed": self.seed,
+            "attack": self.attack,
+            "max_instructions": self.max_instructions,
+            "period_s": self.period_s,
+        }
+
+    def wait_s(self) -> float | None:
+        if self.started_wall is None:
+            return None
+        return max(0.0, self.started_wall - self.submitted_wall)
+
+    def run_s(self) -> float | None:
+        if self.started_wall is None or self.finished_wall is None:
+            return None
+        return max(0.0, self.finished_wall - self.started_wall)
+
+    def to_row(self) -> dict:
+        """The structured row ``repro queue`` prints for this job."""
+        return {
+            "job": self.job_id,
+            "state": self.state,
+            "priority": "ar" if self.priority == PRIORITY_AR else "cr",
+            "benchmark": self.benchmark,
+            "seed": self.seed,
+            "attack": self.attack,
+            "launches": self.launches,
+            "failures": self.failures,
+            "error": self.error,
+            "result": self.result,
+        }
+
+
+def default_priority(attack: str | None) -> int:
+    """Alarm-bearing (attack) sessions outrank clean CR catch-up."""
+    return PRIORITY_AR if attack else PRIORITY_CR
+
+
+# ----------------------------------------------------------------------
+# scan / rebuild
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class JobQueueScan:
+    """Validated contents of one queue journal."""
+
+    path: str
+    #: Event bodies that passed CRC + framing, in journal order.
+    events: tuple = ()
+    #: Recovery notes (torn tail cut, CRC mismatch, sequence gap).
+    notes: tuple = ()
+    #: Byte length of the valid prefix (resume truncates to this).
+    valid_bytes: int = 0
+
+    @property
+    def next_seq(self) -> int:
+        seqs = [event.get("seq", -1) for event in self.events]
+        return max(seqs) + 1 if seqs else 0
+
+
+def scan_job_queue(path: str) -> JobQueueScan:
+    """CRC-validate a queue journal, tolerating a torn tail.
+
+    Mirrors the telemetry journal's scan: events are accepted only while
+    framing, CRC, and the monotone sequence all hold; the first
+    violation cuts the journal there and everything after is reported as
+    a note, never parsed.
+    """
+    events: list[dict] = []
+    notes: list[str] = []
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return JobQueueScan(path=path, notes=("queue journal missing",))
+    valid_bytes = 0
+    offset = 0
+    expected_seq = 0
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline < 0:
+            notes.append(
+                f"queue journal: dropped {len(data) - offset} byte torn "
+                f"tail after event {len(events) - 1}"
+            )
+            break
+        line = data[offset:newline]
+        try:
+            envelope = json.loads(line)
+            body = envelope["body"]
+            crc = envelope["crc"]
+        except (ValueError, KeyError, TypeError):
+            notes.append(
+                f"queue journal: dropped {len(data) - offset} trailing "
+                f"bytes (unparseable event after event {len(events) - 1})"
+            )
+            break
+        if _crc(body) != crc:
+            notes.append(
+                f"queue journal: dropped {len(data) - offset} trailing "
+                f"bytes (CRC mismatch at event {len(events)})"
+            )
+            break
+        seq = body.get("seq", -1)
+        if seq != expected_seq:
+            notes.append(
+                f"queue journal: sequence jump at event {len(events)} "
+                f"(expected seq {expected_seq}, found {seq}) — dropping "
+                f"it and everything after"
+            )
+            break
+        expected_seq = seq + 1
+        events.append(body)
+        offset = newline + 1
+        valid_bytes = offset
+    return JobQueueScan(path=path, events=tuple(events), notes=tuple(notes),
+                        valid_bytes=valid_bytes)
+
+
+def replay_events(events) -> tuple[dict, dict, list[str]]:
+    """Fold a journal's events into queue state.
+
+    Returns ``(jobs by id, nonce -> job_id, recovery notes)``.  Jobs
+    whose last event is ``start`` were in flight when the writer died;
+    they come back ``queued`` with ``resume=True`` — the note records
+    each such heal.
+    """
+    jobs: dict[str, QueuedJob] = {}
+    nonces: dict[str, str] = {}
+    notes: list[str] = []
+    for event in events:
+        kind = event.get("kind")
+        if kind in ("serve", "drain"):
+            continue
+        job_id = event.get("job")
+        if kind == "submit":
+            job = QueuedJob(
+                index=event["index"],
+                job_id=job_id,
+                benchmark=event["benchmark"],
+                seed=event["seed"],
+                attack=event.get("attack"),
+                max_instructions=event["max_instructions"],
+                period_s=event.get("period_s", 1.0),
+                priority=event["priority"],
+                nonce=event.get("nonce", ""),
+                submitted_wall=event.get("wall", 0.0),
+            )
+            jobs[job_id] = job
+            if job.nonce:
+                nonces[job.nonce] = job_id
+            continue
+        job = jobs.get(job_id)
+        if job is None:
+            notes.append(f"queue journal: {kind} event for unknown job "
+                         f"{job_id!r} ignored")
+            continue
+        if kind == "start":
+            job.state = "running"
+            job.launches += 1
+            job.resume = bool(event.get("resume", False))
+            if job.started_wall is None:
+                job.started_wall = event.get("wall", 0.0)
+        elif kind == "preempt":
+            job.state = "queued"
+            job.resume = True
+        elif kind == "fail":
+            job.state = "queued"
+            job.resume = True
+            job.failures += 1
+            job.error = event.get("error", "")
+        elif kind == "quarantine":
+            job.state = "quarantined"
+            job.failures += 1
+            job.error = event.get("error", "")
+            job.finished_wall = event.get("wall", 0.0)
+        elif kind == "done":
+            job.state = "done"
+            job.error = ""
+            job.result = event.get("result")
+            job.finished_wall = event.get("wall", 0.0)
+    for job in jobs.values():
+        if job.state == "running":
+            job.state = "queued"
+            job.resume = True
+            notes.append(
+                f"{job.job_id}: was in flight at the last crash — "
+                f"re-queued with resume"
+            )
+    return jobs, nonces, notes
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    position = min(len(sorted_values) - 1,
+                   int(fraction * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[position]
+
+
+@dataclass(frozen=True)
+class JobQueueStats:
+    """Aggregate queue accounting (what ``repro queue`` summarizes)."""
+
+    total: int
+    queued: int
+    running: int
+    done: int
+    quarantined: int
+    #: Queue-wait latency (submit -> first launch) percentiles, seconds.
+    wait_p50_s: float
+    wait_p99_s: float
+    #: Completion latency (first launch -> done) percentiles, seconds.
+    run_p50_s: float
+    run_p99_s: float
+
+    def to_json(self) -> dict:
+        return {
+            "total": self.total,
+            "queued": self.queued,
+            "running": self.running,
+            "done": self.done,
+            "quarantined": self.quarantined,
+            "wait_p50_s": self.wait_p50_s,
+            "wait_p99_s": self.wait_p99_s,
+            "run_p50_s": self.run_p50_s,
+            "run_p99_s": self.run_p99_s,
+        }
+
+
+def compute_stats(jobs) -> JobQueueStats:
+    jobs = list(jobs)
+    counts = {state: 0 for state in _STATES}
+    waits: list[float] = []
+    runs: list[float] = []
+    for job in jobs:
+        counts[job.state] = counts.get(job.state, 0) + 1
+        wait = job.wait_s()
+        if wait is not None:
+            waits.append(wait)
+        if job.state == "done":
+            run = job.run_s()
+            if run is not None:
+                runs.append(run)
+    waits.sort()
+    runs.sort()
+    return JobQueueStats(
+        total=len(jobs),
+        queued=counts["queued"],
+        running=counts["running"],
+        done=counts["done"],
+        quarantined=counts["quarantined"],
+        wait_p50_s=_percentile(waits, 0.50),
+        wait_p99_s=_percentile(waits, 0.99),
+        run_p50_s=_percentile(runs, 0.50),
+        run_p99_s=_percentile(runs, 0.99),
+    )
+
+
+@dataclass(frozen=True)
+class JobQueueState:
+    """A read-only view of a queue journal (for ``repro queue``/``top``)."""
+
+    path: str
+    jobs: tuple
+    notes: tuple
+
+    def stats(self) -> JobQueueStats:
+        return compute_stats(self.jobs)
+
+
+def load_job_queue_state(store_dir: str) -> JobQueueState:
+    """Rebuild queue state from a service store without opening a writer.
+
+    Safe to call while a daemon is live (the journal is append-only and
+    every entry is self-validating); readers simply see a prefix.
+    """
+    path = os.path.join(store_dir, JOB_QUEUE_NAME)
+    scan = scan_job_queue(path)
+    jobs, _, replay_notes = replay_events(scan.events)
+    ordered = tuple(sorted(jobs.values(), key=lambda job: job.index))
+    return JobQueueState(path=path, jobs=ordered,
+                         notes=scan.notes + tuple(replay_notes))
+
+
+# ----------------------------------------------------------------------
+# writer
+# ----------------------------------------------------------------------
+
+
+class JobQueue:
+    """The daemon's single-writer handle on the durable queue.
+
+    Opening the queue *is* crash recovery: the journal's valid prefix is
+    kept (any torn tail truncated away, exactly like the frame journal),
+    the event log is replayed into job state, and jobs that were running
+    when the previous daemon died come back queued with
+    ``resume=True``.  All mutations append an event before touching
+    in-memory state, and every append fsyncs by default — the queue is
+    the service's source of truth, and it is tiny (one line per state
+    transition, not per frame), so "always" costs nothing measurable.
+    """
+
+    def __init__(self, store_dir: str, *, limit: int = 256,
+                 fsync: bool = True):
+        if not os.path.isdir(store_dir):
+            raise StoreCorruptError("service store directory missing",
+                                    path=store_dir)
+        self.store_dir = store_dir
+        self.path = os.path.join(store_dir, JOB_QUEUE_NAME)
+        self.limit = max(1, limit)
+        self.fsync = fsync
+        scan = scan_job_queue(self.path)
+        self.jobs, self._nonces, replay_notes = replay_events(scan.events)
+        self.recovery_notes = scan.notes + tuple(replay_notes)
+        self._seq = scan.next_seq
+        self._next_index = (max((job.index for job in self.jobs.values()),
+                                default=-1) + 1)
+        if os.path.exists(self.path) and scan.valid_bytes < os.path.getsize(
+                self.path):
+            with open(self.path, "r+b") as handle:
+                handle.truncate(scan.valid_bytes)
+        self._handle = open(self.path, "ab", buffering=0)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # journal append
+    # ------------------------------------------------------------------
+
+    def _append(self, kind: str, body: dict):
+        body = dict(body)
+        body["kind"] = kind
+        body["seq"] = self._seq
+        body["wall"] = time.time()
+        self._seq += 1
+        line = json.dumps(
+            {"crc": _crc(body), "body": body},
+            sort_keys=True, separators=(",", ":"), default=str,
+        ).encode("utf-8") + b"\n"
+        self._handle.write(line)
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        return body
+
+    # ------------------------------------------------------------------
+    # queue operations (each = one durable event + the state fold)
+    # ------------------------------------------------------------------
+
+    def note_serve(self, pid: int):
+        self._append("serve", {"pid": pid})
+
+    def note_drain(self):
+        self._append("drain", {})
+
+    def queued_depth(self) -> int:
+        return sum(1 for job in self.jobs.values() if job.state == "queued")
+
+    def running_jobs(self) -> list[QueuedJob]:
+        return [job for job in self.jobs.values() if job.state == "running"]
+
+    def submit(self, spec: dict, *, nonce: str,
+               priority: int | None = None) -> tuple[QueuedJob, bool]:
+        """Admit one job; returns ``(job, accepted_now)``.
+
+        ``accepted_now`` is False for a nonce the journal already holds
+        — the idempotent-retry path (a duplicated submit message, or a
+        client re-sending after a lost ack) returns the original job
+        without a second journal entry, so a retried submission can
+        never run twice.
+
+        The event is durable (fsync'd) before this returns: the caller
+        may ack the moment it gets the job back, and a crash at any
+        earlier instant loses only a submission that was never acked.
+        """
+        if nonce and nonce in self._nonces:
+            return self.jobs[self._nonces[nonce]], False
+        if self.queued_depth() >= self.limit:
+            raise QueueFullError("service queue is full",
+                                 queued=self.queued_depth(),
+                                 limit=self.limit)
+        index = self._next_index
+        self._next_index += 1
+        job_id = job_dir_name(index)
+        attack = spec.get("attack")
+        body = {
+            "job": job_id,
+            "index": index,
+            "benchmark": spec["benchmark"],
+            "seed": int(spec.get("seed", 2018)),
+            "attack": attack,
+            "max_instructions": int(spec.get("max_instructions", 200_000)),
+            "period_s": float(spec.get("period_s", 1.0)),
+            "priority": (int(priority) if priority is not None
+                         else default_priority(attack)),
+            "nonce": nonce,
+        }
+        event = self._append("submit", body)
+        job = QueuedJob(
+            index=index, job_id=job_id,
+            benchmark=body["benchmark"], seed=body["seed"],
+            attack=body["attack"],
+            max_instructions=body["max_instructions"],
+            period_s=body["period_s"], priority=body["priority"],
+            nonce=nonce, submitted_wall=event["wall"],
+        )
+        self.jobs[job_id] = job
+        if nonce:
+            self._nonces[nonce] = job_id
+        return job, True
+
+    def next_runnable(self, now: float | None = None) -> QueuedJob | None:
+        """The queued job that should launch next: lowest (class, index)
+        among jobs whose retry backoff has elapsed."""
+        if now is None:
+            now = time.monotonic()
+        best = None
+        for job in self.jobs.values():
+            if job.state != "queued" or job.not_before > now:
+                continue
+            if best is None or (job.priority, job.index) < (best.priority,
+                                                            best.index):
+                best = job
+        return best
+
+    def mark_start(self, job: QueuedJob):
+        self._append("start", {"job": job.job_id, "launch": job.launches,
+                               "resume": job.resume})
+        job.state = "running"
+        job.launches += 1
+        if job.started_wall is None:
+            job.started_wall = time.time()
+
+    def mark_preempt(self, job: QueuedJob):
+        self._append("preempt", {"job": job.job_id})
+        job.state = "queued"
+        job.resume = True
+
+    def mark_fail(self, job: QueuedJob, error: str, *,
+                  max_failures: int, backoff_s: float = 0.0) -> bool:
+        """Record a failed launch; quarantine when failures exhaust the
+        budget.  Returns True when the job was quarantined."""
+        if job.failures + 1 > max_failures:
+            self._append("quarantine", {"job": job.job_id, "error": error})
+            job.state = "quarantined"
+            job.failures += 1
+            job.error = error
+            job.finished_wall = time.time()
+            return True
+        self._append("fail", {"job": job.job_id, "error": error})
+        job.state = "queued"
+        job.resume = True
+        job.failures += 1
+        job.error = error
+        if backoff_s > 0.0:
+            job.not_before = time.monotonic() + backoff_s * (2 ** (
+                job.failures - 1))
+        return False
+
+    def mark_done(self, job: QueuedJob, result: dict):
+        self._append("done", {"job": job.job_id, "result": result})
+        job.state = "done"
+        job.error = ""
+        job.result = result
+        job.finished_wall = time.time()
+
+    def stats(self) -> JobQueueStats:
+        return compute_stats(list(self.jobs.values()))
+
+    def rows(self) -> list[dict]:
+        return [job.to_row() for job in
+                sorted(self.jobs.values(), key=lambda job: job.index)]
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        if self.fsync:
+            try:
+                os.fsync(self._handle.fileno())
+            except OSError:
+                pass
+        self._handle.close()

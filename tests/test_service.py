@@ -1,0 +1,737 @@
+"""Replay-as-a-service tests: durable queue, daemon, crash matrix.
+
+Three layers, mirroring the tentpole's crash contract:
+
+* **Unit** — the wire protocol (CRC envelope, endpoint parsing), the
+  durable job queue (nonce dedup, backpressure, priority order, retry
+  backoff, quarantine, torn-tail recovery), and the service-scoped
+  message faults (drop / duplicate / garble).
+* **In-process integration** — a real :class:`ServiceDaemon` on a
+  background thread with real worker processes: submit/drain parity
+  against the equivalent one-shot ``run_fleet``, AR-over-CR preemption,
+  backpressure over the socket, message-fault handling end to end, and
+  poison-job quarantine.
+* **Subprocess crash matrix** — ``repro serve`` as a child process,
+  SIGKILL'd at every queue state transition (all-queued, mid-running,
+  after-first-done) plus the accept-window crash, then resumed with
+  ``repro serve --once``: no accepted job lost, no job executed twice,
+  and per-session results bit-identical to the one-shot fleet.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.core.fleet import FleetSession, run_fleet
+from repro.errors import ProtocolError, QueueFullError, ServiceError
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.service import (
+    ServiceClient,
+    ServiceDaemon,
+    decode_message,
+    default_endpoint,
+    encode_message,
+    parse_endpoint,
+)
+from repro.store.jobqueue import (
+    JOB_QUEUE_NAME,
+    PRIORITY_AR,
+    PRIORITY_CR,
+    JobQueue,
+    load_job_queue_state,
+    scan_job_queue,
+)
+
+BUDGET = 120_000
+PERIOD = 0.2
+
+#: The mixed batch every parity test submits: clean CR catch-up, an
+#: alarm-bearing attack session, and a second clean session on another
+#: benchmark/seed.  Index i becomes job-00000i.
+SPECS = (
+    {"benchmark": "fileio", "seed": 2018, "attack": None,
+     "max_instructions": BUDGET, "period_s": PERIOD},
+    {"benchmark": "mysql", "seed": 2018, "attack": "rop",
+     "max_instructions": BUDGET, "period_s": PERIOD},
+    {"benchmark": "apache", "seed": 7, "attack": None,
+     "max_instructions": BUDGET, "period_s": PERIOD},
+)
+
+_SRC_DIR = str(pathlib.Path(repro.__file__).resolve().parents[1])
+
+
+def _sessions():
+    return [FleetSession(benchmark=spec["benchmark"], seed=spec["seed"],
+                         attack=spec["attack"],
+                         max_instructions=spec["max_instructions"],
+                         period_s=spec["period_s"])
+            for spec in SPECS]
+
+
+@pytest.fixture(scope="module")
+def oneshot():
+    """One-shot ``run_fleet`` of SPECS — the bit-identical baseline."""
+    fleet = run_fleet(_sessions(), max_workers=2)
+    assert all(result.ok for result in fleet.results)
+    return fleet.results
+
+
+def _events(store) -> list[dict]:
+    return list(scan_job_queue(os.path.join(str(store),
+                                            JOB_QUEUE_NAME)).events)
+
+
+def _wait_until(predicate, timeout_s: float = 60.0, what: str = "condition"):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.02)
+    pytest.fail(f"timed out after {timeout_s}s waiting for {what}")
+
+
+def _assert_parity(store, oneshot, indices=None):
+    """Every serviced job's result is bit-identical to the one-shot run."""
+    state = load_job_queue_state(str(store))
+    jobs = {job.index: job for job in state.jobs}
+    for index in (range(len(SPECS)) if indices is None else indices):
+        job = jobs[index]
+        assert job.state == "done", (job.job_id, job.state, job.error)
+        expected = oneshot[index]
+        assert job.result["digest"] == expected.session_digest, job.job_id
+        assert job.result["verdicts"] == list(expected.verdicts), job.job_id
+        assert job.result["log_bytes"] == expected.log_bytes, job.job_id
+    # Terminality: no job was completed twice.
+    done_counts: dict[str, int] = {}
+    for event in _events(store):
+        if event.get("kind") == "done":
+            done_counts[event["job"]] = done_counts.get(event["job"], 0) + 1
+    assert all(count == 1 for count in done_counts.values()), done_counts
+
+
+# ----------------------------------------------------------------------
+# protocol units
+# ----------------------------------------------------------------------
+
+
+def test_message_roundtrip():
+    body = {"op": "submit", "spec": {"benchmark": "fileio", "seed": 7},
+            "nonce": "abc"}
+    line = encode_message(body)
+    assert line.endswith(b"\n")
+    assert decode_message(line[:-1]) == body
+
+
+def test_decode_rejects_flipped_byte():
+    line = encode_message({"op": "ping"})[:-1]
+    mutated = bytearray(line)
+    mutated[-3] ^= 0x40
+    with pytest.raises(ProtocolError):
+        decode_message(bytes(mutated))
+
+
+def test_decode_rejects_non_object_body():
+    with pytest.raises(ProtocolError):
+        decode_message(json.dumps({"crc": 0, "body": 3}).encode())
+    with pytest.raises(ProtocolError):
+        decode_message(b"not json at all")
+
+
+def test_parse_endpoint():
+    assert parse_endpoint("127.0.0.1:8123") == ("tcp", "127.0.0.1", 8123)
+    assert parse_endpoint(":0") == ("tcp", "127.0.0.1", 0)
+    assert parse_endpoint("/tmp/x.sock") == ("unix", "/tmp/x.sock")
+    # A colon inside a path stays a path; a non-numeric port too.
+    assert parse_endpoint("dir:with/colon.sock")[0] == "unix"
+    assert parse_endpoint("localhost:http")[0] == "unix"
+
+
+# ----------------------------------------------------------------------
+# message-fault units (satellite: FaultPlan service scope)
+# ----------------------------------------------------------------------
+
+
+def test_message_fault_drop_duplicate_garble():
+    line = encode_message({"op": "ping"})[:-1]
+    plan = FaultPlan([
+        FaultSpec(kind=FaultKind.DROP_MESSAGE, target=0),
+        FaultSpec(kind=FaultKind.DUPLICATE_MESSAGE, target=1),
+        FaultSpec(kind=FaultKind.GARBLE_MESSAGE, target=2),
+    ])
+    assert plan.apply_to_message(0, line) == []
+    assert plan.apply_to_message(1, line) == [line, line]
+    garbled = plan.apply_to_message(2, line)
+    assert len(garbled) == 1 and garbled[0] != line
+    with pytest.raises(ProtocolError):
+        decode_message(garbled[0])
+    # Unplanned messages pass through untouched.
+    assert plan.apply_to_message(3, line) == [line]
+
+
+def test_garble_is_deterministic_and_never_mints_newlines():
+    line = encode_message({"op": "submit", "spec": {"benchmark": "make"},
+                           "nonce": "x" * 64})[:-1]
+    plan = FaultPlan([FaultSpec(kind=FaultKind.GARBLE_MESSAGE, target=5,
+                                flips=32)], seed=7)
+    first = plan.apply_to_message(5, line)
+    second = plan.apply_to_message(5, line)
+    assert first == second
+    assert b"\n" not in first[0]
+
+
+def test_message_faults_compose_duplicate_then_garble():
+    line = encode_message({"op": "ping"})[:-1]
+    plan = FaultPlan([
+        FaultSpec(kind=FaultKind.DUPLICATE_MESSAGE, target=0),
+        FaultSpec(kind=FaultKind.GARBLE_MESSAGE, target=0),
+    ])
+    variants = plan.apply_to_message(0, line)
+    assert len(variants) == 2
+    assert all(copy != line for copy in variants)
+
+
+# ----------------------------------------------------------------------
+# durable queue units
+# ----------------------------------------------------------------------
+
+
+def _queue(tmp_path, **kwargs) -> JobQueue:
+    return JobQueue(str(tmp_path), **kwargs)
+
+
+def test_submit_defaults_and_priority_classes(tmp_path):
+    queue = _queue(tmp_path)
+    clean, accepted = queue.submit({"benchmark": "fileio"}, nonce="n-clean")
+    assert accepted
+    assert (clean.seed, clean.max_instructions, clean.period_s) == \
+        (2018, 200_000, 1.0)
+    assert clean.priority == PRIORITY_CR
+    attack, _ = queue.submit({"benchmark": "mysql", "attack": "rop"},
+                             nonce="n-attack")
+    assert attack.priority == PRIORITY_AR
+    forced, _ = queue.submit({"benchmark": "make", "attack": "dos"},
+                             nonce="n-forced", priority=PRIORITY_CR)
+    assert forced.priority == PRIORITY_CR
+    queue.close()
+
+
+def test_submit_nonce_dedup_is_idempotent(tmp_path):
+    queue = _queue(tmp_path)
+    first, accepted = queue.submit({"benchmark": "fileio"}, nonce="same")
+    again, accepted_again = queue.submit({"benchmark": "fileio"},
+                                         nonce="same")
+    assert accepted and not accepted_again
+    assert again is first
+    assert len([e for e in _events(tmp_path)
+                if e["kind"] == "submit"]) == 1
+    queue.close()
+
+
+def test_submit_backpressure_raises_typed_error(tmp_path):
+    queue = _queue(tmp_path, limit=2)
+    queue.submit({"benchmark": "fileio"}, nonce="a")
+    queue.submit({"benchmark": "fileio"}, nonce="b")
+    with pytest.raises(QueueFullError) as excinfo:
+        queue.submit({"benchmark": "fileio"}, nonce="c")
+    assert excinfo.value.reason == "queue-full"
+    assert (excinfo.value.queued, excinfo.value.limit) == (2, 2)
+    queue.close()
+
+
+def test_next_runnable_orders_by_class_then_fifo(tmp_path):
+    queue = _queue(tmp_path)
+    clean_first, _ = queue.submit({"benchmark": "fileio"}, nonce="a")
+    clean_second, _ = queue.submit({"benchmark": "apache"}, nonce="b")
+    attack, _ = queue.submit({"benchmark": "mysql", "attack": "rop"},
+                             nonce="c")
+    # The alarm-bearing job outranks both earlier clean submissions.
+    assert queue.next_runnable() is attack
+    queue.mark_start(attack)
+    assert queue.next_runnable() is clean_first
+    queue.mark_start(clean_first)
+    assert queue.next_runnable() is clean_second
+    queue.close()
+
+
+def test_retry_backoff_gates_next_runnable(tmp_path):
+    queue = _queue(tmp_path)
+    job, _ = queue.submit({"benchmark": "fileio"}, nonce="a")
+    queue.mark_start(job)
+    quarantined = queue.mark_fail(job, "boom", max_failures=3,
+                                  backoff_s=30.0)
+    assert not quarantined and job.state == "queued" and job.resume
+    now = time.monotonic()
+    assert queue.next_runnable(now) is None
+    assert queue.next_runnable(now + 120.0) is job
+    queue.close()
+
+
+def test_poison_job_quarantines_after_budget(tmp_path):
+    queue = _queue(tmp_path)
+    job, _ = queue.submit({"benchmark": "fileio"}, nonce="a")
+    queue.mark_start(job)
+    assert not queue.mark_fail(job, "first", max_failures=1)
+    queue.mark_start(job)
+    assert queue.mark_fail(job, "second", max_failures=1)
+    assert job.state == "quarantined" and job.failures == 2
+    assert queue.next_runnable() is None
+    kinds = [event["kind"] for event in _events(tmp_path)]
+    assert kinds.count("fail") == 1 and kinds.count("quarantine") == 1
+    queue.close()
+
+
+def test_preemption_charges_no_failure(tmp_path):
+    queue = _queue(tmp_path)
+    job, _ = queue.submit({"benchmark": "fileio"}, nonce="a")
+    queue.mark_start(job)
+    queue.mark_preempt(job)
+    assert (job.state, job.resume, job.failures) == ("queued", True, 0)
+    queue.close()
+
+
+def test_reopen_replays_events_and_requeues_in_flight(tmp_path):
+    queue = _queue(tmp_path)
+    in_flight, _ = queue.submit({"benchmark": "fileio"}, nonce="a")
+    finished, _ = queue.submit({"benchmark": "mysql", "attack": "rop"},
+                               nonce="b")
+    untouched, _ = queue.submit({"benchmark": "apache"}, nonce="c")
+    queue.mark_start(in_flight)
+    queue.mark_start(finished)
+    queue.mark_done(finished, {"verdicts": ["false_positive"],
+                               "digest": "d" * 64})
+    queue.close()
+
+    reopened = _queue(tmp_path)
+    jobs = {job.nonce: job for job in reopened.jobs.values()}
+    # In flight at the "crash": back to queued, resuming from its store.
+    assert (jobs["a"].state, jobs["a"].resume) == ("queued", True)
+    assert any("in flight" in note for note in reopened.recovery_notes)
+    # Done is terminal: never relaunched, result preserved.
+    assert jobs["b"].state == "done"
+    assert jobs["b"].result["digest"] == "d" * 64
+    assert (jobs["c"].state, jobs["c"].resume) == ("queued", False)
+    # Nonce dedup survives the restart.
+    again, accepted = reopened.submit({"benchmark": "apache"}, nonce="c")
+    assert not accepted and again.index == jobs["c"].index
+    reopened.close()
+
+
+def test_torn_tail_is_cut_and_journal_heals_on_reopen(tmp_path):
+    queue = _queue(tmp_path)
+    queue.submit({"benchmark": "fileio"}, nonce="a")
+    queue.submit({"benchmark": "apache"}, nonce="b")
+    queue.close()
+    path = tmp_path / JOB_QUEUE_NAME
+    intact = path.read_bytes()
+    path.write_bytes(intact + b'{"crc": 1, "body": {"kind": "subm')
+
+    scan = scan_job_queue(str(path))
+    assert len(scan.events) == 2
+    assert scan.valid_bytes == len(intact)
+    assert any("torn" in note or "unparseable" in note
+               for note in scan.notes)
+
+    reopened = _queue(tmp_path)  # reopen truncates the tail...
+    assert path.read_bytes() == intact
+    reopened.submit({"benchmark": "make"}, nonce="c")  # ...and appends clean
+    reopened.close()
+    assert scan_job_queue(str(path)).notes == ()
+
+
+def test_corrupt_event_cuts_journal_at_last_good_entry(tmp_path):
+    queue = _queue(tmp_path)
+    queue.submit({"benchmark": "fileio"}, nonce="a")
+    queue.submit({"benchmark": "apache"}, nonce="b")
+    queue.close()
+    path = tmp_path / JOB_QUEUE_NAME
+    lines = path.read_bytes().splitlines(keepends=True)
+    flipped = bytearray(lines[-1])
+    flipped[len(flipped) // 2] ^= 0x01
+    path.write_bytes(b"".join(lines[:-1]) + bytes(flipped))
+
+    state = load_job_queue_state(str(tmp_path))
+    assert len(state.jobs) == 1 and state.jobs[0].nonce == "a"
+    assert any("CRC" in note or "unparseable" in note
+               for note in state.notes)
+
+
+# ----------------------------------------------------------------------
+# top board (satellite: QUEUED rows)
+# ----------------------------------------------------------------------
+
+
+def test_top_renders_queued_jobs_from_queue_journal(tmp_path):
+    from repro.obs.top import TopBoard
+
+    queue = _queue(tmp_path)
+    queue.submit({"benchmark": "fileio"}, nonce="a")
+    queue.submit({"benchmark": "mysql", "attack": "rop"}, nonce="b")
+    queue.close()
+    board = TopBoard(str(tmp_path))
+    out = board.render()
+    assert "job-000000" in out and "job-000001" in out
+    assert "queue:queu" in out  # actor:state column
+    assert "2 queued," in out
+    # Waiting is healthy: queued rows never flag as wedged.
+    assert "WEDGED" not in out
+
+
+# ----------------------------------------------------------------------
+# in-process daemon integration
+# ----------------------------------------------------------------------
+
+
+@contextlib.contextmanager
+def live_daemon(store, **kwargs):
+    kwargs.setdefault("poll_s", 0.02)
+    kwargs.setdefault("store_fsync", "never")
+    daemon = ServiceDaemon(str(store), **kwargs)
+    thread = threading.Thread(target=daemon.run, daemon=True)
+    thread.start()
+    _wait_until(lambda: os.path.exists(daemon.endpoint), 30.0,
+                "daemon socket")
+    try:
+        yield daemon
+    finally:
+        daemon._draining = True
+        daemon._halt_launches = True
+        daemon._exit_when_idle = True
+        thread.join(timeout=60.0)
+        daemon.shutdown()
+
+
+def _client(store, **kwargs) -> ServiceClient:
+    return ServiceClient(default_endpoint(str(store)), **kwargs)
+
+
+def test_daemon_results_match_oneshot_fleet(tmp_path, oneshot):
+    with live_daemon(tmp_path, workers=2) as daemon:
+        client = _client(tmp_path)
+        assert client.ping()["pid"] == os.getpid()
+        for spec in SPECS:
+            response = client.submit(spec)
+            assert response["ok"] and not response["deduplicated"]
+        final = client.drain(wait=True, stop=True)
+        assert final["quiet"]
+        assert final["stats"]["done"] == len(SPECS)
+        # Latency accounting exists for every completed job.
+        assert final["stats"]["run_p50_s"] > 0.0
+        assert daemon is not None
+    _assert_parity(tmp_path, oneshot)
+
+
+def test_submit_is_idempotent_over_the_socket(tmp_path):
+    with live_daemon(tmp_path, workers=1, poll_s=5.0):
+        client = _client(tmp_path)
+        first = client.submit(SPECS[0], nonce="fixed-nonce")
+        again = client.submit(SPECS[0], nonce="fixed-nonce")
+        assert first["job"] == again["job"]
+        assert not first["deduplicated"] and again["deduplicated"]
+        assert len([e for e in _events(tmp_path)
+                    if e["kind"] == "submit"]) == 1
+
+
+def test_backpressure_rejects_and_drain_closes_admissions(tmp_path):
+    # Stall job 0 on the worker so it occupies the single slot while the
+    # bounded queue fills behind it.
+    plan = FaultPlan([FaultSpec(kind=FaultKind.STALL_WORKER, role="fleet",
+                                target=0, stall_s=2.0)])
+    with live_daemon(tmp_path, workers=1, queue_limit=1, fault_plan=plan):
+        client = _client(tmp_path)
+        client.submit(SPECS[0])
+        _wait_until(lambda: any(e["kind"] == "start"
+                                for e in _events(tmp_path)),
+                    30.0, "job 0 to start")
+        client.submit(SPECS[2])  # fills the queue (depth 1 of limit 1)
+        with pytest.raises(QueueFullError) as excinfo:
+            client.submit(SPECS[1])
+        assert excinfo.value.reason == "queue-full"
+        assert (excinfo.value.queued, excinfo.value.limit) == (1, 1)
+        client.drain()  # close admissions, keep serving accepted work
+        # Draining: late submissions get a typed structured rejection.
+        with pytest.raises(QueueFullError) as excinfo:
+            ServiceClient(default_endpoint(str(tmp_path)),
+                          retries=0).submit(SPECS[1])
+        assert excinfo.value.reason == "draining"
+        final = client.drain(wait=True, stop=True)
+        assert final["stats"]["done"] == 2
+
+
+def test_alarm_submission_preempts_running_clean_job(tmp_path, oneshot):
+    # One worker; the clean job stalls 3s on its first launch only
+    # (attempt 0), so the attack submission must preempt it to run.
+    plan = FaultPlan([FaultSpec(kind=FaultKind.STALL_WORKER, role="fleet",
+                                target=0, attempt=0, stall_s=3.0)])
+    with live_daemon(tmp_path, workers=1, fault_plan=plan):
+        client = _client(tmp_path)
+        clean = client.submit(SPECS[0])
+        assert clean["priority"] == PRIORITY_CR
+        _wait_until(lambda: any(e["kind"] == "start"
+                                for e in _events(tmp_path)),
+                    30.0, "clean job to start")
+        attack = client.submit(SPECS[1])
+        assert attack["priority"] == PRIORITY_AR
+        client.drain(wait=True, stop=True)
+
+    events = _events(tmp_path)
+    assert any(event["kind"] == "preempt" and event["job"] == "job-000000"
+               for event in events), "clean job was never preempted"
+    starts = [event for event in events if event["kind"] == "start"
+              and event["job"] == "job-000000"]
+    assert len(starts) == 2 and starts[1]["resume"] is True
+    state = load_job_queue_state(str(tmp_path))
+    jobs = {job.index: job for job in state.jobs}
+    # The alarm-bearing job demonstrably finished first...
+    assert jobs[1].finished_wall < jobs[0].finished_wall
+    # ...and the preemption charged the victim no failure.
+    assert jobs[0].failures == 0 and jobs[0].state == "done"
+    _assert_parity(tmp_path, oneshot, indices=(0, 1))
+
+
+def test_message_faults_end_to_end(tmp_path, oneshot):
+    # Daemon-side message indices, in arrival order (one client, strictly
+    # sequential requests): 0 ping (dropped) -> 1 ping retry -> 2 submit
+    # A (duplicated) -> 3 submit B (garbled) -> 4 submit B retry.
+    plan = FaultPlan([
+        FaultSpec(kind=FaultKind.DROP_MESSAGE, target=0),
+        FaultSpec(kind=FaultKind.DUPLICATE_MESSAGE, target=2),
+        FaultSpec(kind=FaultKind.GARBLE_MESSAGE, target=3),
+    ])
+    with live_daemon(tmp_path, workers=2, fault_plan=plan):
+        client = _client(tmp_path, timeout_s=1.0, retries=3,
+                         backoff_s=0.05)
+        client.ping()  # dropped once; the retry path answers
+        submitted = client.submit(SPECS[0])
+        assert not submitted["deduplicated"]
+        retried = client.submit(SPECS[1])
+        assert retried["ok"]
+        client.drain(wait=True, stop=True)
+
+    events = _events(tmp_path)
+    # The duplicated submit journaled exactly once (nonce dedup) and the
+    # garbled submit journaled exactly once (client retried clean).
+    assert len([e for e in events if e["kind"] == "submit"]) == 2
+    _assert_parity(tmp_path, oneshot, indices=(0, 1))
+
+
+def test_worker_death_retries_then_quarantines_poison_job(tmp_path, oneshot):
+    # Job 0's worker hard-exits on attempts 0, 1, and 2: with
+    # max_resume_attempts=2 the third death quarantines it as poison.
+    plan = FaultPlan([
+        FaultSpec(kind=FaultKind.KILL_WORKER, role="fleet", target=0,
+                  attempt=attempt) for attempt in range(3)
+    ])
+    with live_daemon(tmp_path, workers=1, fault_plan=plan,
+                     max_resume_attempts=2, retry_backoff_s=0.01):
+        client = _client(tmp_path)
+        client.submit(SPECS[0])
+        _wait_until(lambda: any(e["kind"] == "quarantine"
+                                for e in _events(tmp_path)),
+                    60.0, "poison job to quarantine")
+        # The daemon survived its poison job and still serves new work.
+        client.submit(SPECS[1])
+        client.drain(wait=True, stop=True)
+
+    state = load_job_queue_state(str(tmp_path))
+    jobs = {job.index: job for job in state.jobs}
+    assert jobs[0].state == "quarantined"
+    assert jobs[0].failures == 3
+    assert "died" in jobs[0].error
+    _assert_parity(tmp_path, oneshot, indices=(1,))
+    kinds = [event["kind"] for event in _events(tmp_path)]
+    assert kinds.count("fail") == 2 and kinds.count("quarantine") == 1
+
+
+def test_second_daemon_on_same_store_fails_fast(tmp_path):
+    daemon = ServiceDaemon(str(tmp_path), workers=1)
+    try:
+        with pytest.raises(ServiceError, match="already served"):
+            ServiceDaemon(str(tmp_path), workers=1)
+    finally:
+        daemon.shutdown()
+
+
+def test_cli_queue_reads_journal_when_no_daemon(tmp_path, capsys):
+    from repro.cli import main
+
+    queue = _queue(tmp_path)
+    queue.submit({"benchmark": "fileio"}, nonce="a")
+    queue.submit({"benchmark": "mysql", "attack": "rop"}, nonce="b")
+    queue.close()
+    assert main(["queue", str(tmp_path), "--json", "--timeout", "1"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert [row["state"] for row in report["jobs"]] == ["queued", "queued"]
+    assert [row["priority"] for row in report["jobs"]] == ["cr", "ar"]
+    assert report["stats"]["queued"] == 2
+    assert any("no daemon reachable" in note for note in report["notes"])
+
+
+# ----------------------------------------------------------------------
+# subprocess crash matrix (satellite: kill -9 at every state transition)
+# ----------------------------------------------------------------------
+
+
+def _child_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _spawn_serve(store, *extra) -> subprocess.Popen:
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(store),
+         "--workers", "2", "--fsync", "never", *extra],
+        env=_child_env(), stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    _wait_until(lambda: os.path.exists(default_endpoint(str(store)))
+                or process.poll() is not None,
+                60.0, "serve daemon socket")
+    assert process.poll() is None, "serve daemon died on startup"
+    return process
+
+
+def _resume_once(store):
+    """Restart the store with ``repro serve --once`` until quiet."""
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", str(store), "--once",
+         "--workers", "2", "--poll", "0.02", "--fsync", "never"],
+        env=_child_env(), capture_output=True, text=True, timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+
+
+def _submit_all(store) -> list[str]:
+    client = _client(store)
+    return [client.submit(spec)["job"] for spec in SPECS]
+
+
+#: kill trigger per scenario: a predicate over the journal events that
+#: must hold before SIGKILL lands.  "queued" kills inside the daemon's
+#: long first poll, before any launch; "running" kills mid-execution;
+#: "done" kills after the first completion with work still in flight.
+_KILL_SCENARIOS = {
+    "queued": (["--poll", "30"], lambda events: True),
+    "running": (["--poll", "0.02"],
+                lambda events: any(e["kind"] == "start" for e in events)),
+    "done": (["--poll", "0.02"],
+             lambda events: any(e["kind"] == "done" for e in events)),
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(_KILL_SCENARIOS))
+def test_kill9_matrix_loses_nothing_and_runs_nothing_twice(
+        tmp_path, oneshot, scenario):
+    serve_args, trigger = _KILL_SCENARIOS[scenario]
+    daemon = _spawn_serve(tmp_path, *serve_args)
+    try:
+        accepted = _submit_all(tmp_path)
+        assert accepted == [f"job-{index:06d}" for index in range(len(SPECS))]
+        _wait_until(lambda: trigger(_events(tmp_path)), 120.0,
+                    f"{scenario} kill trigger")
+        daemon.send_signal(signal.SIGKILL)
+        daemon.wait(timeout=30)
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=30)
+
+    events_at_kill = _events(tmp_path)
+    # Every ack'd submission was already durable at the kill.
+    assert len([e for e in events_at_kill if e["kind"] == "submit"]) == \
+        len(SPECS)
+    if scenario == "queued":
+        assert not any(e["kind"] == "start" for e in events_at_kill)
+
+    _resume_once(tmp_path)
+    # No lost accepted jobs, no double execution, bit-identical results.
+    _assert_parity(tmp_path, oneshot)
+
+
+def test_sigterm_finishes_in_flight_and_leaves_queue_durable(
+        tmp_path, oneshot):
+    daemon = _spawn_serve(tmp_path, "--poll", "0.02", "--workers", "1")
+    try:
+        accepted = _submit_all(tmp_path)
+        _wait_until(lambda: any(e["kind"] == "start"
+                                for e in _events(tmp_path)),
+                    60.0, "first job to start")
+        daemon.send_signal(signal.SIGTERM)
+        daemon.wait(timeout=120)
+        assert daemon.returncode == 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=30)
+
+    state = load_job_queue_state(str(tmp_path))
+    by_state = {job.job_id: job.state for job in state.jobs}
+    assert len(by_state) == len(accepted)
+    # Graceful degradation: whatever had launched finished; everything
+    # else stayed durably queued — nothing was lost, nothing re-queued
+    # as a failure.
+    assert set(by_state.values()) <= {"done", "queued"}
+    assert any(value == "done" for value in by_state.values())
+    started = {event["job"] for event in _events(tmp_path)
+               if event["kind"] == "start"}
+    for job in state.jobs:
+        assert job.state == ("done" if job.job_id in started else "queued")
+        assert job.failures == 0
+
+    _resume_once(tmp_path)
+    _assert_parity(tmp_path, oneshot)
+
+
+def test_accept_window_crash_never_acks_before_the_journal(
+        tmp_path, oneshot):
+    # The daemon hard-exits between *admitting* submission #1 and
+    # journaling it — the only window where an accepted job could be
+    # lost.  The contract: no ack was sent, so nothing acked was lost.
+    code = (
+        "import sys\n"
+        "from repro.faults.plan import FaultKind, FaultPlan, FaultSpec\n"
+        "from repro.service import ServiceDaemon\n"
+        "plan = FaultPlan([FaultSpec(kind=FaultKind.KILL_WORKER,\n"
+        "                            role='accept', target=1)])\n"
+        "ServiceDaemon(sys.argv[1], workers=1, poll_s=0.05,\n"
+        "              store_fsync='never', fault_plan=plan).run()\n"
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-c", code, str(tmp_path)], env=_child_env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        _wait_until(lambda: os.path.exists(default_endpoint(str(tmp_path)))
+                    or process.poll() is not None, 60.0, "daemon socket")
+        assert process.poll() is None
+        client = _client(tmp_path, timeout_s=2.0, retries=1, backoff_s=0.05)
+        first = client.submit(SPECS[0])
+        assert first["ok"]
+        with pytest.raises(ServiceError):
+            client.submit(SPECS[1])
+        process.wait(timeout=30)
+        assert process.returncode == 17  # the injected hard exit
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+
+    submits = [e for e in _events(tmp_path) if e["kind"] == "submit"]
+    # Exactly the acked submission is durable; the un-acked one is the
+    # only casualty — and the client knows, because it got an error.
+    assert [e["job"] for e in submits] == ["job-000000"]
+
+    _resume_once(tmp_path)
+    _assert_parity(tmp_path, oneshot, indices=(0,))
